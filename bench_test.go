@@ -1,0 +1,279 @@
+package perfprune
+
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation. Each bench regenerates its artifact end to
+// end (sweeps + analysis + rendering) and reports the artifact's
+// headline number as a custom metric, so `go test -bench=.` both
+// exercises the full pipeline and prints the paper-vs-measured numbers
+// EXPERIMENTS.md records. Benchmarks of the real compute substrate
+// (direct vs im2col convolution, GEMM variants) live in their packages.
+
+import (
+	"testing"
+
+	"perfprune/internal/acl"
+	"perfprune/internal/core"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/profiler"
+	"perfprune/internal/staircase"
+)
+
+func benchHeatmap(b *testing.B, n nets.Network, lib profiler.Library, dev device.Device,
+	distances []int, slowdown bool, metric string) {
+	b.Helper()
+	var headline float64
+	for i := 0; i < b.N; i++ {
+		h, err := heatmapFor(n, lib, dev, distances, slowdown, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		headline = h.MaxCell()
+	}
+	b.ReportMetric(headline, metric)
+}
+
+func benchCurve(b *testing.B, lib profiler.Library, dev device.Device, label string, lo, hi int) []profiler.Point {
+	b.Helper()
+	layer := mustLayer(nets.ResNet50(), label).Spec
+	var pts []profiler.Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = profiler.SweepChannels(lib, dev, layer, lo, hi)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return pts
+}
+
+// BenchmarkFig01 regenerates the max-slowdown heatmap (ACL GEMM,
+// HiKey 970). Paper headline: slowdowns up to ~1.9x.
+func BenchmarkFig01(b *testing.B) {
+	benchHeatmap(b, nets.ResNet50(), ACLGEMM(), device.HiKey970, fig1Distances, true, "max_slowdown_x")
+}
+
+// BenchmarkFig02 regenerates the cuDNN staircase for the 1024-channel
+// L26. Paper: 1-8 ms staircase.
+func BenchmarkFig02(b *testing.B) {
+	pts := benchCurve(b, CuDNN(), device.JetsonTX2, "ResNet.L26", 1, 1024)
+	b.ReportMetric(pts[len(pts)-1].Ms, "t_full_ms")
+}
+
+// BenchmarkFig03 regenerates the ACL double staircase for L16 (Fig. 3).
+func BenchmarkFig03(b *testing.B) {
+	pts := benchCurve(b, ACLGEMM(), device.HiKey970, "ResNet.L16", 20, 128)
+	a, err := staircase.Analyze(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(a.MaxStep(), "max_step_x")
+}
+
+// BenchmarkFig04 regenerates the cuDNN L16 staircase. Paper: 1.3x step
+// at the 96-channel edge.
+func BenchmarkFig04(b *testing.B) {
+	pts := benchCurve(b, CuDNN(), device.JetsonTX2, "ResNet.L16", 20, 128)
+	b.ReportMetric(at(pts, 128)/at(pts, 96), "step96_x")
+}
+
+// BenchmarkFig05 regenerates the cuDNN L14 staircase (uneven gaps).
+func BenchmarkFig05(b *testing.B) {
+	pts := benchCurve(b, CuDNN(), device.JetsonTX2, "ResNet.L14", 1, 512)
+	b.ReportMetric(at(pts, 512), "t_full_ms")
+}
+
+// BenchmarkFig06 regenerates the cuDNN ResNet-50 heatmap. Paper: 3.3x.
+func BenchmarkFig06(b *testing.B) {
+	benchHeatmap(b, nets.ResNet50(), CuDNN(), device.JetsonTX2, fullDistances, false, "max_speedup_x")
+}
+
+// BenchmarkFig07 regenerates the Jetson Nano L14 staircase. Paper: the
+// TX2 shape scaled ~3.5x.
+func BenchmarkFig07(b *testing.B) {
+	pts := benchCurve(b, CuDNN(), device.JetsonNano, "ResNet.L14", 1, 512)
+	b.ReportMetric(at(pts, 512), "t_full_ms")
+}
+
+// BenchmarkFig08 regenerates the VGG-16 cuDNN heatmap. Paper: 2.8x.
+func BenchmarkFig08(b *testing.B) {
+	benchHeatmap(b, nets.VGG16(), CuDNN(), device.JetsonTX2, fullDistances, false, "max_speedup_x")
+}
+
+// BenchmarkFig09 regenerates the AlexNet cuDNN heatmap. Paper: 1.4x.
+func BenchmarkFig09(b *testing.B) {
+	benchHeatmap(b, nets.AlexNet(), CuDNN(), device.JetsonTX2, fullDistances, false, "max_speedup_x")
+}
+
+// BenchmarkFig10 regenerates the ACL Direct ResNet-50 heatmap. Paper:
+// 0.2x prune-by-one cells, 16.9x max.
+func BenchmarkFig10(b *testing.B) {
+	benchHeatmap(b, nets.ResNet50(), ACLDirect(), device.HiKey970, fullDistances, false, "max_speedup_x")
+}
+
+// BenchmarkFig11 regenerates the ACL Direct VGG-16 heatmap. Paper: 14.7x.
+func BenchmarkFig11(b *testing.B) {
+	benchHeatmap(b, nets.VGG16(), ACLDirect(), device.HiKey970, fullDistances, false, "max_speedup_x")
+}
+
+// BenchmarkFig12 regenerates the three-level direct pattern on L14.
+// Paper: levels up to 1.9x apart.
+func BenchmarkFig12(b *testing.B) {
+	pts := benchCurve(b, ACLDirect(), device.HiKey970, "ResNet.L14", 1, 512)
+	b.ReportMetric(at(pts, 511)/at(pts, 512), "level_spread_x")
+}
+
+// BenchmarkFig13 regenerates the ACL GEMM ResNet-50 heatmap. Paper: 5.2x.
+func BenchmarkFig13(b *testing.B) {
+	benchHeatmap(b, nets.ResNet50(), ACLGEMM(), device.HiKey970, fullDistances, false, "max_speedup_x")
+}
+
+// BenchmarkFig14 regenerates the L16 double-staircase detail. Paper:
+// t(92)/t(93) jump of 23/14 = 1.64x.
+func BenchmarkFig14(b *testing.B) {
+	pts := benchCurve(b, ACLGEMM(), device.HiKey970, "ResNet.L16", 20, 128)
+	b.ReportMetric(at(pts, 92)/at(pts, 93), "jump92_x")
+	b.ReportMetric(at(pts, 76)/at(pts, 78), "gap76_78_x")
+}
+
+// BenchmarkFig15 regenerates the L45 pointwise gap. Paper: 2.57x
+// between 2036 and 2024 channels.
+func BenchmarkFig15(b *testing.B) {
+	pts := benchCurve(b, ACLGEMM(), device.HiKey970, "ResNet.L45", 1, 2048)
+	b.ReportMetric(at(pts, 2036)/at(pts, 2024), "gap_x")
+}
+
+// BenchmarkFig16 regenerates the VGG-16 ACL GEMM heatmap. Paper: 4.2x.
+func BenchmarkFig16(b *testing.B) {
+	benchHeatmap(b, nets.VGG16(), ACLGEMM(), device.HiKey970, fullDistances, false, "max_speedup_x")
+}
+
+// BenchmarkFig17 regenerates the AlexNet ACL GEMM heatmap. Paper: 2.5x.
+func BenchmarkFig17(b *testing.B) {
+	benchHeatmap(b, nets.AlexNet(), ACLGEMM(), device.HiKey970, fullDistances, false, "max_speedup_x")
+}
+
+// BenchmarkFig18 regenerates the system-counter comparison. Metric: the
+// relative job count of the 92-channel run (paper: extra jobs).
+func BenchmarkFig18(b *testing.B) {
+	l16 := mustLayer(nets.ResNet50(), "ResNet.L16").Spec
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		p92, err := acl.Run(device.HiKey970, l16.WithOutC(92), acl.GEMMConv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p93, err := acl.Run(device.HiKey970, l16.WithOutC(93), acl.GEMMConv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel = float64(p92.Result.SteadyCounters().Jobs) / float64(p93.Result.SteadyCounters().Jobs)
+	}
+	b.ReportMetric(rel, "jobs92_rel")
+}
+
+// BenchmarkFig19 regenerates the TVM heatmap. Paper: 0.0x-13.9x spread.
+func BenchmarkFig19(b *testing.B) {
+	benchHeatmap(b, nets.ResNet50(), TVM(), device.HiKey970, fig19Distances, false, "max_speedup_x")
+}
+
+// BenchmarkFig20 regenerates the TVM spike curve on L14.
+func BenchmarkFig20(b *testing.B) {
+	pts := benchCurve(b, TVM(), device.HiKey970, "ResNet.L14", 1, 512)
+	lo, hi := pts[len(pts)/2].Ms, pts[len(pts)/2].Ms
+	for _, p := range pts[len(pts)/2:] {
+		if p.Ms < lo {
+			lo = p.Ms
+		}
+		if p.Ms > hi {
+			hi = p.Ms
+		}
+	}
+	b.ReportMetric(hi/lo, "spike_spread_x")
+}
+
+// BenchmarkTable1 regenerates Tables I-IV (the per-kernel instruction
+// counts at 92/93/96/97 channels) and reports Table II's gemm_mm count.
+func BenchmarkTable1(b *testing.B) {
+	l16 := mustLayer(nets.ResNet50(), "ResNet.L16").Spec
+	var gemm93 int64
+	for i := 0; i < b.N; i++ {
+		for _, c := range []int{92, 93, 96, 97} {
+			rows, err := acl.KernelTable(device.HiKey970, l16.WithOutC(c), acl.GEMMConv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if c == 93 {
+				gemm93 = rows[2].ArithInstrs
+			}
+		}
+	}
+	b.ReportMetric(float64(gemm93), "gemm93_instrs")
+}
+
+// BenchmarkTable5 regenerates the direct-convolution work-group table.
+// Metric: the odd/even runtime ratio (paper: ~1.2x).
+func BenchmarkTable5(b *testing.B) {
+	l16 := mustLayer(nets.ResNet50(), "ResNet.L16").Spec
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		p92, err := acl.Run(device.HiKey970, l16.WithOutC(92), acl.DirectConv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p93, err := acl.Run(device.HiKey970, l16.WithOutC(93), acl.DirectConv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = p93.Ms / p92.Ms
+	}
+	b.ReportMetric(ratio, "odd_even_x")
+}
+
+// BenchmarkPerfAwarePlan runs the §V performance-aware planning loop on
+// full ResNet-50 against the ACL GEMM target and reports the achieved
+// speedup at a 1.5x target.
+func BenchmarkPerfAwarePlan(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		tg := core.Target{Device: device.HiKey970, Library: ACLGEMM()}
+		np, err := core.ProfileNetwork(tg, nets.ResNet50())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl, err := core.NewPlanner(np)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := pl.PerformanceAware(1.5, 2.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.Speedup
+	}
+	b.ReportMetric(speedup, "speedup_x")
+}
+
+// BenchmarkUninstructedBaseline measures the accuracy-only baseline the
+// paper warns about: uniform 12% pruning on the ACL direct path.
+// Metric below 1.0 is the headline hazard.
+func BenchmarkUninstructedBaseline(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		tg := core.Target{Device: device.HiKey970, Library: ACLDirect()}
+		np, err := core.ProfileNetwork(tg, nets.ResNet50())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl, err := core.NewPlanner(np)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := pl.Uninstructed(0.12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.Speedup
+	}
+	b.ReportMetric(speedup, "speedup_x")
+}

@@ -1,0 +1,97 @@
+// Command layersweep profiles one convolutional layer across channel
+// counts on a chosen (library, device) target — the paper's §IV
+// methodology for a single layer — and prints the staircase curve, its
+// detected stairs, and the right-edge optimal pruning points.
+//
+// Usage:
+//
+//	layersweep -net ResNet-50 -layer ResNet.L16 -lib acl-gemm -device "HiKey 970" [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfprune"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/report"
+	"perfprune/internal/staircase"
+)
+
+func main() {
+	netName := flag.String("net", "ResNet-50", "network: ResNet-50, VGG-16 or AlexNet")
+	layerName := flag.String("layer", "ResNet.L16", "layer label, e.g. ResNet.L16")
+	libName := flag.String("lib", "acl-gemm", "library: acl-gemm, acl-direct, cudnn or tvm")
+	devName := flag.String("device", "HiKey 970", "board: HiKey 970, Odroid XU4, Jetson TX2 or Jetson Nano")
+	lo := flag.Int("from", 1, "lowest channel count to sweep")
+	csv := flag.Bool("csv", false, "emit channels,ms CSV instead of the ASCII plot")
+	flag.Parse()
+
+	if err := run(*netName, *layerName, *libName, *devName, *lo, *csv); err != nil {
+		fmt.Fprintf(os.Stderr, "layersweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func lookupLibrary(name string) (perfprune.Library, error) {
+	switch name {
+	case "acl-gemm":
+		return perfprune.ACLGEMM(), nil
+	case "acl-direct":
+		return perfprune.ACLDirect(), nil
+	case "cudnn":
+		return perfprune.CuDNN(), nil
+	case "tvm":
+		return perfprune.TVM(), nil
+	default:
+		return nil, fmt.Errorf("unknown library %q (acl-gemm, acl-direct, cudnn, tvm)", name)
+	}
+}
+
+func run(netName, layerName, libName, devName string, lo int, csv bool) error {
+	n, err := nets.ByName(netName)
+	if err != nil {
+		return err
+	}
+	layer, ok := n.Layer(layerName)
+	if !ok {
+		return fmt.Errorf("network %s has no layer %s", netName, layerName)
+	}
+	lib, err := lookupLibrary(libName)
+	if err != nil {
+		return err
+	}
+	dev, err := device.ByName(devName)
+	if err != nil {
+		return err
+	}
+	tg := perfprune.Target{Device: dev, Library: lib}
+	curve, err := perfprune.Sweep(tg, layer.Spec, lo, layer.Spec.OutC)
+	if err != nil {
+		return err
+	}
+	c := report.Curve{
+		Title:  fmt.Sprintf("%s under %s on %s", layerName, lib.Name(), dev.Name),
+		XLabel: "number of channels",
+		YLabel: "inference time (ms)",
+		Points: curve,
+	}
+	if csv {
+		fmt.Print(c.RenderCSV())
+		return nil
+	}
+	fmt.Print(c.RenderASCII(72, 18))
+
+	a, err := staircase.Analyze(curve)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%d stairs detected, largest step %.2fx\n", len(a.Stairs), a.MaxStep())
+	fmt.Println("optimal (right-edge) channel counts for performance-aware pruning:")
+	for _, e := range a.Edges {
+		fmt.Printf("  %4d channels  %8.3f ms\n", e.Channels, e.Ms)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+// Command perfprune regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	perfprune list             list all experiments with their paper claims
+//	perfprune all              run every experiment in paper order
+//	perfprune <id> [<id>...]   run specific experiments (fig1..fig20,
+//	                           table1..table5, plan)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfprune"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		list()
+	case "all":
+		runAll()
+	default:
+		for _, id := range args {
+			run(id)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `perfprune - regenerate the IISWC 2019 channel-pruning paper's artifacts
+
+usage:
+  perfprune list             list all experiments
+  perfprune all              run every experiment
+  perfprune <id> [<id>...]   run specific experiments
+
+ids: fig1..fig20, table1..table5, plan
+`)
+}
+
+func list() {
+	for _, e := range perfprune.Experiments() {
+		fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		fmt.Printf("         paper: %s\n", e.Paper)
+	}
+}
+
+func runAll() {
+	for _, e := range perfprune.Experiments() {
+		run(e.ID)
+	}
+}
+
+func run(id string) {
+	out, err := perfprune.RunExperiment(id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfprune: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("=== %s ===\n%s\n", id, out)
+}

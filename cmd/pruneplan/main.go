@@ -1,0 +1,112 @@
+// Command pruneplan runs the paper's §V performance-aware pruning loop
+// on a whole network for a chosen target and compares it against
+// uninstructed (device-agnostic) pruning.
+//
+// Usage:
+//
+//	pruneplan -net ResNet-50 -lib acl-direct -device "HiKey 970" -speedup 1.5 -maxdrop 2.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"perfprune"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+)
+
+func main() {
+	netName := flag.String("net", "ResNet-50", "network: ResNet-50, VGG-16 or AlexNet")
+	libName := flag.String("lib", "acl-gemm", "library: acl-gemm, acl-direct, cudnn or tvm")
+	devName := flag.String("device", "HiKey 970", "target board")
+	speedup := flag.Float64("speedup", 1.5, "target whole-network speedup")
+	maxDrop := flag.Float64("maxdrop", 2.0, "maximum modeled accuracy drop (points)")
+	fraction := flag.Float64("uninstructed", 0.12, "uniform prune fraction for the baseline comparison")
+	showPlan := flag.Bool("plan", false, "print the per-layer channel plan")
+	flag.Parse()
+
+	if err := run(*netName, *libName, *devName, *speedup, *maxDrop, *fraction, *showPlan); err != nil {
+		fmt.Fprintf(os.Stderr, "pruneplan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func lookupLibrary(name string) (perfprune.Library, error) {
+	switch name {
+	case "acl-gemm":
+		return perfprune.ACLGEMM(), nil
+	case "acl-direct":
+		return perfprune.ACLDirect(), nil
+	case "cudnn":
+		return perfprune.CuDNN(), nil
+	case "tvm":
+		return perfprune.TVM(), nil
+	default:
+		return nil, fmt.Errorf("unknown library %q", name)
+	}
+}
+
+func run(netName, libName, devName string, speedup, maxDrop, fraction float64, showPlan bool) error {
+	n, err := nets.ByName(netName)
+	if err != nil {
+		return err
+	}
+	lib, err := lookupLibrary(libName)
+	if err != nil {
+		return err
+	}
+	dev, err := device.ByName(devName)
+	if err != nil {
+		return err
+	}
+	tg := perfprune.Target{Device: dev, Library: lib}
+	fmt.Printf("profiling %s on %s ...\n", n.Name, tg)
+	np, err := perfprune.ProfileNetwork(tg, n)
+	if err != nil {
+		return err
+	}
+	pl, err := perfprune.NewPlanner(np)
+	if err != nil {
+		return err
+	}
+
+	unin, err := pl.Uninstructed(fraction)
+	if err != nil {
+		return err
+	}
+	aware, err := pl.PerformanceAware(speedup, maxDrop)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nbaseline (unpruned):          %10.2f ms, accuracy %.1f%%\n",
+		aware.BaselineMs, pl.Acc.Base)
+	fmt.Printf("uninstructed %.0f%% prune:      %10.2f ms (%.2fx), accuracy %.1f%%\n",
+		fraction*100, unin.LatencyMs, unin.Speedup, unin.Accuracy)
+	if unin.Speedup < 1 {
+		fmt.Println("  WARNING: uninstructed pruning made the network slower than no pruning")
+	}
+	fmt.Printf("performance-aware (%.2fx):    %10.2f ms (%.2fx), accuracy %.1f%%\n",
+		speedup, aware.LatencyMs, aware.Speedup, aware.Accuracy)
+
+	if showPlan {
+		fmt.Println("\nper-layer plan (pruned layers only):")
+		labels := make([]string, 0, len(aware.Plan))
+		for label := range aware.Plan {
+			labels = append(labels, label)
+		}
+		sort.Strings(labels)
+		for _, label := range labels {
+			l, _ := n.Layer(label)
+			keep := aware.Plan[label]
+			if keep == l.Spec.OutC {
+				continue
+			}
+			fmt.Printf("  %-14s %4d -> %4d channels\n", label, l.Spec.OutC, keep)
+		}
+	}
+	return nil
+}

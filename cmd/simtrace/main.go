@@ -1,0 +1,88 @@
+// Command simtrace exposes the GPU simulator's view of one ACL layer
+// execution — the §IV-B analysis: per-kernel instruction counts
+// (Tables I-IV), job fan-out, split decisions, work-group sizes
+// (Table V) and system-level counters (Fig. 18).
+//
+// Usage:
+//
+//	simtrace -channels 92 [-method gemm|direct] [-device "HiKey 970"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfprune/internal/acl"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+)
+
+func main() {
+	channels := flag.Int("channels", 92, "output channel count to trace")
+	methodName := flag.String("method", "gemm", "ACL method: gemm or direct")
+	devName := flag.String("device", "HiKey 970", "Mali board: HiKey 970 or Odroid XU4")
+	layerName := flag.String("layer", "ResNet.L16", "ResNet-50 layer label")
+	flag.Parse()
+
+	if err := run(*channels, *methodName, *devName, *layerName); err != nil {
+		fmt.Fprintf(os.Stderr, "simtrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(channels int, methodName, devName, layerName string) error {
+	var method acl.Method
+	switch methodName {
+	case "gemm":
+		method = acl.GEMMConv
+	case "direct":
+		method = acl.DirectConv
+	default:
+		return fmt.Errorf("unknown method %q (gemm or direct)", methodName)
+	}
+	dev, err := device.ByName(devName)
+	if err != nil {
+		return err
+	}
+	n := nets.ResNet50()
+	layer, ok := n.Layer(layerName)
+	if !ok {
+		return fmt.Errorf("ResNet-50 has no layer %s", layerName)
+	}
+	spec := layer.Spec.WithOutC(channels)
+
+	p, err := acl.Run(dev, spec, method)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s with %d output channels, %s on %s\n\n", layerName, channels, method, dev.Name)
+	fmt.Printf("%-22s %6s  %18s %15s %10s %6s\n",
+		"kernel", "WGs", "arith instr", "mem instr", "ms", "flags")
+	for i, j := range p.Result.Jobs {
+		flags := ""
+		if j.Split {
+			flags += "split "
+		}
+		if j.Prepare {
+			flags += "prepare"
+		}
+		ms := (j.Cycles + j.GapCycles) / dev.GPU.CyclesPerMs()
+		fmt.Printf("%-22s %6d  %18d %15d %10.3f %6s\n",
+			j.Name, j.WorkGroups, j.ArithInstrs, j.MemInstrs, ms, flags)
+		_ = i
+	}
+	if method == acl.DirectConv {
+		wg := acl.WorkGroupFor(channels)
+		fmt.Printf("\nwork-group size heuristic: %dx%dx%d\n", wg[0], wg[1], wg[2])
+	}
+
+	c := p.Result.SteadyCounters()
+	fmt.Printf("\nOpenCL calls: %d, hardware jobs: %d (split jobs: %d)\n",
+		len(p.Calls), c.Jobs, c.SplitJobs)
+	fmt.Printf("control register reads/writes: %d/%d, interrupts: %d\n",
+		c.CtrlRegReads, c.CtrlRegWrites, c.Interrupts)
+	fmt.Printf("steady-state inference time: %.3f ms\n", p.Ms)
+	return nil
+}

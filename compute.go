@@ -1,0 +1,66 @@
+package perfprune
+
+// Facade over the real compute and weight-pruning substrate: examples
+// and downstream users run actual convolutions (the same math the
+// simulated libraries model) and apply the §II-B channel-pruning
+// transformation to weight tensors through these entry points.
+
+import (
+	"perfprune/internal/conv"
+	"perfprune/internal/nets"
+	"perfprune/internal/prune"
+	"perfprune/internal/tensor"
+)
+
+// Tensor is a dense float32 tensor (see internal/tensor).
+type Tensor = tensor.Tensor
+
+// Layouts for NewTensor.
+const (
+	NHWC = tensor.NHWC
+	OHWI = tensor.OHWI
+)
+
+// Criterion selects which channels pruning removes first.
+type Criterion = prune.Criterion
+
+// Pruning criteria (see internal/prune).
+const (
+	Sequential  = prune.Sequential
+	L1Magnitude = prune.L1Magnitude
+	L2Magnitude = prune.L2Magnitude
+)
+
+// NewTensor allocates a zero tensor.
+func NewTensor(layout tensor.Layout, shape ...int) *Tensor {
+	return tensor.New(layout, shape...)
+}
+
+// BuildWeights constructs deterministic synthetic filter banks for a
+// network (stand-ins for trained weights; see DESIGN.md §2).
+func BuildWeights(n Network) map[string]*Tensor { return nets.BuildWeights(n) }
+
+// ConvDirect computes a convolution with the direct method (§II-A1):
+// in is NHWC [1,H,W,C], weights OHWI [OutC,KH,KW,InC].
+func ConvDirect(spec ConvSpec, in, weights *Tensor) (*Tensor, error) {
+	return conv.Direct(spec, in, weights)
+}
+
+// ConvGEMM computes the same convolution via im2col + matrix multiply,
+// the GEMM method of §II-A1.
+func ConvGEMM(spec ConvSpec, in, weights *Tensor) (*Tensor, error) {
+	return conv.GEMM(spec, in, weights)
+}
+
+// PruneToWidth prunes a filter bank to keep output channels under the
+// criterion, applying the paper's §II-B removal and re-indexing. It
+// returns the compact bank and the surviving original channel indices.
+func PruneToWidth(w *Tensor, keep int, crit Criterion) (*Tensor, []int, error) {
+	return prune.ToWidth(w, keep, crit)
+}
+
+// UniformPlan prunes every layer by the same fraction — the
+// uninstructed baseline the paper warns about.
+func UniformPlan(n Network, fraction float64) (Plan, error) {
+	return prune.Uniform(n, fraction)
+}

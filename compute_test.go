@@ -1,0 +1,80 @@
+package perfprune
+
+import (
+	"testing"
+)
+
+func TestComputeFacadeConvolution(t *testing.T) {
+	spec := ConvSpec{
+		Name: "facade", InH: 8, InW: 8, InC: 3, OutC: 5,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}
+	in := NewTensor(NHWC, 1, 8, 8, 3)
+	in.RandomUniform(11, 1)
+	w := NewTensor(OHWI, 5, 3, 3, 3)
+	w.HeInit(12, 27)
+
+	d, err := ConvDirect(spec, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ConvGEMM(spec, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Elems() != g.Elems() || d.Elems() != 8*8*5 {
+		t.Fatalf("output sizes: direct %d, gemm %d", d.Elems(), g.Elems())
+	}
+	for i := range d.Data() {
+		diff := d.Data()[i] - g.Data()[i]
+		if diff > 1e-3 || diff < -1e-3 {
+			t.Fatalf("direct and GEMM disagree at %d", i)
+		}
+	}
+}
+
+func TestComputeFacadePruning(t *testing.T) {
+	w := NewTensor(OHWI, 8, 1, 1, 2)
+	for c := 0; c < 8; c++ {
+		w.Set(float32(c+1), c, 0, 0, 0)
+		w.Set(float32(c+1), c, 0, 0, 1)
+	}
+	pruned, survivors, err := PruneToWidth(w, 3, L1Magnitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L1 keeps the largest-magnitude channels: 5, 6, 7.
+	want := []int{5, 6, 7}
+	for i, s := range survivors {
+		if s != want[i] {
+			t.Fatalf("survivors = %v, want %v", survivors, want)
+		}
+	}
+	if pruned.Dim(0) != 3 {
+		t.Fatalf("pruned width %d", pruned.Dim(0))
+	}
+}
+
+func TestComputeFacadeWeightsAndPlans(t *testing.T) {
+	n := AlexNet()
+	w := BuildWeights(n)
+	if len(w) != len(n.Layers) {
+		t.Fatalf("weights for %d layers, want %d", len(w), len(n.Layers))
+	}
+	p, err := UniformPlan(n, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range n.Layers {
+		keep, ok := p[l.Label]
+		if !ok {
+			t.Fatalf("%s missing from plan", l.Label)
+		}
+		if keep >= l.Spec.OutC || keep < 1 {
+			t.Fatalf("%s keeps %d of %d", l.Label, keep, l.Spec.OutC)
+		}
+	}
+	if _, err := UniformPlan(n, 1.5); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}

@@ -1,0 +1,98 @@
+// Pruning hazard: the paper's motivating scenario end to end. A model
+// compression pass prunes 12% of every layer's channels — the standard
+// accuracy-driven recipe — and the "smaller" network runs SLOWER on the
+// embedded GPU than the original. The example does the real weight
+// surgery (§II-B channel removal on actual filter banks), verifies the
+// pruned convolution still computes the correct subset numerically,
+// and then shows the latency story on the device.
+//
+//	go run ./examples/pruning_hazard
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfprune"
+)
+
+func main() {
+	resnet := perfprune.ResNet50()
+	weights := perfprune.BuildWeights(resnet)
+
+	// --- Real weight surgery on one layer -------------------------------
+	layer, _ := resnet.Layer("ResNet.L1")
+	w := weights["ResNet.L1"]
+	keep := layer.Spec.OutC - 1 // prune a single channel: 64 -> 63
+
+	pruned, survivors, err := perfprune.PruneToWidth(w, keep, perfprune.L1Magnitude)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pruned %s from %d to %d channels (dropped original channel %d)\n",
+		layer.Label, layer.Spec.OutC, keep, missing(survivors, layer.Spec.OutC))
+
+	// The pruned layer still computes exactly the surviving channels:
+	// run the real convolution before and after.
+	in := perfprune.NewTensor(perfprune.NHWC, 1, layer.Spec.InH, layer.Spec.InW, layer.Spec.InC)
+	in.RandomUniform(42, 1)
+	full, err := perfprune.ConvGEMM(layer.Spec, in, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prunedSpec := layer.Spec.WithOutC(keep)
+	compact, err := perfprune.ConvGEMM(prunedSpec, in, pruned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, orig := range survivors {
+		if compact.At(0, 0, 0, i) != full.At(0, 0, 0, orig) {
+			log.Fatalf("pruned conv output differs at channel %d", i)
+		}
+	}
+	fmt.Println("numerical check: pruned convolution matches the surviving channels exactly")
+
+	// --- The latency story ----------------------------------------------
+	// On the ACL direct path, that single-channel prune is catastrophic
+	// (the work-group heuristic degrades, §IV-A2).
+	target := perfprune.Target{Device: perfprune.HiKey970, Library: perfprune.ACLDirect()}
+	curve, err := perfprune.Sweep(target, layer.Spec, keep, layer.Spec.OutC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\non %s: t(%d ch) = %.2f ms, t(%d ch) = %.2f ms -> %.1fx SLOWER after pruning\n",
+		target, layer.Spec.OutC, curve[len(curve)-1].Ms, keep, curve[0].Ms,
+		curve[0].Ms/curve[len(curve)-1].Ms)
+
+	// --- Whole-network view ---------------------------------------------
+	np, err := perfprune.ProfileNetwork(target, resnet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	planner, err := perfprune.NewPlanner(np)
+	if err != nil {
+		log.Fatal(err)
+	}
+	unin, err := planner.Uninstructed(0.12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nuninstructed 12%% pruning of all of ResNet-50: %.0f ms -> %.0f ms (%.2fx)\n",
+		unin.BaselineMs, unin.LatencyMs, unin.Speedup)
+	if unin.Speedup < 1 {
+		fmt.Println("the compressed network is SLOWER than the original — the paper's headline hazard")
+	}
+}
+
+func missing(survivors []int, n int) int {
+	seen := make([]bool, n)
+	for _, s := range survivors {
+		seen[s] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			return i
+		}
+	}
+	return -1
+}

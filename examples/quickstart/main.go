@@ -1,0 +1,61 @@
+// Quickstart: profile one convolutional layer across channel counts on
+// an embedded GPU target, find the latency staircase, and read off the
+// channel counts a performance-aware pruner should use.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfprune"
+)
+
+func main() {
+	// The layer from the paper's Tables I-IV and Fig. 14: ResNet-50
+	// layer 16 (3x3, 128 channels), on the HiKey 970's Mali G72 with
+	// the Arm Compute Library GEMM path.
+	resnet := perfprune.ResNet50()
+	layer, ok := resnet.Layer("ResNet.L16")
+	if !ok {
+		log.Fatal("ResNet.L16 missing")
+	}
+	target := perfprune.Target{
+		Device:  perfprune.HiKey970,
+		Library: perfprune.ACLGEMM(),
+	}
+
+	// Sweep the output channel count 1..128, the median of 10 runs per
+	// configuration (the paper's §III-D protocol).
+	curve, err := perfprune.Sweep(target, layer.Spec, 1, layer.Spec.OutC)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The headline anomaly: pruning from 93 to 92 channels makes the
+	// layer dramatically SLOWER, because the OpenCL runtime splits the
+	// GEMM into an extra hardware job.
+	t93 := curve[92].Ms
+	t92 := curve[91].Ms
+	fmt.Printf("t(93 channels) = %.2f ms, t(92 channels) = %.2f ms -> pruning one more channel costs %.2fx\n",
+		t93, t92, t92/t93)
+
+	// Staircase analysis finds the Pareto-optimal right edges: the only
+	// channel counts worth pruning to on this target.
+	analysis, err := perfprune.Analyze(curve)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d latency stairs; optimal channel counts on %s:\n", len(analysis.Stairs), target)
+	for _, e := range analysis.Edges {
+		fmt.Printf("  keep %3d channels -> %7.2f ms\n", e.Channels, e.Ms)
+	}
+
+	// A pruning search constrained to these edges can never regress
+	// latency; anything else risks the 92-channel trap.
+	if edge, ok := analysis.EdgeAtMost(100); ok {
+		fmt.Printf("\nbest configuration with at most 100 channels: %d channels at %.2f ms\n",
+			edge.Channels, edge.Ms)
+	}
+}

@@ -1,0 +1,647 @@
+package perfprune
+
+// Experiment registry: one entry per figure and table of the paper's
+// evaluation (§IV). Each experiment regenerates the paper's artifact —
+// heatmap grid, staircase curve, instruction table or counter
+// comparison — from the simulator, never from stored numbers.
+// EXPERIMENTS.md records paper-vs-measured for each.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"perfprune/internal/acl"
+	"perfprune/internal/autotune"
+	"perfprune/internal/conv"
+	"perfprune/internal/core"
+	"perfprune/internal/device"
+	"perfprune/internal/hybrid"
+	"perfprune/internal/nets"
+	"perfprune/internal/profiler"
+	"perfprune/internal/report"
+	"perfprune/internal/staircase"
+	"perfprune/internal/stats"
+)
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	// ID is the registry key, e.g. "fig14" or "table5".
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Paper summarizes what the paper reports for this artifact.
+	Paper string
+	// Run regenerates the artifact and renders it as text.
+	Run func() (string, error)
+}
+
+// mustLayer fetches a labeled layer from a network.
+func mustLayer(n nets.Network, label string) nets.Layer {
+	l, ok := n.Layer(label)
+	if !ok {
+		panic(fmt.Sprintf("experiments: layer %s missing from %s", label, n.Name))
+	}
+	return l
+}
+
+// heatmapFor builds a prune-distance x unique-layer heatmap: each cell
+// is the cumulative best speedup (or worst slowdown) achievable within
+// that prune distance, exactly the figures' aggregation.
+func heatmapFor(n nets.Network, lib profiler.Library, dev device.Device,
+	distances []int, slowdown bool, title string) (report.Heatmap, error) {
+	layers := n.UniqueLayers()
+	h := report.Heatmap{
+		Title:     title,
+		Kind:      "speedup",
+		ColLabels: make([]string, len(layers)),
+		RowLabels: make([]string, len(distances)),
+		Cells:     make([][]float64, len(distances)),
+	}
+	if slowdown {
+		h.Kind = "slowdown"
+	}
+	for i, d := range distances {
+		h.RowLabels[i] = fmt.Sprintf("Prune=%d", d)
+		h.Cells[i] = make([]float64, len(layers))
+	}
+	maxD := distances[len(distances)-1]
+	for j, l := range layers {
+		h.ColLabels[j] = l.Label
+		c0 := l.Spec.OutC
+		lo := c0 - maxD
+		if lo < 1 {
+			lo = 1
+		}
+		curve, err := profiler.SweepChannels(lib, dev, l.Spec, lo, c0)
+		if err != nil {
+			return report.Heatmap{}, err
+		}
+		var row []float64
+		if slowdown {
+			row, err = staircase.SlowdownRow(curve, c0, distances)
+		} else {
+			row, err = staircase.SpeedupRow(curve, c0, distances)
+		}
+		if err != nil {
+			return report.Heatmap{}, err
+		}
+		for i := range distances {
+			h.Cells[i][j] = row[i]
+		}
+	}
+	return h, h.Validate()
+}
+
+// curveFor sweeps one layer and wraps it as a renderable curve.
+func curveFor(lib profiler.Library, dev device.Device, spec conv.ConvSpec,
+	lo, hi int, title string) (report.Curve, error) {
+	pts, err := profiler.SweepChannels(lib, dev, spec, lo, hi)
+	if err != nil {
+		return report.Curve{}, err
+	}
+	return report.Curve{
+		Title:  title,
+		XLabel: "number of channels",
+		YLabel: "inference time (ms)",
+		Points: pts,
+	}, nil
+}
+
+func renderHeatmap(h report.Heatmap, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return h.Render(), nil
+}
+
+func renderCurve(lib profiler.Library, dev device.Device, spec conv.ConvSpec,
+	lo, hi int, title string, annotate func([]profiler.Point) string) (string, error) {
+	c, err := curveFor(lib, dev, spec, lo, hi, title)
+	if err != nil {
+		return "", err
+	}
+	out := c.RenderASCII(72, 16)
+	if annotate != nil {
+		out += annotate(c.Points)
+	}
+	return out, nil
+}
+
+func at(pts []profiler.Point, c int) float64 {
+	for _, p := range pts {
+		if p.Channels == c {
+			return p.Ms
+		}
+	}
+	return 0
+}
+
+// fullDistances are the rows of Figs. 6-17; fig1Distances and
+// fig19Distances match those figures' shorter row sets.
+var (
+	fullDistances  = profiler.PruneDistances
+	fig1Distances  = []int{1, 7, 15, 31, 63}
+	fig19Distances = []int{1, 3, 7, 15, 31}
+)
+
+// Experiments returns the full registry in paper order.
+func Experiments() []Experiment {
+	resnet := nets.ResNet50()
+	vgg := nets.VGG16()
+	alex := nets.AlexNet()
+	l14 := mustLayer(resnet, "ResNet.L14").Spec
+	l16 := mustLayer(resnet, "ResNet.L16").Spec
+	l26 := mustLayer(resnet, "ResNet.L26").Spec
+	l45 := mustLayer(resnet, "ResNet.L45").Spec
+
+	return []Experiment{
+		{
+			ID:    "fig1",
+			Title: "Max slowdown heatmap: ResNet-50, ACL GEMM, HiKey 970 (Mali G72)",
+			Paper: "slowdowns up to 2x when pruning as few as 64 channels",
+			Run: func() (string, error) {
+				return renderHeatmap(heatmapFor(resnet, ACLGEMM(), device.HiKey970,
+					fig1Distances, true,
+					"Fig. 1: maximum slowdown vs unpruned, ACL GEMM on HiKey 970"))
+			},
+		},
+		{
+			ID:    "fig2",
+			Title: "Staircase: ResNet-50 L26 (1024 ch), cuDNN, Jetson TX2",
+			Paper: "clean staircase, inference 1-8 ms over 0-1024 channels",
+			Run: func() (string, error) {
+				return renderCurve(CuDNN(), device.JetsonTX2, l26, 1, 1024,
+					"Fig. 2: ResNet-50 L26 under cuDNN on Jetson TX2", nil)
+			},
+		},
+		{
+			ID:    "fig3",
+			Title: "Double staircase: ResNet-50 L16, ACL GEMM, Mali G72",
+			Paper: "two parallel staircases, 5-30 ms over 20-128 channels",
+			Run: func() (string, error) {
+				return renderCurve(ACLGEMM(), device.HiKey970, l16, 20, 128,
+					"Fig. 3: ResNet-50 L16 under ACL on HiKey 970", nil)
+			},
+		},
+		{
+			ID:    "fig4",
+			Title: "Staircase: ResNet-50 L16, cuDNN, Jetson TX2",
+			Paper: "flat above 97 channels, 1.3x drop at 96, next drop at 64",
+			Run: func() (string, error) {
+				return renderCurve(CuDNN(), device.JetsonTX2, l16, 20, 128,
+					"Fig. 4: ResNet-50 L16 under cuDNN on Jetson TX2",
+					func(pts []profiler.Point) string {
+						return fmt.Sprintf("t(128)=%.2f ms, t(96)=%.2f ms (step %.2fx), t(64)=%.2f ms\n",
+							at(pts, 128), at(pts, 96), at(pts, 128)/at(pts, 96), at(pts, 64))
+					})
+			},
+		},
+		{
+			ID:    "fig5",
+			Title: "Staircase: ResNet-50 L14 (512 ch), cuDNN, Jetson TX2",
+			Paper: "more stairs, uneven gaps, 0.5-4 ms",
+			Run: func() (string, error) {
+				return renderCurve(CuDNN(), device.JetsonTX2, l14, 1, 512,
+					"Fig. 5: ResNet-50 L14 under cuDNN on Jetson TX2", nil)
+			},
+		},
+		{
+			ID:    "fig6",
+			Title: "Max speedup heatmap: ResNet-50, cuDNN, Jetson TX2",
+			Paper: "all cells >= 1.0x; 3.3x max at Prune=127 (L11/L16)",
+			Run: func() (string, error) {
+				return renderHeatmap(heatmapFor(resnet, CuDNN(), device.JetsonTX2,
+					fullDistances, false,
+					"Fig. 6: maximum speedup, cuDNN on Jetson TX2"))
+			},
+		},
+		{
+			ID:    "fig7",
+			Title: "Staircase: ResNet-50 L14, cuDNN, Jetson Nano",
+			Paper: "same pattern as TX2 (Fig. 5), ~3.5x slower (2-14 ms)",
+			Run: func() (string, error) {
+				return renderCurve(CuDNN(), device.JetsonNano, l14, 1, 512,
+					"Fig. 7: ResNet-50 L14 under cuDNN on Jetson Nano", nil)
+			},
+		},
+		{
+			ID:    "fig8",
+			Title: "Max speedup heatmap: VGG-16, cuDNN, Jetson TX2",
+			Paper: "up to 2.8x at Prune=127",
+			Run: func() (string, error) {
+				return renderHeatmap(heatmapFor(vgg, CuDNN(), device.JetsonTX2,
+					fullDistances, false,
+					"Fig. 8: maximum speedup, VGG-16 under cuDNN"))
+			},
+		},
+		{
+			ID:    "fig9",
+			Title: "Max speedup heatmap: AlexNet, cuDNN, Jetson TX2",
+			Paper: "modest speedups, up to 1.4x",
+			Run: func() (string, error) {
+				return renderHeatmap(heatmapFor(alex, CuDNN(), device.JetsonTX2,
+					fullDistances, false,
+					"Fig. 9: maximum speedup, AlexNet under cuDNN"))
+			},
+		},
+		{
+			ID:    "fig10",
+			Title: "Max speedup heatmap: ResNet-50, ACL Direct, HiKey 970",
+			Paper: "prune-by-1 slowdowns to 0.2x on 1x1 layers; up to 16.9x at Prune=127",
+			Run: func() (string, error) {
+				return renderHeatmap(heatmapFor(resnet, ACLDirect(), device.HiKey970,
+					fullDistances, false,
+					"Fig. 10: maximum speedup, ACL Direct on HiKey 970"))
+			},
+		},
+		{
+			ID:    "fig11",
+			Title: "Max speedup heatmap: VGG-16, ACL Direct, HiKey 970",
+			Paper: "up to 14.7x at Prune=127",
+			Run: func() (string, error) {
+				return renderHeatmap(heatmapFor(vgg, ACLDirect(), device.HiKey970,
+					fullDistances, false,
+					"Fig. 11: maximum speedup, VGG-16 under ACL Direct"))
+			},
+		},
+		{
+			ID:    "fig12",
+			Title: "Three execution levels: ResNet-50 L14, ACL Direct, HiKey 970",
+			Paper: "three alternating levels, up to 1.9x apart, 0-70 ms",
+			Run: func() (string, error) {
+				return renderCurve(ACLDirect(), device.HiKey970, l14, 1, 512,
+					"Fig. 12: ResNet-50 L14 under ACL Direct on HiKey 970",
+					func(pts []profiler.Point) string {
+						return fmt.Sprintf("levels at C=512/510/511: %.1f / %.1f / %.1f ms (spread %.2fx)\n",
+							at(pts, 512), at(pts, 510), at(pts, 511), at(pts, 511)/at(pts, 512))
+					})
+			},
+		},
+		{
+			ID:    "fig13",
+			Title: "Max speedup heatmap: ResNet-50, ACL GEMM, HiKey 970",
+			Paper: "no slowdown near original sizes; up to 5.2x at Prune=127",
+			Run: func() (string, error) {
+				return renderHeatmap(heatmapFor(resnet, ACLGEMM(), device.HiKey970,
+					fullDistances, false,
+					"Fig. 13: maximum speedup, ACL GEMM on HiKey 970"))
+			},
+		},
+		{
+			ID:    "fig14",
+			Title: "Double staircase detail: ResNet-50 L16, ACL GEMM, HiKey 970",
+			Paper: "93-96 ch at 14 ms vs 92/97 at 23 ms; 76->78 gives 1.83x (20.12 vs 10.996 ms)",
+			Run: func() (string, error) {
+				return renderCurve(ACLGEMM(), device.HiKey970, l16, 20, 128,
+					"Fig. 14: ResNet-50 L16 under ACL GEMM on HiKey 970",
+					func(pts []profiler.Point) string {
+						return fmt.Sprintf("t(92)=%.2f t(93)=%.2f t(96)=%.2f t(97)=%.2f ms; t(76)/t(78)=%.2fx (%.2f vs %.2f ms)\n",
+							at(pts, 92), at(pts, 93), at(pts, 96), at(pts, 97),
+							at(pts, 76)/at(pts, 78), at(pts, 76), at(pts, 78))
+					})
+			},
+		},
+		{
+			ID:    "fig15",
+			Title: "Pointwise gap: ResNet-50 L45 (2048 ch), ACL GEMM, HiKey 970",
+			Paper: "t(2036)=19.69 ms vs t(2024)=7.67 ms: 2.57x within 12 channels",
+			Run: func() (string, error) {
+				return renderCurve(ACLGEMM(), device.HiKey970, l45, 1, 2048,
+					"Fig. 15: ResNet-50 L45 under ACL GEMM on HiKey 970",
+					func(pts []profiler.Point) string {
+						return fmt.Sprintf("t(2036)=%.2f ms, t(2024)=%.2f ms, gap %.2fx\n",
+							at(pts, 2036), at(pts, 2024), at(pts, 2036)/at(pts, 2024))
+					})
+			},
+		},
+		{
+			ID:    "fig16",
+			Title: "Max speedup heatmap: VGG-16, ACL GEMM, HiKey 970",
+			Paper: "up to 4.2x at Prune=127",
+			Run: func() (string, error) {
+				return renderHeatmap(heatmapFor(vgg, ACLGEMM(), device.HiKey970,
+					fullDistances, false,
+					"Fig. 16: maximum speedup, VGG-16 under ACL GEMM"))
+			},
+		},
+		{
+			ID:    "fig17",
+			Title: "Max speedup heatmap: AlexNet, ACL GEMM, HiKey 970",
+			Paper: "up to 2.5x at Prune=127",
+			Run: func() (string, error) {
+				return renderHeatmap(heatmapFor(alex, ACLGEMM(), device.HiKey970,
+					fullDistances, false,
+					"Fig. 17: maximum speedup, AlexNet under ACL GEMM"))
+			},
+		},
+		{
+			ID:    "fig18",
+			Title: "System-level counters: ACL GEMM L16 at 92/93/96/97 channels",
+			Paper: "92 and 97 channels dispatch an extra job with extra register traffic and interrupts; runtimes 23/14/14/23 ms",
+			Run:   fig18,
+		},
+		{
+			ID:    "fig19",
+			Title: "Max speedup heatmap: ResNet-50, TVM, HiKey 970",
+			Paper: "wild spread: slowdown cells near 0.0x beside speedups up to 13.9x",
+			Run: func() (string, error) {
+				return renderHeatmap(heatmapFor(resnet, TVM(), device.HiKey970,
+					fig19Distances, false,
+					"Fig. 19: maximum speedup, TVM on HiKey 970"))
+			},
+		},
+		{
+			ID:    "fig20",
+			Title: "Untuned fallback spikes: ResNet-50 L14, TVM, HiKey 970",
+			Paper: "most sizes fast, untuned sizes spike ~10.5x (up to ~500 ms)",
+			Run: func() (string, error) {
+				return renderCurve(TVM(), device.HiKey970, l14, 1, 512,
+					"Fig. 20: ResNet-50 L14 under TVM on HiKey 970",
+					func(pts []profiler.Point) string {
+						upper := pts[len(pts)/2:] // upper half, as in the figure
+						lo, hi := upper[0].Ms, upper[0].Ms
+						for _, p := range upper {
+							if p.Ms < lo {
+								lo = p.Ms
+							}
+							if p.Ms > hi {
+								hi = p.Ms
+							}
+						}
+						return fmt.Sprintf("upper-half sweep spread: %.1f to %.1f ms (%.1fx)\n", lo, hi, hi/lo)
+					})
+			},
+		},
+		{
+			ID:    "table1",
+			Title: "Table I: ACL kernels, L16 @ 92 channels",
+			Paper: "4 kernels: im2col, reshape, gemm_mm 706,713,280 + 106,006,992",
+			Run:   func() (string, error) { return kernelTable(92) },
+		},
+		{
+			ID:    "table2",
+			Title: "Table II: ACL kernels, L16 @ 93 channels",
+			Paper: "3 kernels: single gemm_mm at 848,055,936",
+			Run:   func() (string, error) { return kernelTable(93) },
+		},
+		{
+			ID:    "table3",
+			Title: "Table III: ACL kernels, L16 @ 96 channels",
+			Paper: "3 kernels: single gemm_mm at 848,055,936",
+			Run:   func() (string, error) { return kernelTable(96) },
+		},
+		{
+			ID:    "table4",
+			Title: "Table IV: ACL kernels, L16 @ 97 channels",
+			Paper: "4 kernels: gemm_mm 848,055,936 + 35,335,664",
+			Run:   func() (string, error) { return kernelTable(97) },
+		},
+		{
+			ID:    "table5",
+			Title: "Table V: ACL Direct work-group sizes, 90-93 channels",
+			Paper: "2x1x8 / 1x1x8 / 4x1x1 / 1x1x8; odd counts ~1.2x slower; instructions +1.1%/channel",
+			Run:   table5,
+		},
+		{
+			ID:    "plan",
+			Title: "Performance-aware pruning vs uninstructed pruning (the paper's §V proposal)",
+			Paper: "uninstructed 12% pruning can be slower than no pruning; staircase-edge pruning never regresses",
+			Run:   planExperiment,
+		},
+		{
+			ID:    "hybrid",
+			Title: "Extension: per-layer hybrid library selection (§V outlook)",
+			Paper: "§V: no optimal library exists across all layers; future solutions should integrate optimizations across libraries per layer configuration",
+			Run:   hybridExperiment,
+		},
+		{
+			ID:    "autotune",
+			Title: "Extension: direct-convolution work-group auto-tuning (§IV-B2 future work)",
+			Paper: "§IV-B2 cites [23]: auto-tuning OpenCL work-group size gives 3.79x mean speedup; left as future work",
+			Run:   autotuneExperiment,
+		},
+	}
+}
+
+func fig18() (string, error) {
+	resnet := nets.ResNet50()
+	l16 := mustLayer(resnet, "ResNet.L16").Spec
+	channels := []int{92, 93, 96, 97}
+	names := make([]string, len(channels))
+	metrics := []string{"Control Register Reads", "Control Register Writes", "Interrupts", "Jobs", "Runtime (ms)"}
+	values := make([][]float64, len(metrics))
+	for i := range values {
+		values[i] = make([]float64, len(channels))
+	}
+	var ref [5]float64
+	for j, c := range channels {
+		names[j] = fmt.Sprintf("%d Channels", c)
+		p, err := acl.Run(device.HiKey970, l16.WithOutC(c), acl.GEMMConv)
+		if err != nil {
+			return "", err
+		}
+		cnt := p.Result.SteadyCounters()
+		raw := [5]float64{
+			float64(cnt.CtrlRegReads), float64(cnt.CtrlRegWrites),
+			float64(cnt.Interrupts), float64(cnt.Jobs), p.Ms,
+		}
+		if c == 93 {
+			ref = raw
+		}
+		for i := range metrics {
+			values[i][j] = raw[i]
+		}
+	}
+	// Normalize counter rows to the 93-channel baseline, as the figure
+	// plots relative values; runtimes stay absolute.
+	for i := 0; i < 4; i++ {
+		for j := range channels {
+			values[i][j] /= ref[i]
+		}
+	}
+	g := report.BarGroup{
+		Title:  "Fig. 18: relative system-level results, ACL GEMM L16 (93 channels = 1.0)",
+		Names:  names,
+		Labels: metrics,
+		Values: values,
+	}
+	return g.Render(), nil
+}
+
+func kernelTable(channels int) (string, error) {
+	resnet := nets.ResNet50()
+	l16 := mustLayer(resnet, "ResNet.L16").Spec
+	rows, err := acl.KernelTable(device.HiKey970, l16.WithOutC(channels), acl.GEMMConv)
+	if err != nil {
+		return "", err
+	}
+	t := report.Table{
+		Title:  fmt.Sprintf("ACL execution for layer 16 of ResNet-50 with %d output channels", channels),
+		Header: []string{"Kernel Name", "No Arithm. Instr.", "No Mem. Instr."},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Name, group(r.ArithInstrs), group(r.MemInstrs)})
+	}
+	return t.Render(), nil
+}
+
+func table5() (string, error) {
+	resnet := nets.ResNet50()
+	l16 := mustLayer(resnet, "ResNet.L16").Spec
+	t := report.Table{
+		Title:  "ACL Direct Convolution work-group sizes (GPU simulator) vs runtime",
+		Header: []string{"Channels", "X", "Y", "Z", "Relative Instr.", "Time (ms)"},
+	}
+	var baseInstr int64
+	for c := 90; c <= 93; c++ {
+		p, err := acl.Run(device.HiKey970, l16.WithOutC(c), acl.DirectConv)
+		if err != nil {
+			return "", err
+		}
+		wg := acl.WorkGroupFor(c)
+		instr := p.Result.Jobs[0].ArithInstrs
+		if c == 90 {
+			baseInstr = instr
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(c),
+			fmt.Sprint(wg[0]), fmt.Sprint(wg[1]), fmt.Sprint(wg[2]),
+			fmt.Sprintf("%.3f", float64(instr)/float64(baseInstr)),
+			fmt.Sprintf("%.4f", p.Ms),
+		})
+	}
+	return t.Render(), nil
+}
+
+func planExperiment() (string, error) {
+	var b strings.Builder
+	resnet := nets.ResNet50()
+	targets := []core.Target{
+		{Device: device.HiKey970, Library: ACLDirect()},
+		{Device: device.HiKey970, Library: ACLGEMM()},
+		{Device: device.JetsonTX2, Library: CuDNN()},
+	}
+	for _, tg := range targets {
+		np, err := core.ProfileNetwork(tg, resnet)
+		if err != nil {
+			return "", err
+		}
+		pl, err := core.NewPlanner(np)
+		if err != nil {
+			return "", err
+		}
+		unin, err := pl.Uninstructed(0.12)
+		if err != nil {
+			return "", err
+		}
+		aware, err := pl.PerformanceAware(1.5, 2.0)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%s:\n", tg)
+		fmt.Fprintf(&b, "  baseline (unpruned):            %8.2f ms\n", unin.BaselineMs)
+		fmt.Fprintf(&b, "  uninstructed 12%% prune:         %8.2f ms (speedup %.2fx, acc %.1f%%)\n",
+			unin.LatencyMs, unin.Speedup, unin.Accuracy)
+		fmt.Fprintf(&b, "  performance-aware (target 1.5x): %7.2f ms (speedup %.2fx, acc %.1f%%)\n",
+			aware.LatencyMs, aware.Speedup, aware.Accuracy)
+		if unin.Speedup < 1 {
+			fmt.Fprintf(&b, "  -> uninstructed pruning made the network SLOWER than no pruning\n")
+		}
+	}
+	return b.String(), nil
+}
+
+func hybridExperiment() (string, error) {
+	var b strings.Builder
+	resnet := nets.ResNet50()
+	counts := map[string]int{}
+	var gains []float64
+	fmt.Fprintf(&b, "%-14s %-14s %10s %14s\n", "layer", "winner", "hybrid ms", "vs ACL-GEMM")
+	for _, l := range resnet.UniqueLayers() {
+		c, err := hybrid.Select(device.HiKey970, l.Spec)
+		if err != nil {
+			return "", err
+		}
+		counts[c.Backend]++
+		gemmMs := c.Considered[hybrid.BackendACLGEMM]
+		gains = append(gains, gemmMs/c.Ms)
+		fmt.Fprintf(&b, "%-14s %-14s %10.2f %13.2fx\n", l.Label, c.Backend, c.Ms, gemmMs/c.Ms)
+	}
+	gm, err := stats.GeoMean(gains)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "\nbackend wins:")
+	for _, name := range []string{hybrid.BackendACLGEMM, hybrid.BackendACLDirect, hybrid.BackendACLWinograd, hybrid.BackendTVM} {
+		fmt.Fprintf(&b, " %s=%d", name, counts[name])
+	}
+	fmt.Fprintf(&b, "\ngeomean gain over fixed ACL-GEMM: %.2fx\n", gm)
+	return b.String(), nil
+}
+
+func autotuneExperiment() (string, error) {
+	var b strings.Builder
+	resnet := nets.ResNet50()
+	for _, d := range []int{0, 1} {
+		results, gm, err := autotune.PrunedNetwork(device.HiKey970, resnet, d)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "prune distance %d: geomean tuning speedup %.2fx\n", d, gm)
+		if d == 1 {
+			fmt.Fprintf(&b, "%-14s %9s %9s %12s %12s %9s\n",
+				"layer", "heuristic", "tuned", "heur ms", "tuned ms", "speedup")
+			for _, r := range results {
+				fmt.Fprintf(&b, "%-14s %dx%dx%d    %dx%dx%d %12.3f %12.3f %8.2fx\n",
+					r.Spec.Name,
+					r.Heuristic[0], r.Heuristic[1], r.Heuristic[2],
+					r.Best[0], r.Best[1], r.Best[2],
+					r.HeuristicMs, r.BestMs, r.Speedup())
+			}
+		}
+	}
+	b.WriteString("\nauto-tuning recovers the odd-channel penalty the heuristic incurs after pruning,\n")
+	b.WriteString("removing most of Fig. 10's prune-by-one hazard without touching the model.\n")
+	return b.String(), nil
+}
+
+// group formats an integer with comma thousands separators, as the
+// paper's tables print instruction counts.
+func group(v int64) string {
+	s := fmt.Sprint(v)
+	n := len(s)
+	if n <= 3 {
+		return s
+	}
+	var b strings.Builder
+	rem := n % 3
+	if rem > 0 {
+		b.WriteString(s[:rem])
+		if n > rem {
+			b.WriteByte(',')
+		}
+	}
+	for i := rem; i < n; i += 3 {
+		b.WriteString(s[i : i+3])
+		if i+3 < n {
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}
+
+// RunExperiment regenerates one artifact by registry ID.
+func RunExperiment(id string) (string, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e.Run()
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return "", fmt.Errorf("perfprune: unknown experiment %q (have: %s)", id, strings.Join(ids, ", "))
+}

@@ -1,0 +1,34 @@
+package perfprune
+
+// Golden-file regression tests: the exact rendered output of the
+// paper's tables and the Fig. 18 counter comparison is pinned under
+// testdata/. Any drift in the calibrated instruction models, the
+// runtime's split decision, the simulator's counters or the renderers
+// shows up as a byte-level diff here. Regenerate a golden after an
+// intentional change by writing RunExperiment's output verbatim to
+// testdata/<id>.golden.
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGoldenOutputs(t *testing.T) {
+	ids := []string{"table1", "table2", "table3", "table4", "table5", "fig18"}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", id+".golden"))
+			if err != nil {
+				t.Fatalf("missing golden: %v", err)
+			}
+			got, err := RunExperiment(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", id, got, want)
+			}
+		})
+	}
+}

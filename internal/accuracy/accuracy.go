@@ -1,0 +1,135 @@
+// Package accuracy provides the analytic accuracy model the
+// performance-aware pruning loop needs (§V: "coupling profiled
+// performance on device with convolutional inference accuracy of pruned
+// layers"). The paper itself prunes without accuracy for its timing
+// study and defers the joint optimization to ref. [19]; with no
+// training stack available in Go (see DESIGN.md §2), we substitute a
+// deterministic sensitivity model with the empirically established
+// qualitative properties of channel-pruned CNNs:
+//
+//   - accuracy degrades smoothly and convexly as a layer narrows
+//     (mild at first — networks are over-parameterized [12]-[14] —
+//     then steeply);
+//   - layers differ in sensitivity: layers with few channels and early
+//     feature extractors are harder to prune than wide, late layers;
+//   - fine-tuning (retraining during pruning) recovers much of the loss.
+//
+// The model is a pure function of the network structure and the plan,
+// so the optimizer's behavior is reproducible.
+package accuracy
+
+import (
+	"fmt"
+	"math"
+
+	"perfprune/internal/nets"
+	"perfprune/internal/prune"
+)
+
+// Baselines are the unpruned top-1 ImageNet accuracies the networks are
+// commonly reported with; they anchor the model's output scale.
+var Baselines = map[string]float64{
+	"ResNet-50": 76.1,
+	"VGG-16":    71.6,
+	"AlexNet":   56.5,
+}
+
+// Model predicts network accuracy under a pruning plan.
+type Model struct {
+	// Base is the unpruned top-1 accuracy in percent.
+	Base float64
+	// Sensitivity maps layer label -> accuracy points lost when the
+	// layer is pruned to zero width (before the shape exponent).
+	Sensitivity map[string]float64
+	// FineTune applies the retraining recovery factor.
+	FineTune bool
+}
+
+// shapeExponent controls the convexity of the per-layer penalty: the
+// first channels removed are nearly free, the last very costly.
+const shapeExponent = 2.2
+
+// fineTuneRecovery is the fraction of the penalty recovered by
+// retraining during pruning (§II-B notes retraining "to compensate for
+// loss" is standard practice).
+const fineTuneRecovery = 0.65
+
+// ForNetwork derives a model from the network structure. Sensitivity is
+// split across layers proportionally to the square root of each layer's
+// share of total MACs (wide, compute-heavy layers carry more capacity
+// in absolute terms but are individually more redundant), with a 1.5x
+// weight on the first convolution, whose filters are the network's
+// feature extractors.
+func ForNetwork(n nets.Network) (Model, error) {
+	base, ok := Baselines[n.Name]
+	if !ok {
+		return Model{}, fmt.Errorf("accuracy: no baseline for network %q", n.Name)
+	}
+	if len(n.Layers) == 0 {
+		return Model{}, fmt.Errorf("accuracy: network %q has no layers", n.Name)
+	}
+	weights := make(map[string]float64, len(n.Layers))
+	total := 0.0
+	for i, l := range n.Layers {
+		w := math.Sqrt(float64(l.Spec.MACs()))
+		if i == 0 {
+			w *= 1.5
+		}
+		weights[l.Label] = w
+		total += w
+	}
+	// The whole network pruned to one channel per layer should lose
+	// essentially all of its accuracy advantage over chance; scale the
+	// summed sensitivities to the baseline.
+	sens := make(map[string]float64, len(n.Layers))
+	for label, w := range weights {
+		sens[label] = base * w / total
+	}
+	return Model{Base: base, Sensitivity: sens}, nil
+}
+
+// LayerPenalty returns the accuracy points lost by pruning one layer
+// from c0 to keep channels (without fine-tuning).
+func (m Model) LayerPenalty(label string, c0, keep int) (float64, error) {
+	s, ok := m.Sensitivity[label]
+	if !ok {
+		return 0, fmt.Errorf("accuracy: unknown layer %q", label)
+	}
+	if c0 < 1 || keep < 1 || keep > c0 {
+		return 0, fmt.Errorf("accuracy: invalid widths keep=%d c0=%d for %s", keep, c0, label)
+	}
+	removed := 1 - float64(keep)/float64(c0)
+	return s * math.Pow(removed, shapeExponent) * (1 + 2*removed*removed), nil
+}
+
+// Predict returns the modeled top-1 accuracy of the network under the
+// plan. Layers absent from the plan are unpruned.
+func (m Model) Predict(n nets.Network, p prune.Plan) (float64, error) {
+	loss := 0.0
+	for _, l := range n.Layers {
+		keep, ok := p[l.Label]
+		if !ok {
+			continue
+		}
+		pen, err := m.LayerPenalty(l.Label, l.Spec.OutC, keep)
+		if err != nil {
+			return 0, err
+		}
+		loss += pen
+	}
+	if m.FineTune {
+		loss *= 1 - fineTuneRecovery
+	}
+	acc := m.Base - loss
+	if acc < 0 {
+		acc = 0
+	}
+	return acc, nil
+}
+
+// WithFineTune returns a copy of the model with retraining recovery
+// enabled or disabled.
+func (m Model) WithFineTune(on bool) Model {
+	m.FineTune = on
+	return m
+}

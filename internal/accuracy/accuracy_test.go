@@ -1,0 +1,209 @@
+package accuracy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfprune/internal/nets"
+	"perfprune/internal/prune"
+)
+
+func TestForNetworkBaselines(t *testing.T) {
+	for _, n := range nets.All() {
+		m, err := ForNetwork(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		if m.Base != Baselines[n.Name] {
+			t.Errorf("%s base = %v", n.Name, m.Base)
+		}
+		if len(m.Sensitivity) != len(n.Layers) {
+			t.Errorf("%s: %d sensitivities for %d layers", n.Name, len(m.Sensitivity), len(n.Layers))
+		}
+	}
+	if _, err := ForNetwork(nets.Network{Name: "LeNet", Layers: nets.AlexNet().Layers}); err == nil {
+		t.Error("unknown network accepted")
+	}
+}
+
+func TestUnprunedPredictsBaseline(t *testing.T) {
+	n := nets.ResNet50()
+	m, err := ForNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := m.Predict(n, prune.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != m.Base {
+		t.Fatalf("unpruned accuracy %v != baseline %v", acc, m.Base)
+	}
+	// A full-width plan is equivalent to no plan.
+	full := make(prune.Plan)
+	for _, l := range n.Layers {
+		full[l.Label] = l.Spec.OutC
+	}
+	acc2, err := m.Predict(n, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc2 != m.Base {
+		t.Fatalf("full-width plan accuracy %v != baseline %v", acc2, m.Base)
+	}
+}
+
+func TestMildPruningIsCheap(t *testing.T) {
+	// Networks are over-parameterized: removing 10% of one layer's
+	// channels must cost well under one accuracy point.
+	n := nets.ResNet50()
+	m, err := ForNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pen, err := m.LayerPenalty("ResNet.L16", 128, 115)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pen > 0.2 {
+		t.Errorf("10%% prune of one layer costs %.3f points", pen)
+	}
+	deep, err := m.LayerPenalty("ResNet.L16", 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep < 10*pen {
+		t.Errorf("deep pruning (%.3f) not much costlier than mild (%.3f)", deep, pen)
+	}
+}
+
+func TestPenaltyMonotoneInDepth(t *testing.T) {
+	n := nets.ResNet50()
+	m, err := ForNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for keep := 128; keep >= 1; keep -= 8 {
+		pen, err := m.LayerPenalty("ResNet.L16", 128, keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pen < prev {
+			t.Fatalf("penalty not monotone at keep=%d: %v < %v", keep, pen, prev)
+		}
+		prev = pen
+	}
+}
+
+func TestFineTuneRecovers(t *testing.T) {
+	n := nets.VGG16()
+	m, err := ForNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prune.Uniform(n, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := m.WithFineTune(false).Predict(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := m.WithFineTune(true).Predict(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned <= raw {
+		t.Fatalf("fine-tuning did not help: %v vs %v", tuned, raw)
+	}
+	if tuned >= m.Base {
+		t.Fatalf("fine-tuning recovered more than the full loss")
+	}
+}
+
+func TestLayerPenaltyErrors(t *testing.T) {
+	n := nets.AlexNet()
+	m, err := ForNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LayerPenalty("AlexNet.L99", 64, 32); err == nil {
+		t.Error("unknown layer accepted")
+	}
+	if _, err := m.LayerPenalty("AlexNet.L0", 64, 0); err == nil {
+		t.Error("keep=0 accepted")
+	}
+	if _, err := m.LayerPenalty("AlexNet.L0", 64, 65); err == nil {
+		t.Error("keep>c0 accepted")
+	}
+}
+
+func TestPredictClampsAtZero(t *testing.T) {
+	n := nets.AlexNet()
+	m, err := ForNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crank sensitivities to force a sub-zero prediction.
+	for k := range m.Sensitivity {
+		m.Sensitivity[k] *= 100
+	}
+	p, err := prune.Distance(n, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := m.Predict(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 {
+		t.Fatalf("accuracy %v below zero", acc)
+	}
+}
+
+// Property: accuracy is monotone — pruning strictly more channels in
+// one layer never increases predicted accuracy.
+func TestAccuracyMonotoneProperty(t *testing.T) {
+	n := nets.ResNet50()
+	m, err := ForNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rawA, rawB uint8) bool {
+		a := int(rawA)%127 + 1
+		b := int(rawB)%127 + 1
+		if a > b {
+			a, b = b, a
+		}
+		// keep=a <= keep=b: accuracy(a) <= accuracy(b).
+		accA, err := m.Predict(n, prune.Plan{"ResNet.L16": a})
+		if err != nil {
+			return false
+		}
+		accB, err := m.Predict(n, prune.Plan{"ResNet.L16": b})
+		if err != nil {
+			return false
+		}
+		return accA <= accB+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstLayerMoreSensitive(t *testing.T) {
+	// conv1 carries the 1.5x feature-extractor weight: pruning it by
+	// half must cost more than pruning a same-MACs mid layer by half.
+	n := nets.ResNet50()
+	m, err := ForNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := m.Sensitivity["ResNet.L0"]
+	// Compare against a layer with comparable MACs (L12: 3x3 @28, 128ch).
+	s12 := m.Sensitivity["ResNet.L12"]
+	if s0 <= s12 {
+		t.Errorf("conv1 sensitivity %v <= L12's %v", s0, s12)
+	}
+}

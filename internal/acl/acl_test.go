@@ -1,0 +1,403 @@
+package acl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+)
+
+// layer16 is ResNet-50 layer 16 (stage-2 block-2 3x3 conv): the layer of
+// the paper's Tables I-IV and Figs. 4 and 14.
+func layer16(c int) conv.ConvSpec {
+	return conv.ConvSpec{
+		Name: "ResNet.L16", InH: 28, InW: 28, InC: 128, OutC: c,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}
+}
+
+// layer45 is ResNet-50 layer 45 (stage-4 1x1 expansion to 2048): the
+// layer of Fig. 15.
+func layer45(c int) conv.ConvSpec {
+	return conv.ConvSpec{
+		Name: "ResNet.L45", InH: 7, InW: 7, InC: 512, OutC: c,
+		KH: 1, KW: 1, StrideH: 1, StrideW: 1,
+	}
+}
+
+// layer14 is ResNet-50 layer 14 (stage-2 projection 1x1, 512 channels):
+// the layer of Figs. 5, 12 and 20.
+func layer14(c int) conv.ConvSpec {
+	return conv.ConvSpec{
+		Name: "ResNet.L14", InH: 56, InW: 56, InC: 256, OutC: c,
+		KH: 1, KW: 1, StrideH: 2, StrideW: 2,
+	}
+}
+
+type tableWant struct {
+	name       string
+	arith, mem int64
+}
+
+// TestKernelTablesIToIV pins the reproduction to the paper's exact
+// simulator instruction counts for layer 16 at 92, 93, 96 and 97 output
+// channels (Tables I, II, III, IV).
+func TestKernelTablesIToIV(t *testing.T) {
+	cases := []struct {
+		channels int
+		want     []tableWant
+	}{
+		{92, []tableWant{ // Table I: runtime splits gemm into two jobs
+			{"im2col3x3_nhwc", 1365198, 212152},
+			{"reshape_to_columns", 44183104, 3615808},
+			{"gemm_mm", 706713280, 36267840},
+			{"gemm_mm", 106006992, 5440176},
+		}},
+		{93, []tableWant{ // Table II: single gemm job
+			{"im2col3x3_nhwc", 1379034, 214458},
+			{"reshape_to_columns", 44183104, 3615808},
+			{"gemm_mm", 848055936, 43521408},
+		}},
+		{96, []tableWant{ // Table III
+			{"im2col3x3_nhwc", 1420542, 221376},
+			{"reshape_to_columns", 44183104, 3615808},
+			{"gemm_mm", 848055936, 43521408},
+		}},
+		{97, []tableWant{ // Table IV: the split returns
+			{"im2col3x3_nhwc", 1434378, 223682},
+			{"reshape_to_columns", 44183104, 3615808},
+			{"gemm_mm", 848055936, 43521408},
+			{"gemm_mm", 35335664, 1813392},
+		}},
+	}
+	for _, tc := range cases {
+		rows, err := KernelTable(device.HiKey970, layer16(tc.channels), GEMMConv)
+		if err != nil {
+			t.Fatalf("channels=%d: %v", tc.channels, err)
+		}
+		if len(rows) != len(tc.want) {
+			t.Fatalf("channels=%d: %d kernels, want %d (%+v)", tc.channels, len(rows), len(tc.want), rows)
+		}
+		for i, w := range tc.want {
+			if rows[i].Name != w.name {
+				t.Errorf("channels=%d kernel %d: name %q, want %q", tc.channels, i, rows[i].Name, w.name)
+			}
+			if rows[i].ArithInstrs != w.arith {
+				t.Errorf("channels=%d kernel %d (%s): arith %d, want %d",
+					tc.channels, i, w.name, rows[i].ArithInstrs, w.arith)
+			}
+			if rows[i].MemInstrs != w.mem {
+				t.Errorf("channels=%d kernel %d (%s): mem %d, want %d",
+					tc.channels, i, w.name, rows[i].MemInstrs, w.mem)
+			}
+		}
+	}
+}
+
+// TestGEMMInstrIncreasePercent checks the paper's observation that the
+// gemm_mm instruction total grows by 4.35% from 92 to 93 channels.
+func TestGEMMInstrIncreasePercent(t *testing.T) {
+	get := func(c int) int64 {
+		rows, err := KernelTable(device.HiKey970, layer16(c), GEMMConv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, r := range rows {
+			if r.Name == "gemm_mm" {
+				total += r.ArithInstrs
+			}
+		}
+		return total
+	}
+	inc := float64(get(93))/float64(get(92)) - 1
+	if math.Abs(inc-0.0435) > 0.0005 {
+		t.Fatalf("gemm_mm arith increase 92->93 = %.4f, paper reports 0.0435", inc)
+	}
+}
+
+// TestFig14StaircaseJump verifies the headline Fig. 14 behavior on the
+// HiKey 970: 93-96 channels run in ~14 ms; 92 and 97 jump to ~23 ms
+// because of the extra split job; 76 -> 78 channels improves ~1.8x.
+func TestFig14StaircaseJump(t *testing.T) {
+	ms := func(c int) float64 {
+		v, err := TimeMs(device.HiKey970, layer16(c), GEMMConv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	t93, t96 := ms(93), ms(96)
+	// Same plateau: the only difference is the im2col padding slope,
+	// which is microseconds.
+	if math.Abs(t93-t96) > 0.01 {
+		t.Errorf("93 and 96 channels differ: %.3f vs %.3f ms (same plateau expected)", t93, t96)
+	}
+	if t93 < 13 || t93 > 16 {
+		t.Errorf("t(93) = %.2f ms, paper reports ~14 ms", t93)
+	}
+	for _, c := range []int{92, 97} {
+		tc := ms(c)
+		if tc < 20 || tc > 27 {
+			t.Errorf("t(%d) = %.2f ms, paper reports ~23 ms", c, tc)
+		}
+		if tc/t93 < 1.4 {
+			t.Errorf("t(%d)/t(93) = %.2f, expected a >1.4x jump", c, tc/t93)
+		}
+	}
+	// The 76 vs 78 gap (paper: 20.12 ms vs 10.996 ms, 1.83x).
+	r := ms(76) / ms(78)
+	if r < 1.5 || r > 2.1 {
+		t.Errorf("t(76)/t(78) = %.2f, paper reports 1.83x", r)
+	}
+}
+
+// TestJobCountMatchesTableStructure: at 93 channels jobs == OpenCL calls;
+// at 92 channels the runtime dispatches one extra job (§IV-B1).
+func TestJobCountMatchesTableStructure(t *testing.T) {
+	for _, tc := range []struct {
+		c         int
+		wantExtra int
+	}{{92, 1}, {93, 0}, {96, 0}, {97, 1}} {
+		p, err := Run(device.HiKey970, layer16(tc.c), GEMMConv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls := len(p.Calls)
+		jobs := p.Result.Counters.Jobs
+		if jobs-calls != tc.wantExtra {
+			t.Errorf("channels=%d: %d jobs for %d calls, want %d extra",
+				tc.c, jobs, calls, tc.wantExtra)
+		}
+		if p.Result.Counters.SplitJobs != tc.wantExtra {
+			t.Errorf("channels=%d: SplitJobs = %d, want %d",
+				tc.c, p.Result.Counters.SplitJobs, tc.wantExtra)
+		}
+	}
+}
+
+// TestTableVWorkGroups pins the direct-convolution work-group heuristic
+// to the paper's Table V and checks the runtime ordering it implies.
+func TestTableVWorkGroups(t *testing.T) {
+	wants := map[int][3]int{
+		90: {2, 1, 8},
+		91: {1, 1, 8},
+		92: {4, 1, 1},
+		93: {1, 1, 8},
+	}
+	for c, want := range wants {
+		if got := WorkGroupFor(c); got != want {
+			t.Errorf("WorkGroupFor(%d) = %v, want %v", c, got, want)
+		}
+	}
+	// Relative executed instructions grow ~1.1% per channel (Table V:
+	// 1.0, 1.011, 1.023, 1.034) and odd channel counts run ~1.2x slower.
+	ms := map[int]float64{}
+	instr := map[int]int64{}
+	for c := 90; c <= 93; c++ {
+		p, err := Run(device.HiKey970, layer16(c), DirectConv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[c] = p.Ms
+		instr[c] = p.Result.Jobs[0].ArithInstrs
+	}
+	for c := 91; c <= 93; c++ {
+		rel := float64(instr[c]) / float64(instr[90])
+		want := 1 + 0.0111*float64(c-90)
+		if math.Abs(rel-want) > 0.004 {
+			t.Errorf("relative instructions at %d = %.4f, want ~%.4f", c, rel, want)
+		}
+	}
+	if !(ms[91] > ms[90] && ms[91] > ms[92] && ms[93] > ms[92]) {
+		t.Errorf("odd channel counts should be slowest: %v", ms)
+	}
+	if r := ms[93] / ms[92]; r < 1.1 || r > 1.35 {
+		t.Errorf("t(93)/t(92) = %.3f, paper's Table V implies ~1.2x", r)
+	}
+}
+
+// TestFig15PointwiseGap verifies the Fig. 15 behavior for layer 45:
+// 2036 channels ~2.6x slower than 2024, and no slowdown at distance 1.
+func TestFig15PointwiseGap(t *testing.T) {
+	ms := func(c int) float64 {
+		v, err := TimeMs(device.HiKey970, layer45(c), GEMMConv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	gap := ms(2036) / ms(2024)
+	if gap < 2.2 || gap > 2.9 {
+		t.Errorf("t(2036)/t(2024) = %.2f, paper reports 2.57x", gap)
+	}
+	// Pruning one channel from 2048 must not hurt (Fig. 13, L45 row).
+	if r := ms(2047) / ms(2048); r > 1.01 {
+		t.Errorf("pruning one channel slowed layer 45 by %.3fx", r)
+	}
+	// Absolute scale: paper reports 19.69 ms and 7.67 ms.
+	if v := ms(2036); v < 15 || v > 25 {
+		t.Errorf("t(2036) = %.2f ms, paper reports 19.69 ms", v)
+	}
+	if v := ms(2024); v < 6 || v > 11 {
+		t.Errorf("t(2024) = %.2f ms, paper reports 7.67 ms", v)
+	}
+}
+
+// TestFig12DirectThreeLevels: the direct path on a pointwise layer shows
+// three alternating execution levels with ~1.9x spread (Fig. 12).
+func TestFig12DirectThreeLevels(t *testing.T) {
+	ms := func(c int) float64 {
+		v, err := TimeMs(device.HiKey970, layer14(c), DirectConv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	mult4 := ms(512)
+	even := ms(510)
+	odd := ms(511)
+	if !(mult4 < even && even < odd) {
+		t.Fatalf("levels not ordered: mult4=%.1f even=%.1f odd=%.1f", mult4, even, odd)
+	}
+	if r := odd / mult4; r < 1.7 || r > 2.1 {
+		t.Errorf("odd/mult4 spread = %.2f, paper reports ~1.9x", r)
+	}
+}
+
+// TestDirectPruneByOneSlowdown: removing a single channel from a 64-wide
+// pointwise layer slows it ~5x (Fig. 10's 0.2x cells).
+func TestDirectPruneByOneSlowdown(t *testing.T) {
+	l1 := func(c int) conv.ConvSpec {
+		return conv.ConvSpec{
+			Name: "ResNet.L1", InH: 56, InW: 56, InC: 64, OutC: c,
+			KH: 1, KW: 1, StrideH: 1, StrideW: 1,
+		}
+	}
+	t64, err := TimeMs(device.HiKey970, l1(64), DirectConv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t63, err := TimeMs(device.HiKey970, l1(63), DirectConv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := t64 / t63
+	if speedup > 0.35 || speedup < 0.12 {
+		t.Errorf("prune-by-one speedup = %.2fx, paper reports ~0.2x", speedup)
+	}
+}
+
+// TestGEMMNeverSplitsOnMultiple16: property — whenever the output channel
+// count is a multiple of 16 the runtime never creates a split job, and
+// whenever it is not a multiple of 16 (above one pass) it always does.
+func TestGEMMSplitProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		c := int(raw%1000) + 20
+		p, err := Run(device.HiKey970, layer16(c), GEMMConv)
+		if err != nil {
+			return false
+		}
+		split := p.Result.Counters.SplitJobs > 0
+		wantSplit := Blocks(c)%4 != 0 && Blocks(c) > 4
+		return split == wantSplit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrepareKernelsExcludedFromSteadyTime: the weight reshape runs at
+// prepare time and must not count toward inference latency.
+func TestPrepareKernelsExcludedFromSteadyTime(t *testing.T) {
+	p, err := Run(device.HiKey970, layer16(96), GEMMConv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Result.TotalCycles <= p.Result.SteadyCycles {
+		t.Fatal("prepare kernel did not add to total time")
+	}
+	for _, j := range p.Jobs {
+		if j.Kernel == "reshape_to_columns" && !j.Prepare {
+			t.Fatal("reshape_to_columns not marked prepare")
+		}
+	}
+}
+
+func TestPlanRejectsInvalidSpec(t *testing.T) {
+	bad := layer16(0)
+	if _, err := PlanGEMM(bad); err == nil {
+		t.Error("PlanGEMM accepted OutC=0")
+	}
+	if _, err := PlanDirect(bad); err == nil {
+		t.Error("PlanDirect accepted OutC=0")
+	}
+	if _, err := Plan(layer16(64), Method(9)); err == nil {
+		t.Error("Plan accepted unknown method")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if GEMMConv.String() != "ACL-GEMM" || DirectConv.String() != "ACL-Direct" {
+		t.Fatal("method names wrong")
+	}
+}
+
+func TestRunRejectsCUDADevice(t *testing.T) {
+	if _, err := Run(device.JetsonTX2, layer16(64), GEMMConv); err == nil {
+		t.Fatal("ACL ran on a CUDA device")
+	}
+}
+
+// TestWinogradModel: the ACL Winograd pipeline must beat the im2col
+// GEMM path on 3x3 layers (the 36->16 multiply reduction, minus
+// transform overhead), refuse other shapes, and share the runtime's
+// split hazard.
+func TestWinogradModel(t *testing.T) {
+	gemmMs, err := TimeMs(device.HiKey970, layer16(128), GEMMConv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	winoMs, err := TimeMs(device.HiKey970, layer16(128), WinogradConv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := gemmMs / winoMs
+	if gain < 1.4 || gain > 2.2 {
+		t.Errorf("winograd gain over GEMM = %.2fx, expected ~1.7x", gain)
+	}
+	// Pointwise layers are rejected.
+	if _, err := PlanWinograd(layer45(2048)); err == nil {
+		t.Error("winograd accepted a 1x1 layer")
+	}
+	// The batched GEMM inherits the pass split: 92 channels fan out to
+	// an extra job just like the im2col path.
+	p, err := RunWinograd(device.HiKey970, layer16(92))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Result.Counters.SplitJobs != 1 {
+		t.Errorf("winograd at 92 channels: %d split jobs, want 1", p.Result.Counters.SplitJobs)
+	}
+	if WinogradConv.String() != "ACL-Winograd" {
+		t.Error("method name wrong")
+	}
+}
+
+// TestEffForWorkGroupContract: the heuristic's own choices reproduce
+// the calibrated model; unknown shapes are rejected with eff 0.
+func TestEffForWorkGroupContract(t *testing.T) {
+	spec := layer16(93)
+	if e := EffForWorkGroup(spec, 93, [3]int{3, 3, 3}); e != 0 {
+		t.Errorf("unknown WG shape got eff %v", e)
+	}
+	if e := EffForWorkGroup(spec, 93, WorkGroupFor(93)); e <= 0 || e > 1 {
+		t.Errorf("heuristic WG eff out of range: %v", e)
+	}
+	// The spatially vectorized shape ignores the channel count.
+	if a, b := EffForWorkGroup(spec, 93, [3]int{4, 1, 1}), EffForWorkGroup(spec, 96, [3]int{4, 1, 1}); a != b {
+		t.Errorf("(4,1,1) eff depends on channels: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,115 @@
+package acl
+
+import (
+	"fmt"
+
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+	"perfprune/internal/opencl"
+)
+
+// Winograd timing model for the ACL F(2x2, 3x3) path. The paper
+// profiles only the direct and GEMM methods; Winograd backs the §V
+// extension ("future solutions integrating optimizations from across
+// different deep learning libraries could adapt their computation based
+// on network and layer configuration"). The numeric algorithm lives in
+// internal/conv; this file models its ACL kernel pipeline:
+//
+//	winograd_input_transform -> winograd_batched_gemm (+ split) ->
+//	winograd_output_transform, plus a prepare-time filter transform.
+//
+// The batched GEMM inherits the same 4-channel block / 4-block pass
+// structure (and therefore the same runtime split hazard) as the im2col
+// GEMM; its arithmetic is the im2col GEMM's scaled by the algorithm's
+// 36/16 multiply reduction, discounted by a batching overhead — so
+// Winograd wins on 3x3 layers by roughly 1.8x, as it does in practice.
+const (
+	// winogradMACScale: F(2x2,3x3) uses 16 multiplies per 36 MACs.
+	winogradMACScale = 16.0 / 36.0
+	// winogradGemmOverhead: the 4x4-batched GEMM is less efficient per
+	// multiply than the single large im2col GEMM.
+	winogradGemmOverhead = 1.25
+	// winogradTransformInstr: instructions per element of the input
+	// (x Cin) and output (x Cout) transforms per 2x2 tile.
+	winogradInputTransformInstr  = 60
+	winogradOutputTransformInstr = 24
+)
+
+// PlanWinograd emits the ACL Winograd call sequence for a 3x3 stride-1
+// layer. Other shapes return an error; callers fall back to PlanGEMM.
+func PlanWinograd(spec conv.ConvSpec) ([]opencl.KernelCall, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !conv.WinogradApplicable(spec) {
+		return nil, fmt.Errorf("acl: winograd requires 3x3 stride-1, got %s", spec)
+	}
+	scale := scaleOf(spec)
+	tiles := ((spec.OutH() + 1) / 2) * ((spec.OutW() + 1) / 2)
+	c := spec.OutC
+	blocks := Blocks(c)
+	unitArith := int64(float64(gemmUnitArith)*scale*winogradMACScale*winogradGemmOverhead + 0.5)
+	unitMem := int64(float64(gemmUnitMem)*scale*winogradMACScale*winogradGemmOverhead + 0.5)
+
+	inArith := int64(winogradInputTransformInstr * tiles * spec.InC)
+	outArith := int64(winogradOutputTransformInstr * tiles * c)
+
+	return []opencl.KernelCall{
+		{
+			Name:        "winograd_filter_transform",
+			Global:      [3]int{spec.InC, c, 1},
+			Local:       [3]int{4, 4, 1},
+			ArithInstrs: int64(float64(spec.WeightElems()) * 12),
+			MemInstrs:   int64(spec.WeightElems()) * 2,
+			Prepare:     true,
+			MemBytes:    int64(spec.WeightElems()) * 4,
+		},
+		{
+			Name:        "winograd_input_transform",
+			Global:      [3]int{(spec.OutW() + 1) / 2, (spec.OutH() + 1) / 2, spec.InC},
+			Local:       [3]int{2, 2, 4},
+			ArithInstrs: inArith,
+			MemInstrs:   inArith / 3,
+			MemBytes:    int64(tiles*16*spec.InC) * 4,
+		},
+		{
+			Name:             "winograd_batched_gemm",
+			Global:           [3]int{1, blocks, 1},
+			Local:            [3]int{1, 1, 1},
+			SplitDim:         1,
+			SplitGranularity: gemmPassBlocks,
+			UnitArith:        unitArith,
+			UnitMem:          unitMem,
+			MemBytes:         int64(tiles*16*(spec.InC+c)) * 4,
+		},
+		{
+			Name:        "winograd_output_transform",
+			Global:      [3]int{(spec.OutW() + 1) / 2, (spec.OutH() + 1) / 2, c},
+			Local:       [3]int{2, 2, 4},
+			ArithInstrs: outArith,
+			MemInstrs:   outArith / 3,
+			MemBytes:    int64(spec.OutSpatial()*c) * 4,
+		},
+	}, nil
+}
+
+// RunWinograd plans and simulates the Winograd path on dev.
+func RunWinograd(dev device.Device, spec conv.ConvSpec) (Profile, error) {
+	calls, err := PlanWinograd(spec)
+	if err != nil {
+		return Profile{}, err
+	}
+	res, recs, jobs, err := opencl.RunCalls(dev, calls)
+	if err != nil {
+		return Profile{}, err
+	}
+	return Profile{
+		Spec:   spec,
+		Method: WinogradConv,
+		Device: dev,
+		Ms:     res.SteadyMs(),
+		Result: res,
+		Calls:  recs,
+		Jobs:   jobs,
+	}, nil
+}

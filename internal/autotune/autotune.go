@@ -1,0 +1,121 @@
+// Package autotune implements the OpenCL work-group-size auto-tuning
+// the paper leaves as future work (§IV-B2: "Auto-tuning of the
+// workloads and examining the effects of scheduling and caching have
+// been left for future work", citing [23]'s 3.79x mean speedup from
+// work-group auto-tuning). The tuner exhaustively evaluates the direct
+// convolution kernel's candidate work-group shapes on the simulator and
+// picks the fastest — recovering most of the penalty the library's
+// heuristic incurs at odd channel counts (Table V, Fig. 10's 0.2x
+// prune-by-one cells).
+package autotune
+
+import (
+	"fmt"
+
+	"perfprune/internal/acl"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/opencl"
+	"perfprune/internal/stats"
+)
+
+// Result is the tuning outcome for one layer configuration.
+type Result struct {
+	Spec conv.ConvSpec
+	// Heuristic is the library's default work group and its latency.
+	Heuristic   [3]int
+	HeuristicMs float64
+	// Best is the tuned work group and its latency.
+	Best   [3]int
+	BestMs float64
+	// Evaluated is how many candidates were simulated.
+	Evaluated int
+}
+
+// Speedup returns the tuned-over-heuristic improvement.
+func (r Result) Speedup() float64 { return r.HeuristicMs / r.BestMs }
+
+// DirectWG tunes the direct-convolution work-group size for spec on dev
+// by exhaustive search over the candidate shapes.
+func DirectWG(dev device.Device, spec conv.ConvSpec) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Spec: spec, Heuristic: acl.WorkGroupFor(spec.OutC)}
+
+	timeWith := func(wg [3]int) (float64, error) {
+		calls, err := acl.PlanDirectWithWG(spec, wg)
+		if err != nil {
+			return 0, err
+		}
+		sim, _, _, err := opencl.RunCalls(dev, calls)
+		if err != nil {
+			return 0, err
+		}
+		return sim.SteadyMs(), nil
+	}
+
+	var err error
+	res.HeuristicMs, err = timeWith(res.Heuristic)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Best, res.BestMs = res.Heuristic, res.HeuristicMs
+	for _, wg := range acl.WorkGroupCandidates() {
+		ms, err := timeWith(wg)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Evaluated++
+		if ms < res.BestMs {
+			res.Best, res.BestMs = wg, ms
+		}
+	}
+	return res, nil
+}
+
+// Network tunes every unique layer of a network at its given channel
+// counts and returns the per-layer results plus the geometric-mean
+// speedup over the heuristic (the metric [23] reports).
+func Network(dev device.Device, n nets.Network) ([]Result, float64, error) {
+	layers := n.UniqueLayers()
+	if len(layers) == 0 {
+		return nil, 0, fmt.Errorf("autotune: network %q has no unique layers", n.Name)
+	}
+	results := make([]Result, 0, len(layers))
+	speedups := make([]float64, 0, len(layers))
+	for _, l := range layers {
+		r, err := DirectWG(dev, l.Spec)
+		if err != nil {
+			return nil, 0, fmt.Errorf("autotune: %s: %w", l.Label, err)
+		}
+		results = append(results, r)
+		speedups = append(speedups, r.Speedup())
+	}
+	gm, err := stats.GeoMean(speedups)
+	if err != nil {
+		return nil, 0, err
+	}
+	return results, gm, nil
+}
+
+// PrunedNetwork tunes every unique layer after pruning d channels —
+// where the heuristic's odd-channel penalty actually bites. This is the
+// experiment that quantifies how much of the paper's Fig. 10 hazard an
+// auto-tuner recovers.
+func PrunedNetwork(dev device.Device, n nets.Network, d int) ([]Result, float64, error) {
+	if d < 0 {
+		return nil, 0, fmt.Errorf("autotune: negative prune distance %d", d)
+	}
+	pruned := nets.Network{Name: n.Name}
+	for _, l := range n.UniqueLayers() {
+		keep := l.Spec.OutC - d
+		if keep < 1 {
+			keep = 1
+		}
+		l.Spec = l.Spec.WithOutC(keep)
+		pruned.Layers = append(pruned.Layers, l)
+	}
+	return Network(dev, pruned)
+}

@@ -1,0 +1,302 @@
+package conv
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"perfprune/internal/tensor"
+)
+
+func mkInput(spec ConvSpec, seed uint64) *tensor.Tensor {
+	in := tensor.New(tensor.NHWC, 1, spec.InH, spec.InW, spec.InC)
+	in.RandomUniform(seed, 1)
+	return in
+}
+
+func mkWeights(spec ConvSpec, seed uint64) *tensor.Tensor {
+	w := tensor.New(tensor.OHWI, spec.OutC, spec.KH, spec.KW, spec.InC)
+	w.HeInit(seed, spec.KH*spec.KW*spec.InC)
+	return w
+}
+
+func TestSpecOutputDims(t *testing.T) {
+	cases := []struct {
+		spec         ConvSpec
+		wantH, wantW int
+	}{
+		{ConvSpec{Name: "same3x3", InH: 28, InW: 28, InC: 8, OutC: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, 28, 28},
+		{ConvSpec{Name: "stride2", InH: 56, InW: 56, InC: 4, OutC: 4, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}, 28, 28},
+		{ConvSpec{Name: "pointwise", InH: 7, InW: 7, InC: 16, OutC: 32, KH: 1, KW: 1, StrideH: 1, StrideW: 1}, 7, 7},
+		{ConvSpec{Name: "conv1-7x7", InH: 224, InW: 224, InC: 3, OutC: 64, KH: 7, KW: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3}, 112, 112},
+		{ConvSpec{Name: "valid", InH: 10, InW: 12, InC: 1, OutC: 1, KH: 3, KW: 3, StrideH: 1, StrideW: 1}, 8, 10},
+	}
+	for _, tc := range cases {
+		if err := tc.spec.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", tc.spec.Name, err)
+			continue
+		}
+		if got := tc.spec.OutH(); got != tc.wantH {
+			t.Errorf("%s: OutH = %d, want %d", tc.spec.Name, got, tc.wantH)
+		}
+		if got := tc.spec.OutW(); got != tc.wantW {
+			t.Errorf("%s: OutW = %d, want %d", tc.spec.Name, got, tc.wantW)
+		}
+	}
+}
+
+func TestSpecValidateRejectsBadShapes(t *testing.T) {
+	good := ConvSpec{Name: "g", InH: 8, InW: 8, InC: 4, OutC: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	cases := []struct {
+		name   string
+		mutate func(*ConvSpec)
+		substr string
+	}{
+		{"zero input", func(s *ConvSpec) { s.InH = 0 }, "non-positive input"},
+		{"zero inC", func(s *ConvSpec) { s.InC = 0 }, "input channels"},
+		{"zero outC", func(s *ConvSpec) { s.OutC = 0 }, "output channels"},
+		{"zero kernel", func(s *ConvSpec) { s.KH = 0 }, "kernel"},
+		{"zero stride", func(s *ConvSpec) { s.StrideW = 0 }, "stride"},
+		{"negative pad", func(s *ConvSpec) { s.PadH = -1 }, "padding"},
+		{"kernel larger than padded input", func(s *ConvSpec) { s.KH = 12; s.PadH = 0 }, "empty output"},
+	}
+	for _, tc := range cases {
+		s := good
+		tc.mutate(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted invalid spec", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.substr)
+		}
+	}
+}
+
+func TestSpecMACs(t *testing.T) {
+	s := ConvSpec{Name: "m", InH: 4, InW: 4, InC: 2, OutC: 3, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	// 16 output positions * 18 reduction * 3 filters.
+	if got, want := s.MACs(), int64(16*18*3); got != want {
+		t.Fatalf("MACs = %d, want %d", got, want)
+	}
+	if got, want := s.WeightElems(), 3*3*3*2; got != want {
+		t.Fatalf("WeightElems = %d, want %d", got, want)
+	}
+}
+
+func TestDirectKnownValues(t *testing.T) {
+	// 1x1 input, 1x1 kernel: output = sum over channels of in*w.
+	s := ConvSpec{Name: "dot", InH: 1, InW: 1, InC: 3, OutC: 2, KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+	in := tensor.New(tensor.NHWC, 1, 1, 1, 3)
+	copy(in.Data(), []float32{1, 2, 3})
+	w := tensor.New(tensor.OHWI, 2, 1, 1, 3)
+	copy(w.Data(), []float32{1, 1, 1, 0.5, -1, 2})
+	out, err := Direct(s, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.At(0, 0, 0, 0); got != 6 {
+		t.Errorf("filter 0 = %v, want 6", got)
+	}
+	if got := out.At(0, 0, 0, 1); got != 0.5-2+6 {
+		t.Errorf("filter 1 = %v, want 4.5", got)
+	}
+}
+
+func TestDirectIdentityKernel(t *testing.T) {
+	// A 3x3 kernel with 1 at the center and same-padding must reproduce
+	// the input exactly.
+	s := ConvSpec{Name: "id", InH: 5, InW: 5, InC: 1, OutC: 1, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	in := mkInput(s, 7)
+	w := tensor.New(tensor.OHWI, 1, 3, 3, 1)
+	w.Set(1, 0, 1, 1, 0)
+	out, err := Direct(s, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tensor.FromData(tensor.NHWC, in.Data(), 1, 5, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := tensor.MaxAbsDiff(out, want); d != 0 {
+		t.Fatalf("identity conv changed input, max diff %g", d)
+	}
+}
+
+func TestDirectRejectsMismatchedShapes(t *testing.T) {
+	s := ConvSpec{Name: "bad", InH: 8, InW: 8, InC: 4, OutC: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	in := tensor.New(tensor.NHWC, 1, 8, 8, 3) // wrong channels
+	w := mkWeights(s, 1)
+	if _, err := Direct(s, in, w); err == nil {
+		t.Fatal("Direct accepted mismatched input shape")
+	}
+	in2 := mkInput(s, 1)
+	w2 := tensor.New(tensor.OHWI, 4, 3, 3, 5) // wrong InC
+	if _, err := Direct(s, in2, w2); err == nil {
+		t.Fatal("Direct accepted mismatched weight shape")
+	}
+}
+
+func TestIm2colDims(t *testing.T) {
+	s := ConvSpec{Name: "col", InH: 6, InW: 6, InC: 2, OutC: 3, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	m, err := Im2col(s, mkInput(s, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 36 || m.Cols != 18 {
+		t.Fatalf("im2col dims %dx%d, want 36x18", m.Rows, m.Cols)
+	}
+}
+
+func TestIm2colZeroPaddingRegions(t *testing.T) {
+	s := ConvSpec{Name: "pad", InH: 3, InW: 3, InC: 1, OutC: 1, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	in := tensor.New(tensor.NHWC, 1, 3, 3, 1)
+	in.Fill(1)
+	m, err := Im2col(s, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top-left output patch: the first row and column of the 3x3 patch
+	// hang off the image, so 5 of 9 entries must be zero.
+	row := m.Row(0)
+	zeros := 0
+	for _, v := range row {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros != 5 {
+		t.Fatalf("corner patch has %d zeros, want 5 (row=%v)", zeros, row)
+	}
+	// Center output patch is fully inside: no zeros.
+	row = m.Row(4)
+	for i, v := range row {
+		if v != 1 {
+			t.Fatalf("center patch entry %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestGEMMEquivalentToDirect(t *testing.T) {
+	specs := []ConvSpec{
+		{Name: "3x3same", InH: 14, InW: 14, InC: 8, OutC: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{Name: "1x1", InH: 9, InW: 9, InC: 12, OutC: 7, KH: 1, KW: 1, StrideH: 1, StrideW: 1},
+		{Name: "stride2", InH: 16, InW: 16, InC: 5, OutC: 6, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+		{Name: "7x7s2", InH: 32, InW: 32, InC: 3, OutC: 10, KH: 7, KW: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3},
+		{Name: "rect", InH: 11, InW: 17, InC: 4, OutC: 5, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+	}
+	for _, spec := range specs {
+		in := mkInput(spec, tensor.Hash64(spec.Name))
+		w := mkWeights(spec, tensor.Hash64(spec.Name)+1)
+		d, err := Direct(spec, in, w)
+		if err != nil {
+			t.Fatalf("%s: Direct: %v", spec.Name, err)
+		}
+		g, err := GEMM(spec, in, w)
+		if err != nil {
+			t.Fatalf("%s: GEMM: %v", spec.Name, err)
+		}
+		ok, err := tensor.AllClose(d, g, 1e-4, 1e-5)
+		if err != nil {
+			t.Fatalf("%s: compare: %v", spec.Name, err)
+		}
+		if !ok {
+			diff, _ := tensor.MaxAbsDiff(d, g)
+			t.Errorf("%s: GEMM and Direct disagree, max diff %g", spec.Name, diff)
+		}
+	}
+}
+
+// TestConvLinearityProperty checks by property that convolution is linear
+// in its input: conv(a*x) == a*conv(x) within float tolerance.
+func TestConvLinearityProperty(t *testing.T) {
+	spec := ConvSpec{Name: "lin", InH: 8, InW: 8, InC: 3, OutC: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	w := mkWeights(spec, 99)
+	f := func(seed uint64, scaleRaw uint8) bool {
+		scale := float32(scaleRaw%8) + 1
+		in := mkInput(spec, seed)
+		out1, err := Direct(spec, in, w)
+		if err != nil {
+			return false
+		}
+		scaled := in.Clone()
+		scaled.Scale(scale)
+		out2, err := Direct(spec, scaled, w)
+		if err != nil {
+			return false
+		}
+		out1.Scale(scale)
+		ok, _ := tensor.AllClose(out1, out2, 1e-3, 1e-4)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConvAdditivityProperty: conv(x+y) == conv(x) + conv(y).
+func TestConvAdditivityProperty(t *testing.T) {
+	spec := ConvSpec{Name: "add", InH: 6, InW: 6, InC: 2, OutC: 3, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	w := mkWeights(spec, 17)
+	f := func(seedA, seedB uint64) bool {
+		a := mkInput(spec, seedA)
+		b := mkInput(spec, seedB)
+		sum := a.Clone()
+		for i, v := range b.Data() {
+			sum.Data()[i] += v
+		}
+		oa, err := Direct(spec, a, w)
+		if err != nil {
+			return false
+		}
+		ob, err := Direct(spec, b, w)
+		if err != nil {
+			return false
+		}
+		osum, err := Direct(spec, sum, w)
+		if err != nil {
+			return false
+		}
+		for i := range oa.Data() {
+			oa.Data()[i] += ob.Data()[i]
+		}
+		ok, _ := tensor.AllClose(oa, osum, 1e-3, 1e-4)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrunedConvMatchesSubsetOfFull verifies the §II-B claim that pruning
+// the last channels of a filter bank yields exactly the first OutC-p
+// output channels of the unpruned convolution.
+func TestPrunedConvMatchesSubsetOfFull(t *testing.T) {
+	full := ConvSpec{Name: "full", InH: 8, InW: 8, InC: 4, OutC: 10, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	in := mkInput(full, 5)
+	w := mkWeights(full, 6)
+	outFull, err := Direct(full, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{1, 3, 7, 9} {
+		pruned := full.WithOutC(keep)
+		pruned.Name = "pruned"
+		wp := tensor.New(tensor.OHWI, keep, 3, 3, 4)
+		copy(wp.Data(), w.Data()[:keep*3*3*4])
+		outP, err := Direct(pruned, in, wp)
+		if err != nil {
+			t.Fatalf("keep=%d: %v", keep, err)
+		}
+		for oy := 0; oy < full.OutH(); oy++ {
+			for ox := 0; ox < full.OutW(); ox++ {
+				for oc := 0; oc < keep; oc++ {
+					if outP.At(0, oy, ox, oc) != outFull.At(0, oy, ox, oc) {
+						t.Fatalf("keep=%d: mismatch at (%d,%d,%d)", keep, oy, ox, oc)
+					}
+				}
+			}
+		}
+	}
+}

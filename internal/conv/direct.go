@@ -1,0 +1,76 @@
+package conv
+
+import (
+	"fmt"
+
+	"perfprune/internal/tensor"
+)
+
+// Direct computes the convolution of in (NHWC, batch 1) with weights
+// (OHWI) using the direct method (§II-A1): each filter is shifted one
+// position at a time over the input with a deep nested loop. It needs no
+// scratch memory, which is why the paper notes it is "ideal for devices
+// with limited physical memory, although it is also very slow".
+//
+// The returned tensor is NHWC with shape [1, OutH, OutW, OutC].
+func Direct(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := checkArgs(spec, in, weights); err != nil {
+		return nil, err
+	}
+	out := tensor.New(tensor.NHWC, 1, spec.OutH(), spec.OutW(), spec.OutC)
+
+	inD := in.Data()
+	wD := weights.Data()
+	outD := out.Data()
+
+	inRowStride := spec.InW * spec.InC
+	wOutStride := spec.KH * spec.KW * spec.InC
+	outW := spec.OutW()
+	outC := spec.OutC
+
+	for oy := 0; oy < spec.OutH(); oy++ {
+		for ox := 0; ox < outW; ox++ {
+			outBase := (oy*outW + ox) * outC
+			iy0 := oy*spec.StrideH - spec.PadH
+			ix0 := ox*spec.StrideW - spec.PadW
+			for oc := 0; oc < outC; oc++ {
+				var acc float32
+				wBase := oc * wOutStride
+				for ky := 0; ky < spec.KH; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= spec.InH {
+						continue
+					}
+					for kx := 0; kx < spec.KW; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= spec.InW {
+							continue
+						}
+						inBase := iy*inRowStride + ix*spec.InC
+						wRow := wBase + (ky*spec.KW+kx)*spec.InC
+						for ic := 0; ic < spec.InC; ic++ {
+							acc += inD[inBase+ic] * wD[wRow+ic]
+						}
+					}
+				}
+				outD[outBase+oc] = acc
+			}
+		}
+	}
+	return out, nil
+}
+
+func checkArgs(spec ConvSpec, in, weights *tensor.Tensor) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	wantIn := tensor.Shape{1, spec.InH, spec.InW, spec.InC}
+	if !in.Shape().Equal(wantIn) {
+		return fmt.Errorf("conv %q: input shape %v, want %v", spec.Name, in.Shape(), wantIn)
+	}
+	wantW := tensor.Shape{spec.OutC, spec.KH, spec.KW, spec.InC}
+	if !weights.Shape().Equal(wantW) {
+		return fmt.Errorf("conv %q: weight shape %v, want %v", spec.Name, weights.Shape(), wantW)
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package conv
+
+import (
+	"perfprune/internal/gemm"
+	"perfprune/internal/tensor"
+)
+
+// Im2col unrolls each input patch of the convolution into a row of a
+// [OutH*OutW, KH*KW*InC] matrix (the image2col transform of §II-A1,
+// ref. [18]). The subsequent GEMM multiplies it by the transposed filter
+// matrix. Note the memory expansion: for a 3x3 kernel the patch matrix is
+// ~9x the input, which is why the paper calls direct convolution "the
+// only option" on tightly memory-limited devices.
+func Im2col(spec ConvSpec, in *tensor.Tensor) (*gemm.Matrix, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := gemm.NewMatrix(spec.OutSpatial(), spec.ReductionK())
+	inD := in.Data()
+	inRowStride := spec.InW * spec.InC
+	outW := spec.OutW()
+
+	for oy := 0; oy < spec.OutH(); oy++ {
+		for ox := 0; ox < outW; ox++ {
+			row := m.Row(oy*outW + ox)
+			iy0 := oy*spec.StrideH - spec.PadH
+			ix0 := ox*spec.StrideW - spec.PadW
+			for ky := 0; ky < spec.KH; ky++ {
+				iy := iy0 + ky
+				for kx := 0; kx < spec.KW; kx++ {
+					ix := ix0 + kx
+					dst := row[(ky*spec.KW+kx)*spec.InC : (ky*spec.KW+kx+1)*spec.InC]
+					if iy < 0 || iy >= spec.InH || ix < 0 || ix >= spec.InW {
+						for i := range dst {
+							dst[i] = 0
+						}
+						continue
+					}
+					src := inD[iy*inRowStride+ix*spec.InC:]
+					copy(dst, src[:spec.InC])
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// WeightsToColumns reshapes an OHWI filter bank into a
+// [KH*KW*InC, OutC] matrix — the ACL "reshape_to_columns" kernel's job —
+// so that patches·weights yields the NHWC output directly.
+func WeightsToColumns(spec ConvSpec, weights *tensor.Tensor) (*gemm.Matrix, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	k := spec.ReductionK()
+	m := gemm.NewMatrix(k, spec.OutC)
+	wD := weights.Data()
+	for oc := 0; oc < spec.OutC; oc++ {
+		base := oc * k
+		for r := 0; r < k; r++ {
+			m.Set(r, oc, wD[base+r])
+		}
+	}
+	return m, nil
+}
+
+// GEMM computes the convolution via im2col + matrix multiplication. It
+// produces results numerically identical (up to float32 association
+// order) to Direct; the equivalence is enforced by tests and is what
+// lets the simulator's ACL GEMM and direct paths share one ground truth.
+func GEMM(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := checkArgs(spec, in, weights); err != nil {
+		return nil, err
+	}
+	patches, err := Im2col(spec, in)
+	if err != nil {
+		return nil, err
+	}
+	wcols, err := WeightsToColumns(spec, weights)
+	if err != nil {
+		return nil, err
+	}
+	prod := gemm.NewMatrix(patches.Rows, wcols.Cols)
+	if err := gemm.Parallel(patches, wcols, prod, gemm.DefaultBlocks); err != nil {
+		return nil, err
+	}
+	out, err := tensor.FromData(tensor.NHWC, prod.Data, 1, spec.OutH(), spec.OutW(), spec.OutC)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

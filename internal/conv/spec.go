@@ -1,0 +1,99 @@
+// Package conv defines convolutional layer specifications and implements
+// the two convolution algorithms the paper studies (§II-A1): direct
+// convolution and GEMM-based (im2col) convolution. The numeric kernels
+// here are the ground truth the library models (ACL, cuDNN, TVM) are
+// validated against, and ConvSpec is the shared vocabulary between the
+// network zoo, the pruning engine, the library models and the simulator.
+package conv
+
+import "fmt"
+
+// ConvSpec describes one 2-D convolutional layer instance as profiled by
+// the paper: a single-image (batch 1) forward pass.
+type ConvSpec struct {
+	// Name identifies the layer, e.g. "ResNet.L16".
+	Name string
+	// InH, InW are the input spatial extents.
+	InH, InW int
+	// InC is the number of input channels.
+	InC int
+	// OutC is the number of output channels (filters). This is the
+	// dimension channel pruning shrinks.
+	OutC int
+	// KH, KW are the filter spatial extents.
+	KH, KW int
+	// StrideH, StrideW are the convolution strides.
+	StrideH, StrideW int
+	// PadH, PadW are the symmetric zero paddings.
+	PadH, PadW int
+}
+
+// Validate reports whether the spec describes a computable convolution.
+func (s ConvSpec) Validate() error {
+	switch {
+	case s.InH <= 0 || s.InW <= 0:
+		return fmt.Errorf("conv %q: non-positive input %dx%d", s.Name, s.InH, s.InW)
+	case s.InC <= 0:
+		return fmt.Errorf("conv %q: non-positive input channels %d", s.Name, s.InC)
+	case s.OutC <= 0:
+		return fmt.Errorf("conv %q: non-positive output channels %d", s.Name, s.OutC)
+	case s.KH <= 0 || s.KW <= 0:
+		return fmt.Errorf("conv %q: non-positive kernel %dx%d", s.Name, s.KH, s.KW)
+	case s.StrideH <= 0 || s.StrideW <= 0:
+		return fmt.Errorf("conv %q: non-positive stride %dx%d", s.Name, s.StrideH, s.StrideW)
+	case s.PadH < 0 || s.PadW < 0:
+		return fmt.Errorf("conv %q: negative padding %dx%d", s.Name, s.PadH, s.PadW)
+	}
+	if s.OutH() <= 0 || s.OutW() <= 0 {
+		return fmt.Errorf("conv %q: empty output %dx%d", s.Name, s.OutH(), s.OutW())
+	}
+	return nil
+}
+
+// OutH returns the output height.
+func (s ConvSpec) OutH() int { return (s.InH+2*s.PadH-s.KH)/s.StrideH + 1 }
+
+// OutW returns the output width.
+func (s ConvSpec) OutW() int { return (s.InW+2*s.PadW-s.KW)/s.StrideW + 1 }
+
+// OutSpatial returns OutH*OutW — the GEMM M dimension.
+func (s ConvSpec) OutSpatial() int { return s.OutH() * s.OutW() }
+
+// ReductionK returns KH*KW*InC — the GEMM K dimension.
+func (s ConvSpec) ReductionK() int { return s.KH * s.KW * s.InC }
+
+// MACs returns the multiply-accumulate count of the layer's forward pass.
+func (s ConvSpec) MACs() int64 {
+	return int64(s.OutSpatial()) * int64(s.ReductionK()) * int64(s.OutC)
+}
+
+// WeightElems returns the filter bank element count (OutC*KH*KW*InC).
+func (s ConvSpec) WeightElems() int {
+	return s.OutC * s.KH * s.KW * s.InC
+}
+
+// IsPointwise reports whether this is a 1x1 convolution. ACL selects a
+// different GEMM variant for pointwise layers (no im2col), which is why
+// their staircase pattern differs from 3x3 layers (§IV-A3, Fig. 15).
+func (s ConvSpec) IsPointwise() bool { return s.KH == 1 && s.KW == 1 }
+
+// WithOutC returns a copy of the spec with OutC replaced — the shape
+// transformation performed by pruning the layer's own filters.
+func (s ConvSpec) WithOutC(c int) ConvSpec {
+	s.OutC = c
+	return s
+}
+
+// WithInC returns a copy of the spec with InC replaced — the shape
+// transformation performed on a layer when its *producer* is pruned.
+func (s ConvSpec) WithInC(c int) ConvSpec {
+	s.InC = c
+	return s
+}
+
+// String renders the spec compactly.
+func (s ConvSpec) String() string {
+	return fmt.Sprintf("%s[%dx%dx%d -> %dx%dx%d, k%dx%d s%d p%d]",
+		s.Name, s.InH, s.InW, s.InC, s.OutH(), s.OutW(), s.OutC,
+		s.KH, s.KW, s.StrideH, s.PadH)
+}

@@ -1,0 +1,170 @@
+package conv
+
+import (
+	"fmt"
+
+	"perfprune/internal/tensor"
+)
+
+// Winograd computes a stride-1 3x3 convolution with the Winograd
+// F(2x2, 3x3) algorithm: each 2x2 output tile costs 16 multiplies
+// instead of 36 (2.25x fewer), at the price of transform overhead and
+// extra memory. The Arm Compute Library ships this path alongside the
+// direct and GEMM methods; the paper profiles only the latter two, so
+// Winograd here backs the hybrid-selection extension of §V ("future
+// solutions integrating optimizations from across different deep
+// learning libraries") rather than a paper figure.
+//
+// Only KH == KW == 3, stride 1 layers are supported; callers fall back
+// to GEMM otherwise.
+func Winograd(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := checkArgs(spec, in, weights); err != nil {
+		return nil, err
+	}
+	if !WinogradApplicable(spec) {
+		return nil, fmt.Errorf("conv %q: winograd requires 3x3 stride-1, got k%dx%d s%d",
+			spec.Name, spec.KH, spec.KW, spec.StrideH)
+	}
+	outH, outW := spec.OutH(), spec.OutW()
+	out := tensor.New(tensor.NHWC, 1, outH, outW, spec.OutC)
+
+	// Transform all filters once: U[oc][ic] is a 4x4 tile.
+	u := transformFilters(spec, weights)
+
+	tilesY := (outH + 1) / 2
+	tilesX := (outW + 1) / 2
+	var d [4][4]float32 // input tile
+	var v [4][4]float32 // transformed input tile
+	var m [4][4]float32 // elementwise accumulator
+
+	for ty := 0; ty < tilesY; ty++ {
+		for tx := 0; tx < tilesX; tx++ {
+			// Input tile origin in input coordinates (stride 1).
+			iy0 := ty*2 - spec.PadH
+			ix0 := tx*2 - spec.PadW
+			for oc := 0; oc < spec.OutC; oc++ {
+				for i := range m {
+					for j := range m[i] {
+						m[i][j] = 0
+					}
+				}
+				for ic := 0; ic < spec.InC; ic++ {
+					loadTile(&d, in, spec, iy0, ix0, ic)
+					inputTransform(&d, &v)
+					ut := &u[oc*spec.InC+ic]
+					for i := 0; i < 4; i++ {
+						for j := 0; j < 4; j++ {
+							m[i][j] += ut[i][j] * v[i][j]
+						}
+					}
+				}
+				storeTile(out, &m, ty, tx, oc, outH, outW)
+			}
+		}
+	}
+	return out, nil
+}
+
+// WinogradApplicable reports whether the layer shape admits the
+// F(2x2, 3x3) algorithm.
+func WinogradApplicable(spec ConvSpec) bool {
+	return spec.KH == 3 && spec.KW == 3 && spec.StrideH == 1 && spec.StrideW == 1
+}
+
+// transformFilters computes U = G g G^T for every (oc, ic) filter,
+// where G is the 4x3 Winograd filter transform.
+func transformFilters(spec ConvSpec, weights *tensor.Tensor) [][4][4]float32 {
+	u := make([][4][4]float32, spec.OutC*spec.InC)
+	var g [3][3]float32
+	for oc := 0; oc < spec.OutC; oc++ {
+		for ic := 0; ic < spec.InC; ic++ {
+			for ky := 0; ky < 3; ky++ {
+				for kx := 0; kx < 3; kx++ {
+					g[ky][kx] = weights.At(oc, ky, kx, ic)
+				}
+			}
+			// Gg: 4x3.
+			var gg [4][3]float32
+			for col := 0; col < 3; col++ {
+				gg[0][col] = g[0][col]
+				gg[1][col] = 0.5 * (g[0][col] + g[1][col] + g[2][col])
+				gg[2][col] = 0.5 * (g[0][col] - g[1][col] + g[2][col])
+				gg[3][col] = g[2][col]
+			}
+			// (Gg)G^T: 4x4.
+			t := &u[oc*spec.InC+ic]
+			for row := 0; row < 4; row++ {
+				t[row][0] = gg[row][0]
+				t[row][1] = 0.5 * (gg[row][0] + gg[row][1] + gg[row][2])
+				t[row][2] = 0.5 * (gg[row][0] - gg[row][1] + gg[row][2])
+				t[row][3] = gg[row][2]
+			}
+		}
+	}
+	return u
+}
+
+// loadTile copies a zero-padded 4x4 input patch for channel ic.
+func loadTile(d *[4][4]float32, in *tensor.Tensor, spec ConvSpec, iy0, ix0, ic int) {
+	for i := 0; i < 4; i++ {
+		iy := iy0 + i
+		for j := 0; j < 4; j++ {
+			ix := ix0 + j
+			if iy < 0 || iy >= spec.InH || ix < 0 || ix >= spec.InW {
+				d[i][j] = 0
+			} else {
+				d[i][j] = in.At(0, iy, ix, ic)
+			}
+		}
+	}
+}
+
+// inputTransform computes V = B^T d B where B^T is the 4x4 Winograd
+// input transform.
+func inputTransform(d, v *[4][4]float32) {
+	// rows: B^T d.
+	var t [4][4]float32
+	for col := 0; col < 4; col++ {
+		t[0][col] = d[0][col] - d[2][col]
+		t[1][col] = d[1][col] + d[2][col]
+		t[2][col] = -d[1][col] + d[2][col]
+		t[3][col] = d[1][col] - d[3][col]
+	}
+	// cols: (B^T d) B.
+	for row := 0; row < 4; row++ {
+		v[row][0] = t[row][0] - t[row][2]
+		v[row][1] = t[row][1] + t[row][2]
+		v[row][2] = -t[row][1] + t[row][2]
+		v[row][3] = t[row][1] - t[row][3]
+	}
+}
+
+// storeTile applies the output transform Y = A^T m A and writes the
+// 2x2 (or clipped) output tile.
+func storeTile(out *tensor.Tensor, m *[4][4]float32, ty, tx, oc, outH, outW int) {
+	// A^T m: 2x4.
+	var t [2][4]float32
+	for col := 0; col < 4; col++ {
+		t[0][col] = m[0][col] + m[1][col] + m[2][col]
+		t[1][col] = m[1][col] - m[2][col] - m[3][col]
+	}
+	// (A^T m) A: 2x2.
+	var y [2][2]float32
+	for row := 0; row < 2; row++ {
+		y[row][0] = t[row][0] + t[row][1] + t[row][2]
+		y[row][1] = t[row][1] - t[row][2] - t[row][3]
+	}
+	for dy := 0; dy < 2; dy++ {
+		oy := ty*2 + dy
+		if oy >= outH {
+			continue
+		}
+		for dx := 0; dx < 2; dx++ {
+			ox := tx*2 + dx
+			if ox >= outW {
+				continue
+			}
+			out.Set(y[dy][dx], 0, oy, ox, oc)
+		}
+	}
+}

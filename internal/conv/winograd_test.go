@@ -1,0 +1,114 @@
+package conv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfprune/internal/tensor"
+)
+
+func TestWinogradMatchesDirect(t *testing.T) {
+	specs := []ConvSpec{
+		{Name: "even", InH: 8, InW: 8, InC: 4, OutC: 6, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{Name: "odd-out", InH: 7, InW: 9, InC: 3, OutC: 5, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{Name: "no-pad", InH: 10, InW: 10, InC: 2, OutC: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1},
+		{Name: "single-channel", InH: 6, InW: 6, InC: 1, OutC: 1, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{Name: "deep", InH: 5, InW: 5, InC: 16, OutC: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+	}
+	for _, spec := range specs {
+		in := mkInput(spec, tensor.Hash64(spec.Name+"w"))
+		w := mkWeights(spec, tensor.Hash64(spec.Name+"w")+1)
+		want, err := Direct(spec, in, w)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		got, err := Winograd(spec, in, w)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		ok, err := tensor.AllClose(got, want, 1e-3, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			d, _ := tensor.MaxAbsDiff(got, want)
+			t.Errorf("%s: winograd differs from direct, max diff %g", spec.Name, d)
+		}
+	}
+}
+
+func TestWinogradApplicability(t *testing.T) {
+	base := ConvSpec{Name: "b", InH: 8, InW: 8, InC: 2, OutC: 2, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	if !WinogradApplicable(base) {
+		t.Error("3x3 stride-1 should be applicable")
+	}
+	pointwise := base
+	pointwise.KH, pointwise.KW, pointwise.PadH, pointwise.PadW = 1, 1, 0, 0
+	if WinogradApplicable(pointwise) {
+		t.Error("1x1 should not be applicable")
+	}
+	strided := base
+	strided.StrideH, strided.StrideW = 2, 2
+	if WinogradApplicable(strided) {
+		t.Error("stride-2 should not be applicable")
+	}
+	in := mkInput(strided, 1)
+	w := mkWeights(strided, 2)
+	if _, err := Winograd(strided, in, w); err == nil {
+		t.Error("Winograd accepted a stride-2 layer")
+	}
+}
+
+// Property: winograd agrees with the GEMM path on random shapes.
+func TestWinogradMatchesGEMMProperty(t *testing.T) {
+	f := func(hRaw, cRaw, ocRaw uint8, seed uint64) bool {
+		spec := ConvSpec{
+			Name: "p",
+			InH:  int(hRaw%10) + 4, InW: int(hRaw%7) + 4,
+			InC: int(cRaw%6) + 1, OutC: int(ocRaw%6) + 1,
+			KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+		}
+		in := mkInput(spec, seed)
+		w := mkWeights(spec, seed+1)
+		a, err := GEMM(spec, in, w)
+		if err != nil {
+			return false
+		}
+		b, err := Winograd(spec, in, w)
+		if err != nil {
+			return false
+		}
+		ok, _ := tensor.AllClose(a, b, 1e-3, 1e-4)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkConvAlgorithms(b *testing.B) {
+	spec := ConvSpec{Name: "l16ish", InH: 28, InW: 28, InC: 32, OutC: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	in := mkInput(spec, 1)
+	w := mkWeights(spec, 2)
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Direct(spec, in, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gemm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := GEMM(spec, in, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("winograd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Winograd(spec, in, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

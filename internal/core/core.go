@@ -1,0 +1,356 @@
+// Package core implements the paper's proposal (§II-B, §V): selecting
+// convolutional channel counts "in an iterative loop with hardware
+// profiling and test accuracy of the compressed model". It combines
+//
+//   - the profiler (simulated device measurements, median-of-10),
+//   - the staircase analysis (right-edge optimal channel counts), and
+//   - the accuracy model
+//
+// into a Planner that produces pruning plans restricted to staircase
+// right edges — "the most number of channels for an inference time" —
+// and compares them against the uninstructed pruning the paper warns
+// about, which "can hurt performance dramatically, up to 2x slowdown
+// ... when pruning just 12% of layer channels".
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"perfprune/internal/accuracy"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/profiler"
+	"perfprune/internal/prune"
+	"perfprune/internal/staircase"
+)
+
+// Target is a (device, library) runtime environment. The paper's core
+// finding is that optimal channel counts are a property of the target,
+// so every plan is built for exactly one Target.
+type Target struct {
+	Device  device.Device
+	Library profiler.Library
+}
+
+// Validate checks the library can run on the device.
+func (t Target) Validate() error {
+	if t.Library == nil {
+		return fmt.Errorf("core: target has no library")
+	}
+	if !t.Library.Supports(t.Device) {
+		return fmt.Errorf("core: %s does not target %s (%s)",
+			t.Library.Name(), t.Device.Name, t.Device.API)
+	}
+	return nil
+}
+
+// String renders the target compactly.
+func (t Target) String() string {
+	return fmt.Sprintf("%s on %s", t.Library.Name(), t.Device.Name)
+}
+
+// LayerProfile is the full latency characterization of one layer on a
+// target: the channel sweep and its staircase analysis.
+type LayerProfile struct {
+	Layer    nets.Layer
+	Curve    []profiler.Point
+	Analysis staircase.Analysis
+}
+
+// TimeAt returns the profiled latency at a channel count.
+func (lp LayerProfile) TimeAt(c int) (float64, error) {
+	i := c - lp.Curve[0].Channels
+	if i < 0 || i >= len(lp.Curve) || lp.Curve[i].Channels != c {
+		return 0, fmt.Errorf("core: %s profile has no point at %d channels", lp.Layer.Label, c)
+	}
+	return lp.Curve[i].Ms, nil
+}
+
+// ProfileLayer sweeps a layer's channel counts from 1 to its full width
+// on the target and analyzes the staircase.
+func ProfileLayer(tg Target, layer nets.Layer) (LayerProfile, error) {
+	if err := tg.Validate(); err != nil {
+		return LayerProfile{}, err
+	}
+	curve, err := profiler.SweepChannels(tg.Library, tg.Device, layer.Spec, 1, layer.Spec.OutC)
+	if err != nil {
+		return LayerProfile{}, err
+	}
+	an, err := staircase.Analyze(curve)
+	if err != nil {
+		return LayerProfile{}, err
+	}
+	return LayerProfile{Layer: layer, Curve: curve, Analysis: an}, nil
+}
+
+// NetworkProfile characterizes every layer of a network on one target.
+// Layers with identical shapes share one sweep (the paper likewise
+// profiles unique shapes once).
+type NetworkProfile struct {
+	Target   Target
+	Network  nets.Network
+	Profiles map[string]LayerProfile
+}
+
+// ProfileNetwork sweeps all layers of n on the target.
+func ProfileNetwork(tg Target, n nets.Network) (*NetworkProfile, error) {
+	if err := tg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	np := &NetworkProfile{
+		Target:   tg,
+		Network:  n,
+		Profiles: make(map[string]LayerProfile, len(n.Layers)),
+	}
+	byShape := make(map[string]LayerProfile)
+	for _, l := range n.Layers {
+		key := shapeKey(l)
+		if cached, ok := byShape[key]; ok {
+			np.Profiles[l.Label] = LayerProfile{Layer: l, Curve: cached.Curve, Analysis: cached.Analysis}
+			continue
+		}
+		lp, err := ProfileLayer(tg, l)
+		if err != nil {
+			return nil, err
+		}
+		byShape[key] = lp
+		np.Profiles[l.Label] = lp
+	}
+	return np, nil
+}
+
+func shapeKey(l nets.Layer) string {
+	s := l.Spec
+	return fmt.Sprintf("%dx%dx%d/%d/k%dx%d/s%d%d/p%d%d",
+		s.InH, s.InW, s.InC, s.OutC, s.KH, s.KW, s.StrideH, s.StrideW, s.PadH, s.PadW)
+}
+
+// BaselineMs returns the unpruned whole-network convolution latency.
+func (np *NetworkProfile) BaselineMs() (float64, error) {
+	total := 0.0
+	for _, l := range np.Network.Layers {
+		t, err := np.Profiles[l.Label].TimeAt(l.Spec.OutC)
+		if err != nil {
+			return 0, err
+		}
+		total += t
+	}
+	return total, nil
+}
+
+// LatencyOf returns the whole-network latency under a pruning plan.
+func (np *NetworkProfile) LatencyOf(p prune.Plan) (float64, error) {
+	total := 0.0
+	for _, l := range np.Network.Layers {
+		keep, ok := p[l.Label]
+		if !ok {
+			keep = l.Spec.OutC
+		}
+		t, err := np.Profiles[l.Label].TimeAt(keep)
+		if err != nil {
+			return 0, err
+		}
+		total += t
+	}
+	return total, nil
+}
+
+// PlanResult is an evaluated pruning plan.
+type PlanResult struct {
+	Plan prune.Plan
+	// LatencyMs is the whole-network latency under the plan.
+	LatencyMs float64
+	// BaselineMs is the unpruned latency; Speedup = BaselineMs/LatencyMs.
+	BaselineMs float64
+	Speedup    float64
+	// Accuracy is the modeled top-1 accuracy after pruning.
+	Accuracy float64
+	// AccuracyDrop is Baseline accuracy minus Accuracy.
+	AccuracyDrop float64
+}
+
+// Planner couples a network profile with the accuracy model — the
+// iterative loop of §V.
+type Planner struct {
+	Profile *NetworkProfile
+	Acc     accuracy.Model
+}
+
+// NewPlanner builds a planner with the network's accuracy model
+// (fine-tuning enabled, the standard pruning practice).
+func NewPlanner(np *NetworkProfile) (*Planner, error) {
+	if np == nil {
+		return nil, fmt.Errorf("core: nil network profile")
+	}
+	m, err := accuracy.ForNetwork(np.Network)
+	if err != nil {
+		return nil, err
+	}
+	return &Planner{Profile: np, Acc: m.WithFineTune(true)}, nil
+}
+
+func (pl *Planner) evaluate(p prune.Plan) (PlanResult, error) {
+	base, err := pl.Profile.BaselineMs()
+	if err != nil {
+		return PlanResult{}, err
+	}
+	lat, err := pl.Profile.LatencyOf(p)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	acc, err := pl.Acc.Predict(pl.Profile.Network, p)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	return PlanResult{
+		Plan:         p,
+		LatencyMs:    lat,
+		BaselineMs:   base,
+		Speedup:      base / lat,
+		Accuracy:     acc,
+		AccuracyDrop: pl.Acc.Base - acc,
+	}, nil
+}
+
+// Uninstructed evaluates the accuracy-only baseline: every layer pruned
+// by the same fraction, with no knowledge of the device. On the OpenCL
+// targets this reproduces the paper's headline hazard (a 12% prune can
+// run slower than the unpruned network).
+func (pl *Planner) Uninstructed(fraction float64) (PlanResult, error) {
+	p, err := prune.Uniform(pl.Profile.Network, fraction)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	return pl.evaluate(p)
+}
+
+// PerformanceAware runs the paper's proposed loop: starting from the
+// unpruned network, greedily move single layers to their next staircase
+// right edge, always taking the step with the best latency gain per
+// accuracy point lost, until the target speedup is reached or no step
+// remains within maxAccuracyDrop. Every configuration it considers is a
+// profiled Pareto edge, so — unlike uninstructed pruning — no step can
+// regress latency.
+func (pl *Planner) PerformanceAware(targetSpeedup, maxAccuracyDrop float64) (PlanResult, error) {
+	if targetSpeedup < 1 {
+		return PlanResult{}, fmt.Errorf("core: target speedup %v must be >= 1", targetSpeedup)
+	}
+	n := pl.Profile.Network
+	plan := make(prune.Plan, len(n.Layers))
+	for _, l := range n.Layers {
+		plan[l.Label] = l.Spec.OutC
+	}
+	base, err := pl.Profile.BaselineMs()
+	if err != nil {
+		return PlanResult{}, err
+	}
+	targetMs := base / targetSpeedup
+	current := base
+
+	for current > targetMs {
+		type step struct {
+			label   string
+			keep    int
+			dLat    float64
+			dAcc    float64
+			density float64
+		}
+		var best *step
+		for _, l := range n.Layers {
+			lp := pl.Profile.Profiles[l.Label]
+			edge, ok := lp.Analysis.EdgeAtMost(plan[l.Label] - 1)
+			if !ok {
+				continue
+			}
+			tCur, err := lp.TimeAt(plan[l.Label])
+			if err != nil {
+				return PlanResult{}, err
+			}
+			dLat := tCur - edge.Ms
+			if dLat <= 0 {
+				continue
+			}
+			penNew, err := pl.Acc.LayerPenalty(l.Label, l.Spec.OutC, edge.Channels)
+			if err != nil {
+				return PlanResult{}, err
+			}
+			penCur, err := pl.Acc.LayerPenalty(l.Label, l.Spec.OutC, plan[l.Label])
+			if err != nil {
+				return PlanResult{}, err
+			}
+			dAcc := penNew - penCur
+			if dAcc < 1e-9 {
+				dAcc = 1e-9
+			}
+			s := step{label: l.Label, keep: edge.Channels, dLat: dLat, dAcc: dAcc, density: dLat / dAcc}
+			if best == nil || s.density > best.density {
+				cp := s
+				best = &cp
+			}
+		}
+		if best == nil {
+			break // no further profitable step exists
+		}
+		// Respect the accuracy budget before committing.
+		trial := clonePlan(plan)
+		trial[best.label] = best.keep
+		acc, err := pl.Acc.Predict(n, trial)
+		if err != nil {
+			return PlanResult{}, err
+		}
+		if pl.Acc.Base-acc > maxAccuracyDrop {
+			break
+		}
+		plan = trial
+		current -= best.dLat
+	}
+
+	res, err := pl.evaluate(plan)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	if res.Speedup < targetSpeedup {
+		// Report the best achievable plan rather than failing: the
+		// caller inspects Speedup against its target.
+		return res, nil
+	}
+	return res, nil
+}
+
+func clonePlan(p prune.Plan) prune.Plan {
+	c := make(prune.Plan, len(p))
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}
+
+// EdgeSummary lists, per layer, the profiled optimal channel counts —
+// the output the paper suggests feeding to a pruning search to "reduce
+// the search space to the ones with superior speedup" (§V).
+type EdgeSummary struct {
+	Label string
+	Full  int
+	Edges []profiler.Point
+}
+
+// Edges returns the per-layer Pareto edge summaries, sorted by label
+// order of the network.
+func (np *NetworkProfile) Edges() []EdgeSummary {
+	out := make([]EdgeSummary, 0, len(np.Network.Layers))
+	seen := make(map[string]bool)
+	for _, l := range np.Network.Layers {
+		if seen[l.Label] {
+			continue
+		}
+		seen[l.Label] = true
+		lp := np.Profiles[l.Label]
+		out = append(out, EdgeSummary{Label: l.Label, Full: l.Spec.OutC, Edges: lp.Analysis.Edges})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}

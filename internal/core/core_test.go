@@ -1,0 +1,284 @@
+package core
+
+import (
+	"testing"
+
+	"perfprune/internal/acl"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/profiler"
+	"perfprune/internal/prune"
+)
+
+func aclGEMMTarget() Target {
+	return Target{Device: device.HiKey970, Library: profiler.ACL(acl.GEMMConv)}
+}
+
+func aclDirectTarget() Target {
+	return Target{Device: device.HiKey970, Library: profiler.ACL(acl.DirectConv)}
+}
+
+func cudnnTarget() Target {
+	return Target{Device: device.JetsonTX2, Library: profiler.CuDNN()}
+}
+
+func TestTargetValidate(t *testing.T) {
+	if err := aclGEMMTarget().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Target{Device: device.JetsonTX2, Library: profiler.ACL(acl.GEMMConv)}
+	if bad.Validate() == nil {
+		t.Error("ACL on CUDA device accepted")
+	}
+	if (Target{Device: device.HiKey970}).Validate() == nil {
+		t.Error("nil library accepted")
+	}
+	if got := cudnnTarget().String(); got != "cuDNN on Jetson TX2" {
+		t.Errorf("target string = %q", got)
+	}
+}
+
+func TestProfileLayer(t *testing.T) {
+	n := nets.ResNet50()
+	l16, _ := n.Layer("ResNet.L16")
+	lp, err := ProfileLayer(aclGEMMTarget(), l16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lp.Curve) != 128 {
+		t.Fatalf("curve has %d points, want 128", len(lp.Curve))
+	}
+	// Edges must exist and include 128 (the full width is Pareto).
+	last := lp.Analysis.Edges[len(lp.Analysis.Edges)-1]
+	if last.Channels != 128 {
+		t.Fatalf("widest edge at %d channels", last.Channels)
+	}
+	// The paper's optimal points: edges avoid split-job channel counts
+	// above one pass (B%4 != 0 means a ~4.5ms resubmission penalty).
+	for _, e := range lp.Analysis.Edges {
+		if e.Channels > 16 && e.Channels != 128 && acl.Blocks(e.Channels)%4 != 0 {
+			t.Errorf("edge at %d channels sits on the split (slow) staircase", e.Channels)
+		}
+	}
+	// TimeAt round-trips the curve.
+	ms, err := lp.TimeAt(93)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms < 13 || ms > 16 {
+		t.Errorf("TimeAt(93) = %.2f, want ~14", ms)
+	}
+	if _, err := lp.TimeAt(500); err == nil {
+		t.Error("TimeAt outside curve accepted")
+	}
+}
+
+func TestProfileNetworkSharesShapes(t *testing.T) {
+	// VGG-16 has 13 layers but only 9 unique shapes; identical shapes
+	// must share the same curve (same underlying analysis).
+	np, err := ProfileNetwork(cudnnTarget(), nets.VGG16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(np.Profiles) != 13 {
+		t.Fatalf("%d profiles, want 13", len(np.Profiles))
+	}
+	// L12 and L14 share a shape: identical curves.
+	a := np.Profiles["VGG.L12"].Curve
+	b := np.Profiles["VGG.L14"].Curve
+	if len(a) != len(b) {
+		t.Fatal("shared-shape curves differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("shared-shape curves differ")
+		}
+	}
+}
+
+func TestBaselineAndPlanLatency(t *testing.T) {
+	np, err := ProfileNetwork(cudnnTarget(), nets.AlexNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := np.BaselineMs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base <= 0 {
+		t.Fatal("non-positive baseline")
+	}
+	// The empty plan has baseline latency.
+	lat, err := np.LatencyOf(prune.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != base {
+		t.Fatalf("empty plan latency %v != baseline %v", lat, base)
+	}
+	// A deep plan is faster on cuDNN (monotone staircase).
+	deep, err := prune.Distance(nets.AlexNet(), 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat2, err := np.LatencyOf(deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat2 >= base {
+		t.Fatalf("deep prune latency %v >= baseline %v on cuDNN", lat2, base)
+	}
+}
+
+// TestUninstructedSlowdown reproduces the paper's headline on the ACL
+// direct path: pruning 12% uniformly makes the network slower.
+func TestUninstructedSlowdown(t *testing.T) {
+	np, err := ProfileNetwork(aclDirectTarget(), nets.ResNet50())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPlanner(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Uninstructed(0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup >= 1 {
+		t.Fatalf("uninstructed 12%% pruning sped up the network (%.2fx); the paper's hazard requires a slowdown", res.Speedup)
+	}
+	if res.Speedup < 0.4 {
+		t.Fatalf("slowdown %.2fx implausibly deep", res.Speedup)
+	}
+}
+
+// TestPerformanceAwareNeverRegresses: the planner's output is never
+// slower than baseline and meets a modest target.
+func TestPerformanceAwareNeverRegresses(t *testing.T) {
+	for _, tg := range []Target{aclDirectTarget(), aclGEMMTarget(), cudnnTarget()} {
+		np, err := ProfileNetwork(tg, nets.AlexNet())
+		if err != nil {
+			t.Fatalf("%s: %v", tg, err)
+		}
+		pl, err := NewPlanner(np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pl.PerformanceAware(1.2, 3.0)
+		if err != nil {
+			t.Fatalf("%s: %v", tg, err)
+		}
+		if res.Speedup < 1 {
+			t.Errorf("%s: performance-aware plan slower than baseline (%.2fx)", tg, res.Speedup)
+		}
+		if res.AccuracyDrop > 3.0+1e-9 {
+			t.Errorf("%s: accuracy budget exceeded: %.2f", tg, res.AccuracyDrop)
+		}
+		// Every kept width must be a profiled Pareto edge or full width.
+		for label, keep := range res.Plan {
+			lp := np.Profiles[label]
+			full := lp.Layer.Spec.OutC
+			if keep == full {
+				continue
+			}
+			onEdge := false
+			for _, e := range lp.Analysis.Edges {
+				if e.Channels == keep {
+					onEdge = true
+					break
+				}
+			}
+			if !onEdge {
+				t.Errorf("%s: %s kept %d channels, not a staircase edge", tg, label, keep)
+			}
+		}
+	}
+}
+
+func TestPerformanceAwareBeatsUninstructed(t *testing.T) {
+	np, err := ProfileNetwork(aclGEMMTarget(), nets.ResNet50())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPlanner(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unin, err := pl.Uninstructed(0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := pl.PerformanceAware(1.3, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.LatencyMs >= unin.LatencyMs {
+		t.Fatalf("performance-aware (%.1f ms) not faster than uninstructed (%.1f ms)",
+			aware.LatencyMs, unin.LatencyMs)
+	}
+}
+
+func TestPerformanceAwareValidation(t *testing.T) {
+	np, err := ProfileNetwork(cudnnTarget(), nets.AlexNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPlanner(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.PerformanceAware(0.5, 1); err == nil {
+		t.Error("target speedup < 1 accepted")
+	}
+	if _, err := NewPlanner(nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+}
+
+func TestAccuracyBudgetStopsPlanner(t *testing.T) {
+	np, err := ProfileNetwork(cudnnTarget(), nets.AlexNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPlanner(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A zero budget forbids any pruning step that costs accuracy.
+	res, err := pl.PerformanceAware(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AccuracyDrop > 1e-9 {
+		t.Fatalf("planner spent %.4f accuracy with a zero budget", res.AccuracyDrop)
+	}
+}
+
+func TestEdges(t *testing.T) {
+	np, err := ProfileNetwork(cudnnTarget(), nets.AlexNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := np.Edges()
+	if len(edges) != 5 {
+		t.Fatalf("%d edge summaries, want 5", len(edges))
+	}
+	for _, e := range edges {
+		if len(e.Edges) == 0 {
+			t.Errorf("%s has no edges", e.Label)
+		}
+		if e.Full <= 0 {
+			t.Errorf("%s full width %d", e.Label, e.Full)
+		}
+	}
+}
+
+func TestProfileNetworkValidation(t *testing.T) {
+	if _, err := ProfileNetwork(Target{}, nets.AlexNet()); err == nil {
+		t.Error("invalid target accepted")
+	}
+	if _, err := ProfileNetwork(cudnnTarget(), nets.Network{Name: "empty"}); err == nil {
+		t.Error("empty network accepted")
+	}
+}

@@ -1,0 +1,153 @@
+// Package cuda is the CUDA-like runtime substrate for the Jetson boards.
+// It mirrors the paper's measurement methodology (§III-C2): work is
+// launched on a stream, and execution time is taken as the interval
+// between CUDA events recorded around the cuDNN task, which the paper
+// cross-validated against nvprof. cuDNN never exhibits the OpenCL
+// runtime's job splitting, so lowering is one kernel per launch.
+package cuda
+
+import (
+	"fmt"
+
+	"perfprune/internal/device"
+	"perfprune/internal/sim"
+)
+
+// Launch is one kernel launch on a stream.
+type Launch struct {
+	// Name is the kernel symbol, e.g. "implicit_gemm_tile128".
+	Name string
+	// Grid and Block are the launch dimensions.
+	Grid  [3]int
+	Block [3]int
+	// ArithInstrs / MemInstrs are instruction totals.
+	ArithInstrs, MemInstrs int64
+	// TrafficBytes is the DRAM traffic of the launch.
+	TrafficBytes int64
+	// Eff is the SM efficiency class in (0,1]; 0 means 1.0.
+	Eff float64
+}
+
+// Event is a CUDA event with a virtual timestamp in milliseconds.
+type Event struct {
+	Name string
+	AtMs float64
+}
+
+// Elapsed returns the time between two events, the cudaEventElapsedTime
+// equivalent the paper's profiler uses.
+func Elapsed(start, end Event) float64 { return end.AtMs - start.AtMs }
+
+// Stream is an in-order execution stream bound to one CUDA device.
+type Stream struct {
+	dev      device.Device
+	launches []Launch
+	events   []Event
+	pending  []pendingEvent
+}
+
+type pendingEvent struct {
+	name     string
+	afterIdx int // number of launches that must complete first
+}
+
+// NewStream creates a stream on dev; only CUDA devices are valid.
+func NewStream(dev device.Device) (*Stream, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	if dev.API != device.CUDA {
+		return nil, fmt.Errorf("cuda: device %s exposes %s, not CUDA", dev.Name, dev.API)
+	}
+	return &Stream{dev: dev}, nil
+}
+
+// RecordEvent places an event after all currently launched work.
+func (s *Stream) RecordEvent(name string) {
+	s.pending = append(s.pending, pendingEvent{name: name, afterIdx: len(s.launches)})
+}
+
+// Launch queues a kernel.
+func (s *Stream) Launch(l Launch) error {
+	if l.Name == "" {
+		return fmt.Errorf("cuda: launch with empty kernel name")
+	}
+	if l.ArithInstrs < 0 || l.MemInstrs < 0 {
+		return fmt.Errorf("cuda: launch %s with negative instruction count", l.Name)
+	}
+	s.launches = append(s.launches, l)
+	return nil
+}
+
+// Synchronize executes all queued launches on the simulator and resolves
+// event timestamps. It returns the simulation result and the recorded
+// events in order.
+func (s *Stream) Synchronize() (sim.Result, []Event, error) {
+	kernels := make([]sim.Kernel, len(s.launches))
+	for i, l := range s.launches {
+		kernels[i] = sim.Kernel{
+			Name:         l.Name,
+			Global:       mulDims(l.Grid, l.Block),
+			Local:        l.Block,
+			ArithInstrs:  l.ArithInstrs,
+			MemInstrs:    l.MemInstrs,
+			TrafficBytes: l.TrafficBytes,
+			Eff:          l.Eff,
+		}
+	}
+	res, err := sim.Execute(s.dev, kernels)
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	// Compute cumulative completion times per launch.
+	perMs := s.dev.GPU.CyclesPerMs()
+	cum := make([]float64, len(res.Jobs)+1)
+	for i, j := range res.Jobs {
+		cum[i+1] = cum[i] + (j.Cycles+j.GapCycles)/perMs
+	}
+	events := make([]Event, 0, len(s.pending))
+	for _, p := range s.pending {
+		events = append(events, Event{Name: p.name, AtMs: cum[p.afterIdx]})
+	}
+	s.launches = nil
+	s.pending = nil
+	s.events = append(s.events, events...)
+	return res, events, nil
+}
+
+func mulDims(grid, block [3]int) [3]int {
+	var g [3]int
+	for i := 0; i < 3; i++ {
+		gg, bb := grid[i], block[i]
+		if gg == 0 {
+			gg = 1
+		}
+		if bb == 0 {
+			bb = 1
+		}
+		g[i] = gg * bb
+	}
+	return g
+}
+
+// TimeLaunches is the convenience path used by the cuDNN model: run the
+// launches between a start and stop event and return both the elapsed
+// milliseconds and the simulation result.
+func TimeLaunches(dev device.Device, launches []Launch) (float64, sim.Result, error) {
+	s, err := NewStream(dev)
+	if err != nil {
+		return 0, sim.Result{}, err
+	}
+	s.RecordEvent("start")
+	for _, l := range launches {
+		if err := s.Launch(l); err != nil {
+			return 0, sim.Result{}, err
+		}
+	}
+	s.RecordEvent("stop")
+	res, events, err := s.Synchronize()
+	if err != nil {
+		return 0, sim.Result{}, err
+	}
+	return Elapsed(events[0], events[1]), res, nil
+}

@@ -1,0 +1,132 @@
+package cuda
+
+import (
+	"math"
+	"testing"
+
+	"perfprune/internal/device"
+)
+
+func TestNewStreamRejectsOpenCL(t *testing.T) {
+	if _, err := NewStream(device.HiKey970); err == nil {
+		t.Fatal("CUDA stream created on an OpenCL device")
+	}
+	if _, err := NewStream(device.Device{}); err == nil {
+		t.Fatal("CUDA stream created on invalid device")
+	}
+	if _, err := NewStream(device.JetsonTX2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	s, err := NewStream(device.JetsonTX2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Launch(Launch{}); err == nil {
+		t.Error("empty launch accepted")
+	}
+	if err := s.Launch(Launch{Name: "k", ArithInstrs: -1}); err == nil {
+		t.Error("negative instructions accepted")
+	}
+	if err := s.Launch(Launch{Name: "k", ArithInstrs: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventElapsed(t *testing.T) {
+	s, err := NewStream(device.JetsonTX2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RecordEvent("start")
+	if err := s.Launch(Launch{Name: "a", Grid: [3]int{512, 1, 1}, ArithInstrs: 1e8}); err != nil {
+		t.Fatal(err)
+	}
+	s.RecordEvent("mid")
+	if err := s.Launch(Launch{Name: "b", Grid: [3]int{512, 1, 1}, ArithInstrs: 2e8}); err != nil {
+		t.Fatal(err)
+	}
+	s.RecordEvent("stop")
+	res, events, err := s.Synchronize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("%d events, want 3", len(events))
+	}
+	if events[0].AtMs != 0 {
+		t.Fatalf("start at %v, want 0", events[0].AtMs)
+	}
+	total := Elapsed(events[0], events[2])
+	first := Elapsed(events[0], events[1])
+	second := Elapsed(events[1], events[2])
+	if math.Abs(total-(first+second)) > 1e-12 {
+		t.Fatalf("segments %v + %v != total %v", first, second, total)
+	}
+	// Kernel b has 2x the instructions of a; with setup overhead the
+	// second segment must be between 1x and 2x the first.
+	if second <= first || second > 2*first {
+		t.Fatalf("second segment %v vs first %v: expected (1x, 2x]", second, first)
+	}
+	if res.Counters.Jobs != 2 {
+		t.Fatalf("jobs = %d, want 2", res.Counters.Jobs)
+	}
+}
+
+func TestTimeLaunches(t *testing.T) {
+	ms, res, err := TimeLaunches(device.JetsonNano, []Launch{
+		{Name: "k", Grid: [3]int{256, 1, 1}, ArithInstrs: 1e7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms <= 0 {
+		t.Fatalf("elapsed = %v", ms)
+	}
+	if math.Abs(ms-res.TotalMs()) > 1e-9 {
+		t.Fatalf("event time %v != simulated total %v", ms, res.TotalMs())
+	}
+	if _, _, err := TimeLaunches(device.HiKey970, nil); err == nil {
+		t.Fatal("TimeLaunches on OpenCL device accepted")
+	}
+	if _, _, err := TimeLaunches(device.JetsonTX2, []Launch{{}}); err == nil {
+		t.Fatal("TimeLaunches with invalid launch accepted")
+	}
+}
+
+func TestStreamDrainedAfterSynchronize(t *testing.T) {
+	s, err := NewStream(device.JetsonTX2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Launch(Launch{Name: "k", ArithInstrs: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	res, events, err := s.Synchronize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Jobs != 0 || len(events) != 0 {
+		t.Fatal("stream not drained")
+	}
+}
+
+func TestGridBlockDims(t *testing.T) {
+	// Grid x Block defines the global size handed to the simulator.
+	s, _ := NewStream(device.JetsonTX2)
+	if err := s.Launch(Launch{Name: "k", Grid: [3]int{4, 2, 1}, Block: [3]int{32, 1, 1}, ArithInstrs: 100}); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := s.Synchronize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].WorkGroups != 8 {
+		t.Fatalf("work groups = %d, want 8 (4x2 grid)", res.Jobs[0].WorkGroups)
+	}
+}

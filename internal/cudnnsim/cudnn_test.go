@@ -1,0 +1,209 @@
+package cudnnsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+)
+
+func layer16(c int) conv.ConvSpec {
+	return conv.ConvSpec{
+		Name: "ResNet.L16", InH: 28, InW: 28, InC: 128, OutC: c,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}
+}
+
+func layer14(c int) conv.ConvSpec {
+	return conv.ConvSpec{
+		Name: "ResNet.L14", InH: 56, InW: 56, InC: 256, OutC: c,
+		KH: 1, KW: 1, StrideH: 2, StrideW: 2,
+	}
+}
+
+func ms(t *testing.T, dev device.Device, spec conv.ConvSpec) float64 {
+	t.Helper()
+	v, err := TimeMs(dev, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestFig4Staircase: layer 16 on the TX2 is flat above 97 channels,
+// drops ~1.3x at 96, and drops again at 64.
+func TestFig4Staircase(t *testing.T) {
+	t128 := ms(t, device.JetsonTX2, layer16(128))
+	t97 := ms(t, device.JetsonTX2, layer16(97))
+	t96 := ms(t, device.JetsonTX2, layer16(96))
+	t64 := ms(t, device.JetsonTX2, layer16(64))
+	if t128 != t97 {
+		t.Errorf("t(128)=%v != t(97)=%v: plateau above 97 expected", t128, t97)
+	}
+	if r := t128 / t96; r < 1.15 || r > 1.4 {
+		t.Errorf("step at 96 = %.2fx, paper reports 1.3x", r)
+	}
+	if t64 >= t96 {
+		t.Errorf("no drop at 64: t(64)=%v t(96)=%v", t64, t96)
+	}
+	// Absolute scale: Fig. 4's y-axis runs 3-11 ms.
+	if t128 < 9 || t128 > 13 {
+		t.Errorf("t(128) = %.2f ms, paper plateau is ~11 ms", t128)
+	}
+}
+
+// TestPruningNeverHurts: cuDNN latency is monotone non-decreasing in
+// channel count — the paper's Fig. 6 has no cell below 1.0x.
+func TestPruningNeverHurts(t *testing.T) {
+	prev := 0.0
+	for c := 1; c <= 512; c++ {
+		cur := ms(t, device.JetsonTX2, layer14(c))
+		if cur < prev-1e-12 {
+			t.Fatalf("latency decreased when adding channels at %d: %v -> %v", c, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// TestDeepPruneSaturation: the maximum speedup from pruning layer 16 to
+// one channel is ~3.3x (Fig. 6, Prune=127), not unbounded.
+func TestDeepPruneSaturation(t *testing.T) {
+	r := ms(t, device.JetsonTX2, layer16(128)) / ms(t, device.JetsonTX2, layer16(1))
+	if r < 2.7 || r > 3.8 {
+		t.Errorf("deep-prune speedup = %.2fx, paper reports 3.3x", r)
+	}
+}
+
+// TestNanoMatchesTX2Shape: Fig. 7 — the Nano shows the same staircase
+// as the TX2 scaled by a constant ~3.5x ("similar GPU architectures,
+// making performance modeling between the two easier").
+func TestNanoMatchesTX2Shape(t *testing.T) {
+	var ratios []float64
+	for _, c := range []int{32, 100, 256, 500, 512} {
+		r := ms(t, device.JetsonNano, layer14(c)) / ms(t, device.JetsonTX2, layer14(c))
+		ratios = append(ratios, r)
+	}
+	for _, r := range ratios {
+		if r < 3.0 || r > 4.2 {
+			t.Fatalf("Nano/TX2 ratio %v outside ~3.5x band (all: %v)", r, ratios)
+		}
+	}
+	// Constant scale: max/min ratio close to 1.
+	min, max := ratios[0], ratios[0]
+	for _, r := range ratios {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	// Near-constant scale (launch overhead shifts the ratio slightly at
+	// small channel counts).
+	if max/min > 1.15 {
+		t.Fatalf("Nano/TX2 scaling not near-constant: %v", ratios)
+	}
+}
+
+func TestChooseTiles(t *testing.T) {
+	for _, tc := range []struct {
+		c        int
+		wantTile int
+	}{
+		{1, 32},    // one tile of the smallest size
+		{32, 32},   // exact small tile
+		{128, 128}, // large tile amortizes best
+	} {
+		got := Choose(tc.c)
+		if got.Tile != tc.wantTile {
+			t.Errorf("Choose(%d).Tile = %d, want %d", tc.c, got.Tile, tc.wantTile)
+		}
+	}
+	if a := Choose(0); a.Units != 0 {
+		t.Errorf("Choose(0) = %+v", a)
+	}
+}
+
+// TestChooseIsMinimal: property — the chosen cost never exceeds any
+// candidate tile's cost.
+func TestChooseIsMinimal(t *testing.T) {
+	f := func(raw uint16) bool {
+		c := int(raw%2048) + 1
+		a := Choose(c)
+		for _, tile := range []int{32, 64, 128} {
+			n := (c + tile - 1) / tile
+			eff := map[int]float64{32: 1.0, 64: 0.99, 128: 0.97}[tile]
+			units := float64(n) * float64(tile) / 32 * eff
+			if a.Units > units+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStairWidths: within one tile's regime, latency is constant across
+// a tile-width of channel counts (the staircase plateaus).
+func TestStairWidths(t *testing.T) {
+	// Channels 97..128 share ceil(c/32) == 4 and the same tile choice.
+	ref := ms(t, device.JetsonTX2, layer16(97))
+	for c := 98; c <= 128; c++ {
+		if v := ms(t, device.JetsonTX2, layer16(c)); v != ref {
+			t.Fatalf("t(%d)=%v differs from plateau %v", c, v, ref)
+		}
+	}
+}
+
+func TestSmallSpatialLayersLessEfficient(t *testing.T) {
+	// Fig. 2's 14x14 layer underutilizes the SM array: per-MAC cost
+	// must exceed a 28x28 layer's.
+	l26 := conv.ConvSpec{
+		Name: "ResNet.L26", InH: 14, InW: 14, InC: 256, OutC: 1024,
+		KH: 1, KW: 1, StrideH: 1, StrideW: 1,
+	}
+	t26 := ms(t, device.JetsonTX2, l26)
+	t14 := ms(t, device.JetsonTX2, layer14(512))
+	perMac26 := t26 / float64(l26.MACs())
+	perMac14 := t14 / float64(layer14(512).MACs())
+	if perMac26 <= perMac14 {
+		t.Errorf("14x14 layer per-MAC cost %.3g <= 28x28's %.3g", perMac26, perMac14)
+	}
+	// Fig. 2 absolute scale: ~8 ms at 1024 channels.
+	if t26 < 6 || t26 > 12 {
+		t.Errorf("t(L26@1024) = %.2f ms, paper shows ~8 ms", t26)
+	}
+}
+
+func TestPlanRejectsInvalidSpec(t *testing.T) {
+	if _, err := Plan(layer16(0)); err != nil {
+		// OutC=0 fails Validate; make sure it errors rather than panics.
+		return
+	}
+	t.Fatal("Plan accepted OutC=0")
+}
+
+func TestRunRejectsOpenCLDevice(t *testing.T) {
+	if _, err := Run(device.HiKey970, layer16(64)); err == nil {
+		t.Fatal("cuDNN ran on an OpenCL device")
+	}
+}
+
+func TestProfileFields(t *testing.T) {
+	p, err := Run(device.JetsonTX2, layer16(96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Algo.Tile != Choose(96).Tile {
+		t.Errorf("profile algo %+v != chosen %+v", p.Algo, Choose(96))
+	}
+	if p.Result.Counters.Jobs != 1 {
+		t.Errorf("cuDNN dispatched %d jobs, want 1 (no splitting)", p.Result.Counters.Jobs)
+	}
+	if p.Ms <= 0 {
+		t.Error("non-positive latency")
+	}
+}

@@ -1,0 +1,219 @@
+// Package device catalogs the four embedded boards the paper profiles
+// (§III-D): HiKey 970 (Mali G72), Odroid XU4 (Mali T628), Jetson TX2 and
+// Jetson Nano. Each entry carries the GPU microarchitecture parameters
+// the simulator needs. The throughput numbers are calibration constants:
+// they are fitted so that the simulator reproduces the paper's measured
+// latencies (e.g. ResNet-50 L16 at 93 channels ≈ 14 ms on the HiKey 970,
+// Fig. 14), not datasheet peak numbers. DESIGN.md §5 documents each fit.
+package device
+
+import "fmt"
+
+// API identifies the GPU programming interface a device exposes, which
+// determines the libraries that can target it (§III-A).
+type API uint8
+
+// Supported APIs.
+const (
+	OpenCL API = iota
+	CUDA
+)
+
+// String implements fmt.Stringer.
+func (a API) String() string {
+	switch a {
+	case OpenCL:
+		return "OpenCL"
+	case CUDA:
+		return "CUDA"
+	default:
+		return fmt.Sprintf("API(%d)", uint8(a))
+	}
+}
+
+// GPUSpec holds the simulator-facing microarchitecture parameters.
+type GPUSpec struct {
+	// Name is the marketing name, e.g. "Mali-G72 MP12".
+	Name string
+	// Arch is the microarchitecture family, e.g. "Bifrost".
+	Arch string
+	// Cores is the shader core (or SM) count.
+	Cores int
+	// ClockMHz is the GPU clock.
+	ClockMHz float64
+	// ArithIPC is the per-core arithmetic instruction throughput in
+	// instructions/cycle, calibrated so simulated kernel times match the
+	// paper's measurements (see DESIGN.md §5).
+	ArithIPC float64
+	// MemIPC is the per-core memory instruction throughput.
+	MemIPC float64
+	// JobSetupCycles is the fixed per-job cost: job descriptor writes,
+	// scheduling, and cache warmup. Roughly 0.2 ms of driver+hardware
+	// launch latency on the Mali boards.
+	JobSetupCycles float64
+	// SplitResubmitCycles is the CPU-GPU round trip paid when the OpenCL
+	// runtime splits one enqueued kernel into an extra dependent job
+	// (the mechanism behind Fig. 18 and the 14ms -> 23ms jump in
+	// Fig. 14: the driver only submits the remainder job after the main
+	// job's completion interrupt is serviced).
+	SplitResubmitCycles float64
+	// CtrlRegReadsPerJob / CtrlRegWritesPerJob model the job manager
+	// register traffic the paper's simulator reports (Fig. 18).
+	CtrlRegReadsPerJob  int
+	CtrlRegWritesPerJob int
+	// DRAMBytesPerCycle is the shared memory-interface throughput:
+	// kernels whose declared traffic exceeds compute-time streaming
+	// become DRAM-bound. 0 disables the bound.
+	DRAMBytesPerCycle float64
+}
+
+// CyclesPerMs returns the clock cycles in one millisecond.
+func (g GPUSpec) CyclesPerMs() float64 { return g.ClockMHz * 1000 }
+
+// ArithInstrsPerMs returns aggregate arithmetic instruction throughput.
+func (g GPUSpec) ArithInstrsPerMs() float64 {
+	return g.ArithIPC * float64(g.Cores) * g.CyclesPerMs()
+}
+
+// Device is one evaluation board.
+type Device struct {
+	// Name is the board name used throughout reports, e.g. "HiKey 970".
+	Name string
+	// SoC is the system-on-chip, e.g. "Kirin 970".
+	SoC string
+	// API is the programming interface (OpenCL for Mali, CUDA for Jetson).
+	API API
+	// GPU holds the simulator parameters.
+	GPU GPUSpec
+}
+
+// The paper's four boards. Calibration anchors:
+//
+//   - HiKey 970: ACL GEMM gemm_mm with 848,055,936 arithmetic
+//     instructions (L16 @ 93 channels, Table II) must take ~14 ms
+//     (Fig. 14) => aggregate arith throughput ~6.06e10 instr/s
+//     = 79 instr/cycle at 767 MHz = 6.583 instr/cycle/core on 12 cores.
+//   - The remainder-job cost seen in Fig. 14 (23 ms at 92/97 channels vs
+//     14 ms at 93-96; 20.12 ms at 76 vs 10.996 ms at 78) decomposes into
+//     ~4.5 ms of CPU-GPU resubmission gap plus ~4.5 ms of remainder-kernel
+//     execution at 1/12-3/12 core occupancy.
+//   - Odroid XU4's Mali T628 MP6 is roughly 6x slower end to end.
+//   - Jetson TX2 and Nano parameters are fitted to Figs. 4, 5, 7; the
+//     Nano runs the same cuDNN staircase ~3.5x slower than the TX2.
+var (
+	HiKey970 = Device{
+		Name: "HiKey 970",
+		SoC:  "Kirin 970",
+		API:  OpenCL,
+		GPU: GPUSpec{
+			Name:                "Mali-G72 MP12",
+			Arch:                "Bifrost",
+			Cores:               12,
+			ClockMHz:            767,
+			ArithIPC:            6.583,
+			MemIPC:              1.646,
+			JobSetupCycles:      153400,  // ~0.2 ms
+			SplitResubmitCycles: 3451500, // ~4.5 ms
+			CtrlRegReadsPerJob:  16,
+			CtrlRegWritesPerJob: 24,
+			DRAMBytesPerCycle:   19.4, // ~14.9 GB/s LPDDR4X at 767 MHz
+		},
+	}
+
+	OdroidXU4 = Device{
+		Name: "Odroid XU4",
+		SoC:  "Exynos 5422",
+		API:  OpenCL,
+		GPU: GPUSpec{
+			Name:                "Mali-T628 MP6",
+			Arch:                "Midgard",
+			Cores:               6,
+			ClockMHz:            600,
+			ArithIPC:            2.80,
+			MemIPC:              0.70,
+			JobSetupCycles:      180000,  // ~0.3 ms
+			SplitResubmitCycles: 4200000, // ~7 ms
+			CtrlRegReadsPerJob:  16,
+			CtrlRegWritesPerJob: 24,
+			DRAMBytesPerCycle:   11.1, // ~6.7 GB/s LPDDR3 at 600 MHz
+		},
+	}
+
+	JetsonTX2 = Device{
+		Name: "Jetson TX2",
+		SoC:  "Tegra X2",
+		API:  CUDA,
+		GPU: GPUSpec{
+			Name:                "Pascal GP10B (256 cores)",
+			Arch:                "Pascal",
+			Cores:               256,
+			ClockMHz:            1300,
+			ArithIPC:            0.1488,
+			MemIPC:              0.0372,
+			JobSetupCycles:      65000, // ~0.05 ms: CUDA launch latency
+			SplitResubmitCycles: 0,     // cuDNN never splits into extra jobs
+			CtrlRegReadsPerJob:  8,
+			CtrlRegWritesPerJob: 12,
+			DRAMBytesPerCycle:   30.3, // ~39.4 GB/s shared LPDDR4 at 1.3 GHz
+		},
+	}
+
+	JetsonNano = Device{
+		Name: "Jetson Nano",
+		SoC:  "Tegra X1",
+		API:  CUDA,
+		GPU: GPUSpec{
+			Name:                "Maxwell GM20B (128 cores)",
+			Arch:                "Maxwell",
+			Cores:               128,
+			ClockMHz:            921,
+			ArithIPC:            0.1190,
+			MemIPC:              0.0298,
+			JobSetupCycles:      46000, // ~0.05 ms
+			SplitResubmitCycles: 0,
+			CtrlRegReadsPerJob:  8,
+			CtrlRegWritesPerJob: 12,
+			DRAMBytesPerCycle:   23.1, // ~21.3 GB/s LPDDR4 at 921 MHz
+		},
+	}
+)
+
+// All returns the paper's four boards in presentation order.
+func All() []Device {
+	return []Device{HiKey970, OdroidXU4, JetsonTX2, JetsonNano}
+}
+
+// MaliBoards returns the OpenCL (ACL/TVM) targets.
+func MaliBoards() []Device { return []Device{HiKey970, OdroidXU4} }
+
+// JetsonBoards returns the CUDA (cuDNN) targets.
+func JetsonBoards() []Device { return []Device{JetsonTX2, JetsonNano} }
+
+// ByName looks a device up by its board name.
+func ByName(name string) (Device, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Device{}, fmt.Errorf("device: unknown board %q", name)
+}
+
+// Validate sanity-checks the parameters; it guards against calibration
+// edits that would break the simulator (zero throughput, etc).
+func (d Device) Validate() error {
+	g := d.GPU
+	switch {
+	case d.Name == "":
+		return fmt.Errorf("device: empty name")
+	case g.Cores <= 0:
+		return fmt.Errorf("device %s: non-positive cores", d.Name)
+	case g.ClockMHz <= 0:
+		return fmt.Errorf("device %s: non-positive clock", d.Name)
+	case g.ArithIPC <= 0 || g.MemIPC <= 0:
+		return fmt.Errorf("device %s: non-positive IPC", d.Name)
+	case g.JobSetupCycles < 0 || g.SplitResubmitCycles < 0:
+		return fmt.Errorf("device %s: negative overhead cycles", d.Name)
+	}
+	return nil
+}

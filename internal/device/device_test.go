@@ -1,0 +1,109 @@
+package device
+
+import "testing"
+
+func TestCatalog(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("catalog has %d devices, paper uses 4", len(all))
+	}
+	for _, d := range all {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestAPIAssignment(t *testing.T) {
+	// §III-D: Mali boards are programmed with OpenCL, Jetsons with CUDA.
+	for _, d := range MaliBoards() {
+		if d.API != OpenCL {
+			t.Errorf("%s should be OpenCL", d.Name)
+		}
+	}
+	for _, d := range JetsonBoards() {
+		if d.API != CUDA {
+			t.Errorf("%s should be CUDA", d.Name)
+		}
+	}
+	if len(MaliBoards()) != 2 || len(JetsonBoards()) != 2 {
+		t.Fatal("expected 2 Mali + 2 Jetson boards")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"HiKey 970", "Odroid XU4", "Jetson TX2", "Jetson Nano"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+			continue
+		}
+		if d.Name != name {
+			t.Errorf("ByName(%s) = %s", name, d.Name)
+		}
+	}
+	if _, err := ByName("Raspberry Pi"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestCalibrationAnchors(t *testing.T) {
+	// The HiKey 970 throughput is calibrated so Table II's gemm_mm
+	// (848,055,936 arith instructions) takes ~14 ms (Fig. 14).
+	g := HiKey970.GPU
+	ms := 848055936 / g.ArithInstrsPerMs()
+	if ms < 13.5 || ms > 14.5 {
+		t.Errorf("calibration drifted: Table II gemm takes %.2f ms, want ~14", ms)
+	}
+	// The split resubmission gap is ~4.5 ms.
+	gap := g.SplitResubmitCycles / g.CyclesPerMs()
+	if gap < 4 || gap > 5 {
+		t.Errorf("split gap = %.2f ms, want ~4.5", gap)
+	}
+}
+
+func TestRelativeDeviceSpeeds(t *testing.T) {
+	// TX2 vs Nano: ~3.5x (Figs. 5 vs 7); HiKey vs Odroid: several x.
+	tx2 := JetsonTX2.GPU.ArithInstrsPerMs()
+	nano := JetsonNano.GPU.ArithInstrsPerMs()
+	if r := tx2 / nano; r < 3 || r > 4.2 {
+		t.Errorf("TX2/Nano throughput ratio = %.2f, want ~3.5", r)
+	}
+	hikey := HiKey970.GPU.ArithInstrsPerMs()
+	odroid := OdroidXU4.GPU.ArithInstrsPerMs()
+	if r := hikey / odroid; r < 3 || r > 10 {
+		t.Errorf("HiKey/Odroid throughput ratio = %.2f, want 3-10x", r)
+	}
+}
+
+func TestValidateRejectsBrokenSpecs(t *testing.T) {
+	d := HiKey970
+	d.GPU.Cores = 0
+	if d.Validate() == nil {
+		t.Error("zero cores accepted")
+	}
+	d = HiKey970
+	d.GPU.ArithIPC = 0
+	if d.Validate() == nil {
+		t.Error("zero IPC accepted")
+	}
+	d = HiKey970
+	d.Name = ""
+	if d.Validate() == nil {
+		t.Error("empty name accepted")
+	}
+	d = HiKey970
+	d.GPU.SplitResubmitCycles = -1
+	if d.Validate() == nil {
+		t.Error("negative gap accepted")
+	}
+}
+
+func TestAPIString(t *testing.T) {
+	if OpenCL.String() != "OpenCL" || CUDA.String() != "CUDA" {
+		t.Fatal("API names wrong")
+	}
+	if API(7).String() != "API(7)" {
+		t.Fatal("unknown API formatting wrong")
+	}
+}

@@ -1,0 +1,201 @@
+// Package engine executes whole networks with real compute and
+// simulated device timing. It closes the loop the paper's workflow
+// implies but measures per layer: a pruning plan is applied to actual
+// weight tensors (§II-B filter removal on the producer, input-channel
+// removal on the consumer), the resulting compact network is run with
+// the real convolution kernels, and its deployment latency comes from
+// the library/device models.
+//
+// The paper profiles layers in isolation; the engine adds the
+// feed-forward chaining (VGG-style trunks) needed to validate that a
+// plan produces a *consistent* compact network — the part of channel
+// pruning that is easy to get wrong in practice.
+package engine
+
+import (
+	"fmt"
+
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/profiler"
+	"perfprune/internal/prune"
+	"perfprune/internal/tensor"
+)
+
+// Stage is one executable layer: a spec plus its weight bank.
+type Stage struct {
+	Label   string
+	Spec    conv.ConvSpec
+	Weights *tensor.Tensor
+}
+
+// Chain is a feed-forward sequence of convolutional stages where each
+// stage consumes the previous stage's output (VGG-16 and AlexNet shape;
+// ResNet trunks are handled per-block by the planner instead).
+type Chain struct {
+	Name   string
+	Stages []Stage
+}
+
+// BuildChain constructs an executable chain from a network inventory
+// and its weights, verifying the feed-forward channel contract. The
+// optional spatial divisor shrinks every layer's input extents (and
+// turns off nothing else), letting tests run real compute quickly; 1
+// keeps full resolution.
+func BuildChain(n nets.Network, weights map[string]*tensor.Tensor, spatialDiv int) (*Chain, error) {
+	if spatialDiv < 1 {
+		return nil, fmt.Errorf("engine: spatial divisor %d < 1", spatialDiv)
+	}
+	c := &Chain{Name: n.Name}
+	prevOut := -1
+	for _, l := range n.Layers {
+		if prevOut >= 0 && l.Spec.InC != prevOut {
+			return nil, fmt.Errorf("engine: %s expects %d input channels, producer has %d (not a feed-forward chain)",
+				l.Label, l.Spec.InC, prevOut)
+		}
+		prevOut = l.Spec.OutC
+		w, ok := weights[l.Label]
+		if !ok {
+			return nil, fmt.Errorf("engine: no weights for %s", l.Label)
+		}
+		spec := l.Spec
+		if spatialDiv > 1 {
+			spec.InH = max(spec.KH, spec.InH/spatialDiv)
+			spec.InW = max(spec.KW, spec.InW/spatialDiv)
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: %s after scaling: %w", l.Label, err)
+		}
+		c.Stages = append(c.Stages, Stage{Label: l.Label, Spec: spec, Weights: w})
+	}
+	return c, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Prune applies a plan to the chain with the given saliency criterion:
+// each pruned stage loses filters (§II-B) and its consumer loses the
+// corresponding input channels. It returns a new chain; the receiver is
+// unmodified.
+func (c *Chain) Prune(p prune.Plan, crit prune.Criterion) (*Chain, error) {
+	out := &Chain{Name: c.Name + "-pruned", Stages: make([]Stage, len(c.Stages))}
+	var removedUpstream []int
+	for i, st := range c.Stages {
+		w := st.Weights
+		spec := st.Spec
+		// Consumer side: drop the input channels the producer lost.
+		if len(removedUpstream) > 0 {
+			var err error
+			w, err = prune.InputChannels(w, removedUpstream)
+			if err != nil {
+				return nil, fmt.Errorf("engine: %s consumer adjustment: %w", st.Label, err)
+			}
+			spec = spec.WithInC(spec.InC - len(removedUpstream))
+		}
+		removedUpstream = nil
+		// Producer side: prune this stage's own filters.
+		if keep, ok := p[st.Label]; ok && keep < spec.OutC {
+			if keep < 1 {
+				return nil, fmt.Errorf("engine: plan keeps %d channels in %s", keep, st.Label)
+			}
+			pruned, survivors, err := prune.ToWidth(w, keep, crit)
+			if err != nil {
+				return nil, fmt.Errorf("engine: %s: %w", st.Label, err)
+			}
+			removedUpstream = complement(survivors, spec.OutC)
+			w = pruned
+			spec = spec.WithOutC(keep)
+		}
+		out.Stages[i] = Stage{Label: st.Label, Spec: spec, Weights: w}
+	}
+	return out, nil
+}
+
+// complement returns the indices in [0, n) absent from kept (which is
+// sorted ascending, as prune.ToWidth returns).
+func complement(kept []int, n int) []int {
+	out := make([]int, 0, n-len(kept))
+	k := 0
+	for i := 0; i < n; i++ {
+		if k < len(kept) && kept[k] == i {
+			k++
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// Infer runs the chain's real compute on an NHWC input, returning the
+// final activation. Inputs must match the first stage's (possibly
+// scaled) extents.
+func (c *Chain) Infer(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(c.Stages) == 0 {
+		return nil, fmt.Errorf("engine: empty chain")
+	}
+	act := in
+	for _, st := range c.Stages {
+		spec := st.Spec
+		// Chained stages consume whatever spatial extent the previous
+		// stage produced (the inventory's fixed extents assume the
+		// original pooling layout; for execution we follow the data).
+		spec.InH = act.Dim(1)
+		spec.InW = act.Dim(2)
+		if act.Dim(3) != spec.InC {
+			return nil, fmt.Errorf("engine: %s expects %d channels, activation has %d",
+				st.Label, spec.InC, act.Dim(3))
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", st.Label, err)
+		}
+		out, err := conv.GEMM(spec, act, st.Weights)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", st.Label, err)
+		}
+		// ReLU, the paper's representative (and computationally
+		// negligible, §II-A1) activation.
+		relu(out)
+		act = out
+	}
+	return act, nil
+}
+
+func relu(t *tensor.Tensor) {
+	d := t.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		}
+	}
+}
+
+// Latency sums the simulated per-stage latencies of the chain on a
+// library/device target (each stage measured as the paper measures
+// layers, median of 10 runs).
+func (c *Chain) Latency(lib profiler.Library, dev device.Device) (float64, error) {
+	total := 0.0
+	for _, st := range c.Stages {
+		m, err := profiler.MeasureMedian(lib, dev, st.Spec, profiler.DefaultRuns)
+		if err != nil {
+			return 0, fmt.Errorf("engine: %s: %w", st.Label, err)
+		}
+		total += m.Ms
+	}
+	return total, nil
+}
+
+// Widths returns the chain's output channel counts in order, the
+// compact shape a deployment manifest would record.
+func (c *Chain) Widths() []int {
+	out := make([]int, len(c.Stages))
+	for i, st := range c.Stages {
+		out[i] = st.Spec.OutC
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfprune/internal/acl"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/profiler"
+	"perfprune/internal/prune"
+	"perfprune/internal/tensor"
+)
+
+// smallVGG builds the VGG-16 chain at 1/16 spatial resolution so real
+// compute finishes quickly in tests.
+func smallVGG(t *testing.T) *Chain {
+	t.Helper()
+	n := nets.VGG16()
+	c, err := BuildChain(n, nets.BuildWeights(n), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func inputFor(c *Chain, seed uint64) *tensor.Tensor {
+	s := c.Stages[0].Spec
+	in := tensor.New(tensor.NHWC, 1, s.InH, s.InW, s.InC)
+	in.RandomUniform(seed, 1)
+	return in
+}
+
+func TestBuildChainValidatesTopology(t *testing.T) {
+	// ResNet-50 is not a feed-forward chain (bottleneck projections):
+	// BuildChain must refuse it rather than silently mis-wire.
+	n := nets.ResNet50()
+	if _, err := BuildChain(n, nets.BuildWeights(n), 8); err == nil {
+		t.Fatal("ResNet-50 accepted as a feed-forward chain")
+	}
+	// VGG-16 and AlexNet are chains.
+	for _, n := range []nets.Network{nets.VGG16(), nets.AlexNet()} {
+		if _, err := BuildChain(n, nets.BuildWeights(n), 8); err != nil {
+			t.Errorf("%s: %v", n.Name, err)
+		}
+	}
+	if _, err := BuildChain(nets.VGG16(), nets.BuildWeights(nets.VGG16()), 0); err == nil {
+		t.Error("spatial divisor 0 accepted")
+	}
+	if _, err := BuildChain(nets.VGG16(), nil, 1); err == nil {
+		t.Error("missing weights accepted")
+	}
+}
+
+func TestInferShapes(t *testing.T) {
+	c := smallVGG(t)
+	out, err := c.Infer(inputFor(c, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(3) != 512 {
+		t.Fatalf("final activation has %d channels, want 512", out.Dim(3))
+	}
+	// ReLU applied: no negative activations.
+	for _, v := range out.Data() {
+		if v < 0 {
+			t.Fatal("negative activation after ReLU")
+		}
+	}
+}
+
+func TestPruneProducesConsistentChain(t *testing.T) {
+	c := smallVGG(t)
+	plan := prune.Plan{
+		"VGG.L0":  48,
+		"VGG.L5":  100,
+		"VGG.L17": 400,
+	}
+	p, err := c.Prune(plan, prune.L1Magnitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Producer widths updated.
+	widths := p.Widths()
+	if widths[0] != 48 {
+		t.Errorf("L0 width %d, want 48", widths[0])
+	}
+	// Consumer input channels follow the producer.
+	if p.Stages[1].Spec.InC != 48 {
+		t.Errorf("L2 InC = %d, want 48", p.Stages[1].Spec.InC)
+	}
+	if p.Stages[1].Weights.Dim(3) != 48 {
+		t.Errorf("L2 weight InC = %d, want 48", p.Stages[1].Weights.Dim(3))
+	}
+	// The compact chain still runs end to end.
+	out, err := p.Infer(inputFor(p, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(3) != 512 {
+		t.Fatalf("pruned chain output channels %d, want 512", out.Dim(3))
+	}
+	// The original chain is untouched.
+	if c.Stages[0].Spec.OutC != 64 {
+		t.Fatal("Prune mutated the receiver")
+	}
+}
+
+// TestSequentialPruneMatchesSubsetInference: with sequential pruning
+// (keep the first channels) of the FIRST stage only, the pruned chain's
+// second-stage input is exactly the truncation of the full chain's, so
+// with weights adjusted by InputChannels the pruned stage-2 output of a
+// 1-stage subchain can be cross-checked numerically.
+func TestSequentialPruneMatchesSubsetInference(t *testing.T) {
+	n := nets.AlexNet()
+	c, err := BuildChain(n, nets.BuildWeights(n), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := inputFor(c, 3)
+
+	// Full first stage.
+	s0 := c.Stages[0].Spec
+	s0.InH, s0.InW = in.Dim(1), in.Dim(2)
+	fullOut, err := pruneRun(s0, in, c.Stages[0].Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pruned first stage (sequential keeps channels 0..keep-1).
+	keep := 40
+	p, err := c.Prune(prune.Plan{"AlexNet.L0": keep}, prune.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps0 := p.Stages[0].Spec
+	ps0.InH, ps0.InW = in.Dim(1), in.Dim(2)
+	prunedOut, err := pruneRun(ps0, in, p.Stages[0].Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < prunedOut.Dim(1); y++ {
+		for x := 0; x < prunedOut.Dim(2); x++ {
+			for ch := 0; ch < keep; ch++ {
+				if prunedOut.At(0, y, x, ch) != fullOut.At(0, y, x, ch) {
+					t.Fatalf("pruned stage differs from full at (%d,%d,%d)", y, x, ch)
+				}
+			}
+		}
+	}
+}
+
+func pruneRun(spec conv.ConvSpec, in, w *tensor.Tensor) (*tensor.Tensor, error) {
+	return conv.GEMM(spec, in, w)
+}
+
+func TestLatencyAggregation(t *testing.T) {
+	n := nets.AlexNet()
+	c, err := BuildChain(n, nets.BuildWeights(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := profiler.ACL(acl.GEMMConv)
+	full, err := c.Latency(lib, device.HiKey970)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full <= 0 {
+		t.Fatal("non-positive chain latency")
+	}
+	// A deep sequential prune reduces latency on the GEMM path.
+	plan, err := prune.Distance(n, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Prune(plan, prune.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := p.Latency(lib, device.HiKey970)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned >= full {
+		t.Fatalf("deep prune latency %v >= full %v", pruned, full)
+	}
+}
+
+// Property: pruning never breaks chain consistency — for any keep
+// fractions the pruned chain infers end to end with the right final
+// width.
+func TestPruneConsistencyProperty(t *testing.T) {
+	n := nets.AlexNet()
+	weights := nets.BuildWeights(n)
+	base, err := BuildChain(n, weights, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(k0, k1, k2, k3, k4 uint8) bool {
+		plan := prune.Plan{}
+		keeps := []int{
+			int(k0)%64 + 1, int(k1)%192 + 1, int(k2)%384 + 1,
+			int(k3)%256 + 1, int(k4)%256 + 1,
+		}
+		for i, l := range n.Layers {
+			plan[l.Label] = keeps[i]
+		}
+		p, err := base.Prune(plan, prune.L2Magnitude)
+		if err != nil {
+			return false
+		}
+		out, err := p.Infer(inputFor(p, 9))
+		if err != nil {
+			return false
+		}
+		return out.Dim(3) == keeps[4]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package gemm implements real single-precision matrix multiplication:
+// the numerical engine behind the im2col convolution path (§II-A1,
+// "General Matrix Multiplication (GEMM)"). Three implementations are
+// provided — naive, cache-blocked, and parallel blocked — all computing
+// C = A·B for row-major matrices. The blocked kernel also reports the
+// block decomposition it used, which the ACL model consumes to emit
+// simulator kernel descriptors that mirror the library's N-blocking.
+package gemm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("gemm: invalid matrix dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// WrapMatrix wraps data as a Rows×Cols matrix without copying.
+func WrapMatrix(rows, cols int, data []float32) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("gemm: invalid matrix dims %dx%d", rows, cols)
+	}
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("gemm: data length %d != %d*%d", len(data), rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+func checkDims(a, b, c *Matrix) error {
+	if a.Cols != b.Rows {
+		return fmt.Errorf("gemm: inner dims mismatch: A is %dx%d, B is %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if c.Rows != a.Rows || c.Cols != b.Cols {
+		return fmt.Errorf("gemm: C is %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Cols)
+	}
+	return nil
+}
+
+// Naive computes C = A·B with the textbook triple loop (ikj order for
+// stride-1 inner access). It is the correctness reference.
+func Naive(a, b, c *Matrix) error {
+	if err := checkDims(a, b, c); err != nil {
+		return err
+	}
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := 0; j < b.Cols; j++ {
+				crow[j] += aik * brow[j]
+			}
+		}
+	}
+	return nil
+}
+
+// BlockSizes controls the cache blocking of Blocked and Parallel.
+type BlockSizes struct {
+	M, N, K int
+}
+
+// DefaultBlocks is tuned for typical L1/L2 sizes; correctness does not
+// depend on the values.
+var DefaultBlocks = BlockSizes{M: 64, N: 64, K: 128}
+
+// Blocked computes C = A·B with cache blocking.
+func Blocked(a, b, c *Matrix, bs BlockSizes) error {
+	if err := checkDims(a, b, c); err != nil {
+		return err
+	}
+	if bs.M <= 0 || bs.N <= 0 || bs.K <= 0 {
+		return fmt.Errorf("gemm: non-positive block sizes %+v", bs)
+	}
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
+	for i0 := 0; i0 < a.Rows; i0 += bs.M {
+		iMax := min(i0+bs.M, a.Rows)
+		for k0 := 0; k0 < a.Cols; k0 += bs.K {
+			kMax := min(k0+bs.K, a.Cols)
+			for j0 := 0; j0 < b.Cols; j0 += bs.N {
+				jMax := min(j0+bs.N, b.Cols)
+				blockKernel(a, b, c, i0, iMax, k0, kMax, j0, jMax)
+			}
+		}
+	}
+	return nil
+}
+
+func blockKernel(a, b, c *Matrix, i0, iMax, k0, kMax, j0, jMax int) {
+	for i := i0; i < iMax; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k := k0; k < kMax; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := j0; j < jMax; j++ {
+				crow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// Parallel computes C = A·B with the blocked kernel, distributing row
+// bands across GOMAXPROCS goroutines.
+func Parallel(a, b, c *Matrix, bs BlockSizes) error {
+	if err := checkDims(a, b, c); err != nil {
+		return err
+	}
+	if bs.M <= 0 || bs.N <= 0 || bs.K <= 0 {
+		return fmt.Errorf("gemm: non-positive block sizes %+v", bs)
+	}
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	band := (a.Rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * band
+		hi := min(lo+band, a.Rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i0 := lo; i0 < hi; i0 += bs.M {
+				iMax := min(i0+bs.M, hi)
+				for k0 := 0; k0 < a.Cols; k0 += bs.K {
+					kMax := min(k0+bs.K, a.Cols)
+					for j0 := 0; j0 < b.Cols; j0 += bs.N {
+						jMax := min(j0+bs.N, b.Cols)
+						blockKernel(a, b, c, i0, iMax, k0, kMax, j0, jMax)
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,200 @@
+package gemm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func fillSeq(m *Matrix, mul float32) {
+	for i := range m.Data {
+		m.Data[i] = mul * float32(i%7-3)
+	}
+}
+
+func TestNaiveKnownProduct(t *testing.T) {
+	a := NewMatrix(2, 3)
+	copy(a.Data, []float32{1, 2, 3, 4, 5, 6})
+	b := NewMatrix(3, 2)
+	copy(b.Data, []float32{7, 8, 9, 10, 11, 12})
+	c := NewMatrix(2, 2)
+	if err := Naive(a, b, c); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("C[%d] = %v, want %v (C=%v)", i, c.Data[i], v, c.Data)
+		}
+	}
+}
+
+func TestIdentityProduct(t *testing.T) {
+	n := 17
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	b := NewMatrix(n, n)
+	fillSeq(b, 0.5)
+	c := NewMatrix(n, n)
+	if err := Blocked(a, b, c, DefaultBlocks); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Data {
+		if c.Data[i] != b.Data[i] {
+			t.Fatalf("identity product differs at %d: %v vs %v", i, c.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestDimensionErrors(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(4, 2) // inner mismatch
+	c := NewMatrix(2, 2)
+	if err := Naive(a, b, c); err == nil {
+		t.Error("Naive accepted inner-dim mismatch")
+	}
+	b2 := NewMatrix(3, 2)
+	c2 := NewMatrix(3, 2) // wrong output rows
+	if err := Blocked(a, b2, c2, DefaultBlocks); err == nil {
+		t.Error("Blocked accepted wrong output shape")
+	}
+	if err := Parallel(a, b2, c2, DefaultBlocks); err == nil {
+		t.Error("Parallel accepted wrong output shape")
+	}
+	if err := Blocked(a, b2, NewMatrix(2, 2), BlockSizes{}); err == nil {
+		t.Error("Blocked accepted zero block sizes")
+	}
+}
+
+func TestWrapMatrixValidation(t *testing.T) {
+	if _, err := WrapMatrix(2, 2, make([]float32, 3)); err == nil {
+		t.Error("WrapMatrix accepted wrong data length")
+	}
+	if _, err := WrapMatrix(0, 2, nil); err == nil {
+		t.Error("WrapMatrix accepted zero rows")
+	}
+	m, err := WrapMatrix(2, 3, make([]float32, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Error("At/Set roundtrip failed")
+	}
+}
+
+func maxDiff(a, b *Matrix) float64 {
+	m := 0.0
+	for i := range a.Data {
+		d := float64(a.Data[i] - b.Data[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestBlockedMatchesNaiveProperty cross-checks the blocked kernel against
+// the reference on random shapes and block sizes.
+func TestBlockedMatchesNaiveProperty(t *testing.T) {
+	f := func(mr, nr, kr, bm, bn, bk uint8) bool {
+		m := int(mr%24) + 1
+		n := int(nr%24) + 1
+		k := int(kr%24) + 1
+		bs := BlockSizes{M: int(bm%8) + 1, N: int(bn%8) + 1, K: int(bk%8) + 1}
+		a := NewMatrix(m, k)
+		b := NewMatrix(k, n)
+		fillSeq(a, 0.25)
+		fillSeq(b, -0.5)
+		want := NewMatrix(m, n)
+		got := NewMatrix(m, n)
+		if err := Naive(a, b, want); err != nil {
+			return false
+		}
+		if err := Blocked(a, b, got, bs); err != nil {
+			return false
+		}
+		return maxDiff(want, got) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelMatchesNaiveProperty(t *testing.T) {
+	f := func(mr, nr, kr uint8) bool {
+		m := int(mr%40) + 1
+		n := int(nr%40) + 1
+		k := int(kr%40) + 1
+		a := NewMatrix(m, k)
+		b := NewMatrix(k, n)
+		fillSeq(a, 1.0/3)
+		fillSeq(b, 0.125)
+		want := NewMatrix(m, n)
+		got := NewMatrix(m, n)
+		if err := Naive(a, b, want); err != nil {
+			return false
+		}
+		if err := Parallel(a, b, got, DefaultBlocks); err != nil {
+			return false
+		}
+		return maxDiff(want, got) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelReusesOutput(t *testing.T) {
+	// The output matrix must be fully overwritten even when reused.
+	a := NewMatrix(8, 8)
+	b := NewMatrix(8, 8)
+	fillSeq(a, 1)
+	fillSeq(b, 1)
+	c := NewMatrix(8, 8)
+	c.Data[0] = 1e9
+	want := NewMatrix(8, 8)
+	if err := Naive(a, b, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := Parallel(a, b, c, DefaultBlocks); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(want, c); d != 0 {
+		t.Fatalf("stale output survived, diff %g", d)
+	}
+}
+
+func BenchmarkGEMMVariants(b *testing.B) {
+	const m, n, k = 128, 128, 256
+	a := NewMatrix(m, k)
+	bb := NewMatrix(k, n)
+	fillSeq(a, 0.1)
+	fillSeq(bb, 0.2)
+	c := NewMatrix(m, n)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := Naive(a, bb, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := Blocked(a, bb, c, DefaultBlocks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := Parallel(a, bb, c, DefaultBlocks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+// Package hybrid implements the paper's §V outlook: "Future solutions
+// integrating optimizations from across different deep learning
+// libraries could adapt their computation based on network and layer
+// configuration to improve execution with hardware aware performance."
+//
+// The Selector profiles every applicable implementation — ACL GEMM, ACL
+// direct, ACL Winograd and TVM — for a layer shape on a Mali device and
+// dispatches to the fastest, exactly the per-layer choice the paper
+// observes no single library making ("no optimal library exists to
+// outperform across all neural network layers"). It satisfies
+// profiler.Library, so all the sweep/staircase/planning machinery works
+// unchanged on top of it.
+package hybrid
+
+import (
+	"fmt"
+
+	"perfprune/internal/acl"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+	"perfprune/internal/profiler"
+	"perfprune/internal/tvmsim"
+)
+
+// Backend names used in Choice reports.
+const (
+	BackendACLGEMM     = "ACL-GEMM"
+	BackendACLDirect   = "ACL-Direct"
+	BackendACLWinograd = "ACL-Winograd"
+	BackendTVM         = "TVM"
+)
+
+// Choice is the per-layer decision the selector made.
+type Choice struct {
+	Spec    conv.ConvSpec
+	Backend string
+	Ms      float64
+	// Considered lists every evaluated backend's latency.
+	Considered map[string]float64
+}
+
+// Select profiles all applicable backends for spec on dev and returns
+// the fastest.
+func Select(dev device.Device, spec conv.ConvSpec) (Choice, error) {
+	if err := spec.Validate(); err != nil {
+		return Choice{}, err
+	}
+	if dev.API != device.OpenCL {
+		return Choice{}, fmt.Errorf("hybrid: %s is not an OpenCL device", dev.Name)
+	}
+	considered := make(map[string]float64, 4)
+
+	run := func(name string, f func() (float64, error)) error {
+		ms, err := f()
+		if err != nil {
+			return err
+		}
+		considered[name] = ms
+		return nil
+	}
+	if err := run(BackendACLGEMM, func() (float64, error) {
+		return acl.TimeMs(dev, spec, acl.GEMMConv)
+	}); err != nil {
+		return Choice{}, err
+	}
+	if err := run(BackendACLDirect, func() (float64, error) {
+		return acl.TimeMs(dev, spec, acl.DirectConv)
+	}); err != nil {
+		return Choice{}, err
+	}
+	if conv.WinogradApplicable(spec) {
+		if err := run(BackendACLWinograd, func() (float64, error) {
+			p, err := acl.RunWinograd(dev, spec)
+			return p.Ms, err
+		}); err != nil {
+			return Choice{}, err
+		}
+	}
+	if err := run(BackendTVM, func() (float64, error) {
+		return tvmsim.TimeMs(dev, spec)
+	}); err != nil {
+		return Choice{}, err
+	}
+
+	best := Choice{Spec: spec, Considered: considered, Ms: -1}
+	for name, ms := range considered {
+		if best.Ms < 0 || ms < best.Ms {
+			best.Backend = name
+			best.Ms = ms
+		}
+	}
+	return best, nil
+}
+
+// lib adapts the selector to profiler.Library.
+type lib struct{}
+
+// Library returns the hybrid dispatcher as a profiler backend.
+func Library() profiler.Library { return lib{} }
+
+func (lib) Name() string { return "Hybrid" }
+
+func (lib) Supports(dev device.Device) bool { return dev.API == device.OpenCL }
+
+func (lib) Measure(dev device.Device, spec conv.ConvSpec) (profiler.Measurement, error) {
+	c, err := Select(dev, spec)
+	if err != nil {
+		return profiler.Measurement{}, err
+	}
+	return profiler.Measurement{Ms: c.Ms, Jobs: 1}, nil
+}
+
+// Gain compares the hybrid dispatcher against a fixed backend across a
+// set of layers and returns the per-layer speedups (fixed / hybrid).
+func Gain(dev device.Device, fixed profiler.Library, specs []conv.ConvSpec) ([]float64, error) {
+	out := make([]float64, 0, len(specs))
+	for _, s := range specs {
+		fixedMs, err := profiler.MeasureMedian(fixed, dev, s, profiler.DefaultRuns)
+		if err != nil {
+			return nil, err
+		}
+		c, err := Select(dev, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fixedMs.Ms/c.Ms)
+	}
+	return out, nil
+}

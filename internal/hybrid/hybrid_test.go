@@ -1,0 +1,124 @@
+package hybrid
+
+import (
+	"testing"
+
+	"perfprune/internal/acl"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/profiler"
+	"perfprune/internal/stats"
+)
+
+func TestSelectPicksMinimum(t *testing.T) {
+	for _, l := range nets.ResNet50().UniqueLayers() {
+		c, err := Select(device.HiKey970, l.Spec)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Label, err)
+		}
+		for name, ms := range c.Considered {
+			if ms < c.Ms {
+				t.Errorf("%s: %s at %.2f ms beats chosen %s at %.2f ms",
+					l.Label, name, ms, c.Backend, c.Ms)
+			}
+		}
+		if _, ok := c.Considered[c.Backend]; !ok {
+			t.Errorf("%s: chosen backend %s not among considered", l.Label, c.Backend)
+		}
+	}
+}
+
+func TestWinogradOnlyConsideredFor3x3(t *testing.T) {
+	n := nets.ResNet50()
+	l16, _ := n.Layer("ResNet.L16") // 3x3
+	l14, _ := n.Layer("ResNet.L14") // 1x1
+	c16, err := Select(device.HiKey970, l16.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c16.Considered[BackendACLWinograd]; !ok {
+		t.Error("Winograd not considered for a 3x3 layer")
+	}
+	c14, err := Select(device.HiKey970, l14.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c14.Considered[BackendACLWinograd]; ok {
+		t.Error("Winograd considered for a 1x1 layer")
+	}
+}
+
+func TestWinogradWinsOn3x3(t *testing.T) {
+	// The 36->16 multiply reduction should make Winograd the fastest
+	// backend on the large square 3x3 layers.
+	wins := 0
+	for _, label := range []string{"ResNet.L12", "ResNet.L16", "ResNet.L25"} {
+		l, _ := nets.ResNet50().Layer(label)
+		c, err := Select(device.HiKey970, l.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Backend == BackendACLWinograd {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Error("Winograd never wins a 3x3 layer; the hybrid extension adds nothing")
+	}
+}
+
+func TestHybridNeverLosesToFixedBackend(t *testing.T) {
+	specs := nets.ResNet50().UniqueLayers()
+	var all []float64
+	for _, fixed := range []profiler.Library{
+		profiler.ACL(acl.GEMMConv), profiler.ACL(acl.DirectConv), profiler.TVM(),
+	} {
+		for _, l := range specs[:8] {
+			g, err := Gain(device.HiKey970, fixed, []conv.ConvSpec{l.Spec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g[0] < 1-1e-9 {
+				t.Errorf("hybrid slower than %s on %s (%.3fx)", fixed.Name(), l.Label, g[0])
+			}
+			all = append(all, g[0])
+		}
+	}
+	gm, err := stats.GeoMean(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm < 1.05 {
+		t.Errorf("hybrid geomean gain %.3fx: expected a real improvement over fixed backends", gm)
+	}
+}
+
+func TestLibraryAdapter(t *testing.T) {
+	l := Library()
+	if l.Name() != "Hybrid" {
+		t.Error("name wrong")
+	}
+	if !l.Supports(device.HiKey970) || l.Supports(device.JetsonTX2) {
+		t.Error("device support wrong")
+	}
+	l16, _ := nets.ResNet50().Layer("ResNet.L16")
+	m, err := l.Measure(device.HiKey970, l16.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Select(device.HiKey970, l16.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ms != c.Ms {
+		t.Errorf("adapter latency %v != selector %v", m.Ms, c.Ms)
+	}
+}
+
+func TestSelectRejectsCUDA(t *testing.T) {
+	l16, _ := nets.ResNet50().Layer("ResNet.L16")
+	if _, err := Select(device.JetsonTX2, l16.Spec); err == nil {
+		t.Fatal("hybrid selector ran on a CUDA device")
+	}
+}

@@ -1,0 +1,235 @@
+// Package nets defines the three networks the paper profiles (§III-B):
+// ResNet-50, VGG-16 and AlexNet — as inventories of convolutional layer
+// specifications with the paper's layer indexing. ResNet-50 layers are
+// numbered sequentially over every convolution including bottleneck
+// projections (L0..L52), which is what makes L14 the 512-channel
+// stage-2 projection of Fig. 5, L16 the 128-channel 3x3 of Tables I-IV,
+// L26 the 1024-channel expansion of Fig. 2, and L45 the 2048-channel
+// expansion of Fig. 15. Each network also marks the paper's profiled
+// unique-shape layers (the columns of the heatmap figures).
+package nets
+
+import (
+	"fmt"
+
+	"perfprune/internal/conv"
+	"perfprune/internal/tensor"
+)
+
+// Layer is one convolutional layer of a network.
+type Layer struct {
+	// Label is the paper's name for the layer, e.g. "ResNet.L16".
+	Label string
+	// Spec is the layer's shape.
+	Spec conv.ConvSpec
+	// Unique marks the layer as one of the paper's profiled
+	// unique-shape representatives (heatmap columns).
+	Unique bool
+}
+
+// Network is an ordered inventory of convolutional layers. The paper
+// profiles layers in isolation (inference time of one layer at a time),
+// so non-convolutional layers — which it measures as negligible
+// (§II-A1: convolutions are 99.991% of SENet's FLOPs) — are omitted.
+type Network struct {
+	Name   string
+	Layers []Layer
+}
+
+// UniqueLayers returns the profiled unique-shape layers in order.
+func (n Network) UniqueLayers() []Layer {
+	out := make([]Layer, 0, len(n.Layers))
+	for _, l := range n.Layers {
+		if l.Unique {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Layer looks a layer up by label.
+func (n Network) Layer(label string) (Layer, bool) {
+	for _, l := range n.Layers {
+		if l.Label == label {
+			return l, true
+		}
+	}
+	return Layer{}, false
+}
+
+// TotalMACs sums the forward MACs of all layers.
+func (n Network) TotalMACs() int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += l.Spec.MACs()
+	}
+	return total
+}
+
+// Validate checks every layer spec and inter-layer channel consistency
+// where layers chain (used by tests as a structural invariant).
+func (n Network) Validate() error {
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("nets: network %q has no layers", n.Name)
+	}
+	for _, l := range n.Layers {
+		if err := l.Spec.Validate(); err != nil {
+			return fmt.Errorf("nets: %s: %w", n.Name, err)
+		}
+	}
+	return nil
+}
+
+// resnetUnique is the paper's 23 profiled ResNet-50 layers (Fig. 1 etc.).
+var resnetUnique = map[int]bool{
+	0: true, 1: true, 2: true, 3: true, 5: true,
+	11: true, 12: true, 13: true, 14: true, 15: true, 16: true,
+	24: true, 25: true, 26: true, 27: true, 28: true, 29: true,
+	43: true, 44: true, 45: true, 46: true, 47: true, 48: true,
+}
+
+// ResNet50 builds the 53-convolution ResNet-50 inventory [20]:
+// conv1 (7x7/64, stride 2) followed by four bottleneck stages of
+// widths 64/128/256/512 with 3/4/6/3 blocks; every block is
+// 1x1 -> 3x3 -> 1x1(4x width), and the first block of each stage adds a
+// 1x1 projection. Strides follow the original v1 placement (stride on
+// the first 1x1 of a downsampling block).
+func ResNet50() Network {
+	var layers []Layer
+	idx := 0
+	add := func(spec conv.ConvSpec) {
+		spec.Name = fmt.Sprintf("ResNet.L%d", idx)
+		layers = append(layers, Layer{
+			Label:  spec.Name,
+			Spec:   spec,
+			Unique: resnetUnique[idx],
+		})
+		idx++
+	}
+
+	// conv1: 224x224x3 -> 112x112x64.
+	add(conv.ConvSpec{InH: 224, InW: 224, InC: 3, OutC: 64, KH: 7, KW: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3})
+
+	// After 3x3/2 max pooling: 56x56x64.
+	type stage struct {
+		width, blocks, stride int
+	}
+	stages := []stage{{64, 3, 1}, {128, 4, 2}, {256, 6, 2}, {512, 3, 2}}
+	inH, inW, inC := 56, 56, 64
+	for _, st := range stages {
+		outC := st.width * 4
+		for b := 0; b < st.blocks; b++ {
+			stride := 1
+			if b == 0 {
+				stride = st.stride
+			}
+			midH, midW := (inH+stride-1)/stride, (inW+stride-1)/stride
+			// 1x1 reduce (carries the block's stride).
+			add(conv.ConvSpec{InH: inH, InW: inW, InC: inC, OutC: st.width, KH: 1, KW: 1, StrideH: stride, StrideW: stride})
+			// 3x3.
+			add(conv.ConvSpec{InH: midH, InW: midW, InC: st.width, OutC: st.width, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1})
+			// 1x1 expand.
+			add(conv.ConvSpec{InH: midH, InW: midW, InC: st.width, OutC: outC, KH: 1, KW: 1, StrideH: 1, StrideW: 1})
+			if b == 0 {
+				// 1x1 projection shortcut.
+				add(conv.ConvSpec{InH: inH, InW: inW, InC: inC, OutC: outC, KH: 1, KW: 1, StrideH: stride, StrideW: stride})
+			}
+			inH, inW, inC = midH, midW, outC
+		}
+	}
+	return Network{Name: "ResNet-50", Layers: layers}
+}
+
+// VGG16 builds the 13-convolution VGG-16 inventory [21]. Labels use the
+// paper's indices (torchvision feature-module positions); the nine
+// unique-shape layers are 0, 2, 5, 7, 10, 12, 17, 19 and 24.
+func VGG16() Network {
+	type cfg struct {
+		idx       int
+		size      int // input spatial extent
+		inC, outC int
+		unique    bool
+	}
+	cfgs := []cfg{
+		{0, 224, 3, 64, true},
+		{2, 224, 64, 64, true},
+		{5, 112, 64, 128, true},
+		{7, 112, 128, 128, true},
+		{10, 56, 128, 256, true},
+		{12, 56, 256, 256, true},
+		{14, 56, 256, 256, false},
+		{17, 28, 256, 512, true},
+		{19, 28, 512, 512, true},
+		{21, 28, 512, 512, false},
+		{24, 14, 512, 512, true},
+		{26, 14, 512, 512, false},
+		{28, 14, 512, 512, false},
+	}
+	var layers []Layer
+	for _, c := range cfgs {
+		label := fmt.Sprintf("VGG.L%d", c.idx)
+		layers = append(layers, Layer{
+			Label: label,
+			Spec: conv.ConvSpec{
+				Name: label, InH: c.size, InW: c.size, InC: c.inC, OutC: c.outC,
+				KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+			},
+			Unique: c.unique,
+		})
+	}
+	return Network{Name: "VGG-16", Layers: layers}
+}
+
+// AlexNet builds the 5-convolution AlexNet inventory [1] with the
+// paper's indices 0, 3, 6, 8, 10; all five shapes are unique.
+func AlexNet() Network {
+	mk := func(idx, inSize, inC, outC, k, stride, pad int) Layer {
+		label := fmt.Sprintf("AlexNet.L%d", idx)
+		return Layer{
+			Label: label,
+			Spec: conv.ConvSpec{
+				Name: label, InH: inSize, InW: inSize, InC: inC, OutC: outC,
+				KH: k, KW: k, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad,
+			},
+			Unique: true,
+		}
+	}
+	return Network{Name: "AlexNet", Layers: []Layer{
+		mk(0, 224, 3, 64, 11, 4, 2),
+		mk(3, 27, 64, 192, 5, 1, 2),
+		mk(6, 13, 192, 384, 3, 1, 1),
+		mk(8, 13, 384, 256, 3, 1, 1),
+		mk(10, 13, 256, 256, 3, 1, 1),
+	}}
+}
+
+// All returns the paper's three networks.
+func All() []Network {
+	return []Network{ResNet50(), VGG16(), AlexNet()}
+}
+
+// ByName looks a network up by name.
+func ByName(name string) (Network, error) {
+	for _, n := range All() {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return Network{}, fmt.Errorf("nets: unknown network %q", name)
+}
+
+// BuildWeights constructs deterministic synthetic filter banks for every
+// layer (He-style init seeded by the layer label). These stand in for
+// trained weights, which the timing study does not need (§II-B: the
+// paper prunes "without considering the accuracy impact"); they give the
+// pruning saliency criteria realistic per-channel magnitude spread.
+func BuildWeights(n Network) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor, len(n.Layers))
+	for _, l := range n.Layers {
+		s := l.Spec
+		w := tensor.New(tensor.OHWI, s.OutC, s.KH, s.KW, s.InC)
+		w.HeInit(tensor.Hash64(n.Name+"/"+l.Label), s.KH*s.KW*s.InC)
+		out[l.Label] = w
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+package nets
+
+import (
+	"strings"
+	"testing"
+
+	"perfprune/internal/conv"
+)
+
+func TestResNet50Structure(t *testing.T) {
+	n := ResNet50()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Layers) != 53 {
+		t.Fatalf("ResNet-50 has %d convs, want 53 (L0..L52)", len(n.Layers))
+	}
+	if got := len(n.UniqueLayers()); got != 23 {
+		t.Fatalf("ResNet-50 unique layers = %d, want the paper's 23", got)
+	}
+}
+
+// TestResNet50PaperAnchors pins the layers the paper's figures identify:
+// L14 is the 512-channel stage-2 projection (Fig. 5), L16 the
+// 128-channel 3x3 (Tables I-IV), L26 the 1024-channel expansion
+// (Fig. 2), L45 the 2048-channel expansion (Fig. 15).
+func TestResNet50PaperAnchors(t *testing.T) {
+	n := ResNet50()
+	cases := []struct {
+		label                string
+		inH, inC, outC, k, s int
+	}{
+		{"ResNet.L0", 224, 3, 64, 7, 2},
+		{"ResNet.L1", 56, 64, 64, 1, 1},
+		{"ResNet.L2", 56, 64, 64, 3, 1},
+		{"ResNet.L3", 56, 64, 256, 1, 1},
+		{"ResNet.L5", 56, 256, 64, 1, 1},
+		{"ResNet.L11", 56, 256, 128, 1, 2},
+		{"ResNet.L12", 28, 128, 128, 3, 1},
+		{"ResNet.L13", 28, 128, 512, 1, 1},
+		{"ResNet.L14", 56, 256, 512, 1, 2},
+		{"ResNet.L15", 28, 512, 128, 1, 1},
+		{"ResNet.L16", 28, 128, 128, 3, 1},
+		{"ResNet.L24", 28, 512, 256, 1, 2},
+		{"ResNet.L26", 14, 256, 1024, 1, 1},
+		{"ResNet.L27", 28, 512, 1024, 1, 2},
+		{"ResNet.L43", 14, 1024, 512, 1, 2},
+		{"ResNet.L44", 7, 512, 512, 3, 1},
+		{"ResNet.L45", 7, 512, 2048, 1, 1},
+		{"ResNet.L48", 7, 512, 512, 3, 1},
+		{"ResNet.L52", 7, 512, 2048, 1, 1},
+	}
+	for _, tc := range cases {
+		l, ok := n.Layer(tc.label)
+		if !ok {
+			t.Errorf("%s missing", tc.label)
+			continue
+		}
+		s := l.Spec
+		if s.InH != tc.inH || s.InC != tc.inC || s.OutC != tc.outC || s.KH != tc.k || s.StrideH != tc.s {
+			t.Errorf("%s = in %dx%d, %d->%d, k%d s%d; want in %d, %d->%d, k%d s%d",
+				tc.label, s.InH, s.InW, s.InC, s.OutC, s.KH, s.StrideH,
+				tc.inH, tc.inC, tc.outC, tc.k, tc.s)
+		}
+	}
+}
+
+// TestResNet50ChannelRange: the paper states convolutional layers have
+// between 64 and 2048 filters.
+func TestResNet50ChannelRange(t *testing.T) {
+	for _, l := range ResNet50().Layers {
+		if l.Spec.OutC < 64 || l.Spec.OutC > 2048 {
+			t.Errorf("%s has %d filters, outside the paper's 64..2048", l.Label, l.Spec.OutC)
+		}
+	}
+}
+
+// TestResNet50UniqueLabels checks the exact 23 labels from Fig. 1.
+func TestResNet50UniqueLabels(t *testing.T) {
+	want := []string{
+		"ResNet.L0", "ResNet.L1", "ResNet.L2", "ResNet.L3", "ResNet.L5",
+		"ResNet.L11", "ResNet.L12", "ResNet.L13", "ResNet.L14", "ResNet.L15", "ResNet.L16",
+		"ResNet.L24", "ResNet.L25", "ResNet.L26", "ResNet.L27", "ResNet.L28", "ResNet.L29",
+		"ResNet.L43", "ResNet.L44", "ResNet.L45", "ResNet.L46", "ResNet.L47", "ResNet.L48",
+	}
+	got := ResNet50().UniqueLayers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d unique layers, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Label != w {
+			t.Errorf("unique[%d] = %s, want %s", i, got[i].Label, w)
+		}
+	}
+}
+
+func TestVGG16Structure(t *testing.T) {
+	n := VGG16()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Layers) != 13 {
+		t.Fatalf("VGG-16 has %d convs, want 13", len(n.Layers))
+	}
+	uniq := n.UniqueLayers()
+	if len(uniq) != 9 {
+		t.Fatalf("VGG-16 unique = %d, want 9", len(uniq))
+	}
+	// Paper: filters 64, 64, 128, 128, 256, 256, 512, 512, 512.
+	wantC := []int{64, 64, 128, 128, 256, 256, 512, 512, 512}
+	for i, l := range uniq {
+		if l.Spec.OutC != wantC[i] {
+			t.Errorf("%s filters = %d, want %d", l.Label, l.Spec.OutC, wantC[i])
+		}
+		if l.Spec.KH != 3 || l.Spec.KW != 3 {
+			t.Errorf("%s kernel %dx%d, VGG is all 3x3", l.Label, l.Spec.KH, l.Spec.KW)
+		}
+	}
+}
+
+func TestAlexNetStructure(t *testing.T) {
+	n := AlexNet()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Layers) != 5 {
+		t.Fatalf("AlexNet has %d convs, want 5", len(n.Layers))
+	}
+	// Paper: filters 64, 192, 384, 256, 256 at indices 0, 3, 6, 8, 10.
+	wantC := map[string]int{
+		"AlexNet.L0": 64, "AlexNet.L3": 192, "AlexNet.L6": 384,
+		"AlexNet.L8": 256, "AlexNet.L10": 256,
+	}
+	for label, c := range wantC {
+		l, ok := n.Layer(label)
+		if !ok {
+			t.Errorf("%s missing", label)
+			continue
+		}
+		if l.Spec.OutC != c {
+			t.Errorf("%s filters = %d, want %d", label, l.Spec.OutC, c)
+		}
+	}
+	if l, _ := n.Layer("AlexNet.L0"); l.Spec.KH != 11 || l.Spec.StrideH != 4 {
+		t.Error("AlexNet.L0 should be 11x11 stride 4")
+	}
+}
+
+// TestChannelChaining: within each network's sequential trunk, a layer's
+// input channels must match its producer's output channels. For
+// ResNet-50 this is checked block-internally (1x1 -> 3x3 -> 1x1).
+func TestChannelChaining(t *testing.T) {
+	n := ResNet50()
+	for i := 1; i+1 < len(n.Layers); i++ {
+		s := n.Layers[i].Spec
+		if s.KH == 3 { // 3x3 mid-block conv: fed by the 1x1 reduce before it
+			prev := n.Layers[i-1].Spec
+			if prev.OutC != s.InC {
+				t.Errorf("%s: InC %d != %s OutC %d", n.Layers[i].Label, s.InC, n.Layers[i-1].Label, prev.OutC)
+			}
+		}
+	}
+	v := VGG16()
+	for i := 1; i < len(v.Layers); i++ {
+		if v.Layers[i].Spec.InC != v.Layers[i-1].Spec.OutC {
+			t.Errorf("%s InC %d != previous OutC %d",
+				v.Layers[i].Label, v.Layers[i].Spec.InC, v.Layers[i-1].Spec.OutC)
+		}
+	}
+}
+
+func TestSpatialConsistency(t *testing.T) {
+	// Every ResNet spec's computed output must be positive and shrink
+	// monotonically across stages: 112 -> 56 -> 28 -> 14 -> 7.
+	n := ResNet50()
+	last, _ := n.Layer("ResNet.L52")
+	if last.Spec.OutH() != 7 {
+		t.Errorf("final layer output %d, want 7", last.Spec.OutH())
+	}
+	l0, _ := n.Layer("ResNet.L0")
+	if l0.Spec.OutH() != 112 {
+		t.Errorf("conv1 output %d, want 112", l0.Spec.OutH())
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ResNet-50", "VGG-16", "AlexNet"} {
+		n, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+		if n.Name != name {
+			t.Errorf("ByName(%s) returned %s", name, n.Name)
+		}
+	}
+	if _, err := ByName("LeNet"); err == nil {
+		t.Error("unknown network accepted")
+	}
+}
+
+func TestLayerLookupMiss(t *testing.T) {
+	if _, ok := ResNet50().Layer("ResNet.L99"); ok {
+		t.Error("lookup of missing layer succeeded")
+	}
+}
+
+func TestTotalMACs(t *testing.T) {
+	// ResNet-50 convolutions are ~3.8 GMACs at 224x224; our inventory
+	// (including projections) must land in that ballpark.
+	macs := ResNet50().TotalMACs()
+	if macs < 3_000_000_000 || macs > 4_500_000_000 {
+		t.Errorf("ResNet-50 total MACs = %d, want ~3.8G", macs)
+	}
+	// VGG-16 is ~15.3 GMACs.
+	v := VGG16().TotalMACs()
+	if v < 13_000_000_000 || v > 17_000_000_000 {
+		t.Errorf("VGG-16 total MACs = %d, want ~15.3G", v)
+	}
+}
+
+func TestBuildWeights(t *testing.T) {
+	n := AlexNet()
+	w := BuildWeights(n)
+	if len(w) != 5 {
+		t.Fatalf("weights for %d layers, want 5", len(w))
+	}
+	for _, l := range n.Layers {
+		wt, ok := w[l.Label]
+		if !ok {
+			t.Errorf("%s: no weights", l.Label)
+			continue
+		}
+		s := l.Spec
+		want := []int{s.OutC, s.KH, s.KW, s.InC}
+		shape := wt.Shape()
+		for i, d := range want {
+			if shape[i] != d {
+				t.Errorf("%s: weight shape %v, want %v", l.Label, shape, want)
+				break
+			}
+		}
+		if wt.AbsSum() == 0 {
+			t.Errorf("%s: weights are all zero", l.Label)
+		}
+	}
+	// Determinism.
+	w2 := BuildWeights(n)
+	for label := range w {
+		d := w[label].Data()
+		d2 := w2[label].Data()
+		for i := range d {
+			if d[i] != d2[i] {
+				t.Fatalf("%s: weights not deterministic", label)
+			}
+		}
+	}
+}
+
+func TestNetworkValidateEmpty(t *testing.T) {
+	if err := (Network{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty network accepted")
+	}
+	bad := Network{Name: "bad", Layers: []Layer{{Label: "x", Spec: conv.ConvSpec{Name: "x"}}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Errorf("invalid layer not rejected with context: %v", err)
+	}
+}

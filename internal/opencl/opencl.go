@@ -1,0 +1,229 @@
+// Package opencl is the OpenCL-like runtime substrate for the Mali
+// boards. It mirrors the structure the paper instruments in §III-C1:
+// a library (the ACL or TVM model) makes *logical* kernel enqueue calls;
+// the runtime decides how each call maps to hardware jobs — including
+// the work-splitting decision the paper's GPU simulator exposes
+// ("when using 92 channels, additional jobs are dispatched to the GPU,
+// meaning that the OpenCL runtime makes the decision to split the
+// work", §IV-B1) — and the command queue executes the resulting job
+// stream on the simulator.
+//
+// The package also provides the call-interception profiler the paper
+// built: every clEnqueueNDRangeKernel-equivalent is recorded with kernel
+// name, ND-range and memory footprint, and per-job start/end times come
+// back from the simulated execution, so "OpenCL calls made" and "jobs
+// dispatched" can be compared exactly as in the paper.
+package opencl
+
+import (
+	"fmt"
+
+	"perfprune/internal/device"
+	"perfprune/internal/sim"
+)
+
+// KernelCall is one logical clEnqueueNDRangeKernel call made by a
+// library against the runtime.
+type KernelCall struct {
+	// Name is the kernel symbol.
+	Name string
+	// Global and Local are the ND-range sizes.
+	Global [3]int
+	Local  [3]int
+	// SplitDim / SplitGranularity describe the runtime's work-splitting
+	// rule for this kernel: the kernel body processes the split
+	// dimension in passes of SplitGranularity work units, so when
+	// Global[SplitDim]/Local[SplitDim] is not a multiple of the
+	// granularity the runtime dispatches a main job covering the
+	// largest multiple and a remainder job for the rest.
+	// SplitGranularity == 0 disables splitting.
+	SplitDim         int
+	SplitGranularity int
+	// UnitArith / UnitMem are instruction counts per work unit along the
+	// split dimension when splitting is enabled; otherwise ArithInstrs /
+	// MemInstrs give the totals directly.
+	UnitArith, UnitMem     int64
+	ArithInstrs, MemInstrs int64
+	// Eff is the lane/work-group efficiency class (see sim.Kernel).
+	Eff float64
+	// Prepare marks one-time setup calls (weight reshaping).
+	Prepare bool
+	// MemBytes is the buffer footprint touched, reported by the profiler.
+	MemBytes int64
+}
+
+// Units returns the work-unit count along the split dimension.
+func (c KernelCall) Units() int {
+	l := c.Local[c.SplitDim]
+	if l == 0 {
+		l = 1
+	}
+	g := c.Global[c.SplitDim]
+	if g == 0 {
+		g = 1
+	}
+	return (g + l - 1) / l
+}
+
+// CallRecord is what the interception profiler captures per call.
+type CallRecord struct {
+	Call KernelCall
+	// Jobs is how many hardware jobs the runtime created for this call.
+	Jobs int
+}
+
+// JobTiming is the profiler's per-job view with virtual timestamps.
+type JobTiming struct {
+	Kernel   string
+	StartMs  float64
+	EndMs    float64
+	Split    bool
+	Prepare  bool
+	MemBytes int64
+}
+
+// Duration returns the job execution time in milliseconds.
+func (j JobTiming) Duration() float64 { return j.EndMs - j.StartMs }
+
+// Queue is an in-order command queue bound to one device.
+type Queue struct {
+	dev     device.Device
+	calls   []CallRecord
+	kernels []sim.Kernel
+}
+
+// NewQueue creates a command queue for dev. Only OpenCL devices are
+// valid targets.
+func NewQueue(dev device.Device) (*Queue, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	if dev.API != device.OpenCL {
+		return nil, fmt.Errorf("opencl: device %s exposes %s, not OpenCL", dev.Name, dev.API)
+	}
+	return &Queue{dev: dev}, nil
+}
+
+// Enqueue records a logical kernel call and lowers it to hardware jobs
+// according to the runtime's splitting rule.
+func (q *Queue) Enqueue(call KernelCall) error {
+	jobs, err := lower(call)
+	if err != nil {
+		return err
+	}
+	q.calls = append(q.calls, CallRecord{Call: call, Jobs: len(jobs)})
+	q.kernels = append(q.kernels, jobs...)
+	return nil
+}
+
+// lower applies the work-splitting decision. This is the runtime-side
+// mechanism behind the paper's Tables I-IV: one gemm_mm call becomes two
+// gemm_mm jobs whenever the unit count is not a multiple of the kernel's
+// pass granularity.
+func lower(call KernelCall) ([]sim.Kernel, error) {
+	if call.Name == "" {
+		return nil, fmt.Errorf("opencl: kernel call with empty name")
+	}
+	if call.SplitGranularity < 0 || call.SplitDim < 0 || call.SplitDim > 2 {
+		return nil, fmt.Errorf("opencl: kernel %s has invalid split spec", call.Name)
+	}
+	if call.SplitGranularity == 0 {
+		return []sim.Kernel{{
+			Name:         call.Name,
+			Global:       call.Global,
+			Local:        call.Local,
+			ArithInstrs:  call.ArithInstrs,
+			MemInstrs:    call.MemInstrs,
+			TrafficBytes: call.MemBytes,
+			Eff:          call.Eff,
+			Prepare:      call.Prepare,
+		}}, nil
+	}
+	units := call.Units()
+	if units <= 0 {
+		return nil, fmt.Errorf("opencl: kernel %s has no work units", call.Name)
+	}
+	gran := call.SplitGranularity
+	mainUnits := (units / gran) * gran
+	remUnits := units - mainUnits
+	if mainUnits == 0 {
+		// The whole dispatch is smaller than one pass: single job.
+		mainUnits, remUnits = units, 0
+	}
+
+	mk := func(name string, u int, split bool) sim.Kernel {
+		g := call.Global
+		l := call.Local
+		ldim := l[call.SplitDim]
+		if ldim == 0 {
+			ldim = 1
+		}
+		g[call.SplitDim] = u * ldim
+		return sim.Kernel{
+			Name:          name,
+			Global:        g,
+			Local:         l,
+			ArithInstrs:   call.UnitArith * int64(u),
+			MemInstrs:     call.UnitMem * int64(u),
+			TrafficBytes:  call.MemBytes * int64(u) / int64(units),
+			Eff:           call.Eff,
+			Prepare:       call.Prepare,
+			SplitResubmit: split,
+		}
+	}
+	out := []sim.Kernel{mk(call.Name, mainUnits, false)}
+	if remUnits > 0 {
+		out = append(out, mk(call.Name, remUnits, true))
+	}
+	return out, nil
+}
+
+// Finish executes all enqueued work on the simulator and returns the
+// simulation result plus the profiler's call records and job timings.
+// The queue is drained and reusable afterwards.
+func (q *Queue) Finish() (sim.Result, []CallRecord, []JobTiming, error) {
+	res, err := sim.Execute(q.dev, q.kernels)
+	if err != nil {
+		return sim.Result{}, nil, nil, err
+	}
+	timings := make([]JobTiming, 0, len(res.Jobs))
+	clock := 0.0
+	perMs := q.dev.GPU.CyclesPerMs()
+	jobIdx := 0
+	for _, rec := range q.calls {
+		for n := 0; n < rec.Jobs; n++ {
+			j := res.Jobs[jobIdx]
+			jobIdx++
+			start := clock + j.GapCycles/perMs
+			end := start + j.Cycles/perMs
+			clock = end
+			timings = append(timings, JobTiming{
+				Kernel:   j.Name,
+				StartMs:  start,
+				EndMs:    end,
+				Split:    j.Split,
+				Prepare:  j.Prepare,
+				MemBytes: rec.Call.MemBytes,
+			})
+		}
+	}
+	calls := q.calls
+	q.calls = nil
+	q.kernels = nil
+	return res, calls, timings, nil
+}
+
+// RunCalls is the convenience path used by the library models: enqueue
+// the call sequence on a fresh queue for dev and execute it.
+func RunCalls(dev device.Device, calls []KernelCall) (sim.Result, []CallRecord, []JobTiming, error) {
+	q, err := NewQueue(dev)
+	if err != nil {
+		return sim.Result{}, nil, nil, err
+	}
+	for _, c := range calls {
+		if err := q.Enqueue(c); err != nil {
+			return sim.Result{}, nil, nil, err
+		}
+	}
+	return q.Finish()
+}

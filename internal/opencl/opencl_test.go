@@ -1,0 +1,247 @@
+package opencl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfprune/internal/device"
+)
+
+func splittableCall(units, gran int) KernelCall {
+	return KernelCall{
+		Name:             "gemm_mm",
+		Global:           [3]int{1, units, 1},
+		Local:            [3]int{1, 1, 1},
+		SplitDim:         1,
+		SplitGranularity: gran,
+		UnitArith:        1000,
+		UnitMem:          100,
+	}
+}
+
+func TestNewQueueRejectsCUDA(t *testing.T) {
+	if _, err := NewQueue(device.JetsonTX2); err == nil {
+		t.Fatal("OpenCL queue created on a CUDA device")
+	}
+	if _, err := NewQueue(device.Device{}); err == nil {
+		t.Fatal("OpenCL queue created on invalid device")
+	}
+	if _, err := NewQueue(device.HiKey970); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerNoSplit(t *testing.T) {
+	call := KernelCall{
+		Name:        "plain",
+		Global:      [3]int{64, 64, 1},
+		Local:       [3]int{8, 8, 1},
+		ArithInstrs: 5000,
+		MemInstrs:   500,
+	}
+	jobs, err := lower(call)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("got %d jobs, want 1", len(jobs))
+	}
+	if jobs[0].ArithInstrs != 5000 || jobs[0].SplitResubmit {
+		t.Fatalf("job = %+v", jobs[0])
+	}
+}
+
+func TestLowerSplitDecision(t *testing.T) {
+	cases := []struct {
+		units, gran       int
+		wantJobs          int
+		wantMain, wantRem int
+	}{
+		{24, 4, 1, 24, 0}, // divisible: single job (Table II/III)
+		{23, 4, 2, 20, 3}, // remainder 3 (Table I at 92 channels)
+		{25, 4, 2, 24, 1}, // remainder 1 (Table IV at 97 channels)
+		{3, 4, 1, 3, 0},   // smaller than one pass: single job
+		{4, 4, 1, 4, 0},   // exactly one pass
+		{512, 4, 1, 512, 0},
+		{509, 4, 2, 508, 1},
+	}
+	for _, tc := range cases {
+		jobs, err := lower(splittableCall(tc.units, tc.gran))
+		if err != nil {
+			t.Fatalf("units=%d: %v", tc.units, err)
+		}
+		if len(jobs) != tc.wantJobs {
+			t.Fatalf("units=%d: %d jobs, want %d", tc.units, len(jobs), tc.wantJobs)
+		}
+		if got := jobs[0].ArithInstrs / 1000; int(got) != tc.wantMain {
+			t.Errorf("units=%d: main covers %d units, want %d", tc.units, got, tc.wantMain)
+		}
+		if jobs[0].SplitResubmit {
+			t.Errorf("units=%d: main job marked split", tc.units)
+		}
+		if tc.wantRem > 0 {
+			if got := jobs[1].ArithInstrs / 1000; int(got) != tc.wantRem {
+				t.Errorf("units=%d: remainder covers %d units, want %d", tc.units, got, tc.wantRem)
+			}
+			if !jobs[1].SplitResubmit {
+				t.Errorf("units=%d: remainder not marked split", tc.units)
+			}
+		}
+	}
+}
+
+func TestLowerRejectsBadCalls(t *testing.T) {
+	if _, err := lower(KernelCall{}); err == nil {
+		t.Error("empty call accepted")
+	}
+	bad := splittableCall(10, 4)
+	bad.SplitDim = 5
+	if _, err := lower(bad); err == nil {
+		t.Error("invalid split dim accepted")
+	}
+	bad = splittableCall(10, 4)
+	bad.SplitGranularity = -1
+	if _, err := lower(bad); err == nil {
+		t.Error("negative granularity accepted")
+	}
+}
+
+func TestUnits(t *testing.T) {
+	c := splittableCall(23, 4)
+	if c.Units() != 23 {
+		t.Fatalf("Units = %d, want 23", c.Units())
+	}
+	// Local size divides the global extent.
+	c.Local[1] = 2
+	c.Global[1] = 46
+	if c.Units() != 23 {
+		t.Fatalf("Units with local=2 = %d, want 23", c.Units())
+	}
+	// Zero dims default to 1.
+	c.Global[1] = 0
+	c.Local[1] = 0
+	if c.Units() != 1 {
+		t.Fatalf("Units with zeros = %d, want 1", c.Units())
+	}
+}
+
+func TestQueueCallAndJobAccounting(t *testing.T) {
+	q, err := NewQueue(device.HiKey970)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(splittableCall(23, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(KernelCall{Name: "im2col", Global: [3]int{28, 28, 1}, ArithInstrs: 100}); err != nil {
+		t.Fatal(err)
+	}
+	res, calls, timings, err := q.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 {
+		t.Fatalf("%d calls recorded, want 2", len(calls))
+	}
+	if calls[0].Jobs != 2 || calls[1].Jobs != 1 {
+		t.Fatalf("job fan-out = %d,%d; want 2,1", calls[0].Jobs, calls[1].Jobs)
+	}
+	if res.Counters.Jobs != 3 {
+		t.Fatalf("total jobs = %d, want 3", res.Counters.Jobs)
+	}
+	if len(timings) != 3 {
+		t.Fatalf("%d job timings, want 3", len(timings))
+	}
+	// Timings are ordered and non-overlapping (in-order queue).
+	for i := 1; i < len(timings); i++ {
+		if timings[i].StartMs < timings[i-1].EndMs-1e-12 {
+			t.Fatalf("job %d starts before job %d ends", i, i-1)
+		}
+	}
+	// The split remainder waits for the resubmission gap.
+	if timings[1].StartMs <= timings[0].EndMs {
+		t.Fatal("split job did not pay the resubmission gap")
+	}
+	if timings[1].Duration() <= 0 {
+		t.Fatal("non-positive job duration")
+	}
+}
+
+func TestQueueReusableAfterFinish(t *testing.T) {
+	q, err := NewQueue(device.HiKey970)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(splittableCall(8, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	res, calls, _, err := q.Finish() // drained: empty run
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 0 || res.Counters.Jobs != 0 {
+		t.Fatal("queue not drained after Finish")
+	}
+}
+
+func TestRunCalls(t *testing.T) {
+	res, calls, timings, err := RunCalls(device.OdroidXU4, []KernelCall{
+		{Name: "k", Global: [3]int{16, 16, 1}, ArithInstrs: 1e6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadyMs() <= 0 || len(calls) != 1 || len(timings) != 1 {
+		t.Fatalf("RunCalls result: ms=%v calls=%d timings=%d", res.SteadyMs(), len(calls), len(timings))
+	}
+	if _, _, _, err := RunCalls(device.JetsonNano, nil); err == nil {
+		t.Fatal("RunCalls on CUDA device accepted")
+	}
+	if _, _, _, err := RunCalls(device.HiKey970, []KernelCall{{}}); err == nil {
+		t.Fatal("RunCalls with invalid call accepted")
+	}
+}
+
+// Property: lowering conserves instruction totals — the split never
+// loses or duplicates work.
+func TestLowerConservesWorkProperty(t *testing.T) {
+	f := func(rawUnits uint16, rawGran uint8) bool {
+		units := int(rawUnits%1000) + 1
+		gran := int(rawGran%8) + 1
+		call := splittableCall(units, gran)
+		jobs, err := lower(call)
+		if err != nil {
+			return false
+		}
+		var arith, mem int64
+		for _, j := range jobs {
+			arith += j.ArithInstrs
+			mem += j.MemInstrs
+		}
+		return arith == int64(units)*call.UnitArith && mem == int64(units)*call.UnitMem
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: at most one extra job is ever created, and only when the
+// unit count exceeds one pass and is not pass-aligned.
+func TestLowerSplitCountProperty(t *testing.T) {
+	f := func(rawUnits uint16, rawGran uint8) bool {
+		units := int(rawUnits%2048) + 1
+		gran := int(rawGran%8) + 1
+		jobs, err := lower(splittableCall(units, gran))
+		if err != nil {
+			return false
+		}
+		wantSplit := units%gran != 0 && units > gran
+		return (len(jobs) == 2) == wantSplit && len(jobs) <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package profiler is the measurement harness of the reproduction. It
+// plays the role of the paper's §III-C profilers: it runs a library's
+// convolution implementation for a layer configuration on a device
+// (through the simulator), reports the median of repeated runs
+// (§III-D: "the median time of 10 runs is reported for each
+// configuration"), and sweeps channel counts to produce the latency
+// curves behind every figure.
+package profiler
+
+import (
+	"fmt"
+
+	"perfprune/internal/acl"
+	"perfprune/internal/conv"
+	"perfprune/internal/cudnnsim"
+	"perfprune/internal/device"
+	"perfprune/internal/stats"
+	"perfprune/internal/tvmsim"
+)
+
+// DefaultRuns is the paper's repetition count per configuration.
+const DefaultRuns = 10
+
+// PruneDistances are the paper's heatmap rows (Figs. 6-19).
+var PruneDistances = []int{1, 3, 7, 15, 31, 63, 127}
+
+// Measurement is one profiled layer execution.
+type Measurement struct {
+	// Ms is the steady-state inference latency.
+	Ms float64
+	// Jobs and SplitJobs are the dispatched hardware job counts.
+	Jobs      int
+	SplitJobs int
+}
+
+// Library abstracts a deep-learning library backend. Implementations
+// wrap the ACL, cuDNN and TVM models.
+type Library interface {
+	// Name is the display name, e.g. "cuDNN".
+	Name() string
+	// Supports reports whether the library can target dev (§III-A: ACL
+	// and TVM target OpenCL Mali boards; cuDNN targets CUDA Jetsons).
+	Supports(dev device.Device) bool
+	// Measure runs one layer configuration once.
+	Measure(dev device.Device, spec conv.ConvSpec) (Measurement, error)
+}
+
+type aclLib struct{ method acl.Method }
+
+func (l aclLib) Name() string { return l.method.String() }
+func (l aclLib) Supports(dev device.Device) bool {
+	return dev.API == device.OpenCL
+}
+func (l aclLib) Measure(dev device.Device, spec conv.ConvSpec) (Measurement, error) {
+	p, err := acl.Run(dev, spec, l.method)
+	if err != nil {
+		return Measurement{}, err
+	}
+	c := p.Result.SteadyCounters()
+	return Measurement{Ms: p.Ms, Jobs: c.Jobs, SplitJobs: c.SplitJobs}, nil
+}
+
+type cudnnLib struct{}
+
+func (cudnnLib) Name() string { return "cuDNN" }
+func (cudnnLib) Supports(dev device.Device) bool {
+	return dev.API == device.CUDA
+}
+func (cudnnLib) Measure(dev device.Device, spec conv.ConvSpec) (Measurement, error) {
+	p, err := cudnnsim.Run(dev, spec)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{Ms: p.Ms, Jobs: p.Result.Counters.Jobs}, nil
+}
+
+type tvmLib struct{}
+
+func (tvmLib) Name() string { return "TVM" }
+func (tvmLib) Supports(dev device.Device) bool {
+	return dev.API == device.OpenCL
+}
+func (tvmLib) Measure(dev device.Device, spec conv.ConvSpec) (Measurement, error) {
+	p, err := tvmsim.Run(dev, spec)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{Ms: p.Ms, Jobs: p.Result.Counters.Jobs}, nil
+}
+
+// ACL returns the Arm Compute Library backend with the given method.
+func ACL(method acl.Method) Library { return aclLib{method: method} }
+
+// CuDNN returns the cuDNN backend.
+func CuDNN() Library { return cudnnLib{} }
+
+// TVM returns the TVM backend.
+func TVM() Library { return tvmLib{} }
+
+// Libraries returns the paper's four library configurations.
+func Libraries() []Library {
+	return []Library{ACL(acl.GEMMConv), ACL(acl.DirectConv), CuDNN(), TVM()}
+}
+
+// MeasureMedian measures spec `runs` times and reports the median
+// latency (§III-D). The simulator is deterministic, so the median
+// equals any single run; the repetition preserves the paper's protocol
+// and exercises the same aggregation code a hardware port would need.
+func MeasureMedian(lib Library, dev device.Device, spec conv.ConvSpec, runs int) (Measurement, error) {
+	if runs <= 0 {
+		return Measurement{}, fmt.Errorf("profiler: runs must be positive, got %d", runs)
+	}
+	if !lib.Supports(dev) {
+		return Measurement{}, fmt.Errorf("profiler: %s does not target %s (%s)", lib.Name(), dev.Name, dev.API)
+	}
+	times := make([]float64, 0, runs)
+	var last Measurement
+	for i := 0; i < runs; i++ {
+		m, err := lib.Measure(dev, spec)
+		if err != nil {
+			return Measurement{}, err
+		}
+		times = append(times, m.Ms)
+		last = m
+	}
+	med, err := stats.Median(times)
+	if err != nil {
+		return Measurement{}, err
+	}
+	last.Ms = med
+	return last, nil
+}
+
+// Point is one (channel count, latency) sample of a sweep.
+type Point struct {
+	Channels int
+	Ms       float64
+}
+
+// SweepChannels measures spec at every output-channel count in
+// [lo, hi], emulating gradual channel pruning one channel at a time
+// (§IV-A: "gradually reducing the number of channels of each layer, one
+// at a time"). Points are returned in increasing channel order.
+func SweepChannels(lib Library, dev device.Device, spec conv.ConvSpec, lo, hi int) ([]Point, error) {
+	if lo < 1 || hi < lo {
+		return nil, fmt.Errorf("profiler: invalid sweep range [%d, %d]", lo, hi)
+	}
+	points := make([]Point, 0, hi-lo+1)
+	for c := lo; c <= hi; c++ {
+		m, err := MeasureMedian(lib, dev, spec.WithOutC(c), DefaultRuns)
+		if err != nil {
+			return nil, fmt.Errorf("profiler: sweep %s at %d channels: %w", spec.Name, c, err)
+		}
+		points = append(points, Point{Channels: c, Ms: m.Ms})
+	}
+	return points, nil
+}
+
+// SweepPruneDistances measures spec at C0-d for each prune distance,
+// clamping at one channel as the paper's heatmaps do for narrow layers
+// (AlexNet.L0 at Prune=127 keeps one channel). The baseline (distance 0)
+// is included first.
+func SweepPruneDistances(lib Library, dev device.Device, spec conv.ConvSpec, distances []int) ([]Point, error) {
+	points := make([]Point, 0, len(distances)+1)
+	m, err := MeasureMedian(lib, dev, spec, DefaultRuns)
+	if err != nil {
+		return nil, err
+	}
+	points = append(points, Point{Channels: spec.OutC, Ms: m.Ms})
+	for _, d := range distances {
+		c := spec.OutC - d
+		if c < 1 {
+			c = 1
+		}
+		m, err := MeasureMedian(lib, dev, spec.WithOutC(c), DefaultRuns)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, Point{Channels: c, Ms: m.Ms})
+	}
+	return points, nil
+}

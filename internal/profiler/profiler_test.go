@@ -1,0 +1,136 @@
+package profiler
+
+import (
+	"testing"
+
+	"perfprune/internal/acl"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+)
+
+func l16(c int) conv.ConvSpec {
+	return conv.ConvSpec{
+		Name: "ResNet.L16", InH: 28, InW: 28, InC: 128, OutC: c,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}
+}
+
+func TestLibraryDeviceSupport(t *testing.T) {
+	// §III-A: ACL and TVM target the Mali (OpenCL) boards, cuDNN the
+	// Jetson (CUDA) boards.
+	cases := []struct {
+		lib      Library
+		mali     bool
+		jetson   bool
+		wantName string
+	}{
+		{ACL(acl.GEMMConv), true, false, "ACL-GEMM"},
+		{ACL(acl.DirectConv), true, false, "ACL-Direct"},
+		{TVM(), true, false, "TVM"},
+		{CuDNN(), false, true, "cuDNN"},
+	}
+	for _, tc := range cases {
+		if tc.lib.Name() != tc.wantName {
+			t.Errorf("library name %q, want %q", tc.lib.Name(), tc.wantName)
+		}
+		if got := tc.lib.Supports(device.HiKey970); got != tc.mali {
+			t.Errorf("%s.Supports(HiKey) = %v", tc.lib.Name(), got)
+		}
+		if got := tc.lib.Supports(device.JetsonTX2); got != tc.jetson {
+			t.Errorf("%s.Supports(TX2) = %v", tc.lib.Name(), got)
+		}
+	}
+	if len(Libraries()) != 4 {
+		t.Fatalf("Libraries() returned %d entries, want 4", len(Libraries()))
+	}
+}
+
+func TestMeasureMedian(t *testing.T) {
+	m, err := MeasureMedian(ACL(acl.GEMMConv), device.HiKey970, l16(93), DefaultRuns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ms < 13 || m.Ms > 16 {
+		t.Errorf("median latency = %.2f ms, want ~14 (Fig. 14)", m.Ms)
+	}
+	if m.Jobs != 2 {
+		t.Errorf("steady jobs = %d, want 2 (im2col + gemm)", m.Jobs)
+	}
+	if m.SplitJobs != 0 {
+		t.Errorf("93 channels should not split, got %d split jobs", m.SplitJobs)
+	}
+	// The simulator is deterministic: median equals any single run.
+	one, err := MeasureMedian(ACL(acl.GEMMConv), device.HiKey970, l16(93), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Ms != m.Ms {
+		t.Errorf("median of 10 (%v) != single run (%v)", m.Ms, one.Ms)
+	}
+}
+
+func TestMeasureMedianErrors(t *testing.T) {
+	if _, err := MeasureMedian(ACL(acl.GEMMConv), device.HiKey970, l16(93), 0); err == nil {
+		t.Error("runs=0 accepted")
+	}
+	if _, err := MeasureMedian(ACL(acl.GEMMConv), device.JetsonTX2, l16(93), 10); err == nil {
+		t.Error("ACL on CUDA device accepted")
+	}
+	if _, err := MeasureMedian(CuDNN(), device.HiKey970, l16(93), 10); err == nil {
+		t.Error("cuDNN on OpenCL device accepted")
+	}
+}
+
+func TestSweepChannels(t *testing.T) {
+	pts, err := SweepChannels(CuDNN(), device.JetsonTX2, l16(128), 20, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 109 {
+		t.Fatalf("%d points, want 109", len(pts))
+	}
+	for i, p := range pts {
+		if p.Channels != 20+i {
+			t.Fatalf("point %d has channels %d", i, p.Channels)
+		}
+		if p.Ms <= 0 {
+			t.Fatalf("non-positive latency at %d channels", p.Channels)
+		}
+	}
+	if _, err := SweepChannels(CuDNN(), device.JetsonTX2, l16(128), 0, 10); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := SweepChannels(CuDNN(), device.JetsonTX2, l16(128), 10, 5); err == nil {
+		t.Error("hi<lo accepted")
+	}
+}
+
+func TestSweepPruneDistances(t *testing.T) {
+	pts, err := SweepPruneDistances(CuDNN(), device.JetsonTX2, l16(128), PruneDistances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline + 7 distances.
+	if len(pts) != 8 {
+		t.Fatalf("%d points, want 8", len(pts))
+	}
+	if pts[0].Channels != 128 {
+		t.Fatalf("baseline channels = %d", pts[0].Channels)
+	}
+	// Prune=127 clamps at 1 channel.
+	if last := pts[len(pts)-1]; last.Channels != 1 {
+		t.Fatalf("deepest prune kept %d channels, want 1", last.Channels)
+	}
+}
+
+func TestPruneDistancesMatchPaper(t *testing.T) {
+	want := []int{1, 3, 7, 15, 31, 63, 127}
+	if len(PruneDistances) != len(want) {
+		t.Fatal("prune distance row set changed")
+	}
+	for i, d := range want {
+		if PruneDistances[i] != d {
+			t.Fatalf("PruneDistances[%d] = %d, want %d", i, PruneDistances[i], d)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package prune implements channel pruning exactly as the paper defines
+// it in §II-B: pruning channel p of an n-channel convolutional layer
+// yields a compact layer with n-1 channels in which every channel
+// k_i, i in [p+1, n] is re-indexed to i-1 — a dense network suited to
+// the optimized dense convolution routines, unlike weight (sparsity)
+// pruning. The package provides the weight-tensor transformation, the
+// downstream input-channel adjustment for consumer layers, saliency
+// criteria for choosing channels, and whole-network pruning plans.
+package prune
+
+import (
+	"fmt"
+	"sort"
+
+	"perfprune/internal/conv"
+	"perfprune/internal/nets"
+	"perfprune/internal/tensor"
+)
+
+// Criterion selects which channels to remove first.
+type Criterion uint8
+
+// Supported criteria.
+const (
+	// Sequential removes the highest-indexed channels first. The paper
+	// uses this for the timing study since "the same computation time
+	// will be produced no matter which channel is picked" (§II-B).
+	Sequential Criterion = iota
+	// L1Magnitude removes channels with the smallest L1 filter norm
+	// first — the standard magnitude saliency [15].
+	L1Magnitude
+	// L2Magnitude removes channels with the smallest L2 norm first.
+	L2Magnitude
+)
+
+// String implements fmt.Stringer.
+func (c Criterion) String() string {
+	switch c {
+	case Sequential:
+		return "sequential"
+	case L1Magnitude:
+		return "l1"
+	case L2Magnitude:
+		return "l2"
+	default:
+		return fmt.Sprintf("Criterion(%d)", uint8(c))
+	}
+}
+
+// Channel removes output channel p (0-based) from an OHWI filter bank,
+// re-indexing the channels above it — the §II-B transformation.
+func Channel(w *tensor.Tensor, p int) (*tensor.Tensor, error) {
+	if w.Rank() != 4 {
+		return nil, fmt.Errorf("prune: weights must be rank 4, got %d", w.Rank())
+	}
+	n := w.Dim(0)
+	if n <= 1 {
+		return nil, fmt.Errorf("prune: cannot prune a %d-channel layer", n)
+	}
+	if p < 0 || p >= n {
+		return nil, fmt.Errorf("prune: channel %d out of range [0,%d)", p, n)
+	}
+	per := w.Dim(1) * w.Dim(2) * w.Dim(3)
+	out := tensor.New(tensor.OHWI, n-1, w.Dim(1), w.Dim(2), w.Dim(3))
+	src := w.Data()
+	dst := out.Data()
+	copy(dst[:p*per], src[:p*per])
+	copy(dst[p*per:], src[(p+1)*per:])
+	return out, nil
+}
+
+// Saliency returns the per-output-channel importance under the
+// criterion (higher = more important). Sequential saliency is the
+// channel index itself, so the last channels are least important.
+func Saliency(w *tensor.Tensor, crit Criterion) ([]float64, error) {
+	if w.Rank() != 4 {
+		return nil, fmt.Errorf("prune: weights must be rank 4, got %d", w.Rank())
+	}
+	n := w.Dim(0)
+	per := w.Dim(1) * w.Dim(2) * w.Dim(3)
+	data := w.Data()
+	out := make([]float64, n)
+	for c := 0; c < n; c++ {
+		seg := data[c*per : (c+1)*per]
+		switch crit {
+		case Sequential:
+			out[c] = float64(n - c)
+		case L1Magnitude:
+			s := 0.0
+			for _, v := range seg {
+				if v < 0 {
+					s -= float64(v)
+				} else {
+					s += float64(v)
+				}
+			}
+			out[c] = s
+		case L2Magnitude:
+			s := 0.0
+			for _, v := range seg {
+				s += float64(v) * float64(v)
+			}
+			out[c] = s
+		default:
+			return nil, fmt.Errorf("prune: unknown criterion %v", crit)
+		}
+	}
+	return out, nil
+}
+
+// Order returns channel indices in pruning order (least important
+// first) under the criterion.
+func Order(w *tensor.Tensor, crit Criterion) ([]int, error) {
+	sal, err := Saliency(w, crit)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(sal))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return sal[idx[a]] < sal[idx[b]] })
+	return idx, nil
+}
+
+// ToWidth prunes w down to keep output channels under the criterion,
+// applying the §II-B removal repeatedly (each removal re-indexes, as in
+// the paper's 128-channel example). It returns the pruned tensor and
+// the original indices of the surviving channels, in surviving order.
+func ToWidth(w *tensor.Tensor, keep int, crit Criterion) (*tensor.Tensor, []int, error) {
+	if w.Rank() != 4 {
+		return nil, nil, fmt.Errorf("prune: weights must be rank 4, got %d", w.Rank())
+	}
+	n := w.Dim(0)
+	if keep < 1 || keep > n {
+		return nil, nil, fmt.Errorf("prune: keep %d out of range [1,%d]", keep, n)
+	}
+	order, err := Order(w, crit)
+	if err != nil {
+		return nil, nil, err
+	}
+	remove := make(map[int]bool, n-keep)
+	for _, c := range order[:n-keep] {
+		remove[c] = true
+	}
+	survivors := make([]int, 0, keep)
+	for c := 0; c < n; c++ {
+		if !remove[c] {
+			survivors = append(survivors, c)
+		}
+	}
+	// Apply removals highest-index-first so earlier indices stay valid
+	// while re-indexing — the repeated §II-B step.
+	doomed := make([]int, 0, n-keep)
+	for c := range remove {
+		doomed = append(doomed, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(doomed)))
+	cur := w
+	for _, c := range doomed {
+		cur, err = Channel(cur, c)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return cur, survivors, nil
+}
+
+// InputChannels removes the given input channels (by original index)
+// from an OHWI filter bank — the adjustment a consumer layer undergoes
+// when its producer is channel-pruned.
+func InputChannels(w *tensor.Tensor, removed []int) (*tensor.Tensor, error) {
+	if w.Rank() != 4 {
+		return nil, fmt.Errorf("prune: weights must be rank 4, got %d", w.Rank())
+	}
+	inC := w.Dim(3)
+	remove := make(map[int]bool, len(removed))
+	for _, r := range removed {
+		if r < 0 || r >= inC {
+			return nil, fmt.Errorf("prune: input channel %d out of range [0,%d)", r, inC)
+		}
+		if remove[r] {
+			return nil, fmt.Errorf("prune: duplicate input channel %d", r)
+		}
+		remove[r] = true
+	}
+	keep := inC - len(remove)
+	if keep < 1 {
+		return nil, fmt.Errorf("prune: cannot remove all %d input channels", inC)
+	}
+	out := tensor.New(tensor.OHWI, w.Dim(0), w.Dim(1), w.Dim(2), keep)
+	src := w.Data()
+	dst := out.Data()
+	di := 0
+	rows := w.Dim(0) * w.Dim(1) * w.Dim(2)
+	for r := 0; r < rows; r++ {
+		base := r * inC
+		for c := 0; c < inC; c++ {
+			if !remove[c] {
+				dst[di] = src[base+c]
+				di++
+			}
+		}
+	}
+	return out, nil
+}
+
+// Plan maps layer labels to kept output-channel counts.
+type Plan map[string]int
+
+// Uniform builds the uninstructed baseline plan the paper warns about:
+// prune every layer by the same fraction, ignoring the device entirely.
+// fraction is the share of channels removed (0.12 reproduces the
+// abstract's "pruning 12% of the initial size").
+func Uniform(n nets.Network, fraction float64) (Plan, error) {
+	if fraction < 0 || fraction >= 1 {
+		return nil, fmt.Errorf("prune: fraction %v outside [0,1)", fraction)
+	}
+	p := make(Plan, len(n.Layers))
+	for _, l := range n.Layers {
+		keep := int(float64(l.Spec.OutC)*(1-fraction) + 0.5)
+		if keep < 1 {
+			keep = 1
+		}
+		p[l.Label] = keep
+	}
+	return p, nil
+}
+
+// Distance builds the plan that prunes every layer by a fixed channel
+// distance (clamped at one channel) — the heatmap rows' transformation.
+func Distance(n nets.Network, d int) (Plan, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("prune: negative distance %d", d)
+	}
+	p := make(Plan, len(n.Layers))
+	for _, l := range n.Layers {
+		keep := l.Spec.OutC - d
+		if keep < 1 {
+			keep = 1
+		}
+		p[l.Label] = keep
+	}
+	return p, nil
+}
+
+// Apply produces the pruned layer specs for a plan. Layers missing from
+// the plan keep their width. It validates that kept counts are in range.
+func Apply(n nets.Network, p Plan) ([]conv.ConvSpec, error) {
+	out := make([]conv.ConvSpec, 0, len(n.Layers))
+	for _, l := range n.Layers {
+		keep, ok := p[l.Label]
+		if !ok {
+			keep = l.Spec.OutC
+		}
+		if keep < 1 || keep > l.Spec.OutC {
+			return nil, fmt.Errorf("prune: plan keeps %d of %d channels in %s", keep, l.Spec.OutC, l.Label)
+		}
+		out = append(out, l.Spec.WithOutC(keep))
+	}
+	return out, nil
+}

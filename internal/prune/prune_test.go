@@ -1,0 +1,305 @@
+package prune
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfprune/internal/nets"
+	"perfprune/internal/tensor"
+)
+
+// bank builds an OHWI filter bank where channel c's weights all equal
+// float32(c+1), so provenance is visible after pruning.
+func bank(n, kh, kw, inC int) *tensor.Tensor {
+	w := tensor.New(tensor.OHWI, n, kh, kw, inC)
+	per := kh * kw * inC
+	d := w.Data()
+	for c := 0; c < n; c++ {
+		for i := 0; i < per; i++ {
+			d[c*per+i] = float32(c + 1)
+		}
+	}
+	return w
+}
+
+// TestChannelReindex verifies the paper's §II-B example: pruning channel
+// p re-indexes every following channel to i-1, producing a compact bank.
+func TestChannelReindex(t *testing.T) {
+	w := bank(128, 3, 3, 4)
+	// Prune the 25th channel (index 24 zero-based, the paper's example).
+	out, err := Channel(w, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(0) != 127 {
+		t.Fatalf("pruned bank has %d channels, want 127", out.Dim(0))
+	}
+	// Channel 26 (value 26) became channel 25 (index 24).
+	if got := out.At(24, 0, 0, 0); got != 26 {
+		t.Fatalf("re-indexed channel value = %v, want 26", got)
+	}
+	// Channels before p unchanged.
+	if got := out.At(23, 0, 0, 0); got != 24 {
+		t.Fatalf("channel 23 value = %v, want 24", got)
+	}
+	// Last channel is the original 128.
+	if got := out.At(126, 0, 0, 0); got != 128 {
+		t.Fatalf("last channel value = %v, want 128", got)
+	}
+}
+
+func TestChannelErrors(t *testing.T) {
+	w := bank(4, 1, 1, 2)
+	if _, err := Channel(w, 4); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
+	if _, err := Channel(w, -1); err == nil {
+		t.Error("negative channel accepted")
+	}
+	one := bank(1, 1, 1, 2)
+	if _, err := Channel(one, 0); err == nil {
+		t.Error("pruning the last channel accepted")
+	}
+	flat := tensor.New(tensor.OHWI, 4, 4)
+	if _, err := Channel(flat, 0); err == nil {
+		t.Error("rank-2 tensor accepted")
+	}
+}
+
+func TestSaliencyCriteria(t *testing.T) {
+	w := tensor.New(tensor.OHWI, 3, 1, 1, 2)
+	copy(w.Data(), []float32{
+		0.1, -0.1, // channel 0: L1 = 0.2, L2 = 0.02
+		2, 0, //       channel 1: L1 = 2, L2 = 4
+		-1, 1, //      channel 2: L1 = 2, L2 = 2
+	})
+	l1, err := Saliency(w, L1Magnitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(l1[0] < l1[2] && l1[1] == l1[2]) {
+		t.Errorf("L1 saliency = %v", l1)
+	}
+	l2, err := Saliency(w, L2Magnitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(l2[0] < l2[2] && l2[2] < l2[1]) {
+		t.Errorf("L2 saliency = %v", l2)
+	}
+	seq, err := Saliency(w, Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(seq[0] > seq[1] && seq[1] > seq[2]) {
+		t.Errorf("sequential saliency = %v (last channels prune first)", seq)
+	}
+	if _, err := Saliency(w, Criterion(9)); err == nil {
+		t.Error("unknown criterion accepted")
+	}
+}
+
+func TestOrder(t *testing.T) {
+	w := bank(5, 1, 1, 1) // magnitudes 1..5
+	order, err := Order(w, L1Magnitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range order {
+		if c != i {
+			t.Fatalf("L1 order = %v, want ascending channel index", order)
+		}
+	}
+	seq, err := Order(w, Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq[0] != 4 || seq[4] != 0 {
+		t.Fatalf("sequential order = %v, want last-first", seq)
+	}
+}
+
+func TestToWidthSequential(t *testing.T) {
+	w := bank(8, 1, 1, 2)
+	out, survivors, err := ToWidth(w, 5, Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(0) != 5 {
+		t.Fatalf("kept %d channels, want 5", out.Dim(0))
+	}
+	// Sequential pruning keeps the first channels.
+	for i, s := range survivors {
+		if s != i {
+			t.Fatalf("survivors = %v", survivors)
+		}
+		if got := out.At(i, 0, 0, 0); got != float32(i+1) {
+			t.Fatalf("survivor %d has value %v", i, got)
+		}
+	}
+}
+
+func TestToWidthMagnitude(t *testing.T) {
+	w := tensor.New(tensor.OHWI, 4, 1, 1, 1)
+	copy(w.Data(), []float32{0.5, 3, 0.1, 2})
+	out, survivors, err := ToWidth(w, 2, L1Magnitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smallest magnitudes (channels 2 and 0) are removed.
+	if len(survivors) != 2 || survivors[0] != 1 || survivors[1] != 3 {
+		t.Fatalf("survivors = %v, want [1 3]", survivors)
+	}
+	if out.At(0, 0, 0, 0) != 3 || out.At(1, 0, 0, 0) != 2 {
+		t.Fatalf("pruned values = %v, %v", out.At(0, 0, 0, 0), out.At(1, 0, 0, 0))
+	}
+}
+
+func TestToWidthErrors(t *testing.T) {
+	w := bank(4, 1, 1, 1)
+	if _, _, err := ToWidth(w, 0, Sequential); err == nil {
+		t.Error("keep=0 accepted")
+	}
+	if _, _, err := ToWidth(w, 5, Sequential); err == nil {
+		t.Error("keep>width accepted")
+	}
+}
+
+func TestInputChannels(t *testing.T) {
+	// A consumer bank with 4 input channels; remove inputs 1 and 3.
+	w := tensor.New(tensor.OHWI, 2, 1, 1, 4)
+	copy(w.Data(), []float32{10, 11, 12, 13, 20, 21, 22, 23})
+	out, err := InputChannels(w, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{10, 12, 20, 22}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("pruned consumer data = %v, want %v", out.Data(), want)
+		}
+	}
+	if _, err := InputChannels(w, []int{4}); err == nil {
+		t.Error("out-of-range input accepted")
+	}
+	if _, err := InputChannels(w, []int{0, 0}); err == nil {
+		t.Error("duplicate input accepted")
+	}
+	if _, err := InputChannels(w, []int{0, 1, 2, 3}); err == nil {
+		t.Error("removing all inputs accepted")
+	}
+}
+
+func TestUniformPlan(t *testing.T) {
+	n := nets.AlexNet()
+	p, err := Uniform(n, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0 := p["AlexNet.L0"]
+	if l0 != 56 { // 64 * 0.88 = 56.3 -> 56
+		t.Errorf("AlexNet.L0 kept %d, want 56", l0)
+	}
+	if _, err := Uniform(n, 1.0); err == nil {
+		t.Error("fraction 1.0 accepted")
+	}
+	if _, err := Uniform(n, -0.1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+}
+
+func TestDistancePlan(t *testing.T) {
+	n := nets.AlexNet()
+	p, err := Distance(n, 127)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p["AlexNet.L0"] != 1 { // 64-127 clamps to 1
+		t.Errorf("L0 kept %d, want 1 (clamped)", p["AlexNet.L0"])
+	}
+	if p["AlexNet.L6"] != 384-127 {
+		t.Errorf("L6 kept %d, want %d", p["AlexNet.L6"], 384-127)
+	}
+	if _, err := Distance(n, -1); err == nil {
+		t.Error("negative distance accepted")
+	}
+}
+
+func TestApply(t *testing.T) {
+	n := nets.AlexNet()
+	p := Plan{"AlexNet.L0": 32}
+	specs, err := Apply(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].OutC != 32 {
+		t.Errorf("L0 spec kept %d channels", specs[0].OutC)
+	}
+	// Unplanned layers keep their width.
+	if specs[1].OutC != 192 {
+		t.Errorf("L3 spec changed to %d channels", specs[1].OutC)
+	}
+	bad := Plan{"AlexNet.L0": 100}
+	if _, err := Apply(n, bad); err == nil {
+		t.Error("plan exceeding layer width accepted")
+	}
+}
+
+// Property: repeated §II-B removals and direct ToWidth agree — pruning
+// to width k sequentially always keeps the first k channels, regardless
+// of the order individual removals happen in.
+func TestSequentialPruneProperty(t *testing.T) {
+	f := func(rawN, rawKeep uint8) bool {
+		n := int(rawN%30) + 2
+		keep := int(rawKeep)%(n-1) + 1
+		w := bank(n, 1, 1, 3)
+		out, survivors, err := ToWidth(w, keep, Sequential)
+		if err != nil {
+			return false
+		}
+		if out.Dim(0) != keep || len(survivors) != keep {
+			return false
+		}
+		for i := 0; i < keep; i++ {
+			if survivors[i] != i || out.At(i, 0, 0, 0) != float32(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pruning conserves the surviving channels' weights exactly
+// under any criterion.
+func TestPruneConservesSurvivorsProperty(t *testing.T) {
+	f := func(seed uint64, rawKeep uint8) bool {
+		w := tensor.New(tensor.OHWI, 12, 3, 3, 4)
+		w.RandomUniform(seed, 1)
+		keep := int(rawKeep)%11 + 1
+		out, survivors, err := ToWidth(w, keep, L2Magnitude)
+		if err != nil {
+			return false
+		}
+		per := 3 * 3 * 4
+		for i, orig := range survivors {
+			for e := 0; e < per; e++ {
+				if out.Data()[i*per+e] != w.Data()[orig*per+e] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	if Sequential.String() != "sequential" || L1Magnitude.String() != "l1" || L2Magnitude.String() != "l2" {
+		t.Fatal("criterion names wrong")
+	}
+}

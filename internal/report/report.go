@@ -1,0 +1,287 @@
+// Package report renders the reproduction's experiment outputs — the
+// heatmaps (Figs. 1, 6, 8-11, 13, 16, 17, 19), staircase curves
+// (Figs. 2-5, 7, 12, 14, 15, 20), kernel instruction tables
+// (Tables I-IV), and system-counter comparisons (Fig. 18) — as plain
+// text, in the same row/column arrangement the paper uses.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"perfprune/internal/profiler"
+)
+
+// Heatmap is a prune-distance x layer grid of speedup (or slowdown)
+// factors, the paper's figure format.
+type Heatmap struct {
+	Title string
+	// Kind is "speedup" or "slowdown" (changes the caption only).
+	Kind      string
+	RowLabels []string // e.g. "Prune=1"
+	ColLabels []string // layer labels
+	Cells     [][]float64
+}
+
+// Validate checks the grid is rectangular and labeled.
+func (h Heatmap) Validate() error {
+	if len(h.Cells) != len(h.RowLabels) {
+		return fmt.Errorf("report: %d rows but %d row labels", len(h.Cells), len(h.RowLabels))
+	}
+	for i, row := range h.Cells {
+		if len(row) != len(h.ColLabels) {
+			return fmt.Errorf("report: row %d has %d cells but %d column labels",
+				i, len(row), len(h.ColLabels))
+		}
+	}
+	return nil
+}
+
+// MaxCell returns the largest cell value, the figure captions' headline
+// number ("maximum speedup 16.9x").
+func (h Heatmap) MaxCell() float64 {
+	max := 0.0
+	for _, row := range h.Cells {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// MinCell returns the smallest cell value.
+func (h Heatmap) MinCell() float64 {
+	if len(h.Cells) == 0 || len(h.Cells[0]) == 0 {
+		return 0
+	}
+	min := h.Cells[0][0]
+	for _, row := range h.Cells {
+		for _, v := range row {
+			if v < min {
+				min = v
+			}
+		}
+	}
+	return min
+}
+
+// Render formats the heatmap with one "N.Nx" cell per layer, matching
+// the paper's figures.
+func (h Heatmap) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", h.Title)
+	// Column header: shorten "ResNet.L16" to "L16" style when a shared
+	// prefix exists.
+	cols := shortenLabels(h.ColLabels)
+	width := 6
+	for _, c := range cols {
+		if len(c)+1 > width {
+			width = len(c) + 1
+		}
+	}
+	rowLabelWidth := 0
+	for _, r := range h.RowLabels {
+		if len(r) > rowLabelWidth {
+			rowLabelWidth = len(r)
+		}
+	}
+	fmt.Fprintf(&b, "%*s", rowLabelWidth, "")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%*s", width, c)
+	}
+	b.WriteByte('\n')
+	for i, row := range h.Cells {
+		fmt.Fprintf(&b, "%-*s", rowLabelWidth, h.RowLabels[i])
+		for _, v := range row {
+			fmt.Fprintf(&b, "%*s", width, fmt.Sprintf("%.1fx", v))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "max %s: %.1fx\n", h.Kind, h.MaxCell())
+	return b.String()
+}
+
+func shortenLabels(labels []string) []string {
+	if len(labels) == 0 {
+		return nil
+	}
+	prefix := labels[0]
+	if i := strings.IndexByte(prefix, '.'); i >= 0 {
+		prefix = prefix[:i+1]
+	} else {
+		prefix = ""
+	}
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		if prefix != "" && strings.HasPrefix(l, prefix) {
+			out[i] = l[len(prefix):]
+		} else {
+			out[i] = l
+		}
+	}
+	return out
+}
+
+// Table is a titled text table (Tables I-V).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the table with aligned columns.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, hcol := range t.Header {
+		widths[i] = len(hcol)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Curve is a latency-vs-channels series (the staircase figures).
+type Curve struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Points []profiler.Point
+}
+
+// RenderASCII plots the curve as an ASCII scatter of the given size.
+func (c Curve) RenderASCII(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.Title)
+	if len(c.Points) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	minX, maxX := c.Points[0].Channels, c.Points[0].Channels
+	minY, maxY := c.Points[0].Ms, c.Points[0].Ms
+	for _, p := range c.Points {
+		if p.Channels < minX {
+			minX = p.Channels
+		}
+		if p.Channels > maxX {
+			maxX = p.Channels
+		}
+		if p.Ms < minY {
+			minY = p.Ms
+		}
+		if p.Ms > maxY {
+			maxY = p.Ms
+		}
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range c.Points {
+		x := int(float64(p.Channels-minX) / float64(maxX-minX) * float64(width-1))
+		y := int((p.Ms - minY) / (maxY - minY) * float64(height-1))
+		row := height - 1 - y
+		grid[row][x] = '*'
+	}
+	for i, row := range grid {
+		label := "          "
+		if i == 0 {
+			label = fmt.Sprintf("%8.2f |", maxY)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%8.2f |", minY)
+		} else {
+			label = "         |"
+		}
+		fmt.Fprintf(&b, "%s%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "          %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "          %-*d%*d\n", width/2, minX, width-width/2, maxX)
+	fmt.Fprintf(&b, "          x: %s, y: %s (%d points)\n", c.XLabel, c.YLabel, len(c.Points))
+	return b.String()
+}
+
+// RenderCSV emits the curve as channels,ms lines for plotting.
+func (c Curve) RenderCSV() string {
+	var b strings.Builder
+	b.WriteString("channels,ms\n")
+	for _, p := range c.Points {
+		fmt.Fprintf(&b, "%d,%.6f\n", p.Channels, p.Ms)
+	}
+	return b.String()
+}
+
+// BarGroup is a labeled group of named values (Fig. 18's relative
+// system-level results).
+type BarGroup struct {
+	Title  string
+	Names  []string // series names, e.g. "92 Channels"
+	Labels []string // metric labels, e.g. "Jobs"
+	// Values[metric][series].
+	Values [][]float64
+}
+
+// Render formats each metric's values side by side, normalized display
+// is the caller's choice.
+func (g BarGroup) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", g.Title)
+	labelW := 0
+	for _, l := range g.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", labelW, "")
+	for _, n := range g.Names {
+		fmt.Fprintf(&b, "%14s", n)
+	}
+	b.WriteByte('\n')
+	for i, l := range g.Labels {
+		fmt.Fprintf(&b, "%-*s", labelW, l)
+		for _, v := range g.Values[i] {
+			fmt.Fprintf(&b, "%14.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"perfprune/internal/profiler"
+)
+
+func sampleHeatmap() Heatmap {
+	return Heatmap{
+		Title:     "test map",
+		Kind:      "speedup",
+		RowLabels: []string{"Prune=1", "Prune=127"},
+		ColLabels: []string{"ResNet.L0", "ResNet.L16"},
+		Cells:     [][]float64{{1.0, 0.9}, {1.7, 3.3}},
+	}
+}
+
+func TestHeatmapValidate(t *testing.T) {
+	h := sampleHeatmap()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h.Cells = h.Cells[:1]
+	if h.Validate() == nil {
+		t.Error("row/label mismatch accepted")
+	}
+	h = sampleHeatmap()
+	h.Cells[1] = h.Cells[1][:1]
+	if h.Validate() == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestHeatmapMinMax(t *testing.T) {
+	h := sampleHeatmap()
+	if h.MaxCell() != 3.3 {
+		t.Errorf("MaxCell = %v", h.MaxCell())
+	}
+	if h.MinCell() != 0.9 {
+		t.Errorf("MinCell = %v", h.MinCell())
+	}
+	if (Heatmap{}).MinCell() != 0 {
+		t.Error("empty heatmap MinCell")
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	out := sampleHeatmap().Render()
+	for _, want := range []string{"test map", "Prune=127", "3.3x", "0.9x", "max speedup: 3.3x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Shared prefix shortened: columns show L0/L16, not ResNet.L0.
+	if strings.Contains(out, "ResNet.L0") {
+		t.Errorf("column labels not shortened:\n%s", out)
+	}
+	if !strings.Contains(out, "L16") {
+		t.Errorf("short label missing:\n%s", out)
+	}
+}
+
+func TestShortenLabelsMixed(t *testing.T) {
+	got := shortenLabels([]string{"VGG.L0", "VGG.L24", "other"})
+	if got[0] != "L0" || got[1] != "L24" || got[2] != "other" {
+		t.Fatalf("shortenLabels = %v", got)
+	}
+	if shortenLabels(nil) != nil {
+		t.Fatal("nil labels")
+	}
+	got = shortenLabels([]string{"plain"})
+	if got[0] != "plain" {
+		t.Fatalf("no-dot label mangled: %v", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:  "Table II",
+		Header: []string{"Kernel Name", "No Arithm. Instr."},
+		Rows: [][]string{
+			{"im2col3x3_nhwc", "1,379,034"},
+			{"gemm_mm", "848,055,936"},
+		},
+	}
+	out := tb.Render()
+	for _, want := range []string{"Table II", "Kernel Name", "848,055,936", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: both data rows have the second column starting at
+	// the same offset.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines, want 5", len(lines))
+	}
+	idx1 := strings.Index(lines[3], "1,379,034")
+	idx2 := strings.Index(lines[4], "848,055,936")
+	if idx1 != idx2 {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestCurveRenderASCII(t *testing.T) {
+	c := Curve{
+		Title:  "staircase",
+		XLabel: "channels",
+		YLabel: "ms",
+		Points: []profiler.Point{
+			{Channels: 1, Ms: 1}, {Channels: 50, Ms: 5}, {Channels: 100, Ms: 10},
+		},
+	}
+	out := c.RenderASCII(40, 8)
+	if !strings.Contains(out, "staircase") || !strings.Contains(out, "*") {
+		t.Errorf("curve render broken:\n%s", out)
+	}
+	if !strings.Contains(out, "channels") || !strings.Contains(out, "ms") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	// Degenerate sizes are clamped, single point works.
+	single := Curve{Title: "p", Points: []profiler.Point{{Channels: 5, Ms: 2}}}
+	if out := single.RenderASCII(1, 1); !strings.Contains(out, "*") {
+		t.Errorf("single-point render broken:\n%s", out)
+	}
+	empty := Curve{Title: "e"}
+	if out := empty.RenderASCII(40, 8); !strings.Contains(out, "no data") {
+		t.Errorf("empty curve render:\n%s", out)
+	}
+}
+
+func TestCurveRenderCSV(t *testing.T) {
+	c := Curve{Points: []profiler.Point{{Channels: 93, Ms: 14.419}}}
+	out := c.RenderCSV()
+	if !strings.HasPrefix(out, "channels,ms\n") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "93,14.419") {
+		t.Errorf("CSV row missing:\n%s", out)
+	}
+}
+
+func TestBarGroupRender(t *testing.T) {
+	g := BarGroup{
+		Title:  "Fig. 18",
+		Names:  []string{"92 Channels", "93 Channels"},
+		Labels: []string{"Jobs", "Interrupts"},
+		Values: [][]float64{{1.5, 1.0}, {1.5, 1.0}},
+	}
+	out := g.Render()
+	for _, want := range []string{"Fig. 18", "92 Channels", "Jobs", "1.500", "1.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bar group missing %q:\n%s", want, out)
+		}
+	}
+}

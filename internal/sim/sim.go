@@ -1,0 +1,259 @@
+// Package sim is the full-system embedded GPU simulator the reproduction
+// uses in place of silicon. It plays the role of the Mali GPU simulator
+// the paper uses in §IV-B to explain the Arm Compute Library's behavior
+// — and, because we have no boards, it is also the timing oracle for
+// every "device measurement" in the experiment harness.
+//
+// The model is deliberately structural rather than curve-fitted: library
+// models (acl, cudnnsim, tvmsim) emit kernel descriptors with instruction
+// counts, work sizes and efficiency classes, and the simulator derives
+//
+//   - per-job cycle counts from instruction throughput, core occupancy
+//     and lane efficiency,
+//   - job-manager activity: control register reads/writes and completion
+//     interrupts per job (Fig. 18),
+//   - the serialization gap paid when the OpenCL runtime splits one
+//     enqueued kernel into an extra dependent hardware job — the paper's
+//     root cause for the 14 ms -> 23 ms staircase jump (§IV-B1).
+package sim
+
+import (
+	"fmt"
+
+	"perfprune/internal/device"
+)
+
+// Kernel describes one GPU kernel dispatch as produced by a library
+// model. Instruction counts are totals across all work items.
+type Kernel struct {
+	// Name is the kernel symbol, e.g. "gemm_mm" or "im2col3x3_nhwc".
+	Name string
+	// Global is the ND-range global work size.
+	Global [3]int
+	// Local is the work-group size; zero components default to 1.
+	Local [3]int
+	// ArithInstrs is the arithmetic instruction total.
+	ArithInstrs int64
+	// MemInstrs is the memory instruction total.
+	MemInstrs int64
+	// TrafficBytes is the DRAM traffic the kernel generates (reads +
+	// writes past the cache). Kernels whose traffic exceeds what the
+	// memory interface can stream in their compute time become
+	// DRAM-bound (e.g. the im2col column-matrix write-out).
+	TrafficBytes int64
+	// Eff is the lane/scheduling efficiency in (0, 1]; 0 means 1.0.
+	// Library heuristics that pick degenerate work-group shapes (§IV-B2,
+	// Table V) surface here.
+	Eff float64
+	// SplitResubmit marks a job created by the OpenCL runtime splitting
+	// a single enqueued kernel; it pays the CPU-GPU resubmission gap.
+	SplitResubmit bool
+	// Prepare marks one-time setup work (e.g. ACL weight reshaping) that
+	// runs once at graph preparation, not on the steady-state inference
+	// path. It appears in instruction tables but not in inference time.
+	Prepare bool
+}
+
+// Validate reports structural problems in the descriptor.
+func (k Kernel) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("sim: kernel with empty name")
+	}
+	for i := 0; i < 3; i++ {
+		if k.Global[i] < 0 || k.Local[i] < 0 {
+			return fmt.Errorf("sim: kernel %s has negative work size", k.Name)
+		}
+	}
+	if k.ArithInstrs < 0 || k.MemInstrs < 0 || k.TrafficBytes < 0 {
+		return fmt.Errorf("sim: kernel %s has negative instruction or traffic count", k.Name)
+	}
+	if k.Eff < 0 || k.Eff > 1 {
+		return fmt.Errorf("sim: kernel %s efficiency %v outside [0,1]", k.Name, k.Eff)
+	}
+	return nil
+}
+
+// WorkGroups returns the number of work groups the dispatch creates.
+func (k Kernel) WorkGroups() int {
+	wgs := 1
+	for i := 0; i < 3; i++ {
+		g, l := k.Global[i], k.Local[i]
+		if g == 0 {
+			g = 1
+		}
+		if l == 0 {
+			l = 1
+		}
+		wgs *= (g + l - 1) / l
+	}
+	return wgs
+}
+
+// JobStats is the simulator's per-job report.
+type JobStats struct {
+	Name        string
+	ArithInstrs int64
+	MemInstrs   int64
+	WorkGroups  int
+	// Occupancy is the fraction of shader cores kept busy.
+	Occupancy float64
+	// Eff is the lane efficiency applied.
+	Eff float64
+	// Cycles is the job execution time including setup, excluding any
+	// resubmission gap (reported separately in GapCycles).
+	Cycles float64
+	// GapCycles is the CPU-GPU resubmission serialization this job
+	// waited for before starting (non-zero only for split jobs).
+	GapCycles float64
+	// Split and Prepare mirror the kernel flags.
+	Split   bool
+	Prepare bool
+}
+
+// Counters aggregates the system-level activity the paper's Fig. 18
+// reports: jobs dispatched, job-manager control register traffic, and
+// completion interrupts.
+type Counters struct {
+	Jobs           int
+	CtrlRegReads   int
+	CtrlRegWrites  int
+	Interrupts     int
+	SplitJobs      int
+	ResubmitEvents int
+}
+
+// Result is a full simulation of one command stream (one layer run).
+type Result struct {
+	Device device.Device
+	Jobs   []JobStats
+	// TotalCycles includes prepare-time jobs; SteadyCycles excludes them
+	// and is what "inference time" means everywhere in the reproduction.
+	TotalCycles  float64
+	SteadyCycles float64
+	Counters     Counters
+}
+
+// TotalMs converts TotalCycles to milliseconds.
+func (r Result) TotalMs() float64 { return r.TotalCycles / r.Device.GPU.CyclesPerMs() }
+
+// SteadyMs converts SteadyCycles to milliseconds — the per-inference
+// latency reported in every figure.
+func (r Result) SteadyMs() float64 { return r.SteadyCycles / r.Device.GPU.CyclesPerMs() }
+
+// Execute simulates the ordered kernel stream on dev and returns per-job
+// statistics, aggregate counters and cycle totals. It returns an error
+// for malformed kernels; timing itself cannot fail.
+func Execute(dev device.Device, kernels []Kernel) (Result, error) {
+	if err := dev.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Device: dev, Jobs: make([]JobStats, 0, len(kernels))}
+	g := dev.GPU
+	for _, k := range kernels {
+		if err := k.Validate(); err != nil {
+			return Result{}, err
+		}
+		js := executeJob(g, k)
+		res.Jobs = append(res.Jobs, js)
+
+		res.Counters.Jobs++
+		res.Counters.CtrlRegReads += g.CtrlRegReadsPerJob
+		res.Counters.CtrlRegWrites += g.CtrlRegWritesPerJob
+		res.Counters.Interrupts++
+		if k.SplitResubmit {
+			res.Counters.SplitJobs++
+			res.Counters.ResubmitEvents++
+			// Servicing the extra completion interrupt and re-programming
+			// the job chain costs additional register traffic.
+			res.Counters.CtrlRegReads += g.CtrlRegReadsPerJob / 2
+			res.Counters.CtrlRegWrites += g.CtrlRegWritesPerJob / 2
+		}
+
+		total := js.Cycles + js.GapCycles
+		res.TotalCycles += total
+		if !k.Prepare {
+			res.SteadyCycles += total
+		}
+	}
+	return res, nil
+}
+
+func executeJob(g device.GPUSpec, k Kernel) JobStats {
+	eff := k.Eff
+	if eff == 0 {
+		eff = 1
+	}
+	wgs := k.WorkGroups()
+	occ := 1.0
+	if wgs < g.Cores {
+		// Fewer work groups than shader cores: the remainder of the grid
+		// idles. This is what makes runtime-split remainder kernels so
+		// expensive relative to their instruction count.
+		occ = float64(wgs) / float64(g.Cores)
+	}
+	arithCycles := float64(k.ArithInstrs) / (g.ArithIPC * float64(g.Cores) * occ * eff)
+	memCycles := float64(k.MemInstrs) / (g.MemIPC * float64(g.Cores) * occ * eff)
+	cycles := arithCycles
+	if memCycles > cycles {
+		cycles = memCycles
+	}
+	// DRAM bound: the memory interface is shared across cores, so
+	// traffic is not scaled by occupancy or lane efficiency.
+	if g.DRAMBytesPerCycle > 0 {
+		if dramCycles := float64(k.TrafficBytes) / g.DRAMBytesPerCycle; dramCycles > cycles {
+			cycles = dramCycles
+		}
+	}
+	cycles += g.JobSetupCycles
+
+	gap := 0.0
+	if k.SplitResubmit {
+		gap = g.SplitResubmitCycles
+	}
+	return JobStats{
+		Name:        k.Name,
+		ArithInstrs: k.ArithInstrs,
+		MemInstrs:   k.MemInstrs,
+		WorkGroups:  wgs,
+		Occupancy:   occ,
+		Eff:         eff,
+		Cycles:      cycles,
+		GapCycles:   gap,
+		Split:       k.SplitResubmit,
+		Prepare:     k.Prepare,
+	}
+}
+
+// SteadyJobs returns the jobs on the inference path (excluding prepare).
+func (r Result) SteadyJobs() []JobStats {
+	out := make([]JobStats, 0, len(r.Jobs))
+	for _, j := range r.Jobs {
+		if !j.Prepare {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// SteadyCounters recomputes counters over inference-path jobs only; this
+// is the view Fig. 18 compares across channel counts.
+func (r Result) SteadyCounters() Counters {
+	var c Counters
+	g := r.Device.GPU
+	for _, j := range r.Jobs {
+		if j.Prepare {
+			continue
+		}
+		c.Jobs++
+		c.CtrlRegReads += g.CtrlRegReadsPerJob
+		c.CtrlRegWrites += g.CtrlRegWritesPerJob
+		c.Interrupts++
+		if j.Split {
+			c.SplitJobs++
+			c.ResubmitEvents++
+			c.CtrlRegReads += g.CtrlRegReadsPerJob / 2
+			c.CtrlRegWrites += g.CtrlRegWritesPerJob / 2
+		}
+	}
+	return c
+}

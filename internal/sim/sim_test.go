@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"perfprune/internal/device"
+)
+
+func simpleKernel(name string, arith, mem int64) Kernel {
+	return Kernel{
+		Name:        name,
+		Global:      [3]int{256, 256, 1},
+		Local:       [3]int{8, 8, 1},
+		ArithInstrs: arith,
+		MemInstrs:   mem,
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	good := simpleKernel("k", 100, 10)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Name = ""
+	if bad.Validate() == nil {
+		t.Error("empty name accepted")
+	}
+	bad = good
+	bad.ArithInstrs = -1
+	if bad.Validate() == nil {
+		t.Error("negative instructions accepted")
+	}
+	bad = good
+	bad.Eff = 1.5
+	if bad.Validate() == nil {
+		t.Error("efficiency > 1 accepted")
+	}
+	bad = good
+	bad.Global[0] = -2
+	if bad.Validate() == nil {
+		t.Error("negative global size accepted")
+	}
+}
+
+func TestWorkGroups(t *testing.T) {
+	cases := []struct {
+		k    Kernel
+		want int
+	}{
+		{Kernel{Name: "a", Global: [3]int{256, 256, 1}, Local: [3]int{8, 8, 1}}, 1024},
+		{Kernel{Name: "b", Global: [3]int{10, 1, 1}, Local: [3]int{4, 1, 1}}, 3}, // ceil
+		{Kernel{Name: "c", Global: [3]int{1, 24, 1}}, 24},                        // zero local -> 1
+		{Kernel{Name: "d"}, 1}, // all defaults
+	}
+	for _, tc := range cases {
+		if got := tc.k.WorkGroups(); got != tc.want {
+			t.Errorf("%s: WorkGroups = %d, want %d", tc.k.Name, got, tc.want)
+		}
+	}
+}
+
+func TestExecuteThroughputMath(t *testing.T) {
+	// On the HiKey 970 the aggregate arithmetic throughput is
+	// ArithIPC * Cores per cycle; a kernel with plenty of work groups
+	// must take instr/throughput + setup cycles.
+	g := device.HiKey970.GPU
+	arith := int64(1e9)
+	res, err := Execute(device.HiKey970, []Kernel{simpleKernel("k", arith, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(arith)/(g.ArithIPC*float64(g.Cores)) + g.JobSetupCycles
+	if math.Abs(res.TotalCycles-want)/want > 1e-9 {
+		t.Fatalf("cycles = %v, want %v", res.TotalCycles, want)
+	}
+}
+
+func TestExecuteMemoryBound(t *testing.T) {
+	// When memory instructions dominate, the kernel is memory-bound:
+	// max(arith, mem) semantics.
+	res, err := Execute(device.HiKey970, []Kernel{simpleKernel("m", 1000, 1e8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := device.HiKey970.GPU
+	want := 1e8/(g.MemIPC*float64(g.Cores)) + g.JobSetupCycles
+	if math.Abs(res.TotalCycles-want)/want > 1e-9 {
+		t.Fatalf("cycles = %v, want %v", res.TotalCycles, want)
+	}
+}
+
+func TestOccupancyPenalty(t *testing.T) {
+	// A dispatch with fewer work groups than cores runs at reduced
+	// occupancy: 3 work groups on 12 cores is 4x slower than the same
+	// instruction count with full occupancy.
+	full := Kernel{Name: "full", Global: [3]int{1, 24, 1}, ArithInstrs: 1e8}
+	small := Kernel{Name: "small", Global: [3]int{1, 3, 1}, ArithInstrs: 1e8}
+	rFull, err := Execute(device.HiKey970, []Kernel{full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSmall, err := Execute(device.HiKey970, []Kernel{small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSmall.Jobs[0].Occupancy != 0.25 {
+		t.Fatalf("occupancy = %v, want 0.25", rSmall.Jobs[0].Occupancy)
+	}
+	ratio := (rSmall.TotalCycles - device.HiKey970.GPU.JobSetupCycles) /
+		(rFull.TotalCycles - device.HiKey970.GPU.JobSetupCycles)
+	if math.Abs(ratio-4) > 1e-9 {
+		t.Fatalf("occupancy slowdown = %v, want 4x", ratio)
+	}
+}
+
+func TestEfficiencyScaling(t *testing.T) {
+	k := simpleKernel("k", 1e8, 0)
+	k.Eff = 0.5
+	r, err := Execute(device.HiKey970, []Kernel{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2 := simpleKernel("k", 1e8, 0)
+	r2, err := Execute(device.HiKey970, []Kernel{k2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := device.HiKey970.GPU
+	gotRatio := (r.TotalCycles - g.JobSetupCycles) / (r2.TotalCycles - g.JobSetupCycles)
+	if math.Abs(gotRatio-2) > 1e-9 {
+		t.Fatalf("eff=0.5 slowdown = %v, want 2x", gotRatio)
+	}
+}
+
+func TestSplitResubmitGap(t *testing.T) {
+	k := simpleKernel("rem", 1e6, 0)
+	k.SplitResubmit = true
+	r, err := Execute(device.HiKey970, []Kernel{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Jobs[0].GapCycles != device.HiKey970.GPU.SplitResubmitCycles {
+		t.Fatalf("gap = %v, want %v", r.Jobs[0].GapCycles, device.HiKey970.GPU.SplitResubmitCycles)
+	}
+	if r.Counters.SplitJobs != 1 || r.Counters.ResubmitEvents != 1 {
+		t.Fatalf("split counters = %+v", r.Counters)
+	}
+}
+
+func TestCountersPerJob(t *testing.T) {
+	kernels := []Kernel{simpleKernel("a", 1e6, 0), simpleKernel("b", 1e6, 0)}
+	r, err := Execute(device.HiKey970, kernels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := device.HiKey970.GPU
+	if r.Counters.Jobs != 2 || r.Counters.Interrupts != 2 {
+		t.Fatalf("jobs/interrupts = %d/%d, want 2/2", r.Counters.Jobs, r.Counters.Interrupts)
+	}
+	if r.Counters.CtrlRegReads != 2*g.CtrlRegReadsPerJob {
+		t.Fatalf("reads = %d", r.Counters.CtrlRegReads)
+	}
+	if r.Counters.CtrlRegWrites != 2*g.CtrlRegWritesPerJob {
+		t.Fatalf("writes = %d", r.Counters.CtrlRegWrites)
+	}
+}
+
+func TestPrepareExcludedFromSteady(t *testing.T) {
+	prep := simpleKernel("prep", 1e8, 0)
+	prep.Prepare = true
+	run := simpleKernel("run", 1e8, 0)
+	r, err := Execute(device.HiKey970, []Kernel{prep, run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SteadyCycles >= r.TotalCycles {
+		t.Fatal("prepare job counted in steady time")
+	}
+	if len(r.SteadyJobs()) != 1 || r.SteadyJobs()[0].Name != "run" {
+		t.Fatalf("steady jobs = %+v", r.SteadyJobs())
+	}
+	sc := r.SteadyCounters()
+	if sc.Jobs != 1 {
+		t.Fatalf("steady jobs counter = %d, want 1", sc.Jobs)
+	}
+}
+
+func TestTimeConversion(t *testing.T) {
+	r, err := Execute(device.HiKey970, []Kernel{simpleKernel("k", 1e9, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMs := r.TotalCycles / (device.HiKey970.GPU.ClockMHz * 1000)
+	if math.Abs(r.TotalMs()-wantMs) > 1e-12 {
+		t.Fatalf("TotalMs = %v, want %v", r.TotalMs(), wantMs)
+	}
+	if r.SteadyMs() != r.TotalMs() {
+		t.Fatal("no prepare kernels: steady must equal total")
+	}
+}
+
+func TestExecuteRejectsBadInput(t *testing.T) {
+	if _, err := Execute(device.Device{}, nil); err == nil {
+		t.Error("invalid device accepted")
+	}
+	bad := Kernel{}
+	if _, err := Execute(device.HiKey970, []Kernel{bad}); err == nil {
+		t.Error("invalid kernel accepted")
+	}
+}
+
+// Property: total cycles are additive over kernels and monotone in
+// instruction count.
+func TestExecuteAdditiveProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		ka := simpleKernel("a", int64(a)+1, 0)
+		kb := simpleKernel("b", int64(b)+1, 0)
+		ra, err := Execute(device.HiKey970, []Kernel{ka})
+		if err != nil {
+			return false
+		}
+		rb, err := Execute(device.HiKey970, []Kernel{kb})
+		if err != nil {
+			return false
+		}
+		rab, err := Execute(device.HiKey970, []Kernel{ka, kb})
+		if err != nil {
+			return false
+		}
+		return math.Abs(rab.TotalCycles-(ra.TotalCycles+rb.TotalCycles)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the same kernel stream takes strictly longer on the slower
+// Odroid XU4 than on the HiKey 970 (in wall time, not cycles).
+func TestDeviceOrderingProperty(t *testing.T) {
+	f := func(a uint32) bool {
+		k := simpleKernel("k", int64(a)+1000, int64(a)/4)
+		rh, err := Execute(device.HiKey970, []Kernel{k})
+		if err != nil {
+			return false
+		}
+		ro, err := Execute(device.OdroidXU4, []Kernel{k})
+		if err != nil {
+			return false
+		}
+		return ro.TotalMs() > rh.TotalMs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDRAMBoundKernel(t *testing.T) {
+	// A kernel with little compute but huge declared traffic must be
+	// limited by the memory interface, not the instruction pipelines.
+	k := simpleKernel("streamer", 1000, 100)
+	k.TrafficBytes = 64 << 20 // 64 MiB
+	r, err := Execute(device.HiKey970, []Kernel{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := device.HiKey970.GPU
+	want := float64(k.TrafficBytes)/g.DRAMBytesPerCycle + g.JobSetupCycles
+	if math.Abs(r.TotalCycles-want)/want > 1e-9 {
+		t.Fatalf("DRAM-bound cycles = %v, want %v", r.TotalCycles, want)
+	}
+	// With the bound disabled the kernel is back to compute-limited.
+	free := device.HiKey970
+	free.GPU.DRAMBytesPerCycle = 0
+	r2, err := Execute(free, []Kernel{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.TotalCycles >= r.TotalCycles {
+		t.Fatal("disabling the DRAM bound did not reduce cycles")
+	}
+	if _, err := Execute(device.HiKey970, []Kernel{{Name: "neg", TrafficBytes: -1}}); err == nil {
+		t.Fatal("negative traffic accepted")
+	}
+}

@@ -1,0 +1,226 @@
+// Package staircase analyzes the latency-vs-channels curves the
+// profiler produces. The paper observes that inference time is a
+// staircase in the channel count (Fig. 2) and proposes pruning to "the
+// right side of a performance step (more channels for the same
+// execution time budget)" (§II-B). This package detects the stairs,
+// extracts those right-edge optimal points, and computes the
+// speedup/slowdown aggregations behind the heatmap figures.
+package staircase
+
+import (
+	"fmt"
+	"sort"
+
+	"perfprune/internal/profiler"
+)
+
+// Stair is one latency plateau: all channel counts in [LoC, HiC] run at
+// (approximately) Ms.
+type Stair struct {
+	LoC, HiC int
+	// Ms is the plateau latency (mean over the plateau's points).
+	Ms float64
+}
+
+// Width returns the number of channel counts on the plateau.
+func (s Stair) Width() int { return s.HiC - s.LoC + 1 }
+
+// Analysis is the result of analyzing one curve.
+type Analysis struct {
+	// Stairs are maximal plateaus in increasing channel order. Curves
+	// with interleaved levels (ACL's parallel staircases, Fig. 14)
+	// produce many narrow stairs; the Edges are what matters for
+	// pruning.
+	Stairs []Stair
+	// Edges are the Pareto-optimal points: channel counts C such that no
+	// C' > C runs at most as slow. These are the paper's "right side of
+	// a performance step" — the only channel counts worth considering
+	// when pruning for performance. Sorted by increasing channels.
+	Edges []profiler.Point
+}
+
+// plateauTol is the relative latency tolerance for merging points into
+// one plateau; simulator output is exact, but a hardware port needs
+// noise absorption, so the analysis is tolerance-based throughout.
+const plateauTol = 0.01
+
+// Analyze detects stairs and Pareto edges in a sweep curve. The curve
+// must be sorted by increasing channel count (as SweepChannels returns).
+func Analyze(curve []profiler.Point) (Analysis, error) {
+	if len(curve) == 0 {
+		return Analysis{}, fmt.Errorf("staircase: empty curve")
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Channels <= curve[i-1].Channels {
+			return Analysis{}, fmt.Errorf("staircase: curve not sorted by channels at index %d", i)
+		}
+	}
+
+	var a Analysis
+	// Plateau detection: greedy merge of consecutive points whose
+	// latency stays within plateauTol of the plateau mean.
+	start := 0
+	sum := curve[0].Ms
+	for i := 1; i <= len(curve); i++ {
+		flush := i == len(curve)
+		if !flush {
+			mean := sum / float64(i-start)
+			if rel(curve[i].Ms, mean) > plateauTol {
+				flush = true
+			}
+		}
+		if flush {
+			mean := sum / float64(i-start)
+			a.Stairs = append(a.Stairs, Stair{
+				LoC: curve[start].Channels,
+				HiC: curve[i-1].Channels,
+				Ms:  mean,
+			})
+			if i == len(curve) {
+				break
+			}
+			start = i
+			sum = 0
+		}
+		sum += curve[i].Ms
+	}
+
+	// Pareto edges, scanning from the widest configuration down: a
+	// point survives if it is strictly faster than everything wider.
+	best := curve[len(curve)-1].Ms
+	a.Edges = append(a.Edges, curve[len(curve)-1])
+	for i := len(curve) - 2; i >= 0; i-- {
+		if curve[i].Ms < best*(1-plateauTol) {
+			best = curve[i].Ms
+			a.Edges = append(a.Edges, curve[i])
+		}
+	}
+	sort.Slice(a.Edges, func(i, j int) bool { return a.Edges[i].Channels < a.Edges[j].Channels })
+	return a, nil
+}
+
+func rel(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if b == 0 {
+		return 0
+	}
+	return d / b
+}
+
+// EdgeAtMost returns the best Pareto edge with at most c channels: the
+// configuration a performance-aware pruner should pick when it must
+// prune to c or fewer. ok is false when every edge exceeds c.
+func (a Analysis) EdgeAtMost(c int) (profiler.Point, bool) {
+	var best profiler.Point
+	ok := false
+	for _, e := range a.Edges {
+		if e.Channels <= c {
+			best = e
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// MaxStep returns the largest latency ratio between adjacent stairs —
+// the "uneven gap" metric the paper highlights for Fig. 5.
+func (a Analysis) MaxStep() float64 {
+	max := 1.0
+	for i := 1; i < len(a.Stairs); i++ {
+		lo, hi := a.Stairs[i-1].Ms, a.Stairs[i].Ms
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo > 0 && hi/lo > max {
+			max = hi / lo
+		}
+	}
+	return max
+}
+
+// SpeedupRow computes the paper's heatmap cell series for one layer:
+// for each prune distance d, the maximum speedup achievable by pruning
+// up to d channels: max over d' <= d of t(C0)/t(C0-d'). Rows are
+// monotone non-decreasing by construction, matching Figs. 6-19.
+// The curve must cover [C0-maxDistance, C0] (clamped at 1 channel).
+func SpeedupRow(curve []profiler.Point, c0 int, distances []int) ([]float64, error) {
+	t, err := curveLookup(curve)
+	if err != nil {
+		return nil, err
+	}
+	t0, ok := t[c0]
+	if !ok {
+		return nil, fmt.Errorf("staircase: curve missing baseline %d channels", c0)
+	}
+	out := make([]float64, len(distances))
+	best := 0.0
+	d := 1
+	for i, dist := range distances {
+		for ; d <= dist; d++ {
+			c := c0 - d
+			if c < 1 {
+				c = 1
+			}
+			tc, ok := t[c]
+			if !ok {
+				return nil, fmt.Errorf("staircase: curve missing %d channels", c)
+			}
+			if s := t0 / tc; s > best {
+				best = s
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}
+
+// SlowdownRow computes Fig. 1's cells: for each prune distance d, the
+// maximum slowdown incurred by pruning up to d channels:
+// max over d' <= d of t(C0-d')/t(C0).
+func SlowdownRow(curve []profiler.Point, c0 int, distances []int) ([]float64, error) {
+	t, err := curveLookup(curve)
+	if err != nil {
+		return nil, err
+	}
+	t0, ok := t[c0]
+	if !ok {
+		return nil, fmt.Errorf("staircase: curve missing baseline %d channels", c0)
+	}
+	out := make([]float64, len(distances))
+	worst := 0.0
+	d := 1
+	for i, dist := range distances {
+		for ; d <= dist; d++ {
+			c := c0 - d
+			if c < 1 {
+				c = 1
+			}
+			tc, ok := t[c]
+			if !ok {
+				return nil, fmt.Errorf("staircase: curve missing %d channels", c)
+			}
+			if s := tc / t0; s > worst {
+				worst = s
+			}
+		}
+		out[i] = worst
+	}
+	return out, nil
+}
+
+func curveLookup(curve []profiler.Point) (map[int]float64, error) {
+	if len(curve) == 0 {
+		return nil, fmt.Errorf("staircase: empty curve")
+	}
+	t := make(map[int]float64, len(curve))
+	for _, p := range curve {
+		if p.Ms <= 0 {
+			return nil, fmt.Errorf("staircase: non-positive latency at %d channels", p.Channels)
+		}
+		t[p.Channels] = p.Ms
+	}
+	return t, nil
+}

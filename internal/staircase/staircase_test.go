@@ -1,0 +1,240 @@
+package staircase
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"perfprune/internal/profiler"
+)
+
+// stepCurve builds an ideal staircase: latency level i for channels in
+// [edges[i-1]+1, edges[i]].
+func stepCurve(loC, hiC int, stepWidth int, base, step float64) []profiler.Point {
+	var pts []profiler.Point
+	for c := loC; c <= hiC; c++ {
+		level := (c + stepWidth - 1) / stepWidth
+		pts = append(pts, profiler.Point{Channels: c, Ms: base + step*float64(level)})
+	}
+	return pts
+}
+
+func TestAnalyzeCleanStaircase(t *testing.T) {
+	curve := stepCurve(1, 128, 32, 1, 2)
+	a, err := Analyze(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Stairs) != 4 {
+		t.Fatalf("%d stairs, want 4 (widths of 32)", len(a.Stairs))
+	}
+	for i, s := range a.Stairs {
+		if s.Width() != 32 {
+			t.Errorf("stair %d width %d, want 32", i, s.Width())
+		}
+	}
+	// Right edges: 32, 64, 96, 128.
+	want := []int{32, 64, 96, 128}
+	if len(a.Edges) != len(want) {
+		t.Fatalf("%d edges, want %d: %+v", len(a.Edges), len(want), a.Edges)
+	}
+	for i, e := range a.Edges {
+		if e.Channels != want[i] {
+			t.Errorf("edge %d at %d channels, want %d", i, e.Channels, want[i])
+		}
+	}
+}
+
+func TestAnalyzeDoubleStaircase(t *testing.T) {
+	// ACL-style interleaved levels: channels where ceil(c/4)%4 != 0 run
+	// 1.6x slower. The Pareto edges must all come from the fast band.
+	var curve []profiler.Point
+	for c := 1; c <= 128; c++ {
+		blocks := (c + 3) / 4
+		ms := float64(blocks)
+		if blocks%4 != 0 {
+			ms *= 1.6
+		}
+		curve = append(curve, profiler.Point{Channels: c, Ms: ms})
+	}
+	a, err := Analyze(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Above one full pass (16 channels) the fast band dominates; below
+	// it slow-band points are legitimately Pareto-optimal because no
+	// fast configuration is narrower.
+	for _, e := range a.Edges {
+		blocks := (e.Channels + 3) / 4
+		if e.Channels > 16 && blocks%4 != 0 && e.Channels != 128 {
+			t.Errorf("edge at %d channels sits on the slow staircase", e.Channels)
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Error("empty curve accepted")
+	}
+	unsorted := []profiler.Point{{Channels: 5, Ms: 1}, {Channels: 3, Ms: 1}}
+	if _, err := Analyze(unsorted); err == nil {
+		t.Error("unsorted curve accepted")
+	}
+}
+
+func TestEdgeAtMost(t *testing.T) {
+	curve := stepCurve(1, 128, 32, 1, 2)
+	a, err := Analyze(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		limit int
+		want  int
+		ok    bool
+	}{
+		{128, 128, true},
+		{127, 96, true}, // the paper's point: just below a stair, go to the previous edge
+		{96, 96, true},
+		{40, 32, true},
+		{31, 0, false}, // no edge at or below 31 except... 32 is the smallest edge
+	} {
+		e, ok := a.EdgeAtMost(tc.limit)
+		if ok != tc.ok {
+			t.Errorf("EdgeAtMost(%d) ok=%v, want %v", tc.limit, ok, tc.ok)
+			continue
+		}
+		if ok && e.Channels != tc.want {
+			t.Errorf("EdgeAtMost(%d) = %d, want %d", tc.limit, e.Channels, tc.want)
+		}
+	}
+}
+
+func TestMaxStep(t *testing.T) {
+	curve := stepCurve(1, 64, 32, 0, 3) // levels 3 and 6: ratio 2
+	a, err := Analyze(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := a.MaxStep(); math.Abs(s-2) > 1e-9 {
+		t.Fatalf("MaxStep = %v, want 2", s)
+	}
+}
+
+func TestSpeedupRowCumulative(t *testing.T) {
+	// Latency: 10 for c in (96,128], 5 for c in (64,96], 4 below.
+	var curve []profiler.Point
+	for c := 1; c <= 128; c++ {
+		ms := 4.0
+		if c > 96 {
+			ms = 10
+		} else if c > 64 {
+			ms = 5
+		}
+		curve = append(curve, profiler.Point{Channels: c, Ms: ms})
+	}
+	row, err := SpeedupRow(curve, 128, []int{1, 31, 32, 63, 64, 127})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 2, 2, 2.5, 2.5}
+	for i := range want {
+		if math.Abs(row[i]-want[i]) > 1e-9 {
+			t.Fatalf("row = %v, want %v", row, want)
+		}
+	}
+	// Monotone non-decreasing (the figures' cumulative-max property).
+	for i := 1; i < len(row); i++ {
+		if row[i] < row[i-1] {
+			t.Fatal("speedup row not monotone")
+		}
+	}
+}
+
+func TestSlowdownRow(t *testing.T) {
+	// A spike at c=126 makes pruning by 2 harmful.
+	var curve []profiler.Point
+	for c := 1; c <= 128; c++ {
+		ms := 10.0
+		if c == 126 {
+			ms = 23
+		}
+		curve = append(curve, profiler.Point{Channels: c, Ms: ms})
+	}
+	row, err := SlowdownRow(curve, 128, []int{1, 3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 1.0 {
+		t.Errorf("slowdown at distance 1 = %v, want 1.0", row[0])
+	}
+	if math.Abs(row[1]-2.3) > 1e-9 || math.Abs(row[2]-2.3) > 1e-9 {
+		t.Errorf("slowdown row = %v, want [1, 2.3, 2.3]", row)
+	}
+}
+
+func TestRowErrors(t *testing.T) {
+	curve := stepCurve(50, 128, 32, 1, 2)
+	if _, err := SpeedupRow(curve, 200, []int{1}); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	if _, err := SpeedupRow(curve, 128, []int{100}); err == nil {
+		t.Error("distance outside curve accepted")
+	}
+	if _, err := SpeedupRow(nil, 128, []int{1}); err == nil {
+		t.Error("empty curve accepted")
+	}
+	bad := []profiler.Point{{Channels: 128, Ms: 0}}
+	if _, err := SpeedupRow(bad, 128, []int{0}); err == nil {
+		t.Error("non-positive latency accepted")
+	}
+}
+
+// Property: Pareto edges are strictly improving — fewer channels must
+// mean strictly less latency along the edge list.
+func TestEdgesStrictlyImprovingProperty(t *testing.T) {
+	f := func(seed uint8, widthRaw uint8) bool {
+		width := int(widthRaw%40) + 8
+		curve := stepCurve(1, 128, width, float64(seed%7)+1, 1.5)
+		a, err := Analyze(curve)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(a.Edges); i++ {
+			if a.Edges[i].Ms <= a.Edges[i-1].Ms {
+				return false
+			}
+			if a.Edges[i].Channels <= a.Edges[i-1].Channels {
+				return false
+			}
+		}
+		// The widest configuration is always an edge.
+		return a.Edges[len(a.Edges)-1].Channels == 128
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stairs partition the curve's channel range exactly.
+func TestStairsPartitionProperty(t *testing.T) {
+	f := func(seed uint8, widthRaw uint8) bool {
+		width := int(widthRaw%20) + 4
+		curve := stepCurve(3, 99, width, 2, float64(seed%5)+1)
+		a, err := Analyze(curve)
+		if err != nil {
+			return false
+		}
+		next := 3
+		for _, s := range a.Stairs {
+			if s.LoC != next {
+				return false
+			}
+			next = s.HiC + 1
+		}
+		return next == 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package stats provides the small statistical helpers used by the
+// profiling harness: medians, quantiles, and simple aggregates over
+// measured run times. The paper reports "the median time of 10 runs"
+// for every configuration (§III-D), so Median is the workhorse here.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by aggregations that are undefined on empty input.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Median returns the median of xs without modifying it.
+// For even-length input it returns the mean of the two middle values.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2], nil
+	}
+	// Halve before adding: (a+b)/2 overflows to +/-Inf when both middle
+	// values are near the float64 magnitude limit.
+	return s[n/2-1]/2 + s[n/2]/2, nil
+}
+
+// MustMedian is Median for inputs known to be non-empty; it panics on
+// empty input. Used by internal sweep code where emptiness is a bug.
+func MustMedian(xs []float64) float64 {
+	m, err := Median(xs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using linear
+// interpolation between closest ranks, matching the common "type 7"
+// definition used by numpy.percentile.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile out of range [0,1]")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) (float64, error) {
+	mean, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs))), nil
+}
+
+// GeoMean returns the geometric mean of strictly positive xs. It is used
+// to aggregate speedups across layers, the standard practice for ratio
+// metrics in workload characterization.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geomean requires positive values")
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// ArgMin returns the index of the smallest element.
+func ArgMin(xs []float64) (int, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// ArgMax returns the index of the largest element.
+func ArgMax(xs []float64) (int, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{5, 5, 5, 5, 5}, 5},
+		{[]float64{10, 1, 1, 1, 1, 1, 1, 1, 1, 1}, 1}, // outlier-robust, the reason the paper uses medians
+	}
+	for _, tc := range cases {
+		got, err := Median(tc.in)
+		if err != nil {
+			t.Fatalf("Median(%v): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("Median(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if _, err := Median(nil); err != ErrEmpty {
+		t.Error("empty median should return ErrEmpty")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := Median(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestMustMedianPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustMedian(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	} {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("out-of-range q accepted")
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Error("empty quantile should return ErrEmpty")
+	}
+	got, err := Quantile([]float64{7}, 0.9)
+	if err != nil || got != 7 {
+		t.Errorf("single-element quantile = %v, %v", got, err)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{2, -1, 7, 4}
+	if m, _ := Mean(xs); m != 3 {
+		t.Errorf("Mean = %v", m)
+	}
+	if m, _ := Min(xs); m != -1 {
+		t.Errorf("Min = %v", m)
+	}
+	if m, _ := Max(xs); m != 7 {
+		t.Errorf("Max = %v", m)
+	}
+	for _, f := range []func([]float64) (float64, error){Mean, Min, Max, Stddev, GeoMean} {
+		if _, err := f(nil); err == nil {
+			t.Error("empty input accepted")
+		}
+	}
+}
+
+func TestStddev(t *testing.T) {
+	got, err := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("negative values accepted")
+	}
+}
+
+func TestArgMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if i, _ := ArgMin(xs); i != 1 {
+		t.Errorf("ArgMin = %d", i)
+	}
+	if i, _ := ArgMax(xs); i != 4 {
+		t.Errorf("ArgMax = %d", i)
+	}
+	if _, err := ArgMin(nil); err != ErrEmpty {
+		t.Error("empty ArgMin")
+	}
+	if _, err := ArgMax(nil); err != ErrEmpty {
+		t.Error("empty ArgMax")
+	}
+}
+
+// Property: the median lies between min and max and is invariant under
+// permutation.
+func TestMedianProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := MustMedian(xs)
+		lo, _ := Min(xs)
+		hi, _ := Max(xs)
+		if m < lo || m > hi {
+			return false
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return MustMedian(sorted) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package tensor
+
+// Deterministic pseudo-random initialization. The reproduction never uses
+// math/rand or wall-clock seeding: every synthetic weight tensor is a pure
+// function of a caller-provided seed so that tests, examples and benches
+// are bit-stable across runs and machines.
+
+// Rand is a splitmix64 generator. The zero value is a valid generator
+// seeded with 0.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64-bit value in the sequence.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float32 returns a value uniformly distributed in [0, 1).
+func (r *Rand) Float32() float32 {
+	return float32(r.Uint64()>>40) / float32(1<<24)
+}
+
+// Symmetric returns a value uniformly distributed in [-scale, scale).
+func (r *Rand) Symmetric(scale float32) float32 {
+	return (r.Float32()*2 - 1) * scale
+}
+
+// Intn returns a value uniformly distributed in [0, n). n must be > 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn requires n > 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// RandomUniform fills t with values in [-scale, scale) drawn from a
+// generator seeded with seed.
+func (t *Tensor) RandomUniform(seed uint64, scale float32) {
+	r := NewRand(seed)
+	for i := range t.data {
+		t.data[i] = r.Symmetric(scale)
+	}
+}
+
+// HeInit fills a filter tensor with a He-style fan-in scaled uniform
+// distribution; fanIn is kernelH*kernelW*inChannels. This mirrors the
+// initialization used by the networks the paper profiles, so synthetic
+// magnitudes have realistic per-channel spread for the saliency criteria
+// in the prune package.
+func (t *Tensor) HeInit(seed uint64, fanIn int) {
+	if fanIn <= 0 {
+		panic("tensor: HeInit requires positive fanIn")
+	}
+	// sqrt(6/fanIn) without importing math for float32 precision concerns:
+	// the exact constant does not matter, only the deterministic spread.
+	scale := float32(2.449489742783178) / sqrt32(float32(fanIn)) // sqrt(6)
+	t.RandomUniform(seed, scale)
+}
+
+func sqrt32(x float32) float32 {
+	// Newton iterations on a float64 seed are exact enough for init scaling.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 16; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// Hash64 mixes a string into a 64-bit seed, used to derive per-layer
+// weight seeds and the TVM tuned-schedule jitter deterministically.
+func Hash64(s string) uint64 {
+	// FNV-1a 64-bit.
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,266 @@
+// Package tensor implements the dense float32 tensors that back the real
+// convolution and GEMM compute paths of the reproduction. Layers hold
+// their weights as Tensors, the pruning transformation of §II-B operates
+// on Tensors, and the numerical correctness of every convolution
+// implementation is validated against a reference computed on Tensors.
+//
+// Layouts follow the paper's kernels: activations are NHWC (the ACL
+// im2col3x3_nhwc kernel operates on NHWC data) and filter banks are
+// OHWI (output channel, kernel height, kernel width, input channel),
+// which makes channel pruning a contiguous-slab removal along axis 0.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Layout identifies the dimension ordering of a 4-D tensor.
+type Layout uint8
+
+// Supported layouts.
+const (
+	// NHWC: batch, height, width, channels — activation layout.
+	NHWC Layout = iota
+	// OHWI: out-channels, kernel-h, kernel-w, in-channels — filter layout.
+	OHWI
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	switch l {
+	case NHWC:
+		return "NHWC"
+	case OHWI:
+		return "OHWI"
+	default:
+		return fmt.Sprintf("Layout(%d)", uint8(l))
+	}
+}
+
+// Shape describes tensor extents, outermost dimension first.
+type Shape []int
+
+// Elems returns the total number of elements, or 0 for an empty shape.
+func (s Shape) Elems() int {
+	if len(s) == 0 {
+		return 0
+	}
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Equal reports whether two shapes have identical rank and extents.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the shape.
+func (s Shape) Clone() Shape {
+	return append(Shape(nil), s...)
+}
+
+// String renders the shape as, e.g., "[1 28 28 128]".
+func (s Shape) String() string { return fmt.Sprint([]int(s)) }
+
+// Validate returns an error if any extent is non-positive.
+func (s Shape) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("tensor: empty shape")
+	}
+	for i, d := range s {
+		if d <= 0 {
+			return fmt.Errorf("tensor: dimension %d is %d; must be positive", i, d)
+		}
+	}
+	return nil
+}
+
+// Tensor is a dense float32 tensor with row-major storage.
+type Tensor struct {
+	shape  Shape
+	stride []int
+	data   []float32
+	layout Layout
+}
+
+// New allocates a zero-filled tensor of the given layout and shape.
+// It panics on invalid shapes: shape errors in this codebase are
+// programming errors, not runtime conditions.
+func New(layout Layout, shape ...int) *Tensor {
+	s := Shape(shape)
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	t := &Tensor{
+		shape:  s.Clone(),
+		stride: computeStrides(s),
+		data:   make([]float32, s.Elems()),
+		layout: layout,
+	}
+	return t
+}
+
+// FromData wraps data (without copying) as a tensor of the given shape.
+// len(data) must equal shape.Elems().
+func FromData(layout Layout, data []float32, shape ...int) (*Tensor, error) {
+	s := Shape(shape)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) != s.Elems() {
+		return nil, fmt.Errorf("tensor: data has %d elements, shape %v needs %d",
+			len(data), s, s.Elems())
+	}
+	return &Tensor{
+		shape:  s.Clone(),
+		stride: computeStrides(s),
+		data:   data,
+		layout: layout,
+	}, nil
+}
+
+func computeStrides(s Shape) []int {
+	st := make([]int, len(s))
+	acc := 1
+	for i := len(s) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= s[i]
+	}
+	return st
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() Shape { return t.shape.Clone() }
+
+// Layout returns the tensor's layout tag.
+func (t *Tensor) Layout() Layout { return t.layout }
+
+// Dim returns the extent of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Elems returns the total element count.
+func (t *Tensor) Elems() int { return len(t.data) }
+
+// Data exposes the backing slice. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d != tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) in dim %d", x, t.shape[i], i))
+		}
+		off += x * t.stride[i]
+	}
+	return off
+}
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{
+		shape:  t.shape.Clone(),
+		stride: append([]int(nil), t.stride...),
+		data:   append([]float32(nil), t.data...),
+		layout: t.layout,
+	}
+	return c
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// FillFunc sets each element to f(flatIndex).
+func (t *Tensor) FillFunc(f func(i int) float32) {
+	for i := range t.data {
+		t.data[i] = f(i)
+	}
+}
+
+// Scale multiplies every element by v in place.
+func (t *Tensor) Scale(v float32) {
+	for i := range t.data {
+		t.data[i] *= v
+	}
+}
+
+// AbsSum returns the L1 norm of the tensor, used by magnitude-based
+// channel saliency in the pruning package.
+func (t *Tensor) AbsSum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += math.Abs(float64(v))
+	}
+	return s
+}
+
+// SquaredSum returns the sum of squared elements (L2 norm squared).
+func (t *Tensor) SquaredSum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return s
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between
+// two tensors of identical shape. It is the comparator used by the
+// convolution correctness tests.
+func MaxAbsDiff(a, b *Tensor) (float64, error) {
+	if !a.shape.Equal(b.shape) {
+		return 0, fmt.Errorf("tensor: shape mismatch %v vs %v", a.shape, b.shape)
+	}
+	m := 0.0
+	for i := range a.data {
+		d := math.Abs(float64(a.data[i]) - float64(b.data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// AllClose reports whether all elements of a and b agree within atol+rtol*|b|.
+func AllClose(a, b *Tensor, rtol, atol float64) (bool, error) {
+	if !a.shape.Equal(b.shape) {
+		return false, fmt.Errorf("tensor: shape mismatch %v vs %v", a.shape, b.shape)
+	}
+	for i := range a.data {
+		x, y := float64(a.data[i]), float64(b.data[i])
+		if math.Abs(x-y) > atol+rtol*math.Abs(y) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,268 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeElems(t *testing.T) {
+	cases := []struct {
+		s    Shape
+		want int
+	}{
+		{Shape{}, 0},
+		{Shape{5}, 5},
+		{Shape{2, 3}, 6},
+		{Shape{1, 28, 28, 128}, 100352},
+	}
+	for _, tc := range cases {
+		if got := tc.s.Elems(); got != tc.want {
+			t.Errorf("%v.Elems() = %d, want %d", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestShapeEqualAndClone(t *testing.T) {
+	a := Shape{1, 2, 3}
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b[0] = 9
+	if a.Equal(b) {
+		t.Fatal("mutation of clone affected original comparison")
+	}
+	if a.Equal(Shape{1, 2}) {
+		t.Fatal("different ranks compared equal")
+	}
+}
+
+func TestShapeValidate(t *testing.T) {
+	if err := (Shape{2, 0}).Validate(); err == nil {
+		t.Error("zero extent accepted")
+	}
+	if err := (Shape{}).Validate(); err == nil {
+		t.Error("empty shape accepted")
+	}
+	if err := (Shape{3, 4}).Validate(); err != nil {
+		t.Errorf("valid shape rejected: %v", err)
+	}
+}
+
+func TestTensorIndexing(t *testing.T) {
+	tn := New(NHWC, 1, 2, 3, 4)
+	if tn.Rank() != 4 || tn.Elems() != 24 {
+		t.Fatalf("rank/elems = %d/%d", tn.Rank(), tn.Elems())
+	}
+	tn.Set(42, 0, 1, 2, 3)
+	if got := tn.At(0, 1, 2, 3); got != 42 {
+		t.Fatalf("At = %v, want 42", got)
+	}
+	// Row-major: last index is fastest.
+	if tn.Data()[1*12+2*4+3] != 42 {
+		t.Fatal("value not at expected flat offset")
+	}
+}
+
+func TestTensorIndexPanics(t *testing.T) {
+	tn := New(NHWC, 1, 2, 2, 2)
+	assertPanics(t, "out of range", func() { tn.At(0, 2, 0, 0) })
+	assertPanics(t, "wrong rank", func() { tn.At(0, 0) })
+	assertPanics(t, "negative", func() { tn.Set(1, 0, -1, 0, 0) })
+	assertPanics(t, "bad shape", func() { New(NHWC, 0, 1) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestFromDataValidation(t *testing.T) {
+	if _, err := FromData(NHWC, make([]float32, 5), 2, 3); err == nil {
+		t.Error("accepted wrong data length")
+	}
+	if _, err := FromData(NHWC, nil, 0); err == nil {
+		t.Error("accepted zero dim")
+	}
+	tn, err := FromData(OHWI, []float32{1, 2, 3, 4}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.At(1, 1) != 4 {
+		t.Error("FromData wrapped values incorrectly")
+	}
+	if tn.Layout() != OHWI {
+		t.Error("layout not preserved")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := New(NHWC, 2, 2)
+	a.Fill(3)
+	b := a.Clone()
+	b.Set(9, 0, 0)
+	if a.At(0, 0) != 3 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestFillScaleNorms(t *testing.T) {
+	a := New(NHWC, 2, 3)
+	a.FillFunc(func(i int) float32 { return float32(i) - 2 }) // -2..3
+	if got := a.AbsSum(); got != 2+1+0+1+2+3 {
+		t.Fatalf("AbsSum = %v, want 9", got)
+	}
+	if got := a.SquaredSum(); got != 4+1+0+1+4+9 {
+		t.Fatalf("SquaredSum = %v, want 19", got)
+	}
+	a.Scale(2)
+	if got := a.AbsSum(); got != 18 {
+		t.Fatalf("after Scale AbsSum = %v, want 18", got)
+	}
+}
+
+func TestMaxAbsDiffAndAllClose(t *testing.T) {
+	a := New(NHWC, 4)
+	b := New(NHWC, 4)
+	b.Set(0.5, 2)
+	d, err := MaxAbsDiff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v, want 0.5", d)
+	}
+	ok, err := AllClose(a, b, 0, 0.6)
+	if err != nil || !ok {
+		t.Fatalf("AllClose(atol=0.6) = %v, %v", ok, err)
+	}
+	ok, _ = AllClose(a, b, 0, 0.4)
+	if ok {
+		t.Fatal("AllClose(atol=0.4) should fail")
+	}
+	if _, err := MaxAbsDiff(a, New(NHWC, 5)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a := NewRand(12345)
+	b := NewRand(12345)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(12346)
+	same := 0
+	a2 := NewRand(12345)
+	for i := 0; i < 100; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRandFloat32Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of [0,1): %v", v)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		v := r.Symmetric(2)
+		if v < -2 || v >= 2 {
+			t.Fatalf("Symmetric out of [-2,2): %v", v)
+		}
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := NewRand(3)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Intn(5) produced only %d distinct values", len(seen))
+	}
+	assertPanics(t, "Intn(0)", func() { r.Intn(0) })
+}
+
+func TestHeInitSpread(t *testing.T) {
+	w := New(OHWI, 8, 3, 3, 16)
+	w.HeInit(42, 3*3*16)
+	// All values must be within the He bound sqrt(6/fanIn).
+	bound := float64(2.449489742783178) / 12.0 // sqrt(6)/sqrt(144)
+	for i, v := range w.Data() {
+		if float64(v) < -bound-1e-6 || float64(v) >= bound+1e-6 {
+			t.Fatalf("weight %d = %v outside He bound %v", i, v, bound)
+		}
+	}
+	// Not all zero.
+	if w.AbsSum() == 0 {
+		t.Fatal("HeInit produced all zeros")
+	}
+	assertPanics(t, "bad fanIn", func() { w.HeInit(1, 0) })
+}
+
+func TestHash64Stability(t *testing.T) {
+	// Pinned values guard against accidental algorithm changes, which
+	// would silently change every synthetic weight in the repo.
+	if Hash64("") != 0xcbf29ce484222325 {
+		t.Fatal("FNV offset basis changed")
+	}
+	if Hash64("ResNet.L16") == Hash64("ResNet.L14") {
+		t.Fatal("hash collision on layer names")
+	}
+	if Hash64("a") != Hash64("a") {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+// Property: RandomUniform with the same seed is reproducible, and
+// scaling bounds hold.
+func TestRandomUniformProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := New(NHWC, 3, 5)
+		b := New(NHWC, 3, 5)
+		a.RandomUniform(seed, 1.5)
+		b.RandomUniform(seed, 1.5)
+		d, _ := MaxAbsDiff(a, b)
+		if d != 0 {
+			return false
+		}
+		for _, v := range a.Data() {
+			if v < -1.5 || v >= 1.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	if NHWC.String() != "NHWC" || OHWI.String() != "OHWI" {
+		t.Fatal("layout names wrong")
+	}
+	if Layout(9).String() != "Layout(9)" {
+		t.Fatal("unknown layout formatting wrong")
+	}
+}

@@ -1,0 +1,185 @@
+package tvmsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+)
+
+func layer14(c int) conv.ConvSpec {
+	return conv.ConvSpec{
+		Name: "ResNet.L14", InH: 56, InW: 56, InC: 256, OutC: c,
+		KH: 1, KW: 1, StrideH: 2, StrideW: 2,
+	}
+}
+
+func TestTunedIsDeterministic(t *testing.T) {
+	for c := 1; c <= 512; c += 17 {
+		if Tuned(layer14(c)) != Tuned(layer14(c)) {
+			t.Fatalf("Tuned not deterministic at %d channels", c)
+		}
+	}
+}
+
+func TestTunedRate(t *testing.T) {
+	// The registry covers roughly tunedRatePercent of workloads; across
+	// a 512-channel sweep the hit rate must be in a generous band.
+	hits := 0
+	for c := 1; c <= 512; c++ {
+		if Tuned(layer14(c)) {
+			hits++
+		}
+	}
+	rate := float64(hits) / 512
+	if rate < 0.35 || rate < float64(tunedRatePercent)/100-0.1 || rate > float64(tunedRatePercent)/100+0.1 {
+		t.Fatalf("tuned rate = %.2f, configured %d%%", rate, tunedRatePercent)
+	}
+}
+
+// TestFallbackSpikes reproduces Fig. 20's mechanism: untuned channel
+// counts run many times slower than tuned neighbors.
+func TestFallbackSpikes(t *testing.T) {
+	var tuned, untuned []float64
+	for c := 300; c <= 512; c++ {
+		ms, err := TimeMs(device.HiKey970, layer14(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Tuned(layer14(c)) {
+			tuned = append(tuned, ms)
+		} else {
+			untuned = append(untuned, ms)
+		}
+	}
+	if len(tuned) == 0 || len(untuned) == 0 {
+		t.Fatal("sweep did not hit both tuned and untuned configurations")
+	}
+	maxTuned, minUntuned := 0.0, 1e18
+	for _, v := range tuned {
+		if v > maxTuned {
+			maxTuned = v
+		}
+	}
+	for _, v := range untuned {
+		if v < minUntuned {
+			minUntuned = v
+		}
+	}
+	if minUntuned/maxTuned < 3 {
+		t.Errorf("untuned floor %.1f ms vs tuned ceiling %.1f ms: expected a clear gap", minUntuned, maxTuned)
+	}
+	// Paper's annotation: spikes ~10.5x over the tuned band.
+	maxUntuned := 0.0
+	for _, v := range untuned {
+		if v > maxUntuned {
+			maxUntuned = v
+		}
+	}
+	if r := maxUntuned / maxTuned; r < 6 || r > 30 {
+		t.Errorf("max spike = %.1fx over tuned, paper shows ~10.5x", r)
+	}
+}
+
+// TestTunedBeatsUntunedProperty: property over arbitrary channel counts
+// and layers — a tuned configuration is always faster than the same
+// configuration would be untuned (the fallback penalty is real).
+func TestTunedQuantization(t *testing.T) {
+	// Tuned schedules quantize channels to multiples of 8: within one
+	// quantum the latency is flat.
+	var base float64
+	found := false
+	for c := 401; c <= 408; c++ {
+		if !Tuned(layer14(c)) {
+			continue
+		}
+		ms, err := TimeMs(device.HiKey970, layer14(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			base, found = ms, true
+			continue
+		}
+		if ms != base {
+			t.Fatalf("tuned latencies within one quantum differ: %v vs %v", ms, base)
+		}
+	}
+	if !found {
+		t.Skip("no tuned point in 401-408; registry hash changed")
+	}
+}
+
+func TestPenaltyRange(t *testing.T) {
+	f := func(raw uint16) bool {
+		c := int(raw%2048) + 1
+		p := fallbackPenalty(layer14(c))
+		return p >= fallbackPenaltyMin && p < fallbackPenaltyMin+fallbackPenaltySpan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanKernelNames(t *testing.T) {
+	for c := 1; c <= 64; c++ {
+		calls, err := Plan(layer14(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(calls) != 1 {
+			t.Fatalf("TVM emitted %d calls, want 1", len(calls))
+		}
+		want := "tvm_conv2d_fallback"
+		if Tuned(layer14(c)) {
+			want = "tvm_conv2d_tuned"
+		}
+		if calls[0].Name != want {
+			t.Fatalf("channels=%d: kernel %q, want %q", c, calls[0].Name, want)
+		}
+	}
+}
+
+func TestPlanRejectsInvalidSpec(t *testing.T) {
+	if _, err := Plan(layer14(0)); err == nil {
+		t.Fatal("Plan accepted OutC=0")
+	}
+}
+
+func TestRunRejectsCUDADevice(t *testing.T) {
+	if _, err := Run(device.JetsonTX2, layer14(64)); err == nil {
+		t.Fatal("TVM ran on a CUDA device")
+	}
+}
+
+func TestRunProfileFields(t *testing.T) {
+	p, err := Run(device.HiKey970, layer14(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tuned != Tuned(layer14(128)) {
+		t.Error("profile Tuned flag inconsistent")
+	}
+	if p.Ms <= 0 {
+		t.Error("non-positive latency")
+	}
+	if p.Result.Counters.Jobs != 1 {
+		t.Errorf("TVM dispatched %d jobs, want 1", p.Result.Counters.Jobs)
+	}
+}
+
+func TestOdroidSlowerThanHiKey(t *testing.T) {
+	spec := layer14(256)
+	h, err := TimeMs(device.HiKey970, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := TimeMs(device.OdroidXU4, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o <= h {
+		t.Fatalf("Odroid (%v ms) not slower than HiKey (%v ms)", o, h)
+	}
+}

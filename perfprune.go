@@ -1,0 +1,123 @@
+// Package perfprune is a reproduction of "Performance Aware
+// Convolutional Neural Network Channel Pruning for Embedded GPUs"
+// (Radu et al., IISWC 2019). It provides:
+//
+//   - real convolution compute (direct and im2col+GEMM) and the §II-B
+//     channel-pruning transformation on weight tensors;
+//   - a full-system embedded GPU simulator with behavioral models of
+//     the Arm Compute Library, cuDNN and TVM, calibrated to the paper's
+//     measurements on the HiKey 970, Odroid XU4, Jetson TX2 and Jetson
+//     Nano (the hardware substitute — see DESIGN.md);
+//   - the profiling + staircase-analysis + planning loop the paper
+//     proposes: profile a layer's latency across channel counts, find
+//     the staircase right edges, and prune to those edges under an
+//     accuracy budget;
+//   - an experiment registry that regenerates every figure and table of
+//     the paper's evaluation (see EXPERIMENTS.md).
+//
+// The facade below re-exports the main types so downstream users rarely
+// need to import the internal packages directly.
+package perfprune
+
+import (
+	"perfprune/internal/acl"
+	"perfprune/internal/conv"
+	"perfprune/internal/core"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/profiler"
+	"perfprune/internal/prune"
+	"perfprune/internal/staircase"
+)
+
+// ConvSpec describes one convolutional layer (see internal/conv).
+type ConvSpec = conv.ConvSpec
+
+// Device is one embedded board (see internal/device).
+type Device = device.Device
+
+// Library is a deep-learning library backend (see internal/profiler).
+type Library = profiler.Library
+
+// Point is a (channels, latency) sample.
+type Point = profiler.Point
+
+// Network is an inventory of convolutional layers.
+type Network = nets.Network
+
+// Layer is one network layer with its paper label.
+type Layer = nets.Layer
+
+// Target is a (device, library) runtime environment.
+type Target = core.Target
+
+// Plan maps layer labels to kept channel counts.
+type Plan = prune.Plan
+
+// PlanResult is an evaluated pruning plan.
+type PlanResult = core.PlanResult
+
+// Analysis is a staircase analysis of a latency curve.
+type Analysis = staircase.Analysis
+
+// The paper's four evaluation boards.
+var (
+	HiKey970   = device.HiKey970
+	OdroidXU4  = device.OdroidXU4
+	JetsonTX2  = device.JetsonTX2
+	JetsonNano = device.JetsonNano
+)
+
+// Devices returns all four boards.
+func Devices() []Device { return device.All() }
+
+// ACLGEMM returns the Arm Compute Library GEMM-method backend.
+func ACLGEMM() Library { return profiler.ACL(acl.GEMMConv) }
+
+// ACLDirect returns the Arm Compute Library direct-convolution backend.
+func ACLDirect() Library { return profiler.ACL(acl.DirectConv) }
+
+// CuDNN returns the cuDNN backend (Jetson boards).
+func CuDNN() Library { return profiler.CuDNN() }
+
+// TVM returns the TVM OpenCL backend (Mali boards).
+func TVM() Library { return profiler.TVM() }
+
+// Libraries returns the paper's four library configurations.
+func Libraries() []Library { return profiler.Libraries() }
+
+// ResNet50, VGG16 and AlexNet return the paper's three networks.
+func ResNet50() Network { return nets.ResNet50() }
+
+// VGG16 returns the VGG-16 inventory.
+func VGG16() Network { return nets.VGG16() }
+
+// AlexNet returns the AlexNet inventory.
+func AlexNet() Network { return nets.AlexNet() }
+
+// Networks returns all three networks.
+func Networks() []Network { return nets.All() }
+
+// Sweep measures a layer's latency at every output-channel count in
+// [lo, hi] on the target (median of 10 runs per configuration, as in
+// the paper).
+func Sweep(tg Target, spec ConvSpec, lo, hi int) ([]Point, error) {
+	return profiler.SweepChannels(tg.Library, tg.Device, spec, lo, hi)
+}
+
+// Analyze detects the latency staircase and its right-edge optimal
+// points in a sweep curve.
+func Analyze(curve []Point) (Analysis, error) {
+	return staircase.Analyze(curve)
+}
+
+// ProfileNetwork sweeps every layer of a network on the target.
+func ProfileNetwork(tg Target, n Network) (*core.NetworkProfile, error) {
+	return core.ProfileNetwork(tg, n)
+}
+
+// NewPlanner builds the performance-aware pruning planner from a
+// network profile.
+func NewPlanner(np *core.NetworkProfile) (*core.Planner, error) {
+	return core.NewPlanner(np)
+}

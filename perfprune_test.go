@@ -1,0 +1,89 @@
+package perfprune
+
+import (
+	"testing"
+)
+
+func TestFacadeDevices(t *testing.T) {
+	if len(Devices()) != 4 {
+		t.Fatalf("%d devices, want 4", len(Devices()))
+	}
+	if HiKey970.Name != "HiKey 970" || JetsonNano.Name != "Jetson Nano" {
+		t.Fatal("device re-exports wrong")
+	}
+}
+
+func TestFacadeLibraries(t *testing.T) {
+	libs := Libraries()
+	if len(libs) != 4 {
+		t.Fatalf("%d libraries, want 4", len(libs))
+	}
+	if !ACLGEMM().Supports(HiKey970) || ACLGEMM().Supports(JetsonTX2) {
+		t.Error("ACLGEMM device support wrong")
+	}
+	if !CuDNN().Supports(JetsonTX2) || CuDNN().Supports(HiKey970) {
+		t.Error("CuDNN device support wrong")
+	}
+	if !TVM().Supports(OdroidXU4) {
+		t.Error("TVM should support the Odroid")
+	}
+}
+
+func TestFacadeNetworks(t *testing.T) {
+	if len(Networks()) != 3 {
+		t.Fatal("want 3 networks")
+	}
+	if len(ResNet50().Layers) != 53 || len(VGG16().Layers) != 13 || len(AlexNet().Layers) != 5 {
+		t.Fatal("network layer counts wrong")
+	}
+}
+
+func TestFacadeSweepAndAnalyze(t *testing.T) {
+	l16, ok := ResNet50().Layer("ResNet.L16")
+	if !ok {
+		t.Fatal("L16 missing")
+	}
+	tg := Target{Device: JetsonTX2, Library: CuDNN()}
+	curve, err := Sweep(tg, l16.Spec, 20, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 4's four optimal execution points within 20..128 land at the
+	// stair right edges 32, 64, 96, 128.
+	want := map[int]bool{32: true, 64: true, 96: true, 128: true}
+	for _, e := range a.Edges {
+		if !want[e.Channels] {
+			t.Errorf("unexpected edge at %d channels", e.Channels)
+		}
+		delete(want, e.Channels)
+	}
+	for c := range want {
+		t.Errorf("missing edge at %d channels", c)
+	}
+}
+
+func TestFacadePlanningPipeline(t *testing.T) {
+	tg := Target{Device: HiKey970, Library: ACLDirect()}
+	np, err := ProfileNetwork(tg, AlexNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPlanner(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.PerformanceAware(1.3, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 1.0 {
+		t.Fatalf("plan regressed latency: %.2fx", res.Speedup)
+	}
+	if res.Accuracy <= 0 || res.Accuracy > 100 {
+		t.Fatalf("implausible accuracy %v", res.Accuracy)
+	}
+}
