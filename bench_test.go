@@ -10,6 +10,7 @@ package perfprune
 
 import (
 	"testing"
+	"time"
 
 	"perfprune/internal/acl"
 	"perfprune/internal/core"
@@ -250,6 +251,94 @@ func BenchmarkPerfAwarePlan(b *testing.B) {
 			b.Fatal(err)
 		}
 		speedup = res.Speedup
+	}
+	b.ReportMetric(speedup, "speedup_x")
+}
+
+// The sweep-pipeline benchmarks walk the last 64 output-channel counts
+// of every unique VGG-16 layer on the ACL GEMM / HiKey 970 target —
+// the multi-layer grid every heatmap figure walks.
+
+// trunkLo returns the sweep floor for a layer's last-64-channels range.
+func trunkLo(l nets.Layer) int {
+	lo := l.Spec.OutC - 63
+	if lo < 1 {
+		lo = 1
+	}
+	return lo
+}
+
+// serialTrunkSweep is the serial reference pipeline over the trunk.
+func serialTrunkSweep(layers []nets.Layer) error {
+	for _, l := range layers {
+		if _, err := profiler.SweepChannels(ACLGEMM(), device.HiKey970, l.Spec, trunkLo(l), l.Spec.OutC); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// concurrentTrunkSweep runs the same grid through an engine.
+func concurrentTrunkSweep(eng *profiler.Engine, layers []nets.Layer) error {
+	for _, l := range layers {
+		if _, err := eng.SweepChannels(ACLGEMM(), device.HiKey970, l.Spec, trunkLo(l), l.Spec.OutC); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchmarkSweepSerial is the serial reference pipeline: one
+// configuration at a time, no memoization.
+func BenchmarkSweepSerial(b *testing.B) {
+	layers := nets.VGG16().UniqueLayers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := serialTrunkSweep(layers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepConcurrentCached runs the grid through the concurrent
+// cached engine twice — the profile-then-replan shape of the planning
+// workflows — so the reported cache hit rate measures real
+// deduplication (the second pass re-executes nothing).
+func BenchmarkSweepConcurrentCached(b *testing.B) {
+	layers := nets.VGG16().UniqueLayers()
+	var hitRate float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := profiler.NewEngine()
+		for pass := 0; pass < 2; pass++ {
+			if err := concurrentTrunkSweep(eng, layers); err != nil {
+				b.Fatal(err)
+			}
+		}
+		hitRate = eng.Cache().Stats().HitRate()
+	}
+	b.ReportMetric(hitRate, "cache_hit_rate")
+}
+
+// BenchmarkSweepSpeedup times both pipelines on one pass over the
+// VGG-16 trunk and reports concurrent-over-serial speedup — the
+// refactor's headline number (acceptance: >= 2x).
+func BenchmarkSweepSpeedup(b *testing.B) {
+	layers := nets.VGG16().UniqueLayers()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if err := serialTrunkSweep(layers); err != nil {
+			b.Fatal(err)
+		}
+		serialDur := time.Since(start)
+
+		start = time.Now()
+		if err := concurrentTrunkSweep(profiler.NewEngine(), layers); err != nil {
+			b.Fatal(err)
+		}
+		concurrentDur := time.Since(start)
+		speedup = float64(serialDur) / float64(concurrentDur)
 	}
 	b.ReportMetric(speedup, "speedup_x")
 }

@@ -5,13 +5,17 @@
 //
 // Usage:
 //
-//	layersweep -net ResNet-50 -layer ResNet.L16 -lib acl-gemm -device "HiKey 970" [-csv]
+//	layersweep -net ResNet-50 -layer ResNet.L16 -backend acl-gemm -device "HiKey 970" [-csv]
+//
+// Any backend from the registry works, including "hybrid",
+// "acl-direct-tuned" and the real-compute kernels ("real-gemm", ...).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"perfprune"
 	"perfprune/internal/device"
@@ -23,30 +27,17 @@ import (
 func main() {
 	netName := flag.String("net", "ResNet-50", "network: ResNet-50, VGG-16 or AlexNet")
 	layerName := flag.String("layer", "ResNet.L16", "layer label, e.g. ResNet.L16")
-	libName := flag.String("lib", "acl-gemm", "library: acl-gemm, acl-direct, cudnn or tvm")
+	backendKey := flag.String("backend", "acl-gemm",
+		"backend: "+strings.Join(perfprune.BackendNames(), ", "))
 	devName := flag.String("device", "HiKey 970", "board: HiKey 970, Odroid XU4, Jetson TX2 or Jetson Nano")
 	lo := flag.Int("from", 1, "lowest channel count to sweep")
 	csv := flag.Bool("csv", false, "emit channels,ms CSV instead of the ASCII plot")
+	flag.StringVar(backendKey, "lib", *backendKey, "alias for -backend")
 	flag.Parse()
 
-	if err := run(*netName, *layerName, *libName, *devName, *lo, *csv); err != nil {
+	if err := run(*netName, *layerName, *backendKey, *devName, *lo, *csv); err != nil {
 		fmt.Fprintf(os.Stderr, "layersweep: %v\n", err)
 		os.Exit(1)
-	}
-}
-
-func lookupLibrary(name string) (perfprune.Library, error) {
-	switch name {
-	case "acl-gemm":
-		return perfprune.ACLGEMM(), nil
-	case "acl-direct":
-		return perfprune.ACLDirect(), nil
-	case "cudnn":
-		return perfprune.CuDNN(), nil
-	case "tvm":
-		return perfprune.TVM(), nil
-	default:
-		return nil, fmt.Errorf("unknown library %q (acl-gemm, acl-direct, cudnn, tvm)", name)
 	}
 }
 
@@ -59,7 +50,7 @@ func run(netName, layerName, libName, devName string, lo int, csv bool) error {
 	if !ok {
 		return fmt.Errorf("network %s has no layer %s", netName, layerName)
 	}
-	lib, err := lookupLibrary(libName)
+	lib, err := perfprune.LookupBackend(libName)
 	if err != nil {
 		return err
 	}

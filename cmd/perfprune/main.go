@@ -3,6 +3,7 @@
 // Usage:
 //
 //	perfprune list             list all experiments with their paper claims
+//	perfprune backends         list all registered compute backends
 //	perfprune all              run every experiment in paper order
 //	perfprune <id> [<id>...]   run specific experiments (fig1..fig20,
 //	                           table1..table5, plan)
@@ -12,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"perfprune"
 )
@@ -27,6 +29,8 @@ func main() {
 	switch args[0] {
 	case "list":
 		list()
+	case "backends":
+		backends()
 	case "all":
 		runAll()
 	default:
@@ -41,11 +45,29 @@ func usage() {
 
 usage:
   perfprune list             list all experiments
+  perfprune backends         list all registered compute backends
   perfprune all              run every experiment
   perfprune <id> [<id>...]   run specific experiments
 
 ids: fig1..fig20, table1..table5, plan
 `)
+}
+
+func backends() {
+	for _, key := range perfprune.BackendNames() {
+		b, err := perfprune.LookupBackend(key)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfprune: %v\n", err)
+			os.Exit(1)
+		}
+		targets := make([]string, 0, 4)
+		for _, d := range perfprune.Devices() {
+			if b.Supports(d) {
+				targets = append(targets, d.Name)
+			}
+		}
+		fmt.Printf("%-18s %-18s targets: %s\n", key, b.Name(), strings.Join(targets, ", "))
+	}
 }
 
 func list() {

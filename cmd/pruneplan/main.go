@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"perfprune"
 	"perfprune/internal/device"
@@ -20,8 +21,10 @@ import (
 
 func main() {
 	netName := flag.String("net", "ResNet-50", "network: ResNet-50, VGG-16 or AlexNet")
-	libName := flag.String("lib", "acl-gemm", "library: acl-gemm, acl-direct, cudnn or tvm")
+	libName := flag.String("backend", "acl-gemm",
+		"backend: "+strings.Join(perfprune.BackendNames(), ", "))
 	devName := flag.String("device", "HiKey 970", "target board")
+	flag.StringVar(libName, "lib", *libName, "alias for -backend")
 	speedup := flag.Float64("speedup", 1.5, "target whole-network speedup")
 	maxDrop := flag.Float64("maxdrop", 2.0, "maximum modeled accuracy drop (points)")
 	fraction := flag.Float64("uninstructed", 0.12, "uniform prune fraction for the baseline comparison")
@@ -34,27 +37,12 @@ func main() {
 	}
 }
 
-func lookupLibrary(name string) (perfprune.Library, error) {
-	switch name {
-	case "acl-gemm":
-		return perfprune.ACLGEMM(), nil
-	case "acl-direct":
-		return perfprune.ACLDirect(), nil
-	case "cudnn":
-		return perfprune.CuDNN(), nil
-	case "tvm":
-		return perfprune.TVM(), nil
-	default:
-		return nil, fmt.Errorf("unknown library %q", name)
-	}
-}
-
 func run(netName, libName, devName string, speedup, maxDrop, fraction float64, showPlan bool) error {
 	n, err := nets.ByName(netName)
 	if err != nil {
 		return err
 	}
-	lib, err := lookupLibrary(libName)
+	lib, err := perfprune.LookupBackend(libName)
 	if err != nil {
 		return err
 	}

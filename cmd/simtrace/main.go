@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"perfprune/internal/acl"
+	"perfprune/internal/backend"
 	"perfprune/internal/device"
 	"perfprune/internal/nets"
 )
@@ -84,5 +85,21 @@ func run(channels int, methodName, devName, layerName string) error {
 	fmt.Printf("control register reads/writes: %d/%d, interrupts: %d\n",
 		c.CtrlRegReads, c.CtrlRegWrites, c.Interrupts)
 	fmt.Printf("steady-state inference time: %.3f ms\n", p.Ms)
+
+	// Cross-check against the backend registry: the registered backend
+	// must report exactly the latency traced above.
+	key := "acl-gemm"
+	if method == acl.DirectConv {
+		key = "acl-direct"
+	}
+	b, err := backend.Lookup(key)
+	if err != nil {
+		return err
+	}
+	m, err := b.Measure(dev, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registry backend %q measures: %.3f ms, %d jobs\n", key, m.Ms, m.Jobs)
 	return nil
 }

@@ -52,6 +52,13 @@ func ConvGEMM(spec ConvSpec, in, weights *Tensor) (*Tensor, error) {
 	return conv.GEMM(spec, in, weights)
 }
 
+// ConvWinograd computes a stride-1 3x3 convolution with the Winograd
+// F(2x2,3x3) algorithm — the third real kernel behind the backend
+// registry's "real-winograd" entry and the hybrid dispatcher.
+func ConvWinograd(spec ConvSpec, in, weights *Tensor) (*Tensor, error) {
+	return conv.Winograd(spec, in, weights)
+}
+
 // PruneToWidth prunes a filter bank to keep output channels under the
 // criterion, applying the paper's §II-B removal and re-indexing. It
 // returns the compact bank and the surviving original channel indices.

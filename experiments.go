@@ -13,6 +13,7 @@ import (
 
 	"perfprune/internal/acl"
 	"perfprune/internal/autotune"
+	"perfprune/internal/backend"
 	"perfprune/internal/conv"
 	"perfprune/internal/core"
 	"perfprune/internal/device"
@@ -47,9 +48,11 @@ func mustLayer(n nets.Network, label string) nets.Layer {
 
 // heatmapFor builds a prune-distance x unique-layer heatmap: each cell
 // is the cumulative best speedup (or worst slowdown) achievable within
-// that prune distance, exactly the figures' aggregation.
-func heatmapFor(n nets.Network, lib profiler.Library, dev device.Device,
+// that prune distance, exactly the figures' aggregation. One concurrent
+// engine serves every column's sweep.
+func heatmapFor(n nets.Network, lib backend.Backend, dev device.Device,
 	distances []int, slowdown bool, title string) (report.Heatmap, error) {
+	eng := profiler.NewEngine()
 	layers := n.UniqueLayers()
 	h := report.Heatmap{
 		Title:     title,
@@ -73,7 +76,7 @@ func heatmapFor(n nets.Network, lib profiler.Library, dev device.Device,
 		if lo < 1 {
 			lo = 1
 		}
-		curve, err := profiler.SweepChannels(lib, dev, l.Spec, lo, c0)
+		curve, err := eng.SweepChannels(lib, dev, l.Spec, lo, c0)
 		if err != nil {
 			return report.Heatmap{}, err
 		}
@@ -94,9 +97,9 @@ func heatmapFor(n nets.Network, lib profiler.Library, dev device.Device,
 }
 
 // curveFor sweeps one layer and wraps it as a renderable curve.
-func curveFor(lib profiler.Library, dev device.Device, spec conv.ConvSpec,
+func curveFor(lib backend.Backend, dev device.Device, spec conv.ConvSpec,
 	lo, hi int, title string) (report.Curve, error) {
-	pts, err := profiler.SweepChannels(lib, dev, spec, lo, hi)
+	pts, err := profiler.NewEngine().SweepChannels(lib, dev, spec, lo, hi)
 	if err != nil {
 		return report.Curve{}, err
 	}
@@ -115,7 +118,7 @@ func renderHeatmap(h report.Heatmap, err error) (string, error) {
 	return h.Render(), nil
 }
 
-func renderCurve(lib profiler.Library, dev device.Device, spec conv.ConvSpec,
+func renderCurve(lib backend.Backend, dev device.Device, spec conv.ConvSpec,
 	lo, hi int, title string, annotate func([]profiler.Point) string) (string, error) {
 	c, err := curveFor(lib, dev, spec, lo, hi, title)
 	if err != nil {

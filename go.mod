@@ -1,0 +1,3 @@
+module perfprune
+
+go 1.24

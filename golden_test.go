@@ -11,7 +11,39 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/profiler"
+	"perfprune/internal/report"
 )
+
+// TestConcurrentSweepGolden pins the concurrency contract end to end:
+// the rendered artifact built from the concurrent cached engine must be
+// byte-identical to the one built from the serial reference path.
+func TestConcurrentSweepGolden(t *testing.T) {
+	l16 := mustLayer(nets.ResNet50(), "ResNet.L16").Spec
+	render := func(pts []profiler.Point) string {
+		c := report.Curve{
+			Title:  "ResNet-50 L16 under ACL GEMM on HiKey 970",
+			XLabel: "number of channels",
+			YLabel: "inference time (ms)",
+			Points: pts,
+		}
+		return c.RenderASCII(72, 16) + c.RenderCSV()
+	}
+	serial, err := profiler.SweepChannels(ACLGEMM(), device.HiKey970, l16, 20, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrent, err := profiler.NewEngine().SweepChannels(ACLGEMM(), device.HiKey970, l16, 20, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := render(concurrent), render(serial); got != want {
+		t.Errorf("concurrent sweep artifact diverged from serial.\n--- concurrent ---\n%s\n--- serial ---\n%s", got, want)
+	}
+}
 
 func TestGoldenOutputs(t *testing.T) {
 	ids := []string{"table1", "table2", "table3", "table4", "table5", "fig18"}

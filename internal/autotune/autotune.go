@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"perfprune/internal/acl"
+	"perfprune/internal/backend"
 	"perfprune/internal/conv"
 	"perfprune/internal/device"
 	"perfprune/internal/nets"
@@ -35,6 +36,27 @@ type Result struct {
 
 // Speedup returns the tuned-over-heuristic improvement.
 func (r Result) Speedup() float64 { return r.HeuristicMs / r.BestMs }
+
+// tuned exposes the auto-tuner as a measurable backend: Measure runs
+// the exhaustive work-group search for the spec and reports the tuned
+// latency, so sweeps and plans can be built against the tuner exactly
+// like against a library. Registered as "acl-direct-tuned".
+type tuned struct{}
+
+// Backend returns the tuned direct-convolution backend.
+func Backend() backend.Backend { return tuned{} }
+
+func (tuned) Name() string                    { return "ACL-Direct-Tuned" }
+func (tuned) Supports(dev device.Device) bool { return dev.API == device.OpenCL }
+func (tuned) Measure(dev device.Device, spec conv.ConvSpec) (backend.Measurement, error) {
+	r, err := DirectWG(dev, spec)
+	if err != nil {
+		return backend.Measurement{}, err
+	}
+	return backend.Measurement{Ms: r.BestMs, Jobs: 1}, nil
+}
+
+func init() { backend.Register("acl-direct-tuned", Backend()) }
 
 // DirectWG tunes the direct-convolution work-group size for spec on dev
 // by exhaustive search over the candidate shapes.

@@ -1,0 +1,62 @@
+// Package backend is the pluggable compute-backend layer of the
+// reproduction. A Backend answers one question — how long does this
+// convolution take on this device? — behind a uniform interface, whether
+// the answer comes from a calibrated library simulator (ACL, cuDNN, TVM;
+// the paper's §III-A profiling targets) or from actually executing the
+// kernel on the host (direct, im2col+GEMM, Winograd from internal/conv).
+//
+// Backends self-register into a name-keyed registry (see registry.go) so
+// that the profiler, the planner, the hybrid dispatcher and the CLI
+// tools all resolve backends the same way, and new ones (remote devices,
+// batched queries, sharded simulators) plug in without touching the
+// measurement pipeline. The memoization cache in cache.go deduplicates
+// repeated measurements with single-flight semantics and backs the
+// profiler's concurrent sweep engine.
+package backend
+
+import (
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+)
+
+// Measurement is one profiled layer execution.
+type Measurement struct {
+	// Ms is the steady-state inference latency.
+	Ms float64
+	// Jobs and SplitJobs are the dispatched hardware job counts.
+	Jobs      int
+	SplitJobs int
+}
+
+// Deterministic is an optional capability: backends whose measurements
+// vary run to run (real wall-clock timing) implement it returning
+// false, which makes the profiler's engine serialize their sweeps and
+// bypass memoization so the median protocol aggregates fresh,
+// uncontended samples.
+type Deterministic interface {
+	Deterministic() bool
+}
+
+// IsDeterministic reports whether b's measurements are reproducible.
+// Backends are assumed deterministic unless they implement
+// Deterministic and say otherwise.
+func IsDeterministic(b Backend) bool {
+	if d, ok := b.(Deterministic); ok {
+		return d.Deterministic()
+	}
+	return true
+}
+
+// Backend abstracts a convolution implementation that can be measured.
+// Implementations wrap the simulated deep-learning libraries (ACL,
+// cuDNN, TVM) and the real compute kernels.
+type Backend interface {
+	// Name is the display name, e.g. "cuDNN".
+	Name() string
+	// Supports reports whether the backend can target dev (§III-A: ACL
+	// and TVM target OpenCL Mali boards; cuDNN targets CUDA Jetsons;
+	// real host compute targets anything).
+	Supports(dev device.Device) bool
+	// Measure runs one layer configuration once.
+	Measure(dev device.Device, spec conv.ConvSpec) (Measurement, error)
+}

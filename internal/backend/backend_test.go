@@ -1,0 +1,241 @@
+package backend
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"perfprune/internal/acl"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+)
+
+func l16(c int) conv.ConvSpec {
+	return conv.ConvSpec{
+		Name: "ResNet.L16", InH: 28, InW: 28, InC: 128, OutC: c,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}
+}
+
+func TestBackendDeviceSupport(t *testing.T) {
+	// §III-A: ACL and TVM target the Mali (OpenCL) boards, cuDNN the
+	// Jetson (CUDA) boards; real host compute targets anything.
+	cases := []struct {
+		b        Backend
+		mali     bool
+		jetson   bool
+		wantName string
+	}{
+		{ACL(acl.GEMMConv), true, false, "ACL-GEMM"},
+		{ACL(acl.DirectConv), true, false, "ACL-Direct"},
+		{TVM(), true, false, "TVM"},
+		{CuDNN(), false, true, "cuDNN"},
+		{RealDirect(), true, true, "Real-Direct"},
+		{RealGEMM(), true, true, "Real-GEMM"},
+		{RealWinograd(), true, true, "Real-Winograd"},
+	}
+	for _, tc := range cases {
+		if tc.b.Name() != tc.wantName {
+			t.Errorf("backend name %q, want %q", tc.b.Name(), tc.wantName)
+		}
+		if got := tc.b.Supports(device.HiKey970); got != tc.mali {
+			t.Errorf("%s.Supports(HiKey) = %v", tc.b.Name(), got)
+		}
+		if got := tc.b.Supports(device.JetsonTX2); got != tc.jetson {
+			t.Errorf("%s.Supports(TX2) = %v", tc.b.Name(), got)
+		}
+	}
+	if len(Simulated()) != 4 {
+		t.Fatalf("Simulated() returned %d entries, want 4", len(Simulated()))
+	}
+	if len(Real()) != 3 {
+		t.Fatalf("Real() returned %d entries, want 3", len(Real()))
+	}
+	// Simulated backends are deterministic (memoizable, parallelizable);
+	// real wall-clock backends are not.
+	for _, b := range Simulated() {
+		if !IsDeterministic(b) {
+			t.Errorf("%s reported non-deterministic", b.Name())
+		}
+	}
+	for _, b := range Real() {
+		if IsDeterministic(b) {
+			t.Errorf("%s reported deterministic despite wall-clock timing", b.Name())
+		}
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	for _, key := range []string{
+		"acl-gemm", "acl-direct", "cudnn", "tvm",
+		"real-direct", "real-gemm", "real-winograd",
+	} {
+		b, err := Lookup(key)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", key, err)
+		}
+		if b == nil {
+			t.Fatalf("Lookup(%q) returned nil backend", key)
+		}
+	}
+	if _, err := Lookup("no-such-backend"); err == nil {
+		t.Error("unknown key accepted")
+	} else if !strings.Contains(err.Error(), "acl-gemm") {
+		t.Errorf("lookup error should list known keys, got %v", err)
+	}
+	names := Names()
+	if len(names) < 7 {
+		t.Fatalf("Names() = %v, want at least the 7 built-ins", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	if got := len(All()); got != len(names) {
+		t.Fatalf("All() returned %d backends for %d names", got, len(names))
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("empty key", func() { Register("", CuDNN()) })
+	expectPanic("nil backend", func() { Register("nil-backend", nil) })
+	expectPanic("duplicate key", func() { Register("cudnn", CuDNN()) })
+	// The measurement cache keys on display names, so Register refuses
+	// a fresh key whose backend shadows an existing display name.
+	expectPanic("duplicate display name", func() { Register("cudnn-clone", CuDNN()) })
+}
+
+func TestRealBackendsComputeAndMeasure(t *testing.T) {
+	// A small spec keeps the real kernels fast; Winograd needs 3x3 s1.
+	spec := conv.ConvSpec{
+		Name: "test.small", InH: 8, InW: 8, InC: 4, OutC: 8,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}
+	for _, b := range Real() {
+		m, err := b.Measure(device.HiKey970, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if m.Ms < 0 {
+			t.Errorf("%s: negative latency %v", b.Name(), m.Ms)
+		}
+		if m.Jobs != 1 {
+			t.Errorf("%s: jobs = %d, want 1", b.Name(), m.Jobs)
+		}
+	}
+	// Winograd rejects non-applicable shapes instead of guessing.
+	strided := spec
+	strided.StrideH, strided.StrideW = 2, 2
+	if _, err := RealWinograd().Measure(device.HiKey970, strided); err == nil {
+		t.Error("Real-Winograd accepted a strided spec")
+	}
+}
+
+// countingBackend counts Measure invocations; used to verify memoization
+// and single-flight behavior.
+type countingBackend struct {
+	mu    sync.Mutex
+	calls int
+	block chan struct{} // if non-nil, Measure waits on it
+}
+
+func (c *countingBackend) Name() string                { return "counting" }
+func (c *countingBackend) Supports(device.Device) bool { return true }
+func (c *countingBackend) Measure(_ device.Device, spec conv.ConvSpec) (Measurement, error) {
+	c.mu.Lock()
+	c.calls++
+	n := c.calls
+	c.mu.Unlock()
+	if c.block != nil {
+		<-c.block
+	}
+	return Measurement{Ms: float64(spec.OutC), Jobs: n}, nil
+}
+
+func TestCacheHitCounting(t *testing.T) {
+	cb := &countingBackend{}
+	c := NewCache()
+	for i := 0; i < 10; i++ {
+		m, err := c.Measure(cb, device.HiKey970, l16(93))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Jobs != 1 {
+			t.Fatalf("lookup %d returned run %d, want the memoized first run", i, m.Jobs)
+		}
+	}
+	// A different spec, then a different device, are distinct entries.
+	if _, err := c.Measure(cb, device.HiKey970, l16(94)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Measure(cb, device.OdroidXU4, l16(93)); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Misses != 3 || s.Hits != 9 {
+		t.Errorf("stats = %+v, want 3 misses / 9 hits", s)
+	}
+	if got := s.HitRate(); got < 0.74 || got > 0.76 {
+		t.Errorf("hit rate = %v, want 0.75", got)
+	}
+	if cb.calls != 3 {
+		t.Errorf("backend ran %d times, want 3", cb.calls)
+	}
+	if c.Len() != 3 {
+		t.Errorf("cache holds %d entries, want 3", c.Len())
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	cb := &countingBackend{block: make(chan struct{})}
+	c := NewCache()
+	const callers = 32
+	results := make([]Measurement, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := c.Measure(cb, device.HiKey970, l16(93))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = m
+		}(i)
+	}
+	// Let the goroutines pile up on the single in-flight run, then
+	// release it.
+	for {
+		cb.mu.Lock()
+		started := cb.calls > 0
+		cb.mu.Unlock()
+		if started {
+			break
+		}
+	}
+	close(cb.block)
+	wg.Wait()
+
+	if cb.calls != 1 {
+		t.Fatalf("backend ran %d times under concurrent identical queries, want 1", cb.calls)
+	}
+	for i, m := range results {
+		if m.Jobs != 1 || m.Ms != 93 {
+			t.Fatalf("caller %d saw %+v, want the shared single run", i, m)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != callers-1 {
+		t.Errorf("stats = %+v, want 1 miss / %d hits", s, callers-1)
+	}
+}

@@ -1,0 +1,103 @@
+package backend
+
+// Measurement memoization. A Cache deduplicates repeated (backend,
+// device, spec) measurements: sweeps re-measure the same configuration
+// constantly (the paper's median-of-10 protocol alone repeats every
+// point ten times), and the concurrent sweep engine would otherwise
+// race duplicate work. Lookups are single-flight: concurrent queries
+// for one configuration share a single backend run.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+)
+
+// cacheKey identifies one measurement. ConvSpec is a comparable struct
+// of ints and the layer name, so the composite key is directly usable
+// as a map key.
+type cacheKey struct {
+	backend string
+	device  string
+	spec    conv.ConvSpec
+}
+
+// cacheEntry is one memoized (possibly in-flight) measurement. done is
+// closed when m and err are final.
+type cacheEntry struct {
+	done chan struct{}
+	m    Measurement
+	err  error
+}
+
+// Cache memoizes Backend.Measure results. The zero value is not usable;
+// call NewCache.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// NewCache returns an empty measurement cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// Measure returns the memoized measurement for (b, dev, spec),
+// executing b.Measure at most once per configuration. Concurrent calls
+// for the same configuration block on the single in-flight run and all
+// receive its result. Errors are memoized too: the backends are
+// deterministic in their inputs, so a retry would fail identically.
+// Backends are identified by display name — Register enforces the
+// uniqueness this relies on; only memoize deterministic backends (see
+// IsDeterministic).
+func (c *Cache) Measure(b Backend, dev device.Device, spec conv.ConvSpec) (Measurement, error) {
+	k := cacheKey{backend: b.Name(), device: dev.Name, spec: spec}
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		c.mu.Unlock()
+		<-e.done
+		c.hits.Add(1)
+		return e.m, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[k] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	e.m, e.err = b.Measure(dev, spec)
+	close(e.done)
+	return e.m, e.err
+}
+
+// Stats reports the cache's hit and miss counts. A hit is any lookup
+// served from a completed or in-flight entry; a miss executed the
+// backend.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRate returns hits / (hits + misses), or 0 for an unused cache.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// Len returns the number of memoized configurations.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

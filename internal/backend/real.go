@@ -1,0 +1,79 @@
+package backend
+
+// Real-compute backends: they execute the actual convolution kernels
+// from internal/conv on the host and report measured wall-clock time.
+// They are the ground truth the simulated libraries model — useful for
+// validating staircase shapes against real hardware behavior and for
+// profiling on machines where the kernels themselves are the workload.
+//
+// Unlike the simulated backends they are not deterministic (the latency
+// is a real measurement): they report Deterministic() == false, so the
+// profiler's engine never memoizes them and runs their sweeps serially,
+// aggregating fresh uncontended samples for every median.
+
+import (
+	"fmt"
+	"time"
+
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+	"perfprune/internal/tensor"
+)
+
+// realBackend wraps one internal/conv kernel.
+type realBackend struct {
+	name string
+	run  func(spec conv.ConvSpec, in, w *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+func (b realBackend) Name() string { return b.name }
+
+// Deterministic reports false: the latency is a live wall-clock
+// measurement, so the profiler must not memoize it or run it under
+// CPU contention from parallel sweep workers.
+func (b realBackend) Deterministic() bool { return false }
+
+// Supports reports true for every device: real compute runs on the
+// host, independent of the simulated board parameters.
+func (b realBackend) Supports(device.Device) bool { return true }
+
+func (b realBackend) Measure(_ device.Device, spec conv.ConvSpec) (Measurement, error) {
+	if err := spec.Validate(); err != nil {
+		return Measurement{}, err
+	}
+	in := tensor.New(tensor.NHWC, 1, spec.InH, spec.InW, spec.InC)
+	in.RandomUniform(tensor.Hash64(spec.Name+"/input"), 1)
+	w := tensor.New(tensor.OHWI, spec.OutC, spec.KH, spec.KW, spec.InC)
+	w.HeInit(tensor.Hash64(spec.Name+"/weights"), spec.ReductionK())
+
+	start := time.Now()
+	if _, err := b.run(spec, in, w); err != nil {
+		return Measurement{}, fmt.Errorf("backend %s: %w", b.name, err)
+	}
+	return Measurement{
+		Ms:   float64(time.Since(start).Nanoseconds()) / 1e6,
+		Jobs: 1,
+	}, nil
+}
+
+// RealDirect returns the direct-convolution real-compute backend.
+func RealDirect() Backend {
+	return realBackend{name: "Real-Direct", run: conv.Direct}
+}
+
+// RealGEMM returns the im2col+GEMM real-compute backend.
+func RealGEMM() Backend {
+	return realBackend{name: "Real-GEMM", run: conv.GEMM}
+}
+
+// RealWinograd returns the Winograd F(2x2,3x3) real-compute backend.
+// Measure fails for layers Winograd does not apply to (non-3x3 or
+// strided); callers that need a total backend should prefer RealGEMM.
+func RealWinograd() Backend {
+	return realBackend{name: "Real-Winograd", run: conv.Winograd}
+}
+
+// Real returns the three real-compute backends.
+func Real() []Backend {
+	return []Backend{RealDirect(), RealGEMM(), RealWinograd()}
+}

@@ -1,0 +1,98 @@
+package backend
+
+// Name-keyed backend registry. The built-in simulated and real backends
+// register here at package init; extension packages (the hybrid
+// dispatcher, the auto-tuned direct path) self-register from their own
+// init functions, so importing a package is all it takes to make its
+// backend resolvable by name from the CLI tools and the facade.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"perfprune/internal/acl"
+)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Backend)
+)
+
+// Register makes a backend resolvable under key. It panics if key is
+// empty, b is nil, or key or the backend's display name is already
+// taken — registration happens at init time, where a collision is a
+// programming error. Display names must be unique because the
+// measurement cache identifies backends by Name().
+func Register(key string, b Backend) {
+	if key == "" {
+		panic("backend: Register with empty key")
+	}
+	if b == nil {
+		panic("backend: Register with nil backend for " + key)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[key]; dup {
+		panic("backend: Register called twice for " + key)
+	}
+	for k, existing := range registry {
+		if existing.Name() == b.Name() {
+			panic(fmt.Sprintf("backend: %q and %q share display name %q", k, key, b.Name()))
+		}
+	}
+	registry[key] = b
+}
+
+// Lookup resolves a backend by registry key.
+func Lookup(key string) (Backend, error) {
+	registryMu.RLock()
+	b, ok := registry[key]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (have: %s)",
+			key, strings.Join(Names(), ", "))
+	}
+	return b, nil
+}
+
+// Names returns every registered key, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered backend in sorted key order.
+func All() []Backend {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	keys := make([]string, 0, len(registry))
+	for k := range registry {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Backend, len(keys))
+	for i, k := range keys {
+		out[i] = registry[k]
+	}
+	return out
+}
+
+func init() {
+	// The paper's four library configurations.
+	Register("acl-gemm", ACL(acl.GEMMConv))
+	Register("acl-direct", ACL(acl.DirectConv))
+	Register("cudnn", CuDNN())
+	Register("tvm", TVM())
+	// Real host compute over the same interface.
+	Register("real-direct", RealDirect())
+	Register("real-gemm", RealGEMM())
+	Register("real-winograd", RealWinograd())
+}

@@ -1,0 +1,72 @@
+package backend
+
+// Simulated library backends: behavioral models of the Arm Compute
+// Library, cuDNN and TVM, calibrated to the paper's measurements. These
+// wrappers were formerly private to internal/profiler; they now live
+// behind the registry so every layer of the system resolves them
+// uniformly.
+
+import (
+	"perfprune/internal/acl"
+	"perfprune/internal/conv"
+	"perfprune/internal/cudnnsim"
+	"perfprune/internal/device"
+	"perfprune/internal/tvmsim"
+)
+
+type aclBackend struct{ method acl.Method }
+
+func (b aclBackend) Name() string { return b.method.String() }
+func (b aclBackend) Supports(dev device.Device) bool {
+	return dev.API == device.OpenCL
+}
+func (b aclBackend) Measure(dev device.Device, spec conv.ConvSpec) (Measurement, error) {
+	p, err := acl.Run(dev, spec, b.method)
+	if err != nil {
+		return Measurement{}, err
+	}
+	c := p.Result.SteadyCounters()
+	return Measurement{Ms: p.Ms, Jobs: c.Jobs, SplitJobs: c.SplitJobs}, nil
+}
+
+type cudnnBackend struct{}
+
+func (cudnnBackend) Name() string { return "cuDNN" }
+func (cudnnBackend) Supports(dev device.Device) bool {
+	return dev.API == device.CUDA
+}
+func (cudnnBackend) Measure(dev device.Device, spec conv.ConvSpec) (Measurement, error) {
+	p, err := cudnnsim.Run(dev, spec)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{Ms: p.Ms, Jobs: p.Result.Counters.Jobs}, nil
+}
+
+type tvmBackend struct{}
+
+func (tvmBackend) Name() string { return "TVM" }
+func (tvmBackend) Supports(dev device.Device) bool {
+	return dev.API == device.OpenCL
+}
+func (tvmBackend) Measure(dev device.Device, spec conv.ConvSpec) (Measurement, error) {
+	p, err := tvmsim.Run(dev, spec)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{Ms: p.Ms, Jobs: p.Result.Counters.Jobs}, nil
+}
+
+// ACL returns the Arm Compute Library backend with the given method.
+func ACL(method acl.Method) Backend { return aclBackend{method: method} }
+
+// CuDNN returns the cuDNN backend.
+func CuDNN() Backend { return cudnnBackend{} }
+
+// TVM returns the TVM backend.
+func TVM() Backend { return tvmBackend{} }
+
+// Simulated returns the paper's four library configurations.
+func Simulated() []Backend {
+	return []Backend{ACL(acl.GEMMConv), ACL(acl.DirectConv), CuDNN(), TVM()}
+}

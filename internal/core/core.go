@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"perfprune/internal/accuracy"
+	"perfprune/internal/backend"
 	"perfprune/internal/device"
 	"perfprune/internal/nets"
 	"perfprune/internal/profiler"
@@ -30,7 +31,7 @@ import (
 // so every plan is built for exactly one Target.
 type Target struct {
 	Device  device.Device
-	Library profiler.Library
+	Library backend.Backend
 }
 
 // Validate checks the library can run on the device.
@@ -70,10 +71,17 @@ func (lp LayerProfile) TimeAt(c int) (float64, error) {
 // ProfileLayer sweeps a layer's channel counts from 1 to its full width
 // on the target and analyzes the staircase.
 func ProfileLayer(tg Target, layer nets.Layer) (LayerProfile, error) {
+	return profileLayer(profiler.NewEngine(), tg, layer)
+}
+
+// profileLayer runs one layer's sweep through a (shared) concurrent
+// engine. The engine's output is deterministic, so profiles are
+// identical to the serial path's.
+func profileLayer(e *profiler.Engine, tg Target, layer nets.Layer) (LayerProfile, error) {
 	if err := tg.Validate(); err != nil {
 		return LayerProfile{}, err
 	}
-	curve, err := profiler.SweepChannels(tg.Library, tg.Device, layer.Spec, 1, layer.Spec.OutC)
+	curve, err := e.SweepChannels(tg.Library, tg.Device, layer.Spec, 1, layer.Spec.OutC)
 	if err != nil {
 		return LayerProfile{}, err
 	}
@@ -106,6 +114,10 @@ func ProfileNetwork(tg Target, n nets.Network) (*NetworkProfile, error) {
 		Network:  n,
 		Profiles: make(map[string]LayerProfile, len(n.Layers)),
 	}
+	// One concurrent engine serves the whole network: each layer's sweep
+	// fans out over the worker pool, and the cache collapses the median
+	// protocol's repeated runs to one execution per configuration.
+	eng := profiler.NewEngine()
 	byShape := make(map[string]LayerProfile)
 	for _, l := range n.Layers {
 		key := shapeKey(l)
@@ -113,7 +125,7 @@ func ProfileNetwork(tg Target, n nets.Network) (*NetworkProfile, error) {
 			np.Profiles[l.Label] = LayerProfile{Layer: l, Curve: cached.Curve, Analysis: cached.Analysis}
 			continue
 		}
-		lp, err := ProfileLayer(tg, l)
+		lp, err := profileLayer(eng, tg, l)
 		if err != nil {
 			return nil, err
 		}

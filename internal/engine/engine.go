@@ -15,6 +15,7 @@ package engine
 import (
 	"fmt"
 
+	"perfprune/internal/backend"
 	"perfprune/internal/conv"
 	"perfprune/internal/device"
 	"perfprune/internal/nets"
@@ -176,12 +177,20 @@ func relu(t *tensor.Tensor) {
 }
 
 // Latency sums the simulated per-stage latencies of the chain on a
-// library/device target (each stage measured as the paper measures
+// backend/device target (each stage measured as the paper measures
 // layers, median of 10 runs).
-func (c *Chain) Latency(lib profiler.Library, dev device.Device) (float64, error) {
+func (c *Chain) Latency(lib backend.Backend, dev device.Device) (float64, error) {
+	return c.LatencyWith(profiler.NewEngine(), lib, dev)
+}
+
+// LatencyWith measures the chain through a caller-provided engine, so
+// repeated evaluations (pruning search loops) share one measurement
+// cache. Stage latencies are summed in stage order, keeping the total
+// bit-identical across engines.
+func (c *Chain) LatencyWith(e *profiler.Engine, lib backend.Backend, dev device.Device) (float64, error) {
 	total := 0.0
 	for _, st := range c.Stages {
-		m, err := profiler.MeasureMedian(lib, dev, st.Spec, profiler.DefaultRuns)
+		m, err := e.MeasureMedian(lib, dev, st.Spec)
 		if err != nil {
 			return 0, fmt.Errorf("engine: %s: %w", st.Label, err)
 		}

@@ -8,14 +8,15 @@
 // dispatches to the fastest, exactly the per-layer choice the paper
 // observes no single library making ("no optimal library exists to
 // outperform across all neural network layers"). It satisfies
-// profiler.Library, so all the sweep/staircase/planning machinery works
-// unchanged on top of it.
+// backend.Backend and registers itself as "hybrid", so all the
+// sweep/staircase/planning machinery works unchanged on top of it.
 package hybrid
 
 import (
 	"fmt"
 
 	"perfprune/internal/acl"
+	"perfprune/internal/backend"
 	"perfprune/internal/conv"
 	"perfprune/internal/device"
 	"perfprune/internal/profiler"
@@ -92,27 +93,29 @@ func Select(dev device.Device, spec conv.ConvSpec) (Choice, error) {
 	return best, nil
 }
 
-// lib adapts the selector to profiler.Library.
+// lib adapts the selector to backend.Backend.
 type lib struct{}
 
-// Library returns the hybrid dispatcher as a profiler backend.
-func Library() profiler.Library { return lib{} }
+// Library returns the hybrid dispatcher as a measurable backend.
+func Library() backend.Backend { return lib{} }
 
 func (lib) Name() string { return "Hybrid" }
 
 func (lib) Supports(dev device.Device) bool { return dev.API == device.OpenCL }
 
-func (lib) Measure(dev device.Device, spec conv.ConvSpec) (profiler.Measurement, error) {
+func (lib) Measure(dev device.Device, spec conv.ConvSpec) (backend.Measurement, error) {
 	c, err := Select(dev, spec)
 	if err != nil {
-		return profiler.Measurement{}, err
+		return backend.Measurement{}, err
 	}
-	return profiler.Measurement{Ms: c.Ms, Jobs: 1}, nil
+	return backend.Measurement{Ms: c.Ms, Jobs: 1}, nil
 }
+
+func init() { backend.Register("hybrid", Library()) }
 
 // Gain compares the hybrid dispatcher against a fixed backend across a
 // set of layers and returns the per-layer speedups (fixed / hybrid).
-func Gain(dev device.Device, fixed profiler.Library, specs []conv.ConvSpec) ([]float64, error) {
+func Gain(dev device.Device, fixed backend.Backend, specs []conv.ConvSpec) ([]float64, error) {
 	out := make([]float64, 0, len(specs))
 	for _, s := range specs {
 		fixedMs, err := profiler.MeasureMedian(fixed, dev, s, profiler.DefaultRuns)

@@ -1,0 +1,190 @@
+package profiler
+
+// Engine is the concurrent, cached sweep pipeline. Every figure of the
+// paper sweeps a (layer x channel-count x backend x device) grid; the
+// serial reference path walks it one configuration at a time, while the
+// Engine fans the grid out over a bounded worker pool and memoizes
+// measurements in a backend.Cache (single-flight, so concurrent
+// identical queries share one run). Results are returned in
+// deterministic channel order regardless of scheduling, so the
+// concurrent path is byte-identical to the serial one on the
+// deterministic simulated backends.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+)
+
+// Engine sweeps measurement grids concurrently with memoization.
+type Engine struct {
+	workers int
+	runs    int
+	cache   *backend.Cache
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers bounds the worker pool; n <= 0 means GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
+// WithRuns overrides the per-configuration repetition count (the
+// paper's protocol is DefaultRuns).
+func WithRuns(n int) Option {
+	return func(e *Engine) { e.runs = n }
+}
+
+// WithoutCache disables memoization for deterministic backends too:
+// every measurement request executes the backend, restoring the full
+// repeated-runs protocol. (Non-deterministic backends always bypass
+// the cache, with or without this option.) Mainly useful for measuring
+// the uncached pipeline itself.
+func WithoutCache() Option {
+	return func(e *Engine) { e.cache = nil }
+}
+
+// WithCache shares an existing cache between engines.
+func WithCache(c *backend.Cache) Option {
+	return func(e *Engine) { e.cache = c }
+}
+
+// NewEngine returns a concurrent sweep engine with a fresh cache,
+// GOMAXPROCS workers and the paper's median-of-10 protocol.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		workers: runtime.GOMAXPROCS(0),
+		runs:    DefaultRuns,
+		cache:   backend.NewCache(),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	if e.runs <= 0 {
+		e.runs = DefaultRuns
+	}
+	return e
+}
+
+// Cache exposes the engine's measurement cache (nil when disabled), for
+// hit-rate reporting and cross-engine sharing.
+func (e *Engine) Cache() *backend.Cache { return e.cache }
+
+// MeasureMedian measures spec with the paper's median protocol. For
+// deterministic backends the engine's cache collapses the repetitions
+// into one memoized execution; non-deterministic (real wall-clock)
+// backends bypass the cache so the median aggregates fresh samples.
+func (e *Engine) MeasureMedian(lib Library, dev device.Device, spec conv.ConvSpec) (Measurement, error) {
+	c := e.cache
+	if !backend.IsDeterministic(lib) {
+		c = nil
+	}
+	return measureMedian(c, lib, dev, spec, e.runs)
+}
+
+// SweepChannels measures spec at every output-channel count in [lo, hi]
+// concurrently. Points are returned in increasing channel order and,
+// for deterministic backends, match the serial SweepChannels exactly.
+func (e *Engine) SweepChannels(lib Library, dev device.Device, spec conv.ConvSpec, lo, hi int) ([]Point, error) {
+	if lo < 1 || hi < lo {
+		return nil, fmt.Errorf("profiler: invalid sweep range [%d, %d]", lo, hi)
+	}
+	n := hi - lo + 1
+	points := make([]Point, n)
+	errs := make([]error, n)
+	e.fanOut(n, e.workersFor(lib), func(i int) error {
+		c := lo + i
+		m, err := e.MeasureMedian(lib, dev, spec.WithOutC(c))
+		if err != nil {
+			return fmt.Errorf("profiler: sweep %s at %d channels: %w", spec.Name, c, err)
+		}
+		points[i] = Point{Channels: c, Ms: m.Ms}
+		return nil
+	}, errs)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// SweepPruneDistances measures spec at C0-d for each prune distance
+// concurrently (baseline first, clamping at one channel), matching the
+// serial SweepPruneDistances point for point.
+func (e *Engine) SweepPruneDistances(lib Library, dev device.Device, spec conv.ConvSpec, distances []int) ([]Point, error) {
+	n := len(distances) + 1
+	points := make([]Point, n)
+	errs := make([]error, n)
+	e.fanOut(n, e.workersFor(lib), func(i int) error {
+		c := spec.OutC
+		if i > 0 {
+			c -= distances[i-1]
+			if c < 1 {
+				c = 1
+			}
+		}
+		m, err := e.MeasureMedian(lib, dev, spec.WithOutC(c))
+		if err != nil {
+			return err
+		}
+		points[i] = Point{Channels: c, Ms: m.Ms}
+		return nil
+	}, errs)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// workersFor returns the pool width for a backend: non-deterministic
+// (real wall-clock) backends run serially so parallel workers cannot
+// contend for the CPU and inflate each other's measurements.
+func (e *Engine) workersFor(lib Library) int {
+	if !backend.IsDeterministic(lib) {
+		return 1
+	}
+	return e.workers
+}
+
+// fanOut runs job(0..n-1) on the bounded worker pool. Workers claim
+// indices in order and stop claiming new ones after the first error, so
+// the lowest-index error is always recorded in errs — callers scanning
+// errs in order report the same failure the serial path would.
+func (e *Engine) fanOut(n, workers int, job func(i int) error, errs []error) {
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := job(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

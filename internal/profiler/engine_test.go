@@ -1,0 +1,165 @@
+package profiler
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"perfprune/internal/acl"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+)
+
+// TestConcurrentSweepMatchesSerial is the determinism contract: the
+// worker-pool sweep must be indistinguishable from the serial reference
+// path, byte for byte, regardless of scheduling. Run with -race to
+// exercise the pool.
+func TestConcurrentSweepMatchesSerial(t *testing.T) {
+	libs := []Library{ACL(acl.GEMMConv), ACL(acl.DirectConv), TVM()}
+	for _, lib := range libs {
+		lib := lib
+		t.Run(lib.Name(), func(t *testing.T) {
+			serial, err := SweepChannels(lib, device.HiKey970, l16(128), 20, 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 7, 64} {
+				e := NewEngine(WithWorkers(workers))
+				concurrent, err := e.SweepChannels(lib, device.HiKey970, l16(128), 20, 128)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := fmt.Sprintf("%v", concurrent)
+				want := fmt.Sprintf("%v", serial)
+				if got != want {
+					t.Fatalf("%d workers: concurrent sweep diverged from serial\ngot  %s\nwant %s",
+						workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentSweepPruneDistancesMatchesSerial(t *testing.T) {
+	serial, err := SweepPruneDistances(CuDNN(), device.JetsonTX2, l16(128), PruneDistances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine()
+	concurrent, err := e.SweepPruneDistances(CuDNN(), device.JetsonTX2, l16(128), PruneDistances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%v", concurrent) != fmt.Sprintf("%v", serial) {
+		t.Fatalf("prune-distance sweep diverged:\ngot  %v\nwant %v", concurrent, serial)
+	}
+}
+
+func TestEngineCacheDeduplicates(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.SweepChannels(ACL(acl.GEMMConv), device.HiKey970, l16(128), 20, 128); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Cache().Stats()
+	// 109 configurations: one execution each, with the median protocol
+	// collapsed analytically (no synthetic hits from repeated runs).
+	if s.Misses != 109 {
+		t.Errorf("misses = %d, want 109 (one per configuration)", s.Misses)
+	}
+	if s.Hits != 0 {
+		t.Errorf("hits = %d, want 0 on a first pass over unique configurations", s.Hits)
+	}
+	// Sweeping again is all hits: nothing re-executes.
+	if _, err := e.SweepChannels(ACL(acl.GEMMConv), device.HiKey970, l16(128), 20, 128); err != nil {
+		t.Fatal(err)
+	}
+	if s = e.Cache().Stats(); s.Misses != 109 {
+		t.Errorf("re-sweep executed the backend again: misses = %d", s.Misses)
+	}
+	if s.Hits != 109 {
+		t.Errorf("re-sweep hits = %d, want 109", s.Hits)
+	}
+}
+
+// flakyClock is a non-deterministic test backend: every measurement
+// returns a different latency, like the real wall-clock backends.
+type flakyClock struct{ calls atomic.Int64 }
+
+func (f *flakyClock) Name() string                { return "flaky-clock" }
+func (f *flakyClock) Supports(device.Device) bool { return true }
+func (f *flakyClock) Deterministic() bool         { return false }
+func (f *flakyClock) Measure(_ device.Device, _ conv.ConvSpec) (Measurement, error) {
+	return Measurement{Ms: float64(f.calls.Add(1)), Jobs: 1}, nil
+}
+
+func TestEngineSerializesNonDeterministicBackends(t *testing.T) {
+	f := &flakyClock{}
+	e := NewEngine(WithWorkers(8), WithRuns(5))
+	if got := e.workersFor(f); got != 1 {
+		t.Errorf("non-deterministic backend got %d workers, want 1", got)
+	}
+	if got := e.workersFor(ACL(acl.GEMMConv)); got != 8 {
+		t.Errorf("deterministic backend got %d workers, want 8", got)
+	}
+	m, err := e.MeasureMedian(f, device.HiKey970, l16(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 fresh runs (latencies 1..5) must be aggregated, not memoized:
+	// the median is 3, and the cache must stay untouched.
+	if m.Ms != 3 {
+		t.Errorf("median = %v, want 3 (median of 5 fresh runs)", m.Ms)
+	}
+	if f.calls.Load() != 5 {
+		t.Errorf("backend ran %d times, want 5 fresh runs", f.calls.Load())
+	}
+	if s := e.Cache().Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("non-deterministic measurement touched the cache: %+v", s)
+	}
+}
+
+func TestEngineErrorsMatchSerial(t *testing.T) {
+	// cuDNN does not support Mali boards: the concurrent path must fail
+	// with the same error the serial path produces.
+	_, serialErr := SweepChannels(CuDNN(), device.HiKey970, l16(128), 20, 128)
+	if serialErr == nil {
+		t.Fatal("serial sweep of cuDNN on HiKey unexpectedly succeeded")
+	}
+	e := NewEngine()
+	_, concErr := e.SweepChannels(CuDNN(), device.HiKey970, l16(128), 20, 128)
+	if concErr == nil {
+		t.Fatal("concurrent sweep of cuDNN on HiKey unexpectedly succeeded")
+	}
+	if concErr.Error() != serialErr.Error() {
+		t.Errorf("error diverged:\ngot  %v\nwant %v", concErr, serialErr)
+	}
+	if _, err := e.SweepChannels(CuDNN(), device.JetsonTX2, l16(128), 0, 10); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := e.SweepChannels(CuDNN(), device.JetsonTX2, l16(128), 10, 5); err == nil {
+		t.Error("hi<lo accepted")
+	}
+}
+
+func TestEngineOptions(t *testing.T) {
+	e := NewEngine(WithWorkers(-3), WithRuns(0))
+	if e.workers <= 0 || e.runs != DefaultRuns {
+		t.Errorf("defaults not applied: workers=%d runs=%d", e.workers, e.runs)
+	}
+	nc := NewEngine(WithoutCache())
+	if nc.Cache() != nil {
+		t.Error("WithoutCache left a cache in place")
+	}
+	// An uncached engine still sweeps correctly.
+	pts, err := nc.SweepChannels(ACL(acl.GEMMConv), device.HiKey970, l16(128), 90, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("%d points, want 10", len(pts))
+	}
+	shared := NewEngine(WithCache(e.Cache()))
+	if shared.Cache() != e.Cache() {
+		t.Error("WithCache did not share the cache")
+	}
+}

@@ -1,21 +1,25 @@
 // Package profiler is the measurement harness of the reproduction. It
-// plays the role of the paper's §III-C profilers: it runs a library's
+// plays the role of the paper's §III-C profilers: it runs a backend's
 // convolution implementation for a layer configuration on a device
-// (through the simulator), reports the median of repeated runs
-// (§III-D: "the median time of 10 runs is reported for each
-// configuration"), and sweeps channel counts to produce the latency
-// curves behind every figure.
+// (through the simulator or real host compute), reports the median of
+// repeated runs (§III-D: "the median time of 10 runs is reported for
+// each configuration"), and sweeps channel counts to produce the
+// latency curves behind every figure.
+//
+// Backends live in internal/backend behind a name-keyed registry; the
+// profiler only measures them. The serial entry points below are the
+// reference path; Engine (engine.go) is the concurrent, cached sweep
+// pipeline that produces identical results.
 package profiler
 
 import (
 	"fmt"
 
 	"perfprune/internal/acl"
+	"perfprune/internal/backend"
 	"perfprune/internal/conv"
-	"perfprune/internal/cudnnsim"
 	"perfprune/internal/device"
 	"perfprune/internal/stats"
-	"perfprune/internal/tvmsim"
 )
 
 // DefaultRuns is the paper's repetition count per configuration.
@@ -25,93 +29,49 @@ const DefaultRuns = 10
 var PruneDistances = []int{1, 3, 7, 15, 31, 63, 127}
 
 // Measurement is one profiled layer execution.
-type Measurement struct {
-	// Ms is the steady-state inference latency.
-	Ms float64
-	// Jobs and SplitJobs are the dispatched hardware job counts.
-	Jobs      int
-	SplitJobs int
-}
+type Measurement = backend.Measurement
 
-// Library abstracts a deep-learning library backend. Implementations
-// wrap the ACL, cuDNN and TVM models.
-type Library interface {
-	// Name is the display name, e.g. "cuDNN".
-	Name() string
-	// Supports reports whether the library can target dev (§III-A: ACL
-	// and TVM target OpenCL Mali boards; cuDNN targets CUDA Jetsons).
-	Supports(dev device.Device) bool
-	// Measure runs one layer configuration once.
-	Measure(dev device.Device, spec conv.ConvSpec) (Measurement, error)
-}
-
-type aclLib struct{ method acl.Method }
-
-func (l aclLib) Name() string { return l.method.String() }
-func (l aclLib) Supports(dev device.Device) bool {
-	return dev.API == device.OpenCL
-}
-func (l aclLib) Measure(dev device.Device, spec conv.ConvSpec) (Measurement, error) {
-	p, err := acl.Run(dev, spec, l.method)
-	if err != nil {
-		return Measurement{}, err
-	}
-	c := p.Result.SteadyCounters()
-	return Measurement{Ms: p.Ms, Jobs: c.Jobs, SplitJobs: c.SplitJobs}, nil
-}
-
-type cudnnLib struct{}
-
-func (cudnnLib) Name() string { return "cuDNN" }
-func (cudnnLib) Supports(dev device.Device) bool {
-	return dev.API == device.CUDA
-}
-func (cudnnLib) Measure(dev device.Device, spec conv.ConvSpec) (Measurement, error) {
-	p, err := cudnnsim.Run(dev, spec)
-	if err != nil {
-		return Measurement{}, err
-	}
-	return Measurement{Ms: p.Ms, Jobs: p.Result.Counters.Jobs}, nil
-}
-
-type tvmLib struct{}
-
-func (tvmLib) Name() string { return "TVM" }
-func (tvmLib) Supports(dev device.Device) bool {
-	return dev.API == device.OpenCL
-}
-func (tvmLib) Measure(dev device.Device, spec conv.ConvSpec) (Measurement, error) {
-	p, err := tvmsim.Run(dev, spec)
-	if err != nil {
-		return Measurement{}, err
-	}
-	return Measurement{Ms: p.Ms, Jobs: p.Result.Counters.Jobs}, nil
-}
+// Library is the measured backend interface. It is an alias kept for
+// the era when the library wrappers lived in this package; new code
+// should name backend.Backend directly.
+type Library = backend.Backend
 
 // ACL returns the Arm Compute Library backend with the given method.
-func ACL(method acl.Method) Library { return aclLib{method: method} }
+func ACL(method acl.Method) Library { return backend.ACL(method) }
 
 // CuDNN returns the cuDNN backend.
-func CuDNN() Library { return cudnnLib{} }
+func CuDNN() Library { return backend.CuDNN() }
 
 // TVM returns the TVM backend.
-func TVM() Library { return tvmLib{} }
+func TVM() Library { return backend.TVM() }
 
 // Libraries returns the paper's four library configurations.
-func Libraries() []Library {
-	return []Library{ACL(acl.GEMMConv), ACL(acl.DirectConv), CuDNN(), TVM()}
-}
+func Libraries() []Library { return backend.Simulated() }
 
 // MeasureMedian measures spec `runs` times and reports the median
 // latency (§III-D). The simulator is deterministic, so the median
 // equals any single run; the repetition preserves the paper's protocol
 // and exercises the same aggregation code a hardware port would need.
 func MeasureMedian(lib Library, dev device.Device, spec conv.ConvSpec, runs int) (Measurement, error) {
+	return measureMedian(nil, lib, dev, spec, runs)
+}
+
+// measureMedian is the shared median protocol; a non-nil cache memoizes
+// the measurement (single-flight, see backend.Cache). For deterministic
+// backends every run returns the same value, so the cached path
+// collapses the median analytically into one lookup; callers pass a
+// nil cache for non-deterministic backends, whose medians must
+// aggregate fresh samples.
+func measureMedian(c *backend.Cache, lib Library, dev device.Device, spec conv.ConvSpec, runs int) (Measurement, error) {
 	if runs <= 0 {
 		return Measurement{}, fmt.Errorf("profiler: runs must be positive, got %d", runs)
 	}
 	if !lib.Supports(dev) {
 		return Measurement{}, fmt.Errorf("profiler: %s does not target %s (%s)", lib.Name(), dev.Name, dev.API)
+	}
+	if c != nil {
+		// Median of runs identical values is the value itself.
+		return c.Measure(lib, dev, spec)
 	}
 	times := make([]float64, 0, runs)
 	var last Measurement
@@ -141,6 +101,9 @@ type Point struct {
 // [lo, hi], emulating gradual channel pruning one channel at a time
 // (§IV-A: "gradually reducing the number of channels of each layer, one
 // at a time"). Points are returned in increasing channel order.
+//
+// This is the serial reference path; Engine.SweepChannels fans the same
+// grid out over a worker pool and returns identical points.
 func SweepChannels(lib Library, dev device.Device, spec conv.ConvSpec, lo, hi int) ([]Point, error) {
 	if lo < 1 || hi < lo {
 		return nil, fmt.Errorf("profiler: invalid sweep range [%d, %d]", lo, hi)

@@ -21,9 +21,12 @@ package perfprune
 
 import (
 	"perfprune/internal/acl"
+	"perfprune/internal/autotune"
+	"perfprune/internal/backend"
 	"perfprune/internal/conv"
 	"perfprune/internal/core"
 	"perfprune/internal/device"
+	"perfprune/internal/hybrid"
 	"perfprune/internal/nets"
 	"perfprune/internal/profiler"
 	"perfprune/internal/prune"
@@ -36,8 +39,17 @@ type ConvSpec = conv.ConvSpec
 // Device is one embedded board (see internal/device).
 type Device = device.Device
 
-// Library is a deep-learning library backend (see internal/profiler).
-type Library = profiler.Library
+// Backend is a measurable convolution backend (see internal/backend):
+// a simulated library model, real host compute, or an extension such as
+// the hybrid dispatcher.
+type Backend = backend.Backend
+
+// Library is the historical name for Backend, kept so existing callers
+// and examples stay source-compatible.
+type Library = backend.Backend
+
+// Measurement is one profiled layer execution.
+type Measurement = backend.Measurement
 
 // Point is a (channels, latency) sample.
 type Point = profiler.Point
@@ -72,19 +84,33 @@ var (
 func Devices() []Device { return device.All() }
 
 // ACLGEMM returns the Arm Compute Library GEMM-method backend.
-func ACLGEMM() Library { return profiler.ACL(acl.GEMMConv) }
+func ACLGEMM() Library { return backend.ACL(acl.GEMMConv) }
 
 // ACLDirect returns the Arm Compute Library direct-convolution backend.
-func ACLDirect() Library { return profiler.ACL(acl.DirectConv) }
+func ACLDirect() Library { return backend.ACL(acl.DirectConv) }
 
 // CuDNN returns the cuDNN backend (Jetson boards).
-func CuDNN() Library { return profiler.CuDNN() }
+func CuDNN() Library { return backend.CuDNN() }
 
 // TVM returns the TVM OpenCL backend (Mali boards).
-func TVM() Library { return profiler.TVM() }
+func TVM() Library { return backend.TVM() }
 
 // Libraries returns the paper's four library configurations.
-func Libraries() []Library { return profiler.Libraries() }
+func Libraries() []Library { return backend.Simulated() }
+
+// Hybrid returns the per-layer fastest-backend dispatcher (§V outlook).
+func Hybrid() Backend { return hybrid.Library() }
+
+// Autotuned returns the work-group auto-tuned direct backend (§IV-B2
+// future work).
+func Autotuned() Backend { return autotune.Backend() }
+
+// LookupBackend resolves a backend by registry key, e.g. "acl-gemm",
+// "cudnn", "tvm", "real-winograd", "hybrid" or "acl-direct-tuned".
+func LookupBackend(key string) (Backend, error) { return backend.Lookup(key) }
+
+// BackendNames returns every registered backend key, sorted.
+func BackendNames() []string { return backend.Names() }
 
 // ResNet50, VGG16 and AlexNet return the paper's three networks.
 func ResNet50() Network { return nets.ResNet50() }
@@ -98,11 +124,19 @@ func AlexNet() Network { return nets.AlexNet() }
 // Networks returns all three networks.
 func Networks() []Network { return nets.All() }
 
+// Engine is the concurrent, cached sweep engine (see internal/profiler).
+type Engine = profiler.Engine
+
+// NewEngine returns a sweep engine with a fresh measurement cache and a
+// GOMAXPROCS-bounded worker pool.
+func NewEngine() *Engine { return profiler.NewEngine() }
+
 // Sweep measures a layer's latency at every output-channel count in
 // [lo, hi] on the target (median of 10 runs per configuration, as in
-// the paper).
+// the paper). The sweep fans out over a concurrent cached engine; its
+// points are identical to the serial reference path's.
 func Sweep(tg Target, spec ConvSpec, lo, hi int) ([]Point, error) {
-	return profiler.SweepChannels(tg.Library, tg.Device, spec, lo, hi)
+	return profiler.NewEngine().SweepChannels(tg.Library, tg.Device, spec, lo, hi)
 }
 
 // Analyze detects the latency staircase and its right-edge optimal
