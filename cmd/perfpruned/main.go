@@ -1,0 +1,112 @@
+// Command perfpruned is the pruning-as-a-service daemon: it serves the
+// paper's profile → staircase → prune-to-right-edge workflow over
+// HTTP/JSON, sharing one warm measurement cache across every request.
+//
+// Usage:
+//
+//	perfpruned -addr :7070 -workers 8 -backends acl-gemm,acl-direct,cudnn,tvm
+//
+// Endpoints (see README.md for a curl quickstart):
+//
+//	GET  /v1/backends   registered backends and the boards they target
+//	GET  /v1/devices    the paper's four evaluation boards
+//	GET  /v1/networks   the network inventories (ResNet-50, VGG-16, AlexNet)
+//	GET  /v1/stats      measurement-cache and request counters
+//	POST /v1/sweep      layer × channel-range latency curve
+//	POST /v1/staircase  sweep + stair/right-edge analysis
+//	POST /v1/plan       whole-network prune plan under an accuracy budget
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"perfprune/internal/service"
+
+	// Backends self-register at init; link the extension packages so
+	// the daemon's registry matches `perfprune backends`.
+	_ "perfprune/internal/autotune"
+	_ "perfprune/internal/hybrid"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	workers := flag.Int("workers", 0, "per-request sweep workers (0 = GOMAXPROCS)")
+	backends := flag.String("backends", "",
+		"comma-separated backend allowlist (empty = all registered; use the simulated backends for deterministic serving)")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *backends); err != nil {
+		fmt.Fprintf(os.Stderr, "perfpruned: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers int, backends string) error {
+	cfg := service.Config{Workers: workers}
+	if backends != "" {
+		for _, key := range strings.Split(backends, ",") {
+			if key = strings.TrimSpace(key); key != "" {
+				cfg.Backends = append(cfg.Backends, key)
+			}
+		}
+	}
+	srv, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("perfpruned: serving on %s (backends: %s)\n",
+			addr, strings.Join(backendList(cfg), ", "))
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		// Graceful drain: Shutdown stops accepting and waits for
+		// in-flight requests (it does NOT cancel their contexts). If
+		// the drain deadline passes, Close force-closes the remaining
+		// connections, which cancels their request contexts and stops
+		// their sweeps — a clean forced stop, not a failure.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := hs.Shutdown(shutdownCtx)
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Println("perfpruned: drain deadline passed, closing in-flight connections")
+			err = hs.Close()
+		}
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		fmt.Println("perfpruned: shut down")
+		return nil
+	}
+}
+
+func backendList(cfg service.Config) []string {
+	if len(cfg.Backends) > 0 {
+		return cfg.Backends
+	}
+	return []string{"all registered"}
+}

@@ -193,6 +193,53 @@ func TestCacheHitCounting(t *testing.T) {
 	if c.Len() != 3 {
 		t.Errorf("cache holds %d entries, want 3", c.Len())
 	}
+	if s.Entries != 3 {
+		t.Errorf("stats report %d entries, want 3", s.Entries)
+	}
+}
+
+// TestCacheLimitEvicts: a bounded cache must never hold more than its
+// limit of resident completed entries (long-running servers depend on
+// this), and eviction — which picks random completed victims — must
+// only cost re-measurement, never correctness.
+func TestCacheLimitEvicts(t *testing.T) {
+	cb := &countingBackend{}
+	c := NewCacheWithLimit(4)
+	for i := 0; i < 20; i++ {
+		m, err := c.Measure(cb, device.HiKey970, l16(64+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Ms != float64(64+i) {
+			t.Fatalf("lookup %d returned Ms=%v, want %v", i, m.Ms, 64+i)
+		}
+		if n := c.Len(); n > 4 {
+			t.Fatalf("after %d distinct lookups the cache holds %d entries, want <= 4", i+1, n)
+		}
+	}
+	// An immediate repeat is a hit: a lookup never evicts its own key.
+	hitsBefore := c.Stats().Hits
+	if m, err := c.Measure(cb, device.HiKey970, l16(83)); err != nil || m.Ms != 83 {
+		t.Fatalf("repeat lookup: m=%+v err=%v", m, err)
+	}
+	if c.Stats().Hits != hitsBefore+1 {
+		t.Errorf("just-inserted entry missed the cache")
+	}
+	// Evicted keys re-execute and re-memoize with correct values; the
+	// 20 distinct keys above can hold at most 4 residencies, so most
+	// of this pass re-measures.
+	for i := 0; i < 20; i++ {
+		m, err := c.Measure(cb, device.HiKey970, l16(64+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Ms != float64(64+i) {
+			t.Fatalf("re-lookup %d returned Ms=%v, want %v", i, m.Ms, 64+i)
+		}
+		if n := c.Len(); n > 4 {
+			t.Fatalf("re-lookup %d left %d entries, want <= 4", i, n)
+		}
+	}
 }
 
 func TestCacheSingleFlight(t *testing.T) {

@@ -37,14 +37,41 @@ type cacheEntry struct {
 type Cache struct {
 	mu      sync.Mutex
 	entries map[cacheKey]*cacheEntry
+	limit   int // 0 = unbounded
 	hits    atomic.Uint64
 	misses  atomic.Uint64
 }
 
-// NewCache returns an empty measurement cache.
+// NewCache returns an empty, unbounded measurement cache — the right
+// choice for one-shot pipelines whose working set is the sweep grid
+// itself.
 func NewCache() *Cache {
 	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
 }
+
+// NewCacheWithLimit returns a cache bounded by amortized random
+// eviction: when inserting a miss finds limit (or more) resident
+// entries, a small batch of completed entries is dropped first.
+// Long-running servers need this — without a bound, a client feeding
+// ever-new configurations grows the process monotonically. Eviction
+// never touches in-flight entries, preserving the at-most-once
+// single-flight guarantee (so the resident count can transiently
+// exceed limit by the number of concurrent executions), and the
+// per-miss work is bounded by the batch size, so no lookup ever
+// stalls the cache behind a full-map sweep. An evicted configuration
+// costs only re-measurement — the memoized backends are deterministic
+// functions. limit <= 0 means unbounded.
+func NewCacheWithLimit(limit int) *Cache {
+	c := NewCache()
+	c.limit = limit
+	return c
+}
+
+// evictBatch bounds how many entries one miss may examine (and so
+// evict) while holding the cache lock: large enough to keep the
+// resident count hovering at the limit, small enough that the stall
+// is microseconds.
+const evictBatch = 1024
 
 // Measure returns the memoized measurement for (b, dev, spec),
 // executing b.Measure at most once per configuration. Concurrent calls
@@ -63,6 +90,35 @@ func (c *Cache) Measure(b Backend, dev device.Device, spec conv.ConvSpec) (Measu
 		c.hits.Add(1)
 		return e.m, e.err
 	}
+	if c.limit > 0 && len(c.entries) >= c.limit {
+		// Amortized eviction, sampled by Go's randomized map iteration:
+		// free an eighth of the cache (at least one entry, at most
+		// evictBatch) so the next limit/8 misses insert without more
+		// eviction work, while small caches shed one entry at a time
+		// instead of emptying. In-flight entries stay, or a racing
+		// lookup would re-execute their measurement and break
+		// single-flight.
+		target := c.limit / 8
+		if target < 1 {
+			target = 1
+		}
+		if target > evictBatch {
+			target = evictBatch
+		}
+		examined, evicted := 0, 0
+		for key, entry := range c.entries {
+			if evicted >= target || examined >= evictBatch {
+				break
+			}
+			examined++
+			select {
+			case <-entry.done:
+				delete(c.entries, key)
+				evicted++
+			default:
+			}
+		}
+	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[k] = e
 	c.mu.Unlock()
@@ -75,10 +131,12 @@ func (c *Cache) Measure(b Backend, dev device.Device, spec conv.ConvSpec) (Measu
 
 // Stats reports the cache's hit and miss counts. A hit is any lookup
 // served from a completed or in-flight entry; a miss executed the
-// backend.
+// backend. Entries is the number of memoized configurations resident
+// at snapshot time.
 type Stats struct {
-	Hits   uint64
-	Misses uint64
+	Hits    uint64
+	Misses  uint64
+	Entries int
 }
 
 // HitRate returns hits / (hits + misses), or 0 for an unused cache.
@@ -90,9 +148,15 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Stats returns a snapshot of the hit/miss counters.
+// Stats returns a snapshot of the hit/miss counters and the resident
+// entry count. The three fields are read without a common lock, so a
+// snapshot taken during concurrent lookups may be transiently skewed by
+// in-flight increments; it is exact once the cache is quiescent.
 func (c *Cache) Stats() Stats {
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
 }
 
 // Len returns the number of memoized configurations.

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -71,17 +72,17 @@ func (lp LayerProfile) TimeAt(c int) (float64, error) {
 // ProfileLayer sweeps a layer's channel counts from 1 to its full width
 // on the target and analyzes the staircase.
 func ProfileLayer(tg Target, layer nets.Layer) (LayerProfile, error) {
-	return profileLayer(profiler.NewEngine(), tg, layer)
+	return profileLayer(context.Background(), profiler.NewEngine(), tg, layer)
 }
 
 // profileLayer runs one layer's sweep through a (shared) concurrent
 // engine. The engine's output is deterministic, so profiles are
 // identical to the serial path's.
-func profileLayer(e *profiler.Engine, tg Target, layer nets.Layer) (LayerProfile, error) {
+func profileLayer(ctx context.Context, e *profiler.Engine, tg Target, layer nets.Layer) (LayerProfile, error) {
 	if err := tg.Validate(); err != nil {
 		return LayerProfile{}, err
 	}
-	curve, err := e.SweepChannels(tg.Library, tg.Device, layer.Spec, 1, layer.Spec.OutC)
+	curve, err := e.SweepChannelsContext(ctx, tg.Library, tg.Device, layer.Spec, 1, layer.Spec.OutC)
 	if err != nil {
 		return LayerProfile{}, err
 	}
@@ -103,6 +104,18 @@ type NetworkProfile struct {
 
 // ProfileNetwork sweeps all layers of n on the target.
 func ProfileNetwork(tg Target, n nets.Network) (*NetworkProfile, error) {
+	// One concurrent engine serves the whole network: each layer's sweep
+	// fans out over the worker pool, and the cache collapses the median
+	// protocol's repeated runs to one execution per configuration.
+	return ProfileNetworkContext(context.Background(), profiler.NewEngine(), tg, n)
+}
+
+// ProfileNetworkContext sweeps all layers of n on the target through a
+// caller-provided engine, so long-lived callers (the planning service)
+// share one measurement cache across profiles, and abandons the run as
+// soon as ctx is done. Results are independent of the engine's worker
+// count and of cache warmth.
+func ProfileNetworkContext(ctx context.Context, eng *profiler.Engine, tg Target, n nets.Network) (*NetworkProfile, error) {
 	if err := tg.Validate(); err != nil {
 		return nil, err
 	}
@@ -114,10 +127,6 @@ func ProfileNetwork(tg Target, n nets.Network) (*NetworkProfile, error) {
 		Network:  n,
 		Profiles: make(map[string]LayerProfile, len(n.Layers)),
 	}
-	// One concurrent engine serves the whole network: each layer's sweep
-	// fans out over the worker pool, and the cache collapses the median
-	// protocol's repeated runs to one execution per configuration.
-	eng := profiler.NewEngine()
 	byShape := make(map[string]LayerProfile)
 	for _, l := range n.Layers {
 		key := shapeKey(l)
@@ -125,7 +134,7 @@ func ProfileNetwork(tg Target, n nets.Network) (*NetworkProfile, error) {
 			np.Profiles[l.Label] = LayerProfile{Layer: l, Curve: cached.Curve, Analysis: cached.Analysis}
 			continue
 		}
-		lp, err := profileLayer(eng, tg, l)
+		lp, err := profileLayer(ctx, eng, tg, l)
 		if err != nil {
 			return nil, err
 		}

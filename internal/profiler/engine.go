@@ -11,6 +11,7 @@ package profiler
 // deterministic simulated backends.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -96,13 +97,21 @@ func (e *Engine) MeasureMedian(lib Library, dev device.Device, spec conv.ConvSpe
 // concurrently. Points are returned in increasing channel order and,
 // for deterministic backends, match the serial SweepChannels exactly.
 func (e *Engine) SweepChannels(lib Library, dev device.Device, spec conv.ConvSpec, lo, hi int) ([]Point, error) {
+	return e.SweepChannelsContext(context.Background(), lib, dev, spec, lo, hi)
+}
+
+// SweepChannelsContext is SweepChannels with cancellation: when ctx is
+// done the pool stops claiming new configurations, waits for in-flight
+// measurements, and returns ctx.Err(). A sweep abandoned by its caller
+// (an HTTP client disconnecting) therefore stops consuming workers
+// almost immediately instead of finishing the grid.
+func (e *Engine) SweepChannelsContext(ctx context.Context, lib Library, dev device.Device, spec conv.ConvSpec, lo, hi int) ([]Point, error) {
 	if lo < 1 || hi < lo {
 		return nil, fmt.Errorf("profiler: invalid sweep range [%d, %d]", lo, hi)
 	}
 	n := hi - lo + 1
 	points := make([]Point, n)
-	errs := make([]error, n)
-	e.fanOut(n, e.workersFor(lib), func(i int) error {
+	if err := e.fanOut(ctx, n, e.workersFor(lib), func(i int) error {
 		c := lo + i
 		m, err := e.MeasureMedian(lib, dev, spec.WithOutC(c))
 		if err != nil {
@@ -110,11 +119,8 @@ func (e *Engine) SweepChannels(lib Library, dev device.Device, spec conv.ConvSpe
 		}
 		points[i] = Point{Channels: c, Ms: m.Ms}
 		return nil
-	}, errs)
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	}); err != nil {
+		return nil, err
 	}
 	return points, nil
 }
@@ -123,10 +129,15 @@ func (e *Engine) SweepChannels(lib Library, dev device.Device, spec conv.ConvSpe
 // concurrently (baseline first, clamping at one channel), matching the
 // serial SweepPruneDistances point for point.
 func (e *Engine) SweepPruneDistances(lib Library, dev device.Device, spec conv.ConvSpec, distances []int) ([]Point, error) {
+	return e.SweepPruneDistancesContext(context.Background(), lib, dev, spec, distances)
+}
+
+// SweepPruneDistancesContext is SweepPruneDistances with cancellation
+// (see SweepChannelsContext).
+func (e *Engine) SweepPruneDistancesContext(ctx context.Context, lib Library, dev device.Device, spec conv.ConvSpec, distances []int) ([]Point, error) {
 	n := len(distances) + 1
 	points := make([]Point, n)
-	errs := make([]error, n)
-	e.fanOut(n, e.workersFor(lib), func(i int) error {
+	if err := e.fanOut(ctx, n, e.workersFor(lib), func(i int) error {
 		c := spec.OutC
 		if i > 0 {
 			c -= distances[i-1]
@@ -140,11 +151,8 @@ func (e *Engine) SweepPruneDistances(lib Library, dev device.Device, spec conv.C
 		}
 		points[i] = Point{Channels: c, Ms: m.Ms}
 		return nil
-	}, errs)
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	}); err != nil {
+		return nil, err
 	}
 	return points, nil
 }
@@ -159,22 +167,34 @@ func (e *Engine) workersFor(lib Library) int {
 	return e.workers
 }
 
-// fanOut runs job(0..n-1) on the bounded worker pool. Workers claim
-// indices in order and stop claiming new ones after the first error, so
-// the lowest-index error is always recorded in errs — callers scanning
-// errs in order report the same failure the serial path would.
-func (e *Engine) fanOut(n, workers int, job func(i int) error, errs []error) {
+// fanOut runs job(0..n-1) on the bounded worker pool and returns the
+// lowest-index job error, matching the failure the serial path would
+// report. Workers claim indices in order and stop claiming new ones
+// after the first error or once ctx is done; in-flight jobs always run
+// to completion, so a measurement is never abandoned halfway (which
+// also keeps the single-flight cache's waiters safe — every started
+// entry completes). Job errors take precedence over cancellation: a
+// ctx that is cancelled while a worker is already failing never masks
+// the real error.
+func (e *Engine) fanOut(ctx context.Context, n, workers int, job func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
-	var next atomic.Int64
+	errs := make([]error, n)
+	var next, completed atomic.Int64
 	var failed atomic.Bool
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
@@ -182,9 +202,22 @@ func (e *Engine) fanOut(n, workers int, job func(i int) error, errs []error) {
 				if err := job(i); err != nil {
 					errs[i] = err
 					failed.Store(true)
+				} else {
+					completed.Add(1)
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if int(completed.Load()) == n {
+		// Every job ran: the result is complete and valid even if ctx
+		// fired at the finish line — don't discard finished work.
+		return nil
+	}
+	return ctx.Err()
 }

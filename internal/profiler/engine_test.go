@@ -1,9 +1,12 @@
 package profiler
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"perfprune/internal/acl"
 	"perfprune/internal/conv"
@@ -138,6 +141,106 @@ func TestEngineErrorsMatchSerial(t *testing.T) {
 	}
 	if _, err := e.SweepChannels(CuDNN(), device.JetsonTX2, l16(128), 10, 5); err == nil {
 		t.Error("hi<lo accepted")
+	}
+}
+
+// slowCounter is a deterministic backend with real wall-clock cost per
+// measurement, for cancellation tests.
+type slowCounter struct {
+	delay time.Duration
+	calls atomic.Int64
+	fail  func(spec conv.ConvSpec) error
+}
+
+func (s *slowCounter) Name() string                { return "slow-counter" }
+func (s *slowCounter) Supports(device.Device) bool { return true }
+func (s *slowCounter) Measure(_ device.Device, spec conv.ConvSpec) (Measurement, error) {
+	s.calls.Add(1)
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	if s.fail != nil {
+		if err := s.fail(spec); err != nil {
+			return Measurement{}, err
+		}
+	}
+	return Measurement{Ms: float64(spec.OutC), Jobs: 1}, nil
+}
+
+// TestSweepContextCancelStopsClaiming: cancelling mid-sweep must stop
+// the pool from claiming new configurations and surface ctx.Err().
+func TestSweepContextCancelStopsClaiming(t *testing.T) {
+	lib := &slowCounter{delay: 2 * time.Millisecond}
+	e := NewEngine(WithWorkers(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	_, err := e.SweepChannelsContext(ctx, lib, device.HiKey970, l16(512), 1, 512)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls := lib.calls.Load(); calls >= 256 {
+		t.Errorf("backend ran %d of 512 configurations after early cancel", calls)
+	}
+}
+
+// TestSweepContextPreCancelled: an already-dead context must not run
+// the backend at all.
+func TestSweepContextPreCancelled(t *testing.T) {
+	lib := &slowCounter{}
+	e := NewEngine(WithWorkers(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.SweepChannelsContext(ctx, lib, device.HiKey970, l16(128), 1, 128); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls := lib.calls.Load(); calls != 0 {
+		t.Errorf("backend ran %d times under a pre-cancelled context", calls)
+	}
+	// SweepPruneDistancesContext shares the same pool.
+	if _, err := e.SweepPruneDistancesContext(ctx, lib, device.HiKey970, l16(128), PruneDistances); !errors.Is(err, context.Canceled) {
+		t.Fatalf("prune-distance err = %v, want context.Canceled", err)
+	}
+}
+
+// TestWorkerErrorBeatsCancellation pins the propagation contract: when
+// a worker fails and the context is cancelled in the same instant (here
+// the failing measurement itself cancels it), the real error must win —
+// cancellation never masks a failure.
+func TestWorkerErrorBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	lib := &slowCounter{fail: func(spec conv.ConvSpec) error {
+		if spec.OutC == 1 { // the first configuration every sweep claims
+			cancel()
+			return boom
+		}
+		return nil
+	}}
+	e := NewEngine(WithWorkers(4))
+	_, err := e.SweepChannelsContext(ctx, lib, device.HiKey970, l16(64), 1, 64)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the worker's failure to beat ctx.Err()", err)
+	}
+}
+
+// TestSweepContextMatchesPlainSweep: a never-cancelled context is
+// byte-identical to the context-free path.
+func TestSweepContextMatchesPlainSweep(t *testing.T) {
+	e := NewEngine()
+	plain, err := e.SweepChannels(ACL(acl.GEMMConv), device.HiKey970, l16(128), 80, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := NewEngine().SweepChannelsContext(context.Background(), ACL(acl.GEMMConv), device.HiKey970, l16(128), 80, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%v", plain) != fmt.Sprintf("%v", withCtx) {
+		t.Errorf("context path diverged:\ngot  %v\nwant %v", withCtx, plain)
 	}
 }
 

@@ -1,0 +1,128 @@
+package prune
+
+// Property test for the §II-B channel-removal transformation: pruning
+// output channel p of a filter bank and running the real direct
+// convolution (the kernel behind the "real-direct" backend) must equal
+// the reference convolution of the unpruned bank restricted to the
+// surviving channels — bit-exact, because direct convolution
+// accumulates each output channel independently, so removing one
+// channel cannot perturb any other channel's arithmetic.
+
+import (
+	"math"
+	"testing"
+
+	"perfprune/internal/conv"
+	"perfprune/internal/tensor"
+)
+
+func TestChannelPruneMatchesReferenceDirect(t *testing.T) {
+	r := tensor.NewRand(0x5eed)
+	const trials = 48
+	for trial := 0; trial < trials; trial++ {
+		spec := conv.ConvSpec{
+			Name:    "prop",
+			InH:     3 + r.Intn(6),
+			InW:     3 + r.Intn(6),
+			InC:     1 + r.Intn(4),
+			OutC:    2 + r.Intn(7),
+			KH:      1 + 2*r.Intn(2), // 1 or 3
+			KW:      1 + 2*r.Intn(2),
+			StrideH: 1 + r.Intn(2),
+			StrideW: 1 + r.Intn(2),
+			PadH:    r.Intn(2),
+			PadW:    r.Intn(2),
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid spec %v: %v", trial, spec, err)
+		}
+		in := tensor.New(tensor.NHWC, 1, spec.InH, spec.InW, spec.InC)
+		in.RandomUniform(tensor.Hash64(spec.Name)+uint64(trial), 1)
+		w := tensor.New(tensor.OHWI, spec.OutC, spec.KH, spec.KW, spec.InC)
+		w.HeInit(tensor.Hash64(spec.Name+"/w")+uint64(trial), spec.ReductionK())
+
+		full, err := conv.Direct(spec, in, w)
+		if err != nil {
+			t.Fatalf("trial %d: reference conv: %v", trial, err)
+		}
+
+		p := r.Intn(spec.OutC)
+		pw, err := Channel(w, p)
+		if err != nil {
+			t.Fatalf("trial %d: pruning channel %d of %d: %v", trial, p, spec.OutC, err)
+		}
+		pruned, err := conv.Direct(spec.WithOutC(spec.OutC-1), in, pw)
+		if err != nil {
+			t.Fatalf("trial %d: pruned conv: %v", trial, err)
+		}
+
+		// The pruned output must be the reference output with channel p
+		// deleted and everything above re-indexed down — bit for bit.
+		fd, pd := full.Data(), pruned.Data()
+		keep := spec.OutC - 1
+		for pos := 0; pos < spec.OutSpatial(); pos++ {
+			for oc := 0; oc < keep; oc++ {
+				orig := oc
+				if oc >= p {
+					orig = oc + 1
+				}
+				got := pd[pos*keep+oc]
+				want := fd[pos*spec.OutC+orig]
+				if math.Float32bits(got) != math.Float32bits(want) {
+					t.Fatalf("trial %d (%v, pruned %d): output[%d, ch %d] = %v, want %v (original ch %d)",
+						trial, spec, p, pos, oc, got, want, orig)
+				}
+			}
+		}
+	}
+}
+
+// TestToWidthSurvivorsMatchReferenceDirect extends the property to the
+// repeated-removal path: pruning to an arbitrary width applies the
+// §II-B step once per doomed channel, and the compact layer's direct
+// convolution must match the reference restricted to exactly the
+// survivor list ToWidth reports — under a magnitude criterion, where
+// the survivors are not just a prefix.
+func TestToWidthSurvivorsMatchReferenceDirect(t *testing.T) {
+	r := tensor.NewRand(0xbeef)
+	for trial := 0; trial < 16; trial++ {
+		spec := conv.ConvSpec{
+			Name: "prop-width",
+			InH:  5, InW: 5, InC: 1 + r.Intn(3), OutC: 3 + r.Intn(8),
+			KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+		}
+		in := tensor.New(tensor.NHWC, 1, spec.InH, spec.InW, spec.InC)
+		in.RandomUniform(tensor.Hash64(spec.Name)+uint64(trial), 1)
+		w := tensor.New(tensor.OHWI, spec.OutC, spec.KH, spec.KW, spec.InC)
+		w.HeInit(tensor.Hash64(spec.Name+"/w")+uint64(trial), spec.ReductionK())
+
+		keep := 1 + r.Intn(spec.OutC)
+		pw, survivors, err := ToWidth(w, keep, L1Magnitude)
+		if err != nil {
+			t.Fatalf("trial %d: ToWidth(%d of %d): %v", trial, keep, spec.OutC, err)
+		}
+		if len(survivors) != keep {
+			t.Fatalf("trial %d: %d survivors, want %d", trial, len(survivors), keep)
+		}
+
+		full, err := conv.Direct(spec, in, w)
+		if err != nil {
+			t.Fatalf("trial %d: reference conv: %v", trial, err)
+		}
+		pruned, err := conv.Direct(spec.WithOutC(keep), in, pw)
+		if err != nil {
+			t.Fatalf("trial %d: pruned conv: %v", trial, err)
+		}
+		fd, pd := full.Data(), pruned.Data()
+		for pos := 0; pos < spec.OutSpatial(); pos++ {
+			for k, orig := range survivors {
+				got := pd[pos*keep+k]
+				want := fd[pos*spec.OutC+orig]
+				if math.Float32bits(got) != math.Float32bits(want) {
+					t.Fatalf("trial %d (keep %d of %d): output[%d, survivor %d] = %v, want reference ch %d = %v",
+						trial, keep, spec.OutC, pos, k, got, orig, want)
+				}
+			}
+		}
+	}
+}

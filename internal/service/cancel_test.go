@@ -1,0 +1,86 @@
+package service_test
+
+// Client-disconnect behavior: a sweep whose client goes away must stop
+// claiming work almost immediately instead of finishing the grid. The
+// test registers a deliberately slow deterministic backend so the
+// sweep is long enough to abandon mid-flight.
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+	"perfprune/internal/service"
+)
+
+// slowSim is a deterministic test backend whose every measurement
+// takes a fixed wall-clock delay (the simulated *result* is constant,
+// so memoization stays valid).
+type slowSim struct {
+	delay time.Duration
+	calls atomic.Int64
+}
+
+func (s *slowSim) Name() string                { return "Svc-Slow" }
+func (s *slowSim) Supports(device.Device) bool { return true }
+func (s *slowSim) Measure(_ device.Device, spec conv.ConvSpec) (backend.Measurement, error) {
+	s.calls.Add(1)
+	time.Sleep(s.delay)
+	return backend.Measurement{Ms: float64(spec.OutC), Jobs: 1}, nil
+}
+
+// slow is registered once for the test binary.
+var slow = func() *slowSim {
+	s := &slowSim{delay: 5 * time.Millisecond}
+	backend.Register("svc-slow", s)
+	return s
+}()
+
+func TestClientDisconnectAbortsSweep(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: []string{"svc-slow"}, Workers: 2})
+
+	// 400 configurations x 5 ms on 2 workers ≈ 1 s of work; the client
+	// gives up after 60 ms.
+	body := `{"backend": "svc-slow", "device": "HiKey 970",
+		"spec": {"name": "slow", "in_h": 4, "in_w": 4, "in_c": 1, "out_c": 400, "k_h": 1, "k_w": 1}}`
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/sweep", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("request succeeded; expected the client timeout to abort it")
+	}
+
+	// The server must quiesce promptly: workers finish their in-flight
+	// measurement and stop claiming. Wait for the call counter to go
+	// stable, then check how much of the grid actually ran.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		before := slow.calls.Load()
+		time.Sleep(50 * time.Millisecond)
+		if slow.calls.Load() == before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep kept measuring long after the client disconnected")
+		}
+	}
+	calls := slow.calls.Load()
+	if calls >= 200 {
+		t.Errorf("backend ran %d of 400 configurations after a 60 ms disconnect; cancellation is not propagating", calls)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("client unblocked after %v, want well under the full-sweep time", elapsed)
+	}
+}

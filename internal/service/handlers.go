@@ -1,0 +1,435 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/conv"
+	"perfprune/internal/core"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/profiler"
+	"perfprune/internal/staircase"
+)
+
+// handleBackends lists the backends this server serves, with the
+// devices each can target.
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	s.reqBackends.Add(1)
+	keys := s.backendKeys()
+	out := make([]BackendInfo, 0, len(keys))
+	for _, key := range keys {
+		b, err := backend.Lookup(key)
+		if err != nil {
+			continue // unregistered allowlist keys are rejected in New
+		}
+		devices := []string{}
+		for _, d := range device.All() {
+			if b.Supports(d) {
+				devices = append(devices, d.Name)
+			}
+		}
+		out = append(out, BackendInfo{
+			Key:           key,
+			Name:          b.Name(),
+			Deterministic: backend.IsDeterministic(b),
+			Devices:       devices,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDevices lists the paper's four evaluation boards.
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	s.reqDevices.Add(1)
+	out := make([]DeviceInfo, 0, 4)
+	for _, d := range device.All() {
+		out = append(out, DeviceInfo{
+			Name:     d.Name,
+			SoC:      d.SoC,
+			API:      d.API.String(),
+			GPU:      d.GPU.Name,
+			Cores:    d.GPU.Cores,
+			ClockMHz: d.GPU.ClockMHz,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleNetworks lists the network inventories available to /v1/plan
+// and to layer-addressed sweeps.
+func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
+	s.reqNetworks.Add(1)
+	all := nets.All()
+	out := make([]NetworkInfo, 0, len(all))
+	for _, n := range all {
+		layers := make([]LayerInfo, 0, len(n.Layers))
+		for _, l := range n.Layers {
+			layers = append(layers, LayerInfo{
+				Label:    l.Label,
+				Channels: l.Spec.OutC,
+				Unique:   l.Unique,
+				MACs:     l.Spec.MACs(),
+			})
+		}
+		out = append(out, NetworkInfo{Name: n.Name, TotalMACs: n.TotalMACs(), Layers: layers})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStats reports the shared cache and per-endpoint request
+// counters — the coalescing observability the concurrency tests assert
+// on.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.reqStats.Add(1)
+	cs := s.cache.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Cache: CacheStats{
+			Hits:    cs.Hits,
+			Misses:  cs.Misses,
+			HitRate: cs.HitRate(),
+			Entries: cs.Entries,
+		},
+		Requests: RequestStats{
+			Backends:  s.reqBackends.Load(),
+			Devices:   s.reqDevices.Load(),
+			Networks:  s.reqNetworks.Load(),
+			Sweep:     s.reqSweep.Load(),
+			Staircase: s.reqStaircase.Load(),
+			Plan:      s.reqPlan.Load(),
+			Stats:     s.reqStats.Load(),
+		},
+		Workers: s.workers,
+	})
+}
+
+// sweepTarget is a fully resolved sweep request.
+type sweepTarget struct {
+	lib    backend.Backend
+	dev    device.Device
+	spec   conv.ConvSpec
+	lo, hi int
+}
+
+// resolveTarget resolves and validates a (backend, device) pair: an
+// unknown name is the client's mistake (400), a known-but-incompatible
+// pairing is unsatisfiable (422). Shared by every measuring endpoint
+// so they reject the same invalid target identically.
+func (s *Server) resolveTarget(backendKey, deviceName string) (backend.Backend, device.Device, error) {
+	lib, err := s.resolveBackend(backendKey)
+	if err != nil {
+		return nil, device.Device{}, badRequest("%v", err)
+	}
+	dev, err := device.ByName(deviceName)
+	if err != nil {
+		return nil, device.Device{}, badRequest("%v", err)
+	}
+	if !lib.Supports(dev) {
+		return nil, device.Device{}, unprocessable(targetMismatch(lib, dev))
+	}
+	return lib, dev, nil
+}
+
+// resolveSweep validates a SweepRequest against the registry, the
+// device catalog and the network inventories.
+func (s *Server) resolveSweep(req SweepRequest) (sweepTarget, error) {
+	var st sweepTarget
+	lib, dev, err := s.resolveTarget(req.Backend, req.Device)
+	if err != nil {
+		return st, err
+	}
+
+	switch {
+	case req.Spec != nil && (req.Network != "" || req.Layer != ""):
+		return st, badRequest("specify either network+layer or an inline spec, not both")
+	case req.Spec != nil:
+		st.spec = specFromRequest(*req.Spec)
+		if err := st.spec.Validate(); err != nil {
+			return st, badRequest("%v", err)
+		}
+	case req.Network != "" || req.Layer != "":
+		if req.Network == "" || req.Layer == "" {
+			return st, badRequest("layer-addressed sweeps need both network and layer")
+		}
+		n, err := nets.ByName(req.Network)
+		if err != nil {
+			return st, badRequest("%v", err)
+		}
+		l, ok := n.Layer(req.Layer)
+		if !ok {
+			return st, badRequest("network %s has no layer %q", n.Name, req.Layer)
+		}
+		st.spec = l.Spec
+	default:
+		return st, badRequest("specify network+layer or an inline spec")
+	}
+
+	st.lib, st.dev = lib, dev
+	st.lo, st.hi = req.Lo, req.Hi
+	if st.lo == 0 {
+		st.lo = 1
+	}
+	if st.hi == 0 {
+		st.hi = st.spec.OutC
+	}
+	switch {
+	case st.lo < 1:
+		return st, badRequest("lo %d must be >= 1", st.lo)
+	case st.hi < st.lo:
+		return st, badRequest("empty sweep range [%d, %d]", st.lo, st.hi)
+	case st.hi > maxSweepChannels:
+		return st, badRequest("hi %d exceeds the per-request limit of %d channels", st.hi, maxSweepChannels)
+	}
+	if err := checkSweepBounds(st.spec, st.hi); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// checkSweepBounds rejects configurations whose tensors would exceed
+// the per-request memory budget. conv.ConvSpec.Validate only checks
+// positivity, which is fine for library callers but not for a server
+// accepting arbitrary inline specs: a real-compute backend actually
+// allocates the input, weight, output and im2col tensors. Every
+// inventory layer passes trivially.
+func checkSweepBounds(spec conv.ConvSpec, hi int) error {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{
+		{"in_h", spec.InH}, {"in_w", spec.InW}, {"in_c", spec.InC},
+		{"k_h", spec.KH}, {"k_w", spec.KW},
+		{"stride_h", spec.StrideH}, {"stride_w", spec.StrideW},
+		{"pad_h", spec.PadH}, {"pad_w", spec.PadW},
+	} {
+		if d.v > maxSpecDim {
+			return badRequest("%s = %d exceeds the per-request limit of %d", d.name, d.v, maxSpecDim)
+		}
+	}
+	// All products fit in int64: each factor is <= 2^16 (dims) or
+	// <= 2^12 (hi, capped at maxSweepChannels).
+	elems := []struct {
+		name string
+		v    int64
+	}{
+		{"input", int64(spec.InH) * int64(spec.InW) * int64(spec.InC)},
+		{"weights", int64(hi) * int64(spec.KH) * int64(spec.KW) * int64(spec.InC)},
+		{"output", int64(spec.OutSpatial()) * int64(hi)},
+		{"im2col scratch", int64(spec.OutSpatial()) * int64(spec.ReductionK())},
+	}
+	for _, e := range elems {
+		if e.v > maxSpecElems {
+			return badRequest("%s tensor of %d elements exceeds the per-request limit of %d", e.name, e.v, maxSpecElems)
+		}
+	}
+	return nil
+}
+
+// targetMismatch is the §III-A incompatibility: the backend cannot
+// target the requested board's API.
+func targetMismatch(lib backend.Backend, dev device.Device) error {
+	return fmt.Errorf("%s does not target %s (%s)", lib.Name(), dev.Name, dev.API)
+}
+
+func specFromRequest(r SpecRequest) conv.ConvSpec {
+	name := r.Name
+	if name == "" {
+		name = "custom"
+	}
+	strideH, strideW := r.StrideH, r.StrideW
+	if strideH == 0 {
+		strideH = 1
+	}
+	if strideW == 0 {
+		strideW = 1
+	}
+	return conv.ConvSpec{
+		Name: name,
+		InH:  r.InH, InW: r.InW, InC: r.InC, OutC: r.OutC,
+		KH: r.KH, KW: r.KW,
+		StrideH: strideH, StrideW: strideW,
+		PadH: r.PadH, PadW: r.PadW,
+	}
+}
+
+// runSweep is the shared front half of the sweep and staircase
+// endpoints: decode, resolve, execute on the shared engine under the
+// request's context. It writes the error response itself; ok is false
+// when the response is already handled (including the no-response case
+// of a vanished client, whose cancelled sweep stops consuming
+// workers).
+func (s *Server) runSweep(w http.ResponseWriter, r *http.Request) (req SweepRequest, st sweepTarget, points []profiler.Point, ok bool) {
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return req, st, nil, false
+	}
+	st, err := s.resolveSweep(req)
+	if err != nil {
+		writeError(w, err)
+		return req, st, nil, false
+	}
+	points, err = s.engine.SweepChannelsContext(r.Context(), st.lib, st.dev, st.spec, st.lo, st.hi)
+	if err != nil {
+		// The engine reports a job failure in preference to ctx.Err(),
+		// so inspect the error itself: only a pure cancellation (the
+		// client vanished) goes unanswered — a real failure that races
+		// a disconnect is still written, as DESIGN.md §6 promises.
+		if !isCancellation(err) {
+			writeError(w, unprocessable(err))
+		}
+		return req, st, nil, false
+	}
+	return req, st, points, true
+}
+
+// isCancellation reports whether err is a context cancellation or
+// deadline rather than a real pipeline failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// handleSweep serves POST /v1/sweep: one layer × channel-range latency
+// curve.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.reqSweep.Add(1)
+	req, st, points, ok := s.runSweep(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sweepResponse(req, st, points))
+}
+
+func sweepResponse(req SweepRequest, st sweepTarget, points []profiler.Point) SweepResponse {
+	wire := make([]Point, len(points))
+	for i, p := range points {
+		wire[i] = Point{Channels: p.Channels, Ms: p.Ms}
+	}
+	return SweepResponse{
+		Backend: req.Backend,
+		Device:  st.dev.Name,
+		Layer:   st.spec.Name,
+		Lo:      st.lo,
+		Hi:      st.hi,
+		Points:  wire,
+	}
+}
+
+// handleStaircase serves POST /v1/staircase: a sweep plus the stair /
+// right-edge analysis of §IV.
+func (s *Server) handleStaircase(w http.ResponseWriter, r *http.Request) {
+	s.reqStaircase.Add(1)
+	req, st, points, ok := s.runSweep(w, r)
+	if !ok {
+		return
+	}
+	an, err := staircase.Analyze(points)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := StaircaseResponse{
+		SweepResponse: sweepResponse(req, st, points),
+		Stairs:        make([]Stair, 0, len(an.Stairs)),
+		Edges:         make([]Point, 0, len(an.Edges)),
+		MaxStep:       an.MaxStep(),
+	}
+	for _, stair := range an.Stairs {
+		resp.Stairs = append(resp.Stairs, Stair{LoC: stair.LoC, HiC: stair.HiC, Ms: stair.Ms})
+	}
+	for _, e := range an.Edges {
+		resp.Edges = append(resp.Edges, Point{Channels: e.Channels, Ms: e.Ms})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePlan serves POST /v1/plan: profile every layer of a network on
+// the target (through the shared cache), then run the paper's
+// performance-aware planning loop under the accuracy budget.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.reqPlan.Add(1)
+	var req PlanRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	targetSpeedup := 1.5
+	if req.TargetSpeedup != nil {
+		targetSpeedup = *req.TargetSpeedup
+	}
+	maxAccuracyDrop := 2.0
+	if req.MaxAccuracyDrop != nil {
+		maxAccuracyDrop = *req.MaxAccuracyDrop
+	}
+	switch {
+	case targetSpeedup < 1:
+		writeError(w, badRequest("target_speedup %v must be >= 1", targetSpeedup))
+		return
+	case maxAccuracyDrop < 0:
+		writeError(w, badRequest("max_accuracy_drop %v must be >= 0", maxAccuracyDrop))
+		return
+	case req.UninstructedFraction < 0 || req.UninstructedFraction >= 1:
+		writeError(w, badRequest("uninstructed_fraction %v outside [0, 1)", req.UninstructedFraction))
+		return
+	}
+	lib, dev, err := s.resolveTarget(req.Backend, req.Device)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	n, err := nets.ByName(req.Network)
+	if err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	tg := core.Target{Device: dev, Library: lib}
+
+	np, err := core.ProfileNetworkContext(r.Context(), s.engine, tg, n)
+	if err != nil {
+		if isCancellation(err) {
+			return // client gone; nobody to answer
+		}
+		writeError(w, unprocessable(err))
+		return
+	}
+	pl, err := core.NewPlanner(np)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	aware, err := pl.PerformanceAware(targetSpeedup, maxAccuracyDrop)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := PlanResponse{
+		Backend:          req.Backend,
+		Device:           dev.Name,
+		Network:          n.Name,
+		BaselineMs:       aware.BaselineMs,
+		BaselineAccuracy: pl.Acc.Base,
+		PerformanceAware: planEval(aware),
+	}
+	if req.UninstructedFraction > 0 {
+		unin, err := pl.Uninstructed(req.UninstructedFraction)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		ue := planEval(unin)
+		resp.Uninstructed = &ue
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func planEval(res core.PlanResult) PlanEval {
+	return PlanEval{
+		Plan:         res.Plan,
+		LatencyMs:    res.LatencyMs,
+		Speedup:      res.Speedup,
+		Accuracy:     res.Accuracy,
+		AccuracyDrop: res.AccuracyDrop,
+	}
+}

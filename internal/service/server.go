@@ -1,0 +1,216 @@
+// Package service is the serving layer of the reproduction: an
+// HTTP/JSON daemon exposing the paper's full workflow — profile a
+// layer's latency across channel counts, analyze the staircase, prune
+// to the right edges under an accuracy budget (Radu et al., IISWC 2019
+// §IV–V) — as long-running endpoints instead of one-shot CLI tools.
+//
+// One process-wide measurement cache backs every request: repeated and
+// overlapping sweeps coalesce through the cache's single-flight path,
+// so two clients asking for the same (backend, device, layer) grid
+// share one set of simulator executions. Each request's fan-out is
+// bounded by the configured worker count and is cancelled when the
+// client disconnects (context plumbing through profiler.Engine), so an
+// abandoned sweep stops consuming the pool almost immediately.
+//
+// Responses for the simulated backends are deterministic byte for byte
+// — the simulators are analytic, plans and maps serialize in sorted
+// order — which is what makes the service golden-testable and safe to
+// put behind a load balancer: any replica answers identically.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/profiler"
+)
+
+const (
+	// maxSweepChannels bounds one request's grid: no profiled network
+	// layer exceeds 2048 channels, so 4096 leaves headroom for custom
+	// specs while keeping a single request's work bounded.
+	maxSweepChannels = 4096
+	// maxBodyBytes bounds request bodies; every valid request is tiny.
+	maxBodyBytes = 1 << 20
+	// cacheEntryLimit bounds the process-wide cache (amortized random
+	// eviction past this). All of the paper's grids on every simulated
+	// backend × board total ~120k entries, so half a million keeps
+	// every legitimate working set warm while capping what a client
+	// feeding ever-new inline specs can pin in memory.
+	cacheEntryLimit = 1 << 19
+	// maxSpecDim bounds each dimension of an inline spec (and rules
+	// out int overflow in the element-count products below).
+	maxSpecDim = 1 << 16
+	// maxSpecElems bounds every tensor a sweep configuration can
+	// materialize (input, weights, output, im2col scratch) to ~64M
+	// floats ≈ 256 MB. The paper's largest real layer (VGG.L0's
+	// 224×224×512 output) is ~25M elements, so legitimate shapes pass
+	// with room while a hostile inline spec cannot OOM a server that
+	// allowlists real-compute backends.
+	maxSpecElems = 1 << 26
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers bounds each request's sweep fan-out; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Runs overrides the median-protocol repetition count; <= 0 means
+	// the paper's median-of-10.
+	Runs int
+	// Backends is an allowlist of registry keys the service will serve;
+	// empty means every registered backend. Restricting the service to
+	// the deterministic simulated backends keeps responses
+	// golden-stable and prevents real-compute work from being scheduled
+	// on the serving host.
+	Backends []string
+}
+
+// Server is the planning daemon. Create one with New and mount
+// Handler on an http.Server. All methods are safe for concurrent use.
+type Server struct {
+	workers int
+	allowed map[string]bool // nil means every registered backend
+	cache   *backend.Cache
+	engine  *profiler.Engine
+	mux     *http.ServeMux
+
+	reqBackends  atomic.Uint64
+	reqDevices   atomic.Uint64
+	reqNetworks  atomic.Uint64
+	reqSweep     atomic.Uint64
+	reqStaircase atomic.Uint64
+	reqPlan      atomic.Uint64
+	reqStats     atomic.Uint64
+}
+
+// New builds a Server with a fresh process-wide measurement cache. It
+// fails if an allowlisted backend key is not registered.
+func New(cfg Config) (*Server, error) {
+	var allowed map[string]bool
+	if len(cfg.Backends) > 0 {
+		allowed = make(map[string]bool, len(cfg.Backends))
+		for _, key := range cfg.Backends {
+			if _, err := backend.Lookup(key); err != nil {
+				return nil, fmt.Errorf("service: allowlist: %w", err)
+			}
+			allowed[key] = true
+		}
+	}
+	cache := backend.NewCacheWithLimit(cacheEntryLimit)
+	opts := []profiler.Option{profiler.WithCache(cache)}
+	if cfg.Workers > 0 {
+		opts = append(opts, profiler.WithWorkers(cfg.Workers))
+	}
+	if cfg.Runs > 0 {
+		opts = append(opts, profiler.WithRuns(cfg.Runs))
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		workers: workers,
+		allowed: allowed,
+		cache:   cache,
+		engine:  profiler.NewEngine(opts...),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
+	s.mux.HandleFunc("GET /v1/networks", s.handleNetworks)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/staircase", s.handleStaircase)
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats snapshots the shared measurement cache.
+func (s *Server) CacheStats() backend.Stats { return s.cache.Stats() }
+
+// backendKeys returns the registry keys this server serves, sorted.
+func (s *Server) backendKeys() []string {
+	if s.allowed == nil {
+		return backend.Names()
+	}
+	keys := make([]string, 0, len(s.allowed))
+	for k := range s.allowed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// resolveBackend resolves an allowed backend by registry key.
+func (s *Server) resolveBackend(key string) (backend.Backend, error) {
+	if key == "" {
+		return nil, fmt.Errorf("missing backend (have: %s)", strings.Join(s.backendKeys(), ", "))
+	}
+	if s.allowed != nil && !s.allowed[key] {
+		return nil, fmt.Errorf("backend %q not served here (have: %s)", key, strings.Join(s.backendKeys(), ", "))
+	}
+	return backend.Lookup(key)
+}
+
+// apiError couples an error with the HTTP status it should produce:
+// 400 for malformed requests, 422 for well-formed requests the
+// pipeline cannot satisfy (incompatible backend/device/layer combos).
+type apiError struct {
+	status int
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+func unprocessable(err error) *apiError {
+	return &apiError{status: http.StatusUnprocessableEntity, err: err}
+}
+
+// writeJSON serves v as JSON. Encoding failures are programming errors
+// (every response type marshals); they surface as a 500.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError serves an apiError (or wraps any error as a 500).
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if ae, ok := err.(*apiError); ok {
+		status = ae.status
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// decodeBody decodes a JSON request body into v, rejecting unknown
+// fields and trailing content so client mistakes fail loudly instead
+// of silently profiling the wrong configuration.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid request body: %v", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return badRequest("trailing content after the request object")
+	}
+	return nil
+}

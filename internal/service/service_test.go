@@ -1,0 +1,413 @@
+package service_test
+
+// End-to-end tests of the planning daemon over httptest: golden
+// responses (the simulated backends are deterministic, so whole JSON
+// bodies are comparable byte for byte), request validation, and the
+// cache-coalescing contract (two identical concurrent sweeps share one
+// set of simulator executions).
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"perfprune/internal/service"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// simulatedOnly restricts test servers to the paper's four library
+// configurations: deterministic, analytic, golden-stable.
+var simulatedOnly = []string{"acl-direct", "acl-gemm", "cudnn", "tvm"}
+
+func newServer(t *testing.T, cfg service.Config) *httptest.Server {
+	t.Helper()
+	srv, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// do issues one request. It reports transport failures with t.Errorf
+// (not Fatal) so it is safe to call from concurrent test goroutines.
+func do(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Errorf("building %s %s: %v", method, url, err)
+		return 0, nil
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Errorf("%s %s: %v", method, url, err)
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Errorf("reading %s %s: %v", method, url, err)
+		return 0, nil
+	}
+	return resp.StatusCode, b
+}
+
+// TestPlanGoldenVGG16HiKey pins the full /v1/plan response for VGG-16
+// on the HiKey 970 with ACL GEMM: the paper's workflow end to end —
+// profile all 13 layers, staircase-analyze, prune to right edges under
+// a 2-point accuracy budget — served as one deterministic JSON body.
+func TestPlanGoldenVGG16HiKey(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	body := `{
+		"backend": "acl-gemm",
+		"device": "HiKey 970",
+		"network": "VGG-16",
+		"target_speedup": 1.5,
+		"max_accuracy_drop": 2.0,
+		"uninstructed_fraction": 0.12
+	}`
+	status, raw := do(t, http.MethodPost, ts.URL+"/v1/plan", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", status, raw)
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		t.Fatalf("response is not valid JSON: %v", err)
+	}
+	buf.WriteByte('\n')
+
+	golden := filepath.Join("testdata", "plan_vgg16_hikey.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("plan response diverged from %s (run with -update after intentional changes)\ngot:\n%s", golden, buf.String())
+	}
+
+	// Spot-check the physics independently of the golden bytes: the
+	// performance-aware plan must speed the network up while the
+	// uninstructed 12% prune reproduces the paper's hazard of slowing
+	// it down on OpenCL targets (abstract: "up to 2x slowdown").
+	var resp service.PlanResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.PerformanceAware.Speedup <= 1 {
+		t.Errorf("performance-aware speedup = %v, want > 1", resp.PerformanceAware.Speedup)
+	}
+	if resp.PerformanceAware.AccuracyDrop > 2.0 {
+		t.Errorf("accuracy drop %v exceeds the 2.0 budget", resp.PerformanceAware.AccuracyDrop)
+	}
+	if resp.Uninstructed == nil {
+		t.Fatal("uninstructed baseline missing")
+	}
+	if resp.Uninstructed.Speedup >= 1 {
+		t.Errorf("uninstructed speedup = %v; expected the paper's slowdown hazard (< 1)", resp.Uninstructed.Speedup)
+	}
+	for label, keep := range resp.PerformanceAware.Plan {
+		if keep < 1 {
+			t.Errorf("plan keeps %d channels in %s", keep, label)
+		}
+	}
+}
+
+// TestConcurrentSweepsCoalesce is the serving-layer contract from the
+// issue: two identical concurrent sweeps must share one set of
+// simulator executions through the single-flight cache, observable as
+// a >= 50% hit rate on /v1/stats.
+func TestConcurrentSweepsCoalesce(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	body := `{"backend": "acl-gemm", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L10"}`
+
+	var wg sync.WaitGroup
+	results := make([][]byte, 2)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, b := do(t, http.MethodPost, ts.URL+"/v1/sweep", body)
+			if status != http.StatusOK {
+				t.Errorf("sweep %d: status %d: %s", i, status, b)
+			}
+			results[i] = b
+		}(i)
+	}
+	wg.Wait()
+	if !bytes.Equal(results[0], results[1]) {
+		t.Error("identical concurrent sweeps returned different bodies")
+	}
+
+	var sweep service.SweepResponse
+	if err := json.Unmarshal(results[0], &sweep); err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 256 {
+		t.Fatalf("%d points, want 256 (VGG.L10 full width)", len(sweep.Points))
+	}
+
+	status, b := do(t, http.MethodGet, ts.URL+"/v1/stats", "")
+	if status != http.StatusOK {
+		t.Fatalf("stats status = %d", status)
+	}
+	var stats service.StatsResponse
+	if err := json.Unmarshal(b, &stats); err != nil {
+		t.Fatal(err)
+	}
+	// 512 lookups over 256 unique configurations: at most 256 misses,
+	// so at least half the lookups coalesced.
+	if stats.Cache.HitRate < 0.5 {
+		t.Errorf("cache hit rate = %v, want >= 0.5 (stats: %+v)", stats.Cache.HitRate, stats.Cache)
+	}
+	if stats.Cache.Entries != 256 {
+		t.Errorf("cache entries = %d, want 256", stats.Cache.Entries)
+	}
+	if stats.Requests.Sweep != 2 {
+		t.Errorf("sweep request count = %d, want 2", stats.Requests.Sweep)
+	}
+}
+
+// TestSweepMatchesStaircaseCurve: the staircase endpoint embeds exactly
+// the sweep the sweep endpoint serves, plus a consistent analysis.
+func TestSweepMatchesStaircaseCurve(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	body := `{"backend": "tvm", "device": "Odroid XU4", "network": "AlexNet", "layer": "AlexNet.L6", "lo": 300, "hi": 384}`
+
+	status, sweepRaw := do(t, http.MethodPost, ts.URL+"/v1/sweep", body)
+	if status != http.StatusOK {
+		t.Fatalf("sweep: %d: %s", status, sweepRaw)
+	}
+	status, stairRaw := do(t, http.MethodPost, ts.URL+"/v1/staircase", body)
+	if status != http.StatusOK {
+		t.Fatalf("staircase: %d: %s", status, stairRaw)
+	}
+	var sweep service.SweepResponse
+	var stair service.StaircaseResponse
+	if err := json.Unmarshal(sweepRaw, &sweep); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(stairRaw, &stair); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(sweep.Points) != fmt.Sprint(stair.Points) {
+		t.Error("staircase curve diverged from the sweep endpoint's")
+	}
+	if len(stair.Stairs) == 0 || len(stair.Edges) == 0 {
+		t.Fatalf("empty analysis: %d stairs, %d edges", len(stair.Stairs), len(stair.Edges))
+	}
+	if stair.Stairs[0].LoC != 300 || stair.Stairs[len(stair.Stairs)-1].HiC != 384 {
+		t.Errorf("stairs do not span [300, 384]: %+v", stair.Stairs)
+	}
+	if stair.MaxStep < 1 {
+		t.Errorf("max_step = %v, want >= 1", stair.MaxStep)
+	}
+	// Every right edge must be one of the sweep's points.
+	byChannel := make(map[int]float64, len(sweep.Points))
+	for _, p := range sweep.Points {
+		byChannel[p.Channels] = p.Ms
+	}
+	for _, e := range stair.Edges {
+		if ms, ok := byChannel[e.Channels]; !ok || ms != e.Ms {
+			t.Errorf("edge %+v is not a point of the curve", e)
+		}
+	}
+}
+
+// TestCatalogEndpoints checks the discovery surface: backends honor the
+// allowlist, devices and networks match the paper's inventories.
+func TestCatalogEndpoints(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: []string{"acl-gemm", "cudnn"}})
+
+	status, b := do(t, http.MethodGet, ts.URL+"/v1/backends", "")
+	if status != http.StatusOK {
+		t.Fatalf("backends: %d", status)
+	}
+	var backends []service.BackendInfo
+	if err := json.Unmarshal(b, &backends); err != nil {
+		t.Fatal(err)
+	}
+	if len(backends) != 2 || backends[0].Key != "acl-gemm" || backends[1].Key != "cudnn" {
+		t.Fatalf("allowlist not honored: %+v", backends)
+	}
+	if !backends[0].Deterministic || !backends[1].Deterministic {
+		t.Error("simulated backends must report deterministic")
+	}
+	if got := backends[1].Devices; len(got) != 2 || got[0] != "Jetson TX2" || got[1] != "Jetson Nano" {
+		t.Errorf("cudnn devices = %v, want the two Jetson boards", got)
+	}
+
+	status, b = do(t, http.MethodGet, ts.URL+"/v1/devices", "")
+	if status != http.StatusOK {
+		t.Fatalf("devices: %d", status)
+	}
+	var devices []service.DeviceInfo
+	if err := json.Unmarshal(b, &devices); err != nil {
+		t.Fatal(err)
+	}
+	if len(devices) != 4 || devices[0].Name != "HiKey 970" {
+		t.Fatalf("unexpected device catalog: %+v", devices)
+	}
+
+	status, b = do(t, http.MethodGet, ts.URL+"/v1/networks", "")
+	if status != http.StatusOK {
+		t.Fatalf("networks: %d", status)
+	}
+	var networks []service.NetworkInfo
+	if err := json.Unmarshal(b, &networks); err != nil {
+		t.Fatal(err)
+	}
+	wantLayers := map[string]int{"ResNet-50": 53, "VGG-16": 13, "AlexNet": 5}
+	if len(networks) != len(wantLayers) {
+		t.Fatalf("%d networks, want %d", len(networks), len(wantLayers))
+	}
+	for _, n := range networks {
+		if len(n.Layers) != wantLayers[n.Name] {
+			t.Errorf("%s: %d layers, want %d", n.Name, len(n.Layers), wantLayers[n.Name])
+		}
+	}
+}
+
+// TestRequestValidation sweeps the daemon's input checking: malformed
+// requests are 400s, well-formed but unsatisfiable ones are 422s, and
+// wrong methods are 405s.
+func TestRequestValidation(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"unknown backend", "POST", "/v1/sweep",
+			`{"backend": "nope", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L0"}`, 400},
+		{"allowlisted-out backend", "POST", "/v1/sweep",
+			`{"backend": "real-direct", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L0"}`, 400},
+		{"unknown device", "POST", "/v1/sweep",
+			`{"backend": "tvm", "device": "Pixel 4", "network": "VGG-16", "layer": "VGG.L0"}`, 400},
+		{"api mismatch", "POST", "/v1/sweep",
+			`{"backend": "cudnn", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L0"}`, 422},
+		{"unknown layer", "POST", "/v1/sweep",
+			`{"backend": "tvm", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L99"}`, 400},
+		{"layer without network", "POST", "/v1/sweep",
+			`{"backend": "tvm", "device": "HiKey 970", "layer": "VGG.L0"}`, 400},
+		{"layer and spec", "POST", "/v1/sweep",
+			`{"backend": "tvm", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L0", "spec": {"in_h": 8, "in_w": 8, "in_c": 1, "out_c": 4, "k_h": 1, "k_w": 1}}`, 400},
+		{"no layer at all", "POST", "/v1/sweep",
+			`{"backend": "tvm", "device": "HiKey 970"}`, 400},
+		{"invalid spec", "POST", "/v1/sweep",
+			`{"backend": "tvm", "device": "HiKey 970", "spec": {"in_h": 0, "in_w": 8, "in_c": 1, "out_c": 4, "k_h": 1, "k_w": 1}}`, 400},
+		{"empty range", "POST", "/v1/sweep",
+			`{"backend": "tvm", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L0", "lo": 10, "hi": 5}`, 400},
+		{"range over limit", "POST", "/v1/sweep",
+			`{"backend": "tvm", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L0", "hi": 100000}`, 400},
+		{"unknown field", "POST", "/v1/sweep",
+			`{"backend": "tvm", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L0", "channels": 64}`, 400},
+		{"not json", "POST", "/v1/sweep", `backend=tvm`, 400},
+		{"trailing content", "POST", "/v1/sweep",
+			`{"backend": "tvm", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L0"}{"lo": 50}`, 400},
+		{"sweep wrong method", "GET", "/v1/sweep", "", 405},
+		{"stats wrong method", "POST", "/v1/stats", "", 405},
+		{"plan unknown network", "POST", "/v1/plan",
+			`{"backend": "tvm", "device": "HiKey 970", "network": "LeNet"}`, 400},
+		{"plan speedup below 1", "POST", "/v1/plan",
+			`{"backend": "tvm", "device": "HiKey 970", "network": "AlexNet", "target_speedup": 0.5}`, 400},
+		{"plan explicit zero speedup", "POST", "/v1/plan",
+			`{"backend": "tvm", "device": "HiKey 970", "network": "AlexNet", "target_speedup": 0}`, 400},
+		{"oversized spec dimension", "POST", "/v1/sweep",
+			`{"backend": "tvm", "device": "HiKey 970", "spec": {"in_h": 1000000000, "in_w": 1000000000, "in_c": 1000, "out_c": 4, "k_h": 1, "k_w": 1}}`, 400},
+		{"oversized spec tensor", "POST", "/v1/sweep",
+			`{"backend": "tvm", "device": "HiKey 970", "spec": {"in_h": 16384, "in_w": 16384, "in_c": 512, "out_c": 4, "k_h": 1, "k_w": 1}}`, 400},
+		{"plan negative budget", "POST", "/v1/plan",
+			`{"backend": "tvm", "device": "HiKey 970", "network": "AlexNet", "max_accuracy_drop": -1}`, 400},
+		{"plan bad fraction", "POST", "/v1/plan",
+			`{"backend": "tvm", "device": "HiKey 970", "network": "AlexNet", "uninstructed_fraction": 1.5}`, 400},
+		{"plan api mismatch", "POST", "/v1/plan",
+			`{"backend": "cudnn", "device": "HiKey 970", "network": "AlexNet"}`, 422},
+		{"unknown path", "GET", "/v1/quux", "", 404},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, b := do(t, tc.method, ts.URL+tc.path, tc.body)
+			if status != tc.want {
+				t.Fatalf("status = %d, want %d (body: %s)", status, tc.want, b)
+			}
+			if tc.want == 400 || tc.want == 422 {
+				var e service.ErrorResponse
+				if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
+					t.Errorf("error body not structured: %s", b)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanZeroAccuracyBudget: an explicit max_accuracy_drop of 0 is a
+// lossless-pruning demand, not a request for the 2.0-point default —
+// the planner must return the unpruned network rather than spend
+// accuracy it was not given.
+func TestPlanZeroAccuracyBudget(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	body := `{"backend": "cudnn", "device": "Jetson TX2", "network": "AlexNet", "max_accuracy_drop": 0}`
+	status, raw := do(t, http.MethodPost, ts.URL+"/v1/plan", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, raw)
+	}
+	var resp service.PlanResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.PerformanceAware.AccuracyDrop != 0 {
+		t.Errorf("accuracy drop = %v under a zero budget", resp.PerformanceAware.AccuracyDrop)
+	}
+	if resp.PerformanceAware.Speedup != 1 {
+		t.Errorf("speedup = %v; a zero accuracy budget admits no pruning step", resp.PerformanceAware.Speedup)
+	}
+}
+
+// TestCustomSpecSweep profiles an inline layer shape end to end.
+func TestCustomSpecSweep(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly, Workers: 4})
+	body := `{
+		"backend": "acl-direct",
+		"device": "Odroid XU4",
+		"spec": {"name": "tiny", "in_h": 16, "in_w": 16, "in_c": 8, "out_c": 32, "k_h": 3, "k_w": 3, "pad_h": 1, "pad_w": 1},
+		"lo": 16, "hi": 32
+	}`
+	status, raw := do(t, http.MethodPost, ts.URL+"/v1/sweep", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, raw)
+	}
+	var resp service.SweepResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Layer != "tiny" || len(resp.Points) != 17 {
+		t.Fatalf("unexpected response: layer %q, %d points", resp.Layer, len(resp.Points))
+	}
+	for i, p := range resp.Points {
+		if p.Channels != 16+i || p.Ms <= 0 {
+			t.Fatalf("point %d = %+v, want channels %d with positive latency", i, p, 16+i)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package service_test
+
+// Concurrency hardening: 32 goroutines issue overlapping sweep,
+// staircase and plan requests (plus deliberate failures) against one
+// server. Run under -race (CI does), this exercises the shared
+// engine, the single-flight cache, the per-endpoint counters and the
+// error paths all at once. Identical requests must produce identical
+// bytes no matter how they interleave.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"perfprune/internal/service"
+)
+
+func TestServerStress32Goroutines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	ts := newServer(t, service.Config{Backends: simulatedOnly, Workers: 4})
+
+	type request struct {
+		name, method, path, body string
+		want                     int
+	}
+	// A mixed workload: overlapping sweeps and staircases over shared
+	// configurations, a whole-network plan, and guaranteed failures.
+	requests := []request{
+		{"sweep-vgg", "POST", "/v1/sweep",
+			`{"backend": "acl-direct", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L5", "lo": 64, "hi": 128}`, 200},
+		{"stair-vgg", "POST", "/v1/staircase",
+			`{"backend": "acl-direct", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L5", "lo": 64, "hi": 128}`, 200},
+		{"sweep-alex", "POST", "/v1/sweep",
+			`{"backend": "tvm", "device": "Odroid XU4", "network": "AlexNet", "layer": "AlexNet.L6", "lo": 350, "hi": 384}`, 200},
+		{"stair-cudnn", "POST", "/v1/staircase",
+			`{"backend": "cudnn", "device": "Jetson TX2", "network": "AlexNet", "layer": "AlexNet.L8", "lo": 200, "hi": 256}`, 200},
+		{"plan-alex", "POST", "/v1/plan",
+			`{"backend": "cudnn", "device": "Jetson Nano", "network": "AlexNet", "target_speedup": 1.3}`, 200},
+		{"bad-backend", "POST", "/v1/sweep",
+			`{"backend": "nope", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L0"}`, 400},
+		{"api-mismatch", "POST", "/v1/staircase",
+			`{"backend": "cudnn", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L0"}`, 422},
+		{"stats", "GET", "/v1/stats", "", 200},
+	}
+
+	const goroutines = 32
+	const iterations = 4
+	var mu sync.Mutex
+	first := make(map[string][]byte)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				req := requests[(g+i)%len(requests)]
+				status, body := do(t, req.method, ts.URL+req.path, req.body)
+				if status == 0 {
+					continue // transport failure already reported
+				}
+				if status != req.want {
+					t.Errorf("%s: status = %d, want %d (body: %s)", req.name, status, req.want, body)
+					continue
+				}
+				// /v1/stats varies across time; every other response
+				// must be byte-identical across all interleavings.
+				if req.path == "/v1/stats" {
+					continue
+				}
+				mu.Lock()
+				if prev, ok := first[req.name]; !ok {
+					first[req.name] = body
+				} else if !bytes.Equal(prev, body) {
+					t.Errorf("%s: response changed between requests:\nfirst: %s\nlater: %s", req.name, prev, body)
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The workload repeats a handful of grids dozens of times: almost
+	// everything after the first pass must coalesce.
+	status, b := do(t, http.MethodGet, ts.URL+"/v1/stats", "")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	var stats service.StatsResponse
+	if err := json.Unmarshal(b, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.HitRate < 0.5 {
+		t.Errorf("stress hit rate = %v, want >= 0.5 (%+v)", stats.Cache.HitRate, stats.Cache)
+	}
+	// +1: the stats request reading the counters counts itself.
+	total := stats.Requests.Sweep + stats.Requests.Staircase + stats.Requests.Plan + stats.Requests.Stats
+	if total != goroutines*iterations+1 {
+		t.Errorf("request counters sum to %d, want %d", total, goroutines*iterations+1)
+	}
+}

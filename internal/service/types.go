@@ -1,0 +1,184 @@
+package service
+
+// The JSON vocabulary of the planning daemon. Every response is
+// deterministic for the simulated backends: floats come out of the
+// analytic simulator bit-identically on every run, maps have sorted
+// keys under encoding/json, and slices follow network layer order — so
+// whole responses are golden-testable byte for byte.
+
+// BackendInfo describes one registered (and allowed) backend.
+type BackendInfo struct {
+	// Key is the registry key used in requests, e.g. "acl-gemm".
+	Key string `json:"key"`
+	// Name is the display name, e.g. "ACL-GEMM".
+	Name string `json:"name"`
+	// Deterministic reports whether measurements are reproducible (and
+	// therefore memoized and safe to golden-test).
+	Deterministic bool `json:"deterministic"`
+	// Devices lists the boards the backend can target.
+	Devices []string `json:"devices"`
+}
+
+// DeviceInfo describes one evaluation board.
+type DeviceInfo struct {
+	Name     string  `json:"name"`
+	SoC      string  `json:"soc"`
+	API      string  `json:"api"`
+	GPU      string  `json:"gpu"`
+	Cores    int     `json:"cores"`
+	ClockMHz float64 `json:"clock_mhz"`
+}
+
+// LayerInfo describes one convolutional layer of a network.
+type LayerInfo struct {
+	Label    string `json:"label"`
+	Channels int    `json:"channels"`
+	Unique   bool   `json:"unique"`
+	MACs     int64  `json:"macs"`
+}
+
+// NetworkInfo describes one network inventory.
+type NetworkInfo struct {
+	Name      string      `json:"name"`
+	TotalMACs int64       `json:"total_macs"`
+	Layers    []LayerInfo `json:"layers"`
+}
+
+// SpecRequest is a custom layer shape for ad-hoc sweeps, mirroring
+// conv.ConvSpec.
+type SpecRequest struct {
+	Name    string `json:"name,omitempty"`
+	InH     int    `json:"in_h"`
+	InW     int    `json:"in_w"`
+	InC     int    `json:"in_c"`
+	OutC    int    `json:"out_c"`
+	KH      int    `json:"k_h"`
+	KW      int    `json:"k_w"`
+	StrideH int    `json:"stride_h,omitempty"`
+	StrideW int    `json:"stride_w,omitempty"`
+	PadH    int    `json:"pad_h,omitempty"`
+	PadW    int    `json:"pad_w,omitempty"`
+}
+
+// SweepRequest asks for a layer × channel-range latency sweep. The
+// layer is named either by (network, layer) or by an inline spec.
+type SweepRequest struct {
+	Backend string `json:"backend"`
+	Device  string `json:"device"`
+	// Network + Layer select an inventory layer, e.g. "VGG-16" +
+	// "VGG.L24".
+	Network string `json:"network,omitempty"`
+	Layer   string `json:"layer,omitempty"`
+	// Spec is an inline custom layer, mutually exclusive with
+	// Network/Layer.
+	Spec *SpecRequest `json:"spec,omitempty"`
+	// Lo and Hi bound the output-channel sweep; Lo defaults to 1 and Hi
+	// to the layer's full width.
+	Lo int `json:"lo,omitempty"`
+	Hi int `json:"hi,omitempty"`
+}
+
+// Point is one (channels, latency) sample.
+type Point struct {
+	Channels int     `json:"channels"`
+	Ms       float64 `json:"ms"`
+}
+
+// SweepResponse is the profiled latency curve.
+type SweepResponse struct {
+	Backend string  `json:"backend"`
+	Device  string  `json:"device"`
+	Layer   string  `json:"layer"`
+	Lo      int     `json:"lo"`
+	Hi      int     `json:"hi"`
+	Points  []Point `json:"points"`
+}
+
+// Stair is one latency plateau of a staircase analysis.
+type Stair struct {
+	LoC int     `json:"lo_c"`
+	HiC int     `json:"hi_c"`
+	Ms  float64 `json:"ms"`
+}
+
+// StaircaseResponse is a sweep plus its staircase analysis: the
+// plateaus, the Pareto right edges ("the most channels for an inference
+// time", §II-B) and the largest inter-stair latency ratio.
+type StaircaseResponse struct {
+	SweepResponse
+	Stairs  []Stair `json:"stairs"`
+	Edges   []Point `json:"edges"`
+	MaxStep float64 `json:"max_step"`
+}
+
+// PlanRequest asks for a whole-network staircase-aware prune plan.
+// The budget fields are pointers so an explicit 0 (a lossless-pruning
+// budget, or a deliberately invalid speedup) is distinguishable from
+// an omitted field taking the default.
+type PlanRequest struct {
+	Backend string `json:"backend"`
+	Device  string `json:"device"`
+	Network string `json:"network"`
+	// TargetSpeedup is the whole-network speedup to prune towards;
+	// omitted defaults to 1.5.
+	TargetSpeedup *float64 `json:"target_speedup,omitempty"`
+	// MaxAccuracyDrop is the accuracy budget in points; omitted
+	// defaults to 2.0. An explicit 0 demands a lossless plan.
+	MaxAccuracyDrop *float64 `json:"max_accuracy_drop,omitempty"`
+	// UninstructedFraction, when positive, also evaluates the
+	// device-agnostic uniform-pruning baseline the paper warns about.
+	UninstructedFraction float64 `json:"uninstructed_fraction,omitempty"`
+}
+
+// PlanEval is one evaluated pruning plan.
+type PlanEval struct {
+	// Plan maps layer labels to kept output-channel counts.
+	Plan         map[string]int `json:"plan"`
+	LatencyMs    float64        `json:"latency_ms"`
+	Speedup      float64        `json:"speedup"`
+	Accuracy     float64        `json:"accuracy"`
+	AccuracyDrop float64        `json:"accuracy_drop"`
+}
+
+// PlanResponse is the planner's output: the performance-aware plan and
+// optionally the uninstructed baseline it beats.
+type PlanResponse struct {
+	Backend          string    `json:"backend"`
+	Device           string    `json:"device"`
+	Network          string    `json:"network"`
+	BaselineMs       float64   `json:"baseline_ms"`
+	BaselineAccuracy float64   `json:"baseline_accuracy"`
+	PerformanceAware PlanEval  `json:"performance_aware"`
+	Uninstructed     *PlanEval `json:"uninstructed,omitempty"`
+}
+
+// CacheStats reports the process-wide measurement cache.
+type CacheStats struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	Entries int     `json:"entries"`
+}
+
+// RequestStats counts requests served per endpoint.
+type RequestStats struct {
+	Backends  uint64 `json:"backends"`
+	Devices   uint64 `json:"devices"`
+	Networks  uint64 `json:"networks"`
+	Sweep     uint64 `json:"sweep"`
+	Staircase uint64 `json:"staircase"`
+	Plan      uint64 `json:"plan"`
+	Stats     uint64 `json:"stats"`
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	Cache    CacheStats   `json:"cache"`
+	Requests RequestStats `json:"requests"`
+	Workers  int          `json:"workers"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,119 @@
+package staircase
+
+// FuzzAnalyze hardens the staircase analysis against arbitrary curves:
+// whatever the profiler (or a future hardware port) produces, Analyze
+// must never panic, and on every curve it accepts the structural
+// invariants of the paper's §IV analysis must hold — the stairs
+// partition the curve's channel range in increasing order, and every
+// right edge is a point of the curve lying on one of its stairs.
+//
+// Run the smoke pass with:
+//
+//	go test -run='^$' -fuzz=FuzzAnalyze -fuzztime=10s ./internal/staircase
+//
+// (CI does exactly that; `go test` alone replays the seed corpus.)
+
+import (
+	"testing"
+
+	"perfprune/internal/profiler"
+)
+
+// fuzzCurve decodes bytes into a latency curve: pairs of (channel
+// delta, latency) bytes. A zero delta yields a non-increasing channel
+// sequence, steering the fuzzer into Analyze's validation path too;
+// negative and zero latencies are representable on purpose.
+func fuzzCurve(data []byte) []profiler.Point {
+	var pts []profiler.Point
+	ch := 0
+	for i := 0; i+1 < len(data); i += 2 {
+		ch += int(data[i] % 16)
+		pts = append(pts, profiler.Point{
+			Channels: ch,
+			Ms:       float64(int8(data[i+1])) / 4,
+		})
+	}
+	return pts
+}
+
+func FuzzAnalyze(f *testing.F) {
+	f.Add([]byte{})                                // empty curve
+	f.Add([]byte{1, 10})                           // single point
+	f.Add([]byte{1, 10, 2, 10, 3, 20, 1, 20})      // two plateaus
+	f.Add([]byte{5, 1, 0, 1})                      // unsorted (zero delta)
+	f.Add([]byte{1, 200, 1, 200, 1, 100, 1, 100})  // negative latencies (int8)
+	f.Add([]byte{3, 40, 3, 4, 3, 44, 3, 8, 3, 80}) // sawtooth
+	f.Add([]byte{1, 0, 2, 0, 3, 0})                // all-zero latency
+	f.Fuzz(func(t *testing.T, data []byte) {
+		curve := fuzzCurve(data)
+		a, err := Analyze(curve) // must never panic
+		if err != nil {
+			return // rejected curves are out of contract
+		}
+
+		// Stairs partition [first, last] channels in increasing order.
+		if len(a.Stairs) == 0 {
+			t.Fatal("accepted curve produced no stairs")
+		}
+		if a.Stairs[0].LoC != curve[0].Channels {
+			t.Errorf("first stair starts at %d, curve at %d", a.Stairs[0].LoC, curve[0].Channels)
+		}
+		if last := a.Stairs[len(a.Stairs)-1]; last.HiC != curve[len(curve)-1].Channels {
+			t.Errorf("last stair ends at %d, curve at %d", last.HiC, curve[len(curve)-1].Channels)
+		}
+		channels := make(map[int]float64, len(curve))
+		for _, p := range curve {
+			channels[p.Channels] = p.Ms
+		}
+		for i, s := range a.Stairs {
+			if s.LoC > s.HiC {
+				t.Errorf("stair %d inverted: [%d, %d]", i, s.LoC, s.HiC)
+			}
+			if _, ok := channels[s.LoC]; !ok {
+				t.Errorf("stair %d starts at %d, not a curve channel", i, s.LoC)
+			}
+			if _, ok := channels[s.HiC]; !ok {
+				t.Errorf("stair %d ends at %d, not a curve channel", i, s.HiC)
+			}
+			if i > 0 && s.LoC <= a.Stairs[i-1].HiC {
+				t.Errorf("stairs %d and %d overlap or regress: %+v, %+v", i-1, i, a.Stairs[i-1], s)
+			}
+		}
+		// Every curve point lies on exactly one stair.
+		for _, p := range curve {
+			owners := 0
+			for _, s := range a.Stairs {
+				if s.LoC <= p.Channels && p.Channels <= s.HiC {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Errorf("point at %d channels covered by %d stairs, want exactly 1", p.Channels, owners)
+			}
+		}
+
+		// Edges: curve members, strictly increasing, each on a stair.
+		if len(a.Edges) == 0 {
+			t.Fatal("accepted curve produced no edges (the widest point is always one)")
+		}
+		for i, e := range a.Edges {
+			ms, ok := channels[e.Channels]
+			if !ok || ms != e.Ms {
+				t.Errorf("edge %+v is not a point of the curve", e)
+			}
+			if i > 0 && e.Channels <= a.Edges[i-1].Channels {
+				t.Errorf("edges not strictly increasing at %d: %+v", i, a.Edges)
+			}
+			member := false
+			for _, s := range a.Stairs {
+				if s.LoC <= e.Channels && e.Channels <= s.HiC {
+					member = true
+					break
+				}
+			}
+			if !member {
+				t.Errorf("edge %+v lies on no stair", e)
+			}
+		}
+	})
+}

@@ -20,6 +20,8 @@
 package perfprune
 
 import (
+	"context"
+
 	"perfprune/internal/acl"
 	"perfprune/internal/autotune"
 	"perfprune/internal/backend"
@@ -30,6 +32,7 @@ import (
 	"perfprune/internal/nets"
 	"perfprune/internal/profiler"
 	"perfprune/internal/prune"
+	"perfprune/internal/service"
 	"perfprune/internal/staircase"
 )
 
@@ -139,6 +142,12 @@ func Sweep(tg Target, spec ConvSpec, lo, hi int) ([]Point, error) {
 	return profiler.NewEngine().SweepChannels(tg.Library, tg.Device, spec, lo, hi)
 }
 
+// SweepContext is Sweep with cancellation: when ctx is done the sweep
+// stops claiming configurations and returns ctx.Err().
+func SweepContext(ctx context.Context, tg Target, spec ConvSpec, lo, hi int) ([]Point, error) {
+	return profiler.NewEngine().SweepChannelsContext(ctx, tg.Library, tg.Device, spec, lo, hi)
+}
+
 // Analyze detects the latency staircase and its right-edge optimal
 // points in a sweep curve.
 func Analyze(curve []Point) (Analysis, error) {
@@ -150,8 +159,31 @@ func ProfileNetwork(tg Target, n Network) (*core.NetworkProfile, error) {
 	return core.ProfileNetwork(tg, n)
 }
 
+// ProfileNetworkContext profiles through a caller-provided engine so
+// repeated profiles share one measurement cache, and aborts when ctx
+// is done.
+func ProfileNetworkContext(ctx context.Context, eng *Engine, tg Target, n Network) (*core.NetworkProfile, error) {
+	return core.ProfileNetworkContext(ctx, eng, tg, n)
+}
+
 // NewPlanner builds the performance-aware pruning planner from a
 // network profile.
 func NewPlanner(np *core.NetworkProfile) (*core.Planner, error) {
 	return core.NewPlanner(np)
 }
+
+// CacheStats is a snapshot of a measurement cache's hit/miss counters.
+type CacheStats = backend.Stats
+
+// Service is the pruning-as-a-service HTTP daemon (see
+// internal/service and cmd/perfpruned): sweep, staircase and plan
+// endpoints over one process-wide coalescing measurement cache.
+type Service = service.Server
+
+// ServiceConfig configures a Service: per-request worker bound, median
+// protocol runs, and an optional backend allowlist.
+type ServiceConfig = service.Config
+
+// NewService builds the HTTP planning service; mount its Handler on an
+// http.Server (cmd/perfpruned does exactly that).
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
