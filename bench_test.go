@@ -343,6 +343,64 @@ func BenchmarkSweepSpeedup(b *testing.B) {
 	b.ReportMetric(speedup, "speedup_x")
 }
 
+// BenchmarkFrontierDP times the cross-layer Pareto frontier planner on
+// VGG-16 × (ACL GEMM, HiKey 970). The profile is built once outside the
+// loop (warm cache), so the measurement isolates the DP + exact
+// re-scoring itself — the planner hot path a /v1/frontier request pays
+// after its sweeps coalesce. Metric: the frontier's point count.
+func BenchmarkFrontierDP(b *testing.B) {
+	tg := core.Target{Device: device.HiKey970, Library: ACLGEMM()}
+	np, err := core.ProfileNetwork(tg, nets.VGG16())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := core.NewPlanner(np)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var points int
+	for i := 0; i < b.N; i++ {
+		f, err := ComputeFrontier(pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = len(f.Points)
+	}
+	b.ReportMetric(float64(points), "frontier_points")
+}
+
+// BenchmarkFrontierFleet times the four-board fleet planner on VGG-16
+// with warm profiles: the worst-case objective's bottleneck enumeration
+// plus reweighting solves. Metric: the shared plan's worst-case
+// latency.
+func BenchmarkFrontierFleet(b *testing.B) {
+	targets := []Target{
+		{Device: device.HiKey970, Library: ACLGEMM()},
+		{Device: device.OdroidXU4, Library: ACLGEMM()},
+		{Device: device.JetsonTX2, Library: CuDNN()},
+		{Device: device.JetsonNano, Library: CuDNN()},
+	}
+	fleet := make([]FleetTarget, len(targets))
+	for i, tg := range targets {
+		np, err := core.ProfileNetwork(tg, nets.VGG16())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fleet[i] = FleetTarget{Profile: np}
+	}
+	b.ResetTimer()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		fp, err := PlanFleet(fleet, 2.0, WorstCase)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = fp.WorstCaseMs
+	}
+	b.ReportMetric(worst, "worst_case_ms")
+}
+
 // BenchmarkUninstructedBaseline measures the accuracy-only baseline the
 // paper warns about: uniform 12% pruning on the ACL direct path.
 // Metric below 1.0 is the headline hazard.

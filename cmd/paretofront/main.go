@@ -1,0 +1,215 @@
+// Command paretofront computes the cross-layer latency–accuracy Pareto
+// frontier of a network on one target — every non-dominated trade
+// between inference time and modeled accuracy over the staircase right
+// edges — and answers deployment queries against it: best accuracy
+// under a deadline (-budget-ms), fastest plan within an accuracy drop
+// cap (-maxdrop). With -fleet it instead plans one shared configuration
+// across several targets, minimizing worst-case or weighted latency.
+//
+// Usage:
+//
+//	paretofront -net VGG-16 -backend acl-gemm -device "HiKey 970" -points 20
+//	paretofront -net VGG-16 -backend acl-gemm -device "HiKey 970" -budget-ms 1800 -plan
+//	paretofront -net VGG-16 -maxdrop 2 \
+//	    -fleet "acl-gemm=HiKey 970,acl-gemm=Odroid XU4,cudnn=Jetson TX2,cudnn=Jetson Nano"
+//
+// Fleet members are comma-separated backend=device pairs, with an
+// optional =weight third field for the weighted_sum objective.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"perfprune"
+	"perfprune/internal/core"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/prune"
+	"perfprune/internal/report"
+)
+
+func main() {
+	netName := flag.String("net", "VGG-16", "network: ResNet-50, VGG-16 or AlexNet")
+	libName := flag.String("backend", "acl-gemm",
+		"backend: "+strings.Join(perfprune.BackendNames(), ", "))
+	devName := flag.String("device", "HiKey 970", "target board")
+	budgetMs := flag.Float64("budget-ms", 0, "latency deadline to query the frontier with (0 = off)")
+	maxDrop := flag.Float64("maxdrop", 2.0, "accuracy-drop budget (points) for the fastest-plan query and fleet planning")
+	points := flag.Int("points", 20, "frontier points to print (evenly sampled, endpoints kept)")
+	format := flag.String("format", "text", "table format: text, markdown or csv")
+	fleet := flag.String("fleet", "", `fleet members as "backend=device[=weight],..." (enables fleet mode)`)
+	objective := flag.String("objective", "worst_case", "fleet objective: worst_case or weighted_sum")
+	showPlan := flag.Bool("plan", false, "print the selected plan's per-layer channels")
+	flag.Parse()
+
+	if err := run(*netName, *libName, *devName, *budgetMs, *maxDrop, *points, *format, *fleet, *objective, *showPlan); err != nil {
+		fmt.Fprintf(os.Stderr, "paretofront: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(netName, libName, devName string, budgetMs, maxDrop float64,
+	points int, format, fleetSpec, objective string, showPlan bool) error {
+	n, err := nets.ByName(netName)
+	if err != nil {
+		return err
+	}
+	render, err := renderer(format)
+	if err != nil {
+		return err
+	}
+	if fleetSpec != "" {
+		return runFleet(n, fleetSpec, objective, maxDrop, render, showPlan)
+	}
+
+	lib, err := perfprune.LookupBackend(libName)
+	if err != nil {
+		return err
+	}
+	dev, err := device.ByName(devName)
+	if err != nil {
+		return err
+	}
+	tg := core.Target{Device: dev, Library: lib}
+	fmt.Printf("profiling %s on %s ...\n", n.Name, tg)
+	np, err := perfprune.ProfileNetwork(tg, n)
+	if err != nil {
+		return err
+	}
+	pl, err := perfprune.NewPlanner(np)
+	if err != nil {
+		return err
+	}
+	f, err := perfprune.ComputeFrontier(pl)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Print(render(f.Table(points)))
+	fmt.Println()
+	if budgetMs > 0 {
+		if p, ok := f.LatencyBudget(budgetMs); ok {
+			fmt.Printf("best under %.1f ms:   %10.3f ms (%.2fx), top-1 %.2f%% (-%.3f)\n",
+				budgetMs, p.LatencyMs, p.Speedup, p.Accuracy, p.AccuracyDrop)
+			printPlan(n, p.Plan, showPlan)
+		} else {
+			fmt.Printf("no frontier plan meets the %.1f ms deadline (fastest: %.3f ms)\n",
+				budgetMs, f.Points[0].LatencyMs)
+		}
+	}
+	if p, ok := f.AccuracyBudget(maxDrop); ok {
+		fmt.Printf("fastest within -%.1f pts: %8.3f ms (%.2fx), top-1 %.2f%% (-%.3f)\n",
+			maxDrop, p.LatencyMs, p.Speedup, p.Accuracy, p.AccuracyDrop)
+		printPlan(n, p.Plan, showPlan)
+	}
+	return nil
+}
+
+func runFleet(n nets.Network, fleetSpec, objective string, maxDrop float64,
+	render func(report.Table) string, showPlan bool) error {
+	obj, err := perfprune.FleetObjectiveByName(objective)
+	if err != nil {
+		return err
+	}
+	members, err := parseFleet(fleetSpec)
+	if err != nil {
+		return err
+	}
+	eng := perfprune.NewEngine()
+	fleet := make([]perfprune.FleetTarget, len(members))
+	for i, mb := range members {
+		lib, err := perfprune.LookupBackend(mb.backend)
+		if err != nil {
+			return err
+		}
+		dev, err := device.ByName(mb.device)
+		if err != nil {
+			return err
+		}
+		tg := core.Target{Device: dev, Library: lib}
+		fmt.Printf("profiling %s on %s ...\n", n.Name, tg)
+		np, err := perfprune.ProfileNetworkContext(context.Background(), eng, tg, n)
+		if err != nil {
+			return err
+		}
+		fleet[i] = perfprune.FleetTarget{Profile: np, Weight: mb.weight}
+	}
+	fp, err := perfprune.PlanFleet(fleet, maxDrop, obj)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(render(fp.Table()))
+	printPlan(n, fp.Plan, showPlan)
+	return nil
+}
+
+type fleetMember struct {
+	backend, device string
+	weight          float64
+}
+
+func parseFleet(spec string) ([]fleetMember, error) {
+	var out []fleetMember
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, "=")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("fleet member %q is not backend=device[=weight]", part)
+		}
+		m := fleetMember{backend: strings.TrimSpace(fields[0]), device: strings.TrimSpace(fields[1])}
+		if len(fields) == 3 {
+			w, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("fleet member %q has invalid weight", part)
+			}
+			m.weight = w
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty fleet spec")
+	}
+	return out, nil
+}
+
+func renderer(format string) (func(report.Table) string, error) {
+	switch format {
+	case "text":
+		return report.Table.Render, nil
+	case "markdown":
+		return report.Table.RenderMarkdown, nil
+	case "csv":
+		return report.Table.RenderCSV, nil
+	}
+	return nil, fmt.Errorf("unknown format %q (have: text, markdown, csv)", format)
+}
+
+func printPlan(n nets.Network, p prune.Plan, show bool) {
+	if !show {
+		return
+	}
+	labels := make([]string, 0, len(p))
+	for label := range p {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	fmt.Println("  per-layer plan (pruned layers only):")
+	for _, label := range labels {
+		l, ok := n.Layer(label)
+		if !ok || p[label] == l.Spec.OutC {
+			continue
+		}
+		fmt.Printf("    %-14s %4d -> %4d channels\n", label, l.Spec.OutC, p[label])
+	}
+}

@@ -15,6 +15,7 @@
 //	POST /v1/sweep      layer × channel-range latency curve
 //	POST /v1/staircase  sweep + stair/right-edge analysis
 //	POST /v1/plan       whole-network prune plan under an accuracy budget
+//	POST /v1/frontier   latency–accuracy Pareto frontier / fleet planning
 package main
 
 import (

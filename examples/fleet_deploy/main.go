@@ -1,0 +1,77 @@
+// Fleet deployment: shipping ONE pruned VGG-16 to a heterogeneous
+// fleet — HiKey 970 and Odroid XU4 (Arm Compute Library over OpenCL),
+// Jetson TX2 and Nano (cuDNN). The paper shows optimal channel counts
+// are a property of the target, so no single board's plan is right for
+// the fleet; the cross-layer planner instead optimizes the shared plan
+// directly, here for the worst-case latency every device must meet.
+// The example compares the fleet plan against each board's own greedy
+// plan applied fleet-wide and prints the per-board table.
+//
+//	go run ./examples/fleet_deploy
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"perfprune"
+)
+
+func main() {
+	vgg := perfprune.VGG16()
+	targets := []perfprune.Target{
+		{Device: perfprune.HiKey970, Library: perfprune.ACLGEMM()},
+		{Device: perfprune.OdroidXU4, Library: perfprune.ACLGEMM()},
+		{Device: perfprune.JetsonTX2, Library: perfprune.CuDNN()},
+		{Device: perfprune.JetsonNano, Library: perfprune.CuDNN()},
+	}
+	const maxAccuracyDrop = 2.0 // points of modeled top-1
+
+	// One engine for the whole fleet: every profile shares the
+	// measurement cache.
+	eng := perfprune.NewEngine()
+	fleet := make([]perfprune.FleetTarget, len(targets))
+	for i, tg := range targets {
+		fmt.Printf("profiling %s ...\n", tg)
+		np, err := perfprune.ProfileNetworkContext(context.Background(), eng, tg, vgg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fleet[i] = perfprune.FleetTarget{Profile: np}
+	}
+
+	fp, err := perfprune.PlanFleet(fleet, maxAccuracyDrop, perfprune.WorstCase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(fp.Table().Render())
+
+	// The shared plan must beat the naive alternative: picking any one
+	// board's plan and shipping it everywhere.
+	fmt.Println("\nversus each board's own greedy plan applied fleet-wide:")
+	for i, tg := range targets {
+		pl, err := perfprune.NewPlanner(fleet[i].Profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		own, err := pl.PerformanceAware(1.5, maxAccuracyDrop)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst := 0.0
+		for _, member := range fleet {
+			lat, err := member.Profile.LatencyOf(own.Plan)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if lat > worst {
+				worst = lat
+			}
+		}
+		fmt.Printf("  %-28s plan fleet-wide: worst case %10.3f ms\n", tg.String(), worst)
+	}
+	fmt.Printf("  %-28s plan fleet-wide: worst case %10.3f ms  <- shared fleet plan\n",
+		"cross-layer", fp.WorstCaseMs)
+}

@@ -196,6 +196,9 @@ func TestCacheHitCounting(t *testing.T) {
 	if s.Entries != 3 {
 		t.Errorf("stats report %d entries, want 3", s.Entries)
 	}
+	if s.Evictions != 0 {
+		t.Errorf("unbounded cache reports %d evictions, want 0", s.Evictions)
+	}
 }
 
 // TestCacheLimitEvicts: a bounded cache must never hold more than its
@@ -239,6 +242,16 @@ func TestCacheLimitEvicts(t *testing.T) {
 		if n := c.Len(); n > 4 {
 			t.Fatalf("re-lookup %d left %d entries, want <= 4", i, n)
 		}
+	}
+	// The bound's work is observable: 40 distinct-key lookups through a
+	// 4-entry cache must have evicted, and the books must balance —
+	// every miss either stays resident or was evicted.
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Error("bounded cache under churn reports 0 evictions")
+	}
+	if s.Misses != s.Evictions+uint64(c.Len()) {
+		t.Errorf("misses (%d) != evictions (%d) + resident (%d)", s.Misses, s.Evictions, c.Len())
 	}
 }
 

@@ -35,11 +35,12 @@ type cacheEntry struct {
 // Cache memoizes Backend.Measure results. The zero value is not usable;
 // call NewCache.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[cacheKey]*cacheEntry
-	limit   int // 0 = unbounded
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	mu        sync.Mutex
+	entries   map[cacheKey]*cacheEntry
+	limit     int // 0 = unbounded
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 // NewCache returns an empty, unbounded measurement cache — the right
@@ -118,6 +119,7 @@ func (c *Cache) Measure(b Backend, dev device.Device, spec conv.ConvSpec) (Measu
 			default:
 			}
 		}
+		c.evictions.Add(uint64(evicted))
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[k] = e
@@ -132,11 +134,14 @@ func (c *Cache) Measure(b Backend, dev device.Device, spec conv.ConvSpec) (Measu
 // Stats reports the cache's hit and miss counts. A hit is any lookup
 // served from a completed or in-flight entry; a miss executed the
 // backend. Entries is the number of memoized configurations resident
-// at snapshot time.
+// at snapshot time; Evictions counts entries dropped by the bound
+// (always 0 for an unbounded cache) — a growing value under a steady
+// working set means the limit is too small to keep it warm.
 type Stats struct {
-	Hits    uint64
-	Misses  uint64
-	Entries int
+	Hits      uint64
+	Misses    uint64
+	Entries   int
+	Evictions uint64
 }
 
 // HitRate returns hits / (hits + misses), or 0 for an unused cache.
@@ -156,7 +161,12 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	n := len(c.entries)
 	c.mu.Unlock()
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Entries:   n,
+		Evictions: c.evictions.Load(),
+	}
 }
 
 // Len returns the number of memoized configurations.

@@ -1,0 +1,430 @@
+// Fleet planning: one shared pruning plan scored across multiple
+// targets. Deployments rarely ship one model per board — a fleet of
+// HiKey, Odroid and Jetson devices wants a single artifact — but the
+// paper's core finding is that optimal channel counts are per-target,
+// so the shared plan is a compromise the planner must optimize
+// explicitly rather than borrow from any one board.
+
+package pareto
+
+import (
+	"fmt"
+
+	"perfprune/internal/accuracy"
+	"perfprune/internal/core"
+	"perfprune/internal/prune"
+	"perfprune/internal/report"
+)
+
+// Objective selects how a shared plan's per-target latencies aggregate.
+type Objective uint8
+
+// Supported fleet objectives.
+const (
+	// WorstCase minimizes the maximum latency across the fleet — the
+	// deadline every device must meet.
+	WorstCase Objective = iota
+	// WeightedSum minimizes the weight-normalized mean latency — the
+	// fleet-wide average cost when targets carry traffic shares.
+	WeightedSum
+)
+
+// String implements fmt.Stringer with the wire names the service uses.
+func (o Objective) String() string {
+	switch o {
+	case WorstCase:
+		return "worst_case"
+	case WeightedSum:
+		return "weighted_sum"
+	default:
+		return fmt.Sprintf("Objective(%d)", uint8(o))
+	}
+}
+
+// ObjectiveByName parses an Objective wire name; empty means WorstCase.
+func ObjectiveByName(name string) (Objective, error) {
+	switch name {
+	case "", "worst_case":
+		return WorstCase, nil
+	case "weighted_sum":
+		return WeightedSum, nil
+	}
+	return 0, fmt.Errorf("pareto: unknown objective %q (have: worst_case, weighted_sum)", name)
+}
+
+// FleetTarget is one member of the fleet: a profiled (network, target)
+// pair with its relative weight.
+type FleetTarget struct {
+	// Profile is the network profiled on this member's target. All
+	// members must profile the same network.
+	Profile *core.NetworkProfile
+	// Weight scales this member in the weighted-sum objective (traffic
+	// share, population size); <= 0 means 1.
+	Weight float64
+}
+
+// TargetEval is one fleet member's evaluation under the shared plan.
+type TargetEval struct {
+	Target     core.Target
+	Weight     float64
+	BaselineMs float64
+	LatencyMs  float64
+	Speedup    float64
+}
+
+// FleetPlan is a single shared plan evaluated across the whole fleet.
+type FleetPlan struct {
+	Objective Objective
+	// Plan maps every layer label to its kept channel count.
+	Plan prune.Plan
+	// Accuracy and AccuracyDrop are target-independent.
+	Accuracy     float64
+	AccuracyDrop float64
+	// WorstCaseMs is the maximum per-target latency.
+	WorstCaseMs float64
+	// WeightedMs is the weight-normalized mean per-target latency.
+	WeightedMs float64
+	// PerTarget lists the members in input order.
+	PerTarget []TargetEval
+}
+
+// fleetIterations bounds the worst-case objective's reweighting loop:
+// each round shifts scalarization weight toward the current bottleneck
+// target and re-solves; a handful of rounds reaches the fixed point on
+// every fleet the tests exercise.
+const fleetIterations = 6
+
+// PlanFleet finds one shared plan for the fleet within the accuracy
+// budget. Candidates per layer are the union of every member's
+// staircase right edges (a right edge on one board is generally
+// mid-stair on another — its latency there is read off that board's
+// profiled curve). The weighted-sum objective is separable per layer,
+// so one scalarized DP solves it exactly over the quantized accuracy
+// axis; the worst-case objective is approached by iteratively
+// re-solving with weights shifted toward the bottleneck target and
+// keeping the best plan seen. The result is deterministic.
+func PlanFleet(targets []FleetTarget, m accuracy.Model, maxDrop float64, obj Objective, opts Options) (*FleetPlan, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("pareto: empty fleet")
+	}
+	if maxDrop < 0 {
+		return nil, fmt.Errorf("pareto: accuracy budget %v must be >= 0", maxDrop)
+	}
+	for i, ft := range targets {
+		if ft.Profile == nil {
+			return nil, fmt.Errorf("pareto: fleet member %d has no profile", i)
+		}
+	}
+	n := targets[0].Profile.Network
+	userW := make([]float64, len(targets))
+	for i, ft := range targets {
+		if ft.Profile.Network.Name != n.Name || len(ft.Profile.Network.Layers) != len(n.Layers) {
+			return nil, fmt.Errorf("pareto: fleet member %d profiles %s, want %s",
+				i, ft.Profile.Network.Name, n.Name)
+		}
+		if ft.Weight < 0 {
+			return nil, fmt.Errorf("pareto: fleet member %d has negative weight %v", i, ft.Weight)
+		}
+		userW[i] = ft.Weight
+		if userW[i] == 0 {
+			userW[i] = 1
+		}
+	}
+
+	layers, err := fleetCandidates(targets, m)
+	if err != nil {
+		return nil, err
+	}
+
+	w := normalized(userW)
+	var best *FleetPlan
+	iters := 1
+	if obj == WorstCase {
+		iters = fleetIterations
+		// Bottleneck enumeration: the minimax optimum is often the plan
+		// that prunes for the slowest member alone (every other board
+		// finishes earlier whatever it does), so solve each member's
+		// pure objective first. The reweighting loop below then explores
+		// the mixtures in between.
+		for ti := range targets {
+			e := make([]float64, len(targets))
+			e[ti] = 1
+			cand, err := solveFleet(targets, layers, m, maxDrop, obj, userW, e, opts)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || fleetBetter(obj, cand, best) {
+				best = cand
+			}
+		}
+	}
+	for it := 0; it < iters; it++ {
+		cand, err := solveFleet(targets, layers, m, maxDrop, obj, userW, w, opts)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || fleetBetter(obj, cand, best) {
+			best = cand
+		}
+		if obj != WorstCase || cand.WorstCaseMs == 0 {
+			break
+		}
+		// Shift scalarization weight toward the bottleneck: a member at
+		// the worst-case latency keeps its weight, faster members decay
+		// proportionally, so the next solve spends the accuracy budget
+		// where the deadline is set.
+		for ti := range w {
+			w[ti] = 0.5*w[ti] + 0.5*w[ti]*cand.PerTarget[ti].LatencyMs/cand.WorstCaseMs
+		}
+		w = normalized(w)
+	}
+	return polishFleet(targets, layers, m, maxDrop, obj, userW, best)
+}
+
+// maxPolishIterations bounds the local descent; each iteration applies
+// the single best improving move, so the bound is generous.
+const maxPolishIterations = 256
+
+// polishFleet hill-climbs the selected plan over the fleet candidate
+// space: single-layer moves to an adjacent candidate (one step narrower
+// or wider) are applied while they strictly improve the objective
+// within the accuracy budget. This repairs the small losses the DP's
+// accuracy quantization can leave at the budget boundary, where a
+// bucket's minimum-cost representative overshoots the exact budget its
+// neighbors satisfy.
+func polishFleet(targets []FleetTarget, layers []fleetLayer, m accuracy.Model,
+	maxDrop float64, obj Objective, userW []float64, start *FleetPlan) (*FleetPlan, error) {
+	best := start
+	for iter := 0; iter < maxPolishIterations; iter++ {
+		var improved *FleetPlan
+		for _, fl := range layers {
+			ci := -1
+			for j, c := range fl.cands {
+				if c.keep == best.Plan[fl.label] {
+					ci = j
+					break
+				}
+			}
+			if ci < 0 {
+				continue // defensive: every produced plan stays on the candidate grid
+			}
+			for _, nj := range []int{ci - 1, ci + 1} {
+				if nj < 0 || nj >= len(fl.cands) {
+					continue
+				}
+				trial := make(prune.Plan, len(best.Plan))
+				for k, v := range best.Plan {
+					trial[k] = v
+				}
+				trial[fl.label] = fl.cands[nj].keep
+				fp, err := evalFleet(targets, m, obj, userW, trial)
+				if err != nil {
+					return nil, err
+				}
+				if fp.AccuracyDrop > maxDrop || !fleetBetter(obj, fp, best) {
+					continue
+				}
+				if improved == nil || fleetBetter(obj, fp, improved) {
+					improved = fp
+				}
+			}
+		}
+		if improved == nil {
+			break
+		}
+		best = improved
+	}
+	return best, nil
+}
+
+// Table renders the fleet plan's per-board evaluation as a report.Table.
+func (fp *FleetPlan) Table() report.Table {
+	t := report.Table{
+		Title: fmt.Sprintf("fleet plan (%s): top-1 %.2f%% (-%.3f), worst case %.3f ms",
+			fp.Objective, fp.Accuracy, fp.AccuracyDrop, fp.WorstCaseMs),
+		Header: []string{"target", "weight", "baseline (ms)", "latency (ms)", "speedup"},
+	}
+	for _, ev := range fp.PerTarget {
+		t.Rows = append(t.Rows, []string{
+			targetLabel(ev.Target),
+			fmt.Sprintf("%.2f", ev.Weight),
+			fmt.Sprintf("%.3f", ev.BaselineMs),
+			fmt.Sprintf("%.3f", ev.LatencyMs),
+			fmt.Sprintf("%.2fx", ev.Speedup),
+		})
+	}
+	return t
+}
+
+// fleetLayer is one layer's fleet candidate set: the union of every
+// member's right edges with per-member latencies.
+type fleetLayer struct {
+	label string
+	cands []fleetCand // descending channels
+}
+
+type fleetCand struct {
+	keep int
+	pen  float64
+	lat  []float64 // per fleet member
+}
+
+func fleetCandidates(targets []FleetTarget, m accuracy.Model) ([]fleetLayer, error) {
+	n := targets[0].Profile.Network
+	out := make([]fleetLayer, 0, len(n.Layers))
+	for _, l := range n.Layers {
+		keeps := map[int]bool{l.Spec.OutC: true}
+		for _, ft := range targets {
+			lp, ok := ft.Profile.Profiles[l.Label]
+			if !ok {
+				return nil, fmt.Errorf("pareto: %s profile missing layer %s", ft.Profile.Target, l.Label)
+			}
+			for _, e := range lp.Analysis.Edges {
+				keeps[e.Channels] = true
+			}
+		}
+		fl := fleetLayer{label: l.Label, cands: make([]fleetCand, 0, len(keeps))}
+		for keep := l.Spec.OutC; keep >= 1; keep-- {
+			if !keeps[keep] {
+				continue
+			}
+			pen, err := m.LayerPenalty(l.Label, l.Spec.OutC, keep)
+			if err != nil {
+				return nil, err
+			}
+			fc := fleetCand{keep: keep, pen: pen, lat: make([]float64, len(targets))}
+			for ti, ft := range targets {
+				ms, err := ft.Profile.Profiles[l.Label].TimeAt(keep)
+				if err != nil {
+					return nil, err
+				}
+				fc.lat[ti] = ms
+			}
+			fl.cands = append(fl.cands, fc)
+		}
+		out = append(out, fl)
+	}
+	return out, nil
+}
+
+// solveFleet runs one scalarized DP with weights w and returns the best
+// qualifying plan under the true objective (scored with userW).
+func solveFleet(targets []FleetTarget, layers []fleetLayer, m accuracy.Model,
+	maxDrop float64, obj Objective, userW, w []float64, opts Options) (*FleetPlan, error) {
+	lcs := make([]layerCands, len(layers))
+	for li, fl := range layers {
+		cs := make([]candidate, len(fl.cands))
+		for ci, fc := range fl.cands {
+			cost := 0.0
+			for ti, wt := range w {
+				cost += wt * fc.lat[ti]
+			}
+			cs[ci] = candidate{keep: fc.keep, cost: cost, pen: fc.pen}
+		}
+		lcs[li] = layerCands{label: fl.label, cands: cs}
+	}
+	maxB := quantize(lcs, opts.resolution())
+	plans := frontierDP(lcs, maxB, false)
+	plans = append(plans, unprunedPlan(targets[0].Profile))
+
+	var best *FleetPlan
+	for _, p := range plans {
+		fp, err := evalFleet(targets, m, obj, userW, p)
+		if err != nil {
+			return nil, err
+		}
+		if fp.AccuracyDrop > maxDrop {
+			continue
+		}
+		if best == nil || fleetBetter(obj, fp, best) {
+			best = fp
+		}
+	}
+	// The unpruned plan has drop 0, so best is always set.
+	return best, nil
+}
+
+// evalFleet scores one shared plan across every member.
+func evalFleet(targets []FleetTarget, m accuracy.Model, obj Objective, userW []float64, p prune.Plan) (*FleetPlan, error) {
+	n := targets[0].Profile.Network
+	acc, err := m.Predict(n, p)
+	if err != nil {
+		return nil, err
+	}
+	fp := &FleetPlan{
+		Objective:    obj,
+		Plan:         p,
+		Accuracy:     acc,
+		AccuracyDrop: m.Base - acc,
+		PerTarget:    make([]TargetEval, len(targets)),
+	}
+	wSum := 0.0
+	for ti, ft := range targets {
+		base, err := ft.Profile.BaselineMs()
+		if err != nil {
+			return nil, err
+		}
+		lat, err := ft.Profile.LatencyOf(p)
+		if err != nil {
+			return nil, err
+		}
+		fp.PerTarget[ti] = TargetEval{
+			Target:     ft.Profile.Target,
+			Weight:     userW[ti],
+			BaselineMs: base,
+			LatencyMs:  lat,
+			Speedup:    base / lat,
+		}
+		if lat > fp.WorstCaseMs {
+			fp.WorstCaseMs = lat
+		}
+		fp.WeightedMs += userW[ti] * lat
+		wSum += userW[ti]
+	}
+	fp.WeightedMs /= wSum
+	return fp, nil
+}
+
+// fleetBetter reports whether a improves on b under the objective, with
+// the secondary aggregate (then accuracy) breaking ties deterministically.
+func fleetBetter(obj Objective, a, b *FleetPlan) bool {
+	p, s := a.WorstCaseMs, a.WeightedMs
+	q, t := b.WorstCaseMs, b.WeightedMs
+	if obj == WeightedSum {
+		p, s, q, t = s, p, t, q
+	}
+	switch {
+	case p != q:
+		return p < q
+	case s != t:
+		return s < t
+	}
+	return a.Accuracy > b.Accuracy
+}
+
+func normalized(w []float64) []float64 {
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	out := make([]float64, len(w))
+	if sum == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(w))
+		}
+		return out
+	}
+	for i, v := range w {
+		out[i] = v / sum
+	}
+	return out
+}
+
+// targetLabel renders a target compactly, tolerating synthetic profiles
+// without a library.
+func targetLabel(tg core.Target) string {
+	if tg.Library == nil {
+		return tg.Device.Name
+	}
+	return tg.String()
+}

@@ -1,0 +1,219 @@
+package pareto_test
+
+import (
+	"reflect"
+	"testing"
+
+	"perfprune/internal/accuracy"
+	"perfprune/internal/acl"
+	"perfprune/internal/backend"
+	"perfprune/internal/core"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/pareto"
+)
+
+// fourBoardFleet profiles VGG-16 on the paper's whole fleet: ACL GEMM
+// on the two Mali boards, cuDNN on the two Jetson boards.
+func fourBoardFleet(t *testing.T) []pareto.FleetTarget {
+	t.Helper()
+	targets := []core.Target{
+		{Device: device.HiKey970, Library: backend.ACL(acl.GEMMConv)},
+		{Device: device.OdroidXU4, Library: backend.ACL(acl.GEMMConv)},
+		{Device: device.JetsonTX2, Library: backend.CuDNN()},
+		{Device: device.JetsonNano, Library: backend.CuDNN()},
+	}
+	fleet := make([]pareto.FleetTarget, len(targets))
+	for i, tg := range targets {
+		np, err := core.ProfileNetwork(tg, nets.VGG16())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet[i] = pareto.FleetTarget{Profile: np}
+	}
+	return fleet
+}
+
+func vggModel(t *testing.T) accuracy.Model {
+	t.Helper()
+	m, err := accuracy.ForNetwork(nets.VGG16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.WithFineTune(true)
+}
+
+// TestFleetBeatsPerBoardGreedy is the acceptance criterion: the shared
+// fleet plan's worst-case latency across the four boards must be no
+// worse than any single board's greedy plan applied fleet-wide.
+func TestFleetBeatsPerBoardGreedy(t *testing.T) {
+	fleet := fourBoardFleet(t)
+	m := vggModel(t)
+	const maxDrop = 2.0
+
+	fp, err := pareto.PlanFleet(fleet, m, maxDrop, pareto.WorstCase, pareto.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.AccuracyDrop > maxDrop {
+		t.Fatalf("fleet plan drop %.3f exceeds the %.1f budget", fp.AccuracyDrop, maxDrop)
+	}
+	if len(fp.Plan) != len(nets.VGG16().Layers) {
+		t.Fatalf("fleet plan covers %d layers, want %d", len(fp.Plan), len(nets.VGG16().Layers))
+	}
+	if len(fp.PerTarget) != len(fleet) {
+		t.Fatalf("%d per-target evals, want %d", len(fp.PerTarget), len(fleet))
+	}
+	worst := 0.0
+	for _, ev := range fp.PerTarget {
+		if ev.LatencyMs > worst {
+			worst = ev.LatencyMs
+		}
+	}
+	if worst != fp.WorstCaseMs {
+		t.Fatalf("WorstCaseMs %v disagrees with per-target max %v", fp.WorstCaseMs, worst)
+	}
+
+	for i, ft := range fleet {
+		pl, err := core.NewPlanner(ft.Profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := pl.PerformanceAware(1.5, maxDrop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedyWorst := 0.0
+		for _, other := range fleet {
+			lat, err := other.Profile.LatencyOf(greedy.Plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lat > greedyWorst {
+				greedyWorst = lat
+			}
+		}
+		if fp.WorstCaseMs > greedyWorst {
+			t.Errorf("fleet worst case %.3f ms exceeds board %d (%s) greedy plan applied fleet-wide (%.3f ms)",
+				fp.WorstCaseMs, i, ft.Profile.Target, greedyWorst)
+		}
+	}
+}
+
+// TestFleetWeightedSum: the weighted objective honors weights, improves
+// on the unpruned fleet, and is deterministic run to run.
+func TestFleetWeightedSum(t *testing.T) {
+	fleet := fourBoardFleet(t)
+	fleet[1].Weight = 10 // the Odroid carries most of the traffic
+	m := vggModel(t)
+
+	fp, err := pareto.PlanFleet(fleet, m, 2.0, pareto.WeightedSum, pareto.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Objective != pareto.WeightedSum {
+		t.Errorf("objective = %v", fp.Objective)
+	}
+	if fp.PerTarget[1].Weight != 10 || fp.PerTarget[0].Weight != 1 {
+		t.Errorf("weights not carried: %+v", fp.PerTarget)
+	}
+	wSum, base := 0.0, 0.0
+	for i, ev := range fp.PerTarget {
+		w := 1.0
+		if i == 1 {
+			w = 10
+		}
+		wSum += w * ev.LatencyMs
+		base += w * ev.BaselineMs
+	}
+	if fp.WeightedMs != wSum/13 {
+		t.Errorf("WeightedMs = %v, want %v", fp.WeightedMs, wSum/13)
+	}
+	if fp.WeightedMs >= base/13 {
+		t.Errorf("weighted plan (%.3f ms) no faster than the unpruned fleet (%.3f ms)", fp.WeightedMs, base/13)
+	}
+
+	again, err := pareto.PlanFleet(fleet, m, 2.0, pareto.WeightedSum, pareto.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fp, again) {
+		t.Error("fleet planning is not deterministic")
+	}
+}
+
+// TestFleetSingleMemberMatchesFrontier: a one-board fleet under the
+// worst-case objective degenerates to the single-target AccuracyBudget
+// query.
+func TestFleetSingleMemberMatchesFrontier(t *testing.T) {
+	tg := core.Target{Device: device.JetsonTX2, Library: backend.CuDNN()}
+	np, err := core.ProfileNetwork(tg, nets.AlexNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := accuracy.ForNetwork(nets.AlexNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = m.WithFineTune(true)
+	const maxDrop = 1.5
+
+	fp, err := pareto.PlanFleet([]pareto.FleetTarget{{Profile: np}}, m, maxDrop, pareto.WorstCase, pareto.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := pareto.Compute(&core.Planner{Profile: np, Acc: m}, pareto.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, ok := f.AccuracyBudget(maxDrop)
+	if !ok {
+		t.Fatal("no frontier plan within budget")
+	}
+	if fp.WorstCaseMs != want.LatencyMs {
+		t.Errorf("single-member fleet latency %v, frontier AccuracyBudget latency %v", fp.WorstCaseMs, want.LatencyMs)
+	}
+}
+
+// TestObjectiveByName covers the wire-name parsing.
+func TestObjectiveByName(t *testing.T) {
+	for name, want := range map[string]pareto.Objective{
+		"":             pareto.WorstCase,
+		"worst_case":   pareto.WorstCase,
+		"weighted_sum": pareto.WeightedSum,
+	} {
+		got, err := pareto.ObjectiveByName(name)
+		if err != nil || got != want {
+			t.Errorf("ObjectiveByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := pareto.ObjectiveByName("fastest"); err == nil {
+		t.Error("unknown objective accepted")
+	}
+}
+
+// TestPlanFleetValidation covers the error paths.
+func TestPlanFleetValidation(t *testing.T) {
+	np, m := synthProfile(t, synthConfigs()["two-layer"])
+	good := pareto.FleetTarget{Profile: np}
+
+	if _, err := pareto.PlanFleet(nil, m, 1, pareto.WorstCase, pareto.Options{}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := pareto.PlanFleet([]pareto.FleetTarget{{}}, m, 1, pareto.WorstCase, pareto.Options{}); err == nil {
+		t.Error("nil profile accepted")
+	}
+	if _, err := pareto.PlanFleet([]pareto.FleetTarget{good}, m, -1, pareto.WorstCase, pareto.Options{}); err == nil {
+		t.Error("negative accuracy budget accepted")
+	}
+	if _, err := pareto.PlanFleet([]pareto.FleetTarget{{Profile: np, Weight: -2}}, m, 1, pareto.WorstCase, pareto.Options{}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	other, _ := synthProfile(t, []synthLayer{
+		{label: "O.L0", widths: []int{2, 2}, levels: []float64{1, 3}, sens: 5},
+	})
+	other.Network.Name = "other"
+	if _, err := pareto.PlanFleet([]pareto.FleetTarget{good, {Profile: other}}, m, 1, pareto.WorstCase, pareto.Options{}); err == nil {
+		t.Error("mixed-network fleet accepted")
+	}
+}

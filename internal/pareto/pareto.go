@@ -1,0 +1,398 @@
+// Package pareto is the cross-layer planning subsystem: it computes the
+// full latency–accuracy Pareto frontier of a (network, target) pair,
+// rather than the single plan core.Planner's greedy loop produces.
+//
+// The paper proposes choosing per-layer channel counts "in an iterative
+// loop with hardware profiling and test accuracy of the compressed
+// model" (§II-B, §V). The greedy loop answers "prune everything a
+// little"; the frontier answers the deployment questions behind it:
+// what is the best accuracy under a 30 ms deadline on this board
+// (LatencyBudget), what is the fastest plan within a 2-point accuracy
+// drop (AccuracyBudget, generalizing the greedy planner's output), and
+// — in fleet.go — which single plan serves a whole device fleet.
+//
+// The search space is the product of the per-layer staircase right
+// edges ("the most number of channels for an inference time", §II-B):
+// every other channel count is dominated on its own layer, so the
+// frontier of the product space only ever selects edges. Over that
+// space the subsystem runs a two-objective dynamic program: the
+// accuracy axis is quantized into buckets of the per-layer penalty
+// (accuracy.Model.LayerPenalty), the DP finds the minimum-latency plan
+// per bucket, and the surviving plans are exactly re-scored with
+// accuracy.Model.Predict and filtered to the non-dominated set. The
+// whole computation is a pure function of the profiles and the model,
+// so frontiers are deterministic and golden-testable.
+package pareto
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"perfprune/internal/accuracy"
+	"perfprune/internal/core"
+	"perfprune/internal/prune"
+	"perfprune/internal/report"
+)
+
+// DefaultResolution is the number of accuracy-axis buckets the DP uses
+// when Options.Resolution is unset. The quantum is the summed worst-case
+// per-layer penalty divided by the resolution; at 2048 buckets the
+// networks' full penalty ranges quantize to ~0.1 accuracy points per
+// bucket, well below the exact re-scoring's discrimination needs.
+const DefaultResolution = 2048
+
+// maxResolution bounds the DP table against misconfiguration.
+const maxResolution = 1 << 16
+
+// Options tunes the frontier computation.
+type Options struct {
+	// Resolution is the number of accuracy-axis buckets for the DP;
+	// <= 0 means DefaultResolution. Higher resolutions separate plans
+	// with closer accuracy costs at linearly more DP work.
+	Resolution int
+}
+
+func (o Options) resolution() int {
+	switch {
+	case o.Resolution <= 0:
+		return DefaultResolution
+	case o.Resolution > maxResolution:
+		return maxResolution
+	}
+	return o.Resolution
+}
+
+// Point is one evaluated plan on the frontier.
+type Point struct {
+	// Plan maps every layer label to its kept channel count (full-width
+	// layers included, matching core.Planner's plans).
+	Plan prune.Plan
+	// LatencyMs is the whole-network latency under the plan.
+	LatencyMs float64
+	// Speedup is baseline latency over LatencyMs.
+	Speedup float64
+	// Accuracy is the exactly re-scored modeled top-1 accuracy.
+	Accuracy float64
+	// AccuracyDrop is base accuracy minus Accuracy.
+	AccuracyDrop float64
+}
+
+// Frontier is the latency–accuracy Pareto frontier of one (network,
+// target) pair.
+type Frontier struct {
+	// Profile is the network profile the frontier was computed from.
+	Profile *core.NetworkProfile
+	// Acc is the accuracy model used for penalties and re-scoring.
+	Acc accuracy.Model
+	// BaselineMs is the unpruned whole-network latency.
+	BaselineMs float64
+	// Points are the non-dominated plans in ascending latency order;
+	// accuracy ascends strictly with latency. The last point is always
+	// the unpruned network (drop 0, speedup 1).
+	Points []Point
+}
+
+// Compute builds the frontier for the planner's (network, target) pair
+// over the per-layer staircase right-edge candidates.
+func Compute(pl *core.Planner, opts Options) (*Frontier, error) {
+	if pl == nil || pl.Profile == nil {
+		return nil, fmt.Errorf("pareto: nil planner")
+	}
+	np := pl.Profile
+	base, err := np.BaselineMs()
+	if err != nil {
+		return nil, err
+	}
+	layers, err := singleTargetCandidates(np, pl.Acc)
+	if err != nil {
+		return nil, err
+	}
+	maxB := quantize(layers, opts.resolution())
+	plans := frontierDP(layers, maxB, true)
+	plans = append(plans, unprunedPlan(np))
+
+	pts := make([]Point, 0, len(plans))
+	for _, p := range plans {
+		lat, err := np.LatencyOf(p)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := pl.Acc.Predict(np.Network, p)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Point{
+			Plan:         p,
+			LatencyMs:    lat,
+			Speedup:      base / lat,
+			Accuracy:     acc,
+			AccuracyDrop: pl.Acc.Base - acc,
+		})
+	}
+	return &Frontier{
+		Profile:    np,
+		Acc:        pl.Acc,
+		BaselineMs: base,
+		Points:     nonDominated(pts),
+	}, nil
+}
+
+// LatencyBudget returns the most accurate frontier plan whose latency
+// is within the deadline. ok is false when even the fastest plan
+// exceeds it.
+func (f *Frontier) LatencyBudget(ms float64) (Point, bool) {
+	var best Point
+	ok := false
+	for _, p := range f.Points { // ascending latency and accuracy
+		if p.LatencyMs <= ms {
+			best, ok = p, true
+		}
+	}
+	return best, ok
+}
+
+// AccuracyBudget returns the fastest frontier plan whose accuracy drop
+// is within the cap — the frontier-backed generalization of the greedy
+// planner's single plan. The unpruned point is always on the frontier,
+// so every cap >= 0 is satisfiable.
+func (f *Frontier) AccuracyBudget(maxDrop float64) (Point, bool) {
+	for _, p := range f.Points { // drop descends along ascending latency
+		if p.AccuracyDrop <= maxDrop {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Sample returns at most n frontier points, evenly spaced by index and
+// always retaining both endpoints (the fastest and the unpruned plan).
+// n <= 0 or n >= len(Points) returns every point.
+func (f *Frontier) Sample(n int) []Point {
+	total := len(f.Points)
+	if n <= 0 || n >= total {
+		out := make([]Point, total)
+		copy(out, f.Points)
+		return out
+	}
+	if n == 1 {
+		return []Point{f.Points[total-1]}
+	}
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		out[i] = f.Points[i*(total-1)/(n-1)]
+	}
+	return out
+}
+
+// Table renders at most maxRows frontier points as a report.Table
+// (render with Render, RenderMarkdown or RenderCSV).
+func (f *Frontier) Table(maxRows int) report.Table {
+	pts := f.Sample(maxRows)
+	t := report.Table{
+		Title:  fmt.Sprintf("Pareto frontier: %s on %s (%d of %d points)", f.Profile.Network.Name, targetLabel(f.Profile.Target), len(pts), len(f.Points)),
+		Header: []string{"latency (ms)", "speedup", "top-1 (%)", "drop (pts)", "pruned layers"},
+	}
+	for _, p := range pts {
+		pruned := 0
+		for _, l := range f.Profile.Network.Layers {
+			if keep, ok := p.Plan[l.Label]; ok && keep < l.Spec.OutC {
+				pruned++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.3f", p.LatencyMs),
+			fmt.Sprintf("%.2fx", p.Speedup),
+			fmt.Sprintf("%.2f", p.Accuracy),
+			fmt.Sprintf("%.3f", p.AccuracyDrop),
+			fmt.Sprintf("%d/%d", pruned, len(f.Profile.Network.Layers)),
+		})
+	}
+	return t
+}
+
+// candidate is one admissible channel count for a layer: a staircase
+// right edge with its scalarized latency cost and accuracy penalty.
+type candidate struct {
+	keep   int
+	cost   float64 // scalar DP objective (latency, or weighted fleet latency)
+	pen    float64 // raw per-layer accuracy penalty (pre fine-tune)
+	bucket int     // quantized pen, filled by quantize
+}
+
+// layerCands is one layer's candidate set, in descending channel order
+// so DP cost ties resolve toward keeping more channels.
+type layerCands struct {
+	label string
+	cands []candidate
+}
+
+// singleTargetCandidates builds the per-layer candidate sets from the
+// profile's staircase right edges.
+func singleTargetCandidates(np *core.NetworkProfile, m accuracy.Model) ([]layerCands, error) {
+	out := make([]layerCands, 0, len(np.Network.Layers))
+	for _, l := range np.Network.Layers {
+		lp, ok := np.Profiles[l.Label]
+		if !ok {
+			return nil, fmt.Errorf("pareto: profile missing layer %s", l.Label)
+		}
+		edges := lp.Analysis.Edges
+		if len(edges) == 0 {
+			return nil, fmt.Errorf("pareto: layer %s has no staircase edges", l.Label)
+		}
+		lc := layerCands{label: l.Label, cands: make([]candidate, 0, len(edges))}
+		for i := len(edges) - 1; i >= 0; i-- { // descending channels
+			e := edges[i]
+			pen, err := m.LayerPenalty(l.Label, l.Spec.OutC, e.Channels)
+			if err != nil {
+				return nil, err
+			}
+			lc.cands = append(lc.cands, candidate{keep: e.Channels, cost: e.Ms, pen: pen})
+		}
+		out = append(out, lc)
+	}
+	return out, nil
+}
+
+// quantize assigns each candidate an accuracy bucket: the quantum is
+// the summed worst-case per-layer penalty divided by the resolution.
+// It returns the maximum reachable bucket sum (the DP table bound).
+// A zero penalty range (nothing to trade) maps everything to bucket 0.
+func quantize(layers []layerCands, resolution int) int {
+	totalMax := 0.0
+	for _, lc := range layers {
+		layerMax := 0.0
+		for _, c := range lc.cands {
+			if c.pen > layerMax {
+				layerMax = c.pen
+			}
+		}
+		totalMax += layerMax
+	}
+	q := totalMax / float64(resolution)
+	maxB := 0
+	for li := range layers {
+		layerMax := 0
+		for ci := range layers[li].cands {
+			b := 0
+			if q > 0 {
+				b = int(math.Round(layers[li].cands[ci].pen / q))
+			}
+			layers[li].cands[ci].bucket = b
+			if b > layerMax {
+				layerMax = b
+			}
+		}
+		maxB += layerMax
+	}
+	return maxB
+}
+
+// frontierDP solves the quantized two-objective knapsack: for every
+// reachable quantized accuracy cost it finds the minimum total scalar
+// cost and one plan achieving it. With improvingOnly it returns the
+// plans of the buckets where the minimum strictly improves — the
+// quantized frontier, before exact re-scoring; without it, every
+// reachable bucket's plan is returned (the fleet selector wants the
+// larger pool, because a bucket representative can overshoot the exact
+// accuracy budget its neighbors satisfy). Candidate order within a
+// layer breaks cost ties toward more channels, so the result is
+// deterministic.
+func frontierDP(layers []layerCands, maxB int, improvingOnly bool) []prune.Plan {
+	inf := math.Inf(1)
+	dp := make([]float64, maxB+1)
+	for i := range dp {
+		dp[i] = inf
+	}
+	dp[0] = 0
+	choice := make([][]int32, len(layers))
+	for li, lc := range layers {
+		next := make([]float64, maxB+1)
+		ch := make([]int32, maxB+1)
+		for i := range next {
+			next[i] = inf
+			ch[i] = -1
+		}
+		for b, cur := range dp {
+			if cur == inf {
+				continue
+			}
+			for ci, c := range lc.cands {
+				nb := b + c.bucket
+				if nb > maxB {
+					continue
+				}
+				if v := cur + c.cost; v < next[nb] {
+					next[nb] = v
+					ch[nb] = int32(ci)
+				}
+			}
+		}
+		dp = next
+		choice[li] = ch
+	}
+
+	var plans []prune.Plan
+	best := inf
+	for B := 0; B <= maxB; B++ {
+		if dp[B] == inf || (improvingOnly && dp[B] >= best) {
+			continue
+		}
+		plan := make(prune.Plan, len(layers))
+		b := B
+		ok := true
+		for li := len(layers) - 1; li >= 0; li-- {
+			ci := choice[li][b]
+			if ci < 0 {
+				ok = false
+				break
+			}
+			c := layers[li].cands[ci]
+			plan[layers[li].label] = c.keep
+			b -= c.bucket
+		}
+		if !ok || b != 0 {
+			continue
+		}
+		if dp[B] < best {
+			best = dp[B]
+		}
+		plans = append(plans, plan)
+	}
+	return plans
+}
+
+// unprunedPlan maps every layer to its full width. It is appended to
+// the DP's plans unconditionally so the frontier always contains the
+// exact zero-drop point (a faster near-zero-penalty plan sharing bucket
+// 0 would otherwise shadow it).
+func unprunedPlan(np *core.NetworkProfile) prune.Plan {
+	p := make(prune.Plan, len(np.Network.Layers))
+	for _, l := range np.Network.Layers {
+		p[l.Label] = l.Spec.OutC
+	}
+	return p
+}
+
+// nonDominated filters to the Pareto-optimal points and orders them by
+// ascending latency; accuracy then ascends strictly, and duplicate or
+// dominated plans are dropped.
+func nonDominated(pts []Point) []Point {
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].LatencyMs != sorted[j].LatencyMs {
+			return sorted[i].LatencyMs < sorted[j].LatencyMs
+		}
+		return sorted[i].Accuracy > sorted[j].Accuracy
+	})
+	out := make([]Point, 0, len(sorted))
+	bestAcc := math.Inf(-1)
+	for _, p := range sorted {
+		if p.Accuracy > bestAcc {
+			out = append(out, p)
+			bestAcc = p.Accuracy
+		}
+	}
+	return out
+}

@@ -1,0 +1,351 @@
+package pareto_test
+
+// Property tests for the frontier subsystem. The DP is checked against
+// brute-force enumeration of the full candidate product space on small
+// synthetic networks (byte-identical frontiers), and the frontier
+// invariants — non-domination, strict monotonicity in both axes, the
+// unpruned endpoint — are asserted on both synthetic and real
+// (simulated-backend) profiles.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+
+	"perfprune/internal/accuracy"
+	"perfprune/internal/acl"
+	"perfprune/internal/backend"
+	"perfprune/internal/conv"
+	"perfprune/internal/core"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/pareto"
+	"perfprune/internal/profiler"
+	"perfprune/internal/prune"
+	"perfprune/internal/staircase"
+)
+
+// synthLayer describes one synthetic layer: a staircase with the given
+// plateau widths and latencies (channels run 1..sum(widths)).
+type synthLayer struct {
+	label  string
+	widths []int
+	levels []float64
+	sens   float64
+}
+
+// synthProfile hand-builds a NetworkProfile (and accuracy model) from
+// synthetic staircases, bypassing the simulator entirely.
+func synthProfile(t *testing.T, layers []synthLayer) (*core.NetworkProfile, accuracy.Model) {
+	t.Helper()
+	n := nets.Network{Name: "synthetic"}
+	profiles := make(map[string]core.LayerProfile, len(layers))
+	sens := make(map[string]float64, len(layers))
+	for _, sl := range layers {
+		var curve []profiler.Point
+		c := 0
+		for si, w := range sl.widths {
+			for j := 0; j < w; j++ {
+				c++
+				curve = append(curve, profiler.Point{Channels: c, Ms: sl.levels[si]})
+			}
+		}
+		spec := conv.ConvSpec{Name: sl.label, InH: 8, InW: 8, InC: 4, OutC: c,
+			KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+		layer := nets.Layer{Label: sl.label, Spec: spec}
+		an, err := staircase.Analyze(curve)
+		if err != nil {
+			t.Fatalf("%s: %v", sl.label, err)
+		}
+		n.Layers = append(n.Layers, layer)
+		profiles[sl.label] = core.LayerProfile{Layer: layer, Curve: curve, Analysis: an}
+		sens[sl.label] = sl.sens
+	}
+	np := &core.NetworkProfile{Network: n, Profiles: profiles}
+	m := accuracy.Model{Base: 70, Sensitivity: sens}
+	return np, m
+}
+
+// bruteForceFrontier enumerates every combination of per-layer right
+// edges, scores each exactly, and filters to the non-dominated set with
+// the same ordering semantics the frontier promises (ascending latency,
+// strictly ascending accuracy).
+func bruteForceFrontier(t *testing.T, np *core.NetworkProfile, m accuracy.Model) []pareto.Point {
+	t.Helper()
+	base, err := np.BaselineMs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []pareto.Point
+	plan := make(prune.Plan, len(np.Network.Layers))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(np.Network.Layers) {
+			p := make(prune.Plan, len(plan))
+			for k, v := range plan {
+				p[k] = v
+			}
+			lat, err := np.LatencyOf(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc, err := m.Predict(np.Network, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, pareto.Point{Plan: p, LatencyMs: lat, Speedup: base / lat,
+				Accuracy: acc, AccuracyDrop: m.Base - acc})
+			return
+		}
+		l := np.Network.Layers[i]
+		for _, e := range np.Profiles[l.Label].Analysis.Edges {
+			plan[l.Label] = e.Channels
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].LatencyMs != all[j].LatencyMs {
+			return all[i].LatencyMs < all[j].LatencyMs
+		}
+		return all[i].Accuracy > all[j].Accuracy
+	})
+	var out []pareto.Point
+	bestAcc := -1.0
+	for _, p := range all {
+		if p.Accuracy > bestAcc {
+			out = append(out, p)
+			bestAcc = p.Accuracy
+		}
+	}
+	return out
+}
+
+// synthConfigs are the small networks the DP is checked exhaustively
+// on: <= 4 layers, <= 6 candidates each, with generic (well-separated)
+// sensitivities so distinct plans never collide in one accuracy bucket.
+func synthConfigs() map[string][]synthLayer {
+	return map[string][]synthLayer{
+		"two-layer": {
+			{label: "S.L0", widths: []int{3, 3, 3}, levels: []float64{2, 5, 9}, sens: 7.13},
+			{label: "S.L1", widths: []int{4, 4, 4}, levels: []float64{3, 4.7, 11}, sens: 11.71},
+		},
+		"three-layer-uneven": {
+			{label: "S.L0", widths: []int{2, 2, 2, 2}, levels: []float64{1, 2.3, 2.9, 7}, sens: 4.93},
+			{label: "S.L1", widths: []int{5, 3}, levels: []float64{4.1, 6.6}, sens: 9.31},
+			{label: "S.L2", widths: []int{1, 2, 3}, levels: []float64{0.8, 2.2, 3.1}, sens: 6.07},
+		},
+		// A non-monotone curve: the middle plateau is slower than the
+		// wider one (the paper's slowdown hazard), so only two of the
+		// three plateaus contribute right edges.
+		"four-layer-hazard": {
+			{label: "S.L0", widths: []int{3, 3, 3}, levels: []float64{2, 8, 5}, sens: 8.23},
+			{label: "S.L1", widths: []int{2, 2}, levels: []float64{1.5, 3.2}, sens: 3.57},
+			{label: "S.L2", widths: []int{3, 3, 3, 3}, levels: []float64{2.2, 4.4, 6.8, 13}, sens: 12.49},
+			{label: "S.L3", widths: []int{4, 4}, levels: []float64{5.5, 9.9}, sens: 5.81},
+		},
+	}
+}
+
+// TestFrontierMatchesBruteForce: on small synthetic networks the DP
+// frontier must be byte-identical to exhaustive enumeration.
+func TestFrontierMatchesBruteForce(t *testing.T) {
+	for name, layers := range synthConfigs() {
+		for _, fineTune := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/finetune=%v", name, fineTune), func(t *testing.T) {
+				np, m := synthProfile(t, layers)
+				m = m.WithFineTune(fineTune)
+				f, err := pareto.Compute(&core.Planner{Profile: np, Acc: m}, pareto.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := bruteForceFrontier(t, np, m)
+				got, err := json.Marshal(f.Points)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantJSON, err := json.Marshal(want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, wantJSON) {
+					t.Errorf("DP frontier diverged from brute force\n got (%d pts): %s\nwant (%d pts): %s",
+						len(f.Points), got, len(want), wantJSON)
+				}
+			})
+		}
+	}
+}
+
+// checkFrontierInvariants asserts non-domination (pairwise, independent
+// of the package's own filter), strict monotonicity in both axes, and
+// the unpruned endpoint.
+func checkFrontierInvariants(t *testing.T, f *pareto.Frontier) {
+	t.Helper()
+	pts := f.Points
+	if len(pts) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i, p := range pts {
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if q.LatencyMs <= p.LatencyMs && q.Accuracy >= p.Accuracy &&
+				(q.LatencyMs < p.LatencyMs || q.Accuracy > p.Accuracy) {
+				t.Fatalf("point %d (%.6f ms, %.6f%%) dominated by point %d (%.6f ms, %.6f%%)",
+					i, p.LatencyMs, p.Accuracy, j, q.LatencyMs, q.Accuracy)
+			}
+		}
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].LatencyMs <= pts[i-1].LatencyMs {
+			t.Errorf("latency not strictly ascending at %d: %v then %v", i, pts[i-1].LatencyMs, pts[i].LatencyMs)
+		}
+		if pts[i].Accuracy <= pts[i-1].Accuracy {
+			t.Errorf("accuracy not strictly ascending at %d: %v then %v", i, pts[i-1].Accuracy, pts[i].Accuracy)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.AccuracyDrop != 0 || last.Speedup != 1 || last.LatencyMs != f.BaselineMs {
+		t.Errorf("frontier does not end at the unpruned network: %+v (baseline %v)", last, f.BaselineMs)
+	}
+	for _, p := range pts {
+		if len(p.Plan) != len(f.Profile.Network.Layers) {
+			t.Fatalf("plan covers %d layers, want %d", len(p.Plan), len(f.Profile.Network.Layers))
+		}
+		for label, keep := range p.Plan {
+			l, ok := f.Profile.Network.Layer(label)
+			if !ok || keep < 1 || keep > l.Spec.OutC {
+				t.Fatalf("plan keeps %d channels in %s (full %d)", keep, label, l.Spec.OutC)
+			}
+		}
+	}
+}
+
+// TestFrontierPropertiesRealTarget runs the invariants and the query
+// modes on a real simulated profile (AlexNet, TVM on the Odroid XU4).
+func TestFrontierPropertiesRealTarget(t *testing.T) {
+	tg := core.Target{Device: device.OdroidXU4, Library: backend.TVM()}
+	np, err := core.ProfileNetwork(tg, nets.AlexNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.NewPlanner(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := pareto.Compute(pl, pareto.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFrontierInvariants(t, f)
+
+	// AccuracyBudget: the fastest plan within the cap; its neighbors on
+	// the frontier must bracket the cap.
+	p, ok := f.AccuracyBudget(1.0)
+	if !ok || p.AccuracyDrop > 1.0 {
+		t.Fatalf("AccuracyBudget(1.0) = %+v, ok=%v", p, ok)
+	}
+	for _, q := range f.Points {
+		if q.AccuracyDrop <= 1.0 && q.LatencyMs < p.LatencyMs {
+			t.Errorf("AccuracyBudget missed a faster qualifying plan: %v ms < %v ms", q.LatencyMs, p.LatencyMs)
+		}
+	}
+	// LatencyBudget: the most accurate plan under the deadline.
+	deadline := f.BaselineMs * 0.8
+	p, ok = f.LatencyBudget(deadline)
+	if !ok || p.LatencyMs > deadline {
+		t.Fatalf("LatencyBudget(%v) = %+v, ok=%v", deadline, p, ok)
+	}
+	for _, q := range f.Points {
+		if q.LatencyMs <= deadline && q.Accuracy > p.Accuracy {
+			t.Errorf("LatencyBudget missed a more accurate qualifying plan: %v%% > %v%%", q.Accuracy, p.Accuracy)
+		}
+	}
+	if _, ok := f.LatencyBudget(0); ok {
+		t.Error("LatencyBudget(0) reported a feasible plan")
+	}
+	// An unlimited accuracy budget is the frontier's fastest point.
+	p, ok = f.AccuracyBudget(f.Acc.Base)
+	if !ok || p.LatencyMs != f.Points[0].LatencyMs {
+		t.Errorf("unlimited AccuracyBudget = %v ms, want the fastest point %v ms", p.LatencyMs, f.Points[0].LatencyMs)
+	}
+}
+
+// TestFrontierDominatesGreedy: the DP's AccuracyBudget plan can be no
+// slower than the greedy single-plan loop under the same budget — the
+// frontier generalizes (and here strictly subsumes) today's planner.
+func TestFrontierDominatesGreedy(t *testing.T) {
+	tg := core.Target{Device: device.HiKey970, Library: backend.ACL(acl.GEMMConv)}
+	np, err := core.ProfileNetwork(tg, nets.VGG16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.NewPlanner(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxDrop = 2.0
+	// A huge target speedup makes the greedy loop spend the whole
+	// accuracy budget, its best effort at "fastest within the cap".
+	greedy, err := pl.PerformanceAware(100, maxDrop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := pareto.Compute(pl, pareto.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFrontierInvariants(t, f)
+	p, ok := f.AccuracyBudget(maxDrop)
+	if !ok {
+		t.Fatal("no frontier plan within the budget")
+	}
+	if p.LatencyMs > greedy.LatencyMs {
+		t.Errorf("frontier plan (%.3f ms) slower than greedy plan (%.3f ms) under the same %.1f-pt budget",
+			p.LatencyMs, greedy.LatencyMs, maxDrop)
+	}
+}
+
+// TestSample checks the response-thinning helper keeps endpoints and
+// spacing.
+func TestSample(t *testing.T) {
+	np, m := synthProfile(t, synthConfigs()["four-layer-hazard"])
+	f, err := pareto.Compute(&core.Planner{Profile: np, Acc: m}, pareto.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(f.Points)
+	if total < 3 {
+		t.Fatalf("frontier too small to sample: %d points", total)
+	}
+	for _, n := range []int{0, 1, 2, total - 1, total, total + 5} {
+		s := f.Sample(n)
+		wantLen := n
+		if n <= 0 || n >= total {
+			wantLen = total
+		}
+		if len(s) != wantLen {
+			t.Fatalf("Sample(%d) returned %d points, want %d", n, len(s), wantLen)
+		}
+		if s[len(s)-1].LatencyMs != f.Points[total-1].LatencyMs {
+			t.Errorf("Sample(%d) dropped the unpruned endpoint", n)
+		}
+		if n >= 2 && s[0].LatencyMs != f.Points[0].LatencyMs {
+			t.Errorf("Sample(%d) dropped the fastest endpoint", n)
+		}
+	}
+}
+
+// TestComputeValidation covers the error paths.
+func TestComputeValidation(t *testing.T) {
+	if _, err := pareto.Compute(nil, pareto.Options{}); err == nil {
+		t.Error("nil planner accepted")
+	}
+	if _, err := pareto.Compute(&core.Planner{}, pareto.Options{}); err == nil {
+		t.Error("planner without profile accepted")
+	}
+}

@@ -6,6 +6,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"fmt"
 	"strings"
 
@@ -166,6 +167,54 @@ func (t Table) Render() string {
 	for _, row := range t.Rows {
 		writeRow(row)
 	}
+	return b.String()
+}
+
+// RenderMarkdown formats the table as a GitHub-flavored markdown table
+// (a bold title line, a header row, and one row per entry), the format
+// the frontier and fleet reports embed in docs and PR summaries.
+func (t Table) RenderMarkdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for _, c := range cells {
+			b.WriteByte(' ')
+			b.WriteString(markdownEscape(c))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	b.WriteByte('|')
+	for range t.Header {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func markdownEscape(s string) string {
+	return strings.ReplaceAll(s, "|", `\|`)
+}
+
+// RenderCSV emits the table as CSV (header row first), quoted per
+// RFC 4180.
+func (t Table) RenderCSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	// Writes to a strings.Builder cannot fail; Flush below surfaces any
+	// writer-internal error as an empty-ish result, which the tests pin.
+	_ = w.Write(t.Header)
+	for _, row := range t.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
 	return b.String()
 }
 

@@ -104,6 +104,42 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+func TestTableRenderMarkdown(t *testing.T) {
+	tb := Table{
+		Title:  "frontier",
+		Header: []string{"latency (ms)", "speedup"},
+		Rows: [][]string{
+			{"10.5", "1.50x"},
+			{"a|b", "2.00x"}, // pipes must be escaped, not break the row
+		},
+	}
+	want := "**frontier**\n\n" +
+		"| latency (ms) | speedup |\n" +
+		"|---|---|\n" +
+		"| 10.5 | 1.50x |\n" +
+		`| a\|b | 2.00x |` + "\n"
+	if got := tb.RenderMarkdown(); got != want {
+		t.Errorf("markdown render:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := Table{
+		Title:  "ignored in CSV",
+		Header: []string{"target", "latency (ms)"},
+		Rows: [][]string{
+			{"ACL-GEMM on HiKey 970", "10.5"},
+			{`quoted "cell", with comma`, "2"},
+		},
+	}
+	want := "target,latency (ms)\n" +
+		"ACL-GEMM on HiKey 970,10.5\n" +
+		`"quoted ""cell"", with comma",2` + "\n"
+	if got := tb.RenderCSV(); got != want {
+		t.Errorf("csv render:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 func TestCurveRenderASCII(t *testing.T) {
 	c := Curve{
 		Title:  "staircase",

@@ -1,0 +1,213 @@
+package service
+
+// POST /v1/frontier: the cross-layer planning endpoint. One request
+// either computes the full latency–accuracy Pareto frontier of a
+// network on one target (with optional deadline / accuracy-budget
+// queries answered against it), or — in fleet mode — one shared plan
+// scored across several targets. Profiling runs through the shared
+// process-wide cache like every other endpoint, so a frontier request
+// after a /v1/plan for the same target re-measures nothing.
+
+import (
+	"fmt"
+	"net/http"
+
+	"perfprune/internal/core"
+	"perfprune/internal/nets"
+	"perfprune/internal/pareto"
+)
+
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	s.reqFrontier.Add(1)
+	var req FrontierRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	n, err := nets.ByName(req.Network)
+	if err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	if req.MaxAccuracyDrop != nil && *req.MaxAccuracyDrop < 0 {
+		writeError(w, badRequest("max_accuracy_drop %v must be >= 0", *req.MaxAccuracyDrop))
+		return
+	}
+	if len(req.Fleet) > 0 {
+		s.serveFleetFrontier(w, r, req, n)
+		return
+	}
+	s.serveSingleFrontier(w, r, req, n)
+}
+
+func (s *Server) serveSingleFrontier(w http.ResponseWriter, r *http.Request, req FrontierRequest, n nets.Network) {
+	switch {
+	case req.Objective != "":
+		writeError(w, badRequest("objective is a fleet-mode field"))
+		return
+	case req.LatencyBudgetMs != nil && *req.LatencyBudgetMs <= 0:
+		writeError(w, badRequest("latency_budget_ms %v must be > 0", *req.LatencyBudgetMs))
+		return
+	case req.MaxPoints < 0 || req.MaxPoints > maxFrontierPoints:
+		writeError(w, badRequest("max_points %d outside [0, %d]", req.MaxPoints, maxFrontierPoints))
+		return
+	}
+	maxPoints := req.MaxPoints
+	if maxPoints == 0 {
+		maxPoints = defaultFrontierPoints
+	}
+	lib, dev, err := s.resolveTarget(req.Backend, req.Device)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	np, err := core.ProfileNetworkContext(r.Context(), s.engine, core.Target{Device: dev, Library: lib}, n)
+	if err != nil {
+		if isCancellation(err) {
+			return // client gone; nobody to answer
+		}
+		writeError(w, unprocessable(err))
+		return
+	}
+	pl, err := core.NewPlanner(np)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	f, err := pareto.Compute(pl, pareto.Options{})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := FrontierResponse{
+		Backend:          req.Backend,
+		Device:           dev.Name,
+		Network:          n.Name,
+		BaselineMs:       f.BaselineMs,
+		BaselineAccuracy: f.Acc.Base,
+		TotalPoints:      len(f.Points),
+	}
+	for _, p := range f.Sample(maxPoints) {
+		resp.Points = append(resp.Points, frontierPoint(p))
+	}
+	if req.LatencyBudgetMs != nil {
+		if p, ok := f.LatencyBudget(*req.LatencyBudgetMs); ok {
+			fp := frontierPoint(p)
+			resp.LatencyBudget = &fp
+		}
+	}
+	if req.MaxAccuracyDrop != nil {
+		if p, ok := f.AccuracyBudget(*req.MaxAccuracyDrop); ok {
+			fp := frontierPoint(p)
+			resp.AccuracyBudget = &fp
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) serveFleetFrontier(w http.ResponseWriter, r *http.Request, req FrontierRequest, n nets.Network) {
+	switch {
+	case req.Backend != "" || req.Device != "":
+		writeError(w, badRequest("fleet mode and a single backend/device target are mutually exclusive"))
+		return
+	case req.LatencyBudgetMs != nil:
+		writeError(w, badRequest("latency_budget_ms is a single-target field"))
+		return
+	case req.MaxPoints != 0:
+		writeError(w, badRequest("max_points is a single-target field"))
+		return
+	case len(req.Fleet) > maxFleetTargets:
+		writeError(w, badRequest("%d fleet targets exceed the per-request limit of %d", len(req.Fleet), maxFleetTargets))
+		return
+	}
+	obj, err := pareto.ObjectiveByName(req.Objective)
+	if err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	maxDrop := 2.0
+	if req.MaxAccuracyDrop != nil {
+		maxDrop = *req.MaxAccuracyDrop
+	}
+	fleet := make([]pareto.FleetTarget, len(req.Fleet))
+	seen := make(map[string]bool, len(req.Fleet))
+	for i, ftr := range req.Fleet {
+		if ftr.Weight < 0 {
+			writeError(w, badRequest("fleet[%d]: weight %v must be >= 0", i, ftr.Weight))
+			return
+		}
+		key := ftr.Backend + "\x00" + ftr.Device
+		if seen[key] {
+			writeError(w, badRequest("fleet[%d]: duplicate target %s on %s", i, ftr.Backend, ftr.Device))
+			return
+		}
+		seen[key] = true
+		lib, dev, err := s.resolveTarget(ftr.Backend, ftr.Device)
+		if err != nil {
+			writeError(w, prefixError(fmt.Sprintf("fleet[%d]", i), err))
+			return
+		}
+		np, err := core.ProfileNetworkContext(r.Context(), s.engine, core.Target{Device: dev, Library: lib}, n)
+		if err != nil {
+			if isCancellation(err) {
+				return
+			}
+			writeError(w, unprocessable(err))
+			return
+		}
+		fleet[i] = pareto.FleetTarget{Profile: np, Weight: ftr.Weight}
+	}
+	pl, err := core.NewPlanner(fleet[0].Profile)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	fp, err := pareto.PlanFleet(fleet, pl.Acc, maxDrop, obj, pareto.Options{})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	result := FleetResult{
+		Objective:    fp.Objective.String(),
+		Plan:         fp.Plan,
+		Accuracy:     fp.Accuracy,
+		AccuracyDrop: fp.AccuracyDrop,
+		WorstCaseMs:  fp.WorstCaseMs,
+		WeightedMs:   fp.WeightedMs,
+		PerTarget:    make([]FleetTargetEval, len(fp.PerTarget)),
+	}
+	for i, ev := range fp.PerTarget {
+		result.PerTarget[i] = FleetTargetEval{
+			Backend:    req.Fleet[i].Backend,
+			Device:     ev.Target.Device.Name,
+			Weight:     ev.Weight,
+			BaselineMs: ev.BaselineMs,
+			LatencyMs:  ev.LatencyMs,
+			Speedup:    ev.Speedup,
+		}
+	}
+	writeJSON(w, http.StatusOK, FrontierResponse{
+		Network:          n.Name,
+		BaselineAccuracy: pl.Acc.Base,
+		Fleet:            &result,
+	})
+}
+
+func frontierPoint(p pareto.Point) FrontierPoint {
+	return FrontierPoint{
+		Plan:         p.Plan,
+		LatencyMs:    p.LatencyMs,
+		Speedup:      p.Speedup,
+		Accuracy:     p.Accuracy,
+		AccuracyDrop: p.AccuracyDrop,
+	}
+}
+
+// prefixError prepends context to an error while preserving an
+// apiError's HTTP status.
+func prefixError(prefix string, err error) error {
+	if ae, ok := err.(*apiError); ok {
+		return &apiError{status: ae.status, err: fmt.Errorf("%s: %w", prefix, ae.err)}
+	}
+	return fmt.Errorf("%s: %w", prefix, err)
+}

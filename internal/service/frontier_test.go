@@ -1,0 +1,246 @@
+package service_test
+
+// End-to-end tests of POST /v1/frontier: a golden single-target
+// response (pinned byte for byte — the frontier DP is deterministic on
+// the simulated backends), fleet-mode behavior, validation, and the
+// stats surface the endpoint and the eviction counter add.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"perfprune/internal/service"
+)
+
+// TestFrontierGoldenVGG16HiKey pins the full /v1/frontier response for
+// VGG-16 on the HiKey 970 with ACL GEMM, including both budget-query
+// answers.
+func TestFrontierGoldenVGG16HiKey(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	body := `{
+		"backend": "acl-gemm",
+		"device": "HiKey 970",
+		"network": "VGG-16",
+		"latency_budget_ms": 1800,
+		"max_accuracy_drop": 2.0,
+		"max_points": 16
+	}`
+	status, raw := do(t, http.MethodPost, ts.URL+"/v1/frontier", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", status, raw)
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		t.Fatalf("response is not valid JSON: %v", err)
+	}
+	buf.WriteByte('\n')
+
+	golden := filepath.Join("testdata", "frontier_vgg16_hikey.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("frontier response diverged from %s (run with -update after intentional changes)\ngot:\n%s", golden, buf.String())
+	}
+
+	// Physics checks independent of the golden bytes.
+	var resp service.FrontierResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 16 || resp.TotalPoints < 16 {
+		t.Fatalf("%d points of %d total, want 16 of >= 16", len(resp.Points), resp.TotalPoints)
+	}
+	for i := 1; i < len(resp.Points); i++ {
+		if resp.Points[i].LatencyMs <= resp.Points[i-1].LatencyMs ||
+			resp.Points[i].Accuracy <= resp.Points[i-1].Accuracy {
+			t.Errorf("points not strictly ascending in both axes at %d", i)
+		}
+	}
+	last := resp.Points[len(resp.Points)-1]
+	if last.AccuracyDrop != 0 || last.LatencyMs != resp.BaselineMs {
+		t.Errorf("frontier does not end at the unpruned network: %+v", last)
+	}
+	if resp.LatencyBudget == nil || resp.LatencyBudget.LatencyMs > 1800 {
+		t.Errorf("latency_budget answer missing or over budget: %+v", resp.LatencyBudget)
+	}
+	if resp.AccuracyBudget == nil || resp.AccuracyBudget.AccuracyDrop > 2.0 {
+		t.Errorf("accuracy_budget answer missing or over budget: %+v", resp.AccuracyBudget)
+	}
+	// The frontier's accuracy-budget answer must be at least as fast as
+	// /v1/plan's greedy answer under the same budget.
+	status, planRaw := do(t, http.MethodPost, ts.URL+"/v1/plan",
+		`{"backend": "acl-gemm", "device": "HiKey 970", "network": "VGG-16", "target_speedup": 100, "max_accuracy_drop": 2.0}`)
+	if status != http.StatusOK {
+		t.Fatalf("plan status = %d", status)
+	}
+	var plan service.PlanResponse
+	if err := json.Unmarshal(planRaw, &plan); err != nil {
+		t.Fatal(err)
+	}
+	if resp.AccuracyBudget.LatencyMs > plan.PerformanceAware.LatencyMs {
+		t.Errorf("frontier accuracy-budget plan (%v ms) slower than the greedy plan (%v ms)",
+			resp.AccuracyBudget.LatencyMs, plan.PerformanceAware.LatencyMs)
+	}
+}
+
+// TestFrontierFleet runs the four-board fleet end to end: one shared
+// plan, per-board evaluation, deterministic responses, and the shared
+// cache serving the repeat.
+func TestFrontierFleet(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	body := `{
+		"network": "AlexNet",
+		"fleet": [
+			{"backend": "acl-gemm", "device": "HiKey 970"},
+			{"backend": "acl-gemm", "device": "Odroid XU4", "weight": 2},
+			{"backend": "cudnn", "device": "Jetson TX2"},
+			{"backend": "cudnn", "device": "Jetson Nano"}
+		],
+		"objective": "worst_case",
+		"max_accuracy_drop": 1.5
+	}`
+	status, raw := do(t, http.MethodPost, ts.URL+"/v1/frontier", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", status, raw)
+	}
+	var resp service.FrontierResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Fleet == nil {
+		t.Fatal("fleet result missing")
+	}
+	fl := resp.Fleet
+	if fl.Objective != "worst_case" || len(fl.PerTarget) != 4 {
+		t.Fatalf("fleet = %+v", fl)
+	}
+	if fl.AccuracyDrop > 1.5 {
+		t.Errorf("fleet drop %v exceeds the 1.5 budget", fl.AccuracyDrop)
+	}
+	if len(fl.Plan) != 5 {
+		t.Errorf("fleet plan covers %d layers, want AlexNet's 5", len(fl.Plan))
+	}
+	worst := 0.0
+	for i, ev := range fl.PerTarget {
+		if ev.LatencyMs <= 0 || ev.BaselineMs <= 0 {
+			t.Errorf("per_target[%d] unevaluated: %+v", i, ev)
+		}
+		if ev.LatencyMs > worst {
+			worst = ev.LatencyMs
+		}
+	}
+	if worst != fl.WorstCaseMs {
+		t.Errorf("worst_case_ms %v disagrees with per-target max %v", fl.WorstCaseMs, worst)
+	}
+	if fl.PerTarget[1].Weight != 2 || fl.PerTarget[0].Weight != 1 {
+		t.Errorf("weights not carried: %+v", fl.PerTarget)
+	}
+
+	// A repeat is byte-identical and served from the warm cache.
+	status, raw2 := do(t, http.MethodPost, ts.URL+"/v1/frontier", body)
+	if status != http.StatusOK {
+		t.Fatalf("repeat status = %d", status)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Error("identical fleet requests returned different bodies")
+	}
+	status, b := do(t, http.MethodGet, ts.URL+"/v1/stats", "")
+	if status != http.StatusOK {
+		t.Fatalf("stats status = %d", status)
+	}
+	var stats service.StatsResponse
+	if err := json.Unmarshal(b, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.HitRate < 0.5 {
+		t.Errorf("repeat fleet request did not hit the cache: %+v", stats.Cache)
+	}
+	if stats.Requests.Frontier != 2 {
+		t.Errorf("frontier request count = %d, want 2", stats.Requests.Frontier)
+	}
+	// The eviction counter is surfaced (and zero under this tiny
+	// working set against the big server-side bound).
+	if !bytes.Contains(b, []byte(`"evictions":0`)) {
+		t.Errorf("stats body missing the evictions counter: %s", b)
+	}
+}
+
+// TestFrontierValidation sweeps the endpoint's input checking.
+func TestFrontierValidation(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"unknown network", `{"backend": "tvm", "device": "HiKey 970", "network": "LeNet"}`, 400},
+		{"missing backend", `{"network": "AlexNet", "device": "HiKey 970"}`, 400},
+		{"api mismatch", `{"backend": "cudnn", "device": "HiKey 970", "network": "AlexNet"}`, 422},
+		{"zero latency budget", `{"backend": "tvm", "device": "HiKey 970", "network": "AlexNet", "latency_budget_ms": 0}`, 400},
+		{"negative drop", `{"backend": "tvm", "device": "HiKey 970", "network": "AlexNet", "max_accuracy_drop": -0.5}`, 400},
+		{"negative max_points", `{"backend": "tvm", "device": "HiKey 970", "network": "AlexNet", "max_points": -1}`, 400},
+		{"oversized max_points", `{"backend": "tvm", "device": "HiKey 970", "network": "AlexNet", "max_points": 100000}`, 400},
+		{"objective outside fleet", `{"backend": "tvm", "device": "HiKey 970", "network": "AlexNet", "objective": "worst_case"}`, 400},
+		{"fleet plus single target", `{"backend": "tvm", "device": "HiKey 970", "network": "AlexNet",
+			"fleet": [{"backend": "tvm", "device": "Odroid XU4"}]}`, 400},
+		{"fleet with latency budget", `{"network": "AlexNet", "latency_budget_ms": 10,
+			"fleet": [{"backend": "tvm", "device": "Odroid XU4"}]}`, 400},
+		{"fleet with max_points", `{"network": "AlexNet", "max_points": 8,
+			"fleet": [{"backend": "tvm", "device": "Odroid XU4"}]}`, 400},
+		{"fleet unknown objective", `{"network": "AlexNet", "objective": "fastest",
+			"fleet": [{"backend": "tvm", "device": "Odroid XU4"}]}`, 400},
+		{"fleet duplicate target", `{"network": "AlexNet",
+			"fleet": [{"backend": "tvm", "device": "Odroid XU4"}, {"backend": "tvm", "device": "Odroid XU4"}]}`, 400},
+		{"fleet negative weight", `{"network": "AlexNet",
+			"fleet": [{"backend": "tvm", "device": "Odroid XU4", "weight": -1}]}`, 400},
+		{"fleet api mismatch", `{"network": "AlexNet",
+			"fleet": [{"backend": "tvm", "device": "Odroid XU4"}, {"backend": "cudnn", "device": "HiKey 970"}]}`, 422},
+		{"fleet unknown backend", `{"network": "AlexNet",
+			"fleet": [{"backend": "nope", "device": "Odroid XU4"}]}`, 400},
+		{"unknown field", `{"backend": "tvm", "device": "HiKey 970", "network": "AlexNet", "speedup": 2}`, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, b := do(t, http.MethodPost, ts.URL+"/v1/frontier", tc.body)
+			if status != tc.want {
+				t.Fatalf("status = %d, want %d (body: %s)", status, tc.want, b)
+			}
+			var e service.ErrorResponse
+			if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
+				t.Errorf("error body not structured: %s", b)
+			}
+		})
+	}
+
+	// Too many fleet targets (built programmatically: 9 > the limit of 8).
+	req := service.FrontierRequest{Network: "AlexNet"}
+	devices := []string{"HiKey 970", "Odroid XU4"}
+	backends := []string{"acl-gemm", "acl-direct", "tvm"}
+	for _, b := range backends {
+		for _, d := range devices {
+			req.Fleet = append(req.Fleet, service.FleetTargetRequest{Backend: b, Device: d})
+		}
+	}
+	for _, d := range []string{"Jetson TX2", "Jetson Nano"} {
+		req.Fleet = append(req.Fleet, service.FleetTargetRequest{Backend: "cudnn", Device: d})
+	}
+	req.Fleet = append(req.Fleet, service.FleetTargetRequest{Backend: "hybrid", Device: "HiKey 970"})
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, b := do(t, http.MethodPost, ts.URL+"/v1/frontier", string(body))
+	if status != http.StatusBadRequest {
+		t.Fatalf("oversized fleet: status = %d (body: %s)", status, b)
+	}
+}

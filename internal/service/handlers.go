@@ -88,10 +88,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := s.cache.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Cache: CacheStats{
-			Hits:    cs.Hits,
-			Misses:  cs.Misses,
-			HitRate: cs.HitRate(),
-			Entries: cs.Entries,
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			HitRate:   cs.HitRate(),
+			Entries:   cs.Entries,
+			Evictions: cs.Evictions,
 		},
 		Requests: RequestStats{
 			Backends:  s.reqBackends.Load(),
@@ -100,6 +101,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Sweep:     s.reqSweep.Load(),
 			Staircase: s.reqStaircase.Load(),
 			Plan:      s.reqPlan.Load(),
+			Frontier:  s.reqFrontier.Load(),
 			Stats:     s.reqStats.Load(),
 		},
 		Workers: s.workers,

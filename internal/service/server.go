@@ -2,7 +2,9 @@
 // HTTP/JSON daemon exposing the paper's full workflow — profile a
 // layer's latency across channel counts, analyze the staircase, prune
 // to the right edges under an accuracy budget (Radu et al., IISWC 2019
-// §IV–V) — as long-running endpoints instead of one-shot CLI tools.
+// §IV–V), and compute whole latency–accuracy Pareto frontiers and
+// fleet-wide shared plans — as long-running endpoints instead of
+// one-shot CLI tools.
 //
 // One process-wide measurement cache backs every request: repeated and
 // overlapping sweeps coalesce through the cache's single-flight path,
@@ -55,6 +57,14 @@ const (
 	// with room while a hostile inline spec cannot OOM a server that
 	// allowlists real-compute backends.
 	maxSpecElems = 1 << 26
+	// defaultFrontierPoints and maxFrontierPoints bound the frontier
+	// points one /v1/frontier response carries; the full frontier of a
+	// large network runs to thousands of plans, so responses are thinned
+	// deterministically and clients page up with max_points.
+	defaultFrontierPoints = 32
+	maxFrontierPoints     = 512
+	// maxFleetTargets bounds one fleet request's profiling fan-out.
+	maxFleetTargets = 8
 )
 
 // Config configures a Server.
@@ -88,6 +98,7 @@ type Server struct {
 	reqSweep     atomic.Uint64
 	reqStaircase atomic.Uint64
 	reqPlan      atomic.Uint64
+	reqFrontier  atomic.Uint64
 	reqStats     atomic.Uint64
 }
 
@@ -130,6 +141,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/staircase", s.handleStaircase)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /v1/frontier", s.handleFrontier)
 	return s, nil
 }
 

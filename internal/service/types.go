@@ -152,12 +152,99 @@ type PlanResponse struct {
 	Uninstructed     *PlanEval `json:"uninstructed,omitempty"`
 }
 
+// FrontierRequest asks for the latency–accuracy Pareto frontier of a
+// network on one target, or — when Fleet is set — for one shared plan
+// scored across several targets. The two forms are mutually exclusive.
+type FrontierRequest struct {
+	// Backend and Device select the single target.
+	Backend string `json:"backend,omitempty"`
+	Device  string `json:"device,omitempty"`
+	Network string `json:"network"`
+	// LatencyBudgetMs, when set, also answers the deadline query: the
+	// most accurate frontier plan within the budget (single-target only).
+	LatencyBudgetMs *float64 `json:"latency_budget_ms,omitempty"`
+	// MaxAccuracyDrop, when set, also answers the accuracy query: the
+	// fastest frontier plan within the drop cap. In fleet mode it is the
+	// plan's accuracy budget and defaults to 2.0.
+	MaxAccuracyDrop *float64 `json:"max_accuracy_drop,omitempty"`
+	// MaxPoints caps the frontier points in the response (deterministic
+	// even spacing, endpoints kept); omitted defaults to 32, at most 512.
+	// The budget queries always consult the full frontier.
+	MaxPoints int `json:"max_points,omitempty"`
+	// Fleet lists the targets sharing one plan.
+	Fleet []FleetTargetRequest `json:"fleet,omitempty"`
+	// Objective aggregates fleet latencies: "worst_case" (default) or
+	// "weighted_sum".
+	Objective string `json:"objective,omitempty"`
+}
+
+// FleetTargetRequest is one fleet member.
+type FleetTargetRequest struct {
+	Backend string `json:"backend"`
+	Device  string `json:"device"`
+	// Weight scales the member in the weighted-sum objective; omitted
+	// means 1.
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// FrontierPoint is one evaluated plan of the frontier.
+type FrontierPoint struct {
+	Plan         map[string]int `json:"plan"`
+	LatencyMs    float64        `json:"latency_ms"`
+	Speedup      float64        `json:"speedup"`
+	Accuracy     float64        `json:"accuracy"`
+	AccuracyDrop float64        `json:"accuracy_drop"`
+}
+
+// FleetTargetEval is one fleet member's result under the shared plan.
+type FleetTargetEval struct {
+	Backend    string  `json:"backend"`
+	Device     string  `json:"device"`
+	Weight     float64 `json:"weight"`
+	BaselineMs float64 `json:"baseline_ms"`
+	LatencyMs  float64 `json:"latency_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// FleetResult is the fleet half of a frontier response: one shared
+// plan with its per-target evaluation.
+type FleetResult struct {
+	Objective    string            `json:"objective"`
+	Plan         map[string]int    `json:"plan"`
+	Accuracy     float64           `json:"accuracy"`
+	AccuracyDrop float64           `json:"accuracy_drop"`
+	WorstCaseMs  float64           `json:"worst_case_ms"`
+	WeightedMs   float64           `json:"weighted_ms"`
+	PerTarget    []FleetTargetEval `json:"per_target"`
+}
+
+// FrontierResponse is the /v1/frontier payload. Single-target requests
+// fill Points (and the optional budget answers); fleet requests fill
+// Fleet.
+type FrontierResponse struct {
+	Backend          string  `json:"backend,omitempty"`
+	Device           string  `json:"device,omitempty"`
+	Network          string  `json:"network"`
+	BaselineMs       float64 `json:"baseline_ms,omitempty"`
+	BaselineAccuracy float64 `json:"baseline_accuracy"`
+	// TotalPoints is the full frontier size before MaxPoints thinning.
+	TotalPoints int             `json:"total_points,omitempty"`
+	Points      []FrontierPoint `json:"points,omitempty"`
+	// LatencyBudget answers LatencyBudgetMs; absent when no frontier
+	// plan meets the deadline.
+	LatencyBudget *FrontierPoint `json:"latency_budget,omitempty"`
+	// AccuracyBudget answers MaxAccuracyDrop.
+	AccuracyBudget *FrontierPoint `json:"accuracy_budget,omitempty"`
+	Fleet          *FleetResult   `json:"fleet,omitempty"`
+}
+
 // CacheStats reports the process-wide measurement cache.
 type CacheStats struct {
-	Hits    uint64  `json:"hits"`
-	Misses  uint64  `json:"misses"`
-	HitRate float64 `json:"hit_rate"`
-	Entries int     `json:"entries"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	HitRate   float64 `json:"hit_rate"`
+	Entries   int     `json:"entries"`
+	Evictions uint64  `json:"evictions"`
 }
 
 // RequestStats counts requests served per endpoint.
@@ -168,6 +255,7 @@ type RequestStats struct {
 	Sweep     uint64 `json:"sweep"`
 	Staircase uint64 `json:"staircase"`
 	Plan      uint64 `json:"plan"`
+	Frontier  uint64 `json:"frontier"`
 	Stats     uint64 `json:"stats"`
 }
 

@@ -21,6 +21,7 @@ package perfprune
 
 import (
 	"context"
+	"fmt"
 
 	"perfprune/internal/acl"
 	"perfprune/internal/autotune"
@@ -30,6 +31,7 @@ import (
 	"perfprune/internal/device"
 	"perfprune/internal/hybrid"
 	"perfprune/internal/nets"
+	"perfprune/internal/pareto"
 	"perfprune/internal/profiler"
 	"perfprune/internal/prune"
 	"perfprune/internal/service"
@@ -170,6 +172,60 @@ func ProfileNetworkContext(ctx context.Context, eng *Engine, tg Target, n Networ
 // network profile.
 func NewPlanner(np *core.NetworkProfile) (*core.Planner, error) {
 	return core.NewPlanner(np)
+}
+
+// Frontier is the latency–accuracy Pareto frontier of one (network,
+// target) pair: every non-dominated trade between inference time and
+// modeled accuracy over the staircase right edges (see internal/pareto).
+type Frontier = pareto.Frontier
+
+// FrontierPoint is one evaluated plan on a frontier.
+type FrontierPoint = pareto.Point
+
+// FleetTarget pairs a profiled network with its fleet weight.
+type FleetTarget = pareto.FleetTarget
+
+// FleetPlan is one shared plan scored across a device fleet.
+type FleetPlan = pareto.FleetPlan
+
+// FleetObjective selects the fleet aggregation (worst-case latency or
+// weighted sum).
+type FleetObjective = pareto.Objective
+
+// Fleet objectives.
+const (
+	WorstCase   = pareto.WorstCase
+	WeightedSum = pareto.WeightedSum
+)
+
+// FleetObjectiveByName parses a fleet objective wire name
+// ("worst_case", "weighted_sum"); empty means WorstCase.
+func FleetObjectiveByName(name string) (FleetObjective, error) {
+	return pareto.ObjectiveByName(name)
+}
+
+// ComputeFrontier computes the planner's full latency–accuracy Pareto
+// frontier; query it with LatencyBudget (best accuracy under a
+// deadline) and AccuracyBudget (fastest plan within a drop cap).
+func ComputeFrontier(pl *core.Planner) (*Frontier, error) {
+	return pareto.Compute(pl, pareto.Options{})
+}
+
+// PlanFleet finds one shared pruning plan for a fleet of targets all
+// profiled on the same network, within the accuracy budget. The
+// accuracy model is the one NewPlanner would build for the network, so
+// fleet plans and single-target plans score identically. Profile each
+// target with ProfileNetworkContext on a shared Engine so the
+// measurement cache is reused.
+func PlanFleet(targets []FleetTarget, maxAccuracyDrop float64, obj FleetObjective) (*FleetPlan, error) {
+	if len(targets) == 0 || targets[0].Profile == nil {
+		return nil, fmt.Errorf("perfprune: fleet needs at least one profiled target")
+	}
+	pl, err := core.NewPlanner(targets[0].Profile)
+	if err != nil {
+		return nil, err
+	}
+	return pareto.PlanFleet(targets, pl.Acc, maxAccuracyDrop, obj, pareto.Options{})
 }
 
 // CacheStats is a snapshot of a measurement cache's hit/miss counters.
