@@ -16,6 +16,7 @@ import (
 	"perfprune/internal/core"
 	"perfprune/internal/device"
 	"perfprune/internal/nets"
+	"perfprune/internal/probe"
 	"perfprune/internal/profiler"
 	"perfprune/internal/staircase"
 )
@@ -399,6 +400,58 @@ func BenchmarkFrontierFleet(b *testing.B) {
 		worst = fp.WorstCaseMs
 	}
 	b.ReportMetric(worst, "worst_case_ms")
+}
+
+// BenchmarkProbeVsSweep compares adaptive staircase probing against
+// the exhaustive sweep on every unique VGG-16 layer, per simulated
+// backend. Both paths run on cold caches each iteration so the
+// wall-clock ratio reflects the measurement bill, and the probe audit
+// reports the measurement counts directly: probes_pct is the fraction
+// of the sweep grid the prober actually measured (small on cuDNN's
+// monotone staircases; 100 on the non-monotone ACL/TVM families,
+// whose verified fallback re-measures the grid).
+func BenchmarkProbeVsSweep(b *testing.B) {
+	n := nets.VGG16()
+	for _, lib := range Libraries() {
+		lib := lib
+		var dev device.Device
+		for _, d := range device.All() {
+			if lib.Supports(d) {
+				dev = d
+				break
+			}
+		}
+		b.Run(lib.Name(), func(b *testing.B) {
+			var probes, grid int
+			var probeDur, sweepDur time.Duration
+			for i := 0; i < b.N; i++ {
+				probes, grid = 0, 0
+				probeEng := profiler.NewEngine()
+				start := time.Now()
+				for _, l := range n.UniqueLayers() {
+					res, err := probeEng.ProbeStaircase(lib, dev, l.Spec, 1, l.Spec.OutC, probe.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					probes += res.Stats.Probes
+					grid += res.Stats.GridPoints
+				}
+				probeDur = time.Since(start)
+
+				sweepEng := profiler.NewEngine()
+				start = time.Now()
+				for _, l := range n.UniqueLayers() {
+					if _, err := sweepEng.SweepChannels(lib, dev, l.Spec, 1, l.Spec.OutC); err != nil {
+						b.Fatal(err)
+					}
+				}
+				sweepDur = time.Since(start)
+			}
+			b.ReportMetric(100*float64(probes)/float64(grid), "probes_pct")
+			b.ReportMetric(float64(grid-probes), "points_avoided")
+			b.ReportMetric(float64(sweepDur)/float64(probeDur), "speedup_x")
+		})
+	}
 }
 
 // BenchmarkUninstructedBaseline measures the accuracy-only baseline the

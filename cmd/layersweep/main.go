@@ -6,14 +6,19 @@
 // Usage:
 //
 //	layersweep -net ResNet-50 -layer ResNet.L16 -backend acl-gemm -device "HiKey 970" [-csv]
+//	layersweep -net VGG-16 -layer VGG.L24 -backend cudnn -device "Jetson TX2" -probe
 //
 // Any backend from the registry works, including "hybrid",
 // "acl-direct-tuned" and the real-compute kernels ("real-gemm", ...).
+// With -probe the staircase is discovered adaptively — stair edges are
+// bisected instead of sweeping every channel count — and the audit
+// line reports how many measurements that avoided.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -32,16 +37,18 @@ func main() {
 	devName := flag.String("device", "HiKey 970", "board: HiKey 970, Odroid XU4, Jetson TX2 or Jetson Nano")
 	lo := flag.Int("from", 1, "lowest channel count to sweep")
 	csv := flag.Bool("csv", false, "emit channels,ms CSV instead of the ASCII plot")
+	probeMode := flag.Bool("probe", false,
+		"discover the staircase adaptively (bisect stair edges) instead of sweeping every channel count")
 	flag.StringVar(backendKey, "lib", *backendKey, "alias for -backend")
 	flag.Parse()
 
-	if err := run(*netName, *layerName, *backendKey, *devName, *lo, *csv); err != nil {
+	if err := run(*netName, *layerName, *backendKey, *devName, *lo, *csv, *probeMode); err != nil {
 		fmt.Fprintf(os.Stderr, "layersweep: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(netName, layerName, libName, devName string, lo int, csv bool) error {
+func run(netName, layerName, libName, devName string, lo int, csv, probeMode bool) error {
 	n, err := nets.ByName(netName)
 	if err != nil {
 		return err
@@ -59,9 +66,20 @@ func run(netName, layerName, libName, devName string, lo int, csv bool) error {
 		return err
 	}
 	tg := perfprune.Target{Device: dev, Library: lib}
-	curve, err := perfprune.Sweep(tg, layer.Spec, lo, layer.Spec.OutC)
-	if err != nil {
-		return err
+	var curve []perfprune.Point
+	var a perfprune.Analysis
+	var probed *perfprune.ProbeStats
+	if probeMode {
+		res, err := perfprune.ProbeStaircase(tg, layer.Spec, lo, layer.Spec.OutC)
+		if err != nil {
+			return err
+		}
+		curve, a, probed = res.Curve, res.Analysis, &res.Stats
+	} else {
+		curve, err = perfprune.Sweep(tg, layer.Spec, lo, layer.Spec.OutC)
+		if err != nil {
+			return err
+		}
 	}
 	c := report.Curve{
 		Title:  fmt.Sprintf("%s under %s on %s", layerName, lib.Name(), dev.Name),
@@ -71,18 +89,39 @@ func run(netName, layerName, libName, devName string, lo int, csv bool) error {
 	}
 	if csv {
 		fmt.Print(c.RenderCSV())
+		// The audit goes to stderr so the CSV stream stays clean.
+		printProbeAudit(os.Stderr, probed)
 		return nil
 	}
 	fmt.Print(c.RenderASCII(72, 18))
 
-	a, err := staircase.Analyze(curve)
-	if err != nil {
-		return err
+	if !probeMode {
+		// Probe mode already carries its analysis; a plain sweep
+		// analyzes here, after the plot paths that don't need it.
+		if a, err = staircase.Analyze(curve); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("\n%d stairs detected, largest step %.2fx\n", len(a.Stairs), a.MaxStep())
 	fmt.Println("optimal (right-edge) channel counts for performance-aware pruning:")
 	for _, e := range a.Edges {
 		fmt.Printf("  %4d channels  %8.3f ms\n", e.Channels, e.Ms)
 	}
+	printProbeAudit(os.Stdout, probed)
 	return nil
+}
+
+// printProbeAudit reports what probing spent (or that it fell back);
+// a nil audit (sweep mode) prints nothing.
+func printProbeAudit(w io.Writer, probed *perfprune.ProbeStats) {
+	switch {
+	case probed == nil:
+	case probed.FellBack:
+		fmt.Fprintf(w, "probe: non-monotone curve detected at %d channels; fell back to the full %d-point sweep\n",
+			probed.ViolationAt, probed.GridPoints)
+	default:
+		fmt.Fprintf(w, "probe: %d of %d grid points measured (%.1f%% avoided)\n",
+			probed.Probes, probed.GridPoints,
+			100*float64(probed.Avoided())/float64(probed.GridPoints))
+	}
 }

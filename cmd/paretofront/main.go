@@ -15,6 +15,11 @@
 //
 // Fleet members are comma-separated backend=device pairs, with an
 // optional =weight third field for the weighted_sum objective.
+//
+// With -probe, per-layer profiling uses the adaptive staircase prober
+// (bisected stair edges, verified fallback on non-monotone curves)
+// instead of exhaustive sweeps; the frontier and plans are identical,
+// the measurement bill is not.
 package main
 
 import (
@@ -46,16 +51,18 @@ func main() {
 	fleet := flag.String("fleet", "", `fleet members as "backend=device[=weight],..." (enables fleet mode)`)
 	objective := flag.String("objective", "worst_case", "fleet objective: worst_case or weighted_sum")
 	showPlan := flag.Bool("plan", false, "print the selected plan's per-layer channels")
+	probeMode := flag.Bool("probe", false,
+		"profile layers with the adaptive staircase prober instead of exhaustive sweeps")
 	flag.Parse()
 
-	if err := run(*netName, *libName, *devName, *budgetMs, *maxDrop, *points, *format, *fleet, *objective, *showPlan); err != nil {
+	if err := run(*netName, *libName, *devName, *budgetMs, *maxDrop, *points, *format, *fleet, *objective, *showPlan, *probeMode); err != nil {
 		fmt.Fprintf(os.Stderr, "paretofront: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(netName, libName, devName string, budgetMs, maxDrop float64,
-	points int, format, fleetSpec, objective string, showPlan bool) error {
+	points int, format, fleetSpec, objective string, showPlan, probeMode bool) error {
 	n, err := nets.ByName(netName)
 	if err != nil {
 		return err
@@ -65,7 +72,7 @@ func run(netName, libName, devName string, budgetMs, maxDrop float64,
 		return err
 	}
 	if fleetSpec != "" {
-		return runFleet(n, fleetSpec, objective, maxDrop, render, showPlan)
+		return runFleet(n, fleetSpec, objective, maxDrop, render, showPlan, probeMode)
 	}
 
 	lib, err := perfprune.LookupBackend(libName)
@@ -78,7 +85,7 @@ func run(netName, libName, devName string, budgetMs, maxDrop float64,
 	}
 	tg := core.Target{Device: dev, Library: lib}
 	fmt.Printf("profiling %s on %s ...\n", n.Name, tg)
-	np, err := perfprune.ProfileNetwork(tg, n)
+	np, err := profileOne(perfprune.NewEngine(), tg, n, probeMode)
 	if err != nil {
 		return err
 	}
@@ -113,7 +120,7 @@ func run(netName, libName, devName string, budgetMs, maxDrop float64,
 }
 
 func runFleet(n nets.Network, fleetSpec, objective string, maxDrop float64,
-	render func(report.Table) string, showPlan bool) error {
+	render func(report.Table) string, showPlan, probeMode bool) error {
 	obj, err := perfprune.FleetObjectiveByName(objective)
 	if err != nil {
 		return err
@@ -135,7 +142,7 @@ func runFleet(n nets.Network, fleetSpec, objective string, maxDrop float64,
 		}
 		tg := core.Target{Device: dev, Library: lib}
 		fmt.Printf("profiling %s on %s ...\n", n.Name, tg)
-		np, err := perfprune.ProfileNetworkContext(context.Background(), eng, tg, n)
+		np, err := profileOne(eng, tg, n, probeMode)
 		if err != nil {
 			return err
 		}
@@ -149,6 +156,23 @@ func runFleet(n nets.Network, fleetSpec, objective string, maxDrop float64,
 	fmt.Print(render(fp.Table()))
 	printPlan(n, fp.Plan, showPlan)
 	return nil
+}
+
+// profileOne profiles a network on one target, adaptively when probe
+// mode is on (printing the measurement audit) and exhaustively
+// otherwise. Both paths share the engine's measurement cache and yield
+// identical profiles.
+func profileOne(eng *perfprune.Engine, tg core.Target, n nets.Network, probeMode bool) (*core.NetworkProfile, error) {
+	if !probeMode {
+		return perfprune.ProfileNetworkContext(context.Background(), eng, tg, n)
+	}
+	np, usage, err := perfprune.ProfileNetworkProbe(context.Background(), eng, tg, n)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("  probe: %d of %d measurements (%d avoided, %d of %d shapes fell back)\n",
+		usage.Probes, usage.GridPoints, usage.Avoided(), usage.Fallbacks, usage.Shapes)
+	return np, nil
 }
 
 type fleetMember struct {

@@ -19,6 +19,16 @@ import (
 	"perfprune/internal/device"
 )
 
+// Point is one (channel count, latency) sample of a sweep or probe.
+// It lives here, at the bottom of the dependency stack, so both the
+// measurement pipeline (internal/profiler) and the curve analyses
+// (internal/staircase, internal/probe) can share it without importing
+// each other.
+type Point struct {
+	Channels int
+	Ms       float64
+}
+
 // Measurement is one profiled layer execution.
 type Measurement struct {
 	// Ms is the steady-state inference latency.

@@ -22,6 +22,7 @@ import (
 	"perfprune/internal/backend"
 	"perfprune/internal/device"
 	"perfprune/internal/nets"
+	"perfprune/internal/probe"
 	"perfprune/internal/profiler"
 	"perfprune/internal/prune"
 	"perfprune/internal/staircase"
@@ -116,6 +117,17 @@ func ProfileNetwork(tg Target, n nets.Network) (*NetworkProfile, error) {
 // soon as ctx is done. Results are independent of the engine's worker
 // count and of cache warmth.
 func ProfileNetworkContext(ctx context.Context, eng *profiler.Engine, tg Target, n nets.Network) (*NetworkProfile, error) {
+	return profileNetworkWith(tg, n, func(l nets.Layer) (LayerProfile, error) {
+		return profileLayer(ctx, eng, tg, l)
+	})
+}
+
+// profileNetworkWith is the shared whole-network profiling loop:
+// validation, one profileShape call per unique layer shape, and
+// shape-shared profiles for the rest. Both the swept and the probed
+// paths run through it, so shape sharing can never diverge between
+// them.
+func profileNetworkWith(tg Target, n nets.Network, profileShape func(nets.Layer) (LayerProfile, error)) (*NetworkProfile, error) {
 	if err := tg.Validate(); err != nil {
 		return nil, err
 	}
@@ -134,7 +146,7 @@ func ProfileNetworkContext(ctx context.Context, eng *profiler.Engine, tg Target,
 			np.Profiles[l.Label] = LayerProfile{Layer: l, Curve: cached.Curve, Analysis: cached.Analysis}
 			continue
 		}
-		lp, err := profileLayer(ctx, eng, tg, l)
+		lp, err := profileShape(l)
 		if err != nil {
 			return nil, err
 		}
@@ -142,6 +154,66 @@ func ProfileNetworkContext(ctx context.Context, eng *profiler.Engine, tg Target,
 		np.Profiles[l.Label] = lp
 	}
 	return np, nil
+}
+
+// ProbeUsage aggregates the probe-count audit across a probed network
+// profile: what the adaptive prober spent versus what exhaustive
+// sweeps would have cost (see internal/probe).
+type ProbeUsage struct {
+	// Probes is the total number of measurements issued.
+	Probes int
+	// GridPoints is what exhaustive sweeps over the same layers would
+	// have measured.
+	GridPoints int
+	// Shapes is the number of unique layer shapes probed (layers with
+	// identical shapes share one probe run, as sweeps share one sweep).
+	Shapes int
+	// Fallbacks counts shapes whose curve failed monotonicity
+	// verification and was measured exhaustively instead.
+	Fallbacks int
+}
+
+// Avoided returns the measurements saved versus exhaustive sweeps.
+func (u ProbeUsage) Avoided() int { return u.GridPoints - u.Probes }
+
+func (u *ProbeUsage) add(s probe.Stats) {
+	u.Probes += s.Probes
+	u.GridPoints += s.GridPoints
+	u.Shapes++
+	if s.FellBack {
+		u.Fallbacks++
+	}
+}
+
+// ProfileNetworkProbe is ProfileNetworkProbeContext with a fresh engine
+// and no cancellation.
+func ProfileNetworkProbe(tg Target, n nets.Network) (*NetworkProfile, ProbeUsage, error) {
+	return ProfileNetworkProbeContext(context.Background(), profiler.NewEngine(), tg, n)
+}
+
+// ProfileNetworkProbeContext profiles every layer of n like
+// ProfileNetworkContext, but gathers each curve with the adaptive
+// staircase prober instead of an exhaustive sweep: stair edges are
+// bisected in O(stairs · log C) measurements, and any layer whose
+// curve fails monotonicity verification transparently falls back to
+// the full sweep. On monotone curves the resulting profiles — curves,
+// analyses, and every plan built from them — are byte-identical to the
+// swept profiles'; the returned ProbeUsage reports what the probing
+// actually cost.
+func ProfileNetworkProbeContext(ctx context.Context, eng *profiler.Engine, tg Target, n nets.Network) (*NetworkProfile, ProbeUsage, error) {
+	var usage ProbeUsage
+	np, err := profileNetworkWith(tg, n, func(l nets.Layer) (LayerProfile, error) {
+		res, err := eng.ProbeStaircaseContext(ctx, tg.Library, tg.Device, l.Spec, 1, l.Spec.OutC, probe.Options{})
+		if err != nil {
+			return LayerProfile{}, err
+		}
+		usage.add(res.Stats)
+		return LayerProfile{Layer: l, Curve: res.Curve, Analysis: res.Analysis}, nil
+	})
+	if err != nil {
+		return nil, usage, err
+	}
+	return np, usage, nil
 }
 
 func shapeKey(l nets.Layer) string {

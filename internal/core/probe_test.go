@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/profiler"
+)
+
+// TestProfileNetworkProbeEquivalence: a probed network profile is
+// byte-identical to the swept one — curves, analyses, and the plans
+// built from them — on both the adaptive path (cuDNN's monotone
+// staircases) and the verified-fallback path (TVM's spread).
+func TestProfileNetworkProbeEquivalence(t *testing.T) {
+	cases := []struct {
+		lib      backend.Backend
+		dev      device.Device
+		adaptive bool
+	}{
+		{backend.CuDNN(), device.JetsonNano, true},
+		{backend.TVM(), device.HiKey970, false},
+	}
+	n := nets.AlexNet()
+	for _, tc := range cases {
+		tg := Target{Device: tc.dev, Library: tc.lib}
+		eng := profiler.NewEngine()
+		probed, usage, err := ProfileNetworkProbeContext(context.Background(), eng, tg, n)
+		if err != nil {
+			t.Fatalf("%s: probe profile: %v", tc.lib.Name(), err)
+		}
+		swept, err := ProfileNetworkContext(context.Background(), eng, tg, n)
+		if err != nil {
+			t.Fatalf("%s: sweep profile: %v", tc.lib.Name(), err)
+		}
+		if !reflect.DeepEqual(probed.Profiles, swept.Profiles) {
+			t.Errorf("%s: probed profiles differ from swept profiles", tc.lib.Name())
+		}
+
+		uniq := len(n.UniqueLayers())
+		if usage.Shapes != uniq {
+			t.Errorf("%s: usage covers %d shapes, want %d", tc.lib.Name(), usage.Shapes, uniq)
+		}
+		if usage.Probes+usage.Avoided() != usage.GridPoints {
+			t.Errorf("%s: usage books don't balance: %+v", tc.lib.Name(), usage)
+		}
+		if tc.adaptive {
+			if usage.Fallbacks != 0 {
+				t.Errorf("%s: %d fallbacks on monotone curves", tc.lib.Name(), usage.Fallbacks)
+			}
+			if 4*usage.Probes > usage.GridPoints {
+				t.Errorf("%s: %d probes exceed 25%% of the %d-point grid",
+					tc.lib.Name(), usage.Probes, usage.GridPoints)
+			}
+		} else {
+			if usage.Fallbacks != usage.Shapes {
+				t.Errorf("%s: %d of %d shapes fell back; expected all",
+					tc.lib.Name(), usage.Fallbacks, usage.Shapes)
+			}
+			if usage.Probes != usage.GridPoints {
+				t.Errorf("%s: fallback probes %d != grid %d", tc.lib.Name(), usage.Probes, usage.GridPoints)
+			}
+		}
+
+		// The planner sees identical profiles, so it must emit an
+		// identical plan.
+		pp, err := NewPlanner(probed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := NewPlanner(swept)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, err := pp.PerformanceAware(1.5, 2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sres, err := sp.PerformanceAware(1.5, 2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(pres, sres) {
+			t.Errorf("%s: probed plan differs from swept plan", tc.lib.Name())
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package pareto_test
+
+// The frontier planner's probe sweep mode: a frontier computed from a
+// probed network profile must be byte-identical to one computed from
+// exhaustive sweeps — the prober changes the measurement bill, never
+// the plans.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/core"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/pareto"
+	"perfprune/internal/profiler"
+)
+
+func TestFrontierFromProbedProfile(t *testing.T) {
+	n := nets.AlexNet()
+	tg := core.Target{Device: device.JetsonTX2, Library: backend.CuDNN()}
+	eng := profiler.NewEngine()
+
+	probed, usage, err := core.ProfileNetworkProbeContext(context.Background(), eng, tg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swept, err := core.ProfileNetworkContext(context.Background(), eng, tg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usage.Avoided() <= 0 {
+		t.Fatalf("probing saved nothing on a monotone target: %+v", usage)
+	}
+
+	fp, err := pareto.Compute(mustPlanner(t, probed), pareto.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := pareto.Compute(mustPlanner(t, swept), pareto.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fp.Points, fs.Points) {
+		t.Error("frontier from probed profile differs from swept frontier")
+	}
+	if fp.BaselineMs != fs.BaselineMs {
+		t.Errorf("baselines differ: %v vs %v", fp.BaselineMs, fs.BaselineMs)
+	}
+}
+
+func mustPlanner(t *testing.T, np *core.NetworkProfile) *core.Planner {
+	t.Helper()
+	pl, err := core.NewPlanner(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}

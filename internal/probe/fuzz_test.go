@@ -1,0 +1,100 @@
+package probe
+
+// FuzzProbe pins the prober's contract on arbitrary staircases. The
+// fuzzer decodes bytes into a piecewise-constant curve whose plateaus
+// are all at least fuzzMinWidth wide; a step byte's high bit injects a
+// descending level, making the curve non-monotone. Probing with
+// VerifyStride = fuzzMinWidth must then satisfy, on every input:
+//
+//   - the probe's analysis is byte-identical to staircase.Analyze over
+//     the exhaustive dense curve (exact bisection on monotone inputs,
+//     verified fallback on non-monotone ones — never a wrong stair set);
+//   - FellBack is true exactly when the curve is non-monotone (with
+//     plateaus >= the stride, detection is guaranteed, see DESIGN.md §8);
+//   - the probe audit books balance and never exceed the grid.
+//
+// Run the smoke pass with:
+//
+//	go test -run='^$' -fuzz=FuzzProbe -fuzztime=10s ./internal/probe
+//
+// (CI does exactly that; `go test` alone replays the seed corpus.)
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"perfprune/internal/staircase"
+)
+
+const fuzzMinWidth = 4
+
+// fuzzStaircase decodes (width, step) byte pairs into a dense curve.
+// Every plateau is fuzzMinWidth..fuzzMinWidth+7 points wide; each step
+// byte raises the level by 5..104% — or, when its high bit is set,
+// lowers it to 60% of the current level, injecting a monotonicity
+// violation. Returns the curve and whether it stayed monotone.
+func fuzzStaircase(data []byte) (vals []float64, monotone bool) {
+	level := 1.0
+	width := func(b byte) int { return fuzzMinWidth + int(b%8) }
+	emit := func(w int) {
+		for i := 0; i < w; i++ {
+			vals = append(vals, level)
+		}
+	}
+	monotone = true
+	emit(fuzzMinWidth) // always at least one plateau
+	for i := 0; i+1 < len(data) && len(vals) < 512; i += 2 {
+		if data[i+1] >= 128 {
+			level *= 0.6
+			monotone = false
+		} else {
+			level *= 1.05 + float64(data[i+1]%100)/100
+		}
+		emit(width(data[i]))
+	}
+	return vals, monotone
+}
+
+func FuzzProbe(f *testing.F) {
+	f.Add([]byte{})                       // single plateau
+	f.Add([]byte{0, 10, 3, 40})           // three rising stairs
+	f.Add([]byte{0, 10, 0, 200})          // rise then injected descent
+	f.Add([]byte{7, 200, 7, 200, 7, 99})  // repeated descents
+	f.Add([]byte{1, 1, 2, 2, 3, 3, 4, 4}) // many small steps
+	f.Add([]byte{0, 200})                 // descent immediately
+	f.Add([]byte{5, 50, 0, 128, 5, 50})   // descent sandwiched by rises
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, monotone := fuzzStaircase(data)
+		s := &synth{lo: 1, vals: vals}
+		res, err := Staircase(context.Background(), s.measure, 1, len(vals),
+			Options{VerifyStride: fuzzMinWidth})
+		if err != nil {
+			t.Fatalf("Staircase: %v", err)
+		}
+
+		want, err := staircase.Analyze(s.dense())
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		if !reflect.DeepEqual(res.Analysis, want) {
+			t.Fatalf("probe analysis differs from exhaustive sweep (monotone=%v, fellback=%v):\n got %+v\nwant %+v",
+				monotone, res.Stats.FellBack, res.Analysis, want)
+		}
+		if !reflect.DeepEqual(res.Curve, s.dense()) {
+			t.Fatal("reconstructed curve differs from the true dense curve")
+		}
+		if res.Stats.FellBack == monotone {
+			t.Fatalf("FellBack = %v on a curve with monotone = %v", res.Stats.FellBack, monotone)
+		}
+		if res.Stats.Probes > res.Stats.GridPoints {
+			t.Fatalf("probes %d exceed grid %d", res.Stats.Probes, res.Stats.GridPoints)
+		}
+		if res.Stats.Probes+res.Stats.Avoided() != res.Stats.GridPoints {
+			t.Fatalf("audit books don't balance: %+v", res.Stats)
+		}
+		if res.Stats.Probes != len(res.Measured) {
+			t.Fatalf("Probes = %d but %d measured points", res.Stats.Probes, len(res.Measured))
+		}
+	})
+}

@@ -1,0 +1,396 @@
+// Package probe discovers a layer's latency staircase adaptively
+// instead of sweeping every channel count. The paper's core observation
+// is that per-layer latency curves are piecewise-constant staircases
+// (§IV, Fig. 2); an exhaustive sweep therefore spends almost all of its
+// measurement bill re-confirming plateaus. The prober measures the
+// sweep range's endpoints and recursively bisects every interval whose
+// endpoint latencies differ, bracketing each stair edge to width one in
+// O(stairs · log C) measurements instead of O(C).
+//
+// The efficiency rests on one assumption: between two equal-latency
+// measurements the curve is flat. That holds exactly for monotone
+// staircases, so for any monotone curve with exactly-constant plateaus
+// the prober reconstructs the full dense curve bit for bit and its
+// staircase analysis is byte-identical to staircase.Analyze over an
+// exhaustive sweep. Real curves are not always monotone — ACL's
+// remainder-kernel sawtooth (Fig. 14) and TVM's tuned-schedule spread
+// (Fig. 19) both descend — so the prober actively verifies the
+// assumption: every measured descent is a violation, a configurable
+// presampling stride plants witnesses inside would-be-skipped plateaus,
+// and one extra probe lands in the widest unmeasured gap of every flat
+// run. On the first detected violation the prober falls back to
+// measuring the remaining grid (or fails, when DisableFallback is set),
+// so a detected non-monotone curve costs one full sweep and is never
+// silently wrong. Detection is guaranteed when every maximal plateau is
+// at least VerifyStride wide; for narrower adversarial structure it is
+// best-effort (see DESIGN.md §8 for the exact contract).
+//
+// The prober is deliberately measurement-agnostic: it asks a Measure
+// callback for batches of channel counts, so it runs identically over
+// the serial reference path, the concurrent cached engine
+// (profiler.Engine.ProbeStaircaseContext), or a synthetic curve in
+// tests. Each bisection round issues all of its midpoints as one batch,
+// which is what lets the engine probe independent intervals
+// concurrently while keeping the issued-probe set — and therefore the
+// audit — a pure function of the curve.
+package probe
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/staircase"
+)
+
+// Measure obtains latencies for a batch of output-channel counts, in
+// order (result[i] is the latency at channels[i]). The prober issues
+// each round's probes as one batch so implementations can fan the batch
+// out over a worker pool; implementations must be deterministic in
+// their inputs for the probe result to be reproducible.
+type Measure func(ctx context.Context, channels []int) ([]float64, error)
+
+// Options tunes a probe run.
+type Options struct {
+	// Rel is the relative latency tolerance under which two
+	// measurements count as the same plateau. 0 means bitwise equality —
+	// the right choice for the deterministic simulated backends, and the
+	// default. Noisy wall-clock backends should use
+	// staircase.PlateauTol (profiler.Engine substitutes it
+	// automatically for non-deterministic backends).
+	Rel float64
+	// VerifyStride > 0 presamples every VerifyStride-th channel before
+	// bisecting. The extra grid/VerifyStride probes buy a guarantee:
+	// any non-monotone curve whose maximal plateaus are all at least
+	// VerifyStride wide is detected and falls back, never silently
+	// wrong. 0 (the default) presamples nothing — bisection plus the
+	// flat-run verification probes detect violations best-effort, which
+	// suffices for every simulated backend (property-tested).
+	VerifyStride int
+	// DisableFallback makes a detected monotonicity violation an error
+	// (ErrNonMonotone) instead of a transparent full sweep.
+	DisableFallback bool
+}
+
+// Validate rejects malformed options.
+func (o Options) Validate() error {
+	if o.Rel < 0 || o.Rel >= 1 {
+		return fmt.Errorf("probe: rel tolerance %v outside [0, 1)", o.Rel)
+	}
+	if o.VerifyStride < 0 {
+		return fmt.Errorf("probe: verify stride %d must be >= 0", o.VerifyStride)
+	}
+	return nil
+}
+
+// Stats is the probe-count audit of one run.
+type Stats struct {
+	// Probes is the number of distinct grid points measured. Without a
+	// fallback it is O(stairs · log C); after a fallback it equals
+	// GridPoints.
+	Probes int
+	// GridPoints is the size of the full sweep grid [lo, hi] — what an
+	// exhaustive sweep would have measured.
+	GridPoints int
+	// VerifyProbes counts the probes spent confirming assumed-flat runs
+	// (included in Probes).
+	VerifyProbes int
+	// FellBack reports that a monotonicity violation forced a full
+	// sweep; the result is then exactly the exhaustive sweep's.
+	FellBack bool
+	// ViolationAt is the channel count at which the first descent was
+	// detected (the right end of the descending pair); 0 when the curve
+	// passed as monotone.
+	ViolationAt int
+}
+
+// Avoided returns the measurements saved versus an exhaustive sweep.
+func (s Stats) Avoided() int { return s.GridPoints - s.Probes }
+
+// Result is a discovered staircase.
+type Result struct {
+	// Analysis is the staircase analysis — computed by
+	// staircase.Analyze over the reconstructed dense curve, so for
+	// monotone curves with exactly-constant plateaus it is
+	// byte-identical to analyzing an exhaustive sweep.
+	Analysis staircase.Analysis
+	// Curve is the reconstructed dense curve over [lo, hi]: measured
+	// points verbatim, unmeasured points filled with their plateau's
+	// value (the nearest measured point to the left).
+	Curve []backend.Point
+	// Measured are the sparse points actually measured, in increasing
+	// channel order. After a fallback it equals Curve.
+	Measured []backend.Point
+	// Stats is the probe-count audit.
+	Stats Stats
+}
+
+// ErrNonMonotone is returned (wrapped) when DisableFallback is set and
+// the prober detects a descent in the latency curve.
+var ErrNonMonotone = fmt.Errorf("probe: non-monotone curve detected")
+
+// Staircase probes the latency staircase of [lo, hi] through m.
+func Staircase(ctx context.Context, m Measure, lo, hi int, opts Options) (Result, error) {
+	if m == nil {
+		return Result{}, fmt.Errorf("probe: nil measure func")
+	}
+	if lo < 1 || hi < lo {
+		return Result{}, fmt.Errorf("probe: invalid probe range [%d, %d]", lo, hi)
+	}
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	p := &prober{
+		ctx:     ctx,
+		measure: m,
+		lo:      lo,
+		hi:      hi,
+		rel:     opts.Rel,
+		have:    make([]bool, hi-lo+1),
+		val:     make([]float64, hi-lo+1),
+	}
+	p.stats.GridPoints = hi - lo + 1
+
+	// Round zero: endpoints plus the optional verification presamples.
+	initial := []int{lo}
+	if s := opts.VerifyStride; s > 0 {
+		for c := lo + s; c < hi; c += s {
+			initial = append(initial, c)
+		}
+	}
+	if hi > lo {
+		initial = append(initial, hi)
+	}
+	if err := p.probe(initial); err != nil {
+		return Result{}, err
+	}
+	if done, res, err := p.police(opts); done {
+		return res, err
+	}
+
+	// Breadth-first bisection: each round splits every interval whose
+	// endpoint latencies differ, issuing all midpoints as one batch.
+	intervals := p.measuredIntervals()
+	for len(intervals) > 0 {
+		var want []int
+		var next [][2]int
+		for _, iv := range intervals {
+			a, b := iv[0], iv[1]
+			if b-a < 2 || p.same(p.at(a), p.at(b)) {
+				continue
+			}
+			mid := a + (b-a)/2
+			want = append(want, mid)
+			next = append(next, [2]int{a, mid}, [2]int{mid, b})
+		}
+		if len(want) == 0 {
+			break
+		}
+		if err := p.probe(want); err != nil {
+			return Result{}, err
+		}
+		if done, res, err := p.police(opts); done {
+			return res, err
+		}
+		intervals = next
+	}
+
+	// Verification: every maximal flat run gets one witness probe in
+	// its widest unmeasured gap. A witness off the run's level is
+	// automatically a descent against one of its neighbors, so the
+	// monotonicity police below catches it — no re-bisection needed.
+	if want := p.verifyTargets(); len(want) > 0 {
+		p.stats.VerifyProbes = len(want)
+		if err := p.probe(want); err != nil {
+			return Result{}, err
+		}
+		if done, res, err := p.police(opts); done {
+			return res, err
+		}
+	}
+
+	return p.result()
+}
+
+// prober is the state of one probe run.
+type prober struct {
+	ctx     context.Context
+	measure Measure
+	lo, hi  int
+	rel     float64
+	have    []bool
+	val     []float64
+	stats   Stats
+}
+
+func (p *prober) at(c int) float64 { return p.val[c-p.lo] }
+
+// same reports whether two latencies belong to one plateau under the
+// configured tolerance; rel 0 means bitwise equality.
+func (p *prober) same(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	if p.rel == 0 {
+		return false
+	}
+	d, base := a-b, a
+	if d < 0 {
+		d = -d
+	}
+	if b > base {
+		base = b
+	}
+	if base < 0 {
+		base = -base
+	}
+	return d <= p.rel*base
+}
+
+// probe measures the not-yet-measured channels of want (deduplicated,
+// ascending) as one batch.
+func (p *prober) probe(want []int) error {
+	fresh := make([]int, 0, len(want))
+	for _, c := range want {
+		if c < p.lo || c > p.hi {
+			return fmt.Errorf("probe: channel %d outside [%d, %d]", c, p.lo, p.hi)
+		}
+		if !p.have[c-p.lo] {
+			p.have[c-p.lo] = true // also dedups within the batch
+			fresh = append(fresh, c)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	sort.Ints(fresh)
+	ms, err := p.measure(p.ctx, fresh)
+	if err != nil {
+		return err
+	}
+	if len(ms) != len(fresh) {
+		return fmt.Errorf("probe: measure returned %d values for %d channels", len(ms), len(fresh))
+	}
+	for i, c := range fresh {
+		p.val[c-p.lo] = ms[i]
+	}
+	p.stats.Probes += len(fresh)
+	return nil
+}
+
+// positions returns the measured channels in increasing order.
+func (p *prober) positions() []int {
+	out := make([]int, 0, p.stats.Probes)
+	for i, ok := range p.have {
+		if ok {
+			out = append(out, p.lo+i)
+		}
+	}
+	return out
+}
+
+// measuredIntervals pairs up consecutive measured positions.
+func (p *prober) measuredIntervals() [][2]int {
+	pos := p.positions()
+	out := make([][2]int, 0, len(pos)-1)
+	for i := 1; i < len(pos); i++ {
+		out = append(out, [2]int{pos[i-1], pos[i]})
+	}
+	return out
+}
+
+// violation returns the right end of the first measured descent, or 0:
+// a curve where latency drops as channels grow is not a monotone
+// staircase and the flat-interval assumption is unsound.
+func (p *prober) violation() int {
+	pos := p.positions()
+	for i := 1; i < len(pos); i++ {
+		prev, cur := p.at(pos[i-1]), p.at(pos[i])
+		if cur < prev && !p.same(prev, cur) {
+			return pos[i]
+		}
+	}
+	return 0
+}
+
+// police checks the monotonicity invariant after a batch; on violation
+// it either completes the run via full-sweep fallback or fails,
+// per opts. done reports that the probe run is finished either way.
+func (p *prober) police(opts Options) (done bool, res Result, err error) {
+	v := p.violation()
+	if v == 0 {
+		return false, Result{}, nil
+	}
+	p.stats.ViolationAt = v
+	if opts.DisableFallback {
+		return true, Result{}, fmt.Errorf("%w: latency descends approaching %d channels after %d probes",
+			ErrNonMonotone, v, p.stats.Probes)
+	}
+	p.stats.FellBack = true
+	var rest []int
+	for c := p.lo; c <= p.hi; c++ {
+		if !p.have[c-p.lo] {
+			rest = append(rest, c)
+		}
+	}
+	if err := p.probe(rest); err != nil {
+		return true, Result{}, err
+	}
+	res, err = p.result()
+	return true, res, err
+}
+
+// verifyTargets picks one witness per maximal flat run: the midpoint of
+// the run's widest unmeasured gap (leftmost on ties). A run is a
+// maximal sequence of consecutive measured positions whose adjacent
+// values are pairwise same; runs with fully measured interiors need no
+// witness.
+func (p *prober) verifyTargets() []int {
+	pos := p.positions()
+	var out []int
+	start := 0
+	for i := 1; i <= len(pos); i++ {
+		if i < len(pos) && p.same(p.at(pos[i-1]), p.at(pos[i])) {
+			continue
+		}
+		// pos[start:i] is one maximal run.
+		bestGap, bestMid := 0, 0
+		for j := start + 1; j < i; j++ {
+			if gap := pos[j] - pos[j-1]; gap >= 2 && gap > bestGap {
+				bestGap = gap
+				bestMid = pos[j-1] + gap/2
+			}
+		}
+		if bestGap > 0 {
+			out = append(out, bestMid)
+		}
+		start = i
+	}
+	return out
+}
+
+// result reconstructs the dense curve and analyzes it. Unmeasured
+// points take the value of the nearest measured point to the left —
+// every unmeasured point sits strictly inside an interval whose
+// endpoints the prober found equal, so under the monotone assumption
+// that value is the point's plateau value, and the reconstruction is
+// bit-identical to the exhaustive sweep.
+func (p *prober) result() (Result, error) {
+	n := p.hi - p.lo + 1
+	curve := make([]backend.Point, n)
+	measured := make([]backend.Point, 0, p.stats.Probes)
+	fill := p.val[0] // lo is always measured
+	for i := 0; i < n; i++ {
+		if p.have[i] {
+			fill = p.val[i]
+			measured = append(measured, backend.Point{Channels: p.lo + i, Ms: p.val[i]})
+		}
+		curve[i] = backend.Point{Channels: p.lo + i, Ms: fill}
+	}
+	an, err := staircase.Analyze(curve)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Analysis: an, Curve: curve, Measured: measured, Stats: p.stats}, nil
+}

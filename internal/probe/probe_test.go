@@ -1,0 +1,256 @@
+package probe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/staircase"
+)
+
+// synth serves a synthetic dense curve over [lo, lo+len(vals)-1] and
+// counts the measurements it answers.
+type synth struct {
+	lo    int
+	vals  []float64
+	calls int
+}
+
+func (s *synth) measure(_ context.Context, channels []int) ([]float64, error) {
+	out := make([]float64, len(channels))
+	for i, c := range channels {
+		if c < s.lo || c >= s.lo+len(s.vals) {
+			return nil, fmt.Errorf("synth: channel %d out of range", c)
+		}
+		out[i] = s.vals[c-s.lo]
+		s.calls++
+	}
+	return out, nil
+}
+
+func (s *synth) dense() []backend.Point {
+	pts := make([]backend.Point, len(s.vals))
+	for i, v := range s.vals {
+		pts[i] = backend.Point{Channels: s.lo + i, Ms: v}
+	}
+	return pts
+}
+
+// stairVals builds a monotone staircase: widths[i] points at level
+// base*(1.25)^i.
+func stairVals(base float64, widths ...int) []float64 {
+	var out []float64
+	level := base
+	for _, w := range widths {
+		for i := 0; i < w; i++ {
+			out = append(out, level)
+		}
+		level *= 1.25
+	}
+	return out
+}
+
+func mustProbe(t *testing.T, s *synth, opts Options) Result {
+	t.Helper()
+	res, err := Staircase(context.Background(), s.measure, s.lo, s.lo+len(s.vals)-1, opts)
+	if err != nil {
+		t.Fatalf("Staircase: %v", err)
+	}
+	return res
+}
+
+// checkExact asserts the probe result matches an exhaustive sweep's
+// analysis byte for byte and that the audit books balance.
+func checkExact(t *testing.T, s *synth, res Result) {
+	t.Helper()
+	dense := s.dense()
+	want, err := staircase.Analyze(dense)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if !reflect.DeepEqual(res.Analysis, want) {
+		t.Errorf("probe analysis differs from exhaustive sweep:\n got %+v\nwant %+v", res.Analysis, want)
+	}
+	if !reflect.DeepEqual(res.Curve, dense) {
+		t.Errorf("reconstructed curve differs from the true dense curve")
+	}
+	if res.Stats.GridPoints != len(dense) {
+		t.Errorf("GridPoints = %d, want %d", res.Stats.GridPoints, len(dense))
+	}
+	if res.Stats.Probes != len(res.Measured) {
+		t.Errorf("Probes = %d but %d measured points", res.Stats.Probes, len(res.Measured))
+	}
+	if res.Stats.Probes+res.Stats.Avoided() != res.Stats.GridPoints {
+		t.Errorf("audit books don't balance: %d probes + %d avoided != %d grid",
+			res.Stats.Probes, res.Stats.Avoided(), res.Stats.GridPoints)
+	}
+	for i, p := range res.Measured {
+		if i > 0 && p.Channels <= res.Measured[i-1].Channels {
+			t.Fatalf("measured points not strictly increasing at %d", i)
+		}
+		if got := dense[p.Channels-s.lo]; got != p {
+			t.Errorf("measured point %+v disagrees with the curve %+v", p, got)
+		}
+	}
+}
+
+func TestProbeFlatCurve(t *testing.T) {
+	s := &synth{lo: 1, vals: stairVals(2.0, 64)}
+	res := mustProbe(t, s, Options{})
+	checkExact(t, s, res)
+	if res.Stats.FellBack {
+		t.Error("flat curve fell back")
+	}
+	// Endpoints plus one verification witness.
+	if res.Stats.Probes != 3 {
+		t.Errorf("flat 64-point curve took %d probes, want 3", res.Stats.Probes)
+	}
+	if res.Stats.VerifyProbes != 1 {
+		t.Errorf("VerifyProbes = %d, want 1", res.Stats.VerifyProbes)
+	}
+}
+
+func TestProbeMonotoneStaircase(t *testing.T) {
+	s := &synth{lo: 1, vals: stairVals(1.0, 100, 50, 30, 120, 80, 60, 72)}
+	res := mustProbe(t, s, Options{})
+	checkExact(t, s, res)
+	if res.Stats.FellBack {
+		t.Fatal("monotone staircase fell back")
+	}
+	if got, want := len(res.Analysis.Stairs), 7; got != want {
+		t.Errorf("found %d stairs, want %d", got, want)
+	}
+	if 4*res.Stats.Probes > res.Stats.GridPoints {
+		t.Errorf("probes %d exceed 25%% of the %d-point grid", res.Stats.Probes, res.Stats.GridPoints)
+	}
+}
+
+func TestProbeSinglePoint(t *testing.T) {
+	s := &synth{lo: 7, vals: []float64{3.5}}
+	res := mustProbe(t, s, Options{})
+	checkExact(t, s, res)
+	if res.Stats.Probes != 1 || res.Stats.FellBack {
+		t.Errorf("single-point probe: %+v", res.Stats)
+	}
+}
+
+func TestProbeNonMonotoneFallsBack(t *testing.T) {
+	// A sawtooth: up, down, up — the descent is visible to bisection
+	// because the descending plateau separates differing endpoints.
+	vals := append(stairVals(1.0, 20, 20), stairVals(1.05, 20, 20)...)
+	s := &synth{lo: 1, vals: vals}
+	res := mustProbe(t, s, Options{})
+	checkExact(t, s, res)
+	if !res.Stats.FellBack {
+		t.Fatal("sawtooth did not fall back")
+	}
+	if res.Stats.ViolationAt == 0 {
+		t.Error("fallback recorded no violation position")
+	}
+	if res.Stats.Probes != res.Stats.GridPoints {
+		t.Errorf("fallback measured %d of %d grid points", res.Stats.Probes, res.Stats.GridPoints)
+	}
+}
+
+func TestProbeDisableFallback(t *testing.T) {
+	vals := append(stairVals(1.0, 20, 20), stairVals(1.05, 20, 20)...)
+	s := &synth{lo: 1, vals: vals}
+	_, err := Staircase(context.Background(), s.measure, 1, len(vals), Options{DisableFallback: true})
+	if !errors.Is(err, ErrNonMonotone) {
+		t.Fatalf("err = %v, want ErrNonMonotone", err)
+	}
+}
+
+// TestProbeWitnessCatchesHiddenSpike plants a deviation exactly where
+// pure bisection never looks: between two equal endpoints. The flat-run
+// witness probe lands in the widest unmeasured gap and exposes it.
+func TestProbeWitnessCatchesHiddenSpike(t *testing.T) {
+	vals := stairVals(2.0, 101)
+	vals[50] = 3.0 // the witness position of the single flat run
+	s := &synth{lo: 1, vals: vals}
+	res := mustProbe(t, s, Options{})
+	checkExact(t, s, res)
+	if !res.Stats.FellBack {
+		t.Fatal("hidden spike went undetected")
+	}
+}
+
+// TestProbeStrideGuarantee: with VerifyStride <= the minimum plateau
+// width, a non-monotone staircase is always detected, wherever the
+// descent sits.
+func TestProbeStrideGuarantee(t *testing.T) {
+	for shift := 0; shift < 8; shift++ {
+		widths := []int{4 + shift, 8, 4, 12, 8}
+		up := stairVals(1.0, widths...)
+		// Rebuild with one descending level in the middle plateau.
+		vals := append([]float64(nil), up...)
+		start := widths[0] + widths[1]
+		for i := 0; i < widths[2]; i++ {
+			vals[start+i] = 0.9 // below the first plateau: a descent
+		}
+		s := &synth{lo: 1, vals: vals}
+		res := mustProbe(t, s, Options{VerifyStride: 4})
+		checkExact(t, s, res)
+		if !res.Stats.FellBack {
+			t.Fatalf("shift %d: descent of width %d escaped stride-4 verification", shift, widths[2])
+		}
+	}
+}
+
+// TestProbeRelTolerance: a noisy-but-monotone micro-ramp is one plateau
+// under staircase.PlateauTol but hundreds of distinct values bitwise.
+func TestProbeRelTolerance(t *testing.T) {
+	vals := make([]float64, 256)
+	for i := range vals {
+		vals[i] = 5.0 * (1 + 1e-5*float64(i)) // 0.26% total drift
+	}
+	loose := &synth{lo: 1, vals: vals}
+	res := mustProbe(t, loose, Options{Rel: staircase.PlateauTol})
+	if res.Stats.FellBack {
+		t.Fatal("within-tolerance ramp fell back")
+	}
+	if 4*res.Stats.Probes > res.Stats.GridPoints {
+		t.Errorf("tolerant probe spent %d of %d measurements", res.Stats.Probes, res.Stats.GridPoints)
+	}
+	strict := &synth{lo: 1, vals: vals}
+	sres := mustProbe(t, strict, Options{})
+	// Bitwise matching sees every point as its own plateau and must
+	// measure the whole grid to bracket all the "edges".
+	if sres.Stats.Probes != sres.Stats.GridPoints {
+		t.Errorf("strict probe measured %d of %d points", sres.Stats.Probes, sres.Stats.GridPoints)
+	}
+	checkExact(t, strict, sres)
+}
+
+func TestProbeValidation(t *testing.T) {
+	s := &synth{lo: 1, vals: stairVals(1, 4)}
+	if _, err := Staircase(context.Background(), nil, 1, 4, Options{}); err == nil {
+		t.Error("nil measure accepted")
+	}
+	if _, err := Staircase(context.Background(), s.measure, 0, 4, Options{}); err == nil {
+		t.Error("lo 0 accepted")
+	}
+	if _, err := Staircase(context.Background(), s.measure, 4, 1, Options{}); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := Staircase(context.Background(), s.measure, 1, 4, Options{Rel: -0.1}); err == nil {
+		t.Error("negative rel accepted")
+	}
+	if _, err := Staircase(context.Background(), s.measure, 1, 4, Options{Rel: 1}); err == nil {
+		t.Error("rel 1 accepted")
+	}
+	if _, err := Staircase(context.Background(), s.measure, 1, 4, Options{VerifyStride: -1}); err == nil {
+		t.Error("negative stride accepted")
+	}
+}
+
+func TestProbeMeasureError(t *testing.T) {
+	boom := errors.New("board on fire")
+	m := func(context.Context, []int) ([]float64, error) { return nil, boom }
+	if _, err := Staircase(context.Background(), m, 1, 64, Options{}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the measure error", err)
+	}
+}

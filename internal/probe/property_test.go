@@ -1,0 +1,112 @@
+package probe_test
+
+// The tentpole property: on every simulated backend and every unique
+// VGG-16/AlexNet layer shape, the adaptive prober's stair set is
+// byte-identical to staircase.Analyze over the exhaustive sweep. On
+// monotone curves (all of cuDNN's) it must get there with at most 25%
+// of the grid's measurements; on the non-monotone simulator families
+// (ACL's remainder-kernel sawtooth, TVM's tuned-schedule spread) the
+// monotonicity police must detect the violation and fall back to the
+// full grid — exactness is never traded for savings.
+//
+// The test lives outside package probe because it drives the prober
+// through profiler.Engine, which imports probe.
+
+import (
+	"reflect"
+	"testing"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/probe"
+	"perfprune/internal/profiler"
+	"perfprune/internal/staircase"
+)
+
+// firstDevice returns the first catalog board the backend targets.
+func firstDevice(t *testing.T, lib backend.Backend) device.Device {
+	t.Helper()
+	for _, d := range device.All() {
+		if lib.Supports(d) {
+			return d
+		}
+	}
+	t.Fatalf("%s supports no device", lib.Name())
+	return device.Device{}
+}
+
+func TestProbeMatchesExhaustiveSweepAllBackends(t *testing.T) {
+	// One engine for probes and sweeps: the shared cache means each
+	// configuration is simulated once no matter which path asks first,
+	// while the probe audit still counts what a cold prober would issue.
+	eng := profiler.NewEngine()
+	for _, lib := range backend.Simulated() {
+		lib := lib
+		t.Run(lib.Name(), func(t *testing.T) {
+			dev := firstDevice(t, lib)
+			monotoneLayers := 0
+			for _, n := range []nets.Network{nets.VGG16(), nets.AlexNet()} {
+				seen := make(map[string]bool)
+				for _, l := range n.Layers {
+					if !l.Unique || seen[l.Label] {
+						continue
+					}
+					seen[l.Label] = true
+					res, err := eng.ProbeStaircase(lib, dev, l.Spec, 1, l.Spec.OutC, probe.Options{})
+					if err != nil {
+						t.Fatalf("%s %s: probe: %v", n.Name, l.Label, err)
+					}
+					full, err := eng.SweepChannels(lib, dev, l.Spec, 1, l.Spec.OutC)
+					if err != nil {
+						t.Fatalf("%s %s: sweep: %v", n.Name, l.Label, err)
+					}
+					want, err := staircase.Analyze(full)
+					if err != nil {
+						t.Fatalf("%s %s: analyze: %v", n.Name, l.Label, err)
+					}
+					if !reflect.DeepEqual(res.Analysis, want) {
+						t.Errorf("%s %s: probe analysis differs from exhaustive sweep (fellback=%v)",
+							n.Name, l.Label, res.Stats.FellBack)
+					}
+					if !reflect.DeepEqual(res.Curve, full) {
+						t.Errorf("%s %s: reconstructed curve differs from the sweep", n.Name, l.Label)
+					}
+					st := res.Stats
+					if st.GridPoints != len(full) {
+						t.Errorf("%s %s: GridPoints = %d, want %d", n.Name, l.Label, st.GridPoints, len(full))
+					}
+					if st.FellBack {
+						if st.Probes != st.GridPoints {
+							t.Errorf("%s %s: fallback measured %d of %d points",
+								n.Name, l.Label, st.Probes, st.GridPoints)
+						}
+						continue
+					}
+					monotoneLayers++
+					// The acceptance bound: a monotone staircase costs at
+					// most a quarter of the grid.
+					if 4*st.Probes > st.GridPoints {
+						t.Errorf("%s %s: %d probes exceed 25%% of the %d-point grid",
+							n.Name, l.Label, st.Probes, st.GridPoints)
+					}
+				}
+			}
+			// cuDNN's curves are monotone staircases; every layer must
+			// take the cheap path, or the 25%-of-grid bound above was
+			// never exercised. The ACL and TVM families are known
+			// non-monotone (Figs. 14, 19) and must always fall back.
+			switch lib.Name() {
+			case "cuDNN":
+				if monotoneLayers == 0 {
+					t.Error("no cuDNN layer took the adaptive path")
+				}
+			default:
+				if monotoneLayers != 0 {
+					t.Errorf("%d %s layers passed as monotone; expected verified fallback on every one",
+						monotoneLayers, lib.Name())
+				}
+			}
+		})
+	}
+}

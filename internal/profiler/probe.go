@@ -1,0 +1,58 @@
+package profiler
+
+// Adaptive probing through the engine. ProbeStaircaseContext is the
+// measurement half of internal/probe: each bisection round's midpoints
+// arrive as one batch and fan out over the engine's bounded worker
+// pool, sharing the measurement cache (and its single-flight
+// coalescing) with every sweep. Because the prober decides the next
+// round only from measured values — never from completion order — the
+// probe result and its audit are byte-identical at any worker count.
+
+import (
+	"context"
+	"fmt"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+	"perfprune/internal/probe"
+	"perfprune/internal/staircase"
+)
+
+// ProbeStaircaseContext discovers the staircase of spec's channel range
+// [lo, hi] on (lib, dev) adaptively: endpoints first, then concurrent
+// bisection of every interval whose endpoint latencies differ, with a
+// verified fallback to the full sweep on non-monotone curves (see
+// internal/probe). For monotone curves it issues O(stairs · log C)
+// measurements instead of the sweep's O(C) and returns an analysis
+// byte-identical to staircase.Analyze over SweepChannelsContext.
+//
+// A zero opts.Rel means bitwise plateau matching, the right choice for
+// the deterministic simulated backends; for non-deterministic
+// (wall-clock) backends the engine substitutes staircase.PlateauTol so
+// run-to-run noise is not mistaken for stair edges.
+func (e *Engine) ProbeStaircaseContext(ctx context.Context, lib Library, dev device.Device, spec conv.ConvSpec, lo, hi int, opts probe.Options) (probe.Result, error) {
+	if opts.Rel == 0 && !backend.IsDeterministic(lib) {
+		opts.Rel = staircase.PlateauTol
+	}
+	m := func(ctx context.Context, channels []int) ([]float64, error) {
+		out := make([]float64, len(channels))
+		if err := e.fanOut(ctx, len(channels), e.workersFor(lib), func(i int) error {
+			mm, err := e.MeasureMedian(lib, dev, spec.WithOutC(channels[i]))
+			if err != nil {
+				return fmt.Errorf("profiler: probe %s at %d channels: %w", spec.Name, channels[i], err)
+			}
+			out[i] = mm.Ms
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return probe.Staircase(ctx, m, lo, hi, opts)
+}
+
+// ProbeStaircase is ProbeStaircaseContext without cancellation.
+func (e *Engine) ProbeStaircase(lib Library, dev device.Device, spec conv.ConvSpec, lo, hi int, opts probe.Options) (probe.Result, error) {
+	return e.ProbeStaircaseContext(context.Background(), lib, dev, spec, lo, hi, opts)
+}

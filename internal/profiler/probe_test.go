@@ -1,0 +1,91 @@
+package profiler
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"perfprune/internal/acl"
+	"perfprune/internal/backend"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/probe"
+)
+
+func mustLayerSpec(t *testing.T, n nets.Network, label string) nets.Layer {
+	t.Helper()
+	l, ok := n.Layer(label)
+	if !ok {
+		t.Fatalf("%s has no layer %s", n.Name, label)
+	}
+	return l
+}
+
+// TestProbeDeterministicAcrossWorkers pins the concurrent bisection's
+// determinism: the probe result — curve, analysis, and the probe-count
+// audit — is a pure function of the curve, independent of the worker
+// pool width and of cache warmth, on both the adaptive path (cuDNN)
+// and the fallback path (ACL's sawtooth).
+func TestProbeDeterministicAcrossWorkers(t *testing.T) {
+	cases := []struct {
+		lib backend.Backend
+		dev device.Device
+	}{
+		{backend.CuDNN(), device.JetsonTX2},
+		{backend.ACL(acl.GEMMConv), device.HiKey970},
+	}
+	layer := mustLayerSpec(t, nets.VGG16(), "VGG.L12")
+	for _, tc := range cases {
+		var want probe.Result
+		for i, workers := range []int{1, 3, 16} {
+			eng := NewEngine(WithWorkers(workers))
+			got, err := eng.ProbeStaircaseContext(context.Background(), tc.lib, tc.dev, layer.Spec, 1, layer.Spec.OutC, probe.Options{})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.lib.Name(), workers, err)
+			}
+			if i == 0 {
+				want = got
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: probe result at %d workers differs from serial", tc.lib.Name(), workers)
+			}
+		}
+	}
+}
+
+// TestProbeSharesEngineCache: a probe after a full sweep re-executes
+// nothing — every probe lookup is a cache hit — while the audit still
+// reports what a cold probe would have issued.
+func TestProbeSharesEngineCache(t *testing.T) {
+	eng := NewEngine()
+	layer := mustLayerSpec(t, nets.AlexNet(), "AlexNet.L8")
+	lib, dev := backend.CuDNN(), device.JetsonNano
+	if _, err := eng.SweepChannels(lib, dev, layer.Spec, 1, layer.Spec.OutC); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Cache().Stats()
+	res, err := eng.ProbeStaircase(lib, dev, layer.Spec, 1, layer.Spec.OutC, probe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := eng.Cache().Stats()
+	if after.Misses != before.Misses {
+		t.Errorf("probe over a warm cache executed %d measurements", after.Misses-before.Misses)
+	}
+	if res.Stats.Probes == 0 || res.Stats.FellBack {
+		t.Errorf("unexpected audit over warm cache: %+v", res.Stats)
+	}
+}
+
+// TestProbeCancellation: a cancelled context aborts the probe.
+func TestProbeCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := NewEngine()
+	layer := mustLayerSpec(t, nets.VGG16(), "VGG.L24")
+	_, err := eng.ProbeStaircaseContext(ctx, backend.CuDNN(), device.JetsonTX2, layer.Spec, 1, layer.Spec.OutC, probe.Options{})
+	if err == nil {
+		t.Fatal("cancelled probe returned no error")
+	}
+}

@@ -91,11 +91,11 @@ func measureMedian(c *backend.Cache, lib Library, dev device.Device, spec conv.C
 	return last, nil
 }
 
-// Point is one (channel count, latency) sample of a sweep.
-type Point struct {
-	Channels int
-	Ms       float64
-}
+// Point is one (channel count, latency) sample of a sweep. It is an
+// alias for backend.Point (the canonical definition at the bottom of
+// the dependency stack), kept so the profiler's historical API stays
+// source-compatible.
+type Point = backend.Point
 
 // SweepChannels measures spec at every output-channel count in
 // [lo, hi], emulating gradual channel pruning one channel at a time

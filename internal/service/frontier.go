@@ -61,7 +61,7 @@ func (s *Server) serveSingleFrontier(w http.ResponseWriter, r *http.Request, req
 		writeError(w, err)
 		return
 	}
-	np, err := core.ProfileNetworkContext(r.Context(), s.engine, core.Target{Device: dev, Library: lib}, n)
+	np, probeSt, err := s.profileNetwork(r.Context(), core.Target{Device: dev, Library: lib}, n, req.Probe)
 	if err != nil {
 		if isCancellation(err) {
 			return // client gone; nobody to answer
@@ -86,6 +86,7 @@ func (s *Server) serveSingleFrontier(w http.ResponseWriter, r *http.Request, req
 		BaselineMs:       f.BaselineMs,
 		BaselineAccuracy: f.Acc.Base,
 		TotalPoints:      len(f.Points),
+		Probe:            probeSt,
 	}
 	for _, p := range f.Sample(maxPoints) {
 		resp.Points = append(resp.Points, frontierPoint(p))
@@ -131,6 +132,7 @@ func (s *Server) serveFleetFrontier(w http.ResponseWriter, r *http.Request, req 
 	}
 	fleet := make([]pareto.FleetTarget, len(req.Fleet))
 	seen := make(map[string]bool, len(req.Fleet))
+	var fleetProbe *ProbeStats
 	for i, ftr := range req.Fleet {
 		if ftr.Weight < 0 {
 			writeError(w, badRequest("fleet[%d]: weight %v must be >= 0", i, ftr.Weight))
@@ -147,13 +149,22 @@ func (s *Server) serveFleetFrontier(w http.ResponseWriter, r *http.Request, req 
 			writeError(w, prefixError(fmt.Sprintf("fleet[%d]", i), err))
 			return
 		}
-		np, err := core.ProfileNetworkContext(r.Context(), s.engine, core.Target{Device: dev, Library: lib}, n)
+		np, probeSt, err := s.profileNetwork(r.Context(), core.Target{Device: dev, Library: lib}, n, req.Probe)
 		if err != nil {
 			if isCancellation(err) {
 				return
 			}
 			writeError(w, unprocessable(err))
 			return
+		}
+		if probeSt != nil {
+			if fleetProbe == nil {
+				fleetProbe = &ProbeStats{}
+			}
+			fleetProbe.Probes += probeSt.Probes
+			fleetProbe.GridPoints += probeSt.GridPoints
+			fleetProbe.PointsAvoided += probeSt.PointsAvoided
+			fleetProbe.Fallbacks += probeSt.Fallbacks
 		}
 		fleet[i] = pareto.FleetTarget{Profile: np, Weight: ftr.Weight}
 	}
@@ -190,6 +201,7 @@ func (s *Server) serveFleetFrontier(w http.ResponseWriter, r *http.Request, req 
 		Network:          n.Name,
 		BaselineAccuracy: pl.Acc.Base,
 		Fleet:            &result,
+		Probe:            fleetProbe,
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 	"perfprune/internal/core"
 	"perfprune/internal/device"
 	"perfprune/internal/nets"
+	"perfprune/internal/probe"
 	"perfprune/internal/profiler"
 	"perfprune/internal/staircase"
 )
@@ -104,6 +105,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Frontier:  s.reqFrontier.Load(),
 			Stats:     s.reqStats.Load(),
 		},
+		Probe:   s.probeTotals(),
 		Workers: s.workers,
 	})
 }
@@ -259,19 +261,32 @@ func specFromRequest(r SpecRequest) conv.ConvSpec {
 
 // runSweep is the shared front half of the sweep and staircase
 // endpoints: decode, resolve, execute on the shared engine under the
-// request's context. It writes the error response itself; ok is false
-// when the response is already handled (including the no-response case
-// of a vanished client, whose cancelled sweep stops consuming
-// workers).
-func (s *Server) runSweep(w http.ResponseWriter, r *http.Request) (req SweepRequest, st sweepTarget, points []profiler.Point, ok bool) {
+// request's context. In probe mode the grid is probed adaptively
+// instead of swept; pr then carries the probe result (analysis,
+// audit) and points holds only the measured sparse points. It writes
+// the error response itself; ok is false when the response is already
+// handled (including the no-response case of a vanished client, whose
+// cancelled sweep stops consuming workers).
+func (s *Server) runSweep(w http.ResponseWriter, r *http.Request) (req SweepRequest, st sweepTarget, points []profiler.Point, pr *probe.Result, ok bool) {
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, err)
-		return req, st, nil, false
+		return req, st, nil, nil, false
 	}
 	st, err := s.resolveSweep(req)
 	if err != nil {
 		writeError(w, err)
-		return req, st, nil, false
+		return req, st, nil, nil, false
+	}
+	if req.Probe {
+		res, err := s.engine.ProbeStaircaseContext(r.Context(), st.lib, st.dev, st.spec, st.lo, st.hi, probe.Options{})
+		if err != nil {
+			if !isCancellation(err) {
+				writeError(w, unprocessable(err))
+			}
+			return req, st, nil, nil, false
+		}
+		s.recordProbe(probeStats(res.Stats), 1)
+		return req, st, res.Measured, &res, true
 	}
 	points, err = s.engine.SweepChannelsContext(r.Context(), st.lib, st.dev, st.spec, st.lo, st.hi)
 	if err != nil {
@@ -282,9 +297,45 @@ func (s *Server) runSweep(w http.ResponseWriter, r *http.Request) (req SweepRequ
 		if !isCancellation(err) {
 			writeError(w, unprocessable(err))
 		}
-		return req, st, nil, false
+		return req, st, nil, nil, false
 	}
-	return req, st, points, true
+	return req, st, points, nil, true
+}
+
+// probeStats converts a single probe run's audit to the wire shape.
+func probeStats(st probe.Stats) ProbeStats {
+	ps := ProbeStats{Probes: st.Probes, GridPoints: st.GridPoints, PointsAvoided: st.Avoided()}
+	if st.FellBack {
+		ps.Fallbacks = 1
+	}
+	return ps
+}
+
+// usageStats converts a network-wide probe audit to the wire shape.
+func usageStats(u core.ProbeUsage) ProbeStats {
+	return ProbeStats{
+		Probes:        u.Probes,
+		GridPoints:    u.GridPoints,
+		PointsAvoided: u.Avoided(),
+		Fallbacks:     u.Fallbacks,
+	}
+}
+
+// profileNetwork profiles n on tg through the shared engine, swept or
+// probed. In probe mode it folds the audit into the daemon-wide totals
+// and returns the wire stats for the response.
+func (s *Server) profileNetwork(ctx context.Context, tg core.Target, n nets.Network, probed bool) (*core.NetworkProfile, *ProbeStats, error) {
+	if !probed {
+		np, err := core.ProfileNetworkContext(ctx, s.engine, tg, n)
+		return np, nil, err
+	}
+	np, usage, err := core.ProfileNetworkProbeContext(ctx, s.engine, tg, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps := usageStats(usage)
+	s.recordProbe(ps, usage.Shapes)
+	return np, &ps, nil
 }
 
 // isCancellation reports whether err is a context cancellation or
@@ -297,19 +348,19 @@ func isCancellation(err error) bool {
 // curve.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.reqSweep.Add(1)
-	req, st, points, ok := s.runSweep(w, r)
+	req, st, points, pr, ok := s.runSweep(w, r)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, sweepResponse(req, st, points))
+	writeJSON(w, http.StatusOK, sweepResponse(req, st, points, pr))
 }
 
-func sweepResponse(req SweepRequest, st sweepTarget, points []profiler.Point) SweepResponse {
+func sweepResponse(req SweepRequest, st sweepTarget, points []profiler.Point, pr *probe.Result) SweepResponse {
 	wire := make([]Point, len(points))
 	for i, p := range points {
 		wire[i] = Point{Channels: p.Channels, Ms: p.Ms}
 	}
-	return SweepResponse{
+	resp := SweepResponse{
 		Backend: req.Backend,
 		Device:  st.dev.Name,
 		Layer:   st.spec.Name,
@@ -317,23 +368,37 @@ func sweepResponse(req SweepRequest, st sweepTarget, points []profiler.Point) Sw
 		Hi:      st.hi,
 		Points:  wire,
 	}
+	if pr != nil {
+		ps := probeStats(pr.Stats)
+		resp.Probe = &ps
+	}
+	return resp
 }
 
 // handleStaircase serves POST /v1/staircase: a sweep plus the stair /
-// right-edge analysis of §IV.
+// right-edge analysis of §IV. A probe-mode analysis comes straight
+// from the prober (it is byte-identical to analyzing the full sweep on
+// monotone curves, and IS the full sweep's after a fallback); the
+// response's points are then the sparse measured ones.
 func (s *Server) handleStaircase(w http.ResponseWriter, r *http.Request) {
 	s.reqStaircase.Add(1)
-	req, st, points, ok := s.runSweep(w, r)
+	req, st, points, pr, ok := s.runSweep(w, r)
 	if !ok {
 		return
 	}
-	an, err := staircase.Analyze(points)
-	if err != nil {
-		writeError(w, err)
-		return
+	var an staircase.Analysis
+	if pr != nil {
+		an = pr.Analysis
+	} else {
+		var err error
+		an, err = staircase.Analyze(points)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
 	}
 	resp := StaircaseResponse{
-		SweepResponse: sweepResponse(req, st, points),
+		SweepResponse: sweepResponse(req, st, points, pr),
 		Stairs:        make([]Stair, 0, len(an.Stairs)),
 		Edges:         make([]Point, 0, len(an.Edges)),
 		MaxStep:       an.MaxStep(),
@@ -388,7 +453,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	tg := core.Target{Device: dev, Library: lib}
 
-	np, err := core.ProfileNetworkContext(r.Context(), s.engine, tg, n)
+	np, probeSt, err := s.profileNetwork(r.Context(), tg, n, req.Probe)
 	if err != nil {
 		if isCancellation(err) {
 			return // client gone; nobody to answer
@@ -413,6 +478,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		BaselineMs:       aware.BaselineMs,
 		BaselineAccuracy: pl.Acc.Base,
 		PerformanceAware: planEval(aware),
+		Probe:            probeSt,
 	}
 	if req.UninstructedFraction > 0 {
 		unin, err := pl.Uninstructed(req.UninstructedFraction)

@@ -1,0 +1,209 @@
+package service_test
+
+// Probe-mode end-to-end tests: the adaptive prober served over HTTP
+// must answer identically to the exhaustive endpoints (same stairs,
+// same plans, same frontiers), report an honest per-request audit, and
+// keep the daemon-wide /v1/stats probe books balanced.
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"perfprune/internal/service"
+)
+
+func postJSON(t *testing.T, url, body string, out any) {
+	t.Helper()
+	code, b := do(t, "POST", url, body)
+	if code != 200 {
+		t.Fatalf("POST %s: status %d: %s", url, code, b)
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		t.Fatalf("POST %s: decoding: %v", url, err)
+	}
+}
+
+// TestProbeStaircaseEndpoint: probe mode returns the same stairs and
+// edges as the exhaustive staircase, from far fewer measured points,
+// and says how many it spent.
+func TestProbeStaircaseEndpoint(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	req := `{"backend": "cudnn", "device": "Jetson TX2", "network": "VGG-16", "layer": "VGG.L24"%s}`
+
+	var full, probed service.StaircaseResponse
+	postJSON(t, ts.URL+"/v1/staircase", fmt.Sprintf(req, ""), &full)
+	postJSON(t, ts.URL+"/v1/staircase", fmt.Sprintf(req, `, "probe": true`), &probed)
+
+	if probed.Probe == nil {
+		t.Fatal("probe mode returned no probe_stats")
+	}
+	st := probed.Probe
+	if st.GridPoints != len(full.Points) {
+		t.Errorf("grid_points = %d, want %d", st.GridPoints, len(full.Points))
+	}
+	if st.Fallbacks != 0 {
+		t.Errorf("cuDNN staircase fell back: %+v", st)
+	}
+	if 4*st.Probes > st.GridPoints {
+		t.Errorf("probe spent %d of %d grid points (> 25%%)", st.Probes, st.GridPoints)
+	}
+	if st.Probes+st.PointsAvoided != st.GridPoints {
+		t.Errorf("response books don't balance: %+v", st)
+	}
+	if len(probed.Points) != st.Probes {
+		t.Errorf("probe mode returned %d points, audit says %d measured", len(probed.Points), st.Probes)
+	}
+	if fmt.Sprint(probed.Stairs) != fmt.Sprint(full.Stairs) {
+		t.Error("probed stairs differ from exhaustive stairs")
+	}
+	if fmt.Sprint(probed.Edges) != fmt.Sprint(full.Edges) {
+		t.Error("probed edges differ from exhaustive edges")
+	}
+	if probed.MaxStep != full.MaxStep {
+		t.Errorf("max_step %v != %v", probed.MaxStep, full.MaxStep)
+	}
+
+	// A non-monotone backend must fall back — and still agree.
+	var aclFull, aclProbed service.StaircaseResponse
+	aclReq := `{"backend": "acl-gemm", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L12"%s}`
+	postJSON(t, ts.URL+"/v1/staircase", fmt.Sprintf(aclReq, ""), &aclFull)
+	postJSON(t, ts.URL+"/v1/staircase", fmt.Sprintf(aclReq, `, "probe": true`), &aclProbed)
+	if aclProbed.Probe == nil || aclProbed.Probe.Fallbacks != 1 {
+		t.Fatalf("ACL probe did not report a fallback: %+v", aclProbed.Probe)
+	}
+	if fmt.Sprint(aclProbed.Stairs) != fmt.Sprint(aclFull.Stairs) {
+		t.Error("ACL probed stairs differ from exhaustive stairs after fallback")
+	}
+}
+
+// TestProbePlanEndpoint: a probe-mode plan is identical to the
+// exhaustive one apart from its probe_stats.
+func TestProbePlanEndpoint(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	req := `{"backend": "cudnn", "device": "Jetson Nano", "network": "AlexNet"%s}`
+
+	var full, probed service.PlanResponse
+	postJSON(t, ts.URL+"/v1/plan", fmt.Sprintf(req, ""), &full)
+	postJSON(t, ts.URL+"/v1/plan", fmt.Sprintf(req, `, "probe": true`), &probed)
+
+	if probed.Probe == nil {
+		t.Fatal("probe-mode plan returned no probe_stats")
+	}
+	if probed.Probe.PointsAvoided <= 0 {
+		t.Errorf("probe-mode plan avoided nothing: %+v", probed.Probe)
+	}
+	probed.Probe = nil
+	if asJSON(t, probed) != asJSON(t, full) {
+		t.Error("probe-mode plan differs from the exhaustive plan")
+	}
+}
+
+// TestProbeFrontierEndpoint: probe mode leaves frontiers and fleet
+// plans untouched.
+func TestProbeFrontierEndpoint(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	req := `{"backend": "cudnn", "device": "Jetson TX2", "network": "AlexNet", "max_accuracy_drop": 2.0%s}`
+
+	var full, probed service.FrontierResponse
+	postJSON(t, ts.URL+"/v1/frontier", fmt.Sprintf(req, ""), &full)
+	postJSON(t, ts.URL+"/v1/frontier", fmt.Sprintf(req, `, "probe": true`), &probed)
+	if probed.Probe == nil || probed.Probe.PointsAvoided <= 0 {
+		t.Fatalf("probe-mode frontier audit: %+v", probed.Probe)
+	}
+	probed.Probe = nil
+	if asJSON(t, probed) != asJSON(t, full) {
+		t.Error("probe-mode frontier differs from the exhaustive frontier")
+	}
+
+	fleetReq := `{"network": "AlexNet", "objective": "worst_case",
+		"fleet": [{"backend": "cudnn", "device": "Jetson TX2"},
+		          {"backend": "cudnn", "device": "Jetson Nano"}]%s}`
+	var fleetFull, fleetProbed service.FrontierResponse
+	postJSON(t, ts.URL+"/v1/frontier", fmt.Sprintf(fleetReq, ""), &fleetFull)
+	postJSON(t, ts.URL+"/v1/frontier", fmt.Sprintf(fleetReq, `, "probe": true`), &fleetProbed)
+	if fleetProbed.Probe == nil || fleetProbed.Probe.PointsAvoided <= 0 {
+		t.Fatalf("probe-mode fleet audit: %+v", fleetProbed.Probe)
+	}
+	fleetProbed.Probe = nil
+	if asJSON(t, fleetProbed) != asJSON(t, fleetFull) {
+		t.Error("probe-mode fleet plan differs from the exhaustive one")
+	}
+}
+
+// asJSON re-marshals a decoded response for structural comparison
+// (pointer-valued fields compare by content, not address).
+func asJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestProbeStatsBooksBalance: the daemon-wide probe totals on
+// /v1/stats account for every probe-mode request — issued plus avoided
+// equals the grid, and fallbacks are counted — while non-probe traffic
+// leaves them untouched.
+func TestProbeStatsBooksBalance(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+
+	stats := func() service.StatsResponse {
+		var sr service.StatsResponse
+		code, b := do(t, "GET", ts.URL+"/v1/stats", "")
+		if code != 200 {
+			t.Fatalf("stats: %d: %s", code, b)
+		}
+		if err := json.Unmarshal(b, &sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+
+	if p := stats().Probe; p.Runs != 0 || p.ProbesIssued != 0 {
+		t.Fatalf("fresh server has probe totals: %+v", p)
+	}
+
+	// Non-probe traffic must not move the probe books.
+	var sweep service.SweepResponse
+	postJSON(t, ts.URL+"/v1/sweep",
+		`{"backend": "cudnn", "device": "Jetson TX2", "network": "AlexNet", "layer": "AlexNet.L8"}`, &sweep)
+	if p := stats().Probe; p.Runs != 0 {
+		t.Fatalf("exhaustive sweep moved the probe totals: %+v", p)
+	}
+
+	// One probed layer (monotone), one probed layer (fallback), one
+	// probed whole-network plan.
+	var resp service.SweepResponse
+	postJSON(t, ts.URL+"/v1/sweep",
+		`{"backend": "cudnn", "device": "Jetson TX2", "network": "AlexNet", "layer": "AlexNet.L8", "probe": true}`, &resp)
+	var stair service.StaircaseResponse
+	postJSON(t, ts.URL+"/v1/staircase",
+		`{"backend": "tvm", "device": "HiKey 970", "network": "AlexNet", "layer": "AlexNet.L0", "probe": true}`, &stair)
+	var plan service.PlanResponse
+	postJSON(t, ts.URL+"/v1/plan",
+		`{"backend": "cudnn", "device": "Jetson Nano", "network": "AlexNet", "probe": true}`, &plan)
+
+	p := stats().Probe
+	if p.ProbesIssued+p.PointsAvoided != p.GridPoints {
+		t.Errorf("probe books don't balance: %+v", p)
+	}
+	wantProbes := uint64(resp.Probe.Probes + stair.Probe.Probes + plan.Probe.Probes)
+	if p.ProbesIssued != wantProbes {
+		t.Errorf("probes_issued = %d, want %d", p.ProbesIssued, wantProbes)
+	}
+	wantGrid := uint64(resp.Probe.GridPoints + stair.Probe.GridPoints + plan.Probe.GridPoints)
+	if p.GridPoints != wantGrid {
+		t.Errorf("grid_points = %d, want %d", p.GridPoints, wantGrid)
+	}
+	if p.Fallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1 (the TVM staircase)", p.Fallbacks)
+	}
+	if p.Runs < 3 {
+		t.Errorf("runs = %d, want at least 3", p.Runs)
+	}
+	if p.PointsAvoided == 0 {
+		t.Error("daemon-wide probe totals show no savings")
+	}
+}

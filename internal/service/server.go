@@ -100,6 +100,37 @@ type Server struct {
 	reqPlan      atomic.Uint64
 	reqFrontier  atomic.Uint64
 	reqStats     atomic.Uint64
+
+	// Probe-mode totals, served on /v1/stats next to the cache
+	// counters: probeProbes + probeAvoided == probeGrid always.
+	probeRuns      atomic.Uint64
+	probeProbes    atomic.Uint64
+	probeGrid      atomic.Uint64
+	probeFallbacks atomic.Uint64
+}
+
+// recordProbe folds one probe-mode request's audit into the daemon-wide
+// totals. The grid is added before the probes while probeTotals loads
+// probes before the grid: a concurrent snapshot that counts a run's
+// probes therefore always counts its grid too, so probes_issued can
+// never exceed grid_points and the books-balance invariant holds in
+// every snapshot (exact once the server is quiescent, like
+// Cache.Stats).
+func (s *Server) recordProbe(ps ProbeStats, runs int) {
+	s.probeRuns.Add(uint64(runs))
+	s.probeGrid.Add(uint64(ps.GridPoints))
+	s.probeProbes.Add(uint64(ps.Probes))
+	s.probeFallbacks.Add(uint64(ps.Fallbacks))
+}
+
+// probeTotals snapshots the probe counters (see recordProbe for the
+// ordering that keeps concurrent snapshots balanced).
+func (s *Server) probeTotals() ProbeTotals {
+	pt := ProbeTotals{Runs: s.probeRuns.Load(), Fallbacks: s.probeFallbacks.Load()}
+	pt.ProbesIssued = s.probeProbes.Load()
+	pt.GridPoints = s.probeGrid.Load()
+	pt.PointsAvoided = pt.GridPoints - pt.ProbesIssued
+	return pt
 }
 
 // New builds a Server with a fresh process-wide measurement cache. It

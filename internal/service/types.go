@@ -76,6 +76,28 @@ type SweepRequest struct {
 	// to the layer's full width.
 	Lo int `json:"lo,omitempty"`
 	Hi int `json:"hi,omitempty"`
+	// Probe switches the sweep to adaptive staircase probing: stair
+	// edges are bisected in O(stairs · log C) measurements instead of
+	// measuring the whole grid, with a verified fallback to the full
+	// sweep on non-monotone curves. Responses then carry probe_stats
+	// and list only the points actually measured.
+	Probe bool `json:"probe,omitempty"`
+}
+
+// ProbeStats is the probe-count audit of a probed request: what the
+// adaptive prober measured versus what an exhaustive sweep would have.
+type ProbeStats struct {
+	// Probes is the number of measurements issued.
+	Probes int `json:"probes"`
+	// GridPoints is the exhaustive sweep's measurement count.
+	GridPoints int `json:"grid_points"`
+	// PointsAvoided is GridPoints - Probes.
+	PointsAvoided int `json:"points_avoided"`
+	// Fallbacks counts probed curves that failed monotonicity
+	// verification and were measured exhaustively (at most 1 for a
+	// single-layer request; up to the unique-shape count for a
+	// network-wide one).
+	Fallbacks int `json:"fallbacks"`
 }
 
 // Point is one (channels, latency) sample.
@@ -84,14 +106,16 @@ type Point struct {
 	Ms       float64 `json:"ms"`
 }
 
-// SweepResponse is the profiled latency curve.
+// SweepResponse is the profiled latency curve. In probe mode Points
+// holds only the measured (sparse) points and Probe reports the audit.
 type SweepResponse struct {
-	Backend string  `json:"backend"`
-	Device  string  `json:"device"`
-	Layer   string  `json:"layer"`
-	Lo      int     `json:"lo"`
-	Hi      int     `json:"hi"`
-	Points  []Point `json:"points"`
+	Backend string      `json:"backend"`
+	Device  string      `json:"device"`
+	Layer   string      `json:"layer"`
+	Lo      int         `json:"lo"`
+	Hi      int         `json:"hi"`
+	Points  []Point     `json:"points"`
+	Probe   *ProbeStats `json:"probe_stats,omitempty"`
 }
 
 // Stair is one latency plateau of a staircase analysis.
@@ -128,6 +152,10 @@ type PlanRequest struct {
 	// UninstructedFraction, when positive, also evaluates the
 	// device-agnostic uniform-pruning baseline the paper warns about.
 	UninstructedFraction float64 `json:"uninstructed_fraction,omitempty"`
+	// Probe profiles the network's layers with the adaptive staircase
+	// prober instead of exhaustive sweeps (see SweepRequest.Probe); the
+	// resulting plan is identical, the measurement bill is not.
+	Probe bool `json:"probe,omitempty"`
 }
 
 // PlanEval is one evaluated pruning plan.
@@ -150,6 +178,8 @@ type PlanResponse struct {
 	BaselineAccuracy float64   `json:"baseline_accuracy"`
 	PerformanceAware PlanEval  `json:"performance_aware"`
 	Uninstructed     *PlanEval `json:"uninstructed,omitempty"`
+	// Probe is the profiling audit of a probe-mode request.
+	Probe *ProbeStats `json:"probe_stats,omitempty"`
 }
 
 // FrontierRequest asks for the latency–accuracy Pareto frontier of a
@@ -176,6 +206,11 @@ type FrontierRequest struct {
 	// Objective aggregates fleet latencies: "worst_case" (default) or
 	// "weighted_sum".
 	Objective string `json:"objective,omitempty"`
+	// Probe profiles every target with the adaptive staircase prober
+	// instead of exhaustive sweeps (see SweepRequest.Probe). Frontiers
+	// and fleet plans are identical either way; probe_stats reports the
+	// measurement bill.
+	Probe bool `json:"probe,omitempty"`
 }
 
 // FleetTargetRequest is one fleet member.
@@ -236,6 +271,9 @@ type FrontierResponse struct {
 	// AccuracyBudget answers MaxAccuracyDrop.
 	AccuracyBudget *FrontierPoint `json:"accuracy_budget,omitempty"`
 	Fleet          *FleetResult   `json:"fleet,omitempty"`
+	// Probe is the profiling audit of a probe-mode request (summed over
+	// every fleet target in fleet mode).
+	Probe *ProbeStats `json:"probe_stats,omitempty"`
 }
 
 // CacheStats reports the process-wide measurement cache.
@@ -259,10 +297,27 @@ type RequestStats struct {
 	Stats     uint64 `json:"stats"`
 }
 
+// ProbeTotals aggregates every probe-mode request the process served:
+// the daemon-wide measurement bill next to the cache counters. The
+// books always balance: probes_issued + points_avoided == grid_points.
+type ProbeTotals struct {
+	// Runs counts probe runs (one per probed layer shape).
+	Runs uint64 `json:"runs"`
+	// ProbesIssued is the total measurements the prober asked for.
+	ProbesIssued uint64 `json:"probes_issued"`
+	// GridPoints is what exhaustive sweeps would have asked for.
+	GridPoints uint64 `json:"grid_points"`
+	// PointsAvoided is GridPoints - ProbesIssued.
+	PointsAvoided uint64 `json:"points_avoided"`
+	// Fallbacks counts runs that failed monotonicity verification.
+	Fallbacks uint64 `json:"fallbacks"`
+}
+
 // StatsResponse is the /v1/stats payload.
 type StatsResponse struct {
 	Cache    CacheStats   `json:"cache"`
 	Requests RequestStats `json:"requests"`
+	Probe    ProbeTotals  `json:"probe"`
 	Workers  int          `json:"workers"`
 }
 

@@ -16,19 +16,19 @@ package staircase
 import (
 	"testing"
 
-	"perfprune/internal/profiler"
+	"perfprune/internal/backend"
 )
 
 // fuzzCurve decodes bytes into a latency curve: pairs of (channel
 // delta, latency) bytes. A zero delta yields a non-increasing channel
 // sequence, steering the fuzzer into Analyze's validation path too;
 // negative and zero latencies are representable on purpose.
-func fuzzCurve(data []byte) []profiler.Point {
-	var pts []profiler.Point
+func fuzzCurve(data []byte) []backend.Point {
+	var pts []backend.Point
 	ch := 0
 	for i := 0; i+1 < len(data); i += 2 {
 		ch += int(data[i] % 16)
-		pts = append(pts, profiler.Point{
+		pts = append(pts, backend.Point{
 			Channels: ch,
 			Ms:       float64(int8(data[i+1])) / 4,
 		})

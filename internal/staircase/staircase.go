@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"sort"
 
-	"perfprune/internal/profiler"
+	"perfprune/internal/backend"
 )
 
 // Stair is one latency plateau: all channel counts in [LoC, HiC] run at
@@ -36,17 +36,17 @@ type Analysis struct {
 	// C' > C runs at most as slow. These are the paper's "right side of
 	// a performance step" — the only channel counts worth considering
 	// when pruning for performance. Sorted by increasing channels.
-	Edges []profiler.Point
+	Edges []backend.Point
 }
 
-// plateauTol is the relative latency tolerance for merging points into
+// PlateauTol is the relative latency tolerance for merging points into
 // one plateau; simulator output is exact, but a hardware port needs
 // noise absorption, so the analysis is tolerance-based throughout.
-const plateauTol = 0.01
+const PlateauTol = 0.01
 
 // Analyze detects stairs and Pareto edges in a sweep curve. The curve
 // must be sorted by increasing channel count (as SweepChannels returns).
-func Analyze(curve []profiler.Point) (Analysis, error) {
+func Analyze(curve []backend.Point) (Analysis, error) {
 	if len(curve) == 0 {
 		return Analysis{}, fmt.Errorf("staircase: empty curve")
 	}
@@ -58,14 +58,14 @@ func Analyze(curve []profiler.Point) (Analysis, error) {
 
 	var a Analysis
 	// Plateau detection: greedy merge of consecutive points whose
-	// latency stays within plateauTol of the plateau mean.
+	// latency stays within PlateauTol of the plateau mean.
 	start := 0
 	sum := curve[0].Ms
 	for i := 1; i <= len(curve); i++ {
 		flush := i == len(curve)
 		if !flush {
 			mean := sum / float64(i-start)
-			if rel(curve[i].Ms, mean) > plateauTol {
+			if rel(curve[i].Ms, mean) > PlateauTol {
 				flush = true
 			}
 		}
@@ -90,7 +90,7 @@ func Analyze(curve []profiler.Point) (Analysis, error) {
 	best := curve[len(curve)-1].Ms
 	a.Edges = append(a.Edges, curve[len(curve)-1])
 	for i := len(curve) - 2; i >= 0; i-- {
-		if curve[i].Ms < best*(1-plateauTol) {
+		if curve[i].Ms < best*(1-PlateauTol) {
 			best = curve[i].Ms
 			a.Edges = append(a.Edges, curve[i])
 		}
@@ -113,8 +113,8 @@ func rel(a, b float64) float64 {
 // EdgeAtMost returns the best Pareto edge with at most c channels: the
 // configuration a performance-aware pruner should pick when it must
 // prune to c or fewer. ok is false when every edge exceeds c.
-func (a Analysis) EdgeAtMost(c int) (profiler.Point, bool) {
-	var best profiler.Point
+func (a Analysis) EdgeAtMost(c int) (backend.Point, bool) {
+	var best backend.Point
 	ok := false
 	for _, e := range a.Edges {
 		if e.Channels <= c {
@@ -146,7 +146,7 @@ func (a Analysis) MaxStep() float64 {
 // up to d channels: max over d' <= d of t(C0)/t(C0-d'). Rows are
 // monotone non-decreasing by construction, matching Figs. 6-19.
 // The curve must cover [C0-maxDistance, C0] (clamped at 1 channel).
-func SpeedupRow(curve []profiler.Point, c0 int, distances []int) ([]float64, error) {
+func SpeedupRow(curve []backend.Point, c0 int, distances []int) ([]float64, error) {
 	t, err := curveLookup(curve)
 	if err != nil {
 		return nil, err
@@ -180,7 +180,7 @@ func SpeedupRow(curve []profiler.Point, c0 int, distances []int) ([]float64, err
 // SlowdownRow computes Fig. 1's cells: for each prune distance d, the
 // maximum slowdown incurred by pruning up to d channels:
 // max over d' <= d of t(C0-d')/t(C0).
-func SlowdownRow(curve []profiler.Point, c0 int, distances []int) ([]float64, error) {
+func SlowdownRow(curve []backend.Point, c0 int, distances []int) ([]float64, error) {
 	t, err := curveLookup(curve)
 	if err != nil {
 		return nil, err
@@ -211,7 +211,7 @@ func SlowdownRow(curve []profiler.Point, c0 int, distances []int) ([]float64, er
 	return out, nil
 }
 
-func curveLookup(curve []profiler.Point) (map[int]float64, error) {
+func curveLookup(curve []backend.Point) (map[int]float64, error) {
 	if len(curve) == 0 {
 		return nil, fmt.Errorf("staircase: empty curve")
 	}

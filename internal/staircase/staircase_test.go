@@ -5,16 +5,16 @@ import (
 	"testing"
 	"testing/quick"
 
-	"perfprune/internal/profiler"
+	"perfprune/internal/backend"
 )
 
 // stepCurve builds an ideal staircase: latency level i for channels in
 // [edges[i-1]+1, edges[i]].
-func stepCurve(loC, hiC int, stepWidth int, base, step float64) []profiler.Point {
-	var pts []profiler.Point
+func stepCurve(loC, hiC int, stepWidth int, base, step float64) []backend.Point {
+	var pts []backend.Point
 	for c := loC; c <= hiC; c++ {
 		level := (c + stepWidth - 1) / stepWidth
-		pts = append(pts, profiler.Point{Channels: c, Ms: base + step*float64(level)})
+		pts = append(pts, backend.Point{Channels: c, Ms: base + step*float64(level)})
 	}
 	return pts
 }
@@ -48,14 +48,14 @@ func TestAnalyzeCleanStaircase(t *testing.T) {
 func TestAnalyzeDoubleStaircase(t *testing.T) {
 	// ACL-style interleaved levels: channels where ceil(c/4)%4 != 0 run
 	// 1.6x slower. The Pareto edges must all come from the fast band.
-	var curve []profiler.Point
+	var curve []backend.Point
 	for c := 1; c <= 128; c++ {
 		blocks := (c + 3) / 4
 		ms := float64(blocks)
 		if blocks%4 != 0 {
 			ms *= 1.6
 		}
-		curve = append(curve, profiler.Point{Channels: c, Ms: ms})
+		curve = append(curve, backend.Point{Channels: c, Ms: ms})
 	}
 	a, err := Analyze(curve)
 	if err != nil {
@@ -76,7 +76,7 @@ func TestAnalyzeErrors(t *testing.T) {
 	if _, err := Analyze(nil); err == nil {
 		t.Error("empty curve accepted")
 	}
-	unsorted := []profiler.Point{{Channels: 5, Ms: 1}, {Channels: 3, Ms: 1}}
+	unsorted := []backend.Point{{Channels: 5, Ms: 1}, {Channels: 3, Ms: 1}}
 	if _, err := Analyze(unsorted); err == nil {
 		t.Error("unsorted curve accepted")
 	}
@@ -110,6 +110,62 @@ func TestEdgeAtMost(t *testing.T) {
 	}
 }
 
+// TestEdgeAtMostBoundaries pins the query's boundary behavior —
+// previously exercised only indirectly through the planner: a limit
+// below the first edge finds nothing, a limit exactly on an edge
+// returns that edge (with its latency, not just its channel count),
+// and any limit at or beyond the last stair returns the widest edge.
+func TestEdgeAtMostBoundaries(t *testing.T) {
+	// Three 16-wide stairs over [17, 64]: profiles need not start at
+	// one channel, so the first edge (32) sits well above zero.
+	curve := stepCurve(17, 64, 16, 1, 2)
+	a, err := Analyze(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Edges) == 0 {
+		t.Fatal("no edges")
+	}
+	first, last := a.Edges[0], a.Edges[len(a.Edges)-1]
+
+	// Below the first edge: nothing to prune to.
+	for _, limit := range []int{first.Channels - 1, 1, 0, -5} {
+		if e, ok := a.EdgeAtMost(limit); ok {
+			t.Errorf("EdgeAtMost(%d) = %d, want none (first edge is %d)", limit, e.Channels, first.Channels)
+		}
+	}
+	// Exactly on each edge: the edge itself, latency included.
+	for _, want := range a.Edges {
+		e, ok := a.EdgeAtMost(want.Channels)
+		if !ok || e != want {
+			t.Errorf("EdgeAtMost(%d) = %+v ok=%v, want %+v", want.Channels, e, ok, want)
+		}
+	}
+	// One past an edge, still below the next: stay on that edge.
+	if e, ok := a.EdgeAtMost(first.Channels + 1); !ok || e != first {
+		t.Errorf("EdgeAtMost(%d) = %+v ok=%v, want the first edge %+v", first.Channels+1, e, ok, first)
+	}
+	// At and beyond the last stair: the widest configuration wins.
+	for _, limit := range []int{last.Channels, last.Channels + 1, 10 * last.Channels} {
+		e, ok := a.EdgeAtMost(limit)
+		if !ok || e != last {
+			t.Errorf("EdgeAtMost(%d) = %+v ok=%v, want the last edge %+v", limit, e, ok, last)
+		}
+	}
+
+	// A single-point curve has exactly one edge: itself.
+	single, err := Analyze([]backend.Point{{Channels: 9, Ms: 4.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := single.EdgeAtMost(9); !ok || e.Channels != 9 || e.Ms != 4.5 {
+		t.Errorf("single-point EdgeAtMost(9) = %+v ok=%v", e, ok)
+	}
+	if _, ok := single.EdgeAtMost(8); ok {
+		t.Error("single-point EdgeAtMost(8) found an edge below the only point")
+	}
+}
+
 func TestMaxStep(t *testing.T) {
 	curve := stepCurve(1, 64, 32, 0, 3) // levels 3 and 6: ratio 2
 	a, err := Analyze(curve)
@@ -123,7 +179,7 @@ func TestMaxStep(t *testing.T) {
 
 func TestSpeedupRowCumulative(t *testing.T) {
 	// Latency: 10 for c in (96,128], 5 for c in (64,96], 4 below.
-	var curve []profiler.Point
+	var curve []backend.Point
 	for c := 1; c <= 128; c++ {
 		ms := 4.0
 		if c > 96 {
@@ -131,7 +187,7 @@ func TestSpeedupRowCumulative(t *testing.T) {
 		} else if c > 64 {
 			ms = 5
 		}
-		curve = append(curve, profiler.Point{Channels: c, Ms: ms})
+		curve = append(curve, backend.Point{Channels: c, Ms: ms})
 	}
 	row, err := SpeedupRow(curve, 128, []int{1, 31, 32, 63, 64, 127})
 	if err != nil {
@@ -153,13 +209,13 @@ func TestSpeedupRowCumulative(t *testing.T) {
 
 func TestSlowdownRow(t *testing.T) {
 	// A spike at c=126 makes pruning by 2 harmful.
-	var curve []profiler.Point
+	var curve []backend.Point
 	for c := 1; c <= 128; c++ {
 		ms := 10.0
 		if c == 126 {
 			ms = 23
 		}
-		curve = append(curve, profiler.Point{Channels: c, Ms: ms})
+		curve = append(curve, backend.Point{Channels: c, Ms: ms})
 	}
 	row, err := SlowdownRow(curve, 128, []int{1, 3, 7})
 	if err != nil {
@@ -184,7 +240,7 @@ func TestRowErrors(t *testing.T) {
 	if _, err := SpeedupRow(nil, 128, []int{1}); err == nil {
 		t.Error("empty curve accepted")
 	}
-	bad := []profiler.Point{{Channels: 128, Ms: 0}}
+	bad := []backend.Point{{Channels: 128, Ms: 0}}
 	if _, err := SpeedupRow(bad, 128, []int{0}); err == nil {
 		t.Error("non-positive latency accepted")
 	}

@@ -32,6 +32,7 @@ import (
 	"perfprune/internal/hybrid"
 	"perfprune/internal/nets"
 	"perfprune/internal/pareto"
+	"perfprune/internal/probe"
 	"perfprune/internal/profiler"
 	"perfprune/internal/prune"
 	"perfprune/internal/service"
@@ -154,6 +155,49 @@ func SweepContext(ctx context.Context, tg Target, spec ConvSpec, lo, hi int) ([]
 // points in a sweep curve.
 func Analyze(curve []Point) (Analysis, error) {
 	return staircase.Analyze(curve)
+}
+
+// ProbeResult is an adaptively discovered staircase: the analysis, the
+// reconstructed dense curve, the sparse measured points, and the
+// probe-count audit (see internal/probe).
+type ProbeResult = probe.Result
+
+// ProbeStats is the probe-count audit of one probe run.
+type ProbeStats = probe.Stats
+
+// ProbeOptions tunes adaptive probing (plateau tolerance, verification
+// stride, fallback policy).
+type ProbeOptions = probe.Options
+
+// ProbeStaircase discovers a layer's staircase adaptively: instead of
+// sweeping every channel count in [lo, hi], it measures the endpoints
+// and bisects every interval whose endpoint latencies differ,
+// bracketing each stair edge in O(stairs · log C) measurements. On
+// monotone curves the analysis is byte-identical to Analyze over a
+// full Sweep; curves that fail monotonicity verification transparently
+// fall back to the full sweep (the audit says so), so the stairs are
+// exact either way.
+func ProbeStaircase(tg Target, spec ConvSpec, lo, hi int) (ProbeResult, error) {
+	return profiler.NewEngine().ProbeStaircase(tg.Library, tg.Device, spec, lo, hi, probe.Options{})
+}
+
+// ProbeStaircaseContext is ProbeStaircase through a caller-provided
+// engine (shared measurement cache) with cancellation and options.
+func ProbeStaircaseContext(ctx context.Context, eng *Engine, tg Target, spec ConvSpec, lo, hi int, opts ProbeOptions) (ProbeResult, error) {
+	return eng.ProbeStaircaseContext(ctx, tg.Library, tg.Device, spec, lo, hi, opts)
+}
+
+// ProbeUsage aggregates the probe audit across a probed network
+// profile.
+type ProbeUsage = core.ProbeUsage
+
+// ProfileNetworkProbe profiles every layer of a network with the
+// adaptive staircase prober instead of exhaustive sweeps. The profiles
+// (and every plan or frontier built from them) are identical to
+// ProfileNetworkContext's; the returned usage reports the measurement
+// bill — on monotone curves a small fraction of the sweep grid.
+func ProfileNetworkProbe(ctx context.Context, eng *Engine, tg Target, n Network) (*core.NetworkProfile, ProbeUsage, error) {
+	return core.ProfileNetworkProbeContext(ctx, eng, tg, n)
 }
 
 // ProfileNetwork sweeps every layer of a network on the target.

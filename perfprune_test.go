@@ -66,6 +66,40 @@ func TestFacadeSweepAndAnalyze(t *testing.T) {
 	}
 }
 
+func TestFacadeProbeStaircase(t *testing.T) {
+	l16, ok := ResNet50().Layer("ResNet.L16")
+	if !ok {
+		t.Fatal("L16 missing")
+	}
+	tg := Target{Device: JetsonTX2, Library: CuDNN()}
+	res, err := ProbeStaircase(tg, l16.Spec, 20, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := Sweep(tg, l16.Spec, 20, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Analyze(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Analysis.Edges) != len(want.Edges) {
+		t.Fatalf("probe found %d edges, sweep %d", len(res.Analysis.Edges), len(want.Edges))
+	}
+	for i, e := range res.Analysis.Edges {
+		if e != want.Edges[i] {
+			t.Errorf("edge %d: probe %+v, sweep %+v", i, e, want.Edges[i])
+		}
+	}
+	if res.Stats.FellBack {
+		t.Error("cuDNN probe fell back")
+	}
+	if res.Stats.Avoided() <= 0 {
+		t.Errorf("probe avoided nothing: %+v", res.Stats)
+	}
+}
+
 func TestFacadePlanningPipeline(t *testing.T) {
 	tg := Target{Device: HiKey970, Library: ACLDirect()}
 	np, err := ProfileNetwork(tg, AlexNet())
