@@ -1,0 +1,230 @@
+// Command benchgate is the CI bench-regression gate: it parses `go
+// test -bench` output, compares each benchmark's best ns/op against a
+// committed baseline JSON, and fails when any tracked benchmark
+// regresses beyond the tolerance. It also emits the freshly measured
+// results, so every CI run extends the benchmark trajectory and an
+// intentional change is recorded by committing the emitted file.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=3x -count=3 . | tee bench.out
+//	benchgate -input bench.out -baseline BENCH_ci.json -tolerance 0.25 -write BENCH_ci.json
+//
+// With -count > 1 the gate scores each benchmark by its fastest run
+// (minimum ns/op), the standard noise-robust choice. Benchmarks whose
+// baseline is below -floor (default 100µs) are reported but not gated
+// — at -benchtime=3x their runtime is scheduler noise, not signal.
+// Benchmarks new to the baseline pass with a note; tracked benchmarks
+// that disappeared fail, so a deleted benchmark must be removed from
+// the baseline deliberately. -init (or a missing baseline with -init)
+// seeds a first baseline instead of comparing.
+//
+// The committed baseline should come from the environment that gates
+// it: seed locally to bootstrap, then replace it with the
+// BENCH_ci.fresh.json artifact a CI run emits, so the comparison is
+// runner-to-runner rather than laptop-to-runner.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's scored measurement.
+type Result struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// GOMAXPROCS suffix, e.g. "Fig01" or "ProbeVsSweep/cuDNN".
+	Name string `json:"name"`
+	// NsPerOp is the minimum ns/op across the parsed runs.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Runs is how many runs were parsed (the -count).
+	Runs int `json:"runs"`
+}
+
+// Baseline is the committed BENCH_ci.json shape.
+type Baseline struct {
+	// Command documents how the numbers were produced.
+	Command    string   `json:"command"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	input := flag.String("input", "", "bench output file (default: stdin)")
+	baselinePath := flag.String("baseline", "BENCH_ci.json", "committed baseline JSON to gate against")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression before failing")
+	floor := flag.Float64("floor", 100_000, "baseline ns/op below which a benchmark is informational, not gated")
+	write := flag.String("write", "", "emit the freshly measured results to this JSON file")
+	initMode := flag.Bool("init", false, "seed the baseline instead of gating (no comparison)")
+	flag.Parse()
+
+	if err := run(*input, *baselinePath, *tolerance, *floor, *write, *initMode, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(input, baselinePath string, tolerance, floor float64, write string, initMode bool, out io.Writer) error {
+	if tolerance < 0 {
+		return fmt.Errorf("tolerance %v must be >= 0", tolerance)
+	}
+	var rd io.Reader = os.Stdin
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rd = f
+	}
+	results, err := Parse(rd)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results in input")
+	}
+
+	if write != "" {
+		if err := writeBaseline(write, results); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchgate: wrote %d benchmarks to %s\n", len(results), write)
+	}
+	if initMode {
+		return nil
+	}
+
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline (run with -init to seed it): %w", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	failures, notes := Gate(base.Benchmarks, results, tolerance, floor)
+	for _, n := range notes {
+		fmt.Fprintf(out, "benchgate: %s\n", n)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%:\n  %s",
+			len(failures), tolerance*100, strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(out, "benchgate: %d tracked benchmarks within %.0f%% of baseline\n",
+		len(base.Benchmarks), tolerance*100)
+	return nil
+}
+
+// Parse reads `go test -bench` output and scores each benchmark by its
+// minimum ns/op across repeated runs.
+func Parse(r io.Reader) ([]Result, error) {
+	best := make(map[string]*Result)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  3  123456 ns/op  [metric unit]...
+		if len(fields) < 4 {
+			continue
+		}
+		ns := -1.0
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op %q in %q", fields[i], line)
+				}
+				ns = v
+				break
+			}
+		}
+		if ns < 0 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the GOMAXPROCS suffix, which is not part of the
+			// identity (sub-benchmark names keep their slashes).
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if b, ok := best[name]; ok {
+			b.Runs++
+			if ns < b.NsPerOp {
+				b.NsPerOp = ns
+			}
+		} else {
+			best[name] = &Result{Name: name, NsPerOp: ns, Runs: 1}
+			order = append(order, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		out = append(out, *best[name])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Gate compares current results against the baseline. It returns the
+// regression failures and informational notes (new benchmarks, and
+// regressions on sub-floor benchmarks too short to gate reliably).
+func Gate(baseline, current []Result, tolerance, floor float64) (failures, notes []string) {
+	cur := make(map[string]Result, len(current))
+	for _, r := range current {
+		cur[r.Name] = r
+	}
+	tracked := make(map[string]bool, len(baseline))
+	for _, b := range baseline {
+		tracked[b.Name] = true
+		c, ok := cur[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: tracked benchmark missing from run", b.Name))
+			continue
+		}
+		limit := b.NsPerOp * (1 + tolerance)
+		if c.NsPerOp > limit {
+			msg := fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, limit +%.0f%%)",
+				b.Name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), tolerance*100)
+			if b.NsPerOp < floor {
+				notes = append(notes, msg+" [below gating floor, informational]")
+			} else {
+				failures = append(failures, msg)
+			}
+		}
+	}
+	for _, r := range current {
+		if !tracked[r.Name] {
+			notes = append(notes, fmt.Sprintf("%s: new benchmark (not yet in baseline)", r.Name))
+		}
+	}
+	return failures, notes
+}
+
+func writeBaseline(path string, results []Result) error {
+	b := Baseline{
+		Command:    "go test -run='^$' -bench=. -benchtime=3x -count=3 .",
+		Benchmarks: results,
+	}
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+BenchmarkFig01-8         	       3	  52034812 ns/op	         1.900 max_slowdown_x
+BenchmarkFig01-8         	       3	  49012345 ns/op	         1.900 max_slowdown_x
+BenchmarkFig01-8         	       3	  50999999 ns/op	         1.900 max_slowdown_x
+BenchmarkProbeVsSweep/cuDNN-8 	       1	   4705692 ns/op	      1936 points_avoided
+BenchmarkProbeVsSweep/cuDNN-8 	       1	   4605692 ns/op	      1936 points_avoided
+PASS
+ok  	perfprune	0.398s
+`
+
+func TestParseScoresMinimum(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(results), results)
+	}
+	// Sorted by name.
+	if results[0].Name != "Fig01" || results[1].Name != "ProbeVsSweep/cuDNN" {
+		t.Fatalf("names = %s, %s", results[0].Name, results[1].Name)
+	}
+	if results[0].NsPerOp != 49012345 || results[0].Runs != 3 {
+		t.Errorf("Fig01 = %+v, want min 49012345 over 3 runs", results[0])
+	}
+	if results[1].NsPerOp != 4605692 || results[1].Runs != 2 {
+		t.Errorf("cuDNN = %+v, want min 4605692 over 2 runs", results[1])
+	}
+}
+
+func TestGateFlagsRegressionsOnly(t *testing.T) {
+	baseline := []Result{
+		{Name: "Fast", NsPerOp: 100},
+		{Name: "Slow", NsPerOp: 100},
+		{Name: "Gone", NsPerOp: 100},
+	}
+	current := []Result{
+		{Name: "Fast", NsPerOp: 124}, // within 25%
+		{Name: "Slow", NsPerOp: 126}, // beyond 25%
+		{Name: "New", NsPerOp: 1},    // untracked
+	}
+	failures, notes := Gate(baseline, current, 0.25, 0)
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want the Slow regression and the Gone disappearance", failures)
+	}
+	if !strings.Contains(failures[0], "Gone") && !strings.Contains(failures[1], "Gone") {
+		t.Errorf("missing-tracked-benchmark failure absent: %v", failures)
+	}
+	found := false
+	for _, f := range failures {
+		if strings.Contains(f, "Slow") && strings.Contains(f, "+26.0%") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Slow regression not reported with its percentage: %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "New") {
+		t.Errorf("notes = %v, want one note about New", notes)
+	}
+
+	// An improvement is never a failure.
+	failures, _ = Gate([]Result{{Name: "Fast", NsPerOp: 100}}, []Result{{Name: "Fast", NsPerOp: 10}}, 0.25, 0)
+	if len(failures) != 0 {
+		t.Errorf("improvement flagged: %v", failures)
+	}
+}
+
+func TestGateFloorDemotesShortBenchmarks(t *testing.T) {
+	baseline := []Result{
+		{Name: "Micro", NsPerOp: 9_000},     // below the floor: noise
+		{Name: "Macro", NsPerOp: 9_000_000}, // above: gated
+	}
+	current := []Result{
+		{Name: "Micro", NsPerOp: 30_000},     // 3.3x "regression" in scheduler noise
+		{Name: "Macro", NsPerOp: 12_000_000}, // real 33% regression
+	}
+	failures, notes := Gate(baseline, current, 0.25, 100_000)
+	if len(failures) != 1 || !strings.Contains(failures[0], "Macro") {
+		t.Errorf("failures = %v, want only the Macro regression", failures)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "Micro") && strings.Contains(n, "informational") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sub-floor regression not noted: %v", notes)
+	}
+}

@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	netName := flag.String("net", "ResNet-50", "network: ResNet-50, VGG-16 or AlexNet")
+	netName := flag.String("net", "ResNet-50", "network: ResNet-50, VGG-16, AlexNet or MobileNet-V1")
 	layerName := flag.String("layer", "ResNet.L16", "layer label, e.g. ResNet.L16")
 	backendKey := flag.String("backend", "acl-gemm",
 		"backend: "+strings.Join(perfprune.BackendNames(), ", "))

@@ -10,8 +10,14 @@
 //
 //	paretofront -net VGG-16 -backend acl-gemm -device "HiKey 970" -points 20
 //	paretofront -net VGG-16 -backend acl-gemm -device "HiKey 970" -budget-ms 1800 -plan
+//	paretofront -net mobilenet-v1 -backend acl-gemm -device "HiKey 970" -maxdrop 2 -plan
 //	paretofront -net VGG-16 -maxdrop 2 \
 //	    -fleet "acl-gemm=HiKey 970,acl-gemm=Odroid XU4,cudnn=Jetson TX2,cudnn=Jetson Nano"
+//
+// Network names are case-insensitive. Grouped networks (MobileNet-V1's
+// depthwise-producer pairs, ResNet-50's residual stages) are planned
+// under their coupling constraints: every plan keeps one channel count
+// per group.
 //
 // Fleet members are comma-separated backend=device pairs, with an
 // optional =weight third field for the weighted_sum objective.
@@ -40,7 +46,7 @@ import (
 )
 
 func main() {
-	netName := flag.String("net", "VGG-16", "network: ResNet-50, VGG-16 or AlexNet")
+	netName := flag.String("net", "VGG-16", "network: ResNet-50, VGG-16, AlexNet or MobileNet-V1")
 	libName := flag.String("backend", "acl-gemm",
 		"backend: "+strings.Join(perfprune.BackendNames(), ", "))
 	devName := flag.String("device", "HiKey 970", "target board")

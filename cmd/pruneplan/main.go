@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	netName := flag.String("net", "ResNet-50", "network: ResNet-50, VGG-16 or AlexNet")
+	netName := flag.String("net", "ResNet-50", "network: ResNet-50, VGG-16, AlexNet or MobileNet-V1")
 	libName := flag.String("backend", "acl-gemm",
 		"backend: "+strings.Join(perfprune.BackendNames(), ", "))
 	devName := flag.String("device", "HiKey 970", "target board")

@@ -1,3 +1,3 @@
 module perfprune
 
-go 1.24
+go 1.23.0

@@ -29,9 +29,10 @@ import (
 // Baselines are the unpruned top-1 ImageNet accuracies the networks are
 // commonly reported with; they anchor the model's output scale.
 var Baselines = map[string]float64{
-	"ResNet-50": 76.1,
-	"VGG-16":    71.6,
-	"AlexNet":   56.5,
+	"ResNet-50":    76.1,
+	"VGG-16":       71.6,
+	"AlexNet":      56.5,
+	"MobileNet-V1": 70.6,
 }
 
 // Model predicts network accuracy under a pruning plan.

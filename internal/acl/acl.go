@@ -149,10 +149,17 @@ func pointwiseClass(blocks int) (name string, eff float64) {
 }
 
 // PlanGEMM emits the logical OpenCL calls for one forward convolution
-// with the ACL GEMM method.
+// with the ACL GEMM method. Depthwise layers route to the dedicated
+// depthwise kernel — ACL has no GEMM path for them (see PlanDepthwise).
 func PlanGEMM(spec conv.ConvSpec) ([]opencl.KernelCall, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.IsDepthwise() {
+		return PlanDepthwise(spec)
+	}
+	if spec.GroupCount() > 1 {
+		return nil, fmt.Errorf("acl: no GEMM path for grouped layer %s", spec)
 	}
 	scale := scaleOf(spec)
 	m := spec.OutSpatial()
@@ -315,6 +322,8 @@ func EffForWorkGroup(spec conv.ConvSpec, c int, wg [3]int) float64 {
 
 // PlanDirect emits the logical OpenCL call for one forward convolution
 // with the ACL direct method, using the library's work-group heuristic.
+// Depthwise layers route to the dedicated depthwise kernel, which the
+// direct method shares with the GEMM method.
 func PlanDirect(spec conv.ConvSpec) ([]opencl.KernelCall, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -324,10 +333,18 @@ func PlanDirect(spec conv.ConvSpec) ([]opencl.KernelCall, error) {
 
 // PlanDirectWithWG emits the direct-convolution call with an explicit
 // work-group size — the entry point the autotuner uses to explore
-// shapes the heuristic never picks.
+// shapes the heuristic never picks. The work group does not apply to
+// depthwise layers (their dedicated kernel has a fixed vectorization),
+// which route to PlanDepthwise unchanged.
 func PlanDirectWithWG(spec conv.ConvSpec, wg [3]int) ([]opencl.KernelCall, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.IsDepthwise() {
+		return PlanDepthwise(spec)
+	}
+	if spec.GroupCount() > 1 {
+		return nil, fmt.Errorf("acl: no direct-convolution path for grouped layer %s", spec)
 	}
 	c := spec.OutC
 	eff := EffForWorkGroup(spec, c, wg)

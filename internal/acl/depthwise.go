@@ -1,0 +1,66 @@
+package acl
+
+import (
+	"fmt"
+
+	"perfprune/internal/conv"
+	"perfprune/internal/opencl"
+)
+
+// Depthwise timing model. ACL implements depthwise convolution as a
+// dedicated kernel (CLDepthwiseConvolutionLayer), not a variant of the
+// GEMM or direct paths: there is no im2col (each channel reduces only
+// over its own KxK taps) and no reshaped-weights GEMM, so every
+// configured method routes depthwise layers here. The kernel walks the
+// NHWC layout in 4-channel vectors and the runtime splits its dispatch
+// in passes of dwPassBlocks blocks — the same §IV-B1 extra-job
+// mechanism as gemm_mm, at a different granularity — which gives
+// depthwise layers their own staircase: 4-channel stairs with a split
+// hazard every 8 blocks (32 channels), distinct from both the GEMM
+// path's 16-channel passes and the direct path's work-group classes.
+const (
+	// dwInstrPerMAC calibrates the depthwise kernel's cost per
+	// multiply-accumulate. Depthwise layers have almost no arithmetic
+	// intensity (9 taps per loaded pixel vs. hundreds for a dense 3x3),
+	// so the per-MAC cost sits well above the GEMM path's ~9.78 —
+	// matching the observation that MobileNet's depthwise layers reach
+	// a much lower fraction of peak than its pointwise layers.
+	dwInstrPerMAC = 16.4
+	// dwMemFraction is the memory-instruction share: the kernel is
+	// bandwidth-bound.
+	dwMemFraction = 0.45
+	// dwPassBlocks is the pass granularity of the depthwise kernel:
+	// 8 vectorization blocks (32 channels) per pass, so dispatches
+	// whose block count is not a multiple of 8 split into an extra job.
+	dwPassBlocks = 8
+	// dwSatChannels is the channel-independent work in equivalent
+	// channels (loop setup and tile addressing per output position).
+	dwSatChannels = 3.0
+)
+
+// PlanDepthwise emits the logical OpenCL call for one depthwise
+// forward convolution.
+func PlanDepthwise(spec conv.ConvSpec) ([]opencl.KernelCall, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !spec.IsDepthwise() {
+		return nil, fmt.Errorf("acl: depthwise plan for non-depthwise layer %s", spec)
+	}
+	m := spec.OutSpatial()
+	blocks := Blocks(spec.OutC)
+	// Work per 4-channel block: every channel streams its own KxK taps.
+	unitMACs := float64(m) * float64(spec.KH*spec.KW) * (4 + dwSatChannels/float64(blocks))
+	unitArith := int64(unitMACs*dwInstrPerMAC + 0.5)
+	unitMem := int64(unitMACs*dwInstrPerMAC*dwMemFraction + 0.5)
+	return []opencl.KernelCall{{
+		Name:             fmt.Sprintf("depthwise_convolution%dx%d_nhwc", spec.KH, spec.KW),
+		Global:           [3]int{1, blocks, 1},
+		Local:            [3]int{1, 1, 1},
+		SplitDim:         1,
+		SplitGranularity: dwPassBlocks,
+		UnitArith:        unitArith,
+		UnitMem:          unitMem,
+		MemBytes:         int64(spec.InH*spec.InW*spec.InC+spec.WeightElems()+m*spec.OutC) * 4,
+	}}, nil
+}

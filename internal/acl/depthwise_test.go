@@ -1,0 +1,115 @@
+package acl
+
+import (
+	"strings"
+	"testing"
+
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+)
+
+func dwLayer(c int) conv.ConvSpec {
+	return conv.ConvSpec{
+		Name: "MobileNet.dw", InH: 28, InW: 28, InC: c, OutC: c,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: c,
+	}
+}
+
+// TestDepthwiseRoutesToDedicatedKernel: every ACL method plans the same
+// dedicated depthwise kernel — there is no GEMM or direct path for
+// depthwise layers.
+func TestDepthwiseRoutesToDedicatedKernel(t *testing.T) {
+	spec := dwLayer(64)
+	for _, m := range []Method{GEMMConv, DirectConv, WinogradConv} {
+		calls, err := Plan(spec, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(calls) != 1 || calls[0].Name != "depthwise_convolution3x3_nhwc" {
+			t.Fatalf("%v planned %+v, want one depthwise_convolution3x3_nhwc call", m, calls)
+		}
+	}
+	grouped := dwLayer(64)
+	grouped.OutC = 128 // grouped but not depthwise
+	if _, err := PlanGEMM(grouped); err == nil {
+		t.Error("PlanGEMM accepted a grouped non-depthwise layer")
+	}
+	if _, err := PlanDirect(grouped); err == nil {
+		t.Error("PlanDirect accepted a grouped non-depthwise layer")
+	}
+}
+
+// TestDepthwiseStaircase pins the depthwise staircase structure: the
+// 4-channel vectorization makes latency constant within a block, step
+// at block boundaries, and the 8-block pass split adds an extra job at
+// non-multiple-of-8 block counts — a pattern distinct from both the
+// GEMM path's 16-channel passes and the direct path's work-group
+// classes.
+func TestDepthwiseStaircase(t *testing.T) {
+	timeAt := func(c int) float64 {
+		ms, err := TimeMs(device.HiKey970, dwLayer(c), GEMMConv)
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		return ms
+	}
+	// Within one 4-channel block the latency is flat.
+	if t61, t64 := timeAt(61), timeAt(64); t61 != t64 {
+		t.Errorf("latency not flat within a 4-channel block: t(61)=%v t(64)=%v", t61, t64)
+	}
+	// Across a block boundary it steps up.
+	if t64, t65 := timeAt(64), timeAt(65); t65 <= t64 {
+		t.Errorf("no step across the block boundary: t(64)=%v t(65)=%v", t64, t65)
+	}
+	// The split hazard: 60 channels (15 blocks) splits into two jobs,
+	// 64 channels (16 blocks) does not — pruning 4 channels from 64
+	// must therefore not speed the layer up by a full block.
+	p60, err := Run(device.HiKey970, dwLayer(60), GEMMConv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p64, err := Run(device.HiKey970, dwLayer(64), GEMMConv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j60, j64 := p60.Result.SteadyCounters().Jobs, p64.Result.SteadyCounters().Jobs; j60 <= j64 {
+		t.Errorf("expected the 15-block dispatch to split: jobs(60)=%d jobs(64)=%d", j60, j64)
+	}
+}
+
+// TestDepthwiseCheaperThanDense: at the same shape the depthwise layer
+// must be far cheaper than its dense counterpart (8-9x fewer MACs),
+// while costing more per MAC.
+func TestDepthwiseCheaperThanDense(t *testing.T) {
+	dw := dwLayer(128)
+	dense := dw
+	dense.Groups = 0
+	dwMs, err := TimeMs(device.HiKey970, dw, GEMMConv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseMs, err := TimeMs(device.HiKey970, dense, GEMMConv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dwMs >= denseMs {
+		t.Errorf("depthwise (%v ms) not cheaper than dense (%v ms)", dwMs, denseMs)
+	}
+	perMACdw := dwMs / float64(dw.MACs())
+	perMACdense := denseMs / float64(dense.MACs())
+	if perMACdw <= perMACdense {
+		t.Errorf("depthwise per-MAC cost %v not above dense %v", perMACdw, perMACdense)
+	}
+}
+
+// TestDepthwisePlanRejectsInvalid covers the error paths.
+func TestDepthwisePlanRejectsInvalid(t *testing.T) {
+	if _, err := PlanDepthwise(dwLayer(0)); err == nil {
+		t.Error("PlanDepthwise accepted an invalid spec")
+	}
+	dense := dwLayer(16)
+	dense.Groups = 0
+	if _, err := PlanDepthwise(dense); err == nil || !strings.Contains(err.Error(), "non-depthwise") {
+		t.Errorf("PlanDepthwise accepted a dense spec: %v", err)
+	}
+}

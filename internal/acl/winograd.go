@@ -41,6 +41,9 @@ func PlanWinograd(spec conv.ConvSpec) ([]opencl.KernelCall, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if spec.IsDepthwise() {
+		return PlanDepthwise(spec)
+	}
 	if !conv.WinogradApplicable(spec) {
 		return nil, fmt.Errorf("acl: winograd requires 3x3 stride-1, got %s", spec)
 	}

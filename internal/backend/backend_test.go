@@ -33,6 +33,7 @@ func TestBackendDeviceSupport(t *testing.T) {
 		{RealDirect(), true, true, "Real-Direct"},
 		{RealGEMM(), true, true, "Real-GEMM"},
 		{RealWinograd(), true, true, "Real-Winograd"},
+		{RealDepthwise(), true, true, "Real-Depthwise"},
 	}
 	for _, tc := range cases {
 		if tc.b.Name() != tc.wantName {
@@ -48,8 +49,8 @@ func TestBackendDeviceSupport(t *testing.T) {
 	if len(Simulated()) != 4 {
 		t.Fatalf("Simulated() returned %d entries, want 4", len(Simulated()))
 	}
-	if len(Real()) != 3 {
-		t.Fatalf("Real() returned %d entries, want 3", len(Real()))
+	if len(Real()) != 4 {
+		t.Fatalf("Real() returned %d entries, want 4", len(Real()))
 	}
 	// Simulated backends are deterministic (memoizable, parallelizable);
 	// real wall-clock backends are not.
@@ -68,7 +69,7 @@ func TestBackendDeviceSupport(t *testing.T) {
 func TestRegistryLookup(t *testing.T) {
 	for _, key := range []string{
 		"acl-gemm", "acl-direct", "cudnn", "tvm",
-		"real-direct", "real-gemm", "real-winograd",
+		"real-direct", "real-gemm", "real-winograd", "real-depthwise",
 	} {
 		b, err := Lookup(key)
 		if err != nil {
@@ -120,8 +121,16 @@ func TestRealBackendsComputeAndMeasure(t *testing.T) {
 		Name: "test.small", InH: 8, InW: 8, InC: 4, OutC: 8,
 		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
 	}
+	dwSpec := conv.ConvSpec{
+		Name: "test.dw", InH: 8, InW: 8, InC: 8, OutC: 8,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 8,
+	}
 	for _, b := range Real() {
-		m, err := b.Measure(device.HiKey970, spec)
+		s := spec
+		if b.Name() == "Real-Depthwise" {
+			s = dwSpec // the specialized kernel only runs depthwise shapes
+		}
+		m, err := b.Measure(device.HiKey970, s)
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name(), err)
 		}
@@ -132,11 +141,19 @@ func TestRealBackendsComputeAndMeasure(t *testing.T) {
 			t.Errorf("%s: jobs = %d, want 1", b.Name(), m.Jobs)
 		}
 	}
+	// The ground-truth direct path also accepts depthwise shapes.
+	if _, err := RealDirect().Measure(device.HiKey970, dwSpec); err != nil {
+		t.Errorf("Real-Direct rejected a depthwise spec: %v", err)
+	}
 	// Winograd rejects non-applicable shapes instead of guessing.
 	strided := spec
 	strided.StrideH, strided.StrideW = 2, 2
 	if _, err := RealWinograd().Measure(device.HiKey970, strided); err == nil {
 		t.Error("Real-Winograd accepted a strided spec")
+	}
+	// The depthwise kernel rejects dense shapes instead of guessing.
+	if _, err := RealDepthwise().Measure(device.HiKey970, spec); err == nil {
+		t.Error("Real-Depthwise accepted a dense spec")
 	}
 }
 

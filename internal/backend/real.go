@@ -43,7 +43,7 @@ func (b realBackend) Measure(_ device.Device, spec conv.ConvSpec) (Measurement, 
 	}
 	in := tensor.New(tensor.NHWC, 1, spec.InH, spec.InW, spec.InC)
 	in.RandomUniform(tensor.Hash64(spec.Name+"/input"), 1)
-	w := tensor.New(tensor.OHWI, spec.OutC, spec.KH, spec.KW, spec.InC)
+	w := tensor.New(tensor.OHWI, spec.OutC, spec.KH, spec.KW, spec.InCPerGroup())
 	w.HeInit(tensor.Hash64(spec.Name+"/weights"), spec.ReductionK())
 
 	start := time.Now()
@@ -73,7 +73,16 @@ func RealWinograd() Backend {
 	return realBackend{name: "Real-Winograd", run: conv.Winograd}
 }
 
-// Real returns the three real-compute backends.
+// RealDepthwise returns the depthwise real-compute backend: the
+// channel-innermost kernel MobileNet-style layers run. Measure fails
+// for non-depthwise specs; dense layers use the other real backends
+// (Real-Direct also accepts grouped and depthwise shapes, as the
+// slower ground-truth path).
+func RealDepthwise() Backend {
+	return realBackend{name: "Real-Depthwise", run: conv.Depthwise}
+}
+
+// Real returns the four real-compute backends.
 func Real() []Backend {
-	return []Backend{RealDirect(), RealGEMM(), RealWinograd()}
+	return []Backend{RealDirect(), RealGEMM(), RealWinograd(), RealDepthwise()}
 }

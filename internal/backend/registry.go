@@ -95,4 +95,5 @@ func init() {
 	Register("real-direct", RealDirect())
 	Register("real-gemm", RealGEMM())
 	Register("real-winograd", RealWinograd())
+	Register("real-depthwise", RealDepthwise())
 }

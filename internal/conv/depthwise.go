@@ -1,0 +1,109 @@
+package conv
+
+import (
+	"fmt"
+
+	"perfprune/internal/tensor"
+)
+
+// Depthwise computes a depthwise convolution (Groups == InC == OutC):
+// every channel is filtered independently by its own KHxKW kernel, the
+// building block of MobileNet's depthwise-separable layers. The weight
+// bank is OHWI-shaped [C, KH, KW, 1].
+//
+// The loop is organized channel-innermost over the NHWC layout, the
+// vectorization-friendly order real depthwise kernels use (ACL's
+// depthwise_convolution3x3_nhwc walks 4-channel vectors the same way).
+// Per output value the accumulation visits the kernel taps in the same
+// (ky, kx) order as Direct, so the float32 results are bit-identical —
+// an equivalence the tests enforce.
+func Depthwise(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error) {
+	if !spec.IsDepthwise() {
+		return nil, fmt.Errorf("conv %q: Depthwise needs a depthwise spec (groups=inC=outC), got groups=%d inC=%d outC=%d",
+			spec.Name, spec.GroupCount(), spec.InC, spec.OutC)
+	}
+	if err := checkArgs(spec, in, weights); err != nil {
+		return nil, err
+	}
+	out := tensor.New(tensor.NHWC, 1, spec.OutH(), spec.OutW(), spec.OutC)
+
+	inD := in.Data()
+	wD := weights.Data()
+	outD := out.Data()
+
+	c := spec.OutC
+	inRowStride := spec.InW * c
+	outW := spec.OutW()
+
+	for oy := 0; oy < spec.OutH(); oy++ {
+		for ox := 0; ox < outW; ox++ {
+			outBase := (oy*outW + ox) * c
+			iy0 := oy*spec.StrideH - spec.PadH
+			ix0 := ox*spec.StrideW - spec.PadW
+			for ky := 0; ky < spec.KH; ky++ {
+				iy := iy0 + ky
+				if iy < 0 || iy >= spec.InH {
+					continue
+				}
+				for kx := 0; kx < spec.KW; kx++ {
+					ix := ix0 + kx
+					if ix < 0 || ix >= spec.InW {
+						continue
+					}
+					inBase := iy*inRowStride + ix*c
+					wTap := ky*spec.KW + kx
+					for ch := 0; ch < c; ch++ {
+						outD[outBase+ch] += inD[inBase+ch] * wD[ch*spec.KH*spec.KW+wTap]
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Pointwise computes a dense 1x1 convolution — the channel-mixing half
+// of a depthwise-separable block — as a plain matrix product over the
+// NHWC layout, skipping Direct's padding and kernel-window logic
+// entirely (a 1x1 stride-s convolution just samples the input grid).
+// The accumulation order over input channels matches Direct's, so the
+// float32 results are bit-identical.
+func Pointwise(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error) {
+	switch {
+	case !spec.IsPointwise():
+		return nil, fmt.Errorf("conv %q: Pointwise needs a 1x1 kernel, got %dx%d", spec.Name, spec.KH, spec.KW)
+	case spec.GroupCount() > 1:
+		return nil, fmt.Errorf("conv %q: Pointwise needs a dense spec, got %d groups", spec.Name, spec.GroupCount())
+	case spec.PadH != 0 || spec.PadW != 0:
+		return nil, fmt.Errorf("conv %q: Pointwise needs zero padding, got %dx%d", spec.Name, spec.PadH, spec.PadW)
+	}
+	if err := checkArgs(spec, in, weights); err != nil {
+		return nil, err
+	}
+	out := tensor.New(tensor.NHWC, 1, spec.OutH(), spec.OutW(), spec.OutC)
+
+	inD := in.Data()
+	wD := weights.Data()
+	outD := out.Data()
+
+	inC, outC := spec.InC, spec.OutC
+	inRowStride := spec.InW * inC
+	outW := spec.OutW()
+
+	for oy := 0; oy < spec.OutH(); oy++ {
+		iyBase := oy * spec.StrideH * inRowStride
+		for ox := 0; ox < outW; ox++ {
+			px := inD[iyBase+ox*spec.StrideW*inC:]
+			outBase := (oy*outW + ox) * outC
+			for oc := 0; oc < outC; oc++ {
+				w := wD[oc*inC:]
+				var acc float32
+				for ic := 0; ic < inC; ic++ {
+					acc += px[ic] * w[ic]
+				}
+				outD[outBase+oc] = acc
+			}
+		}
+	}
+	return out, nil
+}

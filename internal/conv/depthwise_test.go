@@ -1,0 +1,231 @@
+package conv
+
+import (
+	"strings"
+	"testing"
+
+	"perfprune/internal/tensor"
+)
+
+// dwSpec builds a depthwise spec with c channels.
+func dwSpec(name string, size, c, k, stride, pad int) ConvSpec {
+	return ConvSpec{
+		Name: name, InH: size, InW: size, InC: c, OutC: c,
+		KH: k, KW: k, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad,
+		Groups: c,
+	}
+}
+
+// mkGroupedWeights builds a He-seeded OHWI filter bank with the grouped
+// weight shape [OutC, KH, KW, InC/Groups].
+func mkGroupedWeights(spec ConvSpec, seed uint64) *tensor.Tensor {
+	w := tensor.New(tensor.OHWI, spec.OutC, spec.KH, spec.KW, spec.InCPerGroup())
+	w.HeInit(seed, spec.ReductionK())
+	return w
+}
+
+// naiveDepthwise is an independent scalar reference: per channel, per
+// output position, accumulate the kernel taps in (ky, kx) order.
+func naiveDepthwise(spec ConvSpec, in, w *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(tensor.NHWC, 1, spec.OutH(), spec.OutW(), spec.OutC)
+	for c := 0; c < spec.OutC; c++ {
+		for oy := 0; oy < spec.OutH(); oy++ {
+			for ox := 0; ox < spec.OutW(); ox++ {
+				var acc float32
+				for ky := 0; ky < spec.KH; ky++ {
+					for kx := 0; kx < spec.KW; kx++ {
+						iy := oy*spec.StrideH - spec.PadH + ky
+						ix := ox*spec.StrideW - spec.PadW + kx
+						if iy < 0 || iy >= spec.InH || ix < 0 || ix >= spec.InW {
+							continue
+						}
+						acc += in.At(0, iy, ix, c) * w.At(c, ky, kx, 0)
+					}
+				}
+				out.Data()[(oy*spec.OutW()+ox)*spec.OutC+c] = acc
+			}
+		}
+	}
+	return out
+}
+
+// TestDepthwiseMatchesNaiveReference pins the depthwise kernel
+// bit-exactly to an independent scalar reference and to grouped Direct
+// on He-seeded weights, across strides, paddings and channel counts.
+func TestDepthwiseMatchesNaiveReference(t *testing.T) {
+	specs := []ConvSpec{
+		dwSpec("dw3x3", 14, 32, 3, 1, 1),
+		dwSpec("dw3x3-s2", 28, 24, 3, 2, 1),
+		dwSpec("dw5x5", 9, 7, 5, 1, 2),
+		dwSpec("dw3x3-nopad", 8, 3, 3, 1, 0),
+		dwSpec("dw1ch", 6, 1, 3, 1, 1),
+	}
+	for _, spec := range specs {
+		t.Run(spec.Name, func(t *testing.T) {
+			if err := spec.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			in := mkInput(spec, tensor.Hash64(spec.Name+"/in"))
+			w := mkGroupedWeights(spec, tensor.Hash64(spec.Name+"/w"))
+
+			got, err := Depthwise(spec, in, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveDepthwise(spec, in, w)
+			if !got.Shape().Equal(want.Shape()) {
+				t.Fatalf("shape %v, want %v", got.Shape(), want.Shape())
+			}
+			for i, v := range got.Data() {
+				if v != want.Data()[i] {
+					t.Fatalf("element %d: %v != naive %v (must be bit-exact)", i, v, want.Data()[i])
+				}
+			}
+
+			ref, err := Direct(spec, in, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range got.Data() {
+				if v != ref.Data()[i] {
+					t.Fatalf("element %d: %v != Direct %v (must be bit-exact)", i, v, ref.Data()[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPointwiseMatchesDirect pins the dedicated 1x1 kernel bit-exactly
+// to Direct on He-seeded weights, including the strided sampling case.
+func TestPointwiseMatchesDirect(t *testing.T) {
+	specs := []ConvSpec{
+		{Name: "pw", InH: 14, InW: 14, InC: 32, OutC: 64, KH: 1, KW: 1, StrideH: 1, StrideW: 1},
+		{Name: "pw-s2", InH: 14, InW: 14, InC: 16, OutC: 8, KH: 1, KW: 1, StrideH: 2, StrideW: 2},
+		{Name: "pw-wide", InH: 7, InW: 7, InC: 512, OutC: 96, KH: 1, KW: 1, StrideH: 1, StrideW: 1},
+	}
+	for _, spec := range specs {
+		t.Run(spec.Name, func(t *testing.T) {
+			in := mkInput(spec, tensor.Hash64(spec.Name+"/in"))
+			w := mkWeights(spec, tensor.Hash64(spec.Name+"/w"))
+			got, err := Pointwise(spec, in, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Direct(spec, in, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range got.Data() {
+				if v != want.Data()[i] {
+					t.Fatalf("element %d: %v != Direct %v (must be bit-exact)", i, v, want.Data()[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGroupedDirectMatchesPerGroupDense checks the grouped reference
+// against composing a dense Direct per group on channel slices.
+func TestGroupedDirectMatchesPerGroupDense(t *testing.T) {
+	spec := ConvSpec{
+		Name: "g4", InH: 10, InW: 10, InC: 8, OutC: 12,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 4,
+	}
+	in := mkInput(spec, 11)
+	w := mkGroupedWeights(spec, 13)
+	got, err := Direct(spec, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	groupInC, groupOutC := spec.InCPerGroup(), spec.OutC/spec.GroupCount()
+	dense := spec
+	dense.Groups = 0
+	dense.InC, dense.OutC = groupInC, groupOutC
+	for g := 0; g < spec.GroupCount(); g++ {
+		gin := tensor.New(tensor.NHWC, 1, spec.InH, spec.InW, groupInC)
+		for y := 0; y < spec.InH; y++ {
+			for x := 0; x < spec.InW; x++ {
+				for c := 0; c < groupInC; c++ {
+					gin.Data()[(y*spec.InW+x)*groupInC+c] = in.At(0, y, x, g*groupInC+c)
+				}
+			}
+		}
+		gw := tensor.New(tensor.OHWI, groupOutC, spec.KH, spec.KW, groupInC)
+		copy(gw.Data(), w.Data()[g*groupOutC*spec.KH*spec.KW*groupInC:])
+		gout, err := Direct(dense, gin, gw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for y := 0; y < spec.OutH(); y++ {
+			for x := 0; x < spec.OutW(); x++ {
+				for c := 0; c < groupOutC; c++ {
+					if got.At(0, y, x, g*groupOutC+c) != gout.At(0, y, x, c) {
+						t.Fatalf("group %d (%d,%d,%d): grouped %v != per-group dense %v",
+							g, y, x, c, got.At(0, y, x, g*groupOutC+c), gout.At(0, y, x, c))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGroupedSpecSemantics pins the grouped shape arithmetic and the
+// depthwise WithOutC coupling.
+func TestGroupedSpecSemantics(t *testing.T) {
+	dw := dwSpec("dw", 14, 32, 3, 1, 1)
+	if !dw.IsDepthwise() {
+		t.Fatal("dwSpec not depthwise")
+	}
+	if got, want := dw.ReductionK(), 9; got != want {
+		t.Errorf("ReductionK = %d, want %d", got, want)
+	}
+	if got, want := dw.WeightElems(), 32*9; got != want {
+		t.Errorf("WeightElems = %d, want %d", got, want)
+	}
+	if got, want := dw.MACs(), int64(14*14*9*32); got != want {
+		t.Errorf("MACs = %d, want %d", got, want)
+	}
+	narrowed := dw.WithOutC(20)
+	if narrowed.OutC != 20 || narrowed.InC != 20 || narrowed.Groups != 20 {
+		t.Errorf("depthwise WithOutC(20) = %+v; channel count must move as one", narrowed)
+	}
+	if !narrowed.IsDepthwise() {
+		t.Error("depthwise WithOutC result no longer depthwise")
+	}
+	if err := narrowed.Validate(); err != nil {
+		t.Errorf("narrowed depthwise invalid: %v", err)
+	}
+
+	dense := ConvSpec{Name: "d", InH: 8, InW: 8, InC: 4, OutC: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	if dense.WithOutC(5).InC != 4 {
+		t.Error("dense WithOutC must not move InC")
+	}
+
+	bad := dwSpec("bad", 8, 6, 3, 1, 1)
+	bad.Groups = 4 // 6 % 4 != 0
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "groups") {
+		t.Errorf("Validate accepted indivisible groups: %v", err)
+	}
+}
+
+// TestDenseTransformsRejectGrouped: the im2col/GEMM and Winograd paths
+// are dense-only; grouped layers must be routed to Depthwise or Direct.
+func TestDenseTransformsRejectGrouped(t *testing.T) {
+	spec := dwSpec("dw", 8, 4, 3, 1, 1)
+	in := mkInput(spec, 1)
+	w := mkGroupedWeights(spec, 2)
+	if _, err := GEMM(spec, in, w); err == nil {
+		t.Error("GEMM accepted a depthwise spec")
+	}
+	if WinogradApplicable(spec) {
+		t.Error("WinogradApplicable true for a depthwise spec")
+	}
+	if _, err := Pointwise(spec, in, w); err == nil {
+		t.Error("Pointwise accepted a depthwise spec")
+	}
+	if _, err := Depthwise(ConvSpec{Name: "dense", InH: 8, InW: 8, InC: 4, OutC: 4,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, in, w); err == nil {
+		t.Error("Depthwise accepted a dense spec")
+	}
+}

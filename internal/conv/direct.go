@@ -12,6 +12,12 @@ import (
 // scratch memory, which is why the paper notes it is "ideal for devices
 // with limited physical memory, although it is also very slow".
 //
+// Grouped specs (including depthwise) are supported: each output
+// channel reduces only over its group's InC/Groups input channels, with
+// the weight bank shaped [OutC, KH, KW, InC/Groups]. Direct is the
+// numeric ground truth the specialized Depthwise and Pointwise kernels
+// are validated bit-exactly against.
+//
 // The returned tensor is NHWC with shape [1, OutH, OutW, OutC].
 func Direct(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := checkArgs(spec, in, weights); err != nil {
@@ -24,7 +30,9 @@ func Direct(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error) {
 	outD := out.Data()
 
 	inRowStride := spec.InW * spec.InC
-	wOutStride := spec.KH * spec.KW * spec.InC
+	groupInC := spec.InCPerGroup()
+	groupOutC := spec.OutC / spec.GroupCount()
+	wOutStride := spec.KH * spec.KW * groupInC
 	outW := spec.OutW()
 	outC := spec.OutC
 
@@ -36,6 +44,7 @@ func Direct(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error) {
 			for oc := 0; oc < outC; oc++ {
 				var acc float32
 				wBase := oc * wOutStride
+				icBase := (oc / groupOutC) * groupInC
 				for ky := 0; ky < spec.KH; ky++ {
 					iy := iy0 + ky
 					if iy < 0 || iy >= spec.InH {
@@ -46,9 +55,9 @@ func Direct(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error) {
 						if ix < 0 || ix >= spec.InW {
 							continue
 						}
-						inBase := iy*inRowStride + ix*spec.InC
-						wRow := wBase + (ky*spec.KW+kx)*spec.InC
-						for ic := 0; ic < spec.InC; ic++ {
+						inBase := iy*inRowStride + ix*spec.InC + icBase
+						wRow := wBase + (ky*spec.KW+kx)*groupInC
+						for ic := 0; ic < groupInC; ic++ {
 							acc += inD[inBase+ic] * wD[wRow+ic]
 						}
 					}
@@ -68,7 +77,7 @@ func checkArgs(spec ConvSpec, in, weights *tensor.Tensor) error {
 	if !in.Shape().Equal(wantIn) {
 		return fmt.Errorf("conv %q: input shape %v, want %v", spec.Name, in.Shape(), wantIn)
 	}
-	wantW := tensor.Shape{spec.OutC, spec.KH, spec.KW, spec.InC}
+	wantW := tensor.Shape{spec.OutC, spec.KH, spec.KW, spec.InCPerGroup()}
 	if !weights.Shape().Equal(wantW) {
 		return fmt.Errorf("conv %q: weight shape %v, want %v", spec.Name, weights.Shape(), wantW)
 	}

@@ -1,6 +1,8 @@
 package conv
 
 import (
+	"fmt"
+
 	"perfprune/internal/gemm"
 	"perfprune/internal/tensor"
 )
@@ -14,6 +16,9 @@ import (
 func Im2col(spec ConvSpec, in *tensor.Tensor) (*gemm.Matrix, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.GroupCount() > 1 {
+		return nil, fmt.Errorf("conv %q: im2col is a dense-layer transform; grouped layers use Depthwise or Direct", spec.Name)
 	}
 	m := gemm.NewMatrix(spec.OutSpatial(), spec.ReductionK())
 	inD := in.Data()
@@ -51,6 +56,9 @@ func Im2col(spec ConvSpec, in *tensor.Tensor) (*gemm.Matrix, error) {
 func WeightsToColumns(spec ConvSpec, weights *tensor.Tensor) (*gemm.Matrix, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.GroupCount() > 1 {
+		return nil, fmt.Errorf("conv %q: weight reshaping is a dense-layer transform; grouped layers use Depthwise or Direct", spec.Name)
 	}
 	k := spec.ReductionK()
 	m := gemm.NewMatrix(k, spec.OutC)

@@ -26,6 +26,35 @@ type ConvSpec struct {
 	StrideH, StrideW int
 	// PadH, PadW are the symmetric zero paddings.
 	PadH, PadW int
+	// Groups partitions the channels into independent convolution
+	// groups: each output channel only reduces over InC/Groups input
+	// channels. 0 and 1 both mean a dense convolution; Groups == InC
+	// with OutC == InC is a depthwise convolution (MobileNet's 3x3
+	// layers), where every channel is filtered independently.
+	Groups int
+}
+
+// GroupCount returns the effective group count (the zero value is a
+// dense, single-group convolution).
+func (s ConvSpec) GroupCount() int {
+	if s.Groups <= 1 {
+		return 1
+	}
+	return s.Groups
+}
+
+// InCPerGroup returns the input channels each filter reduces over.
+func (s ConvSpec) InCPerGroup() int { return s.InC / s.GroupCount() }
+
+// IsDepthwise reports whether this is a depthwise convolution (one
+// group per channel, channel count preserved) — the layer type that,
+// with a trailing pointwise layer, forms MobileNet's depthwise-
+// separable blocks. Depthwise layers cannot change their channel count
+// independently: pruning re-targets the whole layer (see WithOutC).
+// The test is on the explicit Groups field (dense specs leave it 0),
+// so a depthwise layer swept down to one channel stays depthwise.
+func (s ConvSpec) IsDepthwise() bool {
+	return s.Groups >= 1 && s.Groups == s.InC && s.OutC == s.InC
 }
 
 // Validate reports whether the spec describes a computable convolution.
@@ -43,6 +72,16 @@ func (s ConvSpec) Validate() error {
 		return fmt.Errorf("conv %q: non-positive stride %dx%d", s.Name, s.StrideH, s.StrideW)
 	case s.PadH < 0 || s.PadW < 0:
 		return fmt.Errorf("conv %q: negative padding %dx%d", s.Name, s.PadH, s.PadW)
+	case s.Groups < 0:
+		return fmt.Errorf("conv %q: negative group count %d", s.Name, s.Groups)
+	}
+	if g := s.GroupCount(); g > 1 {
+		if s.InC%g != 0 {
+			return fmt.Errorf("conv %q: %d input channels not divisible into %d groups", s.Name, s.InC, g)
+		}
+		if s.OutC%g != 0 {
+			return fmt.Errorf("conv %q: %d output channels not divisible into %d groups", s.Name, s.OutC, g)
+		}
 	}
 	if s.OutH() <= 0 || s.OutW() <= 0 {
 		return fmt.Errorf("conv %q: empty output %dx%d", s.Name, s.OutH(), s.OutW())
@@ -59,17 +98,19 @@ func (s ConvSpec) OutW() int { return (s.InW+2*s.PadW-s.KW)/s.StrideW + 1 }
 // OutSpatial returns OutH*OutW — the GEMM M dimension.
 func (s ConvSpec) OutSpatial() int { return s.OutH() * s.OutW() }
 
-// ReductionK returns KH*KW*InC — the GEMM K dimension.
-func (s ConvSpec) ReductionK() int { return s.KH * s.KW * s.InC }
+// ReductionK returns KH*KW*(InC/Groups) — the reduction depth of one
+// output value (the GEMM K dimension for dense layers).
+func (s ConvSpec) ReductionK() int { return s.KH * s.KW * s.InCPerGroup() }
 
 // MACs returns the multiply-accumulate count of the layer's forward pass.
 func (s ConvSpec) MACs() int64 {
 	return int64(s.OutSpatial()) * int64(s.ReductionK()) * int64(s.OutC)
 }
 
-// WeightElems returns the filter bank element count (OutC*KH*KW*InC).
+// WeightElems returns the filter bank element count
+// (OutC*KH*KW*InC/Groups).
 func (s ConvSpec) WeightElems() int {
-	return s.OutC * s.KH * s.KW * s.InC
+	return s.OutC * s.KH * s.KW * s.InCPerGroup()
 }
 
 // IsPointwise reports whether this is a 1x1 convolution. ACL selects a
@@ -78,22 +119,44 @@ func (s ConvSpec) WeightElems() int {
 func (s ConvSpec) IsPointwise() bool { return s.KH == 1 && s.KW == 1 }
 
 // WithOutC returns a copy of the spec with OutC replaced — the shape
-// transformation performed by pruning the layer's own filters.
+// transformation performed by pruning the layer's own filters. A
+// depthwise layer filters each input channel independently, so its
+// channel count is a single degree of freedom: re-targeting it moves
+// InC and the group count along with OutC (pruning a depthwise layer
+// is only possible together with its producer — the coupling the
+// planner's PruneGroups express).
 func (s ConvSpec) WithOutC(c int) ConvSpec {
+	if s.IsDepthwise() {
+		s.InC = c
+		s.Groups = c
+	}
 	s.OutC = c
 	return s
 }
 
 // WithInC returns a copy of the spec with InC replaced — the shape
 // transformation performed on a layer when its *producer* is pruned.
+// A depthwise layer has one width, not two: losing input channels
+// loses the same-numbered filters, so OutC and the group count move
+// along (mirroring WithOutC).
 func (s ConvSpec) WithInC(c int) ConvSpec {
+	if s.IsDepthwise() {
+		s.OutC = c
+		s.Groups = c
+	}
 	s.InC = c
 	return s
 }
 
 // String renders the spec compactly.
 func (s ConvSpec) String() string {
-	return fmt.Sprintf("%s[%dx%dx%d -> %dx%dx%d, k%dx%d s%d p%d]",
+	grouped := ""
+	if s.IsDepthwise() {
+		grouped = " dw"
+	} else if s.GroupCount() > 1 {
+		grouped = fmt.Sprintf(" g%d", s.GroupCount())
+	}
+	return fmt.Sprintf("%s[%dx%dx%d -> %dx%dx%d, k%dx%d s%d p%d%s]",
 		s.Name, s.InH, s.InW, s.InC, s.OutH(), s.OutW(), s.OutC,
-		s.KH, s.KW, s.StrideH, s.PadH)
+		s.KH, s.KW, s.StrideH, s.PadH, grouped)
 }

@@ -66,9 +66,11 @@ func Winograd(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error)
 }
 
 // WinogradApplicable reports whether the layer shape admits the
-// F(2x2, 3x3) algorithm.
+// F(2x2, 3x3) algorithm. Grouped layers are excluded: the transform
+// here assumes a dense reduction over every input channel.
 func WinogradApplicable(spec ConvSpec) bool {
-	return spec.KH == 3 && spec.KW == 3 && spec.StrideH == 1 && spec.StrideW == 1
+	return spec.KH == 3 && spec.KW == 3 && spec.StrideH == 1 && spec.StrideW == 1 &&
+		spec.GroupCount() == 1
 }
 
 // transformFilters computes U = G g G^T for every (oc, ic) filter,

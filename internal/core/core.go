@@ -218,8 +218,117 @@ func ProfileNetworkProbeContext(ctx context.Context, eng *profiler.Engine, tg Ta
 
 func shapeKey(l nets.Layer) string {
 	s := l.Spec
-	return fmt.Sprintf("%dx%dx%d/%d/k%dx%d/s%d%d/p%d%d",
-		s.InH, s.InW, s.InC, s.OutC, s.KH, s.KW, s.StrideH, s.StrideW, s.PadH, s.PadW)
+	return fmt.Sprintf("%dx%dx%d/%d/k%dx%d/s%d%d/p%d%d/g%d",
+		s.InH, s.InW, s.InC, s.OutC, s.KH, s.KW, s.StrideH, s.StrideW, s.PadH, s.PadW, s.GroupCount())
+}
+
+// PlanUnit is one independently prunable degree of freedom of a
+// profiled network: a single uncoupled layer, or a whole coupling
+// group (residual chain, depthwise-producer pair) that any valid plan
+// must move as one.
+type PlanUnit struct {
+	// Labels are the member layer labels in network order (one entry
+	// for an uncoupled layer).
+	Labels []string
+	// Group names the coupling constraint; empty for a single layer.
+	Group string
+	// Full is the members' shared full width.
+	Full int
+	// Edges are the admissible kept channel counts in ascending order:
+	// a single layer's staircase right edges, or — for a group — the
+	// intersection of every member's edges ("the most channels for an
+	// inference time" must hold on every member simultaneously). The
+	// full width is always admissible, so Edges is never empty.
+	Edges []int
+}
+
+// EdgeAtMost returns the widest admissible count <= c; ok is false
+// when every admissible count exceeds c.
+func (u PlanUnit) EdgeAtMost(c int) (int, bool) {
+	best, ok := 0, false
+	for _, e := range u.Edges {
+		if e <= c {
+			best, ok = e, true
+		}
+	}
+	return best, ok
+}
+
+// Units partitions the profiled network into planning units under the
+// given coupling groups (callers pass merged groups; nil means the
+// network's intrinsic ones). Grouped layers collapse into one unit at
+// the first member's position with candidates intersected across
+// members; every other layer is its own unit with its full staircase
+// edge set.
+func (np *NetworkProfile) Units(groups []nets.Group) ([]PlanUnit, error) {
+	if groups == nil {
+		groups = np.Network.Groups
+	}
+	inGroup := make(map[string]int, len(np.Network.Layers)) // label -> group index
+	for gi, g := range groups {
+		if err := np.Network.CheckGroup(g); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		for _, label := range g.Members {
+			if prev, dup := inGroup[label]; dup && prev != gi {
+				return nil, fmt.Errorf("core: layer %q in groups %q and %q (merge overlapping groups first)",
+					label, groups[prev].Name, g.Name)
+			}
+			inGroup[label] = gi
+		}
+	}
+
+	var units []PlanUnit
+	emitted := make(map[int]bool, len(groups))
+	for _, l := range np.Network.Layers {
+		lp, ok := np.Profiles[l.Label]
+		if !ok {
+			return nil, fmt.Errorf("core: profile missing layer %s", l.Label)
+		}
+		gi, grouped := inGroup[l.Label]
+		if !grouped {
+			edges := make([]int, len(lp.Analysis.Edges))
+			for i, e := range lp.Analysis.Edges {
+				edges[i] = e.Channels
+			}
+			units = append(units, PlanUnit{Labels: []string{l.Label}, Full: l.Spec.OutC, Edges: edges})
+			continue
+		}
+		if emitted[gi] {
+			continue
+		}
+		emitted[gi] = true
+		g := groups[gi]
+		counts := make(map[int]int)
+		for _, label := range g.Members {
+			mlp, ok := np.Profiles[label]
+			if !ok {
+				return nil, fmt.Errorf("core: profile missing layer %s", label)
+			}
+			for _, e := range mlp.Analysis.Edges {
+				counts[e.Channels]++
+			}
+		}
+		var edges []int
+		for c, cnt := range counts {
+			if cnt == len(g.Members) {
+				edges = append(edges, c)
+			}
+		}
+		sort.Ints(edges)
+		if len(edges) == 0 || edges[len(edges)-1] != l.Spec.OutC {
+			// Every member's sweep tops out at the shared full width,
+			// which is always its own right edge.
+			return nil, fmt.Errorf("core: group %q intersection lost the full width %d", g.Name, l.Spec.OutC)
+		}
+		units = append(units, PlanUnit{
+			Labels: append([]string(nil), g.Members...),
+			Group:  g.Name,
+			Full:   l.Spec.OutC,
+			Edges:  edges,
+		})
+	}
+	return units, nil
 }
 
 // BaselineMs returns the unpruned whole-network convolution latency.
@@ -271,10 +380,16 @@ type PlanResult struct {
 type Planner struct {
 	Profile *NetworkProfile
 	Acc     accuracy.Model
+	// Groups are the coupling constraints every produced plan honors;
+	// nil means the network's intrinsic groups. Callers adding
+	// request-level constraints set the merged result here (see
+	// nets.Network.MergedGroups).
+	Groups []nets.Group
 }
 
 // NewPlanner builds a planner with the network's accuracy model
-// (fine-tuning enabled, the standard pruning practice).
+// (fine-tuning enabled, the standard pruning practice) and its
+// intrinsic coupling groups.
 func NewPlanner(np *NetworkProfile) (*Planner, error) {
 	if np == nil {
 		return nil, fmt.Errorf("core: nil network profile")
@@ -283,7 +398,7 @@ func NewPlanner(np *NetworkProfile) (*Planner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Planner{Profile: np, Acc: m.WithFineTune(true)}, nil
+	return &Planner{Profile: np, Acc: m.WithFineTune(true), Groups: np.Network.Groups}, nil
 }
 
 func (pl *Planner) evaluate(p prune.Plan) (PlanResult, error) {
@@ -322,17 +437,24 @@ func (pl *Planner) Uninstructed(fraction float64) (PlanResult, error) {
 }
 
 // PerformanceAware runs the paper's proposed loop: starting from the
-// unpruned network, greedily move single layers to their next staircase
-// right edge, always taking the step with the best latency gain per
-// accuracy point lost, until the target speedup is reached or no step
-// remains within maxAccuracyDrop. Every configuration it considers is a
-// profiled Pareto edge, so — unlike uninstructed pruning — no step can
-// regress latency.
+// unpruned network, greedily move single planning units — uncoupled
+// layers, or whole coupling groups at once — to their next admissible
+// staircase right edge, always taking the step with the best latency
+// gain per accuracy point lost, until the target speedup is reached or
+// no step remains within maxAccuracyDrop. Every configuration it
+// considers is a profiled Pareto edge on every member, so — unlike
+// uninstructed pruning — no step can regress latency, and every
+// produced plan satisfies the planner's coupling groups by
+// construction.
 func (pl *Planner) PerformanceAware(targetSpeedup, maxAccuracyDrop float64) (PlanResult, error) {
 	if targetSpeedup < 1 {
 		return PlanResult{}, fmt.Errorf("core: target speedup %v must be >= 1", targetSpeedup)
 	}
 	n := pl.Profile.Network
+	units, err := pl.Profile.Units(pl.Groups)
+	if err != nil {
+		return PlanResult{}, err
+	}
 	plan := make(prune.Plan, len(n.Layers))
 	for _, l := range n.Layers {
 		plan[l.Label] = l.Spec.OutC
@@ -346,40 +468,49 @@ func (pl *Planner) PerformanceAware(targetSpeedup, maxAccuracyDrop float64) (Pla
 
 	for current > targetMs {
 		type step struct {
-			label   string
+			unit    *PlanUnit
 			keep    int
 			dLat    float64
 			dAcc    float64
 			density float64
 		}
 		var best *step
-		for _, l := range n.Layers {
-			lp := pl.Profile.Profiles[l.Label]
-			edge, ok := lp.Analysis.EdgeAtMost(plan[l.Label] - 1)
+		for ui := range units {
+			u := &units[ui]
+			keep := plan[u.Labels[0]]
+			edge, ok := u.EdgeAtMost(keep - 1)
 			if !ok {
 				continue
 			}
-			tCur, err := lp.TimeAt(plan[l.Label])
-			if err != nil {
-				return PlanResult{}, err
+			dLat, dAcc := 0.0, 0.0
+			for _, label := range u.Labels {
+				lp := pl.Profile.Profiles[label]
+				tCur, err := lp.TimeAt(keep)
+				if err != nil {
+					return PlanResult{}, err
+				}
+				tNew, err := lp.TimeAt(edge)
+				if err != nil {
+					return PlanResult{}, err
+				}
+				dLat += tCur - tNew
+				penNew, err := pl.Acc.LayerPenalty(label, u.Full, edge)
+				if err != nil {
+					return PlanResult{}, err
+				}
+				penCur, err := pl.Acc.LayerPenalty(label, u.Full, keep)
+				if err != nil {
+					return PlanResult{}, err
+				}
+				dAcc += penNew - penCur
 			}
-			dLat := tCur - edge.Ms
 			if dLat <= 0 {
 				continue
 			}
-			penNew, err := pl.Acc.LayerPenalty(l.Label, l.Spec.OutC, edge.Channels)
-			if err != nil {
-				return PlanResult{}, err
-			}
-			penCur, err := pl.Acc.LayerPenalty(l.Label, l.Spec.OutC, plan[l.Label])
-			if err != nil {
-				return PlanResult{}, err
-			}
-			dAcc := penNew - penCur
 			if dAcc < 1e-9 {
 				dAcc = 1e-9
 			}
-			s := step{label: l.Label, keep: edge.Channels, dLat: dLat, dAcc: dAcc, density: dLat / dAcc}
+			s := step{unit: u, keep: edge, dLat: dLat, dAcc: dAcc, density: dLat / dAcc}
 			if best == nil || s.density > best.density {
 				cp := s
 				best = &cp
@@ -390,7 +521,9 @@ func (pl *Planner) PerformanceAware(targetSpeedup, maxAccuracyDrop float64) (Pla
 		}
 		// Respect the accuracy budget before committing.
 		trial := clonePlan(plan)
-		trial[best.label] = best.keep
+		for _, label := range best.unit.Labels {
+			trial[label] = best.keep
+		}
 		acc, err := pl.Acc.Predict(n, trial)
 		if err != nil {
 			return PlanResult{}, err

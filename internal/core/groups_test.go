@@ -1,0 +1,125 @@
+package core_test
+
+// Group-aware planner tests: the greedy loop must move coupling groups
+// atomically (every plan satisfies the constraints), and its reported
+// scores must re-derive exactly from the profile and the accuracy
+// model — the rescoring invariant grouped planning must not break.
+
+import (
+	"testing"
+
+	"perfprune/internal/acl"
+	"perfprune/internal/backend"
+	"perfprune/internal/core"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/prune"
+)
+
+// planTargets returns one OpenCL and one CUDA target.
+func planTargets() []core.Target {
+	return []core.Target{
+		{Device: device.HiKey970, Library: backend.ACL(acl.GEMMConv)},
+		{Device: device.JetsonTX2, Library: backend.CuDNN()},
+	}
+}
+
+// TestMobileNetGroupedPlanEndToEnd profiles MobileNetV1 (depthwise
+// kernels included) and checks the full group contract on the greedy
+// planner's output.
+func TestMobileNetGroupedPlanEndToEnd(t *testing.T) {
+	n := nets.MobileNetV1()
+	for _, tg := range planTargets() {
+		t.Run(tg.String(), func(t *testing.T) {
+			np, err := core.ProfileNetwork(tg, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := core.NewPlanner(np)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := pl.PerformanceAware(1.3, 2.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := prune.CheckGroups(n, n.Groups, res.Plan); err != nil {
+				t.Errorf("plan violates coupling groups: %v", err)
+			}
+			if res.Speedup < 1 {
+				t.Errorf("speedup %v < 1: a right-edge plan can never slow down", res.Speedup)
+			}
+			if res.AccuracyDrop > 2.0 {
+				t.Errorf("drop %v exceeds the 2.0 budget", res.AccuracyDrop)
+			}
+			assertRescores(t, pl, res)
+		})
+	}
+}
+
+// TestResNetGroupedPlanSatisfiesResiduals: the annotated ResNet-50
+// residual groups hold on the greedy planner's output, and the
+// projection layer is never pruned away from its stage's expansions.
+func TestResNetGroupedPlanSatisfiesResiduals(t *testing.T) {
+	n := nets.ResNet50()
+	tg := core.Target{Device: device.JetsonTX2, Library: backend.CuDNN()}
+	np, err := core.ProfileNetwork(tg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.NewPlanner(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.PerformanceAware(1.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prune.CheckGroups(n, n.Groups, res.Plan); err != nil {
+		t.Errorf("plan violates residual groups: %v", err)
+	}
+	assertRescores(t, pl, res)
+
+	// The ungrouped planner (Groups explicitly cleared) must be able to
+	// diverge: if it never could, the constraint would be vacuous.
+	free := &core.Planner{Profile: np, Acc: pl.Acc, Groups: []nets.Group{}}
+	fres, err := free.PerformanceAware(1.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prune.CheckGroups(n, n.Groups, fres.Plan); err == nil {
+		t.Log("ungrouped planner happened to satisfy groups on this target (acceptable but rare)")
+	}
+	if fres.Speedup < res.Speedup {
+		t.Errorf("constrained plan (%vx) outran the unconstrained one (%vx); the constraint can only cost speedup",
+			res.Speedup, fres.Speedup)
+	}
+}
+
+// assertRescores re-derives the planner's reported scores from the
+// profile and the accuracy model: LatencyOf and Predict must reproduce
+// the PlanResult exactly.
+func assertRescores(t *testing.T, pl *core.Planner, res core.PlanResult) {
+	t.Helper()
+	lat, err := pl.Profile.LatencyOf(res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != res.LatencyMs {
+		t.Errorf("LatencyMs %v does not rescore: LatencyOf = %v", res.LatencyMs, lat)
+	}
+	acc, err := pl.Acc.Predict(pl.Profile.Network, res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != res.Accuracy {
+		t.Errorf("Accuracy %v does not rescore: Predict = %v", res.Accuracy, acc)
+	}
+	base, err := pl.Profile.BaselineMs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup != base/lat {
+		t.Errorf("Speedup %v != baseline/latency %v", res.Speedup, base/lat)
+	}
+}

@@ -23,12 +23,16 @@ import (
 	"perfprune/internal/sim"
 )
 
-// Tile sizes the algorithm chooser considers, with their relative
-// per-channel efficiency (larger tiles amortize scheduling better).
-var tiles = []struct {
+// tile is one output-channel tile the algorithm chooser considers,
+// with its relative per-channel efficiency.
+type tile struct {
 	Channels int
 	Eff      float64
-}{
+}
+
+// Tile sizes the dense chooser considers (larger tiles amortize
+// scheduling better).
+var tiles = []tile{
 	{32, 1.0},
 	{64, 0.99},
 	{128, 0.97},
@@ -42,8 +46,15 @@ const launchOverheadUnits = 1.0 / 3.0
 // instrPerMAC calibrates per-kernel-shape efficiency: pointwise layers
 // hit the fastest SASS path; 3x3 layers cost ~2.4x more per MAC on the
 // embedded parts (fitted to Figs. 4 and 5 absolute latencies).
+// Depthwise layers run cuDNN v7's grouped-convolution kernels, which
+// have no specialized depthwise SASS on the Jetsons: each filter
+// reduces over just KxK taps, so the per-MAC overhead is far higher
+// than any dense path — the well-known result that MobileNet's
+// depthwise layers reach a small fraction of peak under cuDNN.
 func instrPerMAC(spec conv.ConvSpec) float64 {
 	switch {
+	case spec.IsDepthwise():
+		return 13.5
 	case spec.IsPointwise():
 		return 2.0
 	case spec.KH <= 3:
@@ -55,6 +66,31 @@ func instrPerMAC(spec conv.ConvSpec) float64 {
 	}
 }
 
+// dwTiles are the channel tiles the grouped-convolution chooser
+// considers: half the dense sizes, because a group contributes one
+// channel and the kernel packs fewer groups per CTA. The resulting
+// depthwise staircase has 16-channel stairs — a narrower, distinct
+// pattern next to the dense paths' 32-channel quantization.
+var dwTiles = []tile{
+	{16, 1.0},
+	{32, 0.985},
+	{64, 0.96},
+}
+
+// ChooseDepthwise runs the tile selection for a depthwise layer with c
+// channels, in the same tile-unit currency as Choose (32 channels of a
+// dense layer per unit).
+func ChooseDepthwise(c int) Algo { return chooseFrom(dwTiles, c) }
+
+// chooseFor picks the algorithm for a spec: dense layers use the
+// implicit-GEMM tiles, depthwise layers the grouped-kernel tiles.
+func chooseFor(spec conv.ConvSpec) Algo {
+	if spec.IsDepthwise() {
+		return ChooseDepthwise(spec.OutC)
+	}
+	return Choose(spec.OutC)
+}
+
 // Algo is the algorithm choice for a channel count: the tile size and
 // the resulting cost in tile-units.
 type Algo struct {
@@ -62,13 +98,14 @@ type Algo struct {
 	Units float64
 }
 
-// Choose runs the tile selection for c output channels.
-func Choose(c int) Algo {
+// chooseFrom runs the tile selection for c output channels over a
+// tile table, in tile-units of 32 dense channels.
+func chooseFrom(ts []tile, c int) Algo {
 	if c <= 0 {
-		return Algo{Tile: tiles[0].Channels, Units: 0}
+		return Algo{Tile: ts[0].Channels, Units: 0}
 	}
 	best := Algo{Units: math.Inf(1)}
-	for _, t := range tiles {
+	for _, t := range ts {
 		nTiles := (c + t.Channels - 1) / t.Channels
 		units := float64(nTiles) * float64(t.Channels) / 32 * t.Eff
 		if units < best.Units {
@@ -77,6 +114,9 @@ func Choose(c int) Algo {
 	}
 	return best
 }
+
+// Choose runs the dense tile selection for c output channels.
+func Choose(c int) Algo { return chooseFrom(tiles, c) }
 
 // smallGridEff models SM underutilization for layers with few output
 // positions: a 14x14 layer cannot fill the Jetson's SM array (fitted to
@@ -96,16 +136,25 @@ func smallGridEff(m int) float64 {
 }
 
 // Plan emits the CUDA launch for one cuDNN forward convolution.
+// Depthwise layers plan the grouped-convolution kernel; other grouped
+// shapes are unsupported, as in cuDNN v7 on the Jetson images.
 func Plan(spec conv.ConvSpec) ([]cuda.Launch, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	algo := Choose(spec.OutC)
+	if spec.GroupCount() > 1 && !spec.IsDepthwise() {
+		return nil, fmt.Errorf("cudnnsim: no kernel for grouped non-depthwise layer %s", spec)
+	}
+	algo := chooseFor(spec)
 	m := spec.OutSpatial()
 	unitInstr := instrPerMAC(spec) * float64(m) * float64(spec.ReductionK()) * 32
 	arith := int64(unitInstr*(algo.Units+launchOverheadUnits) + 0.5)
+	name := fmt.Sprintf("implicit_gemm_tile%d", algo.Tile)
+	if spec.IsDepthwise() {
+		name = fmt.Sprintf("grouped_conv_tile%d", algo.Tile)
+	}
 	return []cuda.Launch{{
-		Name: fmt.Sprintf("implicit_gemm_tile%d", algo.Tile),
+		Name: name,
 		// Split-K fills the SM array even on small spatial grids, so the
 		// launch always provides enough blocks; underutilization is
 		// carried by Eff, not occupancy.
@@ -141,7 +190,7 @@ func Run(dev device.Device, spec conv.ConvSpec) (Profile, error) {
 	return Profile{
 		Spec:   spec,
 		Device: dev,
-		Algo:   Choose(spec.OutC),
+		Algo:   chooseFor(spec),
 		Ms:     ms,
 		Result: res,
 	}, nil

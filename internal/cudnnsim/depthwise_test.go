@@ -1,0 +1,90 @@
+package cudnnsim
+
+import (
+	"strings"
+	"testing"
+
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+)
+
+func dwLayer(c int) conv.ConvSpec {
+	return conv.ConvSpec{
+		Name: "MobileNet.dw", InH: 14, InW: 14, InC: c, OutC: c,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: c,
+	}
+}
+
+// TestDepthwiseGroupedKernel: depthwise layers plan the grouped kernel
+// with the 16-channel tile chooser; grouped non-depthwise shapes are
+// rejected like cuDNN v7 would.
+func TestDepthwiseGroupedKernel(t *testing.T) {
+	launches, err := Plan(dwLayer(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(launches) != 1 || !strings.HasPrefix(launches[0].Name, "grouped_conv_tile") {
+		t.Fatalf("planned %+v, want one grouped_conv_tile launch", launches)
+	}
+	grouped := dwLayer(48)
+	grouped.OutC = 96
+	if _, err := Plan(grouped); err == nil {
+		t.Error("Plan accepted a grouped non-depthwise layer")
+	}
+}
+
+// TestDepthwiseStaircaseQuantization: the grouped chooser quantizes to
+// 16-channel tiles, so the depthwise staircase has 16-wide stairs —
+// distinct from the dense paths' 32-channel tiles — and, like every
+// cuDNN staircase the paper measures, never rewards pruning with a
+// slowdown (monotone non-decreasing in channels).
+func TestDepthwiseStaircaseQuantization(t *testing.T) {
+	timeAt := func(c int) float64 {
+		ms, err := TimeMs(device.JetsonTX2, dwLayer(c))
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		return ms
+	}
+	if a := ChooseDepthwise(33); a.Tile != 16 {
+		t.Errorf("ChooseDepthwise(33).Tile = %d, want 16", a.Tile)
+	}
+	// Flat inside a 16-channel tile, stepping at the boundary.
+	if t33, t48 := timeAt(33), timeAt(48); t33 != t48 {
+		t.Errorf("latency not flat within a 16-channel tile: t(33)=%v t(48)=%v", t33, t48)
+	}
+	if t48, t49 := timeAt(48), timeAt(49); t49 <= t48 {
+		t.Errorf("no step across the tile boundary: t(48)=%v t(49)=%v", t48, t49)
+	}
+	prev := 0.0
+	for c := 1; c <= 160; c++ {
+		ms := timeAt(c)
+		if ms < prev {
+			t.Fatalf("depthwise staircase not monotone: t(%d)=%v < t(%d)=%v", c, ms, c-1, prev)
+		}
+		prev = ms
+	}
+}
+
+// TestDepthwiseCostsMorePerMAC: grouped kernels have no specialized
+// depthwise SASS, so the per-MAC cost must exceed the dense 3x3 path's
+// while total latency stays below the dense layer's.
+func TestDepthwiseCostsMorePerMAC(t *testing.T) {
+	dw := dwLayer(256)
+	dense := dw
+	dense.Groups = 0
+	dwMs, err := TimeMs(device.JetsonTX2, dw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseMs, err := TimeMs(device.JetsonTX2, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dwMs >= denseMs {
+		t.Errorf("depthwise (%v ms) not cheaper than dense (%v ms)", dwMs, denseMs)
+	}
+	if perDW, perDense := dwMs/float64(dw.MACs()), denseMs/float64(dense.MACs()); perDW <= perDense {
+		t.Errorf("depthwise per-MAC cost %v not above dense %v", perDW, perDense)
+	}
+}

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"perfprune/internal/nets"
+	"perfprune/internal/prune"
+	"perfprune/internal/tensor"
+)
+
+// TestMobileNetChainPruneAndInfer executes the part of depthwise
+// pruning that is easy to get wrong: applying a group-consistent plan
+// to real MobileNetV1 weight tensors must shrink the producer, drop
+// the same-numbered depthwise filters, propagate the removal through
+// the depthwise stage to the following pointwise layer, and leave a
+// chain that actually runs.
+func TestMobileNetChainPruneAndInfer(t *testing.T) {
+	n := nets.MobileNetV1()
+	c, err := BuildChain(n, nets.BuildWeights(n), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prune the stem and its depthwise partner together (the dw1
+	// coupling group), plus a deeper pointwise/depthwise pair.
+	plan := prune.Plan{
+		"MobileNet.L0": 24, "MobileNet.L1": 24,
+		"MobileNet.L4": 96, "MobileNet.L5": 96,
+	}
+	if err := prune.CheckGroups(n, n.Groups, plan); err != nil {
+		t.Fatalf("test plan must satisfy groups: %v", err)
+	}
+	p, err := c.Prune(plan, prune.L1Magnitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Producer and depthwise stage share the new width; the depthwise
+	// bank lost the same filters; the next pointwise lost the inputs.
+	if got := p.Stages[0].Spec.OutC; got != 24 {
+		t.Errorf("L0 width %d, want 24", got)
+	}
+	dw := p.Stages[1]
+	if dw.Spec.InC != 24 || dw.Spec.OutC != 24 || dw.Spec.GroupCount() != 24 {
+		t.Errorf("L1 spec = %v, want 24-channel depthwise", dw.Spec)
+	}
+	if dw.Weights.Dim(0) != 24 || dw.Weights.Dim(3) != 1 {
+		t.Errorf("L1 weights %v, want [24, 3, 3, 1]", dw.Weights.Shape())
+	}
+	if got := p.Stages[2].Spec.InC; got != 24 {
+		t.Errorf("L2 InC = %d, want 24 (depthwise passes the removal through)", got)
+	}
+	if got := p.Stages[2].Weights.Dim(3); got != 24 {
+		t.Errorf("L2 weight InC = %d, want 24", got)
+	}
+
+	in := tensor.New(tensor.NHWC, 1, p.Stages[0].Spec.InH, p.Stages[0].Spec.InW, p.Stages[0].Spec.InC)
+	in.RandomUniform(7, 1)
+	out, err := p.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(3) != 1024 {
+		t.Errorf("final activation has %d channels, want 1024", out.Dim(3))
+	}
+}
+
+// TestChainRejectsOneSidedDepthwisePrune: a plan that moves a
+// depthwise stage away from its producer (either direction) is not
+// executable and must fail naming the coupling.
+func TestChainRejectsOneSidedDepthwisePrune(t *testing.T) {
+	n := nets.MobileNetV1()
+	c, err := BuildChain(n, nets.BuildWeights(n), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, plan := range map[string]prune.Plan{
+		"dw pruned alone":       {"MobileNet.L1": 24},
+		"producer pruned wider": {"MobileNet.L0": 24, "MobileNet.L1": 28},
+	} {
+		if _, err := c.Prune(plan, prune.Sequential); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.Contains(err.Error(), "coupling group") {
+			t.Errorf("%s: error %q does not name the coupling", name, err)
+		}
+	}
+}

@@ -92,6 +92,25 @@ func (c *Chain) Prune(p prune.Plan, crit prune.Criterion) (*Chain, error) {
 		spec := st.Spec
 		// Consumer side: drop the input channels the producer lost.
 		if len(removedUpstream) > 0 {
+			if spec.IsDepthwise() {
+				// A depthwise bank has exactly one filter per input
+				// channel: losing producer channels loses the
+				// same-numbered filters, and — because the stage maps
+				// channels through one-to-one — the removal propagates
+				// unchanged to this stage's own consumer.
+				var err error
+				w, err = dropDepthwiseFilters(w, removedUpstream)
+				if err != nil {
+					return nil, fmt.Errorf("engine: %s consumer adjustment: %w", st.Label, err)
+				}
+				spec = spec.WithInC(spec.InC - len(removedUpstream))
+				if keep, ok := p[st.Label]; ok && keep != spec.OutC {
+					return nil, fmt.Errorf("engine: plan keeps %d channels in depthwise %s but its producer keeps %d (coupling group violated)",
+						keep, st.Label, spec.OutC)
+				}
+				out.Stages[i] = Stage{Label: st.Label, Spec: spec, Weights: w}
+				continue // removedUpstream passes through
+			}
 			var err error
 			w, err = prune.InputChannels(w, removedUpstream)
 			if err != nil {
@@ -105,6 +124,12 @@ func (c *Chain) Prune(p prune.Plan, crit prune.Criterion) (*Chain, error) {
 			if keep < 1 {
 				return nil, fmt.Errorf("engine: plan keeps %d channels in %s", keep, st.Label)
 			}
+			if spec.IsDepthwise() {
+				// With no producer removal to mirror, narrowing a
+				// depthwise stage would desync it from its input.
+				return nil, fmt.Errorf("engine: plan keeps %d channels in depthwise %s but its producer keeps %d (coupling group violated)",
+					keep, st.Label, spec.OutC)
+			}
 			pruned, survivors, err := prune.ToWidth(w, keep, crit)
 			if err != nil {
 				return nil, fmt.Errorf("engine: %s: %w", st.Label, err)
@@ -116,6 +141,22 @@ func (c *Chain) Prune(p prune.Plan, crit prune.Criterion) (*Chain, error) {
 		out.Stages[i] = Stage{Label: st.Label, Spec: spec, Weights: w}
 	}
 	return out, nil
+}
+
+// dropDepthwiseFilters removes the filters at the given (original,
+// ascending) channel indices from a depthwise [C, KH, KW, 1] bank —
+// the consumer-side adjustment of a depthwise stage, which is a
+// producer-style §II-B removal because filters and input channels are
+// the same axis.
+func dropDepthwiseFilters(w *tensor.Tensor, removed []int) (*tensor.Tensor, error) {
+	var err error
+	for i := len(removed) - 1; i >= 0; i-- { // highest first: earlier indices stay valid
+		w, err = prune.Channel(w, removed[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
 }
 
 // complement returns the indices in [0, n) absent from kept (which is
@@ -155,7 +196,19 @@ func (c *Chain) Infer(in *tensor.Tensor) (*tensor.Tensor, error) {
 		if err := spec.Validate(); err != nil {
 			return nil, fmt.Errorf("engine: %s: %w", st.Label, err)
 		}
-		out, err := conv.GEMM(spec, act, st.Weights)
+		// Route each stage to its kernel: depthwise stages have no
+		// im2col path, and dense 1x1 stages take the dedicated
+		// pointwise matrix-product kernel (bit-identical to Direct).
+		var out *tensor.Tensor
+		var err error
+		switch {
+		case spec.IsDepthwise():
+			out, err = conv.Depthwise(spec, act, st.Weights)
+		case spec.IsPointwise() && spec.GroupCount() == 1 && spec.PadH == 0 && spec.PadW == 0:
+			out, err = conv.Pointwise(spec, act, st.Weights)
+		default:
+			out, err = conv.GEMM(spec, act, st.Weights)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("engine: %s: %w", st.Label, err)
 		}

@@ -1,0 +1,192 @@
+package nets
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestMobileNetV1Structure pins the inventory: the stem plus 13
+// depthwise-separable blocks (27 convolutions), the channel chain, the
+// depthwise coupling groups, and structural validity.
+func TestMobileNetV1Structure(t *testing.T) {
+	n := MobileNetV1()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Layers); got != 27 {
+		t.Fatalf("layer count = %d, want 27 (stem + 13 blocks x 2)", got)
+	}
+	if got := len(n.Groups); got != 13 {
+		t.Fatalf("group count = %d, want 13 (one per depthwise layer)", got)
+	}
+
+	dw, pw := 0, 0
+	for i, l := range n.Layers {
+		if want := "MobileNet.L" + strconv.Itoa(i); l.Label != want {
+			t.Errorf("layer %d labeled %q, want %q", i, l.Label, want)
+		}
+		switch {
+		case l.Spec.IsDepthwise():
+			dw++
+			if l.Spec.KH != 3 {
+				t.Errorf("%s: depthwise kernel %dx%d, want 3x3", l.Label, l.Spec.KH, l.Spec.KW)
+			}
+		case l.Spec.IsPointwise():
+			pw++
+		}
+	}
+	if dw != 13 || pw != 13 {
+		t.Fatalf("depthwise/pointwise counts = %d/%d, want 13/13", dw, pw)
+	}
+
+	// The channel chain: stem 32, then 64/128/128/256/256/512x6/1024x2,
+	// ending at the 7x7x1024 classifier input.
+	last := n.Layers[26].Spec
+	if last.OutC != 1024 || last.InH != 7 || !last.IsPointwise() {
+		t.Errorf("final layer = %v, want 7x7 pointwise -> 1024", last)
+	}
+	// Every group couples a producer with the depthwise layer it feeds.
+	for _, g := range n.Groups {
+		if len(g.Members) != 2 {
+			t.Fatalf("group %s has %d members, want 2", g.Name, len(g.Members))
+		}
+		producer, _ := n.Layer(g.Members[0])
+		dwl, _ := n.Layer(g.Members[1])
+		if !dwl.Spec.IsDepthwise() {
+			t.Errorf("group %s second member %s is not depthwise", g.Name, g.Members[1])
+		}
+		if producer.Spec.OutC != dwl.Spec.OutC {
+			t.Errorf("group %s widths diverge: %d vs %d", g.Name, producer.Spec.OutC, dwl.Spec.OutC)
+		}
+	}
+	// MACs: MobileNetV1's convolutions are ~569M MACs at 224x224.
+	if macs := n.TotalMACs(); macs < 540e6 || macs > 600e6 {
+		t.Errorf("TotalMACs = %d, want ~569M", macs)
+	}
+}
+
+// TestResNet50ResidualGroups pins the stage coupling: one group per
+// stage whose members are the bottleneck expansions plus the
+// projection, all at the stage's 4x width.
+func TestResNet50ResidualGroups(t *testing.T) {
+	n := ResNet50()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantMembers := map[string][]string{
+		"ResNet.stage1.residual": {"ResNet.L3", "ResNet.L4", "ResNet.L7", "ResNet.L10"},
+		"ResNet.stage2.residual": {"ResNet.L13", "ResNet.L14", "ResNet.L17", "ResNet.L20", "ResNet.L23"},
+		"ResNet.stage3.residual": {"ResNet.L26", "ResNet.L27", "ResNet.L30", "ResNet.L33", "ResNet.L36", "ResNet.L39", "ResNet.L42"},
+		"ResNet.stage4.residual": {"ResNet.L45", "ResNet.L46", "ResNet.L49", "ResNet.L52"},
+	}
+	widths := map[string]int{
+		"ResNet.stage1.residual": 256, "ResNet.stage2.residual": 512,
+		"ResNet.stage3.residual": 1024, "ResNet.stage4.residual": 2048,
+	}
+	if len(n.Groups) != len(wantMembers) {
+		t.Fatalf("group count = %d, want %d", len(n.Groups), len(wantMembers))
+	}
+	for _, g := range n.Groups {
+		want, ok := wantMembers[g.Name]
+		if !ok {
+			t.Fatalf("unexpected group %q", g.Name)
+		}
+		if strings.Join(g.Members, ",") != strings.Join(want, ",") {
+			t.Errorf("%s members = %v, want %v", g.Name, g.Members, want)
+		}
+		for _, label := range g.Members {
+			l, _ := n.Layer(label)
+			if l.Spec.OutC != widths[g.Name] {
+				t.Errorf("%s member %s has %d channels, want %d", g.Name, label, l.Spec.OutC, widths[g.Name])
+			}
+		}
+	}
+}
+
+// TestCheckGroupRejects covers the validation paths request-supplied
+// groups go through.
+func TestCheckGroupRejects(t *testing.T) {
+	n := VGG16()
+	cases := []struct {
+		name   string
+		g      Group
+		substr string
+	}{
+		{"unknown layer", Group{Name: "g", Members: []string{"VGG.L0", "VGG.L99"}}, "unknown layer"},
+		{"no name", Group{Members: []string{"VGG.L0"}}, "no name"},
+		{"empty", Group{Name: "g"}, "no members"},
+		{"duplicate", Group{Name: "g", Members: []string{"VGG.L0", "VGG.L0"}}, "twice"},
+		{"mixed widths", Group{Name: "g", Members: []string{"VGG.L0", "VGG.L5"}}, "mixes widths"},
+	}
+	for _, tc := range cases {
+		err := n.CheckGroup(tc.g)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.substr)
+		}
+	}
+	if err := n.CheckGroup(Group{Name: "ok", Members: []string{"VGG.L17", "VGG.L19"}}); err != nil {
+		t.Errorf("valid group rejected: %v", err)
+	}
+}
+
+// TestMergedGroups: overlapping groups union transitively, singletons
+// drop out, ordering and naming are deterministic, and a merge that
+// mixes widths fails loudly.
+func TestMergedGroups(t *testing.T) {
+	n := VGG16() // VGG has no intrinsic groups: a clean slate
+	if len(n.Groups) != 0 {
+		t.Fatalf("VGG-16 grew intrinsic groups; update this test")
+	}
+	merged, err := n.MergedGroups([]Group{
+		{Name: "b", Members: []string{"VGG.L19", "VGG.L21"}},
+		{Name: "a", Members: []string{"VGG.L17", "VGG.L19"}},
+		{Name: "c", Members: []string{"VGG.L10", "VGG.L12"}},
+		{Name: "solo", Members: []string{"VGG.L28"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 {
+		t.Fatalf("merged into %d groups, want 2: %+v", len(merged), merged)
+	}
+	if got, want := strings.Join(merged[0].Members, ","), "VGG.L10,VGG.L12"; got != want {
+		t.Errorf("first merged group members %q, want %q", got, want)
+	}
+	if merged[0].Name != "c" {
+		t.Errorf("first merged group named %q, want %q", merged[0].Name, "c")
+	}
+	if got, want := strings.Join(merged[1].Members, ","), "VGG.L17,VGG.L19,VGG.L21"; got != want {
+		t.Errorf("second merged group members %q, want %q", got, want)
+	}
+	if merged[1].Name != "a+b" {
+		t.Errorf("second merged group named %q, want %q", merged[1].Name, "a+b")
+	}
+
+	// Intrinsic groups participate in the merge.
+	rn := ResNet50()
+	rm, err := rn.MergedGroups([]Group{{Name: "xlink", Members: []string{"ResNet.L13", "ResNet.L17"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rm) != len(rn.Groups) {
+		t.Fatalf("merged count %d, want %d (xlink folds into stage2)", len(rm), len(rn.Groups))
+	}
+	for _, g := range rm {
+		if strings.Contains(g.Name, "xlink") && !strings.Contains(g.Name, "stage2") {
+			t.Errorf("xlink did not merge into stage2: %q", g.Name)
+		}
+	}
+
+	// Two width-consistent groups sharing a member across widths fail.
+	if _, err := n.MergedGroups([]Group{
+		{Name: "w1", Members: []string{"VGG.L0", "VGG.L2"}},  // 64
+		{Name: "w2", Members: []string{"VGG.L2", "VGG.L2x"}}, // unknown member
+	}); err == nil {
+		t.Error("merge with unknown member accepted")
+	}
+}

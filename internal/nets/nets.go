@@ -11,6 +11,8 @@ package nets
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"perfprune/internal/conv"
 	"perfprune/internal/tensor"
@@ -27,6 +29,23 @@ type Layer struct {
 	Unique bool
 }
 
+// Group is a coupling constraint over a network's layers: every member
+// must keep the same channel count in any pruning plan. Two structures
+// produce these constraints. Residual networks sum layer outputs
+// elementwise, so every convolution feeding one residual chain (the
+// bottleneck expansions and the projection shortcut of a ResNet stage)
+// must stay channel-aligned. Depthwise layers filter each input channel
+// independently, so their width is locked to their producer's. An
+// uncoupled planner produces plans these networks cannot instantiate;
+// group-aware planning picks one channel count per group.
+type Group struct {
+	// Name identifies the constraint, e.g. "ResNet.stage1.residual".
+	Name string
+	// Members are the coupled layer labels. All members share one full
+	// width, and any plan must keep them at one shared count.
+	Members []string
+}
+
 // Network is an ordered inventory of convolutional layers. The paper
 // profiles layers in isolation (inference time of one layer at a time),
 // so non-convolutional layers — which it measures as negligible
@@ -34,6 +53,10 @@ type Layer struct {
 type Network struct {
 	Name   string
 	Layers []Layer
+	// Groups are the network's intrinsic coupling constraints (residual
+	// chains, depthwise-producer pairs). Planners must honor them; see
+	// prune.CheckGroups.
+	Groups []Group
 }
 
 // UniqueLayers returns the profiled unique-shape layers in order.
@@ -66,8 +89,9 @@ func (n Network) TotalMACs() int64 {
 	return total
 }
 
-// Validate checks every layer spec and inter-layer channel consistency
-// where layers chain (used by tests as a structural invariant).
+// Validate checks every layer spec, the coupling groups, and
+// inter-layer channel consistency where layers chain (used by tests as
+// a structural invariant).
 func (n Network) Validate() error {
 	if len(n.Layers) == 0 {
 		return fmt.Errorf("nets: network %q has no layers", n.Name)
@@ -77,7 +101,139 @@ func (n Network) Validate() error {
 			return fmt.Errorf("nets: %s: %w", n.Name, err)
 		}
 	}
+	for _, g := range n.Groups {
+		if err := n.CheckGroup(g); err != nil {
+			return fmt.Errorf("nets: %s: %w", n.Name, err)
+		}
+	}
 	return nil
+}
+
+// CheckGroup validates one coupling group against the inventory: a
+// non-empty member list, every member resolvable, no duplicates, and
+// one shared full width (a group whose members start at different
+// widths can never be satisfied).
+func (n Network) CheckGroup(g Group) error {
+	if g.Name == "" {
+		return fmt.Errorf("group has no name")
+	}
+	if len(g.Members) == 0 {
+		return fmt.Errorf("group %q has no members", g.Name)
+	}
+	width := 0
+	seen := make(map[string]bool, len(g.Members))
+	for _, label := range g.Members {
+		l, ok := n.Layer(label)
+		if !ok {
+			return fmt.Errorf("group %q references unknown layer %q", g.Name, label)
+		}
+		if seen[label] {
+			return fmt.Errorf("group %q lists layer %q twice", g.Name, label)
+		}
+		seen[label] = true
+		if width == 0 {
+			width = l.Spec.OutC
+		} else if l.Spec.OutC != width {
+			return fmt.Errorf("group %q mixes widths: %q has %d channels, %q has %d",
+				g.Name, g.Members[0], width, label, l.Spec.OutC)
+		}
+	}
+	return nil
+}
+
+// MergedGroups combines the network's intrinsic groups with extra
+// (request-supplied) constraints: overlapping groups union into one,
+// because a layer shared by two groups transitively couples all their
+// members. Every group is validated first; the result is deterministic
+// — merged groups ordered by their first member's layer position, with
+// members in layer order and names joined from the constituents.
+func (n Network) MergedGroups(extra []Group) ([]Group, error) {
+	all := make([]Group, 0, len(n.Groups)+len(extra))
+	all = append(all, n.Groups...)
+	all = append(all, extra...)
+	for _, g := range all {
+		if err := n.CheckGroup(g); err != nil {
+			return nil, err
+		}
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+
+	// Union-find over member labels, rooted at the first label seen.
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	names := make(map[string]map[string]bool) // root -> constituent names
+	for _, g := range all {
+		root := find(g.Members[0])
+		if names[root] == nil {
+			names[root] = map[string]bool{}
+		}
+		names[root][g.Name] = true
+		for _, label := range g.Members {
+			r := find(label)
+			if r != root {
+				parent[r] = root
+				for nm := range names[r] {
+					names[root][nm] = true
+				}
+				delete(names, r)
+			} else {
+				parent[label] = root
+			}
+		}
+	}
+
+	// Gather members per root in network layer order.
+	members := make(map[string][]string)
+	widths := make(map[string]int)
+	var roots []string
+	for _, l := range n.Layers {
+		if _, tracked := parent[l.Label]; !tracked {
+			continue
+		}
+		root := find(l.Label)
+		if len(members[root]) == 0 {
+			roots = append(roots, root)
+			widths[root] = l.Spec.OutC
+		} else if l.Spec.OutC != widths[root] {
+			// Two groups with internally consistent widths can still
+			// merge into an unsatisfiable one via a shared member.
+			return nil, fmt.Errorf("merged group %s mixes widths %d and %d (layer %q)",
+				sortedNames(names[root]), widths[root], l.Spec.OutC, l.Label)
+		}
+		members[root] = append(members[root], l.Label)
+	}
+
+	out := make([]Group, 0, len(roots))
+	for _, root := range roots {
+		if len(members[root]) < 2 {
+			continue // a singleton constrains nothing
+		}
+		out = append(out, Group{
+			Name:    strings.Join(sortedNames(names[root]), "+"),
+			Members: members[root],
+		})
+	}
+	return out, nil
+}
+
+func sortedNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for nm := range set {
+		out = append(out, nm)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // resnetUnique is the paper's 23 profiled ResNet-50 layers (Fig. 1 etc.).
@@ -94,10 +250,16 @@ var resnetUnique = map[int]bool{
 // 1x1 -> 3x3 -> 1x1(4x width), and the first block of each stage adds a
 // 1x1 projection. Strides follow the original v1 placement (stride on
 // the first 1x1 of a downsampling block).
+//
+// Each stage carries one coupling group: every bottleneck expansion and
+// the projection shortcut feed the stage's residual adds, whose
+// elementwise sums force one shared channel count. Pruning any of them
+// independently would misalign the residual chain, so group-aware
+// planners move them together.
 func ResNet50() Network {
 	var layers []Layer
 	idx := 0
-	add := func(spec conv.ConvSpec) {
+	add := func(spec conv.ConvSpec) string {
 		spec.Name = fmt.Sprintf("ResNet.L%d", idx)
 		layers = append(layers, Layer{
 			Label:  spec.Name,
@@ -105,6 +267,7 @@ func ResNet50() Network {
 			Unique: resnetUnique[idx],
 		})
 		idx++
+		return spec.Name
 	}
 
 	// conv1: 224x224x3 -> 112x112x64.
@@ -115,9 +278,11 @@ func ResNet50() Network {
 		width, blocks, stride int
 	}
 	stages := []stage{{64, 3, 1}, {128, 4, 2}, {256, 6, 2}, {512, 3, 2}}
+	var groups []Group
 	inH, inW, inC := 56, 56, 64
-	for _, st := range stages {
+	for si, st := range stages {
 		outC := st.width * 4
+		residual := Group{Name: fmt.Sprintf("ResNet.stage%d.residual", si+1)}
 		for b := 0; b < st.blocks; b++ {
 			stride := 1
 			if b == 0 {
@@ -128,16 +293,85 @@ func ResNet50() Network {
 			add(conv.ConvSpec{InH: inH, InW: inW, InC: inC, OutC: st.width, KH: 1, KW: 1, StrideH: stride, StrideW: stride})
 			// 3x3.
 			add(conv.ConvSpec{InH: midH, InW: midW, InC: st.width, OutC: st.width, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1})
-			// 1x1 expand.
-			add(conv.ConvSpec{InH: midH, InW: midW, InC: st.width, OutC: outC, KH: 1, KW: 1, StrideH: 1, StrideW: 1})
+			// 1x1 expand: feeds the block's residual add.
+			residual.Members = append(residual.Members,
+				add(conv.ConvSpec{InH: midH, InW: midW, InC: st.width, OutC: outC, KH: 1, KW: 1, StrideH: 1, StrideW: 1}))
 			if b == 0 {
-				// 1x1 projection shortcut.
-				add(conv.ConvSpec{InH: inH, InW: inW, InC: inC, OutC: outC, KH: 1, KW: 1, StrideH: stride, StrideW: stride})
+				// 1x1 projection shortcut: the other residual operand.
+				residual.Members = append(residual.Members,
+					add(conv.ConvSpec{InH: inH, InW: inW, InC: inC, OutC: outC, KH: 1, KW: 1, StrideH: stride, StrideW: stride}))
 			}
 			inH, inW, inC = midH, midW, outC
 		}
+		groups = append(groups, residual)
 	}
-	return Network{Name: "ResNet-50", Layers: layers}
+	return Network{Name: "ResNet-50", Layers: layers, Groups: groups}
+}
+
+// MobileNetV1 builds the 27-convolution MobileNetV1 inventory [Howard
+// et al., 2017] at width multiplier 1.0: a 3x3/2 stem (32 filters)
+// followed by 13 depthwise-separable blocks — each a depthwise 3x3
+// (Groups == channels) and a pointwise 1x1 — with channel widths
+// 64/128/128/256/256/512/512x5/1024/1024 and downsampling strides on
+// the depthwise layers. Layers are labeled MobileNet.L0..L26 in
+// execution order, like the paper's per-network indexing; the first
+// occurrence of each distinct layer shape is marked Unique (the
+// profile-once representatives, as the paper profiles unique shapes).
+//
+// Every depthwise layer contributes a coupling group with its producer:
+// a depthwise filter bank has exactly one filter per input channel, so
+// its width is locked to the preceding convolution's output count. The
+// final pointwise layer (L26) feeds the classifier and stays free.
+func MobileNetV1() Network {
+	var layers []Layer
+	var groups []Group
+	idx := 0
+	add := func(spec conv.ConvSpec) string {
+		spec.Name = fmt.Sprintf("MobileNet.L%d", idx)
+		layers = append(layers, Layer{Label: spec.Name, Spec: spec})
+		idx++
+		return spec.Name
+	}
+
+	// Stem: 224x224x3 -> 112x112x32.
+	producer := add(conv.ConvSpec{InH: 224, InW: 224, InC: 3, OutC: 32, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1})
+
+	type block struct {
+		outC, stride int
+	}
+	blocks := []block{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2},
+		{512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	size, c := 112, 32
+	for bi, b := range blocks {
+		// Depthwise 3x3 (carries the block's stride); its channel count
+		// is the producer's output count — the coupling group.
+		dw := add(conv.ConvSpec{InH: size, InW: size, InC: c, OutC: c,
+			KH: 3, KW: 3, StrideH: b.stride, StrideW: b.stride, PadH: 1, PadW: 1, Groups: c})
+		groups = append(groups, Group{
+			Name:    fmt.Sprintf("MobileNet.dw%d", bi+1),
+			Members: []string{producer, dw},
+		})
+		size = (size + b.stride - 1) / b.stride
+		// Pointwise 1x1: the channel-mixing half.
+		producer = add(conv.ConvSpec{InH: size, InW: size, InC: c, OutC: b.outC,
+			KH: 1, KW: 1, StrideH: 1, StrideW: 1})
+		c = b.outC
+	}
+
+	// Mark the profile-once unique-shape representatives.
+	seen := make(map[string]bool, len(layers))
+	for i, l := range layers {
+		s := l.Spec
+		key := fmt.Sprintf("%dx%dx%d/%d/k%d/s%d/g%d", s.InH, s.InW, s.InC, s.OutC, s.KH, s.StrideH, s.GroupCount())
+		if !seen[key] {
+			seen[key] = true
+			layers[i].Unique = true
+		}
+	}
+	return Network{Name: "MobileNet-V1", Layers: layers, Groups: groups}
 }
 
 // VGG16 builds the 13-convolution VGG-16 inventory [21]. Labels use the
@@ -203,15 +437,17 @@ func AlexNet() Network {
 	}}
 }
 
-// All returns the paper's three networks.
+// All returns the paper's three networks plus the depthwise-separable
+// MobileNetV1 workload.
 func All() []Network {
-	return []Network{ResNet50(), VGG16(), AlexNet()}
+	return []Network{ResNet50(), VGG16(), AlexNet(), MobileNetV1()}
 }
 
-// ByName looks a network up by name.
+// ByName looks a network up by name, case-insensitively (so CLI users
+// can write "mobilenet-v1" or "vgg-16").
 func ByName(name string) (Network, error) {
 	for _, n := range All() {
-		if n.Name == name {
+		if strings.EqualFold(n.Name, name) {
 			return n, nil
 		}
 	}
@@ -227,8 +463,8 @@ func BuildWeights(n Network) map[string]*tensor.Tensor {
 	out := make(map[string]*tensor.Tensor, len(n.Layers))
 	for _, l := range n.Layers {
 		s := l.Spec
-		w := tensor.New(tensor.OHWI, s.OutC, s.KH, s.KW, s.InC)
-		w.HeInit(tensor.Hash64(n.Name+"/"+l.Label), s.KH*s.KW*s.InC)
+		w := tensor.New(tensor.OHWI, s.OutC, s.KH, s.KW, s.InCPerGroup())
+		w.HeInit(tensor.Hash64(n.Name+"/"+l.Label), s.ReductionK())
 		out[l.Label] = w
 	}
 	return out

@@ -12,6 +12,7 @@ import (
 
 	"perfprune/internal/accuracy"
 	"perfprune/internal/core"
+	"perfprune/internal/nets"
 	"perfprune/internal/prune"
 	"perfprune/internal/report"
 )
@@ -131,7 +132,7 @@ func PlanFleet(targets []FleetTarget, m accuracy.Model, maxDrop float64, obj Obj
 		}
 	}
 
-	layers, err := fleetCandidates(targets, m)
+	layers, err := fleetCandidates(targets, m, opts.Groups)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +201,7 @@ func polishFleet(targets []FleetTarget, layers []fleetLayer, m accuracy.Model,
 		for _, fl := range layers {
 			ci := -1
 			for j, c := range fl.cands {
-				if c.keep == best.Plan[fl.label] {
+				if c.keep == best.Plan[fl.labels[0]] {
 					ci = j
 					break
 				}
@@ -216,7 +217,9 @@ func polishFleet(targets []FleetTarget, layers []fleetLayer, m accuracy.Model,
 				for k, v := range best.Plan {
 					trial[k] = v
 				}
-				trial[fl.label] = fl.cands[nj].keep
+				for _, label := range fl.labels {
+					trial[label] = fl.cands[nj].keep
+				}
 				fp, err := evalFleet(targets, m, obj, userW, trial)
 				if err != nil {
 					return nil, err
@@ -256,49 +259,70 @@ func (fp *FleetPlan) Table() report.Table {
 	return t
 }
 
-// fleetLayer is one layer's fleet candidate set: the union of every
-// member's right edges with per-member latencies.
+// fleetLayer is one planning unit's fleet candidate set: the union
+// over targets of the unit's admissible counts on each target, with
+// per-target latencies. For a coupling group the admissible counts per
+// target are the intersection of member edges there, so a shared fleet
+// plan still moves every group atomically.
 type fleetLayer struct {
-	label string
-	cands []fleetCand // descending channels
+	labels []string
+	cands  []fleetCand // descending channels
 }
 
 type fleetCand struct {
 	keep int
-	pen  float64
-	lat  []float64 // per fleet member
+	pen  float64   // summed over members
+	lat  []float64 // per fleet member, summed over unit members
 }
 
-func fleetCandidates(targets []FleetTarget, m accuracy.Model) ([]fleetLayer, error) {
-	n := targets[0].Profile.Network
-	out := make([]fleetLayer, 0, len(n.Layers))
-	for _, l := range n.Layers {
-		keeps := map[int]bool{l.Spec.OutC: true}
-		for _, ft := range targets {
-			lp, ok := ft.Profile.Profiles[l.Label]
-			if !ok {
-				return nil, fmt.Errorf("pareto: %s profile missing layer %s", ft.Profile.Target, l.Label)
-			}
-			for _, e := range lp.Analysis.Edges {
-				keeps[e.Channels] = true
+func fleetCandidates(targets []FleetTarget, m accuracy.Model, groups []nets.Group) ([]fleetLayer, error) {
+	// Unit structure is shape-derived and identical across targets (all
+	// profiles are of the same network); admissible counts are not,
+	// so gather the per-target unit edges and union them.
+	unitsPer := make([][]core.PlanUnit, len(targets))
+	for ti, ft := range targets {
+		units, err := ft.Profile.Units(groups)
+		if err != nil {
+			return nil, fmt.Errorf("pareto: fleet member %d: %w", ti, err)
+		}
+		unitsPer[ti] = units
+	}
+	nUnits := len(unitsPer[0])
+	for ti := 1; ti < len(targets); ti++ {
+		if len(unitsPer[ti]) != nUnits {
+			return nil, fmt.Errorf("pareto: fleet member %d has %d planning units, member 0 has %d",
+				ti, len(unitsPer[ti]), nUnits)
+		}
+	}
+
+	out := make([]fleetLayer, 0, nUnits)
+	for ui := 0; ui < nUnits; ui++ {
+		u0 := unitsPer[0][ui]
+		keeps := map[int]bool{u0.Full: true}
+		for ti := range targets {
+			for _, e := range unitsPer[ti][ui].Edges {
+				keeps[e] = true
 			}
 		}
-		fl := fleetLayer{label: l.Label, cands: make([]fleetCand, 0, len(keeps))}
-		for keep := l.Spec.OutC; keep >= 1; keep-- {
+		fl := fleetLayer{labels: u0.Labels, cands: make([]fleetCand, 0, len(keeps))}
+		for keep := u0.Full; keep >= 1; keep-- {
 			if !keeps[keep] {
 				continue
 			}
-			pen, err := m.LayerPenalty(l.Label, l.Spec.OutC, keep)
-			if err != nil {
-				return nil, err
-			}
-			fc := fleetCand{keep: keep, pen: pen, lat: make([]float64, len(targets))}
-			for ti, ft := range targets {
-				ms, err := ft.Profile.Profiles[l.Label].TimeAt(keep)
+			fc := fleetCand{keep: keep, lat: make([]float64, len(targets))}
+			for _, label := range u0.Labels {
+				pen, err := m.LayerPenalty(label, u0.Full, keep)
 				if err != nil {
 					return nil, err
 				}
-				fc.lat[ti] = ms
+				fc.pen += pen
+				for ti, ft := range targets {
+					ms, err := ft.Profile.Profiles[label].TimeAt(keep)
+					if err != nil {
+						return nil, err
+					}
+					fc.lat[ti] += ms
+				}
 			}
 			fl.cands = append(fl.cands, fc)
 		}
@@ -321,7 +345,7 @@ func solveFleet(targets []FleetTarget, layers []fleetLayer, m accuracy.Model,
 			}
 			cs[ci] = candidate{keep: fc.keep, cost: cost, pen: fc.pen}
 		}
-		lcs[li] = layerCands{label: fl.label, cands: cs}
+		lcs[li] = layerCands{labels: fl.labels, cands: cs}
 	}
 	maxB := quantize(lcs, opts.resolution())
 	plans := frontierDP(lcs, maxB, false)

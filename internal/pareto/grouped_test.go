@@ -1,0 +1,243 @@
+package pareto_test
+
+// Property tests for group-aware planning: on small synthetic networks
+// with coupling groups, the frontier DP over planning units must be
+// byte-identical to brute-force enumeration of the per-unit candidate
+// space (candidates = intersection of member staircase edges), and
+// every emitted plan must satisfy the groups.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+
+	"perfprune/internal/accuracy"
+	"perfprune/internal/core"
+	"perfprune/internal/nets"
+	"perfprune/internal/pareto"
+	"perfprune/internal/prune"
+)
+
+// groupOf builds a nets.Group over synthetic layer labels.
+func groupOf(name string, members ...string) nets.Group {
+	return nets.Group{Name: name, Members: members}
+}
+
+// bruteForceGroupedFrontier enumerates every combination of per-unit
+// admissible counts (all members moved together), scores each exactly,
+// and filters to the non-dominated set with the frontier's ordering.
+func bruteForceGroupedFrontier(t *testing.T, np *core.NetworkProfile, m accuracy.Model, groups []nets.Group) []pareto.Point {
+	t.Helper()
+	base, err := np.BaselineMs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := np.Units(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []pareto.Point
+	plan := make(prune.Plan, len(np.Network.Layers))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(units) {
+			p := make(prune.Plan, len(plan))
+			for k, v := range plan {
+				p[k] = v
+			}
+			lat, err := np.LatencyOf(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc, err := m.Predict(np.Network, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, pareto.Point{Plan: p, LatencyMs: lat, Speedup: base / lat,
+				Accuracy: acc, AccuracyDrop: m.Base - acc})
+			return
+		}
+		for _, keep := range units[i].Edges {
+			for _, label := range units[i].Labels {
+				plan[label] = keep
+			}
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].LatencyMs != all[j].LatencyMs {
+			return all[i].LatencyMs < all[j].LatencyMs
+		}
+		return all[i].Accuracy > all[j].Accuracy
+	})
+	var out []pareto.Point
+	bestAcc := -1.0
+	for _, p := range all {
+		if p.Accuracy > bestAcc {
+			out = append(out, p)
+			bestAcc = p.Accuracy
+		}
+	}
+	return out
+}
+
+// groupedConfigs are small synthetic networks with coupling groups.
+// Member staircases deliberately differ so the admissible set is a
+// proper intersection, and ungrouped layers ride along.
+func groupedConfigs() map[string]struct {
+	layers []synthLayer
+	groups []nets.Group
+} {
+	return map[string]struct {
+		layers []synthLayer
+		groups []nets.Group
+	}{
+		// Two coupled layers whose edges only align at 4, 8 and 12 of
+		// 12 channels, plus a free layer.
+		"pair-plus-free": {
+			layers: []synthLayer{
+				{label: "S.L0", widths: []int{4, 4, 4}, levels: []float64{2, 5, 9}, sens: 7.13},
+				{label: "S.L1", widths: []int{2, 2, 2, 2, 2, 2}, levels: []float64{1, 1.8, 2.5, 3.3, 4.2, 5.6}, sens: 11.71},
+				{label: "S.L2", widths: []int{3, 3}, levels: []float64{2.1, 4.4}, sens: 5.07},
+			},
+			groups: []nets.Group{groupOf("g01", "S.L0", "S.L1")},
+		},
+		// A three-member residual-style group next to a two-member one.
+		"two-groups": {
+			layers: []synthLayer{
+				{label: "S.L0", widths: []int{4, 4}, levels: []float64{2, 6}, sens: 6.29},
+				{label: "S.L1", widths: []int{2, 2, 2, 2}, levels: []float64{1.5, 2.2, 3.9, 5.1}, sens: 4.57},
+				{label: "S.L2", widths: []int{4, 4}, levels: []float64{2.8, 5.5}, sens: 9.43},
+				{label: "S.L3", widths: []int{3, 3}, levels: []float64{1.1, 2.9}, sens: 3.77},
+				{label: "S.L4", widths: []int{3, 3}, levels: []float64{2.4, 4.8}, sens: 8.11},
+			},
+			groups: []nets.Group{
+				groupOf("res", "S.L0", "S.L1", "S.L2"),
+				groupOf("dw", "S.L3", "S.L4"),
+			},
+		},
+		// A non-monotone member (slowdown hazard): its edge set is
+		// sparse, shrinking the intersection further.
+		"hazard-member": {
+			layers: []synthLayer{
+				{label: "S.L0", widths: []int{3, 3, 3}, levels: []float64{2, 8, 5}, sens: 8.23},
+				{label: "S.L1", widths: []int{3, 3, 3}, levels: []float64{1.5, 2.8, 4.0}, sens: 3.57},
+				{label: "S.L2", widths: []int{3, 3, 3, 3}, levels: []float64{2.2, 4.4, 6.8, 13}, sens: 12.49},
+			},
+			groups: []nets.Group{groupOf("g01", "S.L0", "S.L1")},
+		},
+	}
+}
+
+// TestGroupedFrontierMatchesBruteForce: the unit DP must be
+// byte-identical to exhaustive enumeration over the grouped candidate
+// space, and every frontier plan must satisfy the groups.
+func TestGroupedFrontierMatchesBruteForce(t *testing.T) {
+	for name, cfg := range groupedConfigs() {
+		for _, fineTune := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/finetune=%v", name, fineTune), func(t *testing.T) {
+				np, m := synthProfile(t, cfg.layers)
+				np.Network.Groups = cfg.groups
+				m = m.WithFineTune(fineTune)
+				pl := &core.Planner{Profile: np, Acc: m, Groups: cfg.groups}
+				f, err := pareto.Compute(pl, pareto.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range f.Points {
+					if err := prune.CheckGroups(np.Network, cfg.groups, p.Plan); err != nil {
+						t.Fatalf("frontier plan violates groups: %v", err)
+					}
+				}
+				want := bruteForceGroupedFrontier(t, np, m, cfg.groups)
+				got, err := json.Marshal(f.Points)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantJSON, err := json.Marshal(want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, wantJSON) {
+					t.Errorf("grouped DP frontier diverged from brute force\n got (%d pts): %s\nwant (%d pts): %s",
+						len(f.Points), got, len(want), wantJSON)
+				}
+			})
+		}
+	}
+}
+
+// TestUnitsIntersectCandidates pins the candidate-intersection rule
+// directly: a group's admissible counts are exactly the channel counts
+// that are staircase right edges of every member.
+func TestUnitsIntersectCandidates(t *testing.T) {
+	cfg := groupedConfigs()["pair-plus-free"]
+	np, _ := synthProfile(t, cfg.layers)
+	units, err := np.Units(cfg.groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 {
+		t.Fatalf("unit count = %d, want 2 (one group + one free layer)", len(units))
+	}
+	g := units[0]
+	if g.Group != "g01" || len(g.Labels) != 2 {
+		t.Fatalf("first unit = %+v, want group g01 over two layers", g)
+	}
+	// S.L0 edges: 4, 8, 12 (plateaus of width 4). S.L1 edges: every
+	// 2nd channel (2,4,6,8,10,12). Intersection: 4, 8, 12.
+	if got, want := fmt.Sprint(g.Edges), fmt.Sprint([]int{4, 8, 12}); got != want {
+		t.Errorf("group edges = %v, want %v", got, want)
+	}
+	free := units[1]
+	if free.Group != "" || len(free.Labels) != 1 || free.Labels[0] != "S.L2" {
+		t.Fatalf("second unit = %+v, want the free layer", free)
+	}
+
+	// Overlapping groups must be merged before planning.
+	if _, err := np.Units([]nets.Group{
+		groupOf("a", "S.L0", "S.L1"),
+		groupOf("b", "S.L1", "S.L2"),
+	}); err == nil {
+		t.Error("overlapping groups accepted; Units must demand a prior merge")
+	}
+}
+
+// TestGroupedFleetPlanSatisfiesGroups: fleet planning over grouped
+// networks moves groups atomically on the shared plan.
+func TestGroupedFleetPlanSatisfiesGroups(t *testing.T) {
+	cfg := groupedConfigs()["two-groups"]
+	np1, m := synthProfile(t, cfg.layers)
+	// A second board: same staircases scaled 1.7x with one extra edge
+	// pattern (different plateau widths on the free layer).
+	layers2 := make([]synthLayer, len(cfg.layers))
+	copy(layers2, cfg.layers)
+	for i := range layers2 {
+		scaled := make([]float64, len(layers2[i].levels))
+		for j, v := range layers2[i].levels {
+			scaled[j] = 1.7 * v
+		}
+		layers2[i].levels = scaled
+	}
+	np2, _ := synthProfile(t, layers2)
+	np1.Network.Groups = cfg.groups
+	np2.Network.Groups = cfg.groups
+
+	for _, obj := range []pareto.Objective{pareto.WorstCase, pareto.WeightedSum} {
+		fp, err := pareto.PlanFleet(
+			[]pareto.FleetTarget{{Profile: np1}, {Profile: np2, Weight: 2}},
+			m, 2.0, obj, pareto.Options{Groups: cfg.groups})
+		if err != nil {
+			t.Fatalf("%v: %v", obj, err)
+		}
+		if err := prune.CheckGroups(np1.Network, cfg.groups, fp.Plan); err != nil {
+			t.Errorf("%v: fleet plan violates groups: %v", obj, err)
+		}
+		if fp.AccuracyDrop > 2.0 {
+			t.Errorf("%v: drop %v exceeds budget", obj, fp.AccuracyDrop)
+		}
+	}
+}

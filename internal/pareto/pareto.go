@@ -31,6 +31,7 @@ import (
 
 	"perfprune/internal/accuracy"
 	"perfprune/internal/core"
+	"perfprune/internal/nets"
 	"perfprune/internal/prune"
 	"perfprune/internal/report"
 )
@@ -51,6 +52,10 @@ type Options struct {
 	// <= 0 means DefaultResolution. Higher resolutions separate plans
 	// with closer accuracy costs at linearly more DP work.
 	Resolution int
+	// Groups overrides the coupling constraints for PlanFleet; nil
+	// means the profiled network's intrinsic groups. (Compute takes its
+	// groups from the Planner, which defaults the same way.)
+	Groups []nets.Group
 }
 
 func (o Options) resolution() int {
@@ -104,7 +109,7 @@ func Compute(pl *core.Planner, opts Options) (*Frontier, error) {
 	if err != nil {
 		return nil, err
 	}
-	layers, err := singleTargetCandidates(np, pl.Acc)
+	layers, err := singleTargetCandidates(np, pl.Acc, pl.Groups)
 	if err != nil {
 		return nil, err
 	}
@@ -211,43 +216,57 @@ func (f *Frontier) Table(maxRows int) report.Table {
 	return t
 }
 
-// candidate is one admissible channel count for a layer: a staircase
-// right edge with its scalarized latency cost and accuracy penalty.
+// candidate is one admissible channel count for a planning unit: a
+// staircase right edge (admissible on every member for groups) with
+// its scalarized latency cost and accuracy penalty.
 type candidate struct {
 	keep   int
 	cost   float64 // scalar DP objective (latency, or weighted fleet latency)
-	pen    float64 // raw per-layer accuracy penalty (pre fine-tune)
+	pen    float64 // raw accuracy penalty, summed over members (pre fine-tune)
 	bucket int     // quantized pen, filled by quantize
 }
 
-// layerCands is one layer's candidate set, in descending channel order
-// so DP cost ties resolve toward keeping more channels.
+// layerCands is one planning unit's candidate set, in descending
+// channel order so DP cost ties resolve toward keeping more channels.
+// Labels carries every member the chosen count applies to (one entry
+// for an uncoupled layer).
 type layerCands struct {
-	label string
-	cands []candidate
+	labels []string
+	cands  []candidate
 }
 
-// singleTargetCandidates builds the per-layer candidate sets from the
-// profile's staircase right edges.
-func singleTargetCandidates(np *core.NetworkProfile, m accuracy.Model) ([]layerCands, error) {
-	out := make([]layerCands, 0, len(np.Network.Layers))
-	for _, l := range np.Network.Layers {
-		lp, ok := np.Profiles[l.Label]
-		if !ok {
-			return nil, fmt.Errorf("pareto: profile missing layer %s", l.Label)
+// singleTargetCandidates builds the per-unit candidate sets from the
+// profile's staircase right edges under the coupling groups: an
+// uncoupled layer contributes its own edges; a group contributes the
+// intersection of member edges, each candidate costed and penalized as
+// the sum over members.
+func singleTargetCandidates(np *core.NetworkProfile, m accuracy.Model, groups []nets.Group) ([]layerCands, error) {
+	units, err := np.Units(groups)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]layerCands, 0, len(units))
+	for _, u := range units {
+		if len(u.Edges) == 0 {
+			return nil, fmt.Errorf("pareto: unit %s has no staircase edges", u.Labels[0])
 		}
-		edges := lp.Analysis.Edges
-		if len(edges) == 0 {
-			return nil, fmt.Errorf("pareto: layer %s has no staircase edges", l.Label)
-		}
-		lc := layerCands{label: l.Label, cands: make([]candidate, 0, len(edges))}
-		for i := len(edges) - 1; i >= 0; i-- { // descending channels
-			e := edges[i]
-			pen, err := m.LayerPenalty(l.Label, l.Spec.OutC, e.Channels)
-			if err != nil {
-				return nil, err
+		lc := layerCands{labels: u.Labels, cands: make([]candidate, 0, len(u.Edges))}
+		for i := len(u.Edges) - 1; i >= 0; i-- { // descending channels
+			keep := u.Edges[i]
+			cost, pen := 0.0, 0.0
+			for _, label := range u.Labels {
+				ms, err := np.Profiles[label].TimeAt(keep)
+				if err != nil {
+					return nil, err
+				}
+				cost += ms
+				p, err := m.LayerPenalty(label, u.Full, keep)
+				if err != nil {
+					return nil, err
+				}
+				pen += p
 			}
-			lc.cands = append(lc.cands, candidate{keep: e.Channels, cost: e.Ms, pen: pen})
+			lc.cands = append(lc.cands, candidate{keep: keep, cost: cost, pen: pen})
 		}
 		out = append(out, lc)
 	}
@@ -348,7 +367,9 @@ func frontierDP(layers []layerCands, maxB int, improvingOnly bool) []prune.Plan 
 				break
 			}
 			c := layers[li].cands[ci]
-			plan[layers[li].label] = c.keep
+			for _, label := range layers[li].labels {
+				plan[label] = c.keep
+			}
 			b -= c.bucket
 		}
 		if !ok || b != 0 {

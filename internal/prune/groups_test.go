@@ -1,0 +1,78 @@
+package prune
+
+import (
+	"strings"
+	"testing"
+
+	"perfprune/internal/nets"
+)
+
+// TestCheckGroups covers the plan-level coupling invariant: all
+// members of a group keep one shared channel count, with absent layers
+// counting as unpruned.
+func TestCheckGroups(t *testing.T) {
+	n := nets.MobileNetV1()
+
+	// The unpruned (empty) plan trivially satisfies every group.
+	if err := CheckGroups(n, n.Groups, Plan{}); err != nil {
+		t.Errorf("empty plan violates groups: %v", err)
+	}
+
+	// Uniform pruning preserves the coupling: members share full
+	// widths, so a shared fraction yields shared kept counts.
+	uni, err := Uniform(n, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckGroups(n, n.Groups, uni); err != nil {
+		t.Errorf("uniform plan violates groups: %v", err)
+	}
+
+	// Pruning one member without its partner is the exact breach the
+	// checker exists to catch — and it names the diverging pair.
+	bad := Plan{"MobileNet.L0": 24}
+	err = CheckGroups(n, n.Groups, bad)
+	if err == nil {
+		t.Fatal("one-sided depthwise prune accepted")
+	}
+	for _, want := range []string{"MobileNet.dw1", "MobileNet.L0", "MobileNet.L1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("violation %q does not name %s", err, want)
+		}
+	}
+
+	// Both members moved together passes.
+	good := Plan{"MobileNet.L0": 24, "MobileNet.L1": 24}
+	if err := CheckGroups(n, n.Groups, good); err != nil {
+		t.Errorf("coupled prune rejected: %v", err)
+	}
+
+	// A group naming a missing layer fails loudly.
+	err = CheckGroups(n, []nets.Group{{Name: "ghost", Members: []string{"MobileNet.L99"}}}, Plan{})
+	if err == nil || !strings.Contains(err.Error(), "unknown layer") {
+		t.Errorf("ghost group error = %v, want unknown-layer", err)
+	}
+}
+
+// TestResNetGroupsUniformSafe: the ResNet-50 residual groups hold under
+// the uniform and distance baseline plans (shared widths in, shared
+// keeps out), so the uninstructed baseline stays instantiable.
+func TestResNetGroupsUniformSafe(t *testing.T) {
+	n := nets.ResNet50()
+	for _, frac := range []float64{0.12, 0.5} {
+		p, err := Uniform(n, frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckGroups(n, n.Groups, p); err != nil {
+			t.Errorf("uniform %.2f violates groups: %v", frac, err)
+		}
+	}
+	d, err := Distance(n, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckGroups(n, n.Groups, d); err != nil {
+		t.Errorf("distance plan violates groups: %v", err)
+	}
+}

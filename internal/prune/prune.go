@@ -244,6 +244,43 @@ func Distance(n nets.Network, d int) (Plan, error) {
 	return p, nil
 }
 
+// CheckGroups verifies that a plan satisfies the coupling groups:
+// every member of each group keeps the same channel count (layers
+// absent from the plan count as unpruned). A violated group names the
+// first diverging pair, so planner tests can assert the exact breach.
+func CheckGroups(n nets.Network, groups []nets.Group, p Plan) error {
+	keepOf := func(label string) (int, error) {
+		l, ok := n.Layer(label)
+		if !ok {
+			return 0, fmt.Errorf("prune: group references unknown layer %q", label)
+		}
+		if keep, ok := p[label]; ok {
+			return keep, nil
+		}
+		return l.Spec.OutC, nil
+	}
+	for _, g := range groups {
+		if len(g.Members) == 0 {
+			return fmt.Errorf("prune: group %q has no members", g.Name)
+		}
+		want, err := keepOf(g.Members[0])
+		if err != nil {
+			return err
+		}
+		for _, label := range g.Members[1:] {
+			keep, err := keepOf(label)
+			if err != nil {
+				return err
+			}
+			if keep != want {
+				return fmt.Errorf("prune: group %q violated: %q keeps %d channels but %q keeps %d",
+					g.Name, g.Members[0], want, label, keep)
+			}
+		}
+	}
+	return nil
+}
+
 // Apply produces the pruned layer specs for a plan. Layers missing from
 // the plan keep their width. It validates that kept counts are in range.
 func Apply(n nets.Network, p Plan) ([]conv.ConvSpec, error) {

@@ -33,14 +33,19 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("max_accuracy_drop %v must be >= 0", *req.MaxAccuracyDrop))
 		return
 	}
-	if len(req.Fleet) > 0 {
-		s.serveFleetFrontier(w, r, req, n)
+	groups, err := resolveGroups(n, req.Groups)
+	if err != nil {
+		writeError(w, err)
 		return
 	}
-	s.serveSingleFrontier(w, r, req, n)
+	if len(req.Fleet) > 0 {
+		s.serveFleetFrontier(w, r, req, n, groups)
+		return
+	}
+	s.serveSingleFrontier(w, r, req, n, groups)
 }
 
-func (s *Server) serveSingleFrontier(w http.ResponseWriter, r *http.Request, req FrontierRequest, n nets.Network) {
+func (s *Server) serveSingleFrontier(w http.ResponseWriter, r *http.Request, req FrontierRequest, n nets.Network, groups []nets.Group) {
 	switch {
 	case req.Objective != "":
 		writeError(w, badRequest("objective is a fleet-mode field"))
@@ -74,6 +79,7 @@ func (s *Server) serveSingleFrontier(w http.ResponseWriter, r *http.Request, req
 		writeError(w, err)
 		return
 	}
+	pl.Groups = groups
 	f, err := pareto.Compute(pl, pareto.Options{})
 	if err != nil {
 		writeError(w, err)
@@ -106,7 +112,7 @@ func (s *Server) serveSingleFrontier(w http.ResponseWriter, r *http.Request, req
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) serveFleetFrontier(w http.ResponseWriter, r *http.Request, req FrontierRequest, n nets.Network) {
+func (s *Server) serveFleetFrontier(w http.ResponseWriter, r *http.Request, req FrontierRequest, n nets.Network, groups []nets.Group) {
 	switch {
 	case req.Backend != "" || req.Device != "":
 		writeError(w, badRequest("fleet mode and a single backend/device target are mutually exclusive"))
@@ -173,7 +179,7 @@ func (s *Server) serveFleetFrontier(w http.ResponseWriter, r *http.Request, req 
 		writeError(w, err)
 		return
 	}
-	fp, err := pareto.PlanFleet(fleet, pl.Acc, maxDrop, obj, pareto.Options{})
+	fp, err := pareto.PlanFleet(fleet, pl.Acc, maxDrop, obj, pareto.Options{Groups: groups})
 	if err != nil {
 		writeError(w, err)
 		return

@@ -1,0 +1,305 @@
+package service_test
+
+// Grouped-network serving tests: golden responses for the MobileNetV1
+// depthwise-separable workload and the residual-annotated ResNet-50,
+// the coupling-constraint contract on every returned plan, and the
+// request validation sweep for the new grouped fields.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfprune/internal/nets"
+	"perfprune/internal/prune"
+	"perfprune/internal/service"
+)
+
+// assertGolden indents raw, compares it against testdata/<name> and
+// rewrites the file under -update.
+func assertGolden(t *testing.T, name string, raw []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		t.Fatalf("response is not valid JSON: %v", err)
+	}
+	buf.WriteByte('\n')
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("response diverged from %s (run with -update after intentional changes)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// wirePlan converts a wire plan map into a prune.Plan.
+func wirePlan(m map[string]int) prune.Plan {
+	p := make(prune.Plan, len(m))
+	for k, v := range m {
+		p[k] = v
+	}
+	return p
+}
+
+// TestPlanGoldenMobileNetHiKey pins the full /v1/plan response for
+// MobileNetV1 on the HiKey 970 under ACL: profile 27 layers (13 of
+// them depthwise, routed to the dedicated depthwise kernel), plan
+// under the depthwise-producer coupling groups, and serve one
+// deterministic JSON body.
+func TestPlanGoldenMobileNetHiKey(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	body := `{
+		"backend": "acl-gemm",
+		"device": "HiKey 970",
+		"network": "MobileNet-V1",
+		"target_speedup": 1.3,
+		"max_accuracy_drop": 2.0,
+		"uninstructed_fraction": 0.12
+	}`
+	status, raw := do(t, http.MethodPost, ts.URL+"/v1/plan", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", status, raw)
+	}
+	assertGolden(t, "plan_mobilenet_hikey.golden.json", raw)
+
+	var resp service.PlanResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	n := nets.MobileNetV1()
+	if err := prune.CheckGroups(n, n.Groups, wirePlan(resp.PerformanceAware.Plan)); err != nil {
+		t.Errorf("performance-aware plan violates coupling groups: %v", err)
+	}
+	if resp.PerformanceAware.Speedup <= 1 {
+		t.Errorf("performance-aware speedup = %v, want > 1", resp.PerformanceAware.Speedup)
+	}
+	if resp.PerformanceAware.AccuracyDrop > 2.0 {
+		t.Errorf("accuracy drop %v exceeds the 2.0 budget", resp.PerformanceAware.AccuracyDrop)
+	}
+	if resp.Uninstructed == nil {
+		t.Fatal("uninstructed baseline missing")
+	}
+	if err := prune.CheckGroups(n, n.Groups, wirePlan(resp.Uninstructed.Plan)); err != nil {
+		t.Errorf("uninstructed plan violates coupling groups: %v", err)
+	}
+}
+
+// TestFrontierGoldenMobileNetHiKey pins /v1/frontier for MobileNetV1:
+// deterministic grouped frontier points, every plan honoring the
+// depthwise coupling.
+func TestFrontierGoldenMobileNetHiKey(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	body := `{
+		"backend": "acl-gemm",
+		"device": "HiKey 970",
+		"network": "MobileNet-V1",
+		"max_accuracy_drop": 2.0,
+		"max_points": 8
+	}`
+	status, raw := do(t, http.MethodPost, ts.URL+"/v1/frontier", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", status, raw)
+	}
+	assertGolden(t, "frontier_mobilenet_hikey.golden.json", raw)
+
+	var resp service.FrontierResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) == 0 {
+		t.Fatal("empty frontier")
+	}
+	n := nets.MobileNetV1()
+	for i, p := range resp.Points {
+		if err := prune.CheckGroups(n, n.Groups, wirePlan(p.Plan)); err != nil {
+			t.Errorf("frontier point %d violates coupling groups: %v", i, err)
+		}
+	}
+	if resp.AccuracyBudget == nil {
+		t.Fatal("accuracy_budget answer missing")
+	}
+	if err := prune.CheckGroups(n, n.Groups, wirePlan(resp.AccuracyBudget.Plan)); err != nil {
+		t.Errorf("accuracy-budget plan violates coupling groups: %v", err)
+	}
+	if resp.AccuracyBudget.Speedup <= 1 {
+		t.Errorf("accuracy-budget speedup = %v, want > 1", resp.AccuracyBudget.Speedup)
+	}
+}
+
+// TestFrontierGoldenResNet50GroupedTX2 pins /v1/frontier for the
+// residual-annotated ResNet-50 on cuDNN, with one request-supplied
+// group on top: every returned plan satisfies both the intrinsic
+// stage groups and the client's extra constraint.
+func TestFrontierGoldenResNet50GroupedTX2(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	body := `{
+		"backend": "cudnn",
+		"device": "Jetson TX2",
+		"network": "ResNet-50",
+		"max_accuracy_drop": 2.0,
+		"max_points": 8,
+		"groups": [{"name": "client.reduces", "members": ["ResNet.L1", "ResNet.L5"]}]
+	}`
+	status, raw := do(t, http.MethodPost, ts.URL+"/v1/frontier", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", status, raw)
+	}
+	assertGolden(t, "frontier_resnet50_grouped_tx2.golden.json", raw)
+
+	var resp service.FrontierResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	n := nets.ResNet50()
+	constraints := append(append([]nets.Group(nil), n.Groups...),
+		nets.Group{Name: "client.reduces", Members: []string{"ResNet.L1", "ResNet.L5"}})
+	if len(resp.Points) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i, p := range resp.Points {
+		if err := prune.CheckGroups(n, constraints, wirePlan(p.Plan)); err != nil {
+			t.Errorf("frontier point %d violates constraints: %v", i, err)
+		}
+	}
+	if resp.AccuracyBudget == nil {
+		t.Fatal("accuracy_budget answer missing")
+	}
+	if resp.AccuracyBudget.Speedup <= 1 {
+		t.Errorf("accuracy-budget speedup = %v, want > 1", resp.AccuracyBudget.Speedup)
+	}
+}
+
+// TestGroupedFleetSatisfiesGroups: a MobileNet fleet plan across both
+// Mali boards moves every coupling group atomically.
+func TestGroupedFleetSatisfiesGroups(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	body := `{
+		"network": "MobileNet-V1",
+		"max_accuracy_drop": 2.0,
+		"fleet": [
+			{"backend": "acl-gemm", "device": "HiKey 970"},
+			{"backend": "acl-gemm", "device": "Odroid XU4"}
+		]
+	}`
+	status, raw := do(t, http.MethodPost, ts.URL+"/v1/frontier", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", status, raw)
+	}
+	var resp service.FrontierResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Fleet == nil {
+		t.Fatal("fleet result missing")
+	}
+	n := nets.MobileNetV1()
+	if err := prune.CheckGroups(n, n.Groups, wirePlan(resp.Fleet.Plan)); err != nil {
+		t.Errorf("fleet plan violates coupling groups: %v", err)
+	}
+}
+
+// TestGroupRequestValidation sweeps the strict-JSON and semantic
+// validation of the grouped request fields: unknown fields are
+// rejected, and a group referencing a missing layer is a 400 naming
+// the group and the layer.
+func TestGroupRequestValidation(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	plan := func(groups string) string {
+		return fmt.Sprintf(`{"backend":"acl-gemm","device":"HiKey 970","network":"VGG-16","groups":%s}`, groups)
+	}
+	cases := []struct {
+		name, path, body string
+		want             int
+		substr           []string
+	}{
+		{
+			"missing layer named", "/v1/plan",
+			plan(`[{"name":"my.group","members":["VGG.L17","VGG.L99"]}]`),
+			http.StatusBadRequest, []string{"my.group", "VGG.L99", "unknown layer"},
+		},
+		{
+			"unknown field in group", "/v1/plan",
+			plan(`[{"name":"g","members":["VGG.L17","VGG.L19"],"weight":2}]`),
+			http.StatusBadRequest, []string{"invalid request body"},
+		},
+		{
+			"unnamed group", "/v1/plan",
+			plan(`[{"members":["VGG.L17","VGG.L19"]}]`),
+			http.StatusBadRequest, []string{"needs a name"},
+		},
+		{
+			"empty members", "/v1/plan",
+			plan(`[{"name":"g","members":[]}]`),
+			http.StatusBadRequest, []string{"needs members"},
+		},
+		{
+			"mixed widths", "/v1/plan",
+			plan(`[{"name":"g","members":["VGG.L0","VGG.L5"]}]`),
+			http.StatusBadRequest, []string{"mixes widths"},
+		},
+		{
+			"duplicate member", "/v1/plan",
+			plan(`[{"name":"g","members":["VGG.L17","VGG.L17"]}]`),
+			http.StatusBadRequest, []string{"twice"},
+		},
+		{
+			"frontier missing layer named", "/v1/frontier",
+			`{"backend":"cudnn","device":"Jetson TX2","network":"ResNet-50",
+			  "groups":[{"name":"bad.group","members":["ResNet.L3","ResNet.L999"]}]}`,
+			http.StatusBadRequest, []string{"bad.group", "ResNet.L999", "unknown layer"},
+		},
+		{
+			"fleet missing layer named", "/v1/frontier",
+			`{"network":"MobileNet-V1",
+			  "fleet":[{"backend":"acl-gemm","device":"HiKey 970"}],
+			  "groups":[{"name":"fleet.group","members":["MobileNet.L999"]}]}`,
+			http.StatusBadRequest, []string{"fleet.group", "MobileNet.L999", "unknown layer"},
+		},
+		{
+			"groups accepted", "/v1/plan",
+			plan(`[{"name":"ok","members":["VGG.L17","VGG.L19"]}]`),
+			http.StatusOK, nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, raw := do(t, http.MethodPost, ts.URL+tc.path, tc.body)
+			if status != tc.want {
+				t.Fatalf("status = %d, want %d (body: %s)", status, tc.want, raw)
+			}
+			if tc.want == http.StatusOK {
+				var resp service.PlanResponse
+				if err := json.Unmarshal(raw, &resp); err != nil {
+					t.Fatal(err)
+				}
+				n := nets.VGG16()
+				g := []nets.Group{{Name: "ok", Members: []string{"VGG.L17", "VGG.L19"}}}
+				if err := prune.CheckGroups(n, g, wirePlan(resp.PerformanceAware.Plan)); err != nil {
+					t.Errorf("plan ignores the request group: %v", err)
+				}
+				return
+			}
+			var er service.ErrorResponse
+			if err := json.Unmarshal(raw, &er); err != nil {
+				t.Fatalf("error body not JSON: %v (%s)", err, raw)
+			}
+			for _, want := range tc.substr {
+				if !strings.Contains(er.Error, want) {
+					t.Errorf("error %q does not mention %q", er.Error, want)
+				}
+			}
+		})
+	}
+}

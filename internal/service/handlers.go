@@ -76,7 +76,11 @@ func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
 				MACs:     l.Spec.MACs(),
 			})
 		}
-		out = append(out, NetworkInfo{Name: n.Name, TotalMACs: n.TotalMACs(), Layers: layers})
+		groups := make([]GroupInfo, 0, len(n.Groups))
+		for _, g := range n.Groups {
+			groups = append(groups, GroupInfo{Name: g.Name, Members: g.Members})
+		}
+		out = append(out, NetworkInfo{Name: n.Name, TotalMACs: n.TotalMACs(), Layers: layers, Groups: groups})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -338,6 +342,28 @@ func (s *Server) profileNetwork(ctx context.Context, tg core.Target, n nets.Netw
 	return np, &ps, nil
 }
 
+// resolveGroups validates request-supplied coupling groups against the
+// network and merges them with its intrinsic ones. Any violation — a
+// group referencing a missing layer, duplicate or width-mixed members
+// — is the client's mistake: a 400 naming the offending group.
+func resolveGroups(n nets.Network, reqs []GroupRequest) ([]nets.Group, error) {
+	extra := make([]nets.Group, len(reqs))
+	for i, g := range reqs {
+		if g.Name == "" {
+			return nil, badRequest("groups[%d]: group needs a name", i)
+		}
+		if len(g.Members) == 0 {
+			return nil, badRequest("groups[%d] (%q): group needs members", i, g.Name)
+		}
+		extra[i] = nets.Group{Name: g.Name, Members: g.Members}
+	}
+	merged, err := n.MergedGroups(extra)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	return merged, nil
+}
+
 // isCancellation reports whether err is a context cancellation or
 // deadline rather than a real pipeline failure.
 func isCancellation(err error) bool {
@@ -451,6 +477,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("%v", err))
 		return
 	}
+	groups, err := resolveGroups(n, req.Groups)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	tg := core.Target{Device: dev, Library: lib}
 
 	np, probeSt, err := s.profileNetwork(r.Context(), tg, n, req.Probe)
@@ -466,6 +497,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	pl.Groups = groups
 	aware, err := pl.PerformanceAware(targetSpeedup, maxAccuracyDrop)
 	if err != nil {
 		writeError(w, err)

@@ -279,7 +279,7 @@ func TestCatalogEndpoints(t *testing.T) {
 	if err := json.Unmarshal(b, &networks); err != nil {
 		t.Fatal(err)
 	}
-	wantLayers := map[string]int{"ResNet-50": 53, "VGG-16": 13, "AlexNet": 5}
+	wantLayers := map[string]int{"ResNet-50": 53, "VGG-16": 13, "AlexNet": 5, "MobileNet-V1": 27}
 	if len(networks) != len(wantLayers) {
 		t.Fatalf("%d networks, want %d", len(networks), len(wantLayers))
 	}

@@ -37,11 +37,33 @@ type LayerInfo struct {
 	MACs     int64  `json:"macs"`
 }
 
+// GroupInfo describes one coupling constraint of a network: layers
+// that must share a pruned channel count (residual chains, depthwise-
+// producer pairs).
+type GroupInfo struct {
+	Name    string   `json:"name"`
+	Members []string `json:"members"`
+}
+
 // NetworkInfo describes one network inventory.
 type NetworkInfo struct {
 	Name      string      `json:"name"`
 	TotalMACs int64       `json:"total_macs"`
 	Layers    []LayerInfo `json:"layers"`
+	// Groups are the network's intrinsic coupling constraints; plans
+	// and frontiers always honor them.
+	Groups []GroupInfo `json:"groups,omitempty"`
+}
+
+// GroupRequest is a client-supplied coupling constraint for /v1/plan
+// and /v1/frontier: the named members must share one kept channel
+// count. Request groups merge with the network's intrinsic groups
+// (overlapping groups union transitively). Every member must resolve
+// to a network layer and all members must share one full width;
+// violations are 400s naming the group.
+type GroupRequest struct {
+	Name    string   `json:"name"`
+	Members []string `json:"members"`
 }
 
 // SpecRequest is a custom layer shape for ad-hoc sweeps, mirroring
@@ -156,6 +178,9 @@ type PlanRequest struct {
 	// prober instead of exhaustive sweeps (see SweepRequest.Probe); the
 	// resulting plan is identical, the measurement bill is not.
 	Probe bool `json:"probe,omitempty"`
+	// Groups adds client-side coupling constraints on top of the
+	// network's intrinsic ones.
+	Groups []GroupRequest `json:"groups,omitempty"`
 }
 
 // PlanEval is one evaluated pruning plan.
@@ -211,6 +236,9 @@ type FrontierRequest struct {
 	// and fleet plans are identical either way; probe_stats reports the
 	// measurement bill.
 	Probe bool `json:"probe,omitempty"`
+	// Groups adds client-side coupling constraints on top of the
+	// network's intrinsic ones (single-target and fleet mode alike).
+	Groups []GroupRequest `json:"groups,omitempty"`
 }
 
 // FleetTargetRequest is one fleet member.

@@ -1,0 +1,74 @@
+package tvmsim
+
+import (
+	"strings"
+	"testing"
+
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+)
+
+func dwLayer(c int) conv.ConvSpec {
+	return conv.ConvSpec{
+		Name: "MobileNet.dw", InH: 14, InW: 14, InC: c, OutC: c,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: c,
+	}
+}
+
+// TestDepthwiseScheduleFamily: depthwise workloads key under their own
+// operator family, plan depthwise-named kernels, and reject grouped
+// non-depthwise shapes.
+func TestDepthwiseScheduleFamily(t *testing.T) {
+	spec := dwLayer(64)
+	calls, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 1 || !strings.HasPrefix(calls[0].Name, "tvm_depthwise_conv2d_") {
+		t.Fatalf("planned %+v, want one tvm_depthwise_conv2d_* call", calls)
+	}
+	dense := spec
+	dense.Groups = 0
+	if key, dkey := workloadKey(spec, 64), workloadKey(dense, 64); key == dkey {
+		t.Errorf("depthwise and dense workloads share tuning key %q", key)
+	}
+	grouped := dwLayer(64)
+	grouped.OutC = 128
+	if _, err := Plan(grouped); err == nil {
+		t.Error("Plan accepted a grouped non-depthwise layer")
+	}
+}
+
+// TestDepthwiseTunedAndFallbackMix: across a channel sweep the tuned /
+// untuned registry mix must reproduce the Fig. 19/20 behavior for the
+// depthwise family too — some workloads tuned, some on the slow
+// fallback, with a large spread between them.
+func TestDepthwiseTunedAndFallbackMix(t *testing.T) {
+	tuned, untuned := 0, 0
+	var tunedMin, fallbackMax float64
+	for c := 8; c <= 512; c += 8 {
+		spec := dwLayer(c)
+		ms, err := TimeMs(device.HiKey970, spec)
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		perMAC := ms / float64(spec.MACs())
+		if Tuned(spec) {
+			tuned++
+			if tunedMin == 0 || perMAC < tunedMin {
+				tunedMin = perMAC
+			}
+		} else {
+			untuned++
+			if perMAC > fallbackMax {
+				fallbackMax = perMAC
+			}
+		}
+	}
+	if tuned == 0 || untuned == 0 {
+		t.Fatalf("registry mix degenerate: %d tuned, %d untuned", tuned, untuned)
+	}
+	if fallbackMax < 3*tunedMin {
+		t.Errorf("fallback per-MAC cost %v not well above tuned %v", fallbackMax, tunedMin)
+	}
+}

@@ -42,20 +42,40 @@ const (
 	// spikes and Fig. 19's 13.9x maximum speedup.
 	fallbackPenaltyMin  = 2.5
 	fallbackPenaltySpan = 4.0
+
+	// Depthwise workloads form their own schedule family
+	// (topi.nn.depthwise_conv2d): the tuned kernel is memory-bound and
+	// costs more per MAC than the dense GEMM-like schedule, tuning logs
+	// cover fewer of them (MobileNet shipped after most tophub entries
+	// were contributed), and the schedule's channel tiling is 4-wide —
+	// so the depthwise staircase is spikier and differently quantized
+	// than the dense one.
+	dwTunedInstrPerMAC = 11.6
+	dwTunedQuantum     = 4
+	dwTunedRatePercent = 35
 )
 
 // workloadKey identifies a (layer shape, channels) workload the way a
-// tuning log would.
+// tuning log would. Depthwise workloads key under their own operator
+// name, like a real tuning log's task names.
 func workloadKey(spec conv.ConvSpec, c int) string {
-	return fmt.Sprintf("conv2d/%dx%d/in%d/k%dx%d/s%d/C%d",
-		spec.InH, spec.InW, spec.InC, spec.KH, spec.KW, spec.StrideH, c)
+	op := "conv2d"
+	if spec.IsDepthwise() {
+		op = "depthwise_conv2d"
+	}
+	return fmt.Sprintf("%s/%dx%d/in%d/k%dx%d/s%d/C%d",
+		op, spec.InH, spec.InW, spec.InC, spec.KH, spec.KW, spec.StrideH, c)
 }
 
 // Tuned reports whether a tuned schedule exists for spec at its current
 // output-channel count.
 func Tuned(spec conv.ConvSpec) bool {
+	rate := uint64(tunedRatePercent)
+	if spec.IsDepthwise() {
+		rate = dwTunedRatePercent
+	}
 	h := tensor.Hash64(workloadKey(spec, spec.OutC))
-	return h%100 < tunedRatePercent
+	return h%100 < rate
 }
 
 // fallbackPenalty returns the deterministic slowdown of the untuned
@@ -71,13 +91,20 @@ func Plan(spec conv.ConvSpec) ([]opencl.KernelCall, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if spec.GroupCount() > 1 && !spec.IsDepthwise() {
+		return nil, fmt.Errorf("tvmsim: no schedule family for grouped non-depthwise layer %s", spec)
+	}
+	op, instr, quantum := "conv2d", tunedInstrPerMAC, tunedQuantum
+	if spec.IsDepthwise() {
+		op, instr, quantum = "depthwise_conv2d", dwTunedInstrPerMAC, dwTunedQuantum
+	}
 	m := spec.OutSpatial()
 	k := spec.ReductionK()
 	if Tuned(spec) {
-		quantC := (spec.OutC + tunedQuantum - 1) / tunedQuantum * tunedQuantum
-		arith := int64(tunedInstrPerMAC*float64(m)*float64(k)*float64(quantC) + 0.5)
+		quantC := (spec.OutC + quantum - 1) / quantum * quantum
+		arith := int64(instr*float64(m)*float64(k)*float64(quantC) + 0.5)
 		return []opencl.KernelCall{{
-			Name:        "tvm_conv2d_tuned",
+			Name:        "tvm_" + op + "_tuned",
 			Global:      [3]int{spec.OutW(), spec.OutH(), quantC / 4},
 			Local:       [3]int{4, 4, 1},
 			ArithInstrs: arith,
@@ -88,7 +115,7 @@ func Plan(spec conv.ConvSpec) ([]opencl.KernelCall, error) {
 	macs := float64(spec.MACs())
 	arith := int64(macs*acl.DirectInstrPerMAC()*fallbackPenalty(spec) + 0.5)
 	return []opencl.KernelCall{{
-		Name:        "tvm_conv2d_fallback",
+		Name:        "tvm_" + op + "_fallback",
 		Global:      [3]int{spec.OutW(), spec.OutH(), spec.OutC},
 		Local:       [3]int{1, 1, 1},
 		ArithInstrs: arith,

@@ -119,6 +119,8 @@ func LookupBackend(key string) (Backend, error) { return backend.Lookup(key) }
 func BackendNames() []string { return backend.Names() }
 
 // ResNet50, VGG16 and AlexNet return the paper's three networks.
+// ResNet-50 carries its residual coupling groups: the bottleneck
+// expansions and projection of each stage must share a pruned width.
 func ResNet50() Network { return nets.ResNet50() }
 
 // VGG16 returns the VGG-16 inventory.
@@ -127,8 +129,27 @@ func VGG16() Network { return nets.VGG16() }
 // AlexNet returns the AlexNet inventory.
 func AlexNet() Network { return nets.AlexNet() }
 
-// Networks returns all three networks.
+// MobileNetV1 returns the depthwise-separable MobileNetV1 inventory
+// (stem + 13 blocks), with the depthwise-producer coupling groups.
+func MobileNetV1() Network { return nets.MobileNetV1() }
+
+// Networks returns every built-in network inventory.
 func Networks() []Network { return nets.All() }
+
+// NetworkByName resolves a network case-insensitively, e.g.
+// "mobilenet-v1" or "VGG-16".
+func NetworkByName(name string) (Network, error) { return nets.ByName(name) }
+
+// PruneGroup is a coupling constraint: every member layer must keep
+// one shared channel count (residual chains, depthwise-producer
+// pairs). Group-aware planners move members together; see
+// Network.Groups and CheckGroups.
+type PruneGroup = nets.Group
+
+// CheckGroups verifies that a plan satisfies the coupling groups.
+func CheckGroups(n Network, groups []PruneGroup, p Plan) error {
+	return prune.CheckGroups(n, groups, p)
+}
 
 // Engine is the concurrent, cached sweep engine (see internal/profiler).
 type Engine = profiler.Engine

@@ -30,11 +30,14 @@ func TestFacadeLibraries(t *testing.T) {
 }
 
 func TestFacadeNetworks(t *testing.T) {
-	if len(Networks()) != 3 {
-		t.Fatal("want 3 networks")
+	if len(Networks()) != 4 {
+		t.Fatal("want 4 networks (the paper's three + MobileNetV1)")
 	}
 	if len(ResNet50().Layers) != 53 || len(VGG16().Layers) != 13 || len(AlexNet().Layers) != 5 {
 		t.Fatal("network layer counts wrong")
+	}
+	if len(MobileNetV1().Layers) != 27 {
+		t.Fatal("MobileNetV1 layer count wrong")
 	}
 }
 
