@@ -7,11 +7,14 @@
 //
 // Usage:
 //
-//	go test -run='^$' -bench=. -benchtime=3x -count=3 . | tee bench.out
+//	go test -run='^$' -bench=. -benchtime=3x -count=3 -benchmem . | tee bench.out
 //	benchgate -input bench.out -baseline BENCH_ci.json -tolerance 0.25 -write BENCH_ci.json
 //
 // With -count > 1 the gate scores each benchmark by its fastest run
-// (minimum ns/op), the standard noise-robust choice. Benchmarks whose
+// (minimum ns/op), the standard noise-robust choice. When the run used
+// -benchmem, the B/op and allocs/op columns are carried into the
+// emitted trajectory artifact (informational, not gated), so
+// allocation regressions are visible in CI diffs. Benchmarks whose
 // baseline is below -floor (default 100µs) are reported but not gated
 // — at -benchtime=3x their runtime is scheduler noise, not signal.
 // Benchmarks new to the baseline pass with a note; tracked benchmarks
@@ -44,6 +47,12 @@ type Result struct {
 	Name string `json:"name"`
 	// NsPerOp is the minimum ns/op across the parsed runs.
 	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are the -benchmem columns (minimum
+	// across runs), recorded in the trajectory artifact so allocation
+	// regressions are visible in CI; they are informational, not
+	// gated. Zero when the run was made without -benchmem.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 	// Runs is how many runs were parsed (the -count).
 	Runs int `json:"runs"`
 }
@@ -139,16 +148,24 @@ func Parse(r io.Reader) ([]Result, error) {
 		if len(fields) < 4 {
 			continue
 		}
-		ns := -1.0
+		ns, bytesOp, allocsOp := -1.0, -1.0, -1.0
 		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] == "ns/op" {
-				v, err := strconv.ParseFloat(fields[i], 64)
-				if err != nil {
-					return nil, fmt.Errorf("bad ns/op %q in %q", fields[i], line)
-				}
-				ns = v
-				break
+			var dst *float64
+			switch fields[i+1] {
+			case "ns/op":
+				dst = &ns
+			case "B/op":
+				dst = &bytesOp
+			case "allocs/op":
+				dst = &allocsOp
+			default:
+				continue
 			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad %s %q in %q", fields[i+1], fields[i], line)
+			}
+			*dst = v
 		}
 		if ns < 0 {
 			continue
@@ -166,8 +183,21 @@ func Parse(r io.Reader) ([]Result, error) {
 			if ns < b.NsPerOp {
 				b.NsPerOp = ns
 			}
+			if bytesOp >= 0 && bytesOp < b.BytesPerOp {
+				b.BytesPerOp = bytesOp
+			}
+			if allocsOp >= 0 && allocsOp < b.AllocsPerOp {
+				b.AllocsPerOp = allocsOp
+			}
 		} else {
-			best[name] = &Result{Name: name, NsPerOp: ns, Runs: 1}
+			r := &Result{Name: name, NsPerOp: ns, Runs: 1}
+			if bytesOp >= 0 {
+				r.BytesPerOp = bytesOp
+			}
+			if allocsOp >= 0 {
+				r.AllocsPerOp = allocsOp
+			}
+			best[name] = r
 			order = append(order, name)
 		}
 	}
@@ -219,7 +249,7 @@ func Gate(baseline, current []Result, tolerance, floor float64) (failures, notes
 
 func writeBaseline(path string, results []Result) error {
 	b := Baseline{
-		Command:    "go test -run='^$' -bench=. -benchtime=3x -count=3 .",
+		Command:    "go test -run='^$' -bench=. -benchtime=3x -count=3 -benchmem .",
 		Benchmarks: results,
 	}
 	raw, err := json.MarshalIndent(b, "", "  ")

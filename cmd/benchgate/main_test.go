@@ -97,3 +97,30 @@ func TestGateFloorDemotesShortBenchmarks(t *testing.T) {
 		t.Errorf("sub-floor regression not noted: %v", notes)
 	}
 }
+
+func TestParseBenchmemColumns(t *testing.T) {
+	input := `goos: linux
+BenchmarkInferVGG16RealGEMM-8   3   44863602 ns/op   6.401 speedup_x   0 B/op   0 allocs/op
+BenchmarkInferVGG16RealGEMM-8   3   44000000 ns/op   6.500 speedup_x   16 B/op   1 allocs/op
+BenchmarkFig01-8                3   52034812 ns/op   1.900 max_slowdown_x
+`
+	results, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	vgg := byName["InferVGG16RealGEMM"]
+	if vgg.NsPerOp != 44000000 {
+		t.Errorf("ns/op = %v, want min 44000000", vgg.NsPerOp)
+	}
+	if vgg.BytesPerOp != 0 || vgg.AllocsPerOp != 0 {
+		t.Errorf("benchmem = %v B/op %v allocs/op, want min 0/0", vgg.BytesPerOp, vgg.AllocsPerOp)
+	}
+	// Runs without -benchmem columns default to zero, not an error.
+	if fig := byName["Fig01"]; fig.BytesPerOp != 0 || fig.AllocsPerOp != 0 {
+		t.Errorf("missing benchmem columns parsed as %v/%v, want 0/0", fig.BytesPerOp, fig.AllocsPerOp)
+	}
+}

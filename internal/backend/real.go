@@ -10,6 +10,14 @@ package backend
 // is a real measurement): they report Deterministic() == false, so the
 // profiler's engine never memoizes them and runs their sweeps serially,
 // aggregating fresh uncontended samples for every median.
+//
+// Real-GEMM and Real-Depthwise route through the fast kernels (packed
+// weight panels, register-tiled micro-kernel, unrolled depthwise taps)
+// simply by calling conv.GEMM/conv.Depthwise, which are the fast
+// entries; conv.Direct stays the naive bit-exactness oracle, so
+// Real-Direct keeps measuring the unoptimized ground-truth loop. The
+// fast paths accumulate in the same order as Direct, so routing
+// changes only the latency, never the numbers.
 
 import (
 	"fmt"

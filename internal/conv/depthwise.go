@@ -3,6 +3,7 @@ package conv
 import (
 	"fmt"
 
+	"perfprune/internal/gemm"
 	"perfprune/internal/tensor"
 )
 
@@ -11,13 +12,149 @@ import (
 // building block of MobileNet's depthwise-separable layers. The weight
 // bank is OHWI-shaped [C, KH, KW, 1].
 //
-// The loop is organized channel-innermost over the NHWC layout, the
-// vectorization-friendly order real depthwise kernels use (ACL's
-// depthwise_convolution3x3_nhwc walks 4-channel vectors the same way).
-// Per output value the accumulation visits the kernel taps in the same
-// (ky, kx) order as Direct, so the float32 results are bit-identical —
-// an equivalence the tests enforce.
+// This is the fast kernel: weights are repacked tap-major (contiguous
+// channel runs per tap, versus the 9-float stride the OHWI bank
+// imposes), 3x3 interior pixels run a fully unrolled nine-tap
+// accumulation with no bounds logic, and stride handling is fused into
+// the interior/border split. Taps accumulate in the same (ky, kx)
+// order as Direct, so the float32 results are bit-identical to the
+// naive reference — an equivalence the tests enforce.
 func Depthwise(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error) {
+	if !spec.IsDepthwise() {
+		return nil, fmt.Errorf("conv %q: Depthwise needs a depthwise spec (groups=inC=outC), got groups=%d inC=%d outC=%d",
+			spec.Name, spec.GroupCount(), spec.InC, spec.OutC)
+	}
+	if err := checkArgs(spec, in, weights); err != nil {
+		return nil, err
+	}
+	out := tensor.New(tensor.NHWC, 1, spec.OutH(), spec.OutW(), spec.OutC)
+	wp := PackDepthwiseWeights(spec, weights, nil)
+	DepthwiseInto(spec, in, wp, out)
+	return out, nil
+}
+
+// PackDepthwiseWeights repacks a [C, KH, KW, 1] depthwise bank into
+// tap-major layout: wp[tap*C + ch]. The fast kernel then reads one
+// contiguous channel run per tap. dst is reused when it has capacity
+// (pass nil to allocate); pack once per stage and reuse, as the
+// engine's arena does.
+func PackDepthwiseWeights(spec ConvSpec, weights *tensor.Tensor, dst []float32) []float32 {
+	c := spec.OutC
+	taps := spec.KH * spec.KW
+	if cap(dst) < taps*c {
+		dst = make([]float32, taps*c)
+	}
+	dst = dst[:taps*c]
+	wD := weights.Data()
+	for ch := 0; ch < c; ch++ {
+		for t := 0; t < taps; t++ {
+			dst[t*c+ch] = wD[ch*taps+t]
+		}
+	}
+	return dst
+}
+
+// DepthwiseInto runs the fast depthwise kernel into a caller-provided
+// output tensor, with weights already packed tap-major by
+// PackDepthwiseWeights — the zero-alloc entry of the engine's warm
+// path. The spec must be a pre-validated depthwise layer with matching
+// tensor shapes; every output element is overwritten.
+func DepthwiseInto(spec ConvSpec, in *tensor.Tensor, wp []float32, out *tensor.Tensor) {
+	if spec.KH == 3 && spec.KW == 3 {
+		depthwise3x3(spec, in, wp, out)
+		return
+	}
+	depthwiseGeneric(spec, in, wp, out)
+}
+
+// depthwise3x3 specializes the dominant case (every MobileNet
+// depthwise layer): interior pixels — all nine taps in bounds — go
+// through the arch kernel (SSE on amd64, four channels per step) with
+// no bounds logic; border pixels fall back to the generic tap loop.
+func depthwise3x3(spec ConvSpec, in *tensor.Tensor, wp []float32, out *tensor.Tensor) {
+	c := spec.OutC
+	inD := in.Data()
+	outD := out.Data()
+	inRowStride := spec.InW * c
+	outH, outW := spec.OutH(), spec.OutW()
+
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*spec.StrideH - spec.PadH
+		rowInterior := iy0 >= 0 && iy0+3 <= spec.InH
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*spec.StrideW - spec.PadW
+			outRow := outD[(oy*outW+ox)*c : (oy*outW+ox+1)*c : (oy*outW+ox+1)*c]
+			if !rowInterior || ix0 < 0 || ix0+3 > spec.InW {
+				depthwiseBorderPixel(spec, inD, wp, outRow, iy0, ix0)
+				continue
+			}
+			dw3x3Interior(inD, wp, outRow, iy0*inRowStride+ix0*c, inRowStride, c)
+		}
+	}
+}
+
+// dw3x3Tail computes one channel of one interior pixel: the nine taps
+// in (ky, kx) order, the scalar definition both the SSE kernel and the
+// portable interior loop implement.
+func dw3x3Tail(inD, wp, outRow []float32, base0, rowStride, c, ch int) {
+	b0 := base0 + ch
+	b1 := b0 + rowStride
+	b2 := b1 + rowStride
+	outRow[ch] = inD[b0]*wp[ch] + inD[b0+c]*wp[c+ch] + inD[b0+2*c]*wp[2*c+ch] +
+		inD[b1]*wp[3*c+ch] + inD[b1+c]*wp[4*c+ch] + inD[b1+2*c]*wp[5*c+ch] +
+		inD[b2]*wp[6*c+ch] + inD[b2+c]*wp[7*c+ch] + inD[b2+2*c]*wp[8*c+ch]
+}
+
+// depthwiseBorderPixel computes one output pixel with per-tap bounds
+// checks, accumulating in (ky, kx) order — the same order as the
+// interior path and Direct.
+func depthwiseBorderPixel(spec ConvSpec, inD, wp, outRow []float32, iy0, ix0 int) {
+	c := spec.OutC
+	inRowStride := spec.InW * c
+	for ch := range outRow {
+		outRow[ch] = 0
+	}
+	for ky := 0; ky < spec.KH; ky++ {
+		iy := iy0 + ky
+		if iy < 0 || iy >= spec.InH {
+			continue
+		}
+		for kx := 0; kx < spec.KW; kx++ {
+			ix := ix0 + kx
+			if ix < 0 || ix >= spec.InW {
+				continue
+			}
+			px := inD[iy*inRowStride+ix*c : iy*inRowStride+(ix+1)*c]
+			wt := wp[(ky*spec.KW+kx)*c : (ky*spec.KW+kx+1)*c]
+			for ch := 0; ch < c; ch++ {
+				outRow[ch] += px[ch] * wt[ch]
+			}
+		}
+	}
+}
+
+// depthwiseGeneric handles non-3x3 depthwise layers through the
+// border-pixel path with packed weights.
+func depthwiseGeneric(spec ConvSpec, in *tensor.Tensor, wp []float32, out *tensor.Tensor) {
+	c := spec.OutC
+	inD := in.Data()
+	outD := out.Data()
+	outW := spec.OutW()
+	for oy := 0; oy < spec.OutH(); oy++ {
+		iy0 := oy*spec.StrideH - spec.PadH
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*spec.StrideW - spec.PadW
+			outRow := outD[(oy*outW+ox)*c : (oy*outW+ox+1)*c]
+			depthwiseBorderPixel(spec, inD, wp, outRow, iy0, ix0)
+		}
+	}
+}
+
+// DepthwiseNaive is the pre-fast-path depthwise kernel — per-pixel tap
+// loops over the strided OHWI bank — kept verbatim as the reference
+// the fast kernel is validated bit-exactly against and benchmarked
+// over.
+func DepthwiseNaive(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error) {
 	if !spec.IsDepthwise() {
 		return nil, fmt.Errorf("conv %q: Depthwise needs a depthwise spec (groups=inC=outC), got groups=%d inC=%d outC=%d",
 			spec.Name, spec.GroupCount(), spec.InC, spec.OutC)
@@ -63,12 +200,69 @@ func Depthwise(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error
 }
 
 // Pointwise computes a dense 1x1 convolution — the channel-mixing half
-// of a depthwise-separable block — as a plain matrix product over the
-// NHWC layout, skipping Direct's padding and kernel-window logic
-// entirely (a 1x1 stride-s convolution just samples the input grid).
-// The accumulation order over input channels matches Direct's, so the
+// of a depthwise-separable block — as a matrix product over the NHWC
+// layout through the fast packed kernel: at stride 1 the activation
+// matrix is the input itself (no gather, no im2col), and strided
+// layers sample the grid into the patch matrix first. The reduction
+// accumulates over input channels in ascending order with one
+// register per output, matching Direct's association exactly, so the
 // float32 results are bit-identical.
 func Pointwise(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error) {
+	switch {
+	case !spec.IsPointwise():
+		return nil, fmt.Errorf("conv %q: Pointwise needs a 1x1 kernel, got %dx%d", spec.Name, spec.KH, spec.KW)
+	case spec.GroupCount() > 1:
+		return nil, fmt.Errorf("conv %q: Pointwise needs a dense spec, got %d groups", spec.Name, spec.GroupCount())
+	case spec.PadH != 0 || spec.PadW != 0:
+		return nil, fmt.Errorf("conv %q: Pointwise needs zero padding, got %dx%d", spec.Name, spec.PadH, spec.PadW)
+	}
+	if err := checkArgs(spec, in, weights); err != nil {
+		return nil, err
+	}
+	out := tensor.New(tensor.NHWC, 1, spec.OutH(), spec.OutW(), spec.OutC)
+	var a *gemm.Matrix
+	if spec.StrideH == 1 && spec.StrideW == 1 {
+		var err error
+		a, err = gemm.WrapMatrix(spec.OutSpatial(), spec.InC, in.Data())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		a = gemm.NewMatrix(spec.OutSpatial(), spec.InC)
+		PointwiseGather(spec, in, a)
+	}
+	pb := PackGEMMWeights(spec, weights)
+	c, err := gemm.WrapMatrix(spec.OutSpatial(), spec.OutC, out.Data())
+	if err != nil {
+		return nil, err
+	}
+	if err := gemm.Fast(a, pb, c); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PointwiseGather samples the strided input grid of a 1x1 layer into
+// the rows of a caller-provided [OutSpatial, InC] matrix — the strided
+// pointwise analogue of Im2colInto, reused by the engine's arena.
+func PointwiseGather(spec ConvSpec, in *tensor.Tensor, dst *gemm.Matrix) {
+	inD := in.Data()
+	inRowStride := spec.InW * spec.InC
+	outW := spec.OutW()
+	for oy := 0; oy < spec.OutH(); oy++ {
+		iyBase := oy * spec.StrideH * inRowStride
+		for ox := 0; ox < outW; ox++ {
+			src := inD[iyBase+ox*spec.StrideW*spec.InC:]
+			copy(dst.Row(oy*outW+ox), src[:spec.InC])
+		}
+	}
+}
+
+// PointwiseNaive is the pre-fast-path pointwise kernel — one
+// accumulator chain per output value straight off the OHWI bank — kept
+// verbatim as the reference the fast kernel is validated bit-exactly
+// against and benchmarked over.
+func PointwiseNaive(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error) {
 	switch {
 	case !spec.IsPointwise():
 		return nil, fmt.Errorf("conv %q: Pointwise needs a 1x1 kernel, got %dx%d", spec.Name, spec.KH, spec.KW)

@@ -1,0 +1,30 @@
+//go:build amd64
+
+package conv
+
+// dwKernelIsAsm reports which kernel backs the 3x3 depthwise interior,
+// for tests that cross-check the two.
+const dwKernelIsAsm = true
+
+// dw3x3sse computes `groups` four-channel blocks of one interior
+// output pixel: for each channel lane, the nine taps of a 3x3 window
+// accumulate in (ky, kx) order — lane arithmetic identical to the
+// scalar interior loop. in points at the window's top-left pixel,
+// wp at the tap-major packed weights, out at the output pixel;
+// rowStride and chans are in float32 units.
+//
+//go:noescape
+func dw3x3sse(in, wp, out *float32, rowStride, chans, groups int)
+
+// dw3x3Interior dispatches an interior pixel's channel run: whole
+// four-channel blocks go through the SSE kernel, the remainder through
+// the scalar tail (same tap order, so the split is invisible in the
+// results).
+func dw3x3Interior(inD, wp, outRow []float32, base0, rowStride, c int) {
+	if g := c / 4; g > 0 {
+		dw3x3sse(&inD[base0], &wp[0], &outRow[0], rowStride, c, g)
+	}
+	for ch := c &^ 3; ch < c; ch++ {
+		dw3x3Tail(inD, wp, outRow, base0, rowStride, c, ch)
+	}
+}

@@ -1,0 +1,91 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dw3x3sse(in, wp, out *float32, rowStride, chans, groups int)
+//
+// Per four-channel group: nine MOVUPS pairs + MULPS/ADDPS in (ky, kx)
+// tap order. The input window rows start at in, in+rowStride,
+// in+2*rowStride; taps within a row are chans apart, as are the
+// packed weight runs. All strides are converted to bytes up front.
+TEXT ·dw3x3sse(SB), NOSPLIT, $0-48
+	MOVQ in+0(FP), SI
+	MOVQ wp+8(FP), DX
+	MOVQ out+16(FP), DI
+	MOVQ rowStride+24(FP), R8
+	MOVQ chans+32(FP), R9
+	MOVQ groups+40(FP), CX
+	SHLQ $2, R8               // rowStride bytes
+	SHLQ $2, R9               // chans bytes
+
+group:
+	MOVQ SI, AX               // pixel tap cursor (row 0)
+	MOVQ DX, BX               // weight tap cursor
+
+	// row 0: taps (0,0) (0,1) (0,2)
+	MOVUPS (AX), X0
+	MOVUPS (BX), X2
+	MULPS  X2, X0
+	ADDQ   R9, AX
+	ADDQ   R9, BX
+	MOVUPS (AX), X1
+	MOVUPS (BX), X2
+	MULPS  X2, X1
+	ADDPS  X1, X0
+	ADDQ   R9, AX
+	ADDQ   R9, BX
+	MOVUPS (AX), X1
+	MOVUPS (BX), X2
+	MULPS  X2, X1
+	ADDPS  X1, X0
+	ADDQ   R9, BX
+
+	// row 1
+	MOVQ   SI, AX
+	ADDQ   R8, AX
+	MOVUPS (AX), X1
+	MOVUPS (BX), X2
+	MULPS  X2, X1
+	ADDPS  X1, X0
+	ADDQ   R9, AX
+	ADDQ   R9, BX
+	MOVUPS (AX), X1
+	MOVUPS (BX), X2
+	MULPS  X2, X1
+	ADDPS  X1, X0
+	ADDQ   R9, AX
+	ADDQ   R9, BX
+	MOVUPS (AX), X1
+	MOVUPS (BX), X2
+	MULPS  X2, X1
+	ADDPS  X1, X0
+	ADDQ   R9, BX
+
+	// row 2
+	MOVQ   SI, AX
+	ADDQ   R8, AX
+	ADDQ   R8, AX
+	MOVUPS (AX), X1
+	MOVUPS (BX), X2
+	MULPS  X2, X1
+	ADDPS  X1, X0
+	ADDQ   R9, AX
+	ADDQ   R9, BX
+	MOVUPS (AX), X1
+	MOVUPS (BX), X2
+	MULPS  X2, X1
+	ADDPS  X1, X0
+	ADDQ   R9, AX
+	ADDQ   R9, BX
+	MOVUPS (AX), X1
+	MOVUPS (BX), X2
+	MULPS  X2, X1
+	ADDPS  X1, X0
+
+	MOVUPS X0, (DI)
+	ADDQ   $16, SI
+	ADDQ   $16, DX
+	ADDQ   $16, DI
+	DECQ   CX
+	JNZ    group
+	RET

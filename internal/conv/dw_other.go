@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package conv
+
+// Portable fallback: the scalar interior loop. Same tap order as the
+// SSE kernel, so results are bit-identical across architectures.
+
+const dwKernelIsAsm = false
+
+func dw3x3Interior(inD, wp, outRow []float32, base0, rowStride, c int) {
+	for ch := 0; ch < c; ch++ {
+		dw3x3Tail(inD, wp, outRow, base0, rowStride, c, ch)
+	}
+}

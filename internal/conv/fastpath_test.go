@@ -1,0 +1,216 @@
+package conv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfprune/internal/tensor"
+)
+
+// fastGrid is the satellite shape grid: odd channels, stride 2,
+// padding, grouped/depthwise layers, rectangular extents.
+var fastGrid = []ConvSpec{
+	{Name: "g-3x3", InH: 12, InW: 12, InC: 7, OutC: 13, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+	{Name: "g-3x3-s2", InH: 15, InW: 11, InC: 5, OutC: 9, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+	{Name: "g-5x5-nopad", InH: 13, InW: 13, InC: 3, OutC: 11, KH: 5, KW: 5, StrideH: 1, StrideW: 1},
+	{Name: "g-1x1", InH: 9, InW: 7, InC: 17, OutC: 23, KH: 1, KW: 1, StrideH: 1, StrideW: 1},
+	{Name: "g-1x1-s2", InH: 11, InW: 11, InC: 13, OutC: 6, KH: 1, KW: 1, StrideH: 2, StrideW: 2},
+	dwSpec("g-dw", 11, 21, 3, 1, 1),
+	dwSpec("g-dw-s2", 14, 9, 3, 2, 1),
+	dwSpec("g-dw-5x5", 10, 5, 5, 1, 2),
+}
+
+// fastOutput routes a spec through the same fast kernel the engine and
+// real backends would pick for it.
+func fastOutput(t *testing.T, spec ConvSpec, in, w *tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	var (
+		out *tensor.Tensor
+		err error
+	)
+	switch {
+	case spec.IsDepthwise():
+		out, err = Depthwise(spec, in, w)
+	case spec.IsPointwise() && spec.GroupCount() == 1 && spec.PadH == 0 && spec.PadW == 0:
+		out, err = Pointwise(spec, in, w)
+	default:
+		out, err = GEMM(spec, in, w)
+	}
+	if err != nil {
+		t.Fatalf("%s: fast path: %v", spec.Name, err)
+	}
+	return out
+}
+
+// requireExact fails unless got and want are bit-identical.
+func requireExact(t *testing.T, label string, got, want *tensor.Tensor) {
+	t.Helper()
+	wd := want.Data()
+	for i, v := range got.Data() {
+		if v != wd[i] {
+			t.Fatalf("%s: element %d: fast %v != reference %v (must be bit-exact)", label, i, v, wd[i])
+		}
+	}
+}
+
+// TestFastPathMatchesDirectGrid pins every fast kernel against the
+// conv.Direct oracle across the satellite shape grid. Depthwise and
+// pointwise must be bit-exact; the GEMM path accumulates in the same
+// ascending-reduction order as Direct and is currently bit-exact too,
+// but its documented contract is <= 1e-4 relative, which is what the
+// grid asserts for 3x3/5x5 dense layers.
+func TestFastPathMatchesDirectGrid(t *testing.T) {
+	for _, spec := range fastGrid {
+		t.Run(spec.Name, func(t *testing.T) {
+			if err := spec.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			in := mkInput(spec, tensor.Hash64(spec.Name+"/in"))
+			w := mkGroupedWeights(spec, tensor.Hash64(spec.Name+"/w"))
+			want, err := Direct(spec, in, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := fastOutput(t, spec, in, w)
+			if spec.IsDepthwise() || spec.IsPointwise() {
+				requireExact(t, spec.Name, got, want)
+				return
+			}
+			ok, err := tensor.AllClose(want, got, 1e-4, 1e-6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				diff, _ := tensor.MaxAbsDiff(want, got)
+				t.Fatalf("%s: fast GEMM outside 1e-4 relative tolerance, max diff %g", spec.Name, diff)
+			}
+		})
+	}
+}
+
+// TestFastPathMatchesNaiveReferences pins the fast kernels bit-exactly
+// against the preserved naive implementations they replaced — the
+// speedup baselines must compute the same numbers.
+func TestFastPathMatchesNaiveReferences(t *testing.T) {
+	for _, spec := range fastGrid {
+		t.Run(spec.Name, func(t *testing.T) {
+			in := mkInput(spec, tensor.Hash64(spec.Name+"/in"))
+			w := mkGroupedWeights(spec, tensor.Hash64(spec.Name+"/w"))
+			got := fastOutput(t, spec, in, w)
+			var (
+				want *tensor.Tensor
+				err  error
+			)
+			switch {
+			case spec.IsDepthwise():
+				want, err = DepthwiseNaive(spec, in, w)
+			case spec.IsPointwise() && spec.GroupCount() == 1 && spec.PadH == 0 && spec.PadW == 0:
+				want, err = PointwiseNaive(spec, in, w)
+			default:
+				want, err = GEMMNaive(spec, in, w)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireExact(t, spec.Name, got, want)
+		})
+	}
+}
+
+// TestFastPathPostPruneShapes walks pruned channel counts — the shapes
+// the probe path actually measures after Prune narrows a stage — and
+// holds the fast kernels to the Direct oracle at every width,
+// including widths that break the 4-wide GEMM tile.
+func TestFastPathPostPruneShapes(t *testing.T) {
+	dense := ConvSpec{Name: "prune-dense", InH: 10, InW: 10, InC: 16, OutC: 16,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	for _, keep := range []int{1, 2, 3, 5, 9, 15} {
+		spec := dense.WithOutC(keep)
+		in := mkInput(spec, tensor.Hash64("prune/in"))
+		w := mkGroupedWeights(spec, uint64(keep)*31)
+		want, err := Direct(spec, in, w)
+		if err != nil {
+			t.Fatalf("keep=%d: %v", keep, err)
+		}
+		got := fastOutput(t, spec, in, w)
+		requireExact(t, spec.Name, got, want)
+
+		// The next stage sees a pruned input width.
+		next := dense.WithInC(keep)
+		nin := mkInput(next, tensor.Hash64("prune/nin"))
+		nw := mkGroupedWeights(next, uint64(keep)*37)
+		nwant, err := Direct(next, nin, nw)
+		if err != nil {
+			t.Fatalf("inC=%d: %v", keep, err)
+		}
+		requireExact(t, next.Name, fastOutput(t, next, nin, nw), nwant)
+	}
+
+	dw := dwSpec("prune-dw", 9, 24, 3, 1, 1)
+	for _, keep := range []int{1, 3, 7, 23} {
+		spec := dw.WithOutC(keep)
+		in := mkInput(spec, tensor.Hash64("prune/dw"))
+		w := mkGroupedWeights(spec, uint64(keep)*41)
+		want, err := Direct(spec, in, w)
+		if err != nil {
+			t.Fatalf("dw keep=%d: %v", keep, err)
+		}
+		requireExact(t, spec.Name, fastOutput(t, spec, in, w), want)
+	}
+}
+
+// TestFastPathProperty fuzzes dense shapes against Direct.
+func TestFastPathProperty(t *testing.T) {
+	f := func(hr, cr, or, kr, sr uint8, seed uint64) bool {
+		spec := ConvSpec{
+			Name: "prop",
+			InH:  int(hr)%10 + 5, InW: int(hr)%12 + 5,
+			InC: int(cr)%9 + 1, OutC: int(or)%13 + 1,
+			StrideH: int(sr)%2 + 1, StrideW: int(sr)%2 + 1,
+		}
+		switch kr % 3 {
+		case 0:
+			spec.KH, spec.KW = 1, 1
+		case 1:
+			spec.KH, spec.KW, spec.PadH, spec.PadW = 3, 3, 1, 1
+		default:
+			spec.KH, spec.KW = 3, 3
+		}
+		if spec.Validate() != nil {
+			return true
+		}
+		in := mkInput(spec, seed)
+		w := mkWeights(spec, seed+1)
+		want, err := Direct(spec, in, w)
+		if err != nil {
+			return false
+		}
+		got, err := GEMM(spec, in, w)
+		if err != nil {
+			return false
+		}
+		ok, _ := tensor.AllClose(want, got, 1e-4, 1e-6)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDepthwiseIntoOverwrites: the packed-weight Into entry must fully
+// overwrite a dirty output buffer (the arena reuses buffers without
+// zeroing).
+func TestDepthwiseIntoOverwrites(t *testing.T) {
+	spec := dwSpec("dirty", 8, 6, 3, 1, 1)
+	in := mkInput(spec, 3)
+	w := mkGroupedWeights(spec, 4)
+	want, err := Direct(spec, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tensor.New(tensor.NHWC, 1, spec.OutH(), spec.OutW(), spec.OutC)
+	out.Fill(1e9)
+	wp := PackDepthwiseWeights(spec, w, nil)
+	DepthwiseInto(spec, in, wp, out)
+	requireExact(t, "dirty-buffer", out, want)
+}

@@ -21,13 +21,23 @@ func Im2col(spec ConvSpec, in *tensor.Tensor) (*gemm.Matrix, error) {
 		return nil, fmt.Errorf("conv %q: im2col is a dense-layer transform; grouped layers use Depthwise or Direct", spec.Name)
 	}
 	m := gemm.NewMatrix(spec.OutSpatial(), spec.ReductionK())
+	Im2colInto(spec, in, m)
+	return m, nil
+}
+
+// Im2colInto performs the im2col transform into a caller-provided
+// [OutSpatial, ReductionK] matrix, the zero-alloc entry the inference
+// engine's scratch arena reuses across calls. The spec must be a valid
+// dense layer and dst must already have the right dimensions; this is
+// the pre-validated hot path, so violations are programming errors.
+func Im2colInto(spec ConvSpec, in *tensor.Tensor, dst *gemm.Matrix) {
 	inD := in.Data()
 	inRowStride := spec.InW * spec.InC
 	outW := spec.OutW()
 
 	for oy := 0; oy < spec.OutH(); oy++ {
 		for ox := 0; ox < outW; ox++ {
-			row := m.Row(oy*outW + ox)
+			row := dst.Row(oy*outW + ox)
 			iy0 := oy*spec.StrideH - spec.PadH
 			ix0 := ox*spec.StrideW - spec.PadW
 			for ky := 0; ky < spec.KH; ky++ {
@@ -47,12 +57,15 @@ func Im2col(spec ConvSpec, in *tensor.Tensor) (*gemm.Matrix, error) {
 			}
 		}
 	}
-	return m, nil
 }
 
 // WeightsToColumns reshapes an OHWI filter bank into a
 // [KH*KW*InC, OutC] matrix — the ACL "reshape_to_columns" kernel's job —
-// so that patches·weights yields the NHWC output directly.
+// so that patches·weights yields the NHWC output directly. Its
+// column-major scatter is cache-hostile and resolution-independent,
+// which is why it dominated the naive path at probe-sized extents; the
+// fast path replaces it with PackGEMMWeights and keeps this as the
+// reference transform.
 func WeightsToColumns(spec ConvSpec, weights *tensor.Tensor) (*gemm.Matrix, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -72,11 +85,54 @@ func WeightsToColumns(spec ConvSpec, weights *tensor.Tensor) (*gemm.Matrix, erro
 	return m, nil
 }
 
-// GEMM computes the convolution via im2col + matrix multiplication. It
-// produces results numerically identical (up to float32 association
-// order) to Direct; the equivalence is enforced by tests and is what
-// lets the simulator's ACL GEMM and direct paths share one ground truth.
+// PackGEMMWeights packs a dense OHWI filter bank into the fast
+// kernel's panel format. An OHWI bank is exactly the transposed
+// [ReductionK, OutC] GEMM operand laid out row-by-filter, so the pack
+// reads it as sequential streams — no scatter. Pack once per stage and
+// reuse across inferences; the engine's arena does precisely that.
+func PackGEMMWeights(spec ConvSpec, weights *tensor.Tensor) *gemm.Packed {
+	return gemm.PackTransposed(weights.Data(), spec.OutC, spec.ReductionK())
+}
+
+// GEMM computes the convolution via im2col + the fast packed matrix
+// kernel. Accumulation stays in ascending reduction order, so results
+// are numerically identical to Direct up to float32 association (the
+// documented bound for this path is <= 1e-4 relative; the tests
+// currently hold it bit-exact). Dense 1x1 zero-pad stride-1 layers
+// skip im2col entirely — the activation matrix is the input.
 func GEMM(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := checkArgs(spec, in, weights); err != nil {
+		return nil, err
+	}
+	pointwiseView := spec.IsPointwise() && spec.GroupCount() == 1 &&
+		spec.PadH == 0 && spec.PadW == 0 && spec.StrideH == 1 && spec.StrideW == 1
+	var patches *gemm.Matrix
+	if pointwiseView {
+		var err error
+		patches, err = gemm.WrapMatrix(spec.OutSpatial(), spec.InC, in.Data())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		patches, err = Im2col(spec, in)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pb := PackGEMMWeights(spec, weights)
+	prod := gemm.NewMatrix(patches.Rows, spec.OutC)
+	if err := gemm.Fast(patches, pb, prod); err != nil {
+		return nil, err
+	}
+	return tensor.FromData(tensor.NHWC, prod.Data, 1, spec.OutH(), spec.OutW(), spec.OutC)
+}
+
+// GEMMNaive is the pre-fast-path im2col convolution — per-call
+// column-major weight reshape and the cache-blocked parallel kernel —
+// kept verbatim as the reference the fast path's speedups and
+// equivalence tests are measured against.
+func GEMMNaive(spec ConvSpec, in, weights *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := checkArgs(spec, in, weights); err != nil {
 		return nil, err
 	}

@@ -14,10 +14,12 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"perfprune/internal/backend"
 	"perfprune/internal/conv"
 	"perfprune/internal/device"
+	"perfprune/internal/gemm"
 	"perfprune/internal/nets"
 	"perfprune/internal/profiler"
 	"perfprune/internal/prune"
@@ -34,9 +36,19 @@ type Stage struct {
 // Chain is a feed-forward sequence of convolutional stages where each
 // stage consumes the previous stage's output (VGG-16 and AlexNet shape;
 // ResNet trunks are handled per-block by the planner instead).
+//
+// A chain lazily builds an inference plan — packed weights, a shared
+// im2col scratch, ping-pong activation buffers — on the first Infer and
+// reuses it for every call with the same input extents, so warm
+// inference allocates nothing. Prune returns a fresh chain with no
+// plan; after mutating a stage's Weights or Spec in place, call
+// Invalidate.
 type Chain struct {
 	Name   string
 	Stages []Stage
+
+	mu   sync.Mutex
+	plan *inferPlan
 }
 
 // BuildChain constructs an executable chain from a network inventory
@@ -174,19 +186,213 @@ func complement(kept []int, n int) []int {
 	return out
 }
 
+// stageKind selects the kernel a planned stage runs.
+type stageKind int
+
+const (
+	kindDepthwise       stageKind = iota
+	kindPointwiseView             // dense 1x1 s1 p0: the activation matrix is the input
+	kindPointwiseGather           // dense 1x1 strided: sample the grid, then multiply
+	kindIm2col                    // everything else dense: im2col + packed GEMM
+)
+
+// stagePlan is one stage's precomputed execution state: the resolved
+// spec, packed weights, scratch/output headers into arena storage.
+type stagePlan struct {
+	label    string
+	spec     conv.ConvSpec
+	kind     stageKind
+	packed   *gemm.Packed // GEMM/pointwise weight panels
+	dwPacked []float32    // tap-major depthwise weights
+	patches  *gemm.Matrix // header into the shared scratch (gather/im2col)
+	aView    *gemm.Matrix // input-as-matrix header (kindPointwiseView)
+	out      *tensor.Tensor
+	outMat   *gemm.Matrix // out's data as the GEMM C operand
+}
+
+// inferPlan is a chain's warm-inference arena, keyed on the input
+// extents it was built for: two ping-pong activation buffers sized to
+// the largest even/odd stage outputs, one im2col scratch sized to the
+// largest patch matrix, packed weights per stage, and a reusable GEMM
+// completion context. Everything Infer touches per call lives here, so
+// the warm path performs zero allocations.
+type inferPlan struct {
+	inH, inW, inC int
+	stages        []stagePlan
+	bufs          [2][]float32
+	scratch       []float32
+	ctx           gemm.Ctx
+}
+
 // Infer runs the chain's real compute on an NHWC input, returning the
 // final activation. Inputs must match the first stage's (possibly
-// scaled) extents.
+// scaled) extents. The first call (and the first call after the input
+// extents change) builds the plan; warm calls reuse it and allocate
+// nothing. The returned tensor is arena-owned: it stays valid until
+// the next Infer on this chain — clone it to keep it longer.
 func (c *Chain) Infer(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(c.Stages) == 0 {
+		return nil, fmt.Errorf("engine: empty chain")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.plan == nil || c.plan.inH != in.Dim(1) || c.plan.inW != in.Dim(2) || c.plan.inC != in.Dim(3) {
+		p, err := c.buildPlan(in.Dim(1), in.Dim(2), in.Dim(3))
+		if err != nil {
+			return nil, err
+		}
+		c.plan = p
+	}
+	return c.plan.run(in)
+}
+
+// Invalidate drops the chain's inference plan. Call it after mutating
+// a stage's Weights or Spec in place; the next Infer rebuilds the
+// packed weights and arena. (Prune never needs this — it returns a new
+// chain with no plan.)
+func (c *Chain) Invalidate() {
+	c.mu.Lock()
+	c.plan = nil
+	c.mu.Unlock()
+}
+
+// buildPlan resolves every stage against the given input extents,
+// validates the feed-forward contract once, packs weights, and carves
+// the arena. Per-call work is reduced to kernel invocations.
+func (c *Chain) buildPlan(inH, inW, inC int) (*inferPlan, error) {
+	p := &inferPlan{inH: inH, inW: inW, inC: inC}
+	p.stages = make([]stagePlan, len(c.Stages))
+
+	// First pass: resolve specs along the activation chain and size the
+	// arena. Chained stages consume whatever spatial extent the previous
+	// stage produced (the inventory's fixed extents assume the original
+	// pooling layout; for execution we follow the data).
+	h, w, ch := inH, inW, inC
+	var bufNeed [2]int
+	scratchNeed := 0
+	for i, st := range c.Stages {
+		spec := st.Spec
+		spec.InH, spec.InW = h, w
+		if ch != spec.InC {
+			return nil, fmt.Errorf("engine: %s expects %d channels, activation has %d",
+				st.Label, spec.InC, ch)
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", st.Label, err)
+		}
+		if got, want := len(st.Weights.Data()), spec.WeightElems(); got != want {
+			return nil, fmt.Errorf("engine: %s: weight bank has %d elements, spec needs %d",
+				st.Label, got, want)
+		}
+		sp := &p.stages[i]
+		sp.label, sp.spec = st.Label, spec
+		switch {
+		case spec.IsDepthwise():
+			sp.kind = kindDepthwise
+		case spec.IsPointwise() && spec.GroupCount() == 1 && spec.PadH == 0 && spec.PadW == 0:
+			if spec.StrideH == 1 && spec.StrideW == 1 {
+				sp.kind = kindPointwiseView
+			} else {
+				sp.kind = kindPointwiseGather
+				if n := spec.OutSpatial() * spec.InC; n > scratchNeed {
+					scratchNeed = n
+				}
+			}
+		case spec.GroupCount() > 1:
+			return nil, fmt.Errorf("engine: %s: grouped non-depthwise stages have no fast path", st.Label)
+		default:
+			sp.kind = kindIm2col
+			if n := spec.OutSpatial() * spec.ReductionK(); n > scratchNeed {
+				scratchNeed = n
+			}
+		}
+		if n := spec.OutSpatial() * spec.OutC; n > bufNeed[i%2] {
+			bufNeed[i%2] = n
+		}
+		h, w, ch = spec.OutH(), spec.OutW(), spec.OutC
+	}
+	p.bufs[0] = make([]float32, bufNeed[0])
+	p.bufs[1] = make([]float32, bufNeed[1])
+	p.scratch = make([]float32, scratchNeed)
+
+	// Second pass: pack weights and point the per-stage headers into
+	// the arena.
+	for i := range p.stages {
+		sp := &p.stages[i]
+		spec := sp.spec
+		st := c.Stages[i]
+		outLen := spec.OutSpatial() * spec.OutC
+		out, err := tensor.FromData(tensor.NHWC, p.bufs[i%2][:outLen], 1, spec.OutH(), spec.OutW(), spec.OutC)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", sp.label, err)
+		}
+		sp.out = out
+		switch sp.kind {
+		case kindDepthwise:
+			sp.dwPacked = conv.PackDepthwiseWeights(spec, st.Weights, nil)
+			continue
+		case kindPointwiseView:
+			sp.aView = &gemm.Matrix{Rows: spec.OutSpatial(), Cols: spec.InC}
+		case kindPointwiseGather:
+			sp.patches = &gemm.Matrix{Rows: spec.OutSpatial(), Cols: spec.InC,
+				Data: p.scratch[:spec.OutSpatial()*spec.InC]}
+		case kindIm2col:
+			sp.patches = &gemm.Matrix{Rows: spec.OutSpatial(), Cols: spec.ReductionK(),
+				Data: p.scratch[:spec.OutSpatial()*spec.ReductionK()]}
+		}
+		sp.packed = conv.PackGEMMWeights(spec, st.Weights)
+		sp.outMat, err = gemm.WrapMatrix(spec.OutSpatial(), spec.OutC, out.Data())
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", sp.label, err)
+		}
+	}
+	return p, nil
+}
+
+// run executes the planned stages. The hot path: no validation beyond
+// kernel dimension checks, no allocation — every buffer, header, and
+// packed operand was built by buildPlan.
+func (p *inferPlan) run(in *tensor.Tensor) (*tensor.Tensor, error) {
+	act := in
+	for i := range p.stages {
+		sp := &p.stages[i]
+		var err error
+		switch sp.kind {
+		case kindDepthwise:
+			conv.DepthwiseInto(sp.spec, act, sp.dwPacked, sp.out)
+		case kindPointwiseView:
+			sp.aView.Data = act.Data()
+			err = p.ctx.Fast(sp.aView, sp.packed, sp.outMat)
+		case kindPointwiseGather:
+			conv.PointwiseGather(sp.spec, act, sp.patches)
+			err = p.ctx.Fast(sp.patches, sp.packed, sp.outMat)
+		default:
+			conv.Im2colInto(sp.spec, act, sp.patches)
+			err = p.ctx.Fast(sp.patches, sp.packed, sp.outMat)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", sp.label, err)
+		}
+		// ReLU, the paper's representative (and computationally
+		// negligible, §II-A1) activation.
+		relu(sp.out)
+		act = sp.out
+	}
+	return act, nil
+}
+
+// InferReference runs the chain through the pre-fast-path kernels —
+// naive GEMM with per-call weight reshape, naive depthwise/pointwise
+// loops, an allocation per stage. It is the equivalence reference the
+// fast Infer is tested against and the baseline the e2e benchmarks
+// report speedups over.
+func (c *Chain) InferReference(in *tensor.Tensor) (*tensor.Tensor, error) {
 	if len(c.Stages) == 0 {
 		return nil, fmt.Errorf("engine: empty chain")
 	}
 	act := in
 	for _, st := range c.Stages {
 		spec := st.Spec
-		// Chained stages consume whatever spatial extent the previous
-		// stage produced (the inventory's fixed extents assume the
-		// original pooling layout; for execution we follow the data).
 		spec.InH = act.Dim(1)
 		spec.InW = act.Dim(2)
 		if act.Dim(3) != spec.InC {
@@ -196,24 +402,19 @@ func (c *Chain) Infer(in *tensor.Tensor) (*tensor.Tensor, error) {
 		if err := spec.Validate(); err != nil {
 			return nil, fmt.Errorf("engine: %s: %w", st.Label, err)
 		}
-		// Route each stage to its kernel: depthwise stages have no
-		// im2col path, and dense 1x1 stages take the dedicated
-		// pointwise matrix-product kernel (bit-identical to Direct).
 		var out *tensor.Tensor
 		var err error
 		switch {
 		case spec.IsDepthwise():
-			out, err = conv.Depthwise(spec, act, st.Weights)
+			out, err = conv.DepthwiseNaive(spec, act, st.Weights)
 		case spec.IsPointwise() && spec.GroupCount() == 1 && spec.PadH == 0 && spec.PadW == 0:
-			out, err = conv.Pointwise(spec, act, st.Weights)
+			out, err = conv.PointwiseNaive(spec, act, st.Weights)
 		default:
-			out, err = conv.GEMM(spec, act, st.Weights)
+			out, err = conv.GEMMNaive(spec, act, st.Weights)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("engine: %s: %w", st.Label, err)
 		}
-		// ReLU, the paper's representative (and computationally
-		// negligible, §II-A1) activation.
 		relu(out)
 		act = out
 	}

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"testing"
+
+	"perfprune/internal/nets"
+	"perfprune/internal/prune"
+	"perfprune/internal/tensor"
+)
+
+// smallMobileNet builds the MobileNetV1 chain at 1/16 spatial
+// resolution — depthwise, pointwise, and strided stages in one trunk.
+func smallMobileNet(t *testing.T) *Chain {
+	t.Helper()
+	n := nets.MobileNetV1()
+	c, err := BuildChain(n, nets.BuildWeights(n), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// truncVGG builds the first n stages of VGG-16 at 1/32 resolution.
+// Chained inference holds the first stage's extents through every
+// stride-1 stage, so the full 13-layer trunk at wide channel counts is
+// too slow for tests that also run the naive reference; the truncated
+// chain still covers the 3x3 GEMM path across the channel ramp.
+func truncVGG(t *testing.T, n int) *Chain {
+	t.Helper()
+	net := nets.VGG16()
+	c, err := BuildChain(net, nets.BuildWeights(net), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Stages = c.Stages[:n]
+	return c
+}
+
+// TestInferMatchesReference pins the planned fast Infer to the
+// preserved naive path on full chains: every kernel accumulates in the
+// same order, so the activations must be value-exact end to end.
+func TestInferMatchesReference(t *testing.T) {
+	for _, c := range []*Chain{truncVGG(t, 8), smallMobileNet(t)} {
+		in := inputFor(c, 42)
+		want, err := c.InferReference(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Infer(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Shape().Equal(want.Shape()) {
+			t.Fatalf("%s: shape %v, want %v", c.Name, got.Shape(), want.Shape())
+		}
+		wd := want.Data()
+		for i, v := range got.Data() {
+			if v != wd[i] {
+				t.Fatalf("%s: activation %d: fast %v != reference %v", c.Name, i, v, wd[i])
+			}
+		}
+	}
+}
+
+// TestInferMatchesReferenceAfterPrune holds fast/reference equivalence
+// on pruned chains — the shapes the probe path actually executes, with
+// tile-remainder channel counts and depthwise coupling adjustments.
+func TestInferMatchesReferenceAfterPrune(t *testing.T) {
+	c := truncVGG(t, 8)
+	p, err := c.Prune(prune.Plan{"VGG.L0": 37, "VGG.L5": 101, "VGG.L7": 399}, prune.L1Magnitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := inputFor(p, 7)
+	want, err := p.InferReference(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := want.Data()
+	for i, v := range got.Data() {
+		if v != wd[i] {
+			t.Fatalf("pruned activation %d: fast %v != reference %v", i, v, wd[i])
+		}
+	}
+
+	// MobileNet: prune a dense producer so the depthwise consumer's
+	// coupling adjustment reshapes mid-chain stages too.
+	m := smallMobileNet(t)
+	mp, err := m.Prune(prune.Plan{"MobileNetV1.L2": 49}, prune.L1Magnitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := inputFor(mp, 9)
+	mwant, err := mp.InferReference(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgot, err := mp.Infer(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mwd := mwant.Data()
+	for i, v := range mgot.Data() {
+		if v != mwd[i] {
+			t.Fatalf("pruned mobilenet activation %d: fast %v != reference %v", i, v, mwd[i])
+		}
+	}
+}
+
+// TestInferWarmAllocatesNothing is the tentpole's allocation contract:
+// once the plan is built, Infer performs zero allocations per call.
+func TestInferWarmAllocatesNothing(t *testing.T) {
+	for _, c := range []*Chain{truncVGG(t, 8), smallMobileNet(t)} {
+		in := inputFor(c, 3)
+		if _, err := c.Infer(in); err != nil { // build the plan
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			if _, err := c.Infer(in); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: warm Infer allocates %v times per call, want 0", c.Name, allocs)
+		}
+	}
+}
+
+// TestInferPlanRebuildOnExtentChange: a chain fed a different input
+// resolution must rebuild its plan and still compute correctly, and
+// Invalidate must force a rebuild after in-place weight edits.
+func TestInferPlanRebuildOnExtentChange(t *testing.T) {
+	c := smallMobileNet(t)
+	in16 := inputFor(c, 5)
+	out16, err := c.Infer(in16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum16 := sum(out16)
+
+	s := c.Stages[0].Spec
+	in8 := tensor.New(tensor.NHWC, 1, s.InH*2, s.InW*2, s.InC)
+	in8.RandomUniform(5, 1)
+	out8, err := c.Infer(in8)
+	if err != nil {
+		t.Fatalf("after extent change: %v", err)
+	}
+	want8, err := c.InferReference(in8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := want8.Data()
+	for i, v := range out8.Data() {
+		if v != wd[i] {
+			t.Fatalf("rebuilt plan: activation %d: fast %v != reference %v", i, v, wd[i])
+		}
+	}
+
+	// Flip back: rebuilds again, same numbers as the first pass.
+	back, err := c.Infer(in16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(back) != sum16 {
+		t.Fatal("plan rebuild changed results for the original extents")
+	}
+
+	// In-place weight edit + Invalidate: results must follow the new
+	// weights (a stale plan would keep the old packed panels).
+	c.Stages[len(c.Stages)-1].Weights.Scale(2)
+	c.Invalidate()
+	doubled, err := c.Infer(in16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last stage is linear in its weights and ReLU is positively
+	// homogeneous, so the final activations exactly double.
+	for i, v := range doubled.Data() {
+		if v != 2*back.Data()[i] {
+			t.Fatalf("activation %d after Invalidate: %v, want %v", i, v, 2*back.Data()[i])
+		}
+	}
+}
+
+func sum(t *tensor.Tensor) float64 {
+	var s float64
+	for _, v := range t.Data() {
+		s += float64(v)
+	}
+	return s
+}
+
+// TestInferOutputIsArenaOwned documents the buffer contract: the
+// returned tensor is overwritten by the next Infer; Clone preserves it.
+func TestInferOutputIsArenaOwned(t *testing.T) {
+	c := smallMobileNet(t)
+	a := inputFor(c, 1)
+	b := inputFor(c, 2)
+	outA, err := c.Infer(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := outA.Clone()
+	if _, err := c.Infer(b); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i, v := range outA.Data() {
+		if v != keep.Data()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Skip("distinct inputs produced identical activations; aliasing not observable")
+	}
+	// keep (the clone) must be unaffected by the second Infer — it is;
+	// outA aliases arena storage and was overwritten, which is the
+	// documented contract.
+}

@@ -1,0 +1,340 @@
+package gemm
+
+// The fast path: a register-tiled micro-kernel over pre-packed weight
+// panels, with goroutine tiling across output rows for large products.
+// This is the numerical engine the real-compute backends and the
+// inference engine's warm path run on.
+//
+// Layout. B is packed once into column panels of width panelN (4):
+// panel p holds columns [4p, 4p+4) in k-major order, zero-padded to
+// full width, so the kernel's inner loop reads one contiguous stream.
+// A is consumed row-major directly (its four row streams are already
+// sequential), so activations never need repacking — only the weight
+// side, which the engine amortizes across calls.
+//
+// Numerics. Each output element is accumulated in a dedicated register
+// in ascending-k order — the same association order as Naive, Blocked,
+// Parallel and conv.Direct — so the fast path is bit-identical to the
+// references (the documented tolerance for the GEMM path is <= 1e-4
+// relative, but the tests hold it to exact equality). The 4x4 tile
+// exists for throughput, not numerics: sixteen independent dependency
+// chains hide the float add latency the single-accumulator loops
+// serialize on.
+//
+// On amd64 the micro-kernel is SSE assembly (kernel_amd64.s): the
+// panel's four columns live in one XMM register and each k step is a
+// broadcast + MULPS + ADDPS per row. Lane-wise MULPS/ADDPS round
+// exactly like scalar MULSS/ADDSS, and no FMA contraction is used, so
+// the SIMD kernel stays bit-identical to the pure-Go one — it computes
+// four scalar MAC chains side by side, ~4x faster. Other
+// architectures use the Go kernels (kernel_other.go).
+//
+// Parallelism. Products with at least MinParallelMACs multiply-
+// accumulates are tiled over 4-row bands onto a process-wide worker
+// pool (GOMAXPROCS goroutines, started on first use); smaller products
+// run serially inline, because a goroutine dispatch costs microseconds
+// that a probe-sized matrix cannot pay back. Completion is signalled
+// through a caller-owned Ctx so a warm caller allocates nothing.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// panelN is the packed panel width: the micro-kernel computes 4 output
+// columns at a time (a 4x4 register tile with the 4-row A block).
+const panelN = 4
+
+// MinParallelMACs is the product size (M*N*K multiply-accumulates)
+// below which Fast runs serially even when GOMAXPROCS > 1. The
+// crossover was benchmarked with BenchmarkParallelCrossover: one
+// worker dispatch costs a few microseconds, and the serial kernel
+// sustains roughly two MACs per nanosecond, so products under ~half a
+// million MACs (~a quarter millisecond serial) lose more to dispatch
+// and wait overhead than the extra cores return. Probe-path matrices
+// (small channel counts, small spatial extents) sit well under this
+// line and stay serial; full-width layer products sit well over it.
+const MinParallelMACs = 512 * 1024
+
+// Packed is a weight matrix repacked for the fast kernel: column
+// panels of width 4, each panel k-major and zero-padded. Pack once,
+// multiply many times.
+type Packed struct {
+	// K, N are the logical dimensions of the packed [K, N] matrix.
+	K, N int
+	// data holds ceil(N/4) panels of K*4 floats each.
+	data []float32
+}
+
+// panels returns the number of column panels.
+func (p *Packed) panels() int { return (p.N + panelN - 1) / panelN }
+
+// PackB packs a row-major [K, N] matrix into column panels.
+func PackB(b *Matrix) *Packed {
+	p := &Packed{K: b.Rows, N: b.Cols}
+	p.data = make([]float32, p.panels()*b.Rows*panelN)
+	p.repackB(b)
+	return p
+}
+
+// PackBInto repacks b into p, reusing p's storage when it is large
+// enough — the zero-alloc rebuild used after an in-place weight change.
+func PackBInto(p *Packed, b *Matrix) {
+	p.K, p.N = b.Rows, b.Cols
+	need := p.panels() * b.Rows * panelN
+	if cap(p.data) < need {
+		p.data = make([]float32, need)
+	}
+	p.data = p.data[:need]
+	p.repackB(b)
+}
+
+func (p *Packed) repackB(b *Matrix) {
+	k, n := b.Rows, b.Cols
+	for pi := 0; pi < p.panels(); pi++ {
+		j0 := pi * panelN
+		dst := p.data[pi*k*panelN : (pi+1)*k*panelN]
+		w := n - j0
+		if w > panelN {
+			w = panelN
+		}
+		for kk := 0; kk < k; kk++ {
+			row := b.Row(kk)
+			d := dst[kk*panelN : kk*panelN+panelN]
+			for j := 0; j < w; j++ {
+				d[j] = row[j0+j]
+			}
+			for j := w; j < panelN; j++ {
+				d[j] = 0
+			}
+		}
+	}
+}
+
+// PackTransposed packs the transpose of a row-major [N, K] matrix
+// (i.e. the logical [K, N] product operand) into column panels. This
+// is the natural entry for OHWI filter banks, whose rows are filters:
+// it reads four source rows as sequential streams instead of doing the
+// strided column-major scatter the naive WeightsToColumns pays on
+// every call.
+func PackTransposed(src []float32, n, k int) *Packed {
+	p := &Packed{K: k, N: n}
+	p.data = make([]float32, p.panels()*k*panelN)
+	p.repackTransposed(src, n, k)
+	return p
+}
+
+// PackTransposedInto is PackTransposed reusing p's storage.
+func PackTransposedInto(p *Packed, src []float32, n, k int) {
+	p.K, p.N = k, n
+	need := p.panels() * k * panelN
+	if cap(p.data) < need {
+		p.data = make([]float32, need)
+	}
+	p.data = p.data[:need]
+	p.repackTransposed(src, n, k)
+}
+
+func (p *Packed) repackTransposed(src []float32, n, k int) {
+	for pi := 0; pi < p.panels(); pi++ {
+		j0 := pi * panelN
+		dst := p.data[pi*k*panelN : (pi+1)*k*panelN]
+		w := n - j0
+		if w > panelN {
+			w = panelN
+		}
+		for j := 0; j < w; j++ {
+			col := src[(j0+j)*k : (j0+j+1)*k]
+			for kk := 0; kk < k; kk++ {
+				dst[kk*panelN+j] = col[kk]
+			}
+		}
+		if w < panelN {
+			for kk := 0; kk < k; kk++ {
+				for j := w; j < panelN; j++ {
+					dst[kk*panelN+j] = 0
+				}
+			}
+		}
+	}
+}
+
+// Ctx carries the reusable completion state of parallel Fast calls.
+// A Ctx is not safe for concurrent use; give each goroutine its own,
+// or hold one per arena as the inference engine does. The zero value
+// is ready to use.
+type Ctx struct {
+	wg sync.WaitGroup
+}
+
+// Fast computes C = A·B_packed with the register-tiled kernel,
+// spreading 4-row bands across the worker pool when the product is
+// large enough to pay for dispatch (see MinParallelMACs). Results are
+// bit-identical to Naive regardless of the path taken.
+func (ctx *Ctx) Fast(a *Matrix, pb *Packed, c *Matrix) error {
+	if a.Cols != pb.K {
+		return fmt.Errorf("gemm: inner dims mismatch: A is %dx%d, packed B is %dx%d",
+			a.Rows, a.Cols, pb.K, pb.N)
+	}
+	if c.Rows != a.Rows || c.Cols != pb.N {
+		return fmt.Errorf("gemm: C is %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, pb.N)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	macs := a.Rows * a.Cols * pb.N
+	if workers <= 1 || macs < MinParallelMACs {
+		fastRows(a, pb, c, 0, a.Rows)
+		return nil
+	}
+	startPoolOnce.Do(startPool)
+	// 4-row-aligned bands, at most one per worker: the kernel already
+	// walks whole panels per band, so finer tiles only add dispatch.
+	band := (a.Rows/panelN + workers - 1) / workers * panelN
+	if band < panelN {
+		band = panelN
+	}
+	for lo := 0; lo < a.Rows; lo += band {
+		hi := lo + band
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		ctx.wg.Add(1)
+		pool <- fastJob{a: a, pb: pb, c: c, lo: lo, hi: hi, wg: &ctx.wg}
+	}
+	ctx.wg.Wait()
+	return nil
+}
+
+// Fast is the convenience entry for one-shot callers; it shares a Ctx
+// per call site via the stack (the Ctx escapes only on the parallel
+// path, where a single allocation is noise next to the product).
+func Fast(a *Matrix, pb *Packed, c *Matrix) error {
+	var ctx Ctx
+	return ctx.Fast(a, pb, c)
+}
+
+// fastJob is one row band of a parallel product.
+type fastJob struct {
+	a      *Matrix
+	pb     *Packed
+	c      *Matrix
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	startPoolOnce sync.Once
+	pool          chan fastJob
+)
+
+// startPool starts the process-wide worker pool on first parallel use.
+// Workers are sized to GOMAXPROCS at that moment and live for the
+// process; jobs from concurrent Fast calls interleave freely because
+// each carries its caller's WaitGroup.
+func startPool() {
+	n := runtime.GOMAXPROCS(0)
+	pool = make(chan fastJob, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for j := range pool {
+				fastRows(j.a, j.pb, j.c, j.lo, j.hi)
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
+// fastRows computes rows [lo, hi) of C.
+func fastRows(a *Matrix, pb *Packed, c *Matrix, lo, hi int) {
+	k := a.Cols
+	n := c.Cols
+	i := lo
+	for ; i+panelN <= hi; i += panelN {
+		a0, a1, a2, a3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+		c0, c1, c2, c3 := c.Row(i), c.Row(i+1), c.Row(i+2), c.Row(i+3)
+		for p := 0; p*panelN < n; p++ {
+			r0, r1, r2, r3 := mul4x4(a0, a1, a2, a3, pb.data[p*k*panelN:(p+1)*k*panelN], k)
+			j0 := p * panelN
+			w := n - j0
+			if w > panelN {
+				w = panelN
+			}
+			copy(c0[j0:j0+w], r0[:w])
+			copy(c1[j0:j0+w], r1[:w])
+			copy(c2[j0:j0+w], r2[:w])
+			copy(c3[j0:j0+w], r3[:w])
+		}
+	}
+	for ; i < hi; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for p := 0; p*panelN < n; p++ {
+			r := mul1x4(arow, pb.data[p*k*panelN:(p+1)*k*panelN], k)
+			j0 := p * panelN
+			w := n - j0
+			if w > panelN {
+				w = panelN
+			}
+			copy(crow[j0:j0+w], r[:w])
+		}
+	}
+}
+
+// kernel4x4 computes a 4x4 output tile: four A-row streams against one
+// packed panel, sixteen register accumulators, ascending-k order. The
+// leading bounds hints let the compiler drop every in-loop check.
+func kernel4x4(a0, a1, a2, a3, bp []float32, kLen int) (r0, r1, r2, r3 [4]float32) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	_ = a0[kLen-1]
+	_ = a1[kLen-1]
+	_ = a2[kLen-1]
+	_ = a3[kLen-1]
+	_ = bp[4*kLen-1]
+	bi := 0
+	for k := 0; k < kLen; k++ {
+		b0, b1, b2, b3 := bp[bi], bp[bi+1], bp[bi+2], bp[bi+3]
+		bi += 4
+		av := a0[k]
+		c00 += av * b0
+		c01 += av * b1
+		c02 += av * b2
+		c03 += av * b3
+		av = a1[k]
+		c10 += av * b0
+		c11 += av * b1
+		c12 += av * b2
+		c13 += av * b3
+		av = a2[k]
+		c20 += av * b0
+		c21 += av * b1
+		c22 += av * b2
+		c23 += av * b3
+		av = a3[k]
+		c30 += av * b0
+		c31 += av * b1
+		c32 += av * b2
+		c33 += av * b3
+	}
+	return [4]float32{c00, c01, c02, c03}, [4]float32{c10, c11, c12, c13},
+		[4]float32{c20, c21, c22, c23}, [4]float32{c30, c31, c32, c33}
+}
+
+// kernel1x4 is the M-remainder tile (under four rows left).
+func kernel1x4(a, bp []float32, kLen int) [4]float32 {
+	var c0, c1, c2, c3 float32
+	_ = a[kLen-1]
+	_ = bp[4*kLen-1]
+	bi := 0
+	for k := 0; k < kLen; k++ {
+		av := a[k]
+		c0 += av * bp[bi]
+		c1 += av * bp[bi+1]
+		c2 += av * bp[bi+2]
+		c3 += av * bp[bi+3]
+		bi += 4
+	}
+	return [4]float32{c0, c1, c2, c3}
+}

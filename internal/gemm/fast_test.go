@@ -1,0 +1,269 @@
+package gemm
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+func fillDet(m *Matrix, seed int) {
+	for i := range m.Data {
+		m.Data[i] = float32((i*7+seed*13)%11) - 5
+	}
+}
+
+// TestFastMatchesNaiveExactly pins the fast kernel bit-identical to the
+// naive reference across shapes exercising every tile remainder: M and
+// N both off the 4-grid, K of 1, and single rows/columns.
+func TestFastMatchesNaiveExactly(t *testing.T) {
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {4, 8, 4}, {5, 7, 9}, {3, 16, 2}, {17, 23, 13},
+		{16, 64, 32}, {6, 1, 5}, {64, 128, 64}, {1, 100, 1},
+	}
+	for _, s := range shapes {
+		a := NewMatrix(s.m, s.k)
+		b := NewMatrix(s.k, s.n)
+		fillDet(a, 1)
+		fillDet(b, 2)
+		want := NewMatrix(s.m, s.n)
+		if err := Naive(a, b, want); err != nil {
+			t.Fatal(err)
+		}
+		got := NewMatrix(s.m, s.n)
+		if err := Fast(a, PackB(b), got); err != nil {
+			t.Fatalf("%dx%dx%d: %v", s.m, s.k, s.n, err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("%dx%dx%d: element %d: fast %v, naive %v",
+					s.m, s.k, s.n, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestFastMatchesNaiveProperty fuzzes shapes and contents.
+func TestFastMatchesNaiveProperty(t *testing.T) {
+	f := func(mr, kr, nr uint8, seed uint8) bool {
+		m, k, n := int(mr)%24+1, int(kr)%40+1, int(nr)%24+1
+		a := NewMatrix(m, k)
+		b := NewMatrix(k, n)
+		fillDet(a, int(seed))
+		fillDet(b, int(seed)+5)
+		want := NewMatrix(m, n)
+		got := NewMatrix(m, n)
+		if err := Naive(a, b, want); err != nil {
+			return false
+		}
+		if err := Fast(a, PackB(b), got); err != nil {
+			return false
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackTransposedMatchesPackB: packing W^T via the streaming
+// transposed path must equal transposing then packing.
+func TestPackTransposedMatchesPackB(t *testing.T) {
+	for _, s := range []struct{ n, k int }{{1, 1}, {4, 8}, {5, 7}, {13, 30}} {
+		w := make([]float32, s.n*s.k) // row-major [N, K]
+		for i := range w {
+			w[i] = float32(i%9) - 4
+		}
+		bt := NewMatrix(s.k, s.n)
+		for i := 0; i < s.n; i++ {
+			for kk := 0; kk < s.k; kk++ {
+				bt.Set(kk, i, w[i*s.k+kk])
+			}
+		}
+		want := PackB(bt)
+		got := PackTransposed(w, s.n, s.k)
+		if got.K != want.K || got.N != want.N || len(got.data) != len(want.data) {
+			t.Fatalf("%dx%d: dims/len mismatch", s.n, s.k)
+		}
+		for i := range want.data {
+			if want.data[i] != got.data[i] {
+				t.Fatalf("%dx%d: packed element %d differs", s.n, s.k, i)
+			}
+		}
+	}
+}
+
+// TestPackIntoReusesStorage: the Into variants must not allocate when
+// the destination already has capacity.
+func TestPackIntoReusesStorage(t *testing.T) {
+	b := NewMatrix(32, 16)
+	fillDet(b, 3)
+	p := PackB(b)
+	if n := testing.AllocsPerRun(10, func() { PackBInto(p, b) }); n != 0 {
+		t.Errorf("PackBInto allocated %v times with sufficient capacity", n)
+	}
+	w := make([]float32, 16*32)
+	if n := testing.AllocsPerRun(10, func() { PackTransposedInto(p, w, 16, 32) }); n != 0 {
+		t.Errorf("PackTransposedInto allocated %v times with sufficient capacity", n)
+	}
+}
+
+// TestFastCtxReuseIsExact: repeated products through one Ctx (the warm
+// engine shape) keep producing the exact result, including when the
+// parallel path engages.
+func TestFastCtxReuseIsExact(t *testing.T) {
+	// Big enough to cross MinParallelMACs when GOMAXPROCS > 1.
+	m, k, n := 128, 96, 64
+	if m*k*n < MinParallelMACs && runtime.GOMAXPROCS(0) > 1 {
+		t.Logf("product below parallel threshold; serial path covered only")
+	}
+	a := NewMatrix(m, k)
+	b := NewMatrix(k, n)
+	fillDet(a, 4)
+	fillDet(b, 5)
+	want := NewMatrix(m, n)
+	if err := Naive(a, b, want); err != nil {
+		t.Fatal(err)
+	}
+	pb := PackB(b)
+	got := NewMatrix(m, n)
+	var ctx Ctx
+	for pass := 0; pass < 3; pass++ {
+		if err := ctx.Fast(a, pb, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("pass %d: element %d differs", pass, i)
+			}
+		}
+	}
+}
+
+// TestMinParallelMACs pins the serial-fallback crossover constant: the
+// threshold exists so probe-path matrices never pay goroutine
+// dispatch. The value is validated by BenchmarkParallelCrossover on
+// multi-core hosts; this test pins it against accidental change and
+// checks both paths agree exactly right at the boundary.
+func TestMinParallelMACs(t *testing.T) {
+	if MinParallelMACs != 512*1024 {
+		t.Fatalf("MinParallelMACs = %d; re-run BenchmarkParallelCrossover before changing it", MinParallelMACs)
+	}
+	// A shape straddling the threshold: 81*81*81 = 531441 > 2^19.
+	for _, dim := range []int{80, 81} {
+		a := NewMatrix(dim, dim)
+		b := NewMatrix(dim, dim)
+		fillDet(a, 6)
+		fillDet(b, 7)
+		want := NewMatrix(dim, dim)
+		got := NewMatrix(dim, dim)
+		if err := Naive(a, b, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := Fast(a, PackB(b), got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("dim %d: element %d differs across threshold boundary", dim, i)
+			}
+		}
+	}
+}
+
+// TestFastRejectsBadDims mirrors the checkDims contract.
+func TestFastRejectsBadDims(t *testing.T) {
+	a := NewMatrix(4, 8)
+	pb := PackB(NewMatrix(7, 4)) // K mismatch
+	if err := Fast(a, pb, NewMatrix(4, 4)); err == nil {
+		t.Error("K mismatch accepted")
+	}
+	pb = PackB(NewMatrix(8, 4))
+	if err := Fast(a, pb, NewMatrix(3, 4)); err == nil {
+		t.Error("C row mismatch accepted")
+	}
+	if err := Fast(a, pb, NewMatrix(4, 5)); err == nil {
+		t.Error("C col mismatch accepted")
+	}
+}
+
+// BenchmarkFastVsBlocked reports the serial kernel improvement on a
+// full-width convolution-shaped product (VGG conv5-class: K = 3*3*512,
+// N = 512).
+func BenchmarkFastVsBlocked(b *testing.B) {
+	for _, s := range []struct{ m, k, n int }{{16, 4608, 512}, {196, 256, 512}} {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a := NewMatrix(s.m, s.k)
+			bm := NewMatrix(s.k, s.n)
+			fillDet(a, 1)
+			fillDet(bm, 2)
+			pb := PackB(bm)
+			c := NewMatrix(s.m, s.n)
+			var ctx Ctx
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ctx.Fast(a, pb, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelCrossover locates the serial/parallel crossover
+// that MinParallelMACs encodes: square products around the threshold,
+// forced down each path. On a multi-core host the parallel path should
+// only win above the constant; re-tune the constant if it does not.
+func BenchmarkParallelCrossover(b *testing.B) {
+	for _, dim := range []int{32, 48, 64, 81, 104, 128, 192} {
+		a := NewMatrix(dim, dim)
+		bm := NewMatrix(dim, dim)
+		fillDet(a, 1)
+		fillDet(bm, 2)
+		pb := PackB(bm)
+		c := NewMatrix(dim, dim)
+		b.Run(fmt.Sprintf("serial-%d", dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fastRows(a, pb, c, 0, dim)
+			}
+		})
+		b.Run(fmt.Sprintf("auto-%d", dim), func(b *testing.B) {
+			var ctx Ctx
+			for i := 0; i < b.N; i++ {
+				if err := ctx.Fast(a, pb, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestAsmKernelsMatchGo cross-checks the arch micro-kernels against
+// the pure-Go reference kernels element for element, including K
+// values that stress the broadcast/remainder logic. On non-amd64
+// builds the two are the same function and this is a tautology.
+func TestAsmKernelsMatchGo(t *testing.T) {
+	t.Logf("kernelsAreAsm = %v", kernelsAreAsm)
+	for _, k := range []int{1, 2, 3, 7, 16, 33, 100} {
+		a := NewMatrix(4, k)
+		fillDet(a, k)
+		bp := make([]float32, 4*k)
+		for i := range bp {
+			bp[i] = float32((i*5+k)%13) - 6
+		}
+		g0, g1, g2, g3 := kernel4x4(a.Row(0), a.Row(1), a.Row(2), a.Row(3), bp, k)
+		m0, m1, m2, m3 := mul4x4(a.Row(0), a.Row(1), a.Row(2), a.Row(3), bp, k)
+		if g0 != m0 || g1 != m1 || g2 != m2 || g3 != m3 {
+			t.Fatalf("k=%d: mul4x4 %v/%v/%v/%v, go kernel %v/%v/%v/%v",
+				k, m0, m1, m2, m3, g0, g1, g2, g3)
+		}
+		if g, m := kernel1x4(a.Row(0), bp, k), mul1x4(a.Row(0), bp, k); g != m {
+			t.Fatalf("k=%d: mul1x4 %v, go kernel %v", k, m, g)
+		}
+	}
+}

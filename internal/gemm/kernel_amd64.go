@@ -1,0 +1,33 @@
+//go:build amd64
+
+package gemm
+
+// SSE implementations of the micro-kernels. SSE is the amd64
+// baseline, so no feature detection is needed. The vector ops are
+// MULPS/ADDPS — lane-wise IEEE mul and add, the exact operations the
+// scalar kernels perform per element in the same ascending-k order —
+// so the assembly results are bit-identical to the pure-Go kernels
+// (TestAsmKernelsMatchGo pins this).
+
+// kernelsAreAsm reports which micro-kernel backs mul4x4/mul1x4, for
+// tests that cross-check the two.
+const kernelsAreAsm = true
+
+//go:noescape
+func kernel4x4sse(a0, a1, a2, a3, bp *float32, kLen int, r0, r1, r2, r3 *[4]float32)
+
+//go:noescape
+func kernel1x4sse(a, bp *float32, kLen int, r *[4]float32)
+
+// mul4x4 computes a 4x4 output tile from four A-row streams and one
+// packed panel.
+func mul4x4(a0, a1, a2, a3, bp []float32, kLen int) (r0, r1, r2, r3 [4]float32) {
+	kernel4x4sse(&a0[0], &a1[0], &a2[0], &a3[0], &bp[0], kLen, &r0, &r1, &r2, &r3)
+	return
+}
+
+// mul1x4 is the M-remainder tile.
+func mul1x4(a, bp []float32, kLen int) (r [4]float32) {
+	kernel1x4sse(&a[0], &bp[0], kLen, &r)
+	return
+}

@@ -1,0 +1,91 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// SSE micro-kernels. Each k step broadcasts one A element per row and
+// multiply-adds it against the 4-wide packed panel column vector, so
+// every output element accumulates in ascending-k order with
+// scalar-identical IEEE lane arithmetic — bit-exact with the pure-Go
+// kernels. Accumulators live in X0..X3 for the whole reduction.
+
+// func kernel4x4sse(a0, a1, a2, a3, bp *float32, kLen int, r0, r1, r2, r3 *[4]float32)
+TEXT ·kernel4x4sse(SB), NOSPLIT, $0-80
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), DI
+	MOVQ a2+16(FP), R8
+	MOVQ a3+24(FP), R9
+	MOVQ bp+32(FP), DX
+	MOVQ kLen+40(FP), CX
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	TESTQ CX, CX
+	JZ    done
+
+loop:
+	MOVUPS (DX), X4
+
+	MOVSS  (SI), X5
+	SHUFPS $0x00, X5, X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+
+	MOVSS  (DI), X6
+	SHUFPS $0x00, X6, X6
+	MULPS  X4, X6
+	ADDPS  X6, X1
+
+	MOVSS  (R8), X7
+	SHUFPS $0x00, X7, X7
+	MULPS  X4, X7
+	ADDPS  X7, X2
+
+	MOVSS  (R9), X8
+	SHUFPS $0x00, X8, X8
+	MULPS  X4, X8
+	ADDPS  X8, X3
+
+	ADDQ $4, SI
+	ADDQ $4, DI
+	ADDQ $4, R8
+	ADDQ $4, R9
+	ADDQ $16, DX
+	DECQ CX
+	JNZ  loop
+
+done:
+	MOVQ   r0+48(FP), AX
+	MOVUPS X0, (AX)
+	MOVQ   r1+56(FP), AX
+	MOVUPS X1, (AX)
+	MOVQ   r2+64(FP), AX
+	MOVUPS X2, (AX)
+	MOVQ   r3+72(FP), AX
+	MOVUPS X3, (AX)
+	RET
+
+// func kernel1x4sse(a, bp *float32, kLen int, r *[4]float32)
+TEXT ·kernel1x4sse(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ bp+8(FP), DX
+	MOVQ kLen+16(FP), CX
+	XORPS X0, X0
+	TESTQ CX, CX
+	JZ    done1
+
+loop1:
+	MOVUPS (DX), X4
+	MOVSS  (SI), X5
+	SHUFPS $0x00, X5, X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+	ADDQ   $4, SI
+	ADDQ   $16, DX
+	DECQ   CX
+	JNZ    loop1
+
+done1:
+	MOVQ   r+24(FP), AX
+	MOVUPS X0, (AX)
+	RET

@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package gemm
+
+// Portable fallback: the pure-Go micro-kernels. Same accumulation
+// order as the SSE kernels, so results are bit-identical across
+// architectures.
+
+const kernelsAreAsm = false
+
+func mul4x4(a0, a1, a2, a3, bp []float32, kLen int) (r0, r1, r2, r3 [4]float32) {
+	return kernel4x4(a0, a1, a2, a3, bp, kLen)
+}
+
+func mul1x4(a, bp []float32, kLen int) (r [4]float32) {
+	return kernel1x4(a, bp, kLen)
+}
