@@ -48,9 +48,11 @@ type Result struct {
 	// NsPerOp is the minimum ns/op across the parsed runs.
 	NsPerOp float64 `json:"ns_per_op"`
 	// BytesPerOp and AllocsPerOp are the -benchmem columns (minimum
-	// across runs), recorded in the trajectory artifact so allocation
-	// regressions are visible in CI; they are informational, not
-	// gated. Zero when the run was made without -benchmem.
+	// across measured runs), recorded in the trajectory artifact so
+	// allocation regressions are visible in CI; they are informational,
+	// not gated. -1 means the run carried no -benchmem columns ("not
+	// measured"), which keeps a genuine 0 B/op — the zero-alloc
+	// contract some benchmarks pin — distinguishable from absence.
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// Runs is how many runs were parsed (the -count).
@@ -183,21 +185,17 @@ func Parse(r io.Reader) ([]Result, error) {
 			if ns < b.NsPerOp {
 				b.NsPerOp = ns
 			}
-			if bytesOp >= 0 && bytesOp < b.BytesPerOp {
+			// Minimum over measured runs only: an unmeasured run (-1)
+			// neither seeds nor lowers the column, so mixing runs with
+			// and without -benchmem keeps the measured minimum.
+			if bytesOp >= 0 && (b.BytesPerOp < 0 || bytesOp < b.BytesPerOp) {
 				b.BytesPerOp = bytesOp
 			}
-			if allocsOp >= 0 && allocsOp < b.AllocsPerOp {
+			if allocsOp >= 0 && (b.AllocsPerOp < 0 || allocsOp < b.AllocsPerOp) {
 				b.AllocsPerOp = allocsOp
 			}
 		} else {
-			r := &Result{Name: name, NsPerOp: ns, Runs: 1}
-			if bytesOp >= 0 {
-				r.BytesPerOp = bytesOp
-			}
-			if allocsOp >= 0 {
-				r.AllocsPerOp = allocsOp
-			}
-			best[name] = r
+			best[name] = &Result{Name: name, NsPerOp: ns, BytesPerOp: bytesOp, AllocsPerOp: allocsOp, Runs: 1}
 			order = append(order, name)
 		}
 	}

@@ -116,11 +116,44 @@ BenchmarkFig01-8                3   52034812 ns/op   1.900 max_slowdown_x
 	if vgg.NsPerOp != 44000000 {
 		t.Errorf("ns/op = %v, want min 44000000", vgg.NsPerOp)
 	}
+	// A measured 0 B/op is a genuine zero-allocation result.
 	if vgg.BytesPerOp != 0 || vgg.AllocsPerOp != 0 {
 		t.Errorf("benchmem = %v B/op %v allocs/op, want min 0/0", vgg.BytesPerOp, vgg.AllocsPerOp)
 	}
-	// Runs without -benchmem columns default to zero, not an error.
-	if fig := byName["Fig01"]; fig.BytesPerOp != 0 || fig.AllocsPerOp != 0 {
-		t.Errorf("missing benchmem columns parsed as %v/%v, want 0/0", fig.BytesPerOp, fig.AllocsPerOp)
+	// Runs without -benchmem columns record -1 ("not measured"), so the
+	// trajectory artifact cannot read as a zero-allocation claim.
+	if fig := byName["Fig01"]; fig.BytesPerOp != -1 || fig.AllocsPerOp != -1 {
+		t.Errorf("missing benchmem columns parsed as %v/%v, want -1/-1", fig.BytesPerOp, fig.AllocsPerOp)
+	}
+}
+
+// TestParseBenchmemMixedRuns: the minimum is taken over measured runs
+// only — an unmeasured run must neither pin the column at a bogus 0
+// nor erase a measured value, whichever order the runs arrive in.
+func TestParseBenchmemMixedRuns(t *testing.T) {
+	input := `goos: linux
+BenchmarkMixed-8   3   50000000 ns/op
+BenchmarkMixed-8   3   51000000 ns/op   128 B/op   2 allocs/op
+BenchmarkMixed-8   3   52000000 ns/op   64 B/op   1 allocs/op
+BenchmarkNever-8   3   10000000 ns/op
+BenchmarkNever-8   3   11000000 ns/op
+`
+	results, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	mixed := byName["Mixed"]
+	if mixed.NsPerOp != 50000000 || mixed.Runs != 3 {
+		t.Errorf("Mixed = %+v, want min ns over 3 runs", mixed)
+	}
+	if mixed.BytesPerOp != 64 || mixed.AllocsPerOp != 1 {
+		t.Errorf("Mixed benchmem = %v/%v, want 64/1 (min over the measured runs)", mixed.BytesPerOp, mixed.AllocsPerOp)
+	}
+	if never := byName["Never"]; never.BytesPerOp != -1 || never.AllocsPerOp != -1 {
+		t.Errorf("Never benchmem = %v/%v, want -1/-1", never.BytesPerOp, never.AllocsPerOp)
 	}
 }

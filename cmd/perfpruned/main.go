@@ -1,17 +1,22 @@
 // Command perfpruned is the pruning-as-a-service daemon: it serves the
 // paper's profile → staircase → prune-to-right-edge workflow over
 // HTTP/JSON, sharing one warm measurement cache across every request.
+// With -store the cache survives restarts: completed measurements are
+// snapshotted to disk (periodically and at shutdown) and warm-started
+// at the next boot, so a restarted daemon answers repeat plans without
+// re-paying the measurement bill.
 //
 // Usage:
 //
-//	perfpruned -addr :7070 -workers 8 -backends acl-gemm,acl-direct,cudnn,tvm
+//	perfpruned -addr :7070 -workers 8 -backends acl-gemm,acl-direct,cudnn,tvm \
+//	           -store /var/lib/perfprune/profile.store -snapshot-interval 5m
 //
 // Endpoints (see README.md for a curl quickstart):
 //
 //	GET  /v1/backends   registered backends and the boards they target
 //	GET  /v1/devices    the paper's four evaluation boards
 //	GET  /v1/networks   the network inventories (ResNet-50, VGG-16, AlexNet)
-//	GET  /v1/stats      measurement-cache and request counters
+//	GET  /v1/stats      measurement-cache, store and request counters
 //	POST /v1/sweep      layer × channel-range latency curve
 //	POST /v1/staircase  sweep + stair/right-edge analysis
 //	POST /v1/plan       whole-network prune plan under an accuracy budget
@@ -23,13 +28,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"perfprune/internal/profilestore"
 	"perfprune/internal/service"
 
 	// Backends self-register at init; link the extension packages so
@@ -38,23 +46,47 @@ import (
 	_ "perfprune/internal/hybrid"
 )
 
+// options is the daemon's parsed command line.
+type options struct {
+	addr             string
+	workers          int
+	backends         string
+	store            string
+	snapshotInterval time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":7070", "listen address")
-	workers := flag.Int("workers", 0, "per-request sweep workers (0 = GOMAXPROCS)")
-	backends := flag.String("backends", "",
+	opt := options{}
+	flag.StringVar(&opt.addr, "addr", ":7070", "listen address (use :0 for an ephemeral port; the bound address is logged)")
+	flag.IntVar(&opt.workers, "workers", 0, "per-request sweep workers (0 = GOMAXPROCS)")
+	flag.StringVar(&opt.backends, "backends", "",
 		"comma-separated backend allowlist (empty = all registered; use the simulated backends for deterministic serving)")
+	flag.StringVar(&opt.store, "store", "",
+		"persistent profile store file: warm-start the measurement cache from it at boot and snapshot back to it (empty = in-memory only)")
+	flag.DurationVar(&opt.snapshotInterval, "snapshot-interval", 5*time.Minute,
+		"how often to flush the cache to -store while serving (a final flush always runs at shutdown; <= 0 disables periodic flushes)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *backends); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, opt, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "perfpruned: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, backends string) error {
-	cfg := service.Config{Workers: workers}
-	if backends != "" {
-		for _, key := range strings.Split(backends, ",") {
+// run boots and serves until ctx is cancelled. The listener is bound
+// synchronously — bind errors return immediately instead of racing the
+// "serving" banner out of a goroutine — and the logged address is the
+// listener's real one, so -addr :0 reports the kernel-chosen port
+// (which is what lets tests and CI drive an ephemeral-port daemon
+// without guessing). ready, when non-nil, receives the bound address
+// once the handler is about to serve.
+func run(ctx context.Context, opt options, ready func(net.Addr)) error {
+	cfg := service.Config{Workers: opt.workers}
+	if opt.backends != "" {
+		for _, key := range strings.Split(opt.backends, ",") {
 			if key = strings.TrimSpace(key); key != "" {
 				cfg.Backends = append(cfg.Backends, key)
 			}
@@ -65,21 +97,54 @@ func run(addr string, workers int, backends string) error {
 		return err
 	}
 
+	var mgr *profilestore.Manager
+	if opt.store != "" {
+		mgr = profilestore.NewManager(opt.store, srv.Cache())
+		if err := mgr.WarmStart(); err != nil {
+			return fmt.Errorf("warm-start from %s: %w", opt.store, err)
+		}
+		fmt.Printf("perfpruned: %s\n", mgr.Status())
+		srv.SetStoreStats(func() service.StoreStats {
+			st := mgr.Status()
+			return service.StoreStats{
+				Path:             st.Path,
+				WarmStartEntries: st.WarmStartEntries,
+				SkippedRecords:   st.SkippedRecords,
+				SkipReason:       st.SkipReason,
+				Flushes:          st.Flushes,
+				FlushErrors:      st.FlushErrors,
+				LastFlushUnixMs:  st.LastFlushUnixMs,
+			}
+		})
+	}
+
+	ln, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		return fmt.Errorf("bind %s: %w", opt.addr, err)
+	}
+	fmt.Printf("perfpruned: serving on %s (backends: %s)\n",
+		ln.Addr(), strings.Join(backendList(cfg), ", "))
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	var flushers sync.WaitGroup
+	if mgr != nil {
+		flushers.Add(1)
+		go func() {
+			defer flushers.Done()
+			mgr.Run(ctx, opt.snapshotInterval, func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "perfpruned: "+format+"\n", args...)
+			})
+		}()
+	}
+
 	hs := &http.Server{
-		Addr:              addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	errc := make(chan error, 1)
-	go func() {
-		fmt.Printf("perfpruned: serving on %s (backends: %s)\n",
-			addr, strings.Join(backendList(cfg), ", "))
-		errc <- hs.ListenAndServe()
-	}()
+	go func() { errc <- hs.Serve(ln) }()
 
 	select {
 	case err := <-errc:
@@ -99,6 +164,16 @@ func run(addr string, workers int, backends string) error {
 		}
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
+		}
+		// The final flush runs after the drain, so measurements that
+		// completed during it still make the snapshot; the periodic
+		// flusher has already stopped (its ctx is done).
+		flushers.Wait()
+		if mgr != nil {
+			if err := mgr.Flush(); err != nil {
+				return fmt.Errorf("shutdown flush: %w", err)
+			}
+			fmt.Printf("perfpruned: flushed %d entries to %s\n", srv.CacheStats().Entries, opt.store)
 		}
 		fmt.Println("perfpruned: shut down")
 		return nil

@@ -1,0 +1,214 @@
+package main
+
+// End-to-end daemon tests driven through run(): real TCP listener on
+// an ephemeral port, real signal-shaped shutdown (context
+// cancellation), real store file across a restart.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+	"perfprune/internal/service"
+)
+
+// countingACL wraps the ACL-GEMM simulator and counts Measure calls.
+type countingACL struct {
+	inner backend.Backend
+	calls atomic.Int64
+}
+
+func (c *countingACL) Name() string                  { return "PD-Count-ACL" }
+func (c *countingACL) Supports(d device.Device) bool { return c.inner.Supports(d) }
+func (c *countingACL) Measure(d device.Device, spec conv.ConvSpec) (backend.Measurement, error) {
+	c.calls.Add(1)
+	return c.inner.Measure(d, spec)
+}
+
+var (
+	countingOnce sync.Once
+	counting     *countingACL
+)
+
+func countingKey(t *testing.T) *countingACL {
+	t.Helper()
+	countingOnce.Do(func() {
+		inner, err := backend.Lookup("acl-gemm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		counting = &countingACL{inner: inner}
+		backend.Register("pd-count-acl", counting)
+	})
+	return counting
+}
+
+// daemon is one running run() invocation.
+type daemon struct {
+	addr net.Addr
+	stop context.CancelFunc
+	done chan error
+}
+
+// startDaemon boots run() on an ephemeral port and waits for the bound
+// address.
+func startDaemon(t *testing.T, opt options) *daemon {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &daemon{stop: cancel, done: make(chan error, 1)}
+	addrc := make(chan net.Addr, 1)
+	go func() { d.done <- run(ctx, opt, func(a net.Addr) { addrc <- a }) }()
+	select {
+	case d.addr = <-addrc:
+	case err := <-d.done:
+		cancel()
+		t.Fatalf("daemon exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon never bound its listener")
+	}
+	t.Cleanup(cancel)
+	return d
+}
+
+// shutdown stops the daemon and returns run()'s error.
+func (d *daemon) shutdown(t *testing.T) error {
+	t.Helper()
+	d.stop()
+	select {
+	case err := <-d.done:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+		return nil
+	}
+}
+
+func (d *daemon) url(path string) string { return "http://" + d.addr.String() + path }
+
+func post(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestRunBindErrorSynchronous: a bad listen address fails run()
+// immediately and synchronously — the old ListenAndServe-in-goroutine
+// shape raced the error against the "serving" banner.
+func TestRunBindErrorSynchronous(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	err = run(context.Background(), options{addr: ln.Addr().String(), backends: "acl-gemm"}, nil)
+	if err == nil {
+		t.Fatal("binding an occupied port should fail")
+	}
+	if !strings.Contains(err.Error(), "bind") {
+		t.Errorf("bind failure should name the bind step: %v", err)
+	}
+}
+
+// TestRunReportsEphemeralPort: -addr :0 must surface the real bound
+// port, not the literal ":0".
+func TestRunReportsEphemeralPort(t *testing.T) {
+	d := startDaemon(t, options{addr: "127.0.0.1:0", backends: "acl-gemm"})
+	tcp, ok := d.addr.(*net.TCPAddr)
+	if !ok || tcp.Port == 0 {
+		t.Fatalf("reported address %v does not carry a real port", d.addr)
+	}
+	status, _ := post(t, d.url("/v1/sweep"), `{"backend": "acl-gemm", "device": "HiKey 970", "network": "AlexNet", "layer": "AlexNet.L6", "hi": 8}`)
+	if status != http.StatusOK {
+		t.Fatalf("daemon on the reported port answered %d", status)
+	}
+	if err := d.shutdown(t); err != nil {
+		t.Fatalf("clean shutdown: %v", err)
+	}
+}
+
+// TestDaemonRestartWarmStart is the acceptance contract end to end: a
+// killed-and-restarted `perfpruned -store` serves a repeated /v1/plan
+// without re-invoking any backend Measure for snapshotted
+// configurations.
+func TestDaemonRestartWarmStart(t *testing.T) {
+	cb := countingKey(t)
+	store := filepath.Join(t.TempDir(), "profile.store")
+	opt := options{
+		addr:             "127.0.0.1:0",
+		backends:         "pd-count-acl",
+		store:            store,
+		snapshotInterval: time.Hour, // only the shutdown flush matters here
+	}
+	plan := `{"backend": "pd-count-acl", "device": "HiKey 970", "network": "AlexNet"}`
+
+	// Boot 1: cold. The plan pays the measurement bill; shutdown
+	// flushes it.
+	d1 := startDaemon(t, opt)
+	status, cold := post(t, d1.url("/v1/plan"), plan)
+	if status != http.StatusOK {
+		t.Fatalf("cold plan: status %d, body %s", status, cold)
+	}
+	coldCalls := cb.calls.Load()
+	if coldCalls == 0 {
+		t.Fatal("cold plan issued no measurements")
+	}
+	if err := d1.shutdown(t); err != nil {
+		t.Fatalf("boot 1 shutdown: %v", err)
+	}
+	if fi, err := os.Stat(store); err != nil || fi.Size() == 0 {
+		t.Fatalf("shutdown left no snapshot: %v", err)
+	}
+
+	// Boot 2: warm. The identical plan re-invokes nothing.
+	d2 := startDaemon(t, opt)
+	status, warm := post(t, d2.url("/v1/plan"), plan)
+	if status != http.StatusOK {
+		t.Fatalf("warm plan: status %d, body %s", status, warm)
+	}
+	if got := cb.calls.Load(); got != coldCalls {
+		t.Fatalf("restarted daemon re-invoked Measure %d times", got-coldCalls)
+	}
+	if string(cold) != string(warm) {
+		t.Error("warm-started plan differs from the cold one")
+	}
+
+	resp, err := http.Get(d2.url("/v1/stats"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats service.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Store == nil || stats.Store.WarmStartEntries == 0 {
+		t.Fatalf("warm-start not surfaced on /v1/stats: %+v", stats.Store)
+	}
+	if stats.Cache.Hits == 0 || stats.Cache.Misses != 0 {
+		t.Errorf("warm plan traffic: %d hits / %d misses, want all hits", stats.Cache.Hits, stats.Cache.Misses)
+	}
+	if err := d2.shutdown(t); err != nil {
+		t.Fatalf("boot 2 shutdown: %v", err)
+	}
+}

@@ -1,0 +1,320 @@
+// Command planload drives a running perfpruned daemon with a sustained
+// stream of /v1/plan and /v1/frontier requests and reports what the
+// paper's "planning as a service" tier actually costs to serve: p50 /
+// p95 / p99 latency and error rate at a configured concurrency. SLO
+// flags turn the report into a gate — any violated objective makes the
+// process exit non-zero, which is what CI runs against a warm-started
+// daemon (generous thresholds: an existence gate for the serving path,
+// not a perf gate on shared runners).
+//
+// Usage:
+//
+//	planload -addr http://127.0.0.1:7070 -duration 10s -concurrency 8 \
+//	         -network AlexNet -backend acl-gemm -device "HiKey 970" \
+//	         -slo-p99 500ms -slo-error-rate 0.01
+//
+// The first requests are the most expensive (they pay the daemon's
+// measurement bill; everything after coalesces on its cache), so the
+// p99 of a cold daemon is dominated by cache fill — load-test a
+// warm-started daemon (-store) to measure steady-state serving.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// config is one load run's shape.
+type config struct {
+	base        string        // daemon base URL
+	duration    time.Duration // how long to keep the load up
+	concurrency int           // concurrent request loops
+	timeout     time.Duration // per-request timeout
+	endpoints   []endpoint    // round-robined request mix
+
+	sloP50, sloP95, sloP99 time.Duration // 0 = ungated
+	sloErrorRate           float64       // < 0 = ungated
+}
+
+// endpoint is one (path, body) the workers cycle through.
+type endpoint struct {
+	Path string
+	Body string
+}
+
+// sample is one completed request.
+type sample struct {
+	endpoint string
+	ms       float64
+	ok       bool
+}
+
+// EndpointStats is the per-endpoint slice of the report.
+type EndpointStats struct {
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+}
+
+// Report is what one load run measured. Latency percentiles are over
+// successful requests only — failures are scored by the error-rate
+// gate, not blended into the latency distribution.
+type Report struct {
+	DurationSec float64                  `json:"duration_sec"`
+	Concurrency int                      `json:"concurrency"`
+	Requests    int                      `json:"requests"`
+	Errors      int                      `json:"errors"`
+	ErrorRate   float64                  `json:"error_rate"`
+	RPS         float64                  `json:"rps"`
+	P50Ms       float64                  `json:"p50_ms"`
+	P95Ms       float64                  `json:"p95_ms"`
+	P99Ms       float64                  `json:"p99_ms"`
+	PerEndpoint map[string]EndpointStats `json:"per_endpoint"`
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:7070", "perfpruned base URL")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to sustain the load")
+		concurrency = flag.Int("concurrency", 4, "concurrent request loops")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout (a timeout counts as an error)")
+		network     = flag.String("network", "AlexNet", "network to plan")
+		backendKey  = flag.String("backend", "acl-gemm", "backend registry key to plan against")
+		deviceName  = flag.String("device", "HiKey 970", "target board")
+		endpoints   = flag.String("endpoints", "plan,frontier", "comma-separated request mix: plan, frontier")
+		jsonOut     = flag.Bool("json", false, "emit the report as JSON instead of text")
+
+		sloP50    = flag.Duration("slo-p50", 0, "fail if p50 latency exceeds this (0 = ungated)")
+		sloP95    = flag.Duration("slo-p95", 0, "fail if p95 latency exceeds this (0 = ungated)")
+		sloP99    = flag.Duration("slo-p99", 0, "fail if p99 latency exceeds this (0 = ungated)")
+		sloErrors = flag.Float64("slo-error-rate", -1, "fail if the error-rate fraction exceeds this (< 0 = ungated)")
+	)
+	flag.Parse()
+
+	cfg := config{
+		base:         strings.TrimRight(*addr, "/"),
+		duration:     *duration,
+		concurrency:  *concurrency,
+		timeout:      *timeout,
+		sloP50:       *sloP50,
+		sloP95:       *sloP95,
+		sloP99:       *sloP99,
+		sloErrorRate: *sloErrors,
+	}
+	var err error
+	cfg.endpoints, err = buildEndpoints(*endpoints, *backendKey, *deviceName, *network)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "planload: %v\n", err)
+		os.Exit(2)
+	}
+
+	rep, err := runLoad(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "planload: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep) //nolint:errcheck
+	} else {
+		printReport(os.Stdout, rep)
+	}
+	if violations := checkSLOs(rep, cfg); len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "planload: %d SLO violation(s):\n  %s\n",
+			len(violations), strings.Join(violations, "\n  "))
+		os.Exit(1)
+	}
+}
+
+// buildEndpoints turns the -endpoints mix into request templates.
+func buildEndpoints(mix, backendKey, deviceName, network string) ([]endpoint, error) {
+	planBody, err := json.Marshal(map[string]any{
+		"backend": backendKey, "device": deviceName, "network": network,
+	})
+	if err != nil {
+		return nil, err
+	}
+	frontierBody, err := json.Marshal(map[string]any{
+		"backend": backendKey, "device": deviceName, "network": network, "max_points": 16,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []endpoint
+	for _, name := range strings.Split(mix, ",") {
+		switch strings.TrimSpace(name) {
+		case "plan":
+			out = append(out, endpoint{Path: "/v1/plan", Body: string(planBody)})
+		case "frontier":
+			out = append(out, endpoint{Path: "/v1/frontier", Body: string(frontierBody)})
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown endpoint %q (have: plan, frontier)", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty endpoint mix")
+	}
+	return out, nil
+}
+
+// runLoad sustains the configured load until the duration elapses and
+// aggregates every completed request.
+func runLoad(ctx context.Context, cfg config) (Report, error) {
+	if cfg.concurrency < 1 {
+		return Report{}, fmt.Errorf("concurrency %d must be >= 1", cfg.concurrency)
+	}
+	if cfg.duration <= 0 {
+		return Report{}, fmt.Errorf("duration %v must be positive", cfg.duration)
+	}
+	client := &http.Client{Timeout: cfg.timeout}
+	ctx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+
+	perWorker := make([][]sample, cfg.concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ctx.Err() == nil; i++ {
+				ep := cfg.endpoints[(w+i)%len(cfg.endpoints)]
+				s := issue(ctx, client, cfg.base, ep)
+				if ctx.Err() != nil && !s.ok {
+					// The deadline cut this request off mid-flight; it
+					// measured the harness, not the daemon.
+					break
+				}
+				perWorker[w] = append(perWorker[w], s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []sample
+	for _, ws := range perWorker {
+		all = append(all, ws...)
+	}
+	if len(all) == 0 {
+		return Report{}, fmt.Errorf("no requests completed within %v — is the daemon up at %s?", cfg.duration, cfg.base)
+	}
+	return aggregate(all, elapsed, cfg.concurrency), nil
+}
+
+// issue sends one request and scores it.
+func issue(ctx context.Context, client *http.Client, base string, ep endpoint) sample {
+	s := sample{endpoint: ep.Path}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+ep.Path, strings.NewReader(ep.Body))
+	if err != nil {
+		return s
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	s.ms = float64(time.Since(t0)) / float64(time.Millisecond)
+	if err != nil {
+		return s
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	resp.Body.Close()
+	s.ok = resp.StatusCode == http.StatusOK
+	return s
+}
+
+// aggregate folds samples into the report.
+func aggregate(all []sample, elapsed time.Duration, concurrency int) Report {
+	rep := Report{
+		DurationSec: elapsed.Seconds(),
+		Concurrency: concurrency,
+		Requests:    len(all),
+		PerEndpoint: make(map[string]EndpointStats),
+	}
+	var okMs []float64
+	for _, s := range all {
+		es := rep.PerEndpoint[s.endpoint]
+		es.Requests++
+		if s.ok {
+			okMs = append(okMs, s.ms)
+		} else {
+			es.Errors++
+			rep.Errors++
+		}
+		rep.PerEndpoint[s.endpoint] = es
+	}
+	rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	if elapsed > 0 {
+		rep.RPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	sort.Float64s(okMs)
+	rep.P50Ms = percentile(okMs, 0.50)
+	rep.P95Ms = percentile(okMs, 0.95)
+	rep.P99Ms = percentile(okMs, 0.99)
+	return rep
+}
+
+// percentile returns the q-quantile of sorted (nearest-rank method);
+// 0 for an empty slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// checkSLOs scores the report against the configured objectives.
+func checkSLOs(rep Report, cfg config) []string {
+	var out []string
+	gate := func(name string, gotMs float64, slo time.Duration) {
+		if slo <= 0 {
+			return
+		}
+		limitMs := float64(slo) / float64(time.Millisecond)
+		if gotMs > limitMs {
+			out = append(out, fmt.Sprintf("%s %.1fms exceeds SLO %.1fms", name, gotMs, limitMs))
+		}
+	}
+	gate("p50", rep.P50Ms, cfg.sloP50)
+	gate("p95", rep.P95Ms, cfg.sloP95)
+	gate("p99", rep.P99Ms, cfg.sloP99)
+	if cfg.sloErrorRate >= 0 && rep.ErrorRate > cfg.sloErrorRate {
+		out = append(out, fmt.Sprintf("error rate %.3f exceeds SLO %.3f (%d/%d failed)",
+			rep.ErrorRate, cfg.sloErrorRate, rep.Errors, rep.Requests))
+	}
+	return out
+}
+
+// printReport renders the text report.
+func printReport(w io.Writer, rep Report) {
+	fmt.Fprintf(w, "planload: %d requests in %.1fs (%.1f req/s, concurrency %d)\n",
+		rep.Requests, rep.DurationSec, rep.RPS, rep.Concurrency)
+	fmt.Fprintf(w, "  latency  p50 %.1fms  p95 %.1fms  p99 %.1fms\n", rep.P50Ms, rep.P95Ms, rep.P99Ms)
+	fmt.Fprintf(w, "  errors   %d (%.3f)\n", rep.Errors, rep.ErrorRate)
+	paths := make([]string, 0, len(rep.PerEndpoint))
+	for p := range rep.PerEndpoint {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		es := rep.PerEndpoint[p]
+		fmt.Fprintf(w, "  %-14s %d requests, %d errors\n", p, es.Requests, es.Errors)
+	}
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 50}, {0.95, 100}, {0.99, 100}, {0.10, 10}, {1.0, 100},
+	}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(q=%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	if got := percentile([]float64{42}, 0.5); got != 42 {
+		t.Errorf("singleton percentile = %v, want 42", got)
+	}
+}
+
+func TestBuildEndpoints(t *testing.T) {
+	eps, err := buildEndpoints("plan,frontier", "acl-gemm", "HiKey 970", "AlexNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 2 || eps[0].Path != "/v1/plan" || eps[1].Path != "/v1/frontier" {
+		t.Fatalf("endpoints = %+v", eps)
+	}
+	if !strings.Contains(eps[0].Body, `"network":"AlexNet"`) {
+		t.Errorf("plan body %q missing the network", eps[0].Body)
+	}
+	if !strings.Contains(eps[1].Body, `"max_points":16`) {
+		t.Errorf("frontier body %q missing max_points", eps[1].Body)
+	}
+	if _, err := buildEndpoints("plan,bogus", "b", "d", "n"); err == nil {
+		t.Error("unknown endpoint accepted")
+	}
+	if _, err := buildEndpoints(" , ", "b", "d", "n"); err == nil {
+		t.Error("empty mix accepted")
+	}
+}
+
+// loadServer fakes a daemon: /v1/plan always succeeds, /v1/frontier
+// fails every failEvery-th request.
+func loadServer(t *testing.T, failEvery int64) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var frontierHits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"ok":true}`)) //nolint:errcheck
+	})
+	mux.HandleFunc("POST /v1/frontier", func(w http.ResponseWriter, r *http.Request) {
+		n := frontierHits.Add(1)
+		if failEvery > 0 && n%failEvery == 0 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`)) //nolint:errcheck
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &frontierHits
+}
+
+func TestRunLoadReportsMixAndErrors(t *testing.T) {
+	ts, frontierHits := loadServer(t, 2) // every 2nd frontier request fails
+	cfg := config{
+		base:        ts.URL,
+		duration:    300 * time.Millisecond,
+		concurrency: 3,
+		timeout:     5 * time.Second,
+	}
+	var err error
+	cfg.endpoints, err = buildEndpoints("plan,frontier", "b", "d", "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runLoad(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if rep.Concurrency != 3 {
+		t.Errorf("concurrency = %d", rep.Concurrency)
+	}
+	plan, frontier := rep.PerEndpoint["/v1/plan"], rep.PerEndpoint["/v1/frontier"]
+	if plan.Requests == 0 || frontier.Requests == 0 {
+		t.Fatalf("mix not exercised: %+v", rep.PerEndpoint)
+	}
+	if plan.Errors != 0 {
+		t.Errorf("plan endpoint recorded %d errors, want 0", plan.Errors)
+	}
+	if frontier.Errors == 0 {
+		t.Error("injected frontier failures not recorded")
+	}
+	if rep.Errors != frontier.Errors {
+		t.Errorf("total errors %d != frontier errors %d", rep.Errors, frontier.Errors)
+	}
+	wantRate := float64(rep.Errors) / float64(rep.Requests)
+	if rep.ErrorRate != wantRate {
+		t.Errorf("error rate %v, want %v", rep.ErrorRate, wantRate)
+	}
+	if rep.P50Ms <= 0 || rep.P95Ms < rep.P50Ms || rep.P99Ms < rep.P95Ms {
+		t.Errorf("percentiles not ordered: p50 %v p95 %v p99 %v", rep.P50Ms, rep.P95Ms, rep.P99Ms)
+	}
+	if frontierHits.Load() == 0 {
+		t.Error("server never saw frontier traffic")
+	}
+}
+
+func TestRunLoadDaemonDown(t *testing.T) {
+	cfg := config{
+		base:        "http://127.0.0.1:1", // nothing listens here
+		duration:    150 * time.Millisecond,
+		concurrency: 2,
+		timeout:     time.Second,
+	}
+	cfg.endpoints, _ = buildEndpoints("plan", "b", "d", "n")
+	rep, err := runLoad(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("connection refusals are errors in the report, not harness failures: %v", err)
+	}
+	if rep.ErrorRate != 1 {
+		t.Errorf("error rate against a dead daemon = %v, want 1", rep.ErrorRate)
+	}
+}
+
+func TestCheckSLOs(t *testing.T) {
+	rep := Report{P50Ms: 10, P95Ms: 80, P99Ms: 200, Errors: 3, Requests: 100, ErrorRate: 0.03}
+
+	// All gates off: no violations.
+	if v := checkSLOs(rep, config{sloErrorRate: -1}); len(v) != 0 {
+		t.Fatalf("ungated run violated: %v", v)
+	}
+	// Generous gates pass.
+	pass := config{sloP50: time.Second, sloP95: time.Second, sloP99: time.Second, sloErrorRate: 0.5}
+	if v := checkSLOs(rep, pass); len(v) != 0 {
+		t.Fatalf("generous gates violated: %v", v)
+	}
+	// The p99 gate (the acceptance criterion) trips.
+	tight := config{sloP99: 100 * time.Millisecond, sloErrorRate: -1}
+	v := checkSLOs(rep, tight)
+	if len(v) != 1 || !strings.Contains(v[0], "p99") {
+		t.Fatalf("p99 violation not reported: %v", v)
+	}
+	// The error-rate gate trips, including at an explicit 0.
+	if v := checkSLOs(rep, config{sloErrorRate: 0.01}); len(v) != 1 {
+		t.Fatalf("error-rate violation not reported: %v", v)
+	}
+	if v := checkSLOs(rep, config{sloErrorRate: 0}); len(v) != 1 {
+		t.Fatalf("zero-tolerance error gate did not trip: %v", v)
+	}
+	clean := Report{P99Ms: 5, Requests: 10}
+	if v := checkSLOs(clean, config{sloP99: 100 * time.Millisecond, sloErrorRate: 0}); len(v) != 0 {
+		t.Fatalf("clean run violated: %v", v)
+	}
+}
+
+// TestEndToEndSLOGate: the full pipeline against a fake slow daemon —
+// the report carries all three percentiles and the p99 SLO check
+// produces the violation main exits non-zero on.
+func TestEndToEndSLOGate(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(20 * time.Millisecond)
+		w.Write([]byte(`{}`)) //nolint:errcheck
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cfg := config{
+		base:        ts.URL,
+		duration:    250 * time.Millisecond,
+		concurrency: 2,
+		timeout:     time.Second,
+		sloP99:      time.Millisecond, // guaranteed violation
+	}
+	cfg.endpoints, _ = buildEndpoints("plan", "b", "d", "n")
+	rep, err := runLoad(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.P99Ms < 20 {
+		t.Fatalf("p99 %vms below the injected 20ms floor", rep.P99Ms)
+	}
+	v := checkSLOs(rep, cfg)
+	if len(v) != 1 || !strings.Contains(v[0], "p99") {
+		t.Fatalf("p99 gate did not trip: %v", v)
+	}
+}

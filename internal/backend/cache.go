@@ -8,6 +8,7 @@ package backend
 // for one configuration share a single backend run.
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -77,11 +78,14 @@ const evictBatch = 1024
 // Measure returns the memoized measurement for (b, dev, spec),
 // executing b.Measure at most once per configuration. Concurrent calls
 // for the same configuration block on the single in-flight run and all
-// receive its result. Errors are memoized too: the backends are
-// deterministic in their inputs, so a retry would fail identically.
-// Backends are identified by display name — Register enforces the
-// uniqueness this relies on; only memoize deterministic backends (see
-// IsDeterministic).
+// receive its result. Errors are NOT memoized: callers waiting on the
+// failing run all receive its error (single-flight still holds), but
+// the entry is dropped on completion, so the next lookup retries —
+// otherwise one transient failure would poison its configuration for
+// the cache's lifetime (and a long-lived daemon's snapshot would
+// persist the poison across restarts). Backends are identified by
+// display name — Register enforces the uniqueness this relies on; only
+// memoize deterministic backends (see IsDeterministic).
 func (c *Cache) Measure(b Backend, dev device.Device, spec conv.ConvSpec) (Measurement, error) {
 	k := cacheKey{backend: b.Name(), device: dev.Name, spec: spec}
 	c.mu.Lock()
@@ -128,7 +132,115 @@ func (c *Cache) Measure(b Backend, dev device.Device, spec conv.ConvSpec) (Measu
 
 	e.m, e.err = b.Measure(dev, spec)
 	close(e.done)
+	if e.err != nil {
+		// Drop the errored entry so the configuration can be retried.
+		// done is already closed, so waiters piled up on this run still
+		// read the shared error; the guard keeps a racing re-insert
+		// (possible the instant the delete lands) from being clobbered.
+		c.mu.Lock()
+		if c.entries[k] == e {
+			delete(c.entries, k)
+		}
+		c.mu.Unlock()
+	}
 	return e.m, e.err
+}
+
+// SnapshotEntry is one completed measurement exported from (or imported
+// into) a Cache: the cache key fields flattened next to the result.
+// Only successful, finished measurements are ever exported — errored
+// entries are dropped by Measure and in-flight ones are skipped — so a
+// snapshot is always safe to persist and re-import.
+type SnapshotEntry struct {
+	// Backend is the backend display name (Backend.Name), the cache's
+	// identity for it.
+	Backend string
+	// Device is the board name (device.Device.Name).
+	Device string
+	// Spec is the measured layer configuration.
+	Spec conv.ConvSpec
+	// M is the completed measurement.
+	M Measurement
+}
+
+// Snapshot exports every resident completed measurement in a
+// deterministic order. It is the cache's read path for persistence:
+// the lock is held only long enough to copy the entry pointers, then
+// completion is checked non-blocking — an in-flight measurement is
+// skipped, never waited on, so snapshotting a busy cache cannot stall
+// behind (or block) its write path.
+func (c *Cache) Snapshot() []SnapshotEntry {
+	c.mu.Lock()
+	resident := make(map[cacheKey]*cacheEntry, len(c.entries))
+	for k, e := range c.entries {
+		resident[k] = e
+	}
+	c.mu.Unlock()
+
+	out := make([]SnapshotEntry, 0, len(resident))
+	for k, e := range resident {
+		select {
+		case <-e.done:
+		default:
+			continue // in-flight: not a result yet
+		}
+		if e.err != nil {
+			continue // completed-but-errored (racing its deletion)
+		}
+		out = append(out, SnapshotEntry{Backend: k.backend, Device: k.device, Spec: k.spec, M: e.m})
+	}
+	sort.Slice(out, func(i, j int) bool { return snapshotLess(out[i], out[j]) })
+	return out
+}
+
+// snapshotLess orders snapshot entries by (backend, device, spec) so
+// exports are byte-stable run to run despite map iteration order.
+func snapshotLess(a, b SnapshotEntry) bool {
+	if a.Backend != b.Backend {
+		return a.Backend < b.Backend
+	}
+	if a.Device != b.Device {
+		return a.Device < b.Device
+	}
+	as, bs := a.Spec, b.Spec
+	if as.Name != bs.Name {
+		return as.Name < bs.Name
+	}
+	ak := [...]int{as.InH, as.InW, as.InC, as.OutC, as.KH, as.KW, as.StrideH, as.StrideW, as.PadH, as.PadW, as.Groups}
+	bk := [...]int{bs.InH, bs.InW, bs.InC, bs.OutC, bs.KH, bs.KW, bs.StrideH, bs.StrideW, bs.PadH, bs.PadW, bs.Groups}
+	for i := range ak {
+		if ak[i] != bk[i] {
+			return ak[i] < bk[i]
+		}
+	}
+	return false
+}
+
+// Warm imports previously snapshotted measurements as completed
+// entries, returning how many were inserted. A configuration already
+// resident (completed or in-flight) keeps its current entry — warming
+// never clobbers live state — and a bounded cache stops warming at its
+// limit rather than importing entries the next miss would immediately
+// evict. Warm inserts do not count as hits or misses: the counters keep
+// describing this process's lookup traffic.
+func (c *Cache) Warm(entries []SnapshotEntry) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inserted := 0
+	for _, se := range entries {
+		if c.limit > 0 && len(c.entries) >= c.limit {
+			break
+		}
+		k := cacheKey{backend: se.Backend, device: se.Device, spec: se.Spec}
+		if _, ok := c.entries[k]; ok {
+			continue
+		}
+		e := &cacheEntry{done: make(chan struct{}), m: se.M}
+		close(e.done)
+		c.entries[k] = e
+		inserted++
+	}
+	return inserted
 }
 
 // Stats reports the cache's hit and miss counts. A hit is any lookup

@@ -1,0 +1,262 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+)
+
+// flakyBackend fails its first failN Measure calls, then succeeds.
+type flakyBackend struct {
+	mu    sync.Mutex
+	calls int
+	failN int
+}
+
+func (f *flakyBackend) Name() string                { return "flaky" }
+func (f *flakyBackend) Supports(device.Device) bool { return true }
+func (f *flakyBackend) Measure(_ device.Device, spec conv.ConvSpec) (Measurement, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.calls <= f.failN {
+		return Measurement{}, fmt.Errorf("transient failure %d", f.calls)
+	}
+	return Measurement{Ms: float64(spec.OutC), Jobs: 1}, nil
+}
+
+// TestCacheErrorNotMemoized is the regression test for the poisoned-
+// entry bug: a backend that fails once then succeeds must succeed on
+// the second lookup, because errored entries are dropped on completion
+// instead of staying resident forever.
+func TestCacheErrorNotMemoized(t *testing.T) {
+	fb := &flakyBackend{failN: 1}
+	c := NewCache()
+	if _, err := c.Measure(fb, device.HiKey970, l16(93)); err == nil {
+		t.Fatal("first lookup should surface the backend failure")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("errored entry stayed resident: Len() = %d, want 0", c.Len())
+	}
+	m, err := c.Measure(fb, device.HiKey970, l16(93))
+	if err != nil {
+		t.Fatalf("second lookup after a transient failure: %v", err)
+	}
+	if m.Ms != 93 {
+		t.Fatalf("second lookup returned %+v, want Ms=93", m)
+	}
+	if fb.calls != 2 {
+		t.Fatalf("backend ran %d times, want 2 (fail, then retry)", fb.calls)
+	}
+	// The successful retry is memoized as usual.
+	if _, err := c.Measure(fb, device.HiKey970, l16(93)); err != nil {
+		t.Fatal(err)
+	}
+	if fb.calls != 2 {
+		t.Fatalf("memoized success re-ran the backend (%d calls)", fb.calls)
+	}
+	s := c.Stats()
+	if s.Misses != 2 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 misses / 1 hit", s)
+	}
+}
+
+// erroringBackend always fails, optionally blocking until released.
+type erroringBackend struct {
+	mu    sync.Mutex
+	calls int
+	block chan struct{}
+}
+
+func (e *erroringBackend) Name() string                { return "erroring" }
+func (e *erroringBackend) Supports(device.Device) bool { return true }
+func (e *erroringBackend) Measure(device.Device, conv.ConvSpec) (Measurement, error) {
+	e.mu.Lock()
+	e.calls++
+	e.mu.Unlock()
+	if e.block != nil {
+		<-e.block
+	}
+	return Measurement{}, errors.New("permanent failure")
+}
+
+// TestCacheErrorSingleFlightSharesError: callers piled up on a failing
+// in-flight run all receive its error (at-most-once execution still
+// holds for the concurrent burst), and only later lookups retry.
+func TestCacheErrorSingleFlightSharesError(t *testing.T) {
+	eb := &erroringBackend{block: make(chan struct{})}
+	c := NewCache()
+	const callers = 16
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Measure(eb, device.HiKey970, l16(93))
+		}(i)
+	}
+	for {
+		eb.mu.Lock()
+		started := eb.calls > 0
+		eb.mu.Unlock()
+		if started {
+			break
+		}
+	}
+	close(eb.block)
+	wg.Wait()
+	if eb.calls != 1 {
+		t.Fatalf("backend ran %d times under concurrent identical queries, want 1", eb.calls)
+	}
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("caller %d missed the shared error", i)
+		}
+	}
+	// The error was not memoized: a later lookup retries.
+	eb.block = nil
+	if _, err := c.Measure(eb, device.HiKey970, l16(93)); err == nil {
+		t.Fatal("retry should have re-executed the failing backend")
+	}
+	if eb.calls != 2 {
+		t.Fatalf("backend ran %d times, want 2 (burst + retry)", eb.calls)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("errored entries resident: Len() = %d, want 0", c.Len())
+	}
+}
+
+// TestSnapshotExportsCompletedOnly: Snapshot returns the completed
+// measurements in deterministic order and skips in-flight entries
+// without waiting on them.
+func TestSnapshotExportsCompletedOnly(t *testing.T) {
+	cb := &countingBackend{}
+	c := NewCache()
+	for _, outC := range []int{96, 93, 128} {
+		if _, err := c.Measure(cb, device.HiKey970, l16(outC)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Measure(cb, device.OdroidXU4, l16(93)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park one in-flight measurement; Snapshot must return without it.
+	blocked := &countingBackend{block: make(chan struct{})}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Measure(blocked, device.HiKey970, l16(500)) //nolint:errcheck
+	}()
+	for {
+		blocked.mu.Lock()
+		started := blocked.calls > 0
+		blocked.mu.Unlock()
+		if started {
+			break
+		}
+	}
+
+	snap := c.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot holds %d entries, want the 4 completed (in-flight skipped)", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if !snapshotLess(snap[i-1], snap[i]) {
+			t.Fatalf("snapshot not strictly ordered at %d: %+v >= %+v", i, snap[i-1], snap[i])
+		}
+	}
+	for _, se := range snap {
+		if se.M.Ms != float64(se.Spec.OutC) {
+			t.Errorf("entry %s/%s/%d carries Ms=%v, want %v", se.Backend, se.Device, se.Spec.OutC, se.M.Ms, se.Spec.OutC)
+		}
+	}
+	close(blocked.block)
+	wg.Wait()
+}
+
+// TestSnapshotWarmRoundTrip is the persistence contract: warming a
+// fresh cache with a snapshot reproduces the resident entry count, and
+// lookups for warmed configurations are hits that never re-invoke the
+// backend.
+func TestSnapshotWarmRoundTrip(t *testing.T) {
+	cb := &countingBackend{}
+	c := NewCache()
+	specs := []conv.ConvSpec{l16(64), l16(93), l16(128), l16(256)}
+	for _, sp := range specs {
+		if _, err := c.Measure(cb, device.HiKey970, sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Snapshot()
+
+	warm := NewCache()
+	if n := warm.Warm(snap); n != len(specs) {
+		t.Fatalf("Warm inserted %d entries, want %d", n, len(specs))
+	}
+	if warm.Stats().Entries != c.Stats().Entries {
+		t.Fatalf("warmed cache holds %d entries, original %d", warm.Stats().Entries, c.Stats().Entries)
+	}
+	callsBefore := cb.calls
+	for _, sp := range specs {
+		m, err := warm.Measure(cb, device.HiKey970, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Ms != float64(sp.OutC) {
+			t.Fatalf("warmed lookup returned %+v, want Ms=%v", m, sp.OutC)
+		}
+	}
+	if cb.calls != callsBefore {
+		t.Fatalf("warmed lookups re-invoked the backend (%d extra calls)", cb.calls-callsBefore)
+	}
+	s := warm.Stats()
+	if s.Hits != uint64(len(specs)) || s.Misses != 0 {
+		t.Errorf("warmed cache stats = %+v, want %d hits / 0 misses", s, len(specs))
+	}
+	// Round trip again: the warmed cache snapshots identically.
+	again := warm.Snapshot()
+	if len(again) != len(snap) {
+		t.Fatalf("re-snapshot holds %d entries, want %d", len(again), len(snap))
+	}
+	for i := range snap {
+		if again[i] != snap[i] {
+			t.Fatalf("re-snapshot entry %d = %+v, want %+v", i, again[i], snap[i])
+		}
+	}
+}
+
+// TestWarmRespectsResidents: warming never clobbers a live entry and a
+// bounded cache stops at its limit.
+func TestWarmRespectsResidents(t *testing.T) {
+	cb := &countingBackend{}
+	c := NewCache()
+	if _, err := c.Measure(cb, device.HiKey970, l16(93)); err != nil {
+		t.Fatal(err)
+	}
+	stale := []SnapshotEntry{
+		{Backend: "counting", Device: device.HiKey970.Name, Spec: l16(93), M: Measurement{Ms: -1}},
+		{Backend: "counting", Device: device.HiKey970.Name, Spec: l16(94), M: Measurement{Ms: 94}},
+	}
+	if n := c.Warm(stale); n != 1 {
+		t.Fatalf("Warm inserted %d entries, want 1 (resident key kept)", n)
+	}
+	if m, _ := c.Measure(cb, device.HiKey970, l16(93)); m.Ms != 93 {
+		t.Fatalf("warming clobbered a resident entry: Ms=%v, want the live 93", m.Ms)
+	}
+
+	bounded := NewCacheWithLimit(2)
+	many := make([]SnapshotEntry, 8)
+	for i := range many {
+		many[i] = SnapshotEntry{Backend: "counting", Device: device.HiKey970.Name, Spec: l16(64 + i), M: Measurement{Ms: 1}}
+	}
+	if n := bounded.Warm(many); n != 2 {
+		t.Fatalf("bounded Warm inserted %d entries, want the limit of 2", n)
+	}
+}

@@ -1,0 +1,133 @@
+package profilestore
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perfprune/internal/backend"
+)
+
+// Manager owns one store file's lifecycle for a long-lived daemon:
+// warm-start at boot, periodic flushes while serving, a final flush at
+// shutdown, and the counters /v1/stats surfaces. All methods are safe
+// for concurrent use.
+type Manager struct {
+	path  string
+	cache *backend.Cache
+
+	// warm-start outcome, written once by WarmStart before serving.
+	warmed     int
+	skipped    int
+	skipReason string
+
+	mu          sync.Mutex // serializes flushes
+	flushes     atomic.Uint64
+	flushErrors atomic.Uint64
+	lastFlush   atomic.Int64 // unix milliseconds; 0 = never flushed
+}
+
+// NewManager binds a store path to the cache it persists.
+func NewManager(path string, cache *backend.Cache) *Manager {
+	return &Manager{path: path, cache: cache}
+}
+
+// WarmStart loads the store file and imports every salvageable entry
+// into the cache. A missing file is a fresh start, not an error; a
+// damaged one warms whatever survived and records the skip count. Only
+// real I/O failures (permissions, bad media) are returned.
+func (m *Manager) WarmStart() error {
+	res, err := Load(m.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	m.warmed = m.cache.Warm(res.Entries)
+	m.skipped = res.Skipped
+	m.skipReason = res.Reason
+	return nil
+}
+
+// Flush snapshots the cache and atomically rewrites the store file.
+// Failures are counted (and returned) but must not kill the daemon:
+// the previous on-disk snapshot is still intact.
+func (m *Manager) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := Save(m.path, m.cache.Snapshot()); err != nil {
+		m.flushErrors.Add(1)
+		return err
+	}
+	m.flushes.Add(1)
+	m.lastFlush.Store(time.Now().UnixMilli())
+	return nil
+}
+
+// Run flushes every interval until ctx is cancelled, logging failures
+// through logf (which may be nil). It does NOT take a final flush —
+// the daemon calls Flush itself after its HTTP drain completes, so
+// measurements finishing during the drain still make the snapshot.
+func (m *Manager) Run(ctx context.Context, interval time.Duration, logf func(format string, args ...any)) {
+	if interval <= 0 {
+		<-ctx.Done()
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := m.Flush(); err != nil && logf != nil {
+				logf("profilestore: periodic flush: %v", err)
+			}
+		}
+	}
+}
+
+// Status is a snapshot of the store lifecycle counters.
+type Status struct {
+	// Path is the store file location.
+	Path string
+	// WarmStartEntries is how many snapshotted measurements the boot
+	// imported into the cache.
+	WarmStartEntries int
+	// SkippedRecords is how many records warm-start could not salvage;
+	// SkipReason describes the first skip.
+	SkippedRecords int
+	SkipReason     string
+	// Flushes and FlushErrors count snapshot writes since boot.
+	Flushes     uint64
+	FlushErrors uint64
+	// LastFlushUnixMs is when the latest successful flush landed
+	// (milliseconds since the epoch); 0 means no flush yet.
+	LastFlushUnixMs int64
+}
+
+// Status returns the current lifecycle counters.
+func (m *Manager) Status() Status {
+	return Status{
+		Path:             m.path,
+		WarmStartEntries: m.warmed,
+		SkippedRecords:   m.skipped,
+		SkipReason:       m.skipReason,
+		Flushes:          m.flushes.Load(),
+		FlushErrors:      m.flushErrors.Load(),
+		LastFlushUnixMs:  m.lastFlush.Load(),
+	}
+}
+
+// String renders the warm-start outcome for the boot log.
+func (s Status) String() string {
+	out := fmt.Sprintf("%d entries warm-started from %s", s.WarmStartEntries, s.Path)
+	if s.SkippedRecords > 0 {
+		out += fmt.Sprintf(" (%d records skipped: %s)", s.SkippedRecords, s.SkipReason)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package profilestore
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/device"
+)
+
+// TestManagerLifecycle: warm-start from nothing, flush, restart,
+// warm-start from the flush — the daemon's whole store lifecycle, with
+// the counters /v1/stats surfaces checked at each step.
+func TestManagerLifecycle(t *testing.T) {
+	path := storePath(t)
+	cb := &countingBackend{}
+
+	// Boot 1: no file yet — a fresh start, not an error.
+	c1 := backend.NewCache()
+	m1 := NewManager(path, c1)
+	if err := m1.WarmStart(); err != nil {
+		t.Fatalf("warm-start with no store file: %v", err)
+	}
+	if st := m1.Status(); st.WarmStartEntries != 0 || st.SkippedRecords != 0 {
+		t.Fatalf("fresh boot status = %+v, want zero warm/skip", st)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := c1.Measure(cb, device.HiKey970, testSpec("Mgr.L", 1+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := m1.Status()
+	if st.Flushes != 1 || st.FlushErrors != 0 {
+		t.Fatalf("after one flush: %+v", st)
+	}
+	if st.LastFlushUnixMs == 0 {
+		t.Fatal("LastFlushUnixMs not recorded")
+	}
+
+	// Boot 2: a new cache warm-starts from the flushed snapshot and
+	// serves the same configurations without touching the backend.
+	c2 := backend.NewCache()
+	m2 := NewManager(path, c2)
+	if err := m2.WarmStart(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := m2.Status()
+	if st2.WarmStartEntries != 6 || st2.SkippedRecords != 0 {
+		t.Fatalf("restart status = %+v, want 6 warmed / 0 skipped", st2)
+	}
+	calls := cb.calls
+	for i := 0; i < 6; i++ {
+		if _, err := c2.Measure(cb, device.HiKey970, testSpec("Mgr.L", 1+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cb.calls != calls {
+		t.Fatalf("restarted cache re-measured %d configurations", cb.calls-calls)
+	}
+	if !strings.Contains(st2.String(), "6 entries warm-started") {
+		t.Fatalf("status line %q", st2.String())
+	}
+}
+
+// TestManagerFlushErrorCounted: flush failures are counted and leave
+// the daemon alive; a damaged store file warms partially and reports
+// the skip count.
+func TestManagerFlushErrorCounted(t *testing.T) {
+	cb := &countingBackend{}
+	c := backend.NewCache()
+	if _, err := c.Measure(cb, device.HiKey970, testSpec("Mgr.L", 1)); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewManager(filepath.Join(t.TempDir(), "no", "dir", "store"), c)
+	if err := bad.Flush(); err == nil {
+		t.Fatal("flush into a missing directory should fail")
+	}
+	if st := bad.Status(); st.FlushErrors != 1 || st.Flushes != 0 || st.LastFlushUnixMs != 0 {
+		t.Fatalf("failed-flush status = %+v", st)
+	}
+
+	// Damaged store: warm-start salvages and reports.
+	path := mustSave(t, 4)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-15], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2 := backend.NewCache()
+	m := NewManager(path, c2)
+	if err := m.WarmStart(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Status()
+	if st.WarmStartEntries != 3 || st.SkippedRecords != 1 {
+		t.Fatalf("damaged-store status = %+v, want 3 warmed / 1 skipped", st)
+	}
+	if !strings.Contains(st.String(), "skipped") {
+		t.Fatalf("status line %q should mention the skip", st.String())
+	}
+}
+
+// TestManagerRunPeriodicFlush: Run flushes on the ticker and stops on
+// cancellation without taking a final flush of its own.
+func TestManagerRunPeriodicFlush(t *testing.T) {
+	path := storePath(t)
+	cb := &countingBackend{}
+	c := backend.NewCache()
+	if _, err := c.Measure(cb, device.HiKey970, testSpec("Mgr.L", 7)); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(path, c)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Run(ctx, 5*time.Millisecond, t.Logf)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Status().Flushes < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("periodic flush never fired twice")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+	flushes := m.Status().Flushes
+	time.Sleep(20 * time.Millisecond)
+	if got := m.Status().Flushes; got != flushes {
+		t.Fatalf("flushes kept running after cancellation: %d -> %d", flushes, got)
+	}
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 {
+		t.Fatalf("flushed store holds %d entries, want 1", len(res.Entries))
+	}
+}

@@ -1,0 +1,306 @@
+// Package profilestore persists completed measurement-cache entries
+// across daemon restarts. The paper's premise is that real-device
+// latency staircases are expensive to measure and worth reusing; a
+// cache that dies with the process re-pays the whole measurement bill
+// on every restart. The store is the durable half of that reuse: a
+// versioned on-disk snapshot of backend.Cache.Snapshot(), written
+// atomically (temp file + rename, so a crash mid-flush leaves the
+// previous snapshot intact) and re-imported through backend.Cache.Warm
+// at boot.
+//
+// The format is JSON lines: one header record carrying the format
+// name, version and a spec-schema fingerprint, then one record per
+// completed measurement. Warm-start is strictly best-effort — a
+// truncated file, trailing garbage, an unknown version or a drifted
+// conv.ConvSpec schema each make loading skip (counted, surfaced on
+// /v1/stats), never fail the boot or corrupt the cache. Errored and
+// in-flight measurements are never serialized: Cache.Snapshot only
+// exports successful completed entries, so a snapshot can always be
+// re-imported verbatim.
+package profilestore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/conv"
+)
+
+const (
+	// FormatName identifies the file type in the header record.
+	FormatName = "perfprune-profile-store"
+	// FormatVersion is bumped on any incompatible record-shape change;
+	// loaders skip files written by a different version.
+	FormatVersion = 1
+	// maxLineBytes bounds one record line; real records are a few
+	// hundred bytes, so 1 MiB only guards the scanner against a
+	// corrupted file degenerating into one enormous "line".
+	maxLineBytes = 1 << 20
+)
+
+// header is the first line of every store file.
+type header struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// SpecSchema fingerprints conv.ConvSpec's field layout (see
+	// specSchema): a renamed or retyped field changes the fingerprint,
+	// and a mismatch skips the whole file rather than warm the cache
+	// with silently re-interpreted keys.
+	SpecSchema string `json:"spec_schema"`
+	// Entries is the record count that follows, informational.
+	Entries int `json:"entries"`
+}
+
+// record is one persisted measurement.
+type record struct {
+	Backend   string   `json:"backend"`
+	Device    string   `json:"device"`
+	Spec      specJSON `json:"spec"`
+	Ms        float64  `json:"ms"`
+	Jobs      int      `json:"jobs,omitempty"`
+	SplitJobs int      `json:"split_jobs,omitempty"`
+}
+
+// specJSON is conv.ConvSpec's wire shape, spelled out field by field so
+// the stored schema is explicit rather than inherited from struct tags
+// the conv package doesn't have.
+type specJSON struct {
+	Name    string `json:"name,omitempty"`
+	InH     int    `json:"in_h"`
+	InW     int    `json:"in_w"`
+	InC     int    `json:"in_c"`
+	OutC    int    `json:"out_c"`
+	KH      int    `json:"k_h"`
+	KW      int    `json:"k_w"`
+	StrideH int    `json:"stride_h"`
+	StrideW int    `json:"stride_w"`
+	PadH    int    `json:"pad_h,omitempty"`
+	PadW    int    `json:"pad_w,omitempty"`
+	Groups  int    `json:"groups,omitempty"`
+}
+
+func specToJSON(s conv.ConvSpec) specJSON {
+	return specJSON{
+		Name: s.Name,
+		InH:  s.InH, InW: s.InW, InC: s.InC, OutC: s.OutC,
+		KH: s.KH, KW: s.KW,
+		StrideH: s.StrideH, StrideW: s.StrideW,
+		PadH: s.PadH, PadW: s.PadW,
+		Groups: s.Groups,
+	}
+}
+
+func (j specJSON) spec() conv.ConvSpec {
+	return conv.ConvSpec{
+		Name: j.Name,
+		InH:  j.InH, InW: j.InW, InC: j.InC, OutC: j.OutC,
+		KH: j.KH, KW: j.KW,
+		StrideH: j.StrideH, StrideW: j.StrideW,
+		PadH: j.PadH, PadW: j.PadW,
+		Groups: j.Groups,
+	}
+}
+
+// specSchema fingerprints conv.ConvSpec: the field names and kinds in
+// declaration order. It is computed by reflection rather than written
+// by hand so any spec change — a new field, a rename, a retype —
+// invalidates old snapshots automatically instead of relying on a
+// human remembering to bump FormatVersion.
+func specSchema() string {
+	t := reflect.TypeOf(conv.ConvSpec{})
+	parts := make([]string, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		parts = append(parts, f.Name+":"+f.Type.Kind().String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// Save atomically writes entries as a store file at path: the snapshot
+// is written to a temp file in the same directory, synced, and renamed
+// over path, so a crash (or a concurrent reader) only ever sees the
+// previous complete snapshot or the new one — never a torn write.
+func Save(path string, entries []backend.SnapshotEntry) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()           //nolint:errcheck // already failing
+			os.Remove(tmp.Name()) //nolint:errcheck
+		}
+	}()
+
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	h := header{Format: FormatName, Version: FormatVersion, SpecSchema: specSchema(), Entries: len(entries)}
+	if err = enc.Encode(h); err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	for _, se := range entries {
+		rec := record{
+			Backend: se.Backend,
+			Device:  se.Device,
+			Spec:    specToJSON(se.Spec),
+			Ms:      se.M.Ms, Jobs: se.M.Jobs, SplitJobs: se.M.SplitJobs,
+		}
+		if err = enc.Encode(rec); err != nil {
+			return fmt.Errorf("profilestore: %w", err)
+		}
+	}
+	if err = w.Flush(); err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	return nil
+}
+
+// LoadResult is what Load salvaged from a store file. Skipped counts
+// the records that could not be warmed — corrupt lines, schema drift,
+// invalid specs — and Reason carries the first skip's cause for the
+// boot log; both are surfaced on /v1/stats so silent decay is visible.
+type LoadResult struct {
+	Entries []backend.SnapshotEntry
+	Skipped int
+	Reason  string
+}
+
+// skip folds one skipped record into the result, keeping the first
+// reason as the representative one.
+func (r *LoadResult) skip(reason string) {
+	r.Skipped++
+	if r.Reason == "" {
+		r.Reason = reason
+	}
+}
+
+// Load reads a store file, salvaging every intact record. Damage never
+// fails the load: a bad header (wrong format, unknown version, drifted
+// spec schema) skips every record; a bad record line (truncation,
+// trailing garbage, an invalid spec) skips that line. The only errors
+// returned are I/O ones — and a missing file is reported via
+// os.IsNotExist for the caller to treat as a fresh start.
+func Load(path string) (LoadResult, error) {
+	var res LoadResult
+	f, err := os.Open(path)
+	if err != nil {
+		return res, err
+	}
+	defer f.Close()
+	res = load(f)
+	return res, nil
+}
+
+// load is the reader-level core of Load, separated for testing.
+func load(r io.Reader) LoadResult {
+	var res LoadResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+
+	if !sc.Scan() {
+		res.skip("empty or unreadable file")
+		return res
+	}
+	var h header
+	if err := strictUnmarshal(sc.Bytes(), &h); err != nil {
+		res.skip(fmt.Sprintf("bad header: %v", err))
+		res.Skipped += countLines(sc)
+		return res
+	}
+	switch {
+	case h.Format != FormatName:
+		res.skip(fmt.Sprintf("not a profile store (format %q)", h.Format))
+		res.Skipped += countLines(sc)
+		return res
+	case h.Version != FormatVersion:
+		res.skip(fmt.Sprintf("format version %d (this build reads %d)", h.Version, FormatVersion))
+		res.Skipped += countLines(sc)
+		return res
+	case h.SpecSchema != specSchema():
+		res.skip("conv.ConvSpec schema changed since this snapshot was written")
+		res.Skipped += countLines(sc)
+		return res
+	}
+
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := strictUnmarshal(line, &rec); err != nil {
+			res.skip(fmt.Sprintf("corrupt record: %v", err))
+			continue
+		}
+		if rec.Backend == "" || rec.Device == "" {
+			res.skip("record missing backend or device")
+			continue
+		}
+		spec := rec.Spec.spec()
+		if err := spec.Validate(); err != nil {
+			res.skip(fmt.Sprintf("invalid spec: %v", err))
+			continue
+		}
+		if rec.Ms < 0 {
+			res.skip("negative latency")
+			continue
+		}
+		res.Entries = append(res.Entries, backend.SnapshotEntry{
+			Backend: rec.Backend,
+			Device:  rec.Device,
+			Spec:    spec,
+			M:       backend.Measurement{Ms: rec.Ms, Jobs: rec.Jobs, SplitJobs: rec.SplitJobs},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		// An over-long corrupt "line" or read error ends the salvage at
+		// whatever was intact before it.
+		res.skip(fmt.Sprintf("read stopped: %v", err))
+	}
+	return res
+}
+
+// strictUnmarshal decodes one JSON value rejecting unknown fields and
+// trailing content, so within-version schema drift (a renamed record
+// field) is caught per line instead of silently zeroing fields.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing content after the record")
+	}
+	return nil
+}
+
+// countLines counts the scanner's remaining non-empty lines — the
+// records a header-level skip abandons.
+func countLines(sc *bufio.Scanner) int {
+	n := 0
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,352 @@
+package profilestore
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+)
+
+// countingBackend counts Measure invocations, to prove warmed caches
+// never re-measure.
+type countingBackend struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *countingBackend) Name() string                { return "store-counting" }
+func (c *countingBackend) Supports(device.Device) bool { return true }
+func (c *countingBackend) Measure(_ device.Device, spec conv.ConvSpec) (backend.Measurement, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	return backend.Measurement{Ms: float64(spec.OutC) * 0.25, Jobs: 1 + spec.OutC%3, SplitJobs: spec.OutC % 2}, nil
+}
+
+func testSpec(name string, outC int) conv.ConvSpec {
+	return conv.ConvSpec{
+		Name: name, InH: 28, InW: 28, InC: 128, OutC: outC,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}
+}
+
+// fillCache measures n distinct configurations into a fresh cache.
+func fillCache(t *testing.T, cb *countingBackend, n int) *backend.Cache {
+	t.Helper()
+	c := backend.NewCache()
+	for i := 0; i < n; i++ {
+		if _, err := c.Measure(cb, device.HiKey970, testSpec("Store.L", 1+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func storePath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "profile.store")
+}
+
+// TestRoundTrip: snapshot → save → load → warm reproduces the resident
+// entry count and hit behavior exactly — warmed lookups are hits that
+// never re-invoke the backend.
+func TestRoundTrip(t *testing.T) {
+	cb := &countingBackend{}
+	c := fillCache(t, cb, 12)
+	path := storePath(t)
+	if err := Save(path, c.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 0 {
+		t.Fatalf("clean round trip skipped %d records (%s)", res.Skipped, res.Reason)
+	}
+	warm := backend.NewCache()
+	if n := warm.Warm(res.Entries); n != 12 {
+		t.Fatalf("warmed %d entries, want 12", n)
+	}
+	if warm.Stats().Entries != c.Stats().Entries {
+		t.Fatalf("warmed cache holds %d entries, original %d", warm.Stats().Entries, c.Stats().Entries)
+	}
+	callsBefore := cb.calls
+	for i := 0; i < 12; i++ {
+		m, err := warm.Measure(cb, device.HiKey970, testSpec("Store.L", 1+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, werr := c.Measure(cb, device.HiKey970, testSpec("Store.L", 1+i))
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		if m != want {
+			t.Fatalf("warmed measurement %d = %+v, original %+v", i, m, want)
+		}
+	}
+	if cb.calls != callsBefore {
+		t.Fatalf("warmed lookups re-invoked the backend %d times", cb.calls-callsBefore)
+	}
+	if s := warm.Stats(); s.Hits != 12 || s.Misses != 0 {
+		t.Fatalf("warmed cache stats = %+v, want 12 hits / 0 misses", s)
+	}
+}
+
+// TestRoundTripProperty: random spec populations survive the
+// snapshot → save → load → warm → re-snapshot cycle byte-identically.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		orig := backend.NewCache()
+		cb := &countingBackend{}
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			spec := conv.ConvSpec{
+				Name: fmt.Sprintf("P%d.L%d", trial, rng.Intn(8)),
+				InH:  1 + rng.Intn(64), InW: 1 + rng.Intn(64),
+				InC: 1 + rng.Intn(256), OutC: 1 + rng.Intn(512),
+				KH: 1, KW: 1, StrideH: 1, StrideW: 1,
+			}
+			if rng.Intn(2) == 0 { // half the specs are 3x3 padded
+				spec.KH, spec.KW, spec.PadH, spec.PadW = 3, 3, 1, 1
+				spec.InH += 2
+				spec.InW += 2
+			}
+			dev := device.All()[rng.Intn(len(device.All()))]
+			if _, err := orig.Measure(cb, dev, spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := orig.Snapshot()
+		path := storePath(t)
+		if err := Save(path, snap); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Skipped != 0 {
+			t.Fatalf("trial %d: skipped %d (%s)", trial, res.Skipped, res.Reason)
+		}
+		warm := backend.NewCache()
+		warm.Warm(res.Entries)
+		if warm.Stats().Entries != orig.Stats().Entries {
+			t.Fatalf("trial %d: warmed %d entries, original %d", trial, warm.Stats().Entries, orig.Stats().Entries)
+		}
+		again := warm.Snapshot()
+		if len(again) != len(snap) {
+			t.Fatalf("trial %d: re-snapshot %d entries, want %d", trial, len(again), len(snap))
+		}
+		for i := range snap {
+			if again[i] != snap[i] {
+				t.Fatalf("trial %d entry %d: %+v != %+v", trial, i, again[i], snap[i])
+			}
+		}
+	}
+}
+
+// mustSave writes a clean n-entry store file and returns its path.
+func mustSave(t *testing.T, n int) string {
+	t.Helper()
+	cb := &countingBackend{}
+	c := fillCache(t, cb, n)
+	path := storePath(t)
+	if err := Save(path, c.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadTruncatedFile: a snapshot cut mid-record (crash during a
+// non-atomic copy, torn disk) salvages every intact record and counts
+// exactly the damaged one.
+func TestLoadTruncatedFile(t *testing.T) {
+	path := mustSave(t, 8)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file in the middle of the final record.
+	cut := raw[:len(raw)-20]
+	if err := os.WriteFile(path, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 7 || res.Skipped != 1 {
+		t.Fatalf("truncated load: %d entries / %d skipped, want 7 / 1 (%s)",
+			len(res.Entries), res.Skipped, res.Reason)
+	}
+	// Warm-start proceeds with the survivors.
+	warm := backend.NewCache()
+	if n := warm.Warm(res.Entries); n != 7 {
+		t.Fatalf("warmed %d, want 7", n)
+	}
+}
+
+// TestLoadTrailingGarbage: junk appended after the records (a partial
+// second snapshot, editor droppings) is skipped without poisoning the
+// intact prefix.
+func TestLoadTrailingGarbage(t *testing.T) {
+	path := mustSave(t, 5)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{\"backend\": \"half a rec\nnot json at all\n{}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 5 {
+		t.Fatalf("salvaged %d entries, want 5", len(res.Entries))
+	}
+	if res.Skipped != 3 {
+		t.Fatalf("skipped %d garbage lines, want 3 (%s)", res.Skipped, res.Reason)
+	}
+}
+
+// TestLoadUnknownVersion: a snapshot from a future (or ancient) format
+// version warms nothing, counts everything skipped, and does not error.
+func TestLoadUnknownVersion(t *testing.T) {
+	path := mustSave(t, 4)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := strings.Replace(string(raw), `"version":1`, `"version":99`, 1)
+	if bumped == string(raw) {
+		t.Fatal("version marker not found in header")
+	}
+	if err := os.WriteFile(path, []byte(bumped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 0 {
+		t.Fatalf("unknown version warmed %d entries, want 0", len(res.Entries))
+	}
+	if res.Skipped != 5 { // header + 4 records
+		t.Fatalf("skipped %d, want 5", res.Skipped)
+	}
+	if !strings.Contains(res.Reason, "version 99") {
+		t.Fatalf("reason %q should name the alien version", res.Reason)
+	}
+}
+
+// TestLoadSchemaMismatch: a snapshot written when conv.ConvSpec had a
+// different field layout is skipped wholesale — re-interpreting old
+// keys under a new schema would warm the cache with lies.
+func TestLoadSchemaMismatch(t *testing.T) {
+	path := mustSave(t, 4)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := strings.Replace(string(raw), `"spec_schema":"Name:string`, `"spec_schema":"Label:string`, 1)
+	if drifted == string(raw) {
+		t.Fatal("spec_schema marker not found in header")
+	}
+	if err := os.WriteFile(path, []byte(drifted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 0 || res.Skipped != 5 {
+		t.Fatalf("schema mismatch: %d entries / %d skipped, want 0 / 5", len(res.Entries), res.Skipped)
+	}
+	if !strings.Contains(res.Reason, "schema") {
+		t.Fatalf("reason %q should name the schema drift", res.Reason)
+	}
+}
+
+// TestLoadForeignAndCorruptRecords: wrong format name, unknown record
+// fields, invalid specs and negative latencies are all per-cause skips.
+func TestLoadForeignAndCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	foreign := filepath.Join(dir, "foreign")
+	if err := os.WriteFile(foreign, []byte("{\"format\":\"something-else\",\"version\":1,\"spec_schema\":\"\",\"entries\":1}\n{\"x\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Load(foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 0 || res.Skipped != 2 {
+		t.Fatalf("foreign file: %d entries / %d skipped, want 0 / 2", len(res.Entries), res.Skipped)
+	}
+
+	// A well-versioned file with individually bad records salvages none
+	// of them but does not abort.
+	bad := filepath.Join(dir, "bad-records")
+	hdr := fmt.Sprintf("{\"format\":%q,\"version\":%d,\"spec_schema\":%q,\"entries\":3}\n",
+		FormatName, FormatVersion, specSchema())
+	body := hdr +
+		"{\"backend\":\"B\",\"device\":\"D\",\"spec\":{\"in_h\":8,\"in_w\":8,\"in_c\":4,\"out_c\":4,\"k_h\":3,\"k_w\":3,\"stride_h\":1,\"stride_w\":1},\"ms\":1,\"renamed_field\":true}\n" + // unknown field
+		"{\"backend\":\"B\",\"device\":\"D\",\"spec\":{\"in_h\":0,\"in_w\":8,\"in_c\":4,\"out_c\":4,\"k_h\":3,\"k_w\":3,\"stride_h\":1,\"stride_w\":1},\"ms\":1}\n" + // invalid spec
+		"{\"backend\":\"B\",\"device\":\"D\",\"spec\":{\"in_h\":8,\"in_w\":8,\"in_c\":4,\"out_c\":4,\"k_h\":3,\"k_w\":3,\"stride_h\":1,\"stride_w\":1,\"pad_h\":1,\"pad_w\":1},\"ms\":-2}\n" // negative latency
+	if err := os.WriteFile(bad, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Load(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 0 || res.Skipped != 3 {
+		t.Fatalf("bad records: %d entries / %d skipped, want 0 / 3 (%s)", len(res.Entries), res.Skipped, res.Reason)
+	}
+}
+
+// TestSaveAtomic: a failed save (unwritable target) leaves the previous
+// snapshot untouched and no temp litter behind.
+func TestSaveAtomic(t *testing.T) {
+	cb := &countingBackend{}
+	c := fillCache(t, cb, 3)
+	path := mustSave(t, 2)
+
+	// Overwrite succeeds atomically: the file always parses completely.
+	if err := Save(path, c.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 3 || res.Skipped != 0 {
+		t.Fatalf("overwritten store: %d entries / %d skipped", len(res.Entries), res.Skipped)
+	}
+
+	// A save into a nonexistent directory fails up front, leaving the
+	// original file alone.
+	missing := filepath.Join(t.TempDir(), "no", "such", "dir", "store")
+	if err := Save(missing, c.Snapshot()); err == nil {
+		t.Fatal("save into a missing directory should fail")
+	}
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp litter left behind: %s", e.Name())
+		}
+	}
+}

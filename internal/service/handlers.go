@@ -91,7 +91,13 @@ func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.reqStats.Add(1)
 	cs := s.cache.Stats()
+	var store *StoreStats
+	if fn := s.storeStats.Load(); fn != nil {
+		st := (*fn)()
+		store = &st
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
+		Store: store,
 		Cache: CacheStats{
 			Hits:      cs.Hits,
 			Misses:    cs.Misses,

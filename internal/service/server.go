@@ -107,6 +107,10 @@ type Server struct {
 	probeProbes    atomic.Uint64
 	probeGrid      atomic.Uint64
 	probeFallbacks atomic.Uint64
+
+	// storeStats, when set, provides the persistent-store section of
+	// /v1/stats (see SetStoreStats).
+	storeStats atomic.Pointer[func() StoreStats]
 }
 
 // recordProbe folds one probe-mode request's audit into the daemon-wide
@@ -181,6 +185,25 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // CacheStats snapshots the shared measurement cache.
 func (s *Server) CacheStats() backend.Stats { return s.cache.Stats() }
+
+// Cache exposes the process-wide measurement cache so a daemon can
+// persist it (warm-start at boot, snapshot flushes while serving). The
+// cache's own methods are concurrency-safe; the service stays ignorant
+// of how — or whether — it is persisted.
+func (s *Server) Cache() *backend.Cache { return s.cache }
+
+// SetStoreStats installs the provider for the /v1/stats store section.
+// The daemon wires its profile-store manager here; servers without a
+// store never call it and /v1/stats omits the section. Safe to call
+// concurrently with serving (the provider is swapped atomically), but
+// conventionally called once, before the listener opens.
+func (s *Server) SetStoreStats(fn func() StoreStats) {
+	if fn == nil {
+		s.storeStats.Store(nil)
+		return
+	}
+	s.storeStats.Store(&fn)
+}
 
 // backendKeys returns the registry keys this server serves, sorted.
 func (s *Server) backendKeys() []string {

@@ -1,0 +1,198 @@
+package service_test
+
+// The warm-start acceptance test: a daemon restarted against the same
+// profile store must serve a repeated /v1/plan without re-invoking any
+// backend Measure for already-snapshotted configurations, and
+// /v1/stats must surface the store lifecycle (warm-start count, flush
+// times, skip counts).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+	"perfprune/internal/profilestore"
+	"perfprune/internal/service"
+)
+
+// countingACL wraps the deterministic ACL-GEMM simulator and counts
+// Measure invocations, so a test can prove a warm-started server never
+// touches the backend for snapshotted configurations.
+type countingACL struct {
+	inner backend.Backend
+	calls atomic.Int64
+}
+
+func (c *countingACL) Name() string                  { return "Svc-Count-ACL" }
+func (c *countingACL) Supports(d device.Device) bool { return c.inner.Supports(d) }
+func (c *countingACL) Measure(d device.Device, spec conv.ConvSpec) (backend.Measurement, error) {
+	c.calls.Add(1)
+	return c.inner.Measure(d, spec)
+}
+
+var (
+	countingOnce sync.Once
+	counting     *countingACL
+)
+
+// countingBackend registers the counting wrapper once per test binary
+// (the registry is global and rejects duplicates).
+func countingBackend(t *testing.T) *countingACL {
+	t.Helper()
+	countingOnce.Do(func() {
+		inner, err := backend.Lookup("acl-gemm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		counting = &countingACL{inner: inner}
+		backend.Register("svc-count-acl", counting)
+	})
+	return counting
+}
+
+// storeServer boots a Server wired to a profile store the way
+// cmd/perfpruned does: warm-start, stats provider, and a manager the
+// test can flush to simulate the shutdown snapshot.
+func storeServer(t *testing.T, path string) (*httptest.Server, *profilestore.Manager) {
+	t.Helper()
+	srv, err := service.New(service.Config{Backends: []string{"svc-count-acl"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := profilestore.NewManager(path, srv.Cache())
+	if err := mgr.WarmStart(); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetStoreStats(func() service.StoreStats {
+		st := mgr.Status()
+		return service.StoreStats{
+			Path:             st.Path,
+			WarmStartEntries: st.WarmStartEntries,
+			SkippedRecords:   st.SkippedRecords,
+			SkipReason:       st.SkipReason,
+			Flushes:          st.Flushes,
+			FlushErrors:      st.FlushErrors,
+			LastFlushUnixMs:  st.LastFlushUnixMs,
+		}
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, mgr
+}
+
+// TestWarmStartServesPlanWithoutRemeasuring is the end-to-end restart
+// contract, driven through the real HTTP surface.
+func TestWarmStartServesPlanWithoutRemeasuring(t *testing.T) {
+	cb := countingBackend(t)
+	path := filepath.Join(t.TempDir(), "profile.store")
+	plan := `{"backend": "svc-count-acl", "device": "HiKey 970", "network": "AlexNet"}`
+
+	// Boot 1: cold cache — the plan pays the full measurement bill.
+	ts1, mgr1 := storeServer(t, path)
+	status, raw1 := do(t, http.MethodPost, ts1.URL+"/v1/plan", plan)
+	if status != http.StatusOK {
+		t.Fatalf("cold plan status = %d, body: %s", status, raw1)
+	}
+	coldCalls := cb.calls.Load()
+	if coldCalls == 0 {
+		t.Fatal("cold plan issued no measurements")
+	}
+	// The shutdown flush.
+	if err := mgr1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// Boot 2: warm-started from the snapshot — the identical plan must
+	// not re-invoke the backend at all.
+	ts2, _ := storeServer(t, path)
+	status, raw2 := do(t, http.MethodPost, ts2.URL+"/v1/plan", plan)
+	if status != http.StatusOK {
+		t.Fatalf("warm plan status = %d, body: %s", status, raw2)
+	}
+	if got := cb.calls.Load(); got != coldCalls {
+		t.Fatalf("warm-started daemon re-invoked Measure %d times for snapshotted configurations", got-coldCalls)
+	}
+	if string(raw1) != string(raw2) {
+		t.Error("warm-started plan differs from the cold one")
+	}
+
+	// /v1/stats surfaces the store lifecycle and the warm hit traffic.
+	status, raw := do(t, http.MethodGet, ts2.URL+"/v1/stats", "")
+	if status != http.StatusOK {
+		t.Fatalf("stats status = %d", status)
+	}
+	var stats service.StatsResponse
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if stats.Store == nil {
+		t.Fatal("store section missing from /v1/stats on a store-backed daemon")
+	}
+	if stats.Store.WarmStartEntries == 0 {
+		t.Errorf("warm_start_entries = 0, want the snapshotted grid")
+	}
+	if stats.Store.Path != path {
+		t.Errorf("store path = %q, want %q", stats.Store.Path, path)
+	}
+	if stats.Store.SkippedRecords != 0 {
+		t.Errorf("clean snapshot reports %d skipped records (%s)", stats.Store.SkippedRecords, stats.Store.SkipReason)
+	}
+	if stats.Cache.Misses != 0 {
+		t.Errorf("warm-started plan took %d cache misses, want 0", stats.Cache.Misses)
+	}
+	if stats.Cache.Hits == 0 {
+		t.Error("warm-started plan recorded no cache hits")
+	}
+
+	// A store-less server omits the section entirely.
+	plainTS := newServer(t, service.Config{Backends: simulatedOnly})
+	_, raw = do(t, http.MethodGet, plainTS.URL+"/v1/stats", "")
+	var plain map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain["store"]; ok {
+		t.Error("store-less /v1/stats carries a store section")
+	}
+}
+
+// TestWarmStartSkipsSurfacedInStats: a damaged store file boots anyway
+// and /v1/stats reports what could not be salvaged.
+func TestWarmStartSkipsSurfacedInStats(t *testing.T) {
+	countingBackend(t)
+	path := filepath.Join(t.TempDir(), "profile.store")
+	// A future-versioned file at the store path: everything skipped,
+	// boot fine.
+	alien := fmt.Sprintf("{\"format\":%q,\"version\":99,\"spec_schema\":\"\",\"entries\":2}\n{}\n{}\n", "perfprune-profile-store")
+	if err := os.WriteFile(path, []byte(alien), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := storeServer(t, path)
+	_, raw := do(t, http.MethodGet, ts.URL+"/v1/stats", "")
+	var stats service.StatsResponse
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store == nil {
+		t.Fatal("store section missing")
+	}
+	if stats.Store.WarmStartEntries != 0 {
+		t.Errorf("alien-version store warmed %d entries, want 0", stats.Store.WarmStartEntries)
+	}
+	if stats.Store.SkippedRecords != 3 {
+		t.Errorf("skipped_records = %d, want 3", stats.Store.SkippedRecords)
+	}
+	if stats.Store.SkipReason == "" {
+		t.Error("skip_reason empty for a skipped store")
+	}
+}

@@ -341,12 +341,37 @@ type ProbeTotals struct {
 	Fallbacks uint64 `json:"fallbacks"`
 }
 
+// StoreStats reports the persistent profile store's lifecycle when the
+// daemon runs with one (-store): what warm-start salvaged at boot and
+// how flushing has gone since. It is filled by the provider the daemon
+// installs with SetStoreStats; a store-less server omits the section.
+type StoreStats struct {
+	// Path is the store file location.
+	Path string `json:"path"`
+	// WarmStartEntries is how many snapshotted measurements boot
+	// imported into the cache.
+	WarmStartEntries int `json:"warm_start_entries"`
+	// SkippedRecords counts records warm-start could not salvage
+	// (corruption, version or spec-schema drift); SkipReason is the
+	// first skip's cause.
+	SkippedRecords int    `json:"skipped_records"`
+	SkipReason     string `json:"skip_reason,omitempty"`
+	// Flushes and FlushErrors count snapshot writes since boot.
+	Flushes     uint64 `json:"flushes"`
+	FlushErrors uint64 `json:"flush_errors"`
+	// LastFlushUnixMs is the latest successful flush (milliseconds
+	// since the epoch); 0 means none yet.
+	LastFlushUnixMs int64 `json:"last_flush_unix_ms"`
+}
+
 // StatsResponse is the /v1/stats payload.
 type StatsResponse struct {
 	Cache    CacheStats   `json:"cache"`
 	Requests RequestStats `json:"requests"`
 	Probe    ProbeTotals  `json:"probe"`
 	Workers  int          `json:"workers"`
+	// Store is present only when the daemon persists its cache.
+	Store *StoreStats `json:"store,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
