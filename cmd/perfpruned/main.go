@@ -21,6 +21,12 @@
 //	POST /v1/staircase  sweep + stair/right-edge analysis
 //	POST /v1/plan       whole-network prune plan under an accuracy budget
 //	POST /v1/frontier   latency–accuracy Pareto frontier / fleet planning
+//	GET  /metrics       Prometheus text-format metrics
+//
+// With -debug-addr a net/http/pprof listener is mounted on a separate
+// address; requests are access-logged as JSON lines on stderr (disable
+// with -quiet-access), and POST bodies may set "trace": true to get a
+// stage-timing span tree back in the response.
 package main
 
 import (
@@ -28,10 +34,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"syscall"
@@ -53,6 +63,8 @@ type options struct {
 	backends         string
 	store            string
 	snapshotInterval time.Duration
+	debugAddr        string
+	quietAccess      bool
 }
 
 func main() {
@@ -65,6 +77,9 @@ func main() {
 		"persistent profile store file: warm-start the measurement cache from it at boot and snapshot back to it (empty = in-memory only)")
 	flag.DurationVar(&opt.snapshotInterval, "snapshot-interval", 5*time.Minute,
 		"how often to flush the cache to -store while serving (a final flush always runs at shutdown; <= 0 disables periodic flushes)")
+	flag.StringVar(&opt.debugAddr, "debug-addr", "",
+		"separate listen address for net/http/pprof (empty = pprof disabled); keep it off the public interface")
+	flag.BoolVar(&opt.quietAccess, "quiet-access", false, "suppress per-request access-log lines on stderr")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -85,6 +100,9 @@ func main() {
 // once the handler is about to serve.
 func run(ctx context.Context, opt options, ready func(net.Addr)) error {
 	cfg := service.Config{Workers: opt.workers}
+	if !opt.quietAccess {
+		cfg.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	if opt.backends != "" {
 		for _, key := range strings.Split(opt.backends, ",") {
 			if key = strings.TrimSpace(key); key != "" {
@@ -96,6 +114,7 @@ func run(ctx context.Context, opt options, ready func(net.Addr)) error {
 	if err != nil {
 		return err
 	}
+	logBootInfo()
 
 	var mgr *profilestore.Manager
 	if opt.store != "" {
@@ -116,6 +135,27 @@ func run(ctx context.Context, opt options, ready func(net.Addr)) error {
 				LastFlushUnixMs:  st.LastFlushUnixMs,
 			}
 		})
+	}
+
+	var debugSrv *http.Server
+	if opt.debugAddr != "" {
+		// pprof lives on its own listener (and its own mux — never the
+		// service mux), so profiling endpoints are only reachable where
+		// -debug-addr points, typically localhost.
+		dln, err := net.Listen("tcp", opt.debugAddr)
+		if err != nil {
+			return fmt.Errorf("bind debug %s: %w", opt.debugAddr, err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		fmt.Printf("perfpruned: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go func() { _ = debugSrv.Serve(dln) }()
+		defer debugSrv.Close()
 	}
 
 	ln, err := net.Listen("tcp", opt.addr)
@@ -178,6 +218,20 @@ func run(ctx context.Context, opt options, ready func(net.Addr)) error {
 		fmt.Println("perfpruned: shut down")
 		return nil
 	}
+}
+
+// logBootInfo prints the build identity once at boot — the same fields
+// /v1/stats serves in its info section.
+func logBootInfo() {
+	rev := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				rev = kv.Value
+			}
+		}
+	}
+	fmt.Printf("perfpruned: %s, revision %s\n", runtime.Version(), rev)
 }
 
 func backendList(cfg service.Config) []string {

@@ -212,3 +212,75 @@ func TestDaemonRestartWarmStart(t *testing.T) {
 		t.Fatalf("boot 2 shutdown: %v", err)
 	}
 }
+
+// TestDebugAndMetricsEndpoints: -debug-addr mounts pprof on its own
+// listener only, and the service listener serves Prometheus text on
+// /metrics with request counters that move under traffic.
+func TestDebugAndMetricsEndpoints(t *testing.T) {
+	// Reserve an ephemeral port for the pprof listener. Closing it
+	// before boot leaves a tiny reuse race, which is fine for a test.
+	dl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugAddr := dl.Addr().String()
+	dl.Close()
+
+	d := startDaemon(t, options{
+		addr:        "127.0.0.1:0",
+		backends:    "acl-gemm",
+		debugAddr:   debugAddr,
+		quietAccess: true,
+	})
+	status, _ := post(t, d.url("/v1/sweep"), `{"backend": "acl-gemm", "device": "HiKey 970", "network": "AlexNet", "layer": "AlexNet.L6", "hi": 8}`)
+	if status != http.StatusOK {
+		t.Fatalf("sweep status %d", status)
+	}
+
+	resp, err := http.Get(d.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type %q", ct)
+	}
+	for _, want := range []string{
+		`perfpruned_requests_total{code="200",route="/v1/sweep"} 1`,
+		"perfpruned_cache_misses_total",
+		"perfpruned_uptime_ms",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// pprof answers on the debug listener...
+	resp, err = http.Get("http://" + debugAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof index: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status %d", resp.StatusCode)
+	}
+	// ...and is absent from the service listener.
+	resp, err = http.Get(d.url("/debug/pprof/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("service listener serves pprof (status %d)", resp.StatusCode)
+	}
+
+	if err := d.shutdown(t); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -29,9 +30,12 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"perfprune/internal/obs"
 )
 
 // config is one load run's shape.
@@ -65,6 +69,23 @@ type EndpointStats struct {
 	Errors   int `json:"errors"`
 }
 
+// HistogramBucket is one cumulative latency bucket of the report
+// (Prometheus le semantics; the last bucket is "+Inf").
+type HistogramBucket struct {
+	Le              string `json:"le"`
+	CumulativeCount uint64 `json:"cumulative_count"`
+}
+
+// ServerStats is what a -metrics-url scrape of the daemon's /metrics
+// said after the run: the server-side view of the load (how much of it
+// the measurement cache absorbed).
+type ServerStats struct {
+	RequestsTotal float64 `json:"requests_total"`
+	CacheHits     float64 `json:"cache_hits"`
+	CacheMisses   float64 `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+}
+
 // Report is what one load run measured. Latency percentiles are over
 // successful requests only — failures are scored by the error-rate
 // gate, not blended into the latency distribution.
@@ -79,6 +100,12 @@ type Report struct {
 	P95Ms       float64                  `json:"p95_ms"`
 	P99Ms       float64                  `json:"p99_ms"`
 	PerEndpoint map[string]EndpointStats `json:"per_endpoint"`
+	// Histogram is the full latency distribution of successful requests
+	// over the standard bucket layout — the shape the nearest-rank
+	// percentiles above summarize.
+	Histogram []HistogramBucket `json:"histogram,omitempty"`
+	// Server is the daemon's /metrics view of the run (-metrics-url).
+	Server *ServerStats `json:"server,omitempty"`
 }
 
 func main() {
@@ -92,6 +119,8 @@ func main() {
 		deviceName  = flag.String("device", "HiKey 970", "target board")
 		endpoints   = flag.String("endpoints", "plan,frontier", "comma-separated request mix: plan, frontier")
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON instead of text")
+		metricsURL  = flag.String("metrics-url", "",
+			"scrape this /metrics URL after the run and fold the server-side cache hit rate into the report (empty = skip)")
 
 		sloP50    = flag.Duration("slo-p50", 0, "fail if p50 latency exceeds this (0 = ungated)")
 		sloP95    = flag.Duration("slo-p95", 0, "fail if p95 latency exceeds this (0 = ungated)")
@@ -121,6 +150,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "planload: %v\n", err)
 		os.Exit(2)
+	}
+	if *metricsURL != "" {
+		srv, err := scrapeMetrics(*metricsURL, cfg.timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "planload: metrics scrape: %v\n", err)
+			os.Exit(2)
+		}
+		rep.Server = srv
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -261,7 +298,100 @@ func aggregate(all []sample, elapsed time.Duration, concurrency int) Report {
 	rep.P50Ms = percentile(okMs, 0.50)
 	rep.P95Ms = percentile(okMs, 0.95)
 	rep.P99Ms = percentile(okMs, 0.99)
+	rep.Histogram = latencyHistogram(okMs)
 	return rep
+}
+
+// latencyHistogram folds the successful latencies into the standard
+// fixed-bucket layout, so the report carries the full distribution and
+// not just three point summaries.
+func latencyHistogram(okMs []float64) []HistogramBucket {
+	h := obs.NewHistogram(obs.LatencyBuckets)
+	for _, ms := range okMs {
+		h.Observe(ms)
+	}
+	bounds, cum := h.Buckets()
+	out := make([]HistogramBucket, len(bounds))
+	for i, b := range bounds {
+		le := "+Inf"
+		if !math.IsInf(b, 1) {
+			le = strconv.FormatFloat(b, 'g', -1, 64)
+		}
+		out[i] = HistogramBucket{Le: le, CumulativeCount: cum[i]}
+	}
+	return out
+}
+
+// scrapeMetrics fetches a Prometheus text exposition and extracts the
+// server-side series the report cares about.
+func scrapeMetrics(url string, timeout time.Duration) (*ServerStats, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	families, err := parseProm(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	s := &ServerStats{
+		RequestsTotal: families["perfpruned_requests_total"],
+		CacheHits:     families["perfpruned_cache_hits_total"],
+		CacheMisses:   families["perfpruned_cache_misses_total"],
+	}
+	if total := s.CacheHits + s.CacheMisses; total > 0 {
+		s.CacheHitRate = s.CacheHits / total
+	}
+	return s, nil
+}
+
+// parseProm reads a Prometheus text exposition and sums sample values
+// per metric name (label sets collapse, so a per-route counter family
+// comes back as its total). Comment and blank lines are skipped;
+// malformed sample lines are errors.
+func parseProm(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{labels} value  |  name value
+		name := line
+		rest := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				return nil, fmt.Errorf("malformed sample line %q", line)
+			}
+			rest = strings.TrimSpace(line[j+1:])
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			name = line[:i]
+			rest = strings.TrimSpace(line[i+1:])
+		} else {
+			return nil, fmt.Errorf("malformed sample line %q", line)
+		}
+		// A timestamp may trail the value; take the first field.
+		if i := strings.IndexByte(rest, ' '); i >= 0 {
+			rest = rest[:i]
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sample %s: bad value %q", name, rest)
+		}
+		out[name] += v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // percentile returns the q-quantile of sorted (nearest-rank method);
@@ -316,5 +446,9 @@ func printReport(w io.Writer, rep Report) {
 	for _, p := range paths {
 		es := rep.PerEndpoint[p]
 		fmt.Fprintf(w, "  %-14s %d requests, %d errors\n", p, es.Requests, es.Errors)
+	}
+	if rep.Server != nil {
+		fmt.Fprintf(w, "  server   %.0f requests seen, cache hit rate %.3f (%.0f hits / %.0f misses)\n",
+			rep.Server.RequestsTotal, rep.Server.CacheHitRate, rep.Server.CacheHits, rep.Server.CacheMisses)
 	}
 }

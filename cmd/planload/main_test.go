@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -201,5 +203,97 @@ func TestEndToEndSLOGate(t *testing.T) {
 	v := checkSLOs(rep, cfg)
 	if len(v) != 1 || !strings.Contains(v[0], "p99") {
 		t.Fatalf("p99 gate did not trip: %v", v)
+	}
+}
+
+func TestParsePromSumsLabelSets(t *testing.T) {
+	text := `# HELP perfpruned_requests_total served requests
+# TYPE perfpruned_requests_total counter
+perfpruned_requests_total{code="200",route="/v1/plan"} 7
+perfpruned_requests_total{code="200",route="/v1/stats"} 2
+perfpruned_requests_total{code="404",route="unmatched"} 1
+perfpruned_cache_hits_total 41
+
+perfpruned_request_duration_ms_bucket{route="/v1/plan",le="+Inf"} 7
+perfpruned_uptime_ms 1234.5 1700000000000
+`
+	got, err := parseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		"perfpruned_requests_total":             10, // summed across label sets
+		"perfpruned_cache_hits_total":           41,
+		"perfpruned_request_duration_ms_bucket": 7,
+		"perfpruned_uptime_ms":                  1234.5, // trailing timestamp dropped
+	}
+	for name, want := range checks {
+		if got[name] != want {
+			t.Errorf("%s = %v, want %v", name, got[name], want)
+		}
+	}
+}
+
+func TestParsePromMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"perfpruned_requests_total",                  // no value
+		`perfpruned_requests_total{route="/x" 7`,     // unclosed label set
+		`perfpruned_requests_total{route="/x"} many`, // non-numeric value
+	} {
+		if _, err := parseProm(strings.NewReader(bad)); err == nil {
+			t.Errorf("parseProm(%q) accepted a malformed line", bad)
+		}
+	}
+}
+
+func TestLatencyHistogramShape(t *testing.T) {
+	got := latencyHistogram([]float64{0.2, 3, 3, 40, 99999})
+	if len(got) == 0 {
+		t.Fatal("empty histogram")
+	}
+	last := got[len(got)-1]
+	if last.Le != "+Inf" {
+		t.Fatalf("last bucket le = %q, want +Inf", last.Le)
+	}
+	if last.CumulativeCount != 5 {
+		t.Errorf("+Inf cumulative = %d, want 5", last.CumulativeCount)
+	}
+	// Counts are cumulative and monotone.
+	var prev uint64
+	for _, b := range got {
+		if b.CumulativeCount < prev {
+			t.Fatalf("bucket le=%s count %d below previous %d", b.Le, b.CumulativeCount, prev)
+		}
+		prev = b.CumulativeCount
+	}
+	// The report must round-trip through JSON (+Inf is a string).
+	if _, err := json.Marshal(Report{Histogram: got}); err != nil {
+		t.Fatalf("histogram does not marshal: %v", err)
+	}
+}
+
+// TestScrapeMetrics drives the scraper against a canned exposition.
+func TestScrapeMetrics(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `perfpruned_requests_total{code="200",route="/v1/plan"} 8`)
+		fmt.Fprintln(w, `perfpruned_cache_hits_total 30`)
+		fmt.Fprintln(w, `perfpruned_cache_misses_total 10`)
+	}))
+	defer ts.Close()
+	s, err := scrapeMetrics(ts.URL, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RequestsTotal != 8 || s.CacheHits != 30 || s.CacheMisses != 10 {
+		t.Fatalf("scraped %+v", s)
+	}
+	if s.CacheHitRate != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", s.CacheHitRate)
+	}
+
+	down := httptest.NewServer(http.NotFoundHandler())
+	defer down.Close()
+	if _, err := scrapeMetrics(down.URL, time.Second); err == nil {
+		t.Error("404 exposition should fail the scrape")
 	}
 }

@@ -42,6 +42,7 @@ type Cache struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+	inflight  atomic.Int64
 }
 
 // NewCache returns an empty, unbounded measurement cache — the right
@@ -129,9 +130,11 @@ func (c *Cache) Measure(b Backend, dev device.Device, spec conv.ConvSpec) (Measu
 	c.entries[k] = e
 	c.mu.Unlock()
 	c.misses.Add(1)
+	c.inflight.Add(1)
 
 	e.m, e.err = b.Measure(dev, spec)
 	close(e.done)
+	c.inflight.Add(-1)
 	if e.err != nil {
 		// Drop the errored entry so the configuration can be retried.
 		// done is already closed, so waiters piled up on this run still
@@ -254,6 +257,9 @@ type Stats struct {
 	Misses    uint64
 	Entries   int
 	Evictions uint64
+	// InFlight is the number of backend measurements executing right
+	// now (misses whose single-flight run has not completed).
+	InFlight int64
 }
 
 // HitRate returns hits / (hits + misses), or 0 for an unused cache.
@@ -278,6 +284,7 @@ func (c *Cache) Stats() Stats {
 		Misses:    c.misses.Load(),
 		Entries:   n,
 		Evictions: c.evictions.Load(),
+		InFlight:  c.inflight.Load(),
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"perfprune/internal/backend"
 	"perfprune/internal/device"
 	"perfprune/internal/nets"
+	"perfprune/internal/obs"
 	"perfprune/internal/probe"
 	"perfprune/internal/profiler"
 	"perfprune/internal/prune"
@@ -118,7 +119,9 @@ func ProfileNetwork(tg Target, n nets.Network) (*NetworkProfile, error) {
 // count and of cache warmth.
 func ProfileNetworkContext(ctx context.Context, eng *profiler.Engine, tg Target, n nets.Network) (*NetworkProfile, error) {
 	return profileNetworkWith(tg, n, func(l nets.Layer) (LayerProfile, error) {
-		return profileLayer(ctx, eng, tg, l)
+		lctx, sp := obs.StartSpan(ctx, "sweep "+l.Label)
+		defer sp.End()
+		return profileLayer(lctx, eng, tg, l)
 	})
 }
 
@@ -203,7 +206,9 @@ func ProfileNetworkProbe(tg Target, n nets.Network) (*NetworkProfile, ProbeUsage
 func ProfileNetworkProbeContext(ctx context.Context, eng *profiler.Engine, tg Target, n nets.Network) (*NetworkProfile, ProbeUsage, error) {
 	var usage ProbeUsage
 	np, err := profileNetworkWith(tg, n, func(l nets.Layer) (LayerProfile, error) {
-		res, err := eng.ProbeStaircaseContext(ctx, tg.Library, tg.Device, l.Spec, 1, l.Spec.OutC, probe.Options{})
+		lctx, sp := obs.StartSpan(ctx, "probe "+l.Label)
+		defer sp.End()
+		res, err := eng.ProbeStaircaseContext(lctx, tg.Library, tg.Device, l.Spec, 1, l.Spec.OutC, probe.Options{})
 		if err != nil {
 			return LayerProfile{}, err
 		}

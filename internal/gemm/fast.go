@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // panelN is the packed panel width: the micro-kernel computes 4 output
@@ -225,7 +226,32 @@ type fastJob struct {
 var (
 	startPoolOnce sync.Once
 	pool          chan fastJob
+	poolWorkers   atomic.Int64
+	poolBusy      atomic.Int64
 )
+
+// PoolOccupancy is a point-in-time view of the process-wide worker
+// pool, for observability scrapes. All zeros until the first parallel
+// product starts the pool.
+type PoolOccupancy struct {
+	// Workers is the pool size (GOMAXPROCS at start time).
+	Workers int
+	// Busy is the number of workers executing a row band right now.
+	Busy int
+	// Queued is the number of bands waiting in the job channel.
+	Queued int
+}
+
+// PoolStats reports the worker pool's current occupancy. The three
+// fields are sampled independently (no common lock — this is a scrape,
+// not a barrier), so a snapshot under churn may be transiently skewed.
+func PoolStats() PoolOccupancy {
+	return PoolOccupancy{
+		Workers: int(poolWorkers.Load()),
+		Busy:    int(poolBusy.Load()),
+		Queued:  len(pool), // len of a nil chan is 0: pool not started
+	}
+}
 
 // startPool starts the process-wide worker pool on first parallel use.
 // Workers are sized to GOMAXPROCS at that moment and live for the
@@ -234,10 +260,13 @@ var (
 func startPool() {
 	n := runtime.GOMAXPROCS(0)
 	pool = make(chan fastJob, 4*n)
+	poolWorkers.Store(int64(n))
 	for i := 0; i < n; i++ {
 		go func() {
 			for j := range pool {
+				poolBusy.Add(1)
 				fastRows(j.a, j.pb, j.c, j.lo, j.hi)
+				poolBusy.Add(-1)
 				j.wg.Done()
 			}
 		}()

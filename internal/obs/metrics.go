@@ -1,0 +1,442 @@
+// Package obs is the serving stack's observability substrate: a
+// dependency-free metrics registry (lock-free atomic counters, gauges
+// and fixed-bucket latency histograms, exposed in Prometheus text
+// format) and a per-request span tree threaded through
+// context.Context.
+//
+// The package deliberately avoids OpenTelemetry and the Prometheus
+// client library: the daemon's whole metric surface is a few dozen
+// series and a handful of span kinds, the repo has a zero-dependency
+// constraint, and — decisive for this codebase — every update must be
+// cheap enough to live next to a hot path whose allocation count is
+// pinned at zero. Counter/gauge/histogram updates are single atomic
+// operations with no allocation; spans allocate only when a caller
+// explicitly started a trace, so the untraced request path (and the
+// inference arena under it) never pays for instrumentation it is not
+// using.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension. Series of one family are keyed by
+// their full sorted label set; keep cardinality bounded (routes and
+// status codes, never request IDs).
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing value. Updates are a single
+// atomic add; reads are a single atomic load.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous integer value (queue depths, in-flight
+// request counts). Updates are single atomic operations.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// atomicFloat64 is a float accumulator updated by CAS on the bit
+// pattern — lock-free, and exact in the same order-dependent sense any
+// float sum is.
+type atomicFloat64 struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat64) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat64) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// LatencyBuckets is the default request-latency bucket layout, in
+// milliseconds: roughly logarithmic from sub-millisecond (a warm
+// cache-hit plan) to ten seconds (a cold fleet frontier paying the
+// whole measurement bill).
+var LatencyBuckets = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Histogram is a fixed-bucket distribution. Observations are two
+// atomic adds plus one CAS loop for the sum; bucket counts are
+// non-cumulative internally and summed cumulatively at read time, so
+// concurrent observers never contend beyond the hardware.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomicFloat64
+}
+
+// NewHistogram builds a standalone histogram over the given ascending
+// upper bounds (NaNs and descents panic: bucket layouts are
+// compile-time decisions). Registry.Histogram is the registered
+// equivalent.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || (i > 0 && b <= bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram bounds must ascend, got %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. Bucket membership is Prometheus-style:
+// value v lands in the first bucket whose upper bound is >= v (bounds
+// are inclusive upper edges).
+func (h *Histogram) Observe(v float64) {
+	// Binary search keeps wide layouts cheap; bounds are immutable.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Buckets returns the bucket upper bounds and their cumulative counts
+// (Prometheus le semantics; the final entry is the +Inf bucket with
+// bound math.Inf(1)). A snapshot under concurrent observers may be
+// transiently skewed by in-flight increments, like every lock-free
+// reader in this codebase; it is exact once quiescent.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
+	bounds = make([]float64, len(h.bounds)+1)
+	copy(bounds, h.bounds)
+	bounds[len(h.bounds)] = math.Inf(1)
+	cumulative = make([]uint64, len(h.counts))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cumulative[i] = run
+	}
+	return bounds, cumulative
+}
+
+// Quantile extracts the q-quantile (0 < q <= 1) from the bucket
+// counts, interpolating linearly inside the containing bucket the way
+// Prometheus's histogram_quantile does. The +Inf bucket clamps to the
+// highest finite bound (a histogram cannot resolve beyond its layout);
+// an empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var run, prev uint64
+	for i := range h.counts {
+		prev = run
+		run += h.counts[i].Load()
+		if float64(run) >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			width := h.bounds[i] - lower
+			inBucket := float64(run - prev)
+			if inBucket == 0 {
+				return h.bounds[i]
+			}
+			return lower + width*(rank-float64(prev))/inBucket
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metric kinds a family can hold.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// series is one labeled instance of a family. Exactly one of the value
+// fields is set, matching the family kind; fn (when set) overrides it
+// as a read-time callback.
+type series struct {
+	labels  string // rendered, sorted: {a="b",c="d"} or ""
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	// fn is atomic because re-registration may race a scrape:
+	// WritePrometheus reads it after dropping the registry lock.
+	fn atomic.Pointer[func() float64]
+}
+
+func (s *series) readFn() func() float64 {
+	if p := s.fn.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// family groups every series of one metric name under one TYPE.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	series map[string]*series
+}
+
+// Registry is a set of named metric families. Registration
+// (get-or-create) takes a short lock; updates on the returned handles
+// are lock-free atomics, so hot paths register once and update
+// forever. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns (creating if needed) the family and the series slot
+// for (name, labels). A fresh series has init run on it while the
+// write lock is still held — the payload must be in place before the
+// series is reachable through the map, or a concurrent registration
+// could return a slot whose metric is still nil. Kind mismatches on
+// one name panic: they are programming errors a test catches
+// immediately.
+func (r *Registry) lookup(name, help, kind string, labels []Label, init func(*series)) (*family, *series) {
+	key := renderLabels(labels)
+	r.mu.RLock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			r.mu.RUnlock()
+			panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+		}
+		if s, ok := f.series[key]; ok {
+			r.mu.RUnlock()
+			return f, s
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	if s, ok := f.series[key]; ok {
+		return f, s
+	}
+	s := &series{labels: key}
+	init(s)
+	f.series[key] = s
+	return f, s
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	_, s := r.lookup(name, help, kindCounter, labels, func(s *series) { s.counter = &Counter{} })
+	return s.counter
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	_, s := r.lookup(name, help, kindGauge, labels, func(s *series) { s.gauge = &Gauge{} })
+	return s.gauge
+}
+
+// Histogram returns the histogram for (name, labels) over bounds,
+// creating it on first use; an existing series keeps its original
+// bucket layout.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	_, s := r.lookup(name, help, kindHistogram, labels, func(s *series) { s.hist = NewHistogram(bounds) })
+	return s.hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time — the bridge for subsystems that already keep their own
+// atomic totals (the measurement cache, the probe audit, the profile
+// store). Re-registering replaces the callback.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	_, s := r.lookup(name, help, kindCounter, labels, func(s *series) { s.counter = &Counter{} })
+	s.fn.Store(&fn)
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	_, s := r.lookup(name, help, kindGauge, labels, func(s *series) { s.gauge = &Gauge{} })
+	s.fn.Store(&fn)
+}
+
+// WritePrometheus renders every family in the text exposition format
+// (sorted by family name, series sorted by label set, histograms as
+// cumulative _bucket/_sum/_count series), the shape `GET /metrics`
+// serves and planload's scraper parses.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		r.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		srs := make([]*series, len(keys))
+		for i, k := range keys {
+			srs[i] = f.series[k]
+		}
+		r.mu.RUnlock()
+		for _, s := range srs {
+			writeSeries(&b, f, s)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSeries(b *strings.Builder, f *family, s *series) {
+	fn := s.readFn()
+	switch {
+	case fn != nil:
+		fmt.Fprintf(b, "%s%s %s\n", f.name, s.labels, formatFloat(fn()))
+	case s.counter != nil:
+		fmt.Fprintf(b, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+	case s.gauge != nil:
+		fmt.Fprintf(b, "%s%s %d\n", f.name, s.labels, s.gauge.Value())
+	case s.hist != nil:
+		bounds, cum := s.hist.Buckets()
+		for i, bound := range bounds {
+			le := "+Inf"
+			if !math.IsInf(bound, 1) {
+				le = formatFloat(bound)
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, withLabel(s.labels, "le", le), cum[i])
+		}
+		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, s.labels, formatFloat(s.hist.Sum()))
+		fmt.Fprintf(b, "%s_count%s %d\n", f.name, s.labels, s.hist.Count())
+	}
+}
+
+// formatFloat renders values the way Prometheus expects (shortest
+// round-trip representation).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels renders a sorted, escaped label set; "" for none.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// withLabel splices one extra label into an already-rendered set (used
+// for histogram le labels, which must coexist with the series labels).
+func withLabel(rendered, key, value string) string {
+	extra := key + `="` + escapeLabel(value) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

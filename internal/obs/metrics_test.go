@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Get-or-create returns the same instance.
+	if r.Counter("reqs_total", "requests") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	// Distinct labels are distinct series.
+	c2 := r.Counter("reqs_total", "requests", L("route", "/v1/plan"))
+	if c2 == c {
+		t.Fatal("labeled series aliased the unlabeled one")
+	}
+
+	g := r.Gauge("inflight", "in-flight")
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge after Set = %d, want 7", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two kinds should panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation
+// exactly at a bound lands in that bucket (inclusive upper edge), and
+// one just above lands in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 10})
+	h.Observe(1)    // le="1"
+	h.Observe(1.01) // le="5"
+	h.Observe(5)    // le="5"
+	h.Observe(10)   // le="10"
+	h.Observe(11)   // +Inf
+	h.Observe(0)    // le="1"
+
+	bounds, cum := h.Buckets()
+	if len(bounds) != 4 || !math.IsInf(bounds[3], 1) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	want := []uint64{2, 4, 5, 6}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", cum, want)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-28.01) > 1e-9 {
+		t.Fatalf("sum = %v, want ~28.01", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40})
+	// 10 observations uniformly in (0, 10]: p50 interpolates to ~5.
+	for i := 0; i < 10; i++ {
+		h.Observe(7)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("p50 of one full first bucket = %v, want 5 (linear interpolation)", got)
+	}
+	// Add 10 in (10, 20]: p75 sits at the middle of the second bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.75); got != 15 {
+		t.Fatalf("p75 = %v, want 15", got)
+	}
+	// +Inf observations clamp to the highest finite bound.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("quantile in +Inf bucket = %v, want clamp to 2", got)
+	}
+	h3 := NewHistogram([]float64{1})
+	if got := h3.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "served requests", L("route", "/v1/plan"), L("code", "200")).Add(3)
+	r.Counter("app_requests_total", "served requests", L("route", "/v1/plan"), L("code", "400")).Add(1)
+	r.Gauge("app_inflight", "in-flight").Set(2)
+	r.Histogram("app_latency_ms", "latency", []float64{1, 10}).Observe(4)
+	r.GaugeFunc("app_uptime_ms", "uptime", func() float64 { return 1500 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE app_requests_total counter\n",
+		`app_requests_total{code="200",route="/v1/plan"} 3` + "\n",
+		`app_requests_total{code="400",route="/v1/plan"} 1` + "\n",
+		"# TYPE app_inflight gauge\napp_inflight 2\n",
+		"# TYPE app_latency_ms histogram\n",
+		`app_latency_ms_bucket{le="1"} 0` + "\n",
+		`app_latency_ms_bucket{le="10"} 1` + "\n",
+		`app_latency_ms_bucket{le="+Inf"} 1` + "\n",
+		"app_latency_ms_sum 4\n",
+		"app_latency_ms_count 1\n",
+		"app_uptime_ms 1500\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families render sorted by name; label sets sorted within one.
+	if strings.Index(out, "app_inflight") > strings.Index(out, "app_latency_ms") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", L("path", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestFuncMetricReplaced(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("fn_total", "", func() float64 { return 1 })
+	r.CounterFunc("fn_total", "", func() float64 { return 2 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fn_total 2\n") {
+		t.Fatalf("re-registered func not replaced:\n%s", b.String())
+	}
+}
+
+// TestRegistryConcurrency is the -race stress: concurrent
+// registrations, updates and scrapes on one registry must be safe.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			routes := []string{"/a", "/b", "/c"}
+			for i := 0; i < iters; i++ {
+				route := routes[(w+i)%len(routes)]
+				r.Counter("st_requests_total", "", L("route", route)).Inc()
+				r.Gauge("st_inflight", "").Add(1)
+				r.Histogram("st_latency_ms", "", LatencyBuckets, L("route", route)).Observe(float64(i % 300))
+				r.Gauge("st_inflight", "").Add(-1)
+				if i%100 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, route := range []string{"/a", "/b", "/c"} {
+		total += r.Counter("st_requests_total", "", L("route", route)).Value()
+	}
+	if total != workers*iters {
+		t.Fatalf("counted %d requests, want %d", total, workers*iters)
+	}
+	if got := r.Gauge("st_inflight", "").Value(); got != 0 {
+		t.Fatalf("in-flight gauge = %d after quiescence, want 0", got)
+	}
+	var hcount uint64
+	for _, route := range []string{"/a", "/b", "/c"} {
+		hcount += r.Histogram("st_latency_ms", "", LatencyBuckets, L("route", route)).Count()
+	}
+	if hcount != workers*iters {
+		t.Fatalf("histogram count %d, want %d", hcount, workers*iters)
+	}
+}

@@ -1,0 +1,185 @@
+package obs
+
+// Per-request tracing. A trace is a tree of Spans rooted at the
+// request handler and threaded through context.Context down the whole
+// pipeline (service → core → profiler.Engine → probe → pareto), so a
+// /v1/plan response can say where its time went: cache-warm fan-out
+// versus cold measurement, bisection rounds versus the frontier DP.
+//
+// The design is nil-tolerant by construction: StartSpan returns a nil
+// *Span when the context carries no trace, and every Span method is a
+// no-op on nil. Instrumented code therefore never branches on "is
+// tracing on" — it calls Start/End unconditionally — and the untraced
+// path allocates nothing (a context.Value lookup is the entire cost).
+// Spans exist only when a request explicitly asked for them
+// ("trace": true), which is what keeps tracing off the zero-alloc
+// inference pin and the metrics-only hot path.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type ctxKey int
+
+const (
+	spanCtxKey ctxKey = iota
+	requestIDCtxKey
+)
+
+// WithRequestID returns a context carrying the request ID the access
+// middleware generated.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDCtxKey, id)
+}
+
+// RequestID returns the context's request ID, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDCtxKey).(string)
+	return id
+}
+
+// Span is one timed stage of a trace. Spans form a tree; children may
+// be attached concurrently (a probed fan-out), so mutation is guarded
+// by a mutex — acceptable because spans exist only on explicitly
+// traced requests.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []attr
+	children []*Span
+}
+
+type attr struct {
+	key string
+	v   int64
+}
+
+// StartTrace starts a new trace rooted at a span named name and
+// returns a context carrying it. Unlike StartSpan it always allocates:
+// callers invoke it only when a trace was requested.
+func StartTrace(ctx context.Context, name string) (context.Context, *Span) {
+	root := &Span{name: name, start: time.Now()}
+	return context.WithValue(ctx, spanCtxKey, root), root
+}
+
+// StartSpan starts a child of the context's current span and returns a
+// context in which it is current. When the context carries no trace it
+// returns (ctx, nil) without allocating — the no-trace fast path.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanCtxKey).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := &Span{name: name, start: time.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, child)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, spanCtxKey, child), child
+}
+
+// FromContext returns the context's current span, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey).(*Span)
+	return s
+}
+
+// End marks the span finished. Safe on nil; the first End wins.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Set records an integer attribute (probe counts, grid sizes,
+// cache-hit deltas), replacing an existing value of the same key. Safe
+// on nil.
+func (s *Span) Set(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			s.attrs[i].v = v
+			return
+		}
+	}
+	s.attrs = append(s.attrs, attr{key: key, v: v})
+}
+
+// Add accumulates delta into an integer attribute. Safe on nil.
+func (s *Span) Add(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			s.attrs[i].v += delta
+			return
+		}
+	}
+	s.attrs = append(s.attrs, attr{key: key, v: delta})
+}
+
+// SpanSnapshot is the exported (JSON-ready) form of a span tree.
+// Offsets are relative to the trace root's start, so a client can lay
+// the stages out on one timeline.
+type SpanSnapshot struct {
+	Name string `json:"name"`
+	// StartMs is the span's start offset from the trace root, in
+	// milliseconds.
+	StartMs float64 `json:"start_ms"`
+	// DurationMs is the span's wall-clock duration; a span snapshotted
+	// before its End reports the duration so far.
+	DurationMs float64          `json:"duration_ms"`
+	Attrs      map[string]int64 `json:"attrs,omitempty"`
+	Children   []SpanSnapshot   `json:"children,omitempty"`
+}
+
+// Snapshot exports the span tree rooted at s. Call after End for final
+// durations. Safe on nil (returns the zero snapshot).
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	return s.snapshot(s.start, time.Now())
+}
+
+func (s *Span) snapshot(base, now time.Time) SpanSnapshot {
+	s.mu.Lock()
+	end := s.end
+	attrs := append([]attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if end.IsZero() {
+		end = now
+	}
+	snap := SpanSnapshot{
+		Name:       s.name,
+		StartMs:    float64(s.start.Sub(base)) / float64(time.Millisecond),
+		DurationMs: float64(end.Sub(s.start)) / float64(time.Millisecond),
+	}
+	if len(attrs) > 0 {
+		snap.Attrs = make(map[string]int64, len(attrs))
+		for _, a := range attrs {
+			snap.Attrs[a.key] = a.v
+		}
+	}
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.snapshot(base, now))
+	}
+	return snap
+}

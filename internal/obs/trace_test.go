@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartSpanWithoutTraceIsNil(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "untraced")
+	if sp != nil {
+		t.Fatal("StartSpan on a trace-less context must return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("StartSpan must return the context unchanged on the fast path")
+	}
+	// All methods are no-ops on nil.
+	sp.End()
+	sp.Set("k", 1)
+	sp.Add("k", 1)
+	if snap := sp.Snapshot(); snap.Name != "" || len(snap.Children) != 0 {
+		t.Fatalf("nil snapshot = %+v, want zero", snap)
+	}
+}
+
+func TestStartSpanNoTraceZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		_, sp := StartSpan(ctx, "hot")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced StartSpan allocated %v/op, want 0", allocs)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	ctx, root := StartTrace(context.Background(), "request")
+	ctx1, profile := StartSpan(ctx, "profile")
+	_, sweep := StartSpan(ctx1, "sweep conv1")
+	sweep.Set("points", 12)
+	sweep.Add("probes", 3)
+	sweep.Add("probes", 2)
+	sweep.End()
+	profile.End()
+	_, dp := StartSpan(ctx, "frontier_dp")
+	dp.End()
+	root.End()
+
+	snap := root.Snapshot()
+	if snap.Name != "request" || len(snap.Children) != 2 {
+		t.Fatalf("root = %+v", snap)
+	}
+	if snap.Children[0].Name != "profile" || snap.Children[1].Name != "frontier_dp" {
+		t.Fatalf("children = %q, %q", snap.Children[0].Name, snap.Children[1].Name)
+	}
+	sw := snap.Children[0].Children[0]
+	if sw.Name != "sweep conv1" {
+		t.Fatalf("grandchild = %+v", sw)
+	}
+	if sw.Attrs["points"] != 12 || sw.Attrs["probes"] != 5 {
+		t.Fatalf("attrs = %v", sw.Attrs)
+	}
+	// Children start at or after the root and fit inside it.
+	for _, c := range snap.Children {
+		if c.StartMs < 0 {
+			t.Fatalf("child starts before root: %+v", c)
+		}
+		if c.StartMs+c.DurationMs > snap.DurationMs+1 {
+			t.Fatalf("child %q overruns root: %+v vs root %v ms", c.Name, c, snap.DurationMs)
+		}
+	}
+}
+
+func TestSpanDurations(t *testing.T) {
+	_, root := StartTrace(context.Background(), "r")
+	time.Sleep(5 * time.Millisecond)
+	root.End()
+	first := root.Snapshot().DurationMs
+	if first < 4 {
+		t.Fatalf("duration = %v ms, want >= ~5", first)
+	}
+	// End is idempotent: a second End doesn't move the stamp.
+	root.End()
+	if again := root.Snapshot().DurationMs; again != first {
+		t.Fatalf("duration changed after second End: %v vs %v", again, first)
+	}
+}
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" {
+		t.Fatal("empty context should have no request ID")
+	}
+	ctx = WithRequestID(ctx, "pd-42")
+	if got := RequestID(ctx); got != "pd-42" {
+		t.Fatalf("RequestID = %q, want pd-42", got)
+	}
+}
+
+// TestConcurrentChildren exercises concurrent child attachment and
+// attr updates on one parent (the measurement fan-out shape) under
+// -race.
+func TestConcurrentChildren(t *testing.T) {
+	ctx, root := StartTrace(context.Background(), "fanout")
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := StartSpan(ctx, "measure")
+			root.Add("jobs", 1)
+			sp.Set("ok", 1)
+			sp.End()
+		}()
+	}
+	// Concurrent snapshot while children attach must be safe.
+	for i := 0; i < 4; i++ {
+		_ = root.Snapshot()
+	}
+	wg.Wait()
+	root.End()
+	snap := root.Snapshot()
+	if len(snap.Children) != n {
+		t.Fatalf("children = %d, want %d", len(snap.Children), n)
+	}
+	if snap.Attrs["jobs"] != n {
+		t.Fatalf("jobs attr = %d, want %d", snap.Attrs["jobs"], n)
+	}
+}

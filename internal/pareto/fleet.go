@@ -8,11 +8,13 @@
 package pareto
 
 import (
+	"context"
 	"fmt"
 
 	"perfprune/internal/accuracy"
 	"perfprune/internal/core"
 	"perfprune/internal/nets"
+	"perfprune/internal/obs"
 	"perfprune/internal/prune"
 	"perfprune/internal/report"
 )
@@ -105,6 +107,19 @@ const fleetIterations = 6
 // re-solving with weights shifted toward the bottleneck target and
 // keeping the best plan seen. The result is deterministic.
 func PlanFleet(targets []FleetTarget, m accuracy.Model, maxDrop float64, obj Objective, opts Options) (*FleetPlan, error) {
+	return PlanFleetContext(context.Background(), targets, m, maxDrop, obj, opts)
+}
+
+// PlanFleetContext is PlanFleet with tracing: when ctx carries a trace
+// the scalarized solve is recorded as a "fleet_plan" span.
+func PlanFleetContext(ctx context.Context, targets []FleetTarget, m accuracy.Model, maxDrop float64, obj Objective, opts Options) (*FleetPlan, error) {
+	_, sp := obs.StartSpan(ctx, "fleet_plan")
+	defer sp.End()
+	sp.Set("targets", int64(len(targets)))
+	return planFleet(targets, m, maxDrop, obj, opts)
+}
+
+func planFleet(targets []FleetTarget, m accuracy.Model, maxDrop float64, obj Objective, opts Options) (*FleetPlan, error) {
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("pareto: empty fleet")
 	}

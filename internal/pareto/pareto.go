@@ -25,6 +25,7 @@
 package pareto
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -32,6 +33,7 @@ import (
 	"perfprune/internal/accuracy"
 	"perfprune/internal/core"
 	"perfprune/internal/nets"
+	"perfprune/internal/obs"
 	"perfprune/internal/prune"
 	"perfprune/internal/report"
 )
@@ -101,6 +103,23 @@ type Frontier struct {
 // Compute builds the frontier for the planner's (network, target) pair
 // over the per-layer staircase right-edge candidates.
 func Compute(pl *core.Planner, opts Options) (*Frontier, error) {
+	return ComputeContext(context.Background(), pl, opts)
+}
+
+// ComputeContext is Compute with tracing: when ctx carries a trace the
+// DP solve is recorded as a "frontier_dp" span (the computation itself
+// is in-memory and is not cancellable mid-solve).
+func ComputeContext(ctx context.Context, pl *core.Planner, opts Options) (*Frontier, error) {
+	_, sp := obs.StartSpan(ctx, "frontier_dp")
+	defer sp.End()
+	f, err := compute(pl, opts)
+	if err == nil {
+		sp.Set("points", int64(len(f.Points)))
+	}
+	return f, err
+}
+
+func compute(pl *core.Planner, opts Options) (*Frontier, error) {
 	if pl == nil || pl.Profile == nil {
 		return nil, fmt.Errorf("pareto: nil planner")
 	}

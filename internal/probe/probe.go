@@ -41,6 +41,7 @@ import (
 	"sort"
 
 	"perfprune/internal/backend"
+	"perfprune/internal/obs"
 	"perfprune/internal/staircase"
 )
 
@@ -265,7 +266,13 @@ func (p *prober) probe(want []int) error {
 		return nil
 	}
 	sort.Ints(fresh)
-	ms, err := p.measure(p.ctx, fresh)
+	// One span per bisection round: the batch is the round, so the trace
+	// shows how the O(log C) rounds narrow (span-per-point would be
+	// thousands of spans). Nil (free) on untraced runs.
+	ctx, sp := obs.StartSpan(p.ctx, "bisect_round")
+	sp.Set("probes", int64(len(fresh)))
+	ms, err := p.measure(ctx, fresh)
+	sp.End()
 	if err != nil {
 		return err
 	}

@@ -20,6 +20,7 @@ import (
 	"perfprune/internal/backend"
 	"perfprune/internal/conv"
 	"perfprune/internal/device"
+	"perfprune/internal/obs"
 )
 
 // Engine sweeps measurement grids concurrently with memoization.
@@ -110,6 +111,10 @@ func (e *Engine) SweepChannelsContext(ctx context.Context, lib Library, dev devi
 		return nil, fmt.Errorf("profiler: invalid sweep range [%d, %d]", lo, hi)
 	}
 	n := hi - lo + 1
+	ctx, sp := obs.StartSpan(ctx, "measure_fanout")
+	defer sp.End()
+	defer e.recordCacheDelta(sp)()
+	sp.Set("points", int64(n))
 	points := make([]Point, n)
 	if err := e.fanOut(ctx, n, e.workersFor(lib), func(i int) error {
 		c := lo + i
@@ -155,6 +160,24 @@ func (e *Engine) SweepPruneDistancesContext(ctx context.Context, lib Library, de
 		return nil, err
 	}
 	return points, nil
+}
+
+// recordCacheDelta returns a func that records the cache hit/miss
+// deltas accrued since the call as span attributes — the trace's
+// "cache lookup vs fresh measurement" split. On a warm cache a fan-out
+// is all hits; on a cold one the miss count is the number of backend
+// executions the stage actually paid for. No-op (and no Stats read)
+// when the span is nil or the cache is disabled.
+func (e *Engine) recordCacheDelta(sp *obs.Span) func() {
+	if sp == nil || e.cache == nil {
+		return func() {}
+	}
+	before := e.cache.Stats()
+	return func() {
+		after := e.cache.Stats()
+		sp.Add("cache_hits", int64(after.Hits-before.Hits))
+		sp.Add("cache_misses", int64(after.Misses-before.Misses))
+	}
 }
 
 // workersFor returns the pool width for a backend: non-deterministic

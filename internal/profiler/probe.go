@@ -15,6 +15,7 @@ import (
 	"perfprune/internal/backend"
 	"perfprune/internal/conv"
 	"perfprune/internal/device"
+	"perfprune/internal/obs"
 	"perfprune/internal/probe"
 	"perfprune/internal/staircase"
 )
@@ -35,6 +36,8 @@ func (e *Engine) ProbeStaircaseContext(ctx context.Context, lib Library, dev dev
 	if opts.Rel == 0 && !backend.IsDeterministic(lib) {
 		opts.Rel = staircase.PlateauTol
 	}
+	ctx, sp := obs.StartSpan(ctx, "probe_staircase")
+	defer sp.End()
 	m := func(ctx context.Context, channels []int) ([]float64, error) {
 		out := make([]float64, len(channels))
 		if err := e.fanOut(ctx, len(channels), e.workersFor(lib), func(i int) error {
@@ -49,7 +52,15 @@ func (e *Engine) ProbeStaircaseContext(ctx context.Context, lib Library, dev dev
 		}
 		return out, nil
 	}
-	return probe.Staircase(ctx, m, lo, hi, opts)
+	res, err := probe.Staircase(ctx, m, lo, hi, opts)
+	if err == nil {
+		sp.Set("probes", int64(res.Stats.Probes))
+		sp.Set("grid_points", int64(res.Stats.GridPoints))
+		if res.Stats.FellBack {
+			sp.Set("fell_back", 1)
+		}
+	}
+	return res, err
 }
 
 // ProbeStaircase is ProbeStaircaseContext without cancellation.

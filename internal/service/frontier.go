@@ -14,6 +14,7 @@ import (
 
 	"perfprune/internal/core"
 	"perfprune/internal/nets"
+	"perfprune/internal/obs"
 	"perfprune/internal/pareto"
 )
 
@@ -66,7 +67,10 @@ func (s *Server) serveSingleFrontier(w http.ResponseWriter, r *http.Request, req
 		writeError(w, err)
 		return
 	}
-	np, probeSt, err := s.profileNetwork(r.Context(), core.Target{Device: dev, Library: lib}, n, req.Probe)
+	ctx, root := startRequestTrace(r.Context(), req.Trace, "/v1/frontier")
+	pctx, psp := obs.StartSpan(ctx, "profile")
+	np, probeSt, err := s.profileNetwork(pctx, core.Target{Device: dev, Library: lib}, n, req.Probe)
+	psp.End()
 	if err != nil {
 		if isCancellation(err) {
 			return // client gone; nobody to answer
@@ -80,7 +84,7 @@ func (s *Server) serveSingleFrontier(w http.ResponseWriter, r *http.Request, req
 		return
 	}
 	pl.Groups = groups
-	f, err := pareto.Compute(pl, pareto.Options{})
+	f, err := pareto.ComputeContext(ctx, pl, pareto.Options{})
 	if err != nil {
 		writeError(w, err)
 		return
@@ -109,6 +113,7 @@ func (s *Server) serveSingleFrontier(w http.ResponseWriter, r *http.Request, req
 			resp.AccuracyBudget = &fp
 		}
 	}
+	resp.Trace = finishTrace(ctx, root)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -136,6 +141,7 @@ func (s *Server) serveFleetFrontier(w http.ResponseWriter, r *http.Request, req 
 	if req.MaxAccuracyDrop != nil {
 		maxDrop = *req.MaxAccuracyDrop
 	}
+	ctx, root := startRequestTrace(r.Context(), req.Trace, "/v1/frontier")
 	fleet := make([]pareto.FleetTarget, len(req.Fleet))
 	seen := make(map[string]bool, len(req.Fleet))
 	var fleetProbe *ProbeStats
@@ -155,7 +161,9 @@ func (s *Server) serveFleetFrontier(w http.ResponseWriter, r *http.Request, req 
 			writeError(w, prefixError(fmt.Sprintf("fleet[%d]", i), err))
 			return
 		}
-		np, probeSt, err := s.profileNetwork(r.Context(), core.Target{Device: dev, Library: lib}, n, req.Probe)
+		pctx, psp := obs.StartSpan(ctx, fmt.Sprintf("profile %s/%s", ftr.Backend, ftr.Device))
+		np, probeSt, err := s.profileNetwork(pctx, core.Target{Device: dev, Library: lib}, n, req.Probe)
+		psp.End()
 		if err != nil {
 			if isCancellation(err) {
 				return
@@ -179,7 +187,7 @@ func (s *Server) serveFleetFrontier(w http.ResponseWriter, r *http.Request, req 
 		writeError(w, err)
 		return
 	}
-	fp, err := pareto.PlanFleet(fleet, pl.Acc, maxDrop, obj, pareto.Options{Groups: groups})
+	fp, err := pareto.PlanFleetContext(ctx, fleet, pl.Acc, maxDrop, obj, pareto.Options{Groups: groups})
 	if err != nil {
 		writeError(w, err)
 		return
@@ -208,6 +216,7 @@ func (s *Server) serveFleetFrontier(w http.ResponseWriter, r *http.Request, req 
 		BaselineAccuracy: pl.Acc.Base,
 		Fleet:            &result,
 		Probe:            fleetProbe,
+		Trace:            finishTrace(ctx, root),
 	})
 }
 

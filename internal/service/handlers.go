@@ -5,16 +5,40 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"perfprune/internal/backend"
 	"perfprune/internal/conv"
 	"perfprune/internal/core"
 	"perfprune/internal/device"
 	"perfprune/internal/nets"
+	"perfprune/internal/obs"
 	"perfprune/internal/probe"
 	"perfprune/internal/profiler"
 	"perfprune/internal/staircase"
 )
+
+// startRequestTrace opts a handler into tracing: when the request body
+// asked for it (traced == true) a root span named after the endpoint
+// is planted in the returned context; otherwise the context passes
+// through untouched and root is nil (every downstream StartSpan then
+// no-ops without allocating). finishTrace pairs with it.
+func startRequestTrace(ctx context.Context, traced bool, name string) (context.Context, *obs.Span) {
+	if !traced {
+		return ctx, nil
+	}
+	return obs.StartTrace(ctx, name)
+}
+
+// finishTrace ends the root span and packages the echo for a traced
+// request; nil for untraced ones (the response field stays omitted).
+func finishTrace(ctx context.Context, root *obs.Span) *TraceEcho {
+	if root == nil {
+		return nil
+	}
+	root.End()
+	return &TraceEcho{RequestID: obs.RequestID(ctx), Root: root.Snapshot()}
+}
 
 // handleBackends lists the backends this server serves, with the
 // devices each can target.
@@ -96,14 +120,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st := (*fn)()
 		store = &st
 	}
+	info := s.info
+	info.UptimeMs = time.Since(s.start).Milliseconds()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Store: store,
+		Info:  info,
 		Cache: CacheStats{
 			Hits:      cs.Hits,
 			Misses:    cs.Misses,
 			HitRate:   cs.HitRate(),
 			Entries:   cs.Entries,
 			Evictions: cs.Evictions,
+			InFlight:  cs.InFlight,
 		},
 		Requests: RequestStats{
 			Backends:  s.reqBackends.Load(),
@@ -489,8 +517,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tg := core.Target{Device: dev, Library: lib}
+	ctx, root := startRequestTrace(r.Context(), req.Trace, "/v1/plan")
 
-	np, probeSt, err := s.profileNetwork(r.Context(), tg, n, req.Probe)
+	pctx, psp := obs.StartSpan(ctx, "profile")
+	np, probeSt, err := s.profileNetwork(pctx, tg, n, req.Probe)
+	psp.End()
 	if err != nil {
 		if isCancellation(err) {
 			return // client gone; nobody to answer
@@ -504,7 +535,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pl.Groups = groups
+	_, gsp := obs.StartSpan(ctx, "plan_greedy")
 	aware, err := pl.PerformanceAware(targetSpeedup, maxAccuracyDrop)
+	gsp.End()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -527,6 +560,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		ue := planEval(unin)
 		resp.Uninstructed = &ue
 	}
+	resp.Trace = finishTrace(ctx, root)
 	writeJSON(w, http.StatusOK, resp)
 }
 

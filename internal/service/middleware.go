@@ -1,0 +1,133 @@
+package service
+
+// The observability middleware: every request through Handler gets a
+// request ID (echoed as X-Request-Id and threaded through the context
+// for span trees and logs), per-route request/error/latency metrics,
+// a structured access-log line, and a JSON guarantee — the mux's
+// plain-text 404/405 fallbacks are rewritten into the service's
+// standard error envelope so clients never see a non-JSON body.
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"perfprune/internal/obs"
+)
+
+// middleware wraps the API mux with request-ID assignment, metrics and
+// access logging.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	durBounds := obs.LatencyBuckets
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := fmt.Sprintf("pd-%d-%d", s.start.UnixMilli(), s.reqSeq.Add(1))
+		ctx := obs.WithRequestID(r.Context(), id)
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Request-Id", id)
+
+		sw := &statusWriter{ResponseWriter: w}
+		s.inflight.Add(1)
+		next.ServeHTTP(sw, r)
+		s.inflight.Add(-1)
+		if !sw.wroteHeader {
+			// Handler wrote nothing (a cancelled request whose client
+			// vanished): net/http would send an implicit 200.
+			sw.status = http.StatusOK
+		}
+
+		// ServeMux sets r.Pattern on the request it matched; an empty
+		// pattern is the 404/405 fallback. Fold all unmatched paths into
+		// one label so a URL-scanning client cannot explode cardinality.
+		route := r.Pattern
+		if i := strings.IndexByte(route, ' '); i >= 0 {
+			route = route[i+1:]
+		}
+		if route == "" {
+			route = "unmatched"
+		}
+
+		elapsed := time.Since(start)
+		code := fmt.Sprintf("%d", sw.status)
+		s.reg.Counter("perfpruned_requests_total", "HTTP requests served",
+			obs.L("route", route), obs.L("code", code)).Inc()
+		if sw.status >= 400 {
+			s.reg.Counter("perfpruned_request_errors_total", "HTTP requests answered with a 4xx/5xx",
+				obs.L("route", route)).Inc()
+		}
+		s.reg.Histogram("perfpruned_request_duration_ms", "request wall-clock latency",
+			durBounds, obs.L("route", route)).
+			Observe(float64(elapsed) / float64(time.Millisecond))
+
+		if s.log != nil {
+			level := slog.LevelInfo
+			if sw.status >= 500 {
+				level = slog.LevelError
+			} else if sw.status >= 400 {
+				level = slog.LevelWarn
+			}
+			s.log.LogAttrs(ctx, level, "request",
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Int("bytes", sw.bytes),
+				slog.Float64("duration_ms", float64(elapsed)/float64(time.Millisecond)),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}
+
+// statusWriter records the status and body size of a response, and
+// rewrites the mux's plain-text 404/405 fallbacks into the service's
+// JSON error envelope. Responses that already declare application/json
+// (every handler-written error) pass through untouched.
+type statusWriter struct {
+	http.ResponseWriter
+	status      int
+	bytes       int
+	wroteHeader bool
+	intercepted bool // swallowing a replaced plain-text body
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.wroteHeader {
+		return
+	}
+	sw.wroteHeader = true
+	sw.status = status
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(sw.Header().Get("Content-Type"), "application/json") {
+		sw.intercepted = true
+		sw.Header().Set("Content-Type", "application/json")
+		sw.Header().Del("Content-Length") // replacing the body
+		sw.ResponseWriter.WriteHeader(status)
+		msg := "not found"
+		if status == http.StatusMethodNotAllowed {
+			msg = "method not allowed"
+		}
+		body, _ := json.Marshal(ErrorResponse{Error: msg})
+		n, _ := sw.ResponseWriter.Write(append(body, '\n'))
+		sw.bytes += n
+		return
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if !sw.wroteHeader {
+		sw.WriteHeader(http.StatusOK)
+	}
+	if sw.intercepted {
+		// The original plain-text body; the envelope already went out.
+		return len(b), nil
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += n
+	return n, err
+}

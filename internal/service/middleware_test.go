@@ -1,0 +1,282 @@
+package service_test
+
+// The observability middleware contract: JSON-only error bodies on
+// unmatched routes, request IDs that reach both the response header
+// and the access log, per-route metrics on /metrics, and access-log
+// lines carrying the documented fields.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"perfprune/internal/service"
+)
+
+// logBuffer is a concurrency-safe sink for the access log.
+type logBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *logBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *logBuffer) lines(t *testing.T) []map[string]any {
+	t.Helper()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(l.b.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("access log line is not JSON: %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func newLoggedServer(t *testing.T, cfg service.Config) (*httptest.Server, *logBuffer) {
+	t.Helper()
+	buf := &logBuffer{}
+	cfg.AccessLog = slog.New(slog.NewJSONHandler(buf, nil))
+	srv, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, buf
+}
+
+// TestUnknownRouteJSON404 pins the satellite contract: the mux's
+// plain-text 404 fallback is rewritten into the standard JSON error
+// envelope.
+func TestUnknownRouteJSON404(t *testing.T) {
+	ts, _ := newLoggedServer(t, service.Config{})
+	resp, err := http.Get(ts.URL + "/no/such/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var e service.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("404 body is not the JSON envelope: %v", err)
+	}
+	if e.Error == "" {
+		t.Fatal("404 envelope has an empty error")
+	}
+}
+
+func TestMethodNotAllowedJSON405(t *testing.T) {
+	ts, _ := newLoggedServer(t, service.Config{})
+	// GET on a POST-only route.
+	resp, err := http.Get(ts.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var e service.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("405 body is not the JSON envelope: %v", err)
+	}
+}
+
+// TestHandlerErrorsStayJSON guards the pass-through: a handler-written
+// JSON error must not be clobbered by the interception path.
+func TestHandlerErrorsStayJSON(t *testing.T) {
+	ts, _ := newLoggedServer(t, service.Config{})
+	resp, err := http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var e service.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("400 body is not the service envelope (err=%v, %+v)", err, e)
+	}
+}
+
+// TestAccessLogFields drives one known request and checks the logged
+// line carries every documented field, consistently with the response.
+func TestAccessLogFields(t *testing.T) {
+	ts, buf := newLoggedServer(t, service.Config{})
+	resp, err := http.Get(ts.URL + "/v1/devices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	wantID := resp.Header.Get("X-Request-Id")
+	if wantID == "" {
+		t.Fatal("response carries no X-Request-Id")
+	}
+
+	lines := buf.lines(t)
+	if len(lines) != 1 {
+		t.Fatalf("access log has %d lines, want 1", len(lines))
+	}
+	line := lines[0]
+	checks := map[string]any{
+		"request_id": wantID,
+		"method":     "GET",
+		"path":       "/v1/devices",
+		"route":      "/v1/devices",
+		"status":     float64(http.StatusOK),
+	}
+	for k, want := range checks {
+		if got := line[k]; got != want {
+			t.Errorf("log[%q] = %v, want %v", k, got, want)
+		}
+	}
+	if got := line["bytes"].(float64); int(got) != len(body) {
+		t.Errorf("log bytes = %v, response body = %d", got, len(body))
+	}
+	if d, ok := line["duration_ms"].(float64); !ok || d < 0 {
+		t.Errorf("log duration_ms = %v, want a non-negative number", line["duration_ms"])
+	}
+	if line["remote"] == "" {
+		t.Error("log remote is empty")
+	}
+}
+
+// TestAccessLogUnmatchedRoute pins the bounded route label.
+func TestAccessLogUnmatchedRoute(t *testing.T) {
+	ts, buf := newLoggedServer(t, service.Config{})
+	if _, err := http.Get(ts.URL + "/v1/whatever-" + strings.Repeat("x", 32)); err != nil {
+		t.Fatal(err)
+	}
+	lines := buf.lines(t)
+	if len(lines) != 1 || lines[0]["route"] != "unmatched" {
+		t.Fatalf("unmatched request logged route %v, want \"unmatched\"", lines[0]["route"])
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics after known traffic and asserts
+// the core families exist with consistent values.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newLoggedServer(t, service.Config{})
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/v1/devices")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}
+	http.Get(ts.URL + "/nope") //nolint:errcheck
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	for _, want := range []string{
+		`perfpruned_requests_total{code="200",route="/v1/devices"} 3`,
+		`perfpruned_requests_total{code="404",route="unmatched"} 1`,
+		`perfpruned_request_errors_total{route="unmatched"} 1`,
+		`perfpruned_request_duration_ms_bucket{route="/v1/devices",le="+Inf"} 3`,
+		"# TYPE perfpruned_requests_total counter",
+		"# TYPE perfpruned_request_duration_ms histogram",
+		"perfpruned_cache_hits_total 0",
+		"perfpruned_cache_misses_total 0",
+		"perfpruned_cache_entries 0",
+		"perfpruned_probe_runs_total 0",
+		"perfpruned_gemm_pool_workers",
+		"perfpruned_uptime_ms",
+		"perfpruned_inflight_requests",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestMetricsCacheSeriesTrack drives real measurement traffic and
+// cross-checks the scraped cache counters against /v1/stats.
+func TestMetricsCacheSeriesTrack(t *testing.T) {
+	ts, _ := newLoggedServer(t, service.Config{Backends: simulatedOnly, Workers: 2})
+	body := `{"backend": "acl-gemm", "device": "HiKey 970", "network": "VGG-16", "layer": "VGG.L10"}`
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep status = %d", resp.StatusCode)
+		}
+	}
+
+	var stats service.StatsResponse
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Cache.Misses == 0 || stats.Cache.Hits == 0 {
+		t.Fatalf("expected cache traffic, got %+v", stats.Cache)
+	}
+	if stats.Info.GoVersion == "" || stats.Info.UptimeMs < 0 {
+		t.Fatalf("stats info = %+v, want go_version and uptime", stats.Info)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		// The stats request above may race new hits only if traffic were
+		// concurrent; here the server is quiescent, so exact equality.
+		"perfpruned_cache_hits_total " + jsonNumber(stats.Cache.Hits),
+		"perfpruned_cache_misses_total " + jsonNumber(stats.Cache.Misses),
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q (cache section: %+v)", want, stats.Cache)
+		}
+	}
+}
+
+func jsonNumber(v uint64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

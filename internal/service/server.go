@@ -24,13 +24,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"perfprune/internal/backend"
+	"perfprune/internal/gemm"
+	"perfprune/internal/obs"
 	"perfprune/internal/profiler"
 )
 
@@ -81,6 +86,10 @@ type Config struct {
 	// golden-stable and prevents real-compute work from being scheduled
 	// on the serving host.
 	Backends []string
+	// AccessLog, when set, receives one structured line per request
+	// (method, route, status, bytes, duration, request ID). nil
+	// disables access logging; metrics are recorded either way.
+	AccessLog *slog.Logger
 }
 
 // Server is the planning daemon. Create one with New and mount
@@ -91,6 +100,17 @@ type Server struct {
 	cache   *backend.Cache
 	engine  *profiler.Engine
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the observability middleware
+
+	// Observability state. The registry is per-Server (not process
+	// global) so test servers never collide; subsystem counters are
+	// bridged in at scrape time via CounterFunc/GaugeFunc.
+	reg      *obs.Registry
+	log      *slog.Logger
+	start    time.Time
+	info     InfoStats // GoVersion/VCSRevision; UptimeMs filled per snapshot
+	reqSeq   atomic.Uint64
+	inflight *obs.Gauge
 
 	reqBackends  atomic.Uint64
 	reqDevices   atomic.Uint64
@@ -167,7 +187,12 @@ func New(cfg Config) (*Server, error) {
 		allowed: allowed,
 		cache:   cache,
 		engine:  profiler.NewEngine(opts...),
+		reg:     obs.NewRegistry(),
+		log:     cfg.AccessLog,
+		start:   time.Now(),
+		info:    buildInfo(),
 	}
+	s.registerMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/backends", s.handleBackends)
 	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
@@ -177,11 +202,75 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/staircase", s.handleStaircase)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/frontier", s.handleFrontier)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = s.middleware(s.mux)
 	return s, nil
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// buildInfo reads the binary's identity once at construction.
+func buildInfo() InfoStats {
+	info := InfoStats{GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				info.VCSRevision = kv.Value
+			}
+		}
+	}
+	return info
+}
+
+// registerMetrics wires the scrape-time bridges: subsystem counters
+// (cache, probe totals, gemm pool, uptime) are read from their existing
+// atomic stats at each /metrics render, so the subsystems stay free of
+// any obs dependency and the hot paths pay nothing new.
+func (s *Server) registerMetrics() {
+	s.inflight = s.reg.Gauge("perfpruned_inflight_requests",
+		"HTTP requests currently being served")
+	s.reg.GaugeFunc("perfpruned_uptime_ms", "milliseconds since server construction",
+		func() float64 { return float64(time.Since(s.start).Milliseconds()) })
+
+	s.reg.CounterFunc("perfpruned_cache_hits_total", "measurement cache hits",
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	s.reg.CounterFunc("perfpruned_cache_misses_total", "measurement cache misses",
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	s.reg.CounterFunc("perfpruned_cache_evictions_total", "measurement cache evictions",
+		func() float64 { return float64(s.cache.Stats().Evictions) })
+	s.reg.GaugeFunc("perfpruned_cache_entries", "memoized measurements resident",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	s.reg.GaugeFunc("perfpruned_cache_inflight", "backend measurements executing now",
+		func() float64 { return float64(s.cache.Stats().InFlight) })
+
+	s.reg.CounterFunc("perfpruned_probe_runs_total", "adaptive probe runs",
+		func() float64 { return float64(s.probeRuns.Load()) })
+	s.reg.CounterFunc("perfpruned_probe_probes_issued_total", "probe measurements issued",
+		func() float64 { return float64(s.probeProbes.Load()) })
+	s.reg.CounterFunc("perfpruned_probe_grid_points_total", "grid points exhaustive sweeps would have measured",
+		func() float64 { return float64(s.probeGrid.Load()) })
+	s.reg.CounterFunc("perfpruned_probe_fallbacks_total", "probe runs that fell back to a full sweep",
+		func() float64 { return float64(s.probeFallbacks.Load()) })
+
+	s.reg.GaugeFunc("perfpruned_gemm_pool_workers", "gemm worker pool size",
+		func() float64 { return float64(gemm.PoolStats().Workers) })
+	s.reg.GaugeFunc("perfpruned_gemm_pool_busy", "gemm workers executing a row band",
+		func() float64 { return float64(gemm.PoolStats().Busy) })
+	s.reg.GaugeFunc("perfpruned_gemm_pool_queue", "gemm row bands queued",
+		func() float64 { return float64(gemm.PoolStats().Queued) })
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// Metrics exposes the server's metrics registry (for daemon wiring and
+// tests).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Handler returns the service's HTTP handler: the API mux wrapped in
+// the request-ID / access-log / metrics middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // CacheStats snapshots the shared measurement cache.
 func (s *Server) CacheStats() backend.Stats { return s.cache.Stats() }
@@ -203,6 +292,15 @@ func (s *Server) SetStoreStats(fn func() StoreStats) {
 		return
 	}
 	s.storeStats.Store(&fn)
+	// Bridge the store's lifecycle counters into /metrics. Re-installing
+	// a provider replaces the scrape funcs (CounterFunc semantics), so
+	// this is idempotent.
+	s.reg.CounterFunc("perfpruned_store_flushes_total", "profile store snapshot writes",
+		func() float64 { return float64(fn().Flushes) })
+	s.reg.CounterFunc("perfpruned_store_flush_errors_total", "profile store snapshot write failures",
+		func() float64 { return float64(fn().FlushErrors) })
+	s.reg.GaugeFunc("perfpruned_store_warm_start_entries", "measurements warm-started from the store at boot",
+		func() float64 { return float64(fn().WarmStartEntries) })
 }
 
 // backendKeys returns the registry keys this server serves, sorted.

@@ -1,0 +1,164 @@
+package service_test
+
+// Request-tracing contract: "trace": true echoes a span tree whose
+// request ID matches the X-Request-Id header and whose stage durations
+// nest inside the root; without the flag the field is absent.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"perfprune/internal/obs"
+	"perfprune/internal/service"
+)
+
+func planBody(trace bool) string {
+	b := `{
+		"backend": "acl-gemm",
+		"device": "HiKey 970",
+		"network": "AlexNet",
+		"max_accuracy_drop": 2.0`
+	if trace {
+		b += `,
+		"trace": true`
+	}
+	return b + "\n}"
+}
+
+func TestPlanTraceEcho(t *testing.T) {
+	ts, buf := newLoggedServer(t, service.Config{Backends: simulatedOnly})
+	resp, err := http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader(planBody(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var pr service.PlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Trace == nil {
+		t.Fatal("traced request returned no trace echo")
+	}
+	root := pr.Trace.Root
+	if root.Name != "/v1/plan" {
+		t.Errorf("root span = %q, want /v1/plan", root.Name)
+	}
+	if pr.Trace.RequestID != resp.Header.Get("X-Request-Id") {
+		t.Errorf("trace request_id %q != header %q", pr.Trace.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+
+	names := make(map[string]obs.SpanSnapshot, len(root.Children))
+	for _, c := range root.Children {
+		names[c.Name] = c
+	}
+	for _, want := range []string{"profile", "plan_greedy"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("root has no %q child (children: %v)", want, spanNames(root.Children))
+		}
+	}
+	// The profile stage does all the measurement; it must contain the
+	// per-layer sweep spans and sit within the root's bounds.
+	profile := names["profile"]
+	if len(profile.Children) == 0 {
+		t.Error("profile span has no per-layer children")
+	}
+	for _, c := range profile.Children {
+		if !strings.HasPrefix(c.Name, "sweep ") {
+			t.Errorf("profile child %q is not a sweep span", c.Name)
+		}
+	}
+	var childSum float64
+	for _, c := range root.Children {
+		if c.StartMs < root.StartMs-0.001 {
+			t.Errorf("child %s starts at %vms, before root %vms", c.Name, c.StartMs, root.StartMs)
+		}
+		childSum += c.DurationMs
+	}
+	// Stage durations must account for (most of) the root: nothing
+	// outside profile+plan_greedy does real work on this endpoint, but
+	// JSON decode and scheduling leave a small gap.
+	if childSum > root.DurationMs+1 {
+		t.Errorf("children sum to %vms > root %vms", childSum, root.DurationMs)
+	}
+
+	// The access-logged total for this request covers the root span.
+	for _, line := range buf.lines(t) {
+		if line["request_id"] != pr.Trace.RequestID {
+			continue
+		}
+		logged := line["duration_ms"].(float64)
+		if logged+0.5 < root.DurationMs {
+			t.Errorf("access-logged %vms < root span %vms", logged, root.DurationMs)
+		}
+		return
+	}
+	t.Fatalf("no access-log line for request %s", pr.Trace.RequestID)
+}
+
+func TestPlanNoTraceByDefault(t *testing.T) {
+	ts, _ := newLoggedServer(t, service.Config{Backends: simulatedOnly})
+	resp, err := http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader(planBody(false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["trace"]; ok {
+		t.Error("untraced request echoed a trace field")
+	}
+}
+
+func TestFrontierTraceEcho(t *testing.T) {
+	ts, _ := newLoggedServer(t, service.Config{Backends: simulatedOnly})
+	body := `{"backend": "acl-gemm", "device": "HiKey 970", "network": "AlexNet", "trace": true}`
+	resp, err := http.Post(ts.URL+"/v1/frontier", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var fr service.FrontierResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Trace == nil {
+		t.Fatal("traced frontier returned no trace echo")
+	}
+	if fr.Trace.Root.Name != "/v1/frontier" {
+		t.Errorf("root span = %q, want /v1/frontier", fr.Trace.Root.Name)
+	}
+	kids := spanNames(fr.Trace.Root.Children)
+	hasProfile, hasDP := false, false
+	for _, n := range kids {
+		if n == "profile" {
+			hasProfile = true
+		}
+		if n == "frontier_dp" {
+			hasDP = true
+		}
+	}
+	if !hasProfile || !hasDP {
+		t.Errorf("frontier root children = %v, want profile and frontier_dp", kids)
+	}
+}
+
+func spanNames(spans []obs.SpanSnapshot) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -6,6 +6,8 @@ package service
 // keys under encoding/json, and slices follow network layer order — so
 // whole responses are golden-testable byte for byte.
 
+import "perfprune/internal/obs"
+
 // BackendInfo describes one registered (and allowed) backend.
 type BackendInfo struct {
 	// Key is the registry key used in requests, e.g. "acl-gemm".
@@ -181,6 +183,10 @@ type PlanRequest struct {
 	// Groups adds client-side coupling constraints on top of the
 	// network's intrinsic ones.
 	Groups []GroupRequest `json:"groups,omitempty"`
+	// Trace asks for a span tree of the request's stages (profiling,
+	// planning) in the response. Tracing is per-request and off by
+	// default; an untraced request allocates no spans.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // PlanEval is one evaluated pruning plan.
@@ -205,6 +211,8 @@ type PlanResponse struct {
 	Uninstructed     *PlanEval `json:"uninstructed,omitempty"`
 	// Probe is the profiling audit of a probe-mode request.
 	Probe *ProbeStats `json:"probe_stats,omitempty"`
+	// Trace is the stage-timing span tree of a "trace": true request.
+	Trace *TraceEcho `json:"trace,omitempty"`
 }
 
 // FrontierRequest asks for the latency–accuracy Pareto frontier of a
@@ -239,6 +247,9 @@ type FrontierRequest struct {
 	// Groups adds client-side coupling constraints on top of the
 	// network's intrinsic ones (single-target and fleet mode alike).
 	Groups []GroupRequest `json:"groups,omitempty"`
+	// Trace asks for a span tree of the request's stages in the
+	// response (see PlanRequest.Trace).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // FleetTargetRequest is one fleet member.
@@ -302,6 +313,19 @@ type FrontierResponse struct {
 	// Probe is the profiling audit of a probe-mode request (summed over
 	// every fleet target in fleet mode).
 	Probe *ProbeStats `json:"probe_stats,omitempty"`
+	// Trace is the stage-timing span tree of a "trace": true request.
+	Trace *TraceEcho `json:"trace,omitempty"`
+}
+
+// TraceEcho is the per-request trace returned when a request set
+// "trace": true: the request ID the access-log middleware assigned
+// (matching the X-Request-Id header and the access-log line) and the
+// span tree of the request's stages. Span offsets are relative to the
+// root, so stage durations sum to approximately the access-logged
+// total.
+type TraceEcho struct {
+	RequestID string           `json:"request_id,omitempty"`
+	Root      obs.SpanSnapshot `json:"root"`
 }
 
 // CacheStats reports the process-wide measurement cache.
@@ -311,6 +335,9 @@ type CacheStats struct {
 	HitRate   float64 `json:"hit_rate"`
 	Entries   int     `json:"entries"`
 	Evictions uint64  `json:"evictions"`
+	// InFlight is the number of backend measurements executing at
+	// snapshot time.
+	InFlight int64 `json:"in_flight"`
 }
 
 // RequestStats counts requests served per endpoint.
@@ -364,12 +391,25 @@ type StoreStats struct {
 	LastFlushUnixMs int64 `json:"last_flush_unix_ms"`
 }
 
+// InfoStats identifies the serving process: how long it has been up
+// and what build it is. The same fields are logged once at boot.
+type InfoStats struct {
+	// UptimeMs is milliseconds since the Server was constructed.
+	UptimeMs int64 `json:"uptime_ms"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// VCSRevision is the vcs.revision build setting, when the binary
+	// was built from a checkout.
+	VCSRevision string `json:"vcs_revision,omitempty"`
+}
+
 // StatsResponse is the /v1/stats payload.
 type StatsResponse struct {
 	Cache    CacheStats   `json:"cache"`
 	Requests RequestStats `json:"requests"`
 	Probe    ProbeTotals  `json:"probe"`
 	Workers  int          `json:"workers"`
+	Info     InfoStats    `json:"info"`
 	// Store is present only when the daemon persists its cache.
 	Store *StoreStats `json:"store,omitempty"`
 }
