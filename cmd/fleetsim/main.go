@@ -1,0 +1,492 @@
+// Command fleetsim replays synthetic fleet-drift scenarios against a
+// running perfpruned daemon and scores the closed loop's judgment:
+// drift it should repair (thermal throttling, a driver update shifting
+// the staircase) must publish a new plan version, and noise it should
+// tolerate (DVFS jitter sawtoothing around the stored curve) must not.
+// Each scenario drives its own layer so verdicts never contaminate
+// each other, and the process exits non-zero when any verdict is
+// wrong — CI runs it against a live daemon exactly like planload.
+//
+// Usage:
+//
+//	fleetsim -addr http://127.0.0.1:7070 -network AlexNet \
+//	         -backend acl-gemm -device "HiKey 970" \
+//	         -scenarios throttle,sawtooth,shift -magnitude 1.5
+//
+// Scenarios:
+//
+//	throttle  sustained thermal throttle: one interior stair reports
+//	          magnitude × its stored latency until repaired
+//	sawtooth  DVFS jitter: consecutive points alternate +20% / -20%
+//	          around the stored curve; the EWMA must smooth it below
+//	          tolerance instead of repairing
+//	shift     driver update: the whole curve shifts right by an eighth
+//	          of the layer width — drifted(c) = stored(max(1, c-k))
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+)
+
+// config is one simulation run's shape.
+type config struct {
+	base       string
+	backendKey string
+	deviceName string
+	network    string
+	scenarios  []string
+	magnitude  float64 // throttle factor (also sizes the shift)
+	rounds     int     // sustained batches per scenario (>= the daemon's MinSamples)
+	timeout    time.Duration
+}
+
+// point mirrors the wire's (channels, ms) sample.
+type point struct {
+	Channels int     `json:"channels"`
+	Ms       float64 `json:"ms"`
+}
+
+// stairInfo mirrors the wire's staircase plateau.
+type stairInfo struct {
+	LoC int     `json:"lo_c"`
+	HiC int     `json:"hi_c"`
+	Ms  float64 `json:"ms"`
+}
+
+// scenarioResult is one scenario's verdict.
+type scenarioResult struct {
+	Name           string   `json:"name"`
+	Layer          string   `json:"layer"`
+	Batches        int      `json:"batches"`
+	Points         int      `json:"points"`
+	WantRepair     bool     `json:"want_repair"`
+	Repaired       bool     `json:"repaired"`
+	Pass           bool     `json:"pass"`
+	RepairedLayers []string `json:"repaired_layers,omitempty"`
+	NewVersions    []int    `json:"new_versions,omitempty"`
+	Probes         int      `json:"probes,omitempty"`
+	GridPoints     int      `json:"grid_points,omitempty"`
+}
+
+// Report is the whole run: every scenario verdict plus the daemon's
+// final plan-version history for the driven key.
+type Report struct {
+	Scenarios []scenarioResult  `json:"scenarios"`
+	History   []historicVersion `json:"history,omitempty"`
+}
+
+// historicVersion is the slice of a plan version the report shows.
+type historicVersion struct {
+	Version        int      `json:"version"`
+	Trigger        string   `json:"trigger"`
+	RepairedLayers []string `json:"repaired_layers,omitempty"`
+	LatencyMs      float64  `json:"latency_ms"`
+	Speedup        float64  `json:"speedup"`
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:7070", "perfpruned base URL")
+		backend   = flag.String("backend", "acl-gemm", "backend registry key")
+		device    = flag.String("device", "HiKey 970", "target board")
+		network   = flag.String("network", "AlexNet", "network to plan and drift")
+		scenarios = flag.String("scenarios", "throttle,sawtooth,shift", "comma-separated scenario list")
+		magnitude = flag.Float64("magnitude", 1.5, "throttle latency factor (must clear the daemon's drift tolerance)")
+		rounds    = flag.Int("rounds", 3, "sustained telemetry batches per scenario (>= the daemon's min-samples policy)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON instead of text")
+	)
+	flag.Parse()
+
+	cfg := config{
+		base:       strings.TrimRight(*addr, "/"),
+		backendKey: *backend,
+		deviceName: *device,
+		network:    *network,
+		magnitude:  *magnitude,
+		rounds:     *rounds,
+		timeout:    *timeout,
+	}
+	for _, s := range strings.Split(*scenarios, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			cfg.scenarios = append(cfg.scenarios, s)
+		}
+	}
+
+	client := &http.Client{Timeout: cfg.timeout}
+	rep, err := runScenarios(context.Background(), client, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep) //nolint:errcheck
+	} else {
+		printReport(os.Stdout, rep)
+	}
+	for _, s := range rep.Scenarios {
+		if !s.Pass {
+			os.Exit(1)
+		}
+	}
+}
+
+// runScenarios registers the plan, assigns each scenario its own
+// layer (widest unique first) and replays them in order.
+func runScenarios(ctx context.Context, client *http.Client, cfg config) (Report, error) {
+	if cfg.rounds < 1 {
+		return Report{}, fmt.Errorf("rounds %d must be >= 1", cfg.rounds)
+	}
+	if len(cfg.scenarios) == 0 {
+		return Report{}, fmt.Errorf("empty scenario list")
+	}
+	planBody, _ := json.Marshal(map[string]any{
+		"backend": cfg.backendKey, "device": cfg.deviceName, "network": cfg.network,
+	})
+	// The plan registers the key with the drift monitor; telemetry for
+	// an unplanned key is a 422.
+	if err := postJSON(ctx, client, cfg.base+"/v1/plan", string(planBody), nil); err != nil {
+		return Report{}, fmt.Errorf("registering plan: %w", err)
+	}
+
+	layers, err := uniqueLayers(ctx, client, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	if len(layers) < len(cfg.scenarios) {
+		return Report{}, fmt.Errorf("%s has %d unique layers, need one per scenario (%d)",
+			cfg.network, len(layers), len(cfg.scenarios))
+	}
+
+	var rep Report
+	for i, name := range cfg.scenarios {
+		res, err := runScenario(ctx, client, cfg, name, layers[i])
+		if err != nil {
+			return Report{}, fmt.Errorf("scenario %s: %w", name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+	rep.History, err = fetchHistory(ctx, client, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}
+
+// runScenario fetches the layer's staircase, generates the scenario's
+// telemetry batches and posts them, scoring the daemon's verdict.
+func runScenario(ctx context.Context, client *http.Client, cfg config, name, layer string) (scenarioResult, error) {
+	curve, stairs, err := fetchStaircase(ctx, client, cfg, layer)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	s, err := interiorStair(stairs, 3)
+	if err != nil {
+		return scenarioResult{}, fmt.Errorf("%s: %w", layer, err)
+	}
+
+	var batches [][]point
+	wantRepair := true
+	switch name {
+	case "throttle":
+		batches = throttleBatches(curve, s, cfg.magnitude, cfg.rounds)
+	case "sawtooth":
+		batches = sawtoothBatches(curve, s, cfg.rounds)
+		wantRepair = false
+	case "shift":
+		batches = shiftBatches(curve, cfg.rounds)
+	default:
+		return scenarioResult{}, fmt.Errorf("unknown scenario %q (have: throttle, sawtooth, shift)", name)
+	}
+
+	res := scenarioResult{Name: name, Layer: layer, Batches: len(batches), WantRepair: wantRepair}
+	for _, batch := range batches {
+		res.Points += len(batch)
+		points := make([]map[string]any, 0, len(batch))
+		for _, p := range batch {
+			points = append(points, map[string]any{"layer": layer, "channels": p.Channels, "ms": p.Ms})
+		}
+		body, err := json.Marshal(map[string]any{
+			"backend": cfg.backendKey, "device": cfg.deviceName, "network": cfg.network, "points": points,
+		})
+		if err != nil {
+			return res, err
+		}
+		var tr struct {
+			RepairedLayers []string `json:"repaired_layers"`
+			Repair         *struct {
+				Probes     int `json:"probes"`
+				GridPoints int `json:"grid_points"`
+			} `json:"repair"`
+			NewVersion *struct {
+				Version int `json:"version"`
+			} `json:"new_version"`
+		}
+		if err := postJSON(ctx, client, cfg.base+"/v1/telemetry", string(body), &tr); err != nil {
+			return res, err
+		}
+		if len(tr.RepairedLayers) > 0 {
+			res.Repaired = true
+			res.RepairedLayers = append(res.RepairedLayers, tr.RepairedLayers...)
+		}
+		if tr.Repair != nil {
+			res.Probes += tr.Repair.Probes
+			res.GridPoints += tr.Repair.GridPoints
+		}
+		if tr.NewVersion != nil {
+			res.NewVersions = append(res.NewVersions, tr.NewVersion.Version)
+		}
+	}
+	res.Pass = res.Repaired == res.WantRepair
+	return res, nil
+}
+
+// throttleBatches: every channel of the stair at factor × its stored
+// latency, sustained for rounds batches — unambiguous drift.
+func throttleBatches(curve []point, s stairInfo, factor float64, rounds int) [][]point {
+	var out [][]point
+	for r := 0; r < rounds; r++ {
+		out = append(out, scaleStair(curve, s, factor))
+	}
+	return out
+}
+
+// sawtoothBatches: consecutive points alternate +20% and -20% around
+// the stored curve — DVFS flips faster than the reporting cadence, so
+// the jitter lands inside each batch. The stair's deviation EWMA must
+// smooth it to a few percent and classify healthy; a sustained +20%
+// (one full batch per sign) would instead cross tolerance and repair.
+func sawtoothBatches(curve []point, s stairInfo, rounds int) [][]point {
+	var out [][]point
+	for r := 0; r < 2*rounds; r++ {
+		batch := scaleStair(curve, s, 1)
+		for i := range batch {
+			if (r+i)%2 == 0 {
+				batch[i].Ms *= 1.2
+			} else {
+				batch[i].Ms *= 0.8
+			}
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
+// shiftBatches: the whole curve translates right by an eighth of the
+// layer width — drifted(c) = stored(max(1, c-k)) — the signature of a
+// driver update re-tiling its kernels.
+func shiftBatches(curve []point, rounds int) [][]point {
+	k := len(curve) / 8
+	if k < 1 {
+		k = 1
+	}
+	byChannel := make(map[int]float64, len(curve))
+	for _, p := range curve {
+		byChannel[p.Channels] = p.Ms
+	}
+	var out [][]point
+	for r := 0; r < rounds; r++ {
+		batch := make([]point, 0, len(curve))
+		for _, p := range curve {
+			src := p.Channels - k
+			if src < 1 {
+				src = 1
+			}
+			if ms, ok := byChannel[src]; ok {
+				batch = append(batch, point{Channels: p.Channels, Ms: ms})
+			}
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
+// scaleStair reports every channel of the stair at factor × stored.
+func scaleStair(curve []point, s stairInfo, factor float64) []point {
+	var out []point
+	for _, p := range curve {
+		if p.Channels >= s.LoC && p.Channels <= s.HiC {
+			out = append(out, point{Channels: p.Channels, Ms: factor * p.Ms})
+		}
+	}
+	return out
+}
+
+// interiorStair picks the first stair that is strictly interior (so
+// repairs exercise a proper sub-interval) and at least minWidth wide.
+func interiorStair(stairs []stairInfo, minWidth int) (stairInfo, error) {
+	for i, s := range stairs {
+		if i == 0 || i == len(stairs)-1 {
+			continue
+		}
+		if s.HiC-s.LoC+1 >= minWidth {
+			return s, nil
+		}
+	}
+	return stairInfo{}, fmt.Errorf("no interior stair of width >= %d (%d stairs)", minWidth, len(stairs))
+}
+
+// uniqueLayers lists the network's unique layers widest-first — each
+// scenario drives its own so a repair in one cannot contaminate the
+// next scenario's baseline.
+func uniqueLayers(ctx context.Context, client *http.Client, cfg config) ([]string, error) {
+	var networks []struct {
+		Name   string `json:"name"`
+		Layers []struct {
+			Label    string `json:"label"`
+			Channels int    `json:"channels"`
+			Unique   bool   `json:"unique"`
+		} `json:"layers"`
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.base+"/v1/networks", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&networks)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("GET /v1/networks: %w", err)
+	}
+	type cand struct {
+		label string
+		width int
+	}
+	var cands []cand
+	for _, n := range networks {
+		if n.Name != cfg.network {
+			continue
+		}
+		for _, l := range n.Layers {
+			if l.Unique {
+				cands = append(cands, cand{l.Label, l.Channels})
+			}
+		}
+	}
+	// Insertion sort widest-first; layer counts are tiny.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].width > cands[j-1].width; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.label
+	}
+	return out, nil
+}
+
+// fetchStaircase pulls the daemon's stored curve and plateaus for one
+// layer — the baseline every scenario perturbs.
+func fetchStaircase(ctx context.Context, client *http.Client, cfg config, layer string) ([]point, []stairInfo, error) {
+	body, _ := json.Marshal(map[string]any{
+		"backend": cfg.backendKey, "device": cfg.deviceName, "network": cfg.network, "layer": layer,
+	})
+	var sc struct {
+		Points []point     `json:"points"`
+		Stairs []stairInfo `json:"stairs"`
+	}
+	if err := postJSON(ctx, client, cfg.base+"/v1/staircase", string(body), &sc); err != nil {
+		return nil, nil, fmt.Errorf("staircase of %s: %w", layer, err)
+	}
+	if len(sc.Points) == 0 || len(sc.Stairs) == 0 {
+		return nil, nil, fmt.Errorf("staircase of %s came back empty", layer)
+	}
+	return sc.Points, sc.Stairs, nil
+}
+
+// fetchHistory pulls the key's plan-version changelog.
+func fetchHistory(ctx context.Context, client *http.Client, cfg config) ([]historicVersion, error) {
+	target := url.PathEscape(cfg.backendKey + "@" + cfg.deviceName)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		cfg.base+"/v1/plans/"+url.PathEscape(cfg.network)+"/"+target, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET plan history: %s", resp.Status)
+	}
+	var hist struct {
+		Versions []historicVersion `json:"versions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
+		return nil, err
+	}
+	return hist.Versions, nil
+}
+
+// postJSON posts a body and decodes the 200 response into out (out may
+// be nil to discard it).
+func postJSON(ctx context.Context, client *http.Client, url, body string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("POST %s: %s: %s", url, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// printReport renders the text report.
+func printReport(w io.Writer, rep Report) {
+	for _, s := range rep.Scenarios {
+		verdict := "PASS"
+		if !s.Pass {
+			verdict = "FAIL"
+		}
+		action := "no repair"
+		if s.Repaired {
+			action = fmt.Sprintf("repaired %s", strings.Join(s.RepairedLayers, ", "))
+			if s.GridPoints > 0 {
+				action += fmt.Sprintf(" (%d probes vs %d grid points)", s.Probes, s.GridPoints)
+			}
+		}
+		want := "repair"
+		if !s.WantRepair {
+			want = "tolerance"
+		}
+		fmt.Fprintf(w, "%s %-9s %s: %d batches / %d points -> %s (wanted %s)\n",
+			verdict, s.Name, s.Layer, s.Batches, s.Points, action, want)
+	}
+	if len(rep.History) > 0 {
+		fmt.Fprintf(w, "plan history: %d versions\n", len(rep.History))
+		for _, v := range rep.History {
+			line := fmt.Sprintf("  v%d %-12s latency %.3fms speedup %.3f", v.Version, v.Trigger, v.LatencyMs, v.Speedup)
+			if len(v.RepairedLayers) > 0 {
+				line += " repaired " + strings.Join(v.RepairedLayers, ", ")
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package main
+
+// fleetsim's contract is the daemon's judgment, so the tests run the
+// real service in-process (simulated backends: deterministic, fast)
+// rather than a scripted fake — the throttle/sawtooth/shift verdicts
+// are exactly what the drift monitor decides.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"perfprune/internal/service"
+)
+
+func simServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := service.New(service.Config{Backends: []string{"acl-gemm"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func simConfig(base string, scenarios ...string) config {
+	return config{
+		base:       base,
+		backendKey: "acl-gemm",
+		deviceName: "HiKey 970",
+		network:    "AlexNet",
+		scenarios:  scenarios,
+		magnitude:  1.5,
+		rounds:     3,
+		timeout:    30 * time.Second,
+	}
+}
+
+// TestScenarioVerdicts runs all three scenarios end to end: the two
+// real drifts repair (each publishing a plan version), the jitter does
+// not, and the final history carries exactly the repair versions.
+func TestScenarioVerdicts(t *testing.T) {
+	ts := simServer(t)
+	client := &http.Client{Timeout: 30 * time.Second}
+	rep, err := runScenarios(context.Background(), client,
+		simConfig(ts.URL, "throttle", "sawtooth", "shift"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 3 {
+		t.Fatalf("ran %d scenarios, want 3", len(rep.Scenarios))
+	}
+	byName := map[string]scenarioResult{}
+	layers := map[string]bool{}
+	for _, s := range rep.Scenarios {
+		byName[s.Name] = s
+		if !s.Pass {
+			t.Errorf("%s: verdict %v, wanted repair=%v (layers %v)", s.Name, s.Repaired, s.WantRepair, s.RepairedLayers)
+		}
+		if layers[s.Layer] {
+			t.Errorf("layer %s reused across scenarios", s.Layer)
+		}
+		layers[s.Layer] = true
+	}
+	throttle := byName["throttle"]
+	if !throttle.Repaired || len(throttle.NewVersions) == 0 {
+		t.Fatalf("throttle did not publish a repair version: %+v", throttle)
+	}
+	// The repair was incremental: the prober paid less than half the
+	// exhaustive grid.
+	if throttle.GridPoints == 0 || throttle.Probes*2 >= throttle.GridPoints {
+		t.Errorf("throttle repair not incremental: %d probes vs %d grid points",
+			throttle.Probes, throttle.GridPoints)
+	}
+	if saw := byName["sawtooth"]; saw.Repaired {
+		t.Errorf("sawtooth jitter triggered a repair of %v", saw.RepairedLayers)
+	}
+	if sh := byName["shift"]; !sh.Repaired {
+		t.Error("staircase shift went unrepaired")
+	}
+
+	// History: v1 initial plus one version per repairing scenario.
+	if len(rep.History) != 3 {
+		t.Fatalf("history has %d versions, want 3: %+v", len(rep.History), rep.History)
+	}
+	if rep.History[0].Trigger != "initial" ||
+		rep.History[1].Trigger != "drift_repair" || rep.History[2].Trigger != "drift_repair" {
+		t.Errorf("history triggers wrong: %+v", rep.History)
+	}
+
+	// The text report names every verdict.
+	var sb strings.Builder
+	printReport(&sb, rep)
+	for _, want := range []string{"PASS throttle", "PASS sawtooth", "PASS shift", "plan history: 3 versions", "v2 drift_repair"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestScenarioErrors: harness misuse fails loudly instead of passing
+// vacuously.
+func TestScenarioErrors(t *testing.T) {
+	ts := simServer(t)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	if _, err := runScenarios(context.Background(), client, simConfig(ts.URL, "bogus")); err == nil ||
+		!strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("unknown scenario error = %v", err)
+	}
+	if _, err := runScenarios(context.Background(), client, simConfig(ts.URL)); err == nil {
+		t.Error("empty scenario list accepted")
+	}
+	cfg := simConfig(ts.URL, "throttle")
+	cfg.rounds = 0
+	if _, err := runScenarios(context.Background(), client, cfg); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	// More scenarios than unique layers: refused up front, not silently
+	// doubled onto one layer.
+	many := simConfig(ts.URL, "throttle", "throttle", "throttle", "throttle", "throttle", "throttle")
+	if _, err := runScenarios(context.Background(), client, many); err == nil ||
+		!strings.Contains(err.Error(), "unique layers") {
+		t.Errorf("layer exhaustion error = %v", err)
+	}
+	// Dead daemon: a transport error, not a verdict.
+	dead := simConfig("http://127.0.0.1:1", "throttle")
+	dead.timeout = time.Second
+	if _, err := runScenarios(context.Background(), client, dead); err == nil {
+		t.Error("dead daemon produced a report")
+	}
+}
+
+// TestShiftBatchesShape: the generator translates the curve, clamping
+// at channel 1.
+func TestShiftBatchesShape(t *testing.T) {
+	curve := make([]point, 16)
+	for i := range curve {
+		curve[i] = point{Channels: i + 1, Ms: float64(i + 1)}
+	}
+	got := shiftBatches(curve, 2)
+	if len(got) != 2 {
+		t.Fatalf("batches = %d", len(got))
+	}
+	for _, b := range got {
+		if len(b) != 16 {
+			t.Fatalf("batch has %d points, want 16", len(b))
+		}
+		// k = 16/8 = 2: channel 5 reports stored(3); channel 1 clamps.
+		if b[4].Ms != 3 || b[0].Ms != 1 {
+			t.Fatalf("shifted batch wrong: %+v", b[:5])
+		}
+	}
+}
+
+// TestSawtoothBatchesAlternate: the jitter flips sign point to point
+// (inside the batch), never a whole batch at one sign — a full batch
+// at +20% would legitimately repair.
+func TestSawtoothBatchesAlternate(t *testing.T) {
+	curve := make([]point, 8)
+	for i := range curve {
+		curve[i] = point{Channels: i + 1, Ms: 10}
+	}
+	got := sawtoothBatches(curve, stairInfo{LoC: 2, HiC: 6}, 2)
+	if len(got) != 4 {
+		t.Fatalf("batches = %d", len(got))
+	}
+	for r, b := range got {
+		if len(b) != 5 {
+			t.Fatalf("batch %d has %d points, want the stair's 5", r, len(b))
+		}
+		for i := 1; i < len(b); i++ {
+			if (b[i].Ms > 10) == (b[i-1].Ms > 10) {
+				t.Fatalf("batch %d does not alternate: %+v", r, b)
+			}
+		}
+	}
+	// Consecutive batches start on opposite signs.
+	if (got[0][0].Ms > 10) == (got[1][0].Ms > 10) {
+		t.Error("batches all start on the same sign")
+	}
+}

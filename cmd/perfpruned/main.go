@@ -21,6 +21,8 @@
 //	POST /v1/staircase  sweep + stair/right-edge analysis
 //	POST /v1/plan       whole-network prune plan under an accuracy budget
 //	POST /v1/frontier   latency–accuracy Pareto frontier / fleet planning
+//	POST /v1/telemetry  fleet telemetry: drift detection, staircase repair, re-plan
+//	GET  /v1/plans      plan-version histories (and /v1/plans/{network}/{target})
 //	GET  /metrics       Prometheus text-format metrics
 //
 // With -debug-addr a net/http/pprof listener is mounted on a separate
@@ -119,6 +121,11 @@ func run(ctx context.Context, opt options, ready func(net.Addr)) error {
 	var mgr *profilestore.Manager
 	if opt.store != "" {
 		mgr = profilestore.NewManager(opt.store, srv.Cache())
+		// The closed-loop state (tracked keys, repaired staircases,
+		// plan-version history) persists beside the cache snapshot, so a
+		// restarted daemon resumes drift watch instead of forgetting
+		// every repair the fleet paid for.
+		mgr.EnableDrift(opt.store+".drift", srv.Drift())
 		if err := mgr.WarmStart(); err != nil {
 			return fmt.Errorf("warm-start from %s: %w", opt.store, err)
 		}
@@ -130,6 +137,10 @@ func run(ctx context.Context, opt options, ready func(net.Addr)) error {
 				WarmStartEntries: st.WarmStartEntries,
 				SkippedRecords:   st.SkippedRecords,
 				SkipReason:       st.SkipReason,
+				DriftPath:        st.DriftPath,
+				DriftKeys:        st.DriftKeys,
+				DriftSkippedKeys: st.DriftSkippedKeys,
+				DriftSkipReason:  st.DriftSkipReason,
 				Flushes:          st.Flushes,
 				FlushErrors:      st.FlushErrors,
 				LastFlushUnixMs:  st.LastFlushUnixMs,

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
@@ -20,7 +21,9 @@ import (
 
 	"perfprune/internal/backend"
 	"perfprune/internal/conv"
+	"perfprune/internal/core"
 	"perfprune/internal/device"
+	"perfprune/internal/nets"
 	"perfprune/internal/service"
 )
 
@@ -207,6 +210,120 @@ func TestDaemonRestartWarmStart(t *testing.T) {
 	}
 	if stats.Cache.Hits == 0 || stats.Cache.Misses != 0 {
 		t.Errorf("warm plan traffic: %d hits / %d misses, want all hits", stats.Cache.Hits, stats.Cache.Misses)
+	}
+	if err := d2.shutdown(t); err != nil {
+		t.Fatalf("boot 2 shutdown: %v", err)
+	}
+}
+
+// TestDaemonRestartDriftState: the closed-loop state survives a
+// restart. Boot 1 plans AlexNet and ingests drift telemetry until a
+// repair publishes plan version 2; boot 2 serves the same two-version
+// history from the .drift file without any new telemetry.
+func TestDaemonRestartDriftState(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "profile.store")
+	opt := options{
+		addr:             "127.0.0.1:0",
+		backends:         "acl-gemm",
+		store:            store,
+		snapshotInterval: time.Hour,
+		quietAccess:      true,
+	}
+
+	// Re-profile locally — the simulated backend is deterministic, so
+	// these curves are bit-identical to the daemon's — and drift one
+	// interior stair of AlexNet.L6 by a sustained 1.5x.
+	lib, err := backend.Lookup("acl-gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := device.ByName("HiKey 970")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := nets.ByName("AlexNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := core.ProfileNetwork(core.Target{Device: dev, Library: lib}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := np.Profiles["AlexNet.L6"]
+	var points []service.TelemetryPoint
+	for _, s := range lp.Analysis.Stairs[1 : len(lp.Analysis.Stairs)-1] {
+		if s.Width() < 3 {
+			continue
+		}
+		for r := 0; r < 3; r++ {
+			for c := s.LoC; c <= s.HiC; c++ {
+				points = append(points, service.TelemetryPoint{
+					Layer: "AlexNet.L6", Channels: c, Ms: 1.5 * lp.Curve[c-1].Ms,
+				})
+			}
+		}
+		break
+	}
+	body, err := json.Marshal(service.TelemetryRequest{
+		Backend: "acl-gemm", Device: "HiKey 970", Network: "AlexNet", Points: points,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	historyURL := "/v1/plans/AlexNet/" + url.PathEscape("acl-gemm@HiKey 970")
+
+	// Boot 1: plan (registers the key), drift, repair, flush at shutdown.
+	d1 := startDaemon(t, opt)
+	status, raw := post(t, d1.url("/v1/plan"), `{"backend": "acl-gemm", "device": "HiKey 970", "network": "AlexNet"}`)
+	if status != http.StatusOK {
+		t.Fatalf("plan: status %d, body %s", status, raw)
+	}
+	status, raw = post(t, d1.url("/v1/telemetry"), string(body))
+	if status != http.StatusOK {
+		t.Fatalf("telemetry: status %d, body %s", status, raw)
+	}
+	var tr service.TelemetryResponse
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NewVersion == nil || tr.NewVersion.Version != 2 {
+		t.Fatalf("telemetry did not publish version 2: %s", raw)
+	}
+	if err := d1.shutdown(t); err != nil {
+		t.Fatalf("boot 1 shutdown: %v", err)
+	}
+	if fi, err := os.Stat(store + ".drift"); err != nil || fi.Size() == 0 {
+		t.Fatalf("shutdown left no drift snapshot: %v", err)
+	}
+
+	// Boot 2: the history is back, no telemetry required.
+	d2 := startDaemon(t, opt)
+	resp, err := http.Get(d2.url(historyURL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist service.PlanVersionsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted history: status %d", resp.StatusCode)
+	}
+	if len(hist.Versions) != 2 || hist.Versions[1].Trigger != "drift_repair" {
+		t.Fatalf("restarted history = %+v, want initial + drift_repair", hist.Versions)
+	}
+	resp, err = http.Get(d2.url("/v1/stats"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats service.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Store == nil || stats.Store.DriftKeys != 1 {
+		t.Fatalf("drift warm-start not surfaced on /v1/stats: %+v", stats.Store)
 	}
 	if err := d2.shutdown(t); err != nil {
 		t.Fatalf("boot 2 shutdown: %v", err)

@@ -17,6 +17,11 @@
 // measurement bill; everything after coalesces on its cache), so the
 // p99 of a cold daemon is dominated by cache fill — load-test a
 // warm-started daemon (-store) to measure steady-state serving.
+//
+// With -telemetry-rate N, every Nth request becomes a /v1/telemetry
+// burst that echoes the daemon's own stored curve for the network's
+// widest layer — the closed loop's ingestion path under load, without
+// drifting the fleet state the test runs against.
 package main
 
 import (
@@ -45,6 +50,12 @@ type config struct {
 	concurrency int           // concurrent request loops
 	timeout     time.Duration // per-request timeout
 	endpoints   []endpoint    // round-robined request mix
+
+	// telemetryEvery > 0 replaces every Nth request of the rotation
+	// with a POST /v1/telemetry burst (the telemetry endpoint), so the
+	// load includes the closed loop's ingestion path.
+	telemetryEvery int
+	telemetry      endpoint
 
 	sloP50, sloP95, sloP99 time.Duration // 0 = ungated
 	sloErrorRate           float64       // < 0 = ungated
@@ -118,8 +129,10 @@ func main() {
 		backendKey  = flag.String("backend", "acl-gemm", "backend registry key to plan against")
 		deviceName  = flag.String("device", "HiKey 970", "target board")
 		endpoints   = flag.String("endpoints", "plan,frontier", "comma-separated request mix: plan, frontier")
-		jsonOut     = flag.Bool("json", false, "emit the report as JSON instead of text")
-		metricsURL  = flag.String("metrics-url", "",
+		telemetry   = flag.Int("telemetry-rate", 0,
+			"interleave one /v1/telemetry burst per this many requests (0 = none); bursts echo the daemon's own stored curve, exercising drift classification without repairing anything")
+		jsonOut    = flag.Bool("json", false, "emit the report as JSON instead of text")
+		metricsURL = flag.String("metrics-url", "",
 			"scrape this /metrics URL after the run and fold the server-side cache hit rate into the report (empty = skip)")
 
 		sloP50    = flag.Duration("slo-p50", 0, "fail if p50 latency exceeds this (0 = ungated)")
@@ -144,6 +157,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "planload: %v\n", err)
 		os.Exit(2)
+	}
+	if *telemetry > 0 {
+		cfg.telemetryEvery = *telemetry
+		cfg.telemetry, err = prepTelemetry(context.Background(),
+			&http.Client{Timeout: cfg.timeout}, cfg.base, *backendKey, *deviceName, *network)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "planload: telemetry prep: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	rep, err := runLoad(context.Background(), cfg)
@@ -205,6 +227,117 @@ func buildEndpoints(mix, backendKey, deviceName, network string) ([]endpoint, er
 	return out, nil
 }
 
+// prepTelemetry builds the /v1/telemetry burst the workers interleave.
+// Telemetry for a never-planned key is a 422, so the first /v1/plan is
+// issued synchronously here (registering the key with the daemon's
+// drift monitor); the points then echo the daemon's own stored curve —
+// fetched through /v1/sweep, which the plan just made a cache hit — so
+// every burst classifies healthy and the load test measures ingestion
+// without mutating the fleet state it runs against.
+func prepTelemetry(ctx context.Context, client *http.Client, base, backendKey, deviceName, network string) (endpoint, error) {
+	planBody, err := json.Marshal(map[string]any{
+		"backend": backendKey, "device": deviceName, "network": network,
+	})
+	if err != nil {
+		return endpoint{}, err
+	}
+	if err := postJSON(ctx, client, base+"/v1/plan", string(planBody), nil); err != nil {
+		return endpoint{}, fmt.Errorf("registering plan: %w", err)
+	}
+
+	// Pick the widest unique layer — the most telemetry per burst.
+	var networks []struct {
+		Name   string `json:"name"`
+		Layers []struct {
+			Label    string `json:"label"`
+			Channels int    `json:"channels"`
+			Unique   bool   `json:"unique"`
+		} `json:"layers"`
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/networks", nil)
+	if err != nil {
+		return endpoint{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return endpoint{}, err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&networks)
+	resp.Body.Close()
+	if err != nil {
+		return endpoint{}, fmt.Errorf("GET /v1/networks: %w", err)
+	}
+	layer := ""
+	width := 0
+	for _, n := range networks {
+		if n.Name != network {
+			continue
+		}
+		for _, l := range n.Layers {
+			if l.Unique && l.Channels > width {
+				layer, width = l.Label, l.Channels
+			}
+		}
+	}
+	if layer == "" {
+		return endpoint{}, fmt.Errorf("network %q has no unique layer to report telemetry for", network)
+	}
+
+	sweepBody, err := json.Marshal(map[string]any{
+		"backend": backendKey, "device": deviceName, "network": network, "layer": layer,
+	})
+	if err != nil {
+		return endpoint{}, err
+	}
+	var sweep struct {
+		Points []struct {
+			Channels int     `json:"channels"`
+			Ms       float64 `json:"ms"`
+		} `json:"points"`
+	}
+	if err := postJSON(ctx, client, base+"/v1/sweep", string(sweepBody), &sweep); err != nil {
+		return endpoint{}, fmt.Errorf("prefetching %s curve: %w", layer, err)
+	}
+	if len(sweep.Points) == 0 {
+		return endpoint{}, fmt.Errorf("sweep of %s returned no points", layer)
+	}
+	points := make([]map[string]any, 0, len(sweep.Points))
+	for _, p := range sweep.Points {
+		points = append(points, map[string]any{"layer": layer, "channels": p.Channels, "ms": p.Ms})
+	}
+	body, err := json.Marshal(map[string]any{
+		"backend": backendKey, "device": deviceName, "network": network, "points": points,
+	})
+	if err != nil {
+		return endpoint{}, err
+	}
+	return endpoint{Path: "/v1/telemetry", Body: string(body)}, nil
+}
+
+// postJSON posts a body and decodes the 200 response into out (out may
+// be nil to discard it).
+func postJSON(ctx context.Context, client *http.Client, url, body string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("POST %s: %s: %s", url, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
 // runLoad sustains the configured load until the duration elapses and
 // aggregates every completed request.
 func runLoad(ctx context.Context, cfg config) (Report, error) {
@@ -227,6 +360,9 @@ func runLoad(ctx context.Context, cfg config) (Report, error) {
 			defer wg.Done()
 			for i := 0; ctx.Err() == nil; i++ {
 				ep := cfg.endpoints[(w+i)%len(cfg.endpoints)]
+				if cfg.telemetryEvery > 0 && (w+i)%cfg.telemetryEvery == 0 {
+					ep = cfg.telemetry
+				}
 				s := issue(ctx, client, cfg.base, ep)
 				if ctx.Err() != nil && !s.ok {
 					// The deadline cut this request off mid-flight; it

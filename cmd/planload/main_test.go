@@ -125,6 +125,119 @@ func TestRunLoadReportsMixAndErrors(t *testing.T) {
 	}
 }
 
+// telemetryServer fakes the daemon surface prepTelemetry touches:
+// plan registration, the network inventory and the curve prefetch,
+// plus a counting /v1/telemetry sink for the interleaved load.
+func telemetryServer(t *testing.T) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var planHits, telemetryHits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		planHits.Add(1)
+		w.Write([]byte(`{"ok":true}`)) //nolint:errcheck
+	})
+	mux.HandleFunc("GET /v1/networks", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `[{"name":"AlexNet","layers":[
+			{"label":"AlexNet.L0","channels":96,"unique":true},
+			{"label":"AlexNet.L6","channels":384,"unique":true},
+			{"label":"AlexNet.L4","channels":384,"unique":false}]}]`)
+	})
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		if planHits.Load() == 0 {
+			// The key must be registered before telemetry flows; the
+			// prefetch ordering is part of the contract.
+			http.Error(w, "sweep before plan", http.StatusTeapot)
+			return
+		}
+		fmt.Fprint(w, `{"points":[{"channels":1,"ms":1.5},{"channels":2,"ms":2.25}]}`)
+	})
+	mux.HandleFunc("POST /v1/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		telemetryHits.Add(1)
+		w.Write([]byte(`{"accepted":2}`)) //nolint:errcheck
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &planHits, &telemetryHits
+}
+
+// TestPrepTelemetry: the prep registers the plan first, picks the
+// widest unique layer, and bakes the prefetched curve into the burst
+// body verbatim.
+func TestPrepTelemetry(t *testing.T) {
+	ts, planHits, _ := telemetryServer(t)
+	client := &http.Client{Timeout: 5 * time.Second}
+	ep, err := prepTelemetry(context.Background(), client, ts.URL, "acl-gemm", "HiKey 970", "AlexNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planHits.Load() != 1 {
+		t.Errorf("prep issued %d plans, want exactly 1 (synchronous registration)", planHits.Load())
+	}
+	if ep.Path != "/v1/telemetry" {
+		t.Errorf("endpoint path %q", ep.Path)
+	}
+	for _, want := range []string{
+		`"layer":"AlexNet.L6"`,  // widest unique layer, not the non-unique 384 or the narrow 96
+		`"ms":1.5`, `"ms":2.25`, // the stored curve verbatim — healthy telemetry
+		`"backend":"acl-gemm"`,
+	} {
+		if !strings.Contains(ep.Body, want) {
+			t.Errorf("burst body missing %s:\n%s", want, ep.Body)
+		}
+	}
+	if strings.Contains(ep.Body, "AlexNet.L0") {
+		t.Error("burst reports the narrow layer")
+	}
+
+	// A network with no unique layer is a prep error, not a silent
+	// telemetry-free run.
+	if _, err := prepTelemetry(context.Background(), client, ts.URL, "b", "d", "NoSuchNet"); err == nil {
+		t.Error("unknown network accepted")
+	}
+}
+
+// TestRunLoadTelemetryInterleave: with -telemetry-rate the rotation
+// carries /v1/telemetry traffic and the report breaks it out.
+func TestRunLoadTelemetryInterleave(t *testing.T) {
+	ts, _, telemetryHits := telemetryServer(t)
+	client := &http.Client{Timeout: 5 * time.Second}
+	tep, err := prepTelemetry(context.Background(), client, ts.URL, "acl-gemm", "HiKey 970", "AlexNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config{
+		base:           ts.URL,
+		duration:       300 * time.Millisecond,
+		concurrency:    2,
+		timeout:        5 * time.Second,
+		telemetryEvery: 3,
+		telemetry:      tep,
+	}
+	cfg.endpoints, err = buildEndpoints("plan", "acl-gemm", "HiKey 970", "AlexNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runLoad(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tstats := rep.PerEndpoint["/v1/telemetry"]
+	pstats := rep.PerEndpoint["/v1/plan"]
+	if tstats.Requests == 0 || pstats.Requests == 0 {
+		t.Fatalf("mix not interleaved: %+v", rep.PerEndpoint)
+	}
+	if tstats.Errors != 0 {
+		t.Errorf("telemetry bursts errored %d times", tstats.Errors)
+	}
+	if telemetryHits.Load() == 0 {
+		t.Error("server never saw telemetry")
+	}
+	// Roughly one burst per telemetryEvery requests.
+	if ratio := float64(tstats.Requests) / float64(rep.Requests); ratio < 0.15 || ratio > 0.55 {
+		t.Errorf("telemetry fraction %.2f far from 1/3 (%d of %d)", ratio, tstats.Requests, rep.Requests)
+	}
+}
+
 func TestRunLoadDaemonDown(t *testing.T) {
 	cfg := config{
 		base:        "http://127.0.0.1:1", // nothing listens here

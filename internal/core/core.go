@@ -159,6 +159,40 @@ func profileNetworkWith(tg Target, n nets.Network, profileShape func(nets.Layer)
 	return np, nil
 }
 
+// ReplaceCurves returns a copy of the profile with the given layers'
+// curves replaced and re-analyzed. The original profile is untouched
+// (untouched layers share their LayerProfile values), which is what
+// lets drift repair publish a repaired profile atomically while readers
+// keep planning against the old one. Replacement curves must span the
+// layer's full sweep range [1, OutC] densely, like the sweeps they
+// replace.
+func (np *NetworkProfile) ReplaceCurves(curves map[string][]profiler.Point) (*NetworkProfile, error) {
+	out := &NetworkProfile{
+		Target:   np.Target,
+		Network:  np.Network,
+		Profiles: make(map[string]LayerProfile, len(np.Profiles)),
+	}
+	for label, lp := range np.Profiles {
+		out.Profiles[label] = lp
+	}
+	for label, curve := range curves {
+		lp, ok := np.Profiles[label]
+		if !ok {
+			return nil, fmt.Errorf("core: profile has no layer %s", label)
+		}
+		full := lp.Layer.Spec.OutC
+		if len(curve) != full || curve[0].Channels != 1 || curve[full-1].Channels != full {
+			return nil, fmt.Errorf("core: replacement curve for %s does not span [1, %d] densely", label, full)
+		}
+		an, err := staircase.Analyze(curve)
+		if err != nil {
+			return nil, fmt.Errorf("core: re-analyze %s: %w", label, err)
+		}
+		out.Profiles[label] = LayerProfile{Layer: lp.Layer, Curve: curve, Analysis: an}
+	}
+	return out, nil
+}
+
 // ProbeUsage aggregates the probe-count audit across a probed network
 // profile: what the adaptive prober spent versus what exhaustive
 // sweeps would have cost (see internal/probe).

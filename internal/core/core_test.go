@@ -282,3 +282,43 @@ func TestProfileNetworkValidation(t *testing.T) {
 		t.Error("empty network accepted")
 	}
 }
+
+func TestReplaceCurves(t *testing.T) {
+	n := nets.AlexNet()
+	np, err := ProfileNetwork(aclGEMMTarget(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const label = "AlexNet.L6"
+	orig := np.Profiles[label]
+	// A uniformly 2x-slower curve: same staircase structure, new levels.
+	slow := make([]profiler.Point, len(orig.Curve))
+	for i, p := range orig.Curve {
+		slow[i] = profiler.Point{Channels: p.Channels, Ms: 2 * p.Ms}
+	}
+	rep, err := np.ReplaceCurves(map[string][]profiler.Point{label: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Profiles[label].Curve[0].Ms; got != 2*orig.Curve[0].Ms {
+		t.Errorf("replaced curve Ms[0] = %v, want %v", got, 2*orig.Curve[0].Ms)
+	}
+	if len(rep.Profiles[label].Analysis.Stairs) == 0 {
+		t.Error("replacement was not re-analyzed")
+	}
+	// The original profile must be untouched, and untouched layers shared.
+	if np.Profiles[label].Curve[0].Ms != orig.Curve[0].Ms {
+		t.Error("ReplaceCurves mutated the source profile")
+	}
+	if &rep.Profiles["AlexNet.L0"].Curve[0] != &np.Profiles["AlexNet.L0"].Curve[0] {
+		t.Error("untouched layer curve was copied, want shared")
+	}
+
+	// Validation: unknown layer, truncated curve.
+	if _, err := np.ReplaceCurves(map[string][]profiler.Point{"AlexNet.L99": slow}); err == nil {
+		t.Error("unknown layer accepted")
+	}
+	if _, err := np.ReplaceCurves(map[string][]profiler.Point{label: slow[:10]}); err == nil {
+		t.Error("truncated curve accepted")
+	}
+}

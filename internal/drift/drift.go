@@ -1,0 +1,560 @@
+// Package drift closes the loop the planner opens: it compares fleet
+// telemetry against the stored latency staircases, detects when a
+// profile has gone stale (thermal throttling, DVFS governors, driver
+// updates — the deployment realities behind the paper's embedded
+// boards), and repairs the staircase surgically instead of re-sweeping
+// the device.
+//
+// The monitor tracks one state machine per (backend, device, network)
+// key the daemon has planned for. Telemetry points land in per-channel
+// EWMA cells and feed a per-stair EWMA of signed relative deviation
+// from the stored curve; a stair is Unknown until it has MinSamples
+// points, Drifted when the smoothed deviation exceeds RelTol, and
+// Healthy otherwise. The double smoothing is deliberate: one thermal
+// spike moves the stair deviation by at most Alpha·spike, which the
+// default policy keeps under RelTol, while a sustained shift crosses
+// the threshold within a handful of samples.
+//
+// When a stair drifts the monitor repairs it incrementally (repair.go):
+// only the affected channel intervals are re-probed — through
+// internal/probe's bisection, seeded with the telemetry channels — and
+// the repaired segments are spliced into the dense curve, after which
+// the planner re-plans and a new plan version is published with a
+// structural diff. Plan-version reads go through an atomic pointer, so
+// serving a stale-but-valid plan never blocks on an in-flight repair.
+package drift
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/core"
+	"perfprune/internal/nets"
+	"perfprune/internal/staircase"
+)
+
+// State classifies one stair of a tracked staircase.
+type State int
+
+const (
+	// StateUnknown means the stair has fewer than MinSamples telemetry
+	// points — no verdict either way.
+	StateUnknown State = iota
+	// StateHealthy means the smoothed deviation is within tolerance.
+	StateHealthy
+	// StateDrifted means the smoothed deviation exceeds RelTol; the
+	// stair's channel interval is due for repair.
+	StateDrifted
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDrifted:
+		return "drifted"
+	default:
+		return "unknown"
+	}
+}
+
+// Policy tunes drift detection and repair. The zero value means
+// defaults throughout.
+type Policy struct {
+	// RelTol is the smoothed relative deviation above which a stair
+	// counts as drifted. Default 0.15: a lone +50% thermal spike moves
+	// the EWMA by Alpha·0.5 = 0.125 < RelTol, while a sustained +50%
+	// shift crosses it on the second sample.
+	RelTol float64
+	// MinSamples is the telemetry points a stair needs before it can
+	// leave StateUnknown. Default 3.
+	MinSamples int
+	// Alpha is the EWMA smoothing factor for both the per-channel
+	// latency cells and the per-stair deviation. Default 0.25.
+	Alpha float64
+	// ProbeRel is the plateau tolerance handed to the repair prober.
+	// Default 0 (bitwise equality) — right for the overlay curves the
+	// repair measures, which are deterministic by construction.
+	ProbeRel float64
+	// MaxKeys bounds the tracked (backend, device, network) keys;
+	// Track refuses beyond it. Default 64.
+	MaxKeys int
+	// MaxVersions bounds the retained plan-version history per key
+	// (oldest evicted; version numbers keep increasing). Default 32.
+	MaxVersions int
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.RelTol <= 0 {
+		p.RelTol = 0.15
+	}
+	if p.MinSamples <= 0 {
+		p.MinSamples = 3
+	}
+	if p.Alpha <= 0 || p.Alpha > 1 {
+		p.Alpha = 0.25
+	}
+	if p.MaxKeys <= 0 {
+		p.MaxKeys = 64
+	}
+	if p.MaxVersions <= 0 {
+		p.MaxVersions = 32
+	}
+	return p
+}
+
+// Key identifies one tracked profile: a backend registry key, a device
+// name, and a network name — exactly the triple a plan request names.
+type Key struct {
+	Backend string `json:"backend"`
+	Device  string `json:"device"`
+	Network string `json:"network"`
+}
+
+func (k Key) String() string {
+	return k.Backend + "@" + k.Device + "/" + k.Network
+}
+
+// Sample is one fleet measurement: a layer ran at Channels kept
+// channels in Ms milliseconds.
+type Sample struct {
+	Layer    string  `json:"layer"`
+	Channels int     `json:"channels"`
+	Ms       float64 `json:"ms"`
+}
+
+// PlanMode selects how the monitor re-plans after a repair — the same
+// way the key was planned originally.
+type PlanMode string
+
+const (
+	// ModeGreedy re-plans with the greedy performance-aware planner
+	// (what POST /v1/plan runs).
+	ModeGreedy PlanMode = "greedy"
+	// ModeFrontier re-plans by computing the latency–accuracy frontier
+	// and taking the accuracy-budget point (what a single-target
+	// POST /v1/frontier with max_accuracy_drop runs).
+	ModeFrontier PlanMode = "frontier"
+)
+
+// PlanParams is the re-planning recipe stored with a tracked key.
+type PlanParams struct {
+	Mode            PlanMode `json:"mode"`
+	TargetSpeedup   float64  `json:"target_speedup"`
+	MaxAccuracyDrop float64  `json:"max_accuracy_drop"`
+}
+
+func (p PlanParams) validate() error {
+	switch p.Mode {
+	case ModeGreedy, ModeFrontier:
+	default:
+		return fmt.Errorf("drift: unknown plan mode %q", p.Mode)
+	}
+	if p.Mode == ModeGreedy && p.TargetSpeedup < 1 {
+		return fmt.Errorf("drift: target speedup %v must be >= 1", p.TargetSpeedup)
+	}
+	if p.MaxAccuracyDrop < 0 {
+		return fmt.Errorf("drift: max accuracy drop %v must be >= 0", p.MaxAccuracyDrop)
+	}
+	return nil
+}
+
+// Errors the service maps to HTTP statuses.
+var (
+	// ErrUntracked rejects telemetry for a key no plan has been built
+	// for — there is no stored staircase to compare against.
+	ErrUntracked = errors.New("drift: key not tracked (plan it first)")
+	// ErrBadSample rejects a malformed telemetry point; the whole batch
+	// is refused, nothing is recorded.
+	ErrBadSample = errors.New("drift: invalid sample")
+)
+
+// cell is the EWMA of the fleet's reported latency at one channel
+// count. Cells double as the repair prober's measurement source: where
+// the fleet has reported, the cell value is the ground truth.
+type cell struct {
+	ewma float64
+	n    int
+}
+
+// stairAgg accumulates one stair's deviation evidence.
+type stairAgg struct {
+	dev     float64 // EWMA of signed relative deviation vs the stored curve
+	samples int
+	state   State
+}
+
+// layerState is the drift-tracking state of one layer: the current
+// (possibly repaired) dense curve, its analysis, and the telemetry
+// evidence. The cells map is keyed by channel count, so the buffer is
+// bounded by the layer width no matter how much telemetry arrives.
+type layerState struct {
+	layer  nets.Layer
+	curve  []backend.Point // dense over [1, OutC]; authoritative
+	an     staircase.Analysis
+	cells  map[int]*cell
+	stairs []stairAgg // parallel to an.Stairs
+}
+
+// tracked is one key's state machine. mu serializes ingestion and
+// repair; the version history is read through an atomic pointer and is
+// never read under mu.
+type tracked struct {
+	key    Key
+	mu     sync.Mutex
+	np     *core.NetworkProfile
+	groups []nets.Group
+	params PlanParams
+	layers map[string]*layerState
+
+	nextVersion int
+	versions    atomic.Pointer[[]PlanVersion]
+}
+
+// Monitor is the drift state machine for every key the daemon plans
+// for. All methods are safe for concurrent use.
+type Monitor struct {
+	policy Policy
+
+	mu   sync.Mutex
+	keys map[Key]*tracked
+
+	batches  atomic.Uint64
+	points   atomic.Uint64
+	rejected atomic.Uint64
+
+	repairs       atomic.Uint64
+	repairProbes  atomic.Uint64
+	repairGrid    atomic.Uint64
+	fallbacks     atomic.Uint64
+	replans       atomic.Uint64
+	versionsTotal atomic.Uint64
+
+	stairsHealthy atomic.Int64
+	stairsDrifted atomic.Int64
+	stairsUnknown atomic.Int64
+}
+
+// New builds a monitor; zero-value policy fields take defaults.
+func New(p Policy) *Monitor {
+	return &Monitor{policy: p.withDefaults(), keys: make(map[Key]*tracked)}
+}
+
+// Policy returns the effective (defaulted) policy.
+func (m *Monitor) Policy() Policy { return m.policy }
+
+// Track registers a freshly planned key: the profile to watch, the
+// coupling groups and parameters to re-plan with, and the plan that was
+// just served (published as version 1, trigger "initial"). It returns
+// false without side effects when the key is already tracked, the
+// monitor is at capacity, or the inputs are invalid — tracking is
+// best-effort bookkeeping on the serving path, never a request error.
+func (m *Monitor) Track(key Key, np *core.NetworkProfile, groups []nets.Group, params PlanParams, initial core.PlanResult) bool {
+	if np == nil || params.validate() != nil {
+		return false
+	}
+	t := &tracked{
+		key:         key,
+		np:          np,
+		groups:      groups,
+		params:      params,
+		layers:      make(map[string]*layerState, len(np.Profiles)),
+		nextVersion: 1,
+	}
+	unknown := 0
+	for label, lp := range np.Profiles {
+		t.layers[label] = &layerState{
+			layer:  lp.Layer,
+			curve:  lp.Curve,
+			an:     lp.Analysis,
+			cells:  make(map[int]*cell),
+			stairs: make([]stairAgg, len(lp.Analysis.Stairs)),
+		}
+		unknown += len(lp.Analysis.Stairs)
+	}
+	t.publishLocked(planVersion("initial", nil, initial, nil), m.policy.MaxVersions)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.keys[key]; dup || len(m.keys) >= m.policy.MaxKeys {
+		return false
+	}
+	m.keys[key] = t
+	m.stairsUnknown.Add(int64(unknown))
+	m.versionsTotal.Add(1)
+	return true
+}
+
+func (m *Monitor) lookup(key Key) *tracked {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.keys[key]
+}
+
+// LayerSummary is the per-layer stair census after a telemetry batch.
+type LayerSummary struct {
+	Layer    string `json:"layer"`
+	Healthy  int    `json:"healthy"`
+	Drifted  int    `json:"drifted"`
+	Unknown  int    `json:"unknown"`
+	Repaired bool   `json:"repaired,omitempty"`
+}
+
+// RepairStats audits what a repair pass cost versus re-sweeping.
+type RepairStats struct {
+	// Probes is the number of overlay measurements issued.
+	Probes int `json:"probes"`
+	// GridPoints is what full re-sweeps of the repaired layers would
+	// have measured; Probes + PointsAvoided == GridPoints.
+	GridPoints    int `json:"grid_points"`
+	PointsAvoided int `json:"points_avoided"`
+	// Fallbacks counts intervals (or whole layers, on a seam-guard
+	// trip) that fell back to exhaustive measurement.
+	Fallbacks int `json:"fallbacks"`
+}
+
+// IngestResult reports what one telemetry batch did.
+type IngestResult struct {
+	Accepted       int            `json:"accepted"`
+	Layers         []LayerSummary `json:"layers"`
+	RepairedLayers []string       `json:"repaired_layers,omitempty"`
+	Repair         *RepairStats   `json:"repair,omitempty"`
+	NewVersion     *PlanVersion   `json:"new_version,omitempty"`
+}
+
+// Ingest records one telemetry batch for a tracked key. Validation is
+// strict and atomic: any malformed sample rejects the whole batch with
+// ErrBadSample before anything is recorded. When the batch pushes one
+// or more stairs into StateDrifted, the repair → re-plan → publish
+// pipeline runs synchronously before Ingest returns (under the key's
+// lock, so concurrent plan-version reads keep serving the previous
+// version until the new one is published atomically).
+func (m *Monitor) Ingest(ctx context.Context, key Key, samples []Sample) (IngestResult, error) {
+	t := m.lookup(key)
+	if t == nil {
+		m.rejected.Add(1)
+		return IngestResult{}, fmt.Errorf("%w: %s", ErrUntracked, key)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	for i, s := range samples {
+		ls := t.layers[s.Layer]
+		if ls == nil {
+			m.rejected.Add(1)
+			return IngestResult{}, fmt.Errorf("%w: point %d names unknown layer %q", ErrBadSample, i, s.Layer)
+		}
+		if s.Channels < 1 || s.Channels > ls.layer.Spec.OutC {
+			m.rejected.Add(1)
+			return IngestResult{}, fmt.Errorf("%w: point %d channels %d outside [1, %d] for %s",
+				ErrBadSample, i, s.Channels, ls.layer.Spec.OutC, s.Layer)
+		}
+		if !(s.Ms > 0) || math.IsInf(s.Ms, 0) {
+			m.rejected.Add(1)
+			return IngestResult{}, fmt.Errorf("%w: point %d latency %v must be a positive number", ErrBadSample, i, s.Ms)
+		}
+	}
+
+	m.batches.Add(1)
+	m.points.Add(uint64(len(samples)))
+	touched := make(map[string]bool)
+	for _, s := range samples {
+		m.observe(t, s)
+		touched[s.Layer] = true
+	}
+
+	res := IngestResult{Accepted: len(samples)}
+
+	// Any drifted stair anywhere on the key triggers repair — including
+	// stairs imported in a drifted state from a persisted snapshot.
+	var drifted []string
+	for label, ls := range t.layers {
+		for _, agg := range ls.stairs {
+			if agg.state == StateDrifted {
+				drifted = append(drifted, label)
+				break
+			}
+		}
+	}
+	sort.Strings(drifted)
+
+	if len(drifted) > 0 {
+		repaired, stats, v, err := m.repairLocked(ctx, t, drifted)
+		if err != nil {
+			return res, err
+		}
+		res.RepairedLayers = repaired
+		res.Repair = &stats
+		res.NewVersion = v
+		for _, label := range repaired {
+			touched[label] = true
+		}
+	}
+
+	for label := range touched {
+		ls := t.layers[label]
+		sum := LayerSummary{Layer: label}
+		for _, agg := range ls.stairs {
+			switch agg.state {
+			case StateHealthy:
+				sum.Healthy++
+			case StateDrifted:
+				sum.Drifted++
+			default:
+				sum.Unknown++
+			}
+		}
+		for _, r := range res.RepairedLayers {
+			if r == label {
+				sum.Repaired = true
+			}
+		}
+		res.Layers = append(res.Layers, sum)
+	}
+	sort.Slice(res.Layers, func(i, j int) bool { return res.Layers[i].Layer < res.Layers[j].Layer })
+	return res, nil
+}
+
+// observe folds one validated sample into the layer's cells and its
+// stair's deviation EWMA, then reclassifies the stair.
+func (m *Monitor) observe(t *tracked, s Sample) {
+	ls := t.layers[s.Layer]
+	alpha := m.policy.Alpha
+
+	if c := ls.cells[s.Channels]; c != nil {
+		c.ewma = alpha*s.Ms + (1-alpha)*c.ewma
+		c.n++
+	} else {
+		ls.cells[s.Channels] = &cell{ewma: s.Ms, n: 1}
+	}
+
+	si := ls.an.StairIndex(s.Channels)
+	if si < 0 {
+		return // cannot happen on a dense curve; defensive
+	}
+	stored := ls.curve[s.Channels-ls.curve[0].Channels].Ms
+	rel := (s.Ms - stored) / stored
+	agg := &ls.stairs[si]
+	if agg.samples == 0 {
+		agg.dev = rel
+	} else {
+		agg.dev = alpha*rel + (1-alpha)*agg.dev
+	}
+	agg.samples++
+	m.reclassify(agg)
+}
+
+// reclassify updates one stair's state and the monitor-wide gauges.
+func (m *Monitor) reclassify(agg *stairAgg) {
+	next := StateHealthy
+	switch {
+	case agg.samples < m.policy.MinSamples:
+		next = StateUnknown
+	case math.Abs(agg.dev) > m.policy.RelTol:
+		next = StateDrifted
+	}
+	if next == agg.state {
+		return
+	}
+	m.stateGauge(agg.state).Add(-1)
+	m.stateGauge(next).Add(1)
+	agg.state = next
+}
+
+func (m *Monitor) stateGauge(s State) *atomic.Int64 {
+	switch s {
+	case StateHealthy:
+		return &m.stairsHealthy
+	case StateDrifted:
+		return &m.stairsDrifted
+	default:
+		return &m.stairsUnknown
+	}
+}
+
+// Keys returns the tracked keys in sorted order.
+func (m *Monitor) Keys() []Key {
+	m.mu.Lock()
+	out := make([]Key, 0, len(m.keys))
+	for k := range m.keys {
+		out = append(out, k)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Params returns a tracked key's re-planning recipe.
+func (m *Monitor) Params(key Key) (PlanParams, bool) {
+	t := m.lookup(key)
+	if t == nil {
+		return PlanParams{}, false
+	}
+	return t.params, true
+}
+
+// Versions returns a tracked key's plan-version history, oldest first.
+// The read is lock-free with respect to ingestion and repair: it loads
+// the atomically published history, so a plan consumer never waits on
+// an in-flight repair.
+func (m *Monitor) Versions(key Key) ([]PlanVersion, bool) {
+	t := m.lookup(key)
+	if t == nil {
+		return nil, false
+	}
+	p := t.versions.Load()
+	if p == nil {
+		return nil, true
+	}
+	return append([]PlanVersion(nil), (*p)...), true
+}
+
+// Stats is the monitor-wide census /v1/stats serves.
+type Stats struct {
+	TrackedKeys         int    `json:"tracked_keys"`
+	TelemetryBatches    uint64 `json:"telemetry_batches"`
+	TelemetryPoints     uint64 `json:"telemetry_points"`
+	RejectedBatches     uint64 `json:"rejected_batches"`
+	StairsHealthy       int64  `json:"stairs_healthy"`
+	StairsDrifted       int64  `json:"stairs_drifted"`
+	StairsUnknown       int64  `json:"stairs_unknown"`
+	Repairs             uint64 `json:"repairs"`
+	RepairProbes        uint64 `json:"repair_probes"`
+	RepairGridPoints    uint64 `json:"repair_grid_points"`
+	RepairPointsAvoided uint64 `json:"repair_points_avoided"`
+	RepairFallbacks     uint64 `json:"repair_fallbacks"`
+	Replans             uint64 `json:"replans"`
+	PlanVersions        uint64 `json:"plan_versions"`
+}
+
+// Stats snapshots the counters. It never takes a per-key lock, so
+// scraping /metrics or /v1/stats cannot stall behind a repair.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	tracked := len(m.keys)
+	m.mu.Unlock()
+	probes := m.repairProbes.Load()
+	grid := m.repairGrid.Load()
+	return Stats{
+		TrackedKeys:         tracked,
+		TelemetryBatches:    m.batches.Load(),
+		TelemetryPoints:     m.points.Load(),
+		RejectedBatches:     m.rejected.Load(),
+		StairsHealthy:       m.stairsHealthy.Load(),
+		StairsDrifted:       m.stairsDrifted.Load(),
+		StairsUnknown:       m.stairsUnknown.Load(),
+		Repairs:             m.repairs.Load(),
+		RepairProbes:        probes,
+		RepairGridPoints:    grid,
+		RepairPointsAvoided: grid - probes,
+		RepairFallbacks:     m.fallbacks.Load(),
+		Replans:             m.replans.Load(),
+		PlanVersions:        m.versionsTotal.Load(),
+	}
+}

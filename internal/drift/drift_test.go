@@ -1,0 +1,304 @@
+package drift
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/core"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/staircase"
+)
+
+// trackedFixture profiles AlexNet on acl-gemm/HiKey 970 — simulated,
+// deterministic, fast — plans it, and registers the key.
+func trackedFixture(t *testing.T, m *Monitor) (Key, *core.NetworkProfile, core.PlanResult) {
+	t.Helper()
+	lib, err := backend.Lookup("acl-gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := device.ByName("HiKey 970")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := nets.ByName("AlexNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := core.ProfileNetwork(core.Target{Device: dev, Library: lib}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.NewPlanner(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.PerformanceAware(1.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Backend: "acl-gemm", Device: dev.Name, Network: n.Name}
+	params := PlanParams{Mode: ModeGreedy, TargetSpeedup: 1.5, MaxAccuracyDrop: 2.0}
+	if !m.Track(key, np, n.Groups, params, res) {
+		t.Fatal("Track refused a fresh key")
+	}
+	return key, np, res
+}
+
+// driftStair picks a stair of the layer that is strictly interior (so
+// the repair interval is a proper sub-range) and at least minSamples
+// wide.
+func driftStair(t *testing.T, np *core.NetworkProfile, label string, minWidth int) staircase.Stair {
+	t.Helper()
+	an := np.Profiles[label].Analysis
+	for i, s := range an.Stairs {
+		if i == 0 || i == len(an.Stairs)-1 {
+			continue
+		}
+		if s.Width() >= minWidth {
+			return s
+		}
+	}
+	t.Fatalf("%s has no interior stair of width >= %d (stairs: %d)", label, minWidth, len(an.Stairs))
+	return staircase.Stair{}
+}
+
+// driftSamples reports every channel of the stair at factor times the
+// stored latency, repeated rounds times (sustained drift).
+func driftSamples(np *core.NetworkProfile, label string, s staircase.Stair, factor float64, rounds int) []Sample {
+	curve := np.Profiles[label].Curve
+	var out []Sample
+	for r := 0; r < rounds; r++ {
+		for c := s.LoC; c <= s.HiC; c++ {
+			out = append(out, Sample{Layer: label, Channels: c, Ms: factor * curve[c-1].Ms})
+		}
+	}
+	return out
+}
+
+func TestTrackAndInitialVersion(t *testing.T) {
+	m := New(Policy{})
+	key, _, res := trackedFixture(t, m)
+
+	if m.Track(key, nil, nil, PlanParams{Mode: ModeGreedy, TargetSpeedup: 1.5}, res) {
+		t.Error("Track accepted a nil profile")
+	}
+	vs, ok := m.Versions(key)
+	if !ok || len(vs) != 1 {
+		t.Fatalf("versions = %v, %v; want one initial version", vs, ok)
+	}
+	v := vs[0]
+	if v.Version != 1 || v.Trigger != "initial" || v.Diff != nil {
+		t.Errorf("initial version = %+v", v)
+	}
+	if v.Speedup != res.Speedup || len(v.Plan) != len(res.Plan) {
+		t.Errorf("initial version does not mirror the plan: %+v vs %+v", v, res)
+	}
+	st := m.Stats()
+	if st.TrackedKeys != 1 || st.PlanVersions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.StairsUnknown == 0 || st.StairsHealthy != 0 || st.StairsDrifted != 0 {
+		t.Errorf("fresh stairs must all be unknown: %+v", st)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	m := New(Policy{})
+	key, _, _ := trackedFixture(t, m)
+	ctx := context.Background()
+
+	if _, err := m.Ingest(ctx, Key{Backend: "acl-gemm", Device: "HiKey 970", Network: "VGG-16"}, nil); !errors.Is(err, ErrUntracked) {
+		t.Errorf("untracked key error = %v", err)
+	}
+	bad := []struct {
+		name string
+		s    Sample
+	}{
+		{"unknown layer", Sample{Layer: "AlexNet.L99", Channels: 1, Ms: 1}},
+		{"channels low", Sample{Layer: "AlexNet.L6", Channels: 0, Ms: 1}},
+		{"channels high", Sample{Layer: "AlexNet.L6", Channels: 385, Ms: 1}},
+		{"latency zero", Sample{Layer: "AlexNet.L6", Channels: 5, Ms: 0}},
+		{"latency negative", Sample{Layer: "AlexNet.L6", Channels: 5, Ms: -1}},
+	}
+	for _, tc := range bad {
+		if _, err := m.Ingest(ctx, key, []Sample{tc.s}); !errors.Is(err, ErrBadSample) {
+			t.Errorf("%s: error = %v, want ErrBadSample", tc.name, err)
+		}
+	}
+	if st := m.Stats(); st.RejectedBatches != uint64(len(bad)+1) || st.TelemetryPoints != 0 {
+		t.Errorf("rejected batches must not record points: %+v", st)
+	}
+}
+
+func TestHealthyTelemetryStaysHealthy(t *testing.T) {
+	m := New(Policy{})
+	key, np, _ := trackedFixture(t, m)
+	const label = "AlexNet.L6"
+	s := driftStair(t, np, label, 3)
+
+	res, err := m.Ingest(context.Background(), key, driftSamples(np, label, s, 1.0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RepairedLayers != nil || res.NewVersion != nil {
+		t.Fatalf("healthy telemetry triggered a repair: %+v", res)
+	}
+	var sum LayerSummary
+	for _, l := range res.Layers {
+		if l.Layer == label {
+			sum = l
+		}
+	}
+	if sum.Drifted != 0 || sum.Healthy == 0 {
+		t.Errorf("stair census after exact telemetry: %+v", sum)
+	}
+}
+
+func TestSpikeDoesNotTriggerRepair(t *testing.T) {
+	m := New(Policy{})
+	key, np, _ := trackedFixture(t, m)
+	const label = "AlexNet.L6"
+	s := driftStair(t, np, label, 3)
+	ctx := context.Background()
+
+	// Healthy history first, then one +50% thermal spike — a single
+	// sample, which EWMA smoothing must absorb (0.25 x 0.5 < RelTol).
+	if _, err := m.Ingest(ctx, key, driftSamples(np, label, s, 1.0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	spike := Sample{Layer: label, Channels: s.LoC, Ms: 1.5 * np.Profiles[label].Curve[s.LoC-1].Ms}
+	res, err := m.Ingest(ctx, key, []Sample{spike})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RepairedLayers != nil {
+		t.Fatalf("a single spike triggered repair: %+v", res)
+	}
+	if st := m.Stats(); st.Repairs != 0 {
+		t.Errorf("repairs = %d after one spike", st.Repairs)
+	}
+}
+
+func TestSustainedDriftRepairsAndReplans(t *testing.T) {
+	m := New(Policy{})
+	key, np, _ := trackedFixture(t, m)
+	const label = "AlexNet.L6"
+	s := driftStair(t, np, label, 3)
+	full := np.Profiles[label].Layer.Spec.OutC
+	ctx := context.Background()
+
+	res, err := m.Ingest(ctx, key, driftSamples(np, label, s, 1.5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RepairedLayers) != 1 || res.RepairedLayers[0] != label {
+		t.Fatalf("repaired layers = %v, want [%s]", res.RepairedLayers, label)
+	}
+	if res.Repair == nil {
+		t.Fatal("no repair stats")
+	}
+	if res.Repair.Probes+res.Repair.PointsAvoided != res.Repair.GridPoints {
+		t.Errorf("repair books do not balance: %+v", res.Repair)
+	}
+	if res.Repair.GridPoints != full {
+		t.Errorf("repair grid = %d, want the layer width %d", res.Repair.GridPoints, full)
+	}
+	if res.Repair.Probes >= full/2 {
+		t.Errorf("repair probed %d of %d points — not incremental", res.Repair.Probes, full)
+	}
+	if res.NewVersion == nil {
+		t.Fatal("no new plan version")
+	}
+	v := res.NewVersion
+	if v.Version != 2 || v.Trigger != "drift_repair" {
+		t.Errorf("new version = %+v", v)
+	}
+	if v.Diff == nil || len(v.Diff.RepairedLayers) != 1 || v.Diff.RepairedLayers[0] != label {
+		t.Errorf("diff must name the repaired layer: %+v", v.Diff)
+	}
+
+	// The repaired curve must be byte-identical to a fresh full sweep
+	// of the drifted curve (stored curve with the drifted stair x1.5).
+	want := make([]backend.Point, full)
+	copy(want, np.Profiles[label].Curve)
+	for c := s.LoC; c <= s.HiC; c++ {
+		want[c-1] = backend.Point{Channels: c, Ms: 1.5 * np.Profiles[label].Curve[c-1].Ms}
+	}
+	wantAn, err := staircase.Analyze(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.lookup(key)
+	if got := tr.layers[label].curve; !reflect.DeepEqual(got, want) {
+		t.Error("repaired curve differs from a fresh full sweep of the drifted curve")
+	}
+	if !reflect.DeepEqual(tr.layers[label].an, wantAn) {
+		t.Error("repaired analysis differs from analyzing the drifted curve")
+	}
+
+	// Repaired stairs restart as unknown with cleared evidence.
+	if len(tr.layers[label].cells) != 0 {
+		t.Error("cells not cleared after repair")
+	}
+	st := m.Stats()
+	if st.Repairs != 1 || st.Replans != 1 || st.PlanVersions != 2 {
+		t.Errorf("stats after repair: %+v", st)
+	}
+	if st.RepairProbes+st.RepairPointsAvoided != st.RepairGridPoints {
+		t.Errorf("monitor-level repair books do not balance: %+v", st)
+	}
+
+	// Version history: still readable, two entries, ascending.
+	vs, ok := m.Versions(key)
+	if !ok || len(vs) != 2 || vs[0].Version != 1 || vs[1].Version != 2 {
+		t.Fatalf("version history = %+v", vs)
+	}
+}
+
+func TestVersionHistoryBounded(t *testing.T) {
+	m := New(Policy{MaxVersions: 3})
+	key, np, _ := trackedFixture(t, m)
+	const label = "AlexNet.L6"
+	ctx := context.Background()
+
+	// Drift a different stair each round; every repair publishes a
+	// version. Factors alternate so each round re-drifts.
+	an := np.Profiles[label].Analysis
+	rounds := 0
+	for i := 1; i < len(an.Stairs)-1 && rounds < 5; i++ {
+		s := an.Stairs[i]
+		if s.Width() < 3 {
+			continue
+		}
+		tr := m.lookup(key)
+		tr.mu.Lock()
+		cur := append([]backend.Point(nil), tr.layers[label].curve...)
+		tr.mu.Unlock()
+		var batch []Sample
+		for r := 0; r < 3; r++ {
+			for c := s.LoC; c <= s.HiC; c++ {
+				batch = append(batch, Sample{Layer: label, Channels: c, Ms: 1.4 * cur[c-1].Ms})
+			}
+		}
+		if _, err := m.Ingest(ctx, key, batch); err != nil {
+			t.Fatal(err)
+		}
+		rounds++
+	}
+	if rounds < 4 {
+		t.Skipf("only %d wide interior stairs, need 4 for the bound to bite", rounds)
+	}
+	vs, _ := m.Versions(key)
+	if len(vs) != 3 {
+		t.Fatalf("history length = %d, want MaxVersions 3", len(vs))
+	}
+	if vs[len(vs)-1].Version != rounds+1 {
+		t.Errorf("latest version = %d, want %d (numbers keep increasing past eviction)",
+			vs[len(vs)-1].Version, rounds+1)
+	}
+}

@@ -1,0 +1,371 @@
+// Incremental staircase repair and versioned re-planning.
+//
+// The repair never touches a device: the fleet already measured the
+// drifted channels. The monitor builds an overlay curve — telemetry
+// EWMA cells where the fleet reported, the stored curve everywhere
+// else — and re-probes only the drifted stairs' channel intervals
+// through internal/probe's bisection, seeding the prober with the
+// reported channels so no known-changed point hides inside an
+// assumed-flat gap. Repaired segments are spliced into the dense curve
+// and re-analyzed; a seam guard falls back to a full overlay sweep when
+// the drift leaks past an interval boundary, and the prober's own
+// monotonicity policing covers bumpy partial coverage. The planner then
+// re-plans with the key's original recipe and the new plan version —
+// with a structural diff against the previous one — is published by an
+// atomic pointer swap.
+package drift
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/core"
+	"perfprune/internal/obs"
+	"perfprune/internal/pareto"
+	"perfprune/internal/probe"
+)
+
+// PlanVersion is one published plan for a tracked key. Version numbers
+// are per-key, start at 1 ("initial", the plan served when the key was
+// first tracked), and keep increasing even after old versions age out
+// of the bounded history. Versions carry no wall-clock fields: the
+// history is a pure function of the telemetry stream, which is what
+// makes it golden-testable.
+type PlanVersion struct {
+	Version int `json:"version"`
+	// Trigger is "initial" or "drift_repair".
+	Trigger string `json:"trigger"`
+	// RepairedLayers names the layers whose staircases were repaired
+	// just before this re-plan (empty on the initial version).
+	RepairedLayers []string       `json:"repaired_layers,omitempty"`
+	Plan           map[string]int `json:"plan"`
+	BaselineMs     float64        `json:"baseline_ms"`
+	LatencyMs      float64        `json:"latency_ms"`
+	Speedup        float64        `json:"speedup"`
+	Accuracy       float64        `json:"accuracy"`
+	AccuracyDrop   float64        `json:"accuracy_drop"`
+	// Diff is the structural changelog against the previous version;
+	// nil on the initial version.
+	Diff *PlanDiff `json:"diff,omitempty"`
+}
+
+// PlanDiff is the structural changelog between consecutive plan
+// versions: which units moved, and how the predicted latency and
+// accuracy shifted. RepairedLayers is carried even when no width
+// changed — a uniform slowdown can leave the greedy plan intact while
+// still re-basing every latency number.
+type PlanDiff struct {
+	RepairedLayers  []string     `json:"repaired_layers"`
+	Changes         []UnitChange `json:"changes"`
+	BaselineDeltaMs float64      `json:"baseline_delta_ms"`
+	LatencyDeltaMs  float64      `json:"latency_delta_ms"`
+	SpeedupBefore   float64      `json:"speedup_before"`
+	SpeedupAfter    float64      `json:"speedup_after"`
+	AccuracyDelta   float64      `json:"accuracy_delta"`
+}
+
+// UnitChange is one layer whose kept width moved between versions.
+type UnitChange struct {
+	Layer   string `json:"layer"`
+	OldKeep int    `json:"old_keep"`
+	NewKeep int    `json:"new_keep"`
+}
+
+// planVersion builds an unnumbered version; publishLocked assigns the
+// number.
+func planVersion(trigger string, repaired []string, eval core.PlanResult, diff *PlanDiff) PlanVersion {
+	plan := make(map[string]int, len(eval.Plan))
+	for label, keep := range eval.Plan {
+		plan[label] = keep
+	}
+	return PlanVersion{
+		Trigger:        trigger,
+		RepairedLayers: repaired,
+		Plan:           plan,
+		BaselineMs:     eval.BaselineMs,
+		LatencyMs:      eval.LatencyMs,
+		Speedup:        eval.Speedup,
+		Accuracy:       eval.Accuracy,
+		AccuracyDrop:   eval.AccuracyDrop,
+		Diff:           diff,
+	}
+}
+
+// publishLocked appends a version copy-on-write under t.mu: readers
+// holding the old slice keep a consistent history, and the swap is one
+// atomic store.
+func (t *tracked) publishLocked(v PlanVersion, maxVersions int) {
+	v.Version = t.nextVersion
+	t.nextVersion++
+	var next []PlanVersion
+	if old := t.versions.Load(); old != nil {
+		next = append(next, (*old)...)
+	}
+	next = append(next, v)
+	if len(next) > maxVersions {
+		next = append([]PlanVersion(nil), next[len(next)-maxVersions:]...)
+	}
+	t.versions.Store(&next)
+}
+
+// diffPlans computes the structural changelog from prev to next.
+func diffPlans(prev PlanVersion, next core.PlanResult, repaired []string) *PlanDiff {
+	d := &PlanDiff{
+		RepairedLayers:  repaired,
+		BaselineDeltaMs: next.BaselineMs - prev.BaselineMs,
+		LatencyDeltaMs:  next.LatencyMs - prev.LatencyMs,
+		SpeedupBefore:   prev.Speedup,
+		SpeedupAfter:    next.Speedup,
+		AccuracyDelta:   next.Accuracy - prev.Accuracy,
+	}
+	for label, keep := range next.Plan {
+		if old, ok := prev.Plan[label]; ok && old != keep {
+			d.Changes = append(d.Changes, UnitChange{Layer: label, OldKeep: old, NewKeep: keep})
+		}
+	}
+	sort.Slice(d.Changes, func(i, j int) bool { return d.Changes[i].Layer < d.Changes[j].Layer })
+	return d
+}
+
+// repairAudit is the per-repair probe accounting.
+type repairAudit struct {
+	probes    int
+	grid      int
+	fallbacks int
+}
+
+// repairLocked runs the repair → re-plan → publish pipeline for the
+// drifted layers. Caller holds t.mu.
+func (m *Monitor) repairLocked(ctx context.Context, t *tracked, drifted []string) ([]string, RepairStats, *PlanVersion, error) {
+	rctx, rsp := obs.StartSpan(ctx, "repair")
+	curves := make(map[string][]backend.Point, len(drifted))
+	var audit repairAudit
+	for _, label := range drifted {
+		lctx, lsp := obs.StartSpan(rctx, "repair "+label)
+		curve, a, err := m.repairLayer(lctx, t.layers[label])
+		lsp.Set("probes", int64(a.probes))
+		lsp.Set("grid_points", int64(a.grid))
+		lsp.End()
+		if err != nil {
+			rsp.End()
+			return nil, RepairStats{}, nil, fmt.Errorf("drift: repair %s: %w", label, err)
+		}
+		curves[label] = curve
+		audit.probes += a.probes
+		audit.grid += a.grid
+		audit.fallbacks += a.fallbacks
+	}
+
+	np, err := t.np.ReplaceCurves(curves)
+	if err != nil {
+		rsp.End()
+		return nil, RepairStats{}, nil, err
+	}
+	t.np = np
+	for _, label := range drifted {
+		ls := t.layers[label]
+		for _, agg := range ls.stairs {
+			m.stateGauge(agg.state).Add(-1)
+		}
+		lp := np.Profiles[label]
+		ls.curve = lp.Curve
+		ls.an = lp.Analysis
+		ls.cells = make(map[int]*cell)
+		ls.stairs = make([]stairAgg, len(lp.Analysis.Stairs))
+		m.stairsUnknown.Add(int64(len(lp.Analysis.Stairs)))
+	}
+	rsp.End()
+
+	m.repairs.Add(uint64(len(drifted)))
+	m.repairProbes.Add(uint64(audit.probes))
+	m.repairGrid.Add(uint64(audit.grid))
+	m.fallbacks.Add(uint64(audit.fallbacks))
+
+	pctx, psp := obs.StartSpan(ctx, "replan")
+	eval, err := t.replan(pctx)
+	psp.End()
+	if err != nil {
+		return nil, RepairStats{}, nil, err
+	}
+	m.replans.Add(1)
+
+	var prev PlanVersion
+	if vs := t.versions.Load(); vs != nil && len(*vs) > 0 {
+		prev = (*vs)[len(*vs)-1]
+	}
+	v := planVersion("drift_repair", drifted, eval, diffPlans(prev, eval, drifted))
+	t.publishLocked(v, m.policy.MaxVersions)
+	m.versionsTotal.Add(1)
+	published := v
+	published.Version = t.nextVersion - 1 // publishLocked numbered its copy
+
+	stats := RepairStats{
+		Probes:        audit.probes,
+		GridPoints:    audit.grid,
+		PointsAvoided: audit.grid - audit.probes,
+		Fallbacks:     audit.fallbacks,
+	}
+	return drifted, stats, &published, nil
+}
+
+// overlayMeasure builds the repair prober's measurement source: the
+// telemetry EWMA where the fleet reported, the stored curve elsewhere.
+// It is deterministic and free, which is the whole point — the repair
+// bill is bisection probes over data the fleet already paid for.
+func (ls *layerState) overlayMeasure() probe.Measure {
+	return func(_ context.Context, channels []int) ([]float64, error) {
+		out := make([]float64, len(channels))
+		for i, c := range channels {
+			if cl, ok := ls.cells[c]; ok {
+				out[i] = cl.ewma
+			} else {
+				out[i] = ls.curve[c-ls.curve[0].Channels].Ms
+			}
+		}
+		return out, nil
+	}
+}
+
+// repairLayer re-probes the drifted intervals of one layer against the
+// overlay and splices the repaired segments into the dense curve.
+func (m *Monitor) repairLayer(ctx context.Context, ls *layerState) ([]backend.Point, repairAudit, error) {
+	full := ls.layer.Spec.OutC
+	audit := repairAudit{grid: full}
+	measure := ls.overlayMeasure()
+
+	intervals := driftedIntervals(ls, full)
+	if len(intervals) == 0 {
+		return nil, audit, fmt.Errorf("no drifted stairs")
+	}
+
+	next := make([]backend.Point, len(ls.curve))
+	copy(next, ls.curve)
+	for _, iv := range intervals {
+		a, b := iv[0], iv[1]
+		var seeds []int
+		for c := range ls.cells {
+			if c > a && c < b {
+				seeds = append(seeds, c)
+			}
+		}
+		sort.Ints(seeds)
+		res, err := probe.Staircase(ctx, measure, a, b, probe.Options{Rel: m.policy.ProbeRel, Seeds: seeds})
+		if err != nil {
+			return nil, audit, err
+		}
+		audit.probes += res.Stats.Probes
+		if res.Stats.FellBack {
+			audit.fallbacks++
+		}
+		// Seam guard: the interval endpoints extend one channel into the
+		// neighboring stairs, so their overlay values must still match
+		// the stored curve there. A mismatch means the drift leaks past
+		// the classified stairs — repair the whole layer instead.
+		leakLo := a > 1 && !withinRel(res.Curve[0].Ms, ls.curve[a-ls.curve[0].Channels].Ms, m.policy.ProbeRel)
+		leakHi := b < full && !withinRel(res.Curve[b-a].Ms, ls.curve[b-ls.curve[0].Channels].Ms, m.policy.ProbeRel)
+		if leakLo || leakHi {
+			return m.fullOverlaySweep(ctx, ls, measure, audit)
+		}
+		copy(next[a-ls.curve[0].Channels:], res.Curve)
+	}
+	return next, audit, nil
+}
+
+// fullOverlaySweep measures every grid point of the overlay — the
+// repair's transparent fallback when surgical splicing is unsound. The
+// result is still free of device time; only the "incremental" savings
+// are lost, and the audit says so.
+func (m *Monitor) fullOverlaySweep(ctx context.Context, ls *layerState, measure probe.Measure, audit repairAudit) ([]backend.Point, repairAudit, error) {
+	full := ls.layer.Spec.OutC
+	channels := make([]int, full)
+	for i := range channels {
+		channels[i] = i + 1
+	}
+	ms, err := measure(ctx, channels)
+	if err != nil {
+		return nil, audit, err
+	}
+	curve := make([]backend.Point, full)
+	for i, c := range channels {
+		curve[i] = backend.Point{Channels: c, Ms: ms[i]}
+	}
+	audit.probes = full
+	audit.fallbacks++
+	return curve, audit, nil
+}
+
+// driftedIntervals collects the drifted stairs' channel ranges,
+// expanded by one channel into each neighbor (so the prober confirms
+// the seams), clamped to [1, full], and merged when they touch.
+func driftedIntervals(ls *layerState, full int) [][2]int {
+	var out [][2]int
+	for i, agg := range ls.stairs {
+		if agg.state != StateDrifted {
+			continue
+		}
+		s := ls.an.Stairs[i]
+		a, b := s.LoC-1, s.HiC+1
+		if a < 1 {
+			a = 1
+		}
+		if b > full {
+			b = full
+		}
+		if n := len(out); n > 0 && a <= out[n-1][1]+1 {
+			if b > out[n-1][1] {
+				out[n-1][1] = b
+			}
+			continue
+		}
+		out = append(out, [2]int{a, b})
+	}
+	return out
+}
+
+// withinRel reports whether two latencies agree under the probe
+// tolerance (rel 0 means bitwise equality), mirroring the prober's own
+// plateau test.
+func withinRel(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	if rel == 0 {
+		return false
+	}
+	base := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= rel*base
+}
+
+// replan re-plans the tracked key with its original recipe over the
+// repaired profile.
+func (t *tracked) replan(ctx context.Context) (core.PlanResult, error) {
+	pl, err := core.NewPlanner(t.np)
+	if err != nil {
+		return core.PlanResult{}, err
+	}
+	pl.Groups = t.groups
+	switch t.params.Mode {
+	case ModeFrontier:
+		f, err := pareto.ComputeContext(ctx, pl, pareto.Options{})
+		if err != nil {
+			return core.PlanResult{}, err
+		}
+		p, ok := f.AccuracyBudget(t.params.MaxAccuracyDrop)
+		if !ok {
+			return core.PlanResult{}, fmt.Errorf("drift: frontier has no plan within %.2f accuracy drop", t.params.MaxAccuracyDrop)
+		}
+		return core.PlanResult{
+			Plan:         p.Plan,
+			LatencyMs:    p.LatencyMs,
+			BaselineMs:   f.BaselineMs,
+			Speedup:      p.Speedup,
+			Accuracy:     p.Accuracy,
+			AccuracyDrop: p.AccuracyDrop,
+		}, nil
+	default:
+		return pl.PerformanceAware(t.params.TargetSpeedup, t.params.MaxAccuracyDrop)
+	}
+}

@@ -1,0 +1,265 @@
+// Snapshot export/import: the monitor's state as plain data, so
+// internal/profilestore can persist it and a restarted daemon resumes
+// the closed loop where it left off — tracked keys, repaired curves,
+// telemetry evidence, and plan-version history all survive.
+package drift
+
+import (
+	"fmt"
+	"sort"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/core"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/staircase"
+)
+
+// Snapshot is the monitor's full exportable state.
+type Snapshot struct {
+	Keys []KeySnapshot `json:"keys"`
+}
+
+// KeySnapshot is one tracked key's state.
+type KeySnapshot struct {
+	Backend         string          `json:"backend"`
+	Device          string          `json:"device"`
+	Network         string          `json:"network"`
+	Mode            PlanMode        `json:"mode"`
+	TargetSpeedup   float64         `json:"target_speedup"`
+	MaxAccuracyDrop float64         `json:"max_accuracy_drop"`
+	Groups          []GroupSnapshot `json:"groups,omitempty"`
+	NextVersion     int             `json:"next_version"`
+	Versions        []PlanVersion   `json:"versions"`
+	Layers          []LayerSnapshot `json:"layers"`
+}
+
+// GroupSnapshot is one coupling group the key was planned under.
+type GroupSnapshot struct {
+	Name    string   `json:"name"`
+	Members []string `json:"members"`
+}
+
+// LayerSnapshot is one layer's drift state: the current dense curve
+// (ms per channel, 1-indexed by position) plus the telemetry evidence.
+type LayerSnapshot struct {
+	Label   string          `json:"label"`
+	CurveMs []float64       `json:"curve_ms"`
+	Cells   []CellSnapshot  `json:"cells,omitempty"`
+	Stairs  []StairSnapshot `json:"stairs,omitempty"`
+}
+
+// CellSnapshot is one channel's telemetry EWMA.
+type CellSnapshot struct {
+	Channels int     `json:"channels"`
+	Ms       float64 `json:"ms"`
+	N        int     `json:"n"`
+}
+
+// StairSnapshot is one stair's deviation evidence (parallel to the
+// analysis of CurveMs; states are recomputed on import).
+type StairSnapshot struct {
+	Dev     float64 `json:"dev"`
+	Samples int     `json:"samples"`
+}
+
+// Export snapshots every tracked key, sorted for determinism. It takes
+// each key's lock briefly, so it serializes with (but never corrupts)
+// concurrent ingestion — the flusher calls it on its own schedule.
+func (m *Monitor) Export() Snapshot {
+	m.mu.Lock()
+	tracked := make([]*tracked, 0, len(m.keys))
+	for _, t := range m.keys {
+		tracked = append(tracked, t)
+	}
+	m.mu.Unlock()
+	sort.Slice(tracked, func(i, j int) bool { return tracked[i].key.String() < tracked[j].key.String() })
+
+	var snap Snapshot
+	for _, t := range tracked {
+		t.mu.Lock()
+		ks := KeySnapshot{
+			Backend:         t.key.Backend,
+			Device:          t.key.Device,
+			Network:         t.key.Network,
+			Mode:            t.params.Mode,
+			TargetSpeedup:   t.params.TargetSpeedup,
+			MaxAccuracyDrop: t.params.MaxAccuracyDrop,
+			NextVersion:     t.nextVersion,
+		}
+		for _, g := range t.groups {
+			ks.Groups = append(ks.Groups, GroupSnapshot{Name: g.Name, Members: append([]string(nil), g.Members...)})
+		}
+		if vs := t.versions.Load(); vs != nil {
+			ks.Versions = append(ks.Versions, (*vs)...)
+		}
+		labels := make([]string, 0, len(t.layers))
+		for label := range t.layers {
+			labels = append(labels, label)
+		}
+		sort.Strings(labels)
+		for _, label := range labels {
+			ls := t.layers[label]
+			lsnap := LayerSnapshot{Label: label, CurveMs: make([]float64, len(ls.curve))}
+			for i, p := range ls.curve {
+				lsnap.CurveMs[i] = p.Ms
+			}
+			channels := make([]int, 0, len(ls.cells))
+			for c := range ls.cells {
+				channels = append(channels, c)
+			}
+			sort.Ints(channels)
+			for _, c := range channels {
+				cl := ls.cells[c]
+				lsnap.Cells = append(lsnap.Cells, CellSnapshot{Channels: c, Ms: cl.ewma, N: cl.n})
+			}
+			for _, agg := range ls.stairs {
+				lsnap.Stairs = append(lsnap.Stairs, StairSnapshot{Dev: agg.dev, Samples: agg.samples})
+			}
+			ks.Layers = append(ks.Layers, lsnap)
+		}
+		t.mu.Unlock()
+		snap.Keys = append(snap.Keys, ks)
+	}
+	return snap
+}
+
+// Import restores tracked keys from a snapshot, skipping (never
+// failing on) keys that no longer resolve — an unknown backend after a
+// build-flag change, a renamed network, a curve that no longer matches
+// the inventory's layer width. It returns how many keys were imported,
+// how many skipped, and the first skip reason.
+func (m *Monitor) Import(snap Snapshot) (imported, skipped int, reason string) {
+	skip := func(why string) {
+		skipped++
+		if reason == "" {
+			reason = why
+		}
+	}
+	for _, ks := range snap.Keys {
+		t, err := m.restoreKey(ks)
+		if err != nil {
+			skip(err.Error())
+			continue
+		}
+		m.mu.Lock()
+		if _, dup := m.keys[t.key]; dup || len(m.keys) >= m.policy.MaxKeys {
+			m.mu.Unlock()
+			skip(fmt.Sprintf("key %s already tracked or monitor full", t.key))
+			continue
+		}
+		m.keys[t.key] = t
+		m.mu.Unlock()
+		// Every restored stair starts in the zero state (Unknown); the
+		// reclassify pass moves the gauges to the recomputed states, so
+		// a stair persisted mid-drift resumes as drifted and repairs on
+		// the key's next telemetry batch.
+		for _, ls := range t.layers {
+			m.stairsUnknown.Add(int64(len(ls.stairs)))
+			for i := range ls.stairs {
+				m.reclassify(&ls.stairs[i])
+			}
+		}
+		imported++
+	}
+	return imported, skipped, reason
+}
+
+// restoreKey rebuilds one tracked key from its snapshot.
+func (m *Monitor) restoreKey(ks KeySnapshot) (*tracked, error) {
+	lib, err := backend.Lookup(ks.Backend)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := device.ByName(ks.Device)
+	if err != nil {
+		return nil, err
+	}
+	n, err := nets.ByName(ks.Network)
+	if err != nil {
+		return nil, err
+	}
+	tg := core.Target{Device: dev, Library: lib}
+	if err := tg.Validate(); err != nil {
+		return nil, err
+	}
+	params := PlanParams{Mode: ks.Mode, TargetSpeedup: ks.TargetSpeedup, MaxAccuracyDrop: ks.MaxAccuracyDrop}
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+
+	byLabel := make(map[string]LayerSnapshot, len(ks.Layers))
+	for _, lsnap := range ks.Layers {
+		byLabel[lsnap.Label] = lsnap
+	}
+	np := &core.NetworkProfile{Target: tg, Network: n, Profiles: make(map[string]core.LayerProfile, len(n.Layers))}
+	layers := make(map[string]*layerState, len(n.Layers))
+	for _, l := range n.Layers {
+		if _, dup := layers[l.Label]; dup {
+			continue
+		}
+		lsnap, ok := byLabel[l.Label]
+		if !ok {
+			return nil, fmt.Errorf("drift: snapshot for %s is missing layer %s", ks.Network, l.Label)
+		}
+		if len(lsnap.CurveMs) != l.Spec.OutC {
+			return nil, fmt.Errorf("drift: %s curve has %d points, layer is %d wide (inventory changed?)",
+				l.Label, len(lsnap.CurveMs), l.Spec.OutC)
+		}
+		curve := make([]backend.Point, len(lsnap.CurveMs))
+		for i, ms := range lsnap.CurveMs {
+			curve[i] = backend.Point{Channels: i + 1, Ms: ms}
+		}
+		an, err := staircase.Analyze(curve)
+		if err != nil {
+			return nil, fmt.Errorf("drift: %s: %w", l.Label, err)
+		}
+		ls := &layerState{
+			layer:  l,
+			curve:  curve,
+			an:     an,
+			cells:  make(map[int]*cell, len(lsnap.Cells)),
+			stairs: make([]stairAgg, len(an.Stairs)),
+		}
+		for _, cs := range lsnap.Cells {
+			if cs.Channels >= 1 && cs.Channels <= l.Spec.OutC && cs.Ms > 0 {
+				ls.cells[cs.Channels] = &cell{ewma: cs.Ms, n: cs.N}
+			}
+		}
+		// Stair evidence only survives when the re-analysis found the
+		// same stair count; otherwise the evidence is stale and the
+		// stairs restart as Unknown.
+		if len(lsnap.Stairs) == len(an.Stairs) {
+			for i, ss := range lsnap.Stairs {
+				ls.stairs[i] = stairAgg{dev: ss.Dev, samples: ss.Samples}
+			}
+		}
+		layers[l.Label] = ls
+		np.Profiles[l.Label] = core.LayerProfile{Layer: l, Curve: curve, Analysis: an}
+	}
+
+	t := &tracked{
+		key:    Key{Backend: ks.Backend, Device: ks.Device, Network: ks.Network},
+		np:     np,
+		params: params,
+		layers: layers,
+	}
+	for _, g := range ks.Groups {
+		t.groups = append(t.groups, nets.Group{Name: g.Name, Members: append([]string(nil), g.Members...)})
+	}
+	if t.groups == nil {
+		t.groups = n.Groups
+	}
+	t.nextVersion = ks.NextVersion
+	if t.nextVersion < 1 {
+		t.nextVersion = 1
+	}
+	if len(ks.Versions) > 0 {
+		vs := append([]PlanVersion(nil), ks.Versions...)
+		if len(vs) > m.policy.MaxVersions {
+			vs = vs[len(vs)-m.policy.MaxVersions:]
+		}
+		t.versions.Store(&vs)
+	}
+	return t, nil
+}

@@ -1,0 +1,105 @@
+package drift
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	m := New(Policy{})
+	key, np, _ := trackedFixture(t, m)
+	const label = "AlexNet.L6"
+	s := driftStair(t, np, label, 3)
+	ctx := context.Background()
+
+	// One repair (so the round trip covers a repaired curve and a
+	// two-version history), plus partial evidence on another stair.
+	if _, err := m.Ingest(ctx, key, driftSamples(np, label, s, 1.5, 3)); err != nil {
+		t.Fatal(err)
+	}
+	partial := Sample{Layer: "AlexNet.L3", Channels: 10, Ms: np.Profiles["AlexNet.L3"].Curve[9].Ms}
+	if _, err := m.Ingest(ctx, key, []Sample{partial}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := m.Export()
+	if len(snap.Keys) != 1 {
+		t.Fatalf("exported %d keys, want 1", len(snap.Keys))
+	}
+
+	m2 := New(Policy{})
+	imported, skipped, reason := m2.Import(snap)
+	if imported != 1 || skipped != 0 {
+		t.Fatalf("import = %d imported, %d skipped (%s)", imported, skipped, reason)
+	}
+
+	// Version history survives verbatim.
+	want, _ := m.Versions(key)
+	got, ok := m2.Versions(key)
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Errorf("imported versions differ:\n got %+v\nwant %+v", got, want)
+	}
+
+	// The repaired curve is authoritative after restart.
+	t1, t2 := m.lookup(key), m2.lookup(key)
+	if !reflect.DeepEqual(t2.layers[label].curve, t1.layers[label].curve) {
+		t.Error("imported curve differs from the exported (repaired) one")
+	}
+	// Telemetry evidence survives: the partial cell is still there.
+	if c := t2.layers["AlexNet.L3"].cells[10]; c == nil || c.n != 1 {
+		t.Errorf("partial telemetry cell lost: %+v", c)
+	}
+	// Export of the import matches the original export (stable format).
+	if snap2 := m2.Export(); !reflect.DeepEqual(snap2, snap) {
+		t.Error("export → import → export is not a fixed point")
+	}
+
+	// The restored monitor keeps working: drift another stair, repair.
+	np2 := t2.np
+	s2 := driftStair(t, np2, "AlexNet.L8", 3)
+	res, err := m2.Ingest(ctx, key, driftSamples(np2, "AlexNet.L8", s2, 1.4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RepairedLayers) != 1 || res.NewVersion == nil || res.NewVersion.Version != 3 {
+		t.Fatalf("post-import repair = %+v", res)
+	}
+}
+
+func TestImportSkipsUnresolvable(t *testing.T) {
+	m := New(Policy{})
+	key, _, _ := trackedFixture(t, m)
+	snap := m.Export()
+
+	bad := snap
+	bad.Keys = append([]KeySnapshot(nil), snap.Keys...)
+	bad.Keys[0].Backend = "gone-backend"
+
+	m2 := New(Policy{})
+	imported, skipped, reason := m2.Import(bad)
+	if imported != 0 || skipped != 1 || reason == "" {
+		t.Fatalf("import of unresolvable key = %d, %d, %q", imported, skipped, reason)
+	}
+
+	// Importing into a monitor that already tracks the key skips too.
+	m3 := New(Policy{})
+	trackedFixture(t, m3)
+	imported, skipped, _ = m3.Import(snap)
+	if imported != 0 || skipped != 1 {
+		t.Fatalf("duplicate import = %d imported, %d skipped", imported, skipped)
+	}
+	_ = key
+}
+
+func TestImportStaleCurveWidth(t *testing.T) {
+	m := New(Policy{})
+	trackedFixture(t, m)
+	snap := m.Export()
+	snap.Keys[0].Layers[0].CurveMs = snap.Keys[0].Layers[0].CurveMs[:5]
+
+	m2 := New(Policy{})
+	if imported, skipped, _ := m2.Import(snap); imported != 0 || skipped != 1 {
+		t.Fatalf("truncated curve imported: %d, %d", imported, skipped)
+	}
+}

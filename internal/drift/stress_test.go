@@ -1,0 +1,96 @@
+package drift
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIngestRepairAndReads hammers one key from three sides
+// at once — drifting telemetry (which triggers in-flight repairs),
+// healthy telemetry, and lock-free version/stats readers — and then
+// checks the books. Run with -race, this is the data-race gate for the
+// closed loop's central claim: plan reads never synchronize with
+// repair.
+func TestConcurrentIngestRepairAndReads(t *testing.T) {
+	m := New(Policy{})
+	key, np, _ := trackedFixture(t, m)
+	ctx := context.Background()
+	const label = "AlexNet.L6"
+	s := driftStair(t, np, label, 3)
+
+	const (
+		writers = 4
+		readers = 4
+		rounds  = 25
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds; r++ {
+				// Even writers drift the stair; odd writers report other
+				// layers healthy (against the original curve — after a
+				// repair these may count as deviations, which is exactly
+				// the kind of churn the monitor must survive).
+				var batch []Sample
+				if w%2 == 0 {
+					factor := 1.3 + 0.05*float64(r%3)
+					for c := s.LoC; c <= s.HiC; c++ {
+						batch = append(batch, Sample{Layer: label, Channels: c, Ms: factor * np.Profiles[label].Curve[c-1].Ms})
+					}
+				} else {
+					curve := np.Profiles["AlexNet.L3"].Curve
+					for c := 1; c <= 8; c++ {
+						batch = append(batch, Sample{Layer: "AlexNet.L3", Channels: c, Ms: curve[c-1].Ms})
+					}
+				}
+				if _, err := m.Ingest(ctx, key, batch); err != nil {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds*writers; r++ {
+				vs, ok := m.Versions(key)
+				if !ok || len(vs) == 0 {
+					t.Error("version history vanished mid-flight")
+					return
+				}
+				for j := 1; j < len(vs); j++ {
+					if vs[j].Version != vs[j-1].Version+1 {
+						t.Errorf("non-contiguous version history: %d then %d", vs[j-1].Version, vs[j].Version)
+						return
+					}
+				}
+				_ = m.Stats()
+				_ = m.Export()
+			}
+		}()
+	}
+
+	close(start)
+	wg.Wait()
+
+	st := m.Stats()
+	if st.RepairProbes+st.RepairPointsAvoided != st.RepairGridPoints {
+		t.Errorf("repair books do not balance after the stress run: %+v", st)
+	}
+	if st.StairsHealthy+st.StairsDrifted+st.StairsUnknown < 0 {
+		t.Errorf("negative stair census: %+v", st)
+	}
+	if st.TelemetryPoints == 0 || st.PlanVersions < 2 {
+		t.Errorf("stress run did no work: %+v", st)
+	}
+}

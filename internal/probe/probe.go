@@ -72,6 +72,14 @@ type Options struct {
 	// DisableFallback makes a detected monotonicity violation an error
 	// (ErrNonMonotone) instead of a transparent full sweep.
 	DisableFallback bool
+	// Seeds are extra channel counts measured in round zero alongside
+	// the endpoints (and presamples). A caller that already knows where
+	// the curve changed — e.g. drift repair, which has telemetry at
+	// specific channels — plants them here so bisection brackets edges
+	// around the known-changed points instead of assuming the spanning
+	// interval flat. Out-of-range seeds are rejected; duplicates are
+	// deduplicated for free.
+	Seeds []int
 }
 
 // Validate rejects malformed options.
@@ -153,12 +161,20 @@ func Staircase(ctx context.Context, m Measure, lo, hi int, opts Options) (Result
 	}
 	p.stats.GridPoints = hi - lo + 1
 
-	// Round zero: endpoints plus the optional verification presamples.
+	// Round zero: endpoints plus the optional verification presamples
+	// and caller-planted seeds. Seeding keeps the batch a pure function
+	// of the inputs, so the probe audit stays reproducible.
 	initial := []int{lo}
 	if s := opts.VerifyStride; s > 0 {
 		for c := lo + s; c < hi; c += s {
 			initial = append(initial, c)
 		}
+	}
+	for _, c := range opts.Seeds {
+		if c < lo || c > hi {
+			return Result{}, fmt.Errorf("probe: seed channel %d outside [%d, %d]", c, lo, hi)
+		}
+		initial = append(initial, c)
 	}
 	if hi > lo {
 		initial = append(initial, hi)

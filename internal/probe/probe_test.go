@@ -254,3 +254,55 @@ func TestProbeMeasureError(t *testing.T) {
 		t.Fatalf("err = %v, want the measure error", err)
 	}
 }
+
+func TestProbeSeedsMeasuredInRoundZero(t *testing.T) {
+	// A perfectly flat curve: without seeds the prober measures the two
+	// endpoints plus one witness. Seeds must be measured regardless —
+	// they are the caller's claim that something changed there.
+	s := &synth{lo: 1, vals: stairVals(1.0, 64)}
+	res := mustProbe(t, s, Options{Seeds: []int{17, 41}})
+	checkExact(t, s, res)
+	got := map[int]bool{}
+	for _, p := range res.Measured {
+		got[p.Channels] = true
+	}
+	for _, c := range []int{17, 41} {
+		if !got[c] {
+			t.Errorf("seed %d was not measured", c)
+		}
+	}
+}
+
+func TestProbeSeedsBracketLoneStep(t *testing.T) {
+	// One narrow two-wide stair strictly inside a long plateau run. A
+	// seed on the raised pair guarantees round zero sees the level
+	// change and bisection brackets both edges exactly.
+	vals := stairVals(1.0, 30)
+	vals = append(vals, stairVals(1.25, 2)...)
+	vals = append(vals, stairVals(1.5625, 30)...)
+	s := &synth{lo: 1, vals: vals}
+	res := mustProbe(t, s, Options{Seeds: []int{31}})
+	checkExact(t, s, res)
+	if res.Stats.FellBack {
+		t.Fatalf("monotone seeded probe fell back: %+v", res.Stats)
+	}
+	if res.Stats.Probes >= res.Stats.GridPoints {
+		t.Fatalf("seeded probe saved nothing: %+v", res.Stats)
+	}
+}
+
+func TestProbeSeedsDedupAndValidate(t *testing.T) {
+	s := &synth{lo: 1, vals: stairVals(1.0, 8, 8)}
+	res := mustProbe(t, s, Options{Seeds: []int{1, 5, 5, 16}})
+	checkExact(t, s, res)
+	if s.calls != res.Stats.Probes {
+		t.Errorf("measure answered %d channels, stats say %d — duplicates double-counted",
+			s.calls, res.Stats.Probes)
+	}
+	if _, err := Staircase(context.Background(), s.measure, 1, 16, Options{Seeds: []int{0}}); err == nil {
+		t.Error("seed below range accepted")
+	}
+	if _, err := Staircase(context.Background(), s.measure, 1, 16, Options{Seeds: []int{17}}); err == nil {
+		t.Error("seed above range accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package profilestore
+
+// Durable closed-loop state: the drift monitor's snapshot (tracked
+// keys, repaired curves, telemetry evidence, plan-version history)
+// persisted beside the measurement cache, so a restarted daemon
+// resumes drift watch where it left off instead of forgetting every
+// repair the fleet paid for. Same contract as the cache store: JSON
+// lines behind a versioned header, atomic rewrite, salvage-never-fail
+// loading — structural damage costs the damaged key, not the boot.
+// Semantic staleness (a renamed backend, a changed layer width) is the
+// monitor's own Import to judge; the loader only vouches for intact
+// JSON.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"perfprune/internal/drift"
+)
+
+const (
+	// DriftFormatName identifies a drift-state file's header record.
+	DriftFormatName = "perfprune-drift-store"
+	// DriftFormatVersion is bumped on any incompatible key-snapshot
+	// shape change; loaders skip files written by a different version.
+	DriftFormatVersion = 1
+)
+
+// driftHeader is the first line of every drift-state file.
+type driftHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Keys is the key-snapshot count that follows, informational.
+	Keys int `json:"keys"`
+}
+
+// SaveDrift atomically writes the monitor snapshot at path: one header
+// line, then one line per tracked key, temp-file + sync + rename like
+// Save — a crash mid-flush leaves the previous snapshot intact.
+func SaveDrift(path string, snap drift.Snapshot) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()           //nolint:errcheck // already failing
+			os.Remove(tmp.Name()) //nolint:errcheck
+		}
+	}()
+
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	if err = enc.Encode(driftHeader{Format: DriftFormatName, Version: DriftFormatVersion, Keys: len(snap.Keys)}); err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	for _, ks := range snap.Keys {
+		if err = enc.Encode(ks); err != nil {
+			return fmt.Errorf("profilestore: %w", err)
+		}
+	}
+	if err = w.Flush(); err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	return nil
+}
+
+// DriftLoadResult is what LoadDrift salvaged: the structurally intact
+// key snapshots (semantic validation — do the backend, device, network
+// and layer widths still resolve? — happens in drift.Monitor.Import)
+// plus the skip census for the boot log and /v1/stats.
+type DriftLoadResult struct {
+	Snapshot drift.Snapshot
+	Skipped  int
+	Reason   string
+}
+
+func (r *DriftLoadResult) skip(reason string) {
+	r.Skipped++
+	if r.Reason == "" {
+		r.Reason = reason
+	}
+}
+
+// LoadDrift reads a drift-state file, salvaging every intact key
+// snapshot. Damage never fails the load; only I/O errors are returned,
+// with a missing file reported via os.IsNotExist as a fresh start.
+func LoadDrift(path string) (DriftLoadResult, error) {
+	var res DriftLoadResult
+	f, err := os.Open(path)
+	if err != nil {
+		return res, err
+	}
+	defer f.Close()
+	res = loadDrift(f)
+	return res, nil
+}
+
+// loadDrift is the reader-level core of LoadDrift, separated for
+// testing.
+func loadDrift(r io.Reader) DriftLoadResult {
+	var res DriftLoadResult
+	sc := bufio.NewScanner(r)
+	// Key snapshots carry a dense curve per layer plus the version
+	// history, so lines run far longer than cache records; 16 MiB
+	// accommodates the widest tracked network with room to spare.
+	sc.Buffer(make([]byte, 64*1024), 16*maxLineBytes)
+
+	if !sc.Scan() {
+		res.skip("empty or unreadable file")
+		return res
+	}
+	var h driftHeader
+	if err := strictUnmarshal(sc.Bytes(), &h); err != nil {
+		res.skip(fmt.Sprintf("bad header: %v", err))
+		res.Skipped += countLines(sc)
+		return res
+	}
+	switch {
+	case h.Format != DriftFormatName:
+		res.skip(fmt.Sprintf("not a drift store (format %q)", h.Format))
+		res.Skipped += countLines(sc)
+		return res
+	case h.Version != DriftFormatVersion:
+		res.skip(fmt.Sprintf("format version %d (this build reads %d)", h.Version, DriftFormatVersion))
+		res.Skipped += countLines(sc)
+		return res
+	}
+
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ks drift.KeySnapshot
+		if err := strictUnmarshal(line, &ks); err != nil {
+			res.skip(fmt.Sprintf("corrupt key snapshot: %v", err))
+			continue
+		}
+		if ks.Backend == "" || ks.Device == "" || ks.Network == "" {
+			res.skip("key snapshot missing backend, device or network")
+			continue
+		}
+		res.Snapshot.Keys = append(res.Snapshot.Keys, ks)
+	}
+	if err := sc.Err(); err != nil {
+		res.skip(fmt.Sprintf("read stopped: %v", err))
+	}
+	return res
+}

@@ -1,0 +1,273 @@
+package profilestore
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/core"
+	"perfprune/internal/device"
+	"perfprune/internal/drift"
+	"perfprune/internal/nets"
+)
+
+// trackedMonitor builds a monitor with one tracked key (AlexNet on
+// acl-gemm/HiKey 970 — simulated, deterministic) and, when repaired is
+// set, drives one drift → repair cycle so the exported state carries a
+// repaired curve, telemetry evidence and a two-version history — the
+// full shape the store must round-trip.
+func trackedMonitor(t *testing.T, repaired bool) (*drift.Monitor, drift.Key) {
+	t.Helper()
+	lib, err := backend.Lookup("acl-gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := device.ByName("HiKey 970")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := nets.ByName("AlexNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := core.ProfileNetwork(core.Target{Device: dev, Library: lib}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.NewPlanner(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.PerformanceAware(1.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := drift.New(drift.Policy{})
+	key := drift.Key{Backend: "acl-gemm", Device: dev.Name, Network: n.Name}
+	params := drift.PlanParams{Mode: drift.ModeGreedy, TargetSpeedup: 1.5, MaxAccuracyDrop: 2.0}
+	if !m.Track(key, np, n.Groups, params, res) {
+		t.Fatal("Track refused a fresh key")
+	}
+	if repaired {
+		const label = "AlexNet.L6"
+		lp := np.Profiles[label]
+		an := lp.Analysis
+		var samples []drift.Sample
+		for r := 0; r < 3; r++ {
+			for i, s := range an.Stairs {
+				if i == 0 || i == len(an.Stairs)-1 || s.Width() < 3 {
+					continue
+				}
+				for c := s.LoC; c <= s.HiC; c++ {
+					samples = append(samples, drift.Sample{Layer: label, Channels: c, Ms: 1.5 * lp.Curve[c-1].Ms})
+				}
+				break
+			}
+		}
+		ir, err := m.Ingest(context.Background(), key, samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ir.RepairedLayers) == 0 || ir.NewVersion == nil {
+			t.Fatalf("fixture drift did not repair: %+v", ir)
+		}
+	}
+	return m, key
+}
+
+func driftPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "profile.store.drift")
+}
+
+// TestDriftRoundTrip: export → save → load → import reproduces the
+// monitor bit-for-bit — the version history survives verbatim and the
+// re-export of the restored monitor is a fixed point of the format.
+func TestDriftRoundTrip(t *testing.T) {
+	m, key := trackedMonitor(t, true)
+	path := driftPath(t)
+	if err := SaveDrift(path, m.Export()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := LoadDrift(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 0 {
+		t.Fatalf("clean round trip skipped %d keys (%s)", res.Skipped, res.Reason)
+	}
+	m2 := drift.New(drift.Policy{})
+	imported, skipped, reason := m2.Import(res.Snapshot)
+	if imported != 1 || skipped != 0 {
+		t.Fatalf("import = %d imported, %d skipped (%s)", imported, skipped, reason)
+	}
+	want, _ := m.Versions(key)
+	got, ok := m2.Versions(key)
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored versions differ:\n got %+v\nwant %+v", got, want)
+	}
+	if len(want) != 2 || want[1].Trigger != "drift_repair" {
+		t.Fatalf("fixture history = %+v, want initial + drift_repair", want)
+	}
+	if !reflect.DeepEqual(m2.Export(), m.Export()) {
+		t.Fatal("export → save → load → import → export is not a fixed point")
+	}
+}
+
+// TestLoadDriftDamage: every flavor of file damage is a per-key (or
+// whole-file) skip with a reason, never a failed load. Only a missing
+// file surfaces as an error, and as os.IsNotExist specifically — the
+// manager's fresh-start signal.
+func TestLoadDriftDamage(t *testing.T) {
+	m, _ := trackedMonitor(t, false)
+	path := driftPath(t)
+	if err := SaveDrift(path, m.Export()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := LoadDrift(filepath.Join(t.TempDir(), "absent")); !os.IsNotExist(err) {
+		t.Fatalf("missing file error = %v, want os.IsNotExist", err)
+	}
+
+	t.Run("bad header", func(t *testing.T) {
+		p := driftPath(t)
+		if err := os.WriteFile(p, append([]byte("not json\n"), raw...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res, err := LoadDrift(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Snapshot.Keys) != 0 || res.Skipped != 3 { // junk header + real header + key
+			t.Fatalf("bad header: %d keys / %d skipped (%s)", len(res.Snapshot.Keys), res.Skipped, res.Reason)
+		}
+		if !strings.Contains(res.Reason, "bad header") {
+			t.Fatalf("reason %q should name the header", res.Reason)
+		}
+	})
+
+	t.Run("foreign format", func(t *testing.T) {
+		p := driftPath(t)
+		body := strings.Replace(string(raw), DriftFormatName, "some-other-store", 1)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res, err := LoadDrift(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Snapshot.Keys) != 0 || !strings.Contains(res.Reason, "not a drift store") {
+			t.Fatalf("foreign format salvaged %d keys (%s)", len(res.Snapshot.Keys), res.Reason)
+		}
+	})
+
+	t.Run("alien version", func(t *testing.T) {
+		p := driftPath(t)
+		body := strings.Replace(string(raw), `"version":1`, `"version":99`, 1)
+		if body == string(raw) {
+			t.Fatal("version marker not found")
+		}
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res, err := LoadDrift(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Snapshot.Keys) != 0 || !strings.Contains(res.Reason, "version 99") {
+			t.Fatalf("alien version salvaged %d keys (%s)", len(res.Snapshot.Keys), res.Reason)
+		}
+	})
+
+	t.Run("corrupt key line salvages the rest", func(t *testing.T) {
+		p := driftPath(t)
+		// Header, a torn line, the intact key, trailing junk: exactly the
+		// intact key survives.
+		lines := strings.SplitN(string(raw), "\n", 2)
+		body := lines[0] + "\n" + `{"backend":"torn` + "\n" + lines[1] + "{\"backend\":\"x\",\"device\":\"\",\"network\":\"n\"}\n"
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res, err := LoadDrift(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Snapshot.Keys) != 1 || res.Skipped != 2 {
+			t.Fatalf("salvage: %d keys / %d skipped (%s)", len(res.Snapshot.Keys), res.Skipped, res.Reason)
+		}
+		m2 := drift.New(drift.Policy{})
+		if imported, _, _ := m2.Import(res.Snapshot); imported != 1 {
+			t.Fatalf("survivor did not import (%d)", imported)
+		}
+	})
+}
+
+// TestManagerDriftLifecycle: the manager flushes cache and drift state
+// together and a fresh boot restores both — the daemon's actual
+// restart path, minus the HTTP layer.
+func TestManagerDriftLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	storeFile := filepath.Join(dir, "profile.store")
+	driftFile := storeFile + ".drift"
+
+	m, key := trackedMonitor(t, true)
+	cb := &countingBackend{}
+	mgr := NewManager(storeFile, fillCache(t, cb, 4))
+	mgr.EnableDrift(driftFile, m)
+	if err := mgr.WarmStart(); err != nil { // both files absent: fresh start
+		t.Fatal(err)
+	}
+	if err := mgr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{storeFile, driftFile} {
+		if _, err := os.Stat(f); err != nil {
+			t.Fatalf("flush did not write %s: %v", f, err)
+		}
+	}
+
+	// A fresh manager + empty monitor warm-start from the pair.
+	m2 := drift.New(drift.Policy{})
+	cache2 := backend.NewCache()
+	mgr2 := NewManager(storeFile, cache2)
+	mgr2.EnableDrift(driftFile, m2)
+	if err := mgr2.WarmStart(); err != nil {
+		t.Fatal(err)
+	}
+	st := mgr2.Status()
+	if st.WarmStartEntries != 4 || st.DriftKeys != 1 || st.DriftSkippedKeys != 0 {
+		t.Fatalf("restart status = %+v", st)
+	}
+	if !strings.Contains(st.String(), "1 drift keys from "+driftFile) {
+		t.Fatalf("boot line %q does not report the drift restore", st.String())
+	}
+	want, _ := m.Versions(key)
+	got, ok := m2.Versions(key)
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("restarted versions differ:\n got %+v\nwant %+v", got, want)
+	}
+
+	// A corrupted drift file degrades to a skip census, not a boot
+	// failure, and the cache side still warms.
+	if err := os.WriteFile(driftFile, []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m3 := drift.New(drift.Policy{})
+	mgr3 := NewManager(storeFile, backend.NewCache())
+	mgr3.EnableDrift(driftFile, m3)
+	if err := mgr3.WarmStart(); err != nil {
+		t.Fatal(err)
+	}
+	st = mgr3.Status()
+	if st.WarmStartEntries != 4 || st.DriftKeys != 0 || st.DriftSkippedKeys == 0 || st.DriftSkipReason == "" {
+		t.Fatalf("corrupt-drift status = %+v", st)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"perfprune/internal/backend"
+	"perfprune/internal/drift"
 )
 
 // Manager owns one store file's lifecycle for a long-lived daemon:
@@ -19,10 +20,20 @@ type Manager struct {
 	path  string
 	cache *backend.Cache
 
+	// Closed-loop state, attached with EnableDrift: the monitor whose
+	// snapshot rides along with every warm-start and flush.
+	driftPath string
+	monitor   *drift.Monitor
+
 	// warm-start outcome, written once by WarmStart before serving.
 	warmed     int
 	skipped    int
 	skipReason string
+
+	// drift warm-start outcome, written once by WarmStart.
+	driftKeys       int
+	driftSkipped    int
+	driftSkipReason string
 
 	mu          sync.Mutex // serializes flushes
 	flushes     atomic.Uint64
@@ -33,6 +44,14 @@ type Manager struct {
 // NewManager binds a store path to the cache it persists.
 func NewManager(path string, cache *backend.Cache) *Manager {
 	return &Manager{path: path, cache: cache}
+}
+
+// EnableDrift attaches a drift monitor to the manager's lifecycle:
+// WarmStart imports the snapshot at path into it, and every Flush
+// exports its state beside the cache snapshot. Call before WarmStart.
+func (m *Manager) EnableDrift(path string, mon *drift.Monitor) {
+	m.driftPath = path
+	m.monitor = mon
 }
 
 // WarmStart loads the store file and imports every salvageable entry
@@ -50,6 +69,31 @@ func (m *Manager) WarmStart() error {
 	m.warmed = m.cache.Warm(res.Entries)
 	m.skipped = res.Skipped
 	m.skipReason = res.Reason
+	return m.warmStartDrift()
+}
+
+// warmStartDrift restores the drift monitor's state when EnableDrift
+// attached one. Structural damage is the loader's skip census; keys
+// that no longer resolve semantically (renamed backend, changed layer
+// width) are the monitor's — both fold into one count for /v1/stats.
+func (m *Manager) warmStartDrift() error {
+	if m.monitor == nil {
+		return nil
+	}
+	res, err := LoadDrift(m.driftPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	imported, skipped, reason := m.monitor.Import(res.Snapshot)
+	m.driftKeys = imported
+	m.driftSkipped = res.Skipped + skipped
+	m.driftSkipReason = res.Reason
+	if m.driftSkipReason == "" {
+		m.driftSkipReason = reason
+	}
 	return nil
 }
 
@@ -59,7 +103,11 @@ func (m *Manager) WarmStart() error {
 func (m *Manager) Flush() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err := Save(m.path, m.cache.Snapshot()); err != nil {
+	err := Save(m.path, m.cache.Snapshot())
+	if err == nil && m.monitor != nil {
+		err = SaveDrift(m.driftPath, m.monitor.Export())
+	}
+	if err != nil {
 		m.flushErrors.Add(1)
 		return err
 	}
@@ -102,6 +150,14 @@ type Status struct {
 	// SkipReason describes the first skip.
 	SkippedRecords int
 	SkipReason     string
+	// DriftPath is where the closed-loop state persists; empty when no
+	// drift monitor is attached. DriftKeys counts the warm-started keys
+	// and DriftSkippedKeys those that could not be restored (structural
+	// damage or keys that no longer resolve).
+	DriftPath        string
+	DriftKeys        int
+	DriftSkippedKeys int
+	DriftSkipReason  string
 	// Flushes and FlushErrors count snapshot writes since boot.
 	Flushes     uint64
 	FlushErrors uint64
@@ -117,6 +173,10 @@ func (m *Manager) Status() Status {
 		WarmStartEntries: m.warmed,
 		SkippedRecords:   m.skipped,
 		SkipReason:       m.skipReason,
+		DriftPath:        m.driftPath,
+		DriftKeys:        m.driftKeys,
+		DriftSkippedKeys: m.driftSkipped,
+		DriftSkipReason:  m.driftSkipReason,
 		Flushes:          m.flushes.Load(),
 		FlushErrors:      m.flushErrors.Load(),
 		LastFlushUnixMs:  m.lastFlush.Load(),
@@ -128,6 +188,12 @@ func (s Status) String() string {
 	out := fmt.Sprintf("%d entries warm-started from %s", s.WarmStartEntries, s.Path)
 	if s.SkippedRecords > 0 {
 		out += fmt.Sprintf(" (%d records skipped: %s)", s.SkippedRecords, s.SkipReason)
+	}
+	if s.DriftPath != "" {
+		out += fmt.Sprintf("; %d drift keys from %s", s.DriftKeys, s.DriftPath)
+		if s.DriftSkippedKeys > 0 {
+			out += fmt.Sprintf(" (%d keys skipped: %s)", s.DriftSkippedKeys, s.DriftSkipReason)
+		}
 	}
 	return out
 }

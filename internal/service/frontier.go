@@ -13,6 +13,7 @@ import (
 	"net/http"
 
 	"perfprune/internal/core"
+	"perfprune/internal/drift"
 	"perfprune/internal/nets"
 	"perfprune/internal/obs"
 	"perfprune/internal/pareto"
@@ -111,6 +112,18 @@ func (s *Server) serveSingleFrontier(w http.ResponseWriter, r *http.Request, req
 		if p, ok := f.AccuracyBudget(*req.MaxAccuracyDrop); ok {
 			fp := frontierPoint(p)
 			resp.AccuracyBudget = &fp
+			// The accuracy-budget answer is a servable plan, so the key
+			// joins the drift watch with a frontier re-plan recipe.
+			s.trackPlan(req.Backend, dev.Name, n, np, groups,
+				drift.PlanParams{Mode: drift.ModeFrontier, MaxAccuracyDrop: *req.MaxAccuracyDrop},
+				core.PlanResult{
+					Plan:         p.Plan,
+					LatencyMs:    p.LatencyMs,
+					BaselineMs:   f.BaselineMs,
+					Speedup:      p.Speedup,
+					Accuracy:     p.Accuracy,
+					AccuracyDrop: p.AccuracyDrop,
+				})
 		}
 	}
 	resp.Trace = finishTrace(ctx, root)

@@ -11,6 +11,7 @@ import (
 	"perfprune/internal/conv"
 	"perfprune/internal/core"
 	"perfprune/internal/device"
+	"perfprune/internal/drift"
 	"perfprune/internal/nets"
 	"perfprune/internal/obs"
 	"perfprune/internal/probe"
@@ -142,9 +143,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Plan:      s.reqPlan.Load(),
 			Frontier:  s.reqFrontier.Load(),
 			Stats:     s.reqStats.Load(),
+			Telemetry: s.reqTelemetry.Load(),
+			Plans:     s.reqPlans.Load(),
 		},
 		Probe:   s.probeTotals(),
 		Workers: s.workers,
+		Drift:   s.drift.Stats(),
 	})
 }
 
@@ -542,6 +546,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	s.trackPlan(req.Backend, dev.Name, n, np, groups,
+		drift.PlanParams{Mode: drift.ModeGreedy, TargetSpeedup: targetSpeedup, MaxAccuracyDrop: maxAccuracyDrop},
+		aware)
 	resp := PlanResponse{
 		Backend:          req.Backend,
 		Device:           dev.Name,

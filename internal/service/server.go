@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"perfprune/internal/backend"
+	"perfprune/internal/drift"
 	"perfprune/internal/gemm"
 	"perfprune/internal/obs"
 	"perfprune/internal/profiler"
@@ -70,6 +71,10 @@ const (
 	maxFrontierPoints     = 512
 	// maxFleetTargets bounds one fleet request's profiling fan-out.
 	maxFleetTargets = 8
+	// maxTelemetryPoints bounds one /v1/telemetry batch; no layer is
+	// wider than 2048 channels, so one batch can re-measure the widest
+	// layer twice over.
+	maxTelemetryPoints = 4096
 )
 
 // Config configures a Server.
@@ -120,6 +125,12 @@ type Server struct {
 	reqPlan      atomic.Uint64
 	reqFrontier  atomic.Uint64
 	reqStats     atomic.Uint64
+	reqTelemetry atomic.Uint64
+	reqPlans     atomic.Uint64
+
+	// drift closes the loop: plan requests register their key here,
+	// /v1/telemetry feeds it, and it repairs + re-plans on drift.
+	drift *drift.Monitor
 
 	// Probe-mode totals, served on /v1/stats next to the cache
 	// counters: probeProbes + probeAvoided == probeGrid always.
@@ -191,6 +202,7 @@ func New(cfg Config) (*Server, error) {
 		log:     cfg.AccessLog,
 		start:   time.Now(),
 		info:    buildInfo(),
+		drift:   drift.New(drift.Policy{}),
 	}
 	s.registerMetrics()
 	s.mux = http.NewServeMux()
@@ -202,6 +214,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/staircase", s.handleStaircase)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/frontier", s.handleFrontier)
+	s.mux.HandleFunc("POST /v1/telemetry", s.handleTelemetry)
+	s.mux.HandleFunc("GET /v1/plans", s.handlePlanKeys)
+	s.mux.HandleFunc("GET /v1/plans/{network}/{target}", s.handlePlanVersions)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.handler = s.middleware(s.mux)
 	return s, nil
@@ -256,6 +271,40 @@ func (s *Server) registerMetrics() {
 		func() float64 { return float64(gemm.PoolStats().Busy) })
 	s.reg.GaugeFunc("perfpruned_gemm_pool_queue", "gemm row bands queued",
 		func() float64 { return float64(gemm.PoolStats().Queued) })
+
+	// Build identity as the Prometheus info idiom: a constant-1 gauge
+	// whose labels carry the values, joinable onto any other series.
+	s.reg.Gauge("perfpruned_build_info", "build identity of the serving binary (constant 1)",
+		obs.L("go_version", s.info.GoVersion), obs.L("vcs_revision", s.info.VCSRevision)).Set(1)
+
+	// Closed-loop telemetry: bridged from the drift monitor's atomic
+	// counters, so scrapes never wait on a repair in flight.
+	s.reg.CounterFunc("perfpruned_telemetry_batches_total", "fleet telemetry batches accepted",
+		func() float64 { return float64(s.drift.Stats().TelemetryBatches) })
+	s.reg.CounterFunc("perfpruned_telemetry_points_total", "fleet telemetry points accepted",
+		func() float64 { return float64(s.drift.Stats().TelemetryPoints) })
+	s.reg.CounterFunc("perfpruned_telemetry_rejected_total", "telemetry batches rejected by validation",
+		func() float64 { return float64(s.drift.Stats().RejectedBatches) })
+	s.reg.GaugeFunc("perfpruned_drift_tracked_keys", "(backend, device, network) keys under drift watch",
+		func() float64 { return float64(s.drift.Stats().TrackedKeys) })
+	s.reg.GaugeFunc("perfpruned_drift_stairs", "tracked stairs by drift state",
+		func() float64 { return float64(s.drift.Stats().StairsHealthy) }, obs.L("state", "healthy"))
+	s.reg.GaugeFunc("perfpruned_drift_stairs", "tracked stairs by drift state",
+		func() float64 { return float64(s.drift.Stats().StairsDrifted) }, obs.L("state", "drifted"))
+	s.reg.GaugeFunc("perfpruned_drift_stairs", "tracked stairs by drift state",
+		func() float64 { return float64(s.drift.Stats().StairsUnknown) }, obs.L("state", "unknown"))
+	s.reg.CounterFunc("perfpruned_repairs_total", "layer staircases repaired after drift",
+		func() float64 { return float64(s.drift.Stats().Repairs) })
+	s.reg.CounterFunc("perfpruned_repair_probes_total", "overlay measurements issued by repairs",
+		func() float64 { return float64(s.drift.Stats().RepairProbes) })
+	s.reg.CounterFunc("perfpruned_repair_grid_points_total", "grid points full re-sweeps would have measured",
+		func() float64 { return float64(s.drift.Stats().RepairGridPoints) })
+	s.reg.CounterFunc("perfpruned_repair_fallbacks_total", "repairs that fell back to exhaustive measurement",
+		func() float64 { return float64(s.drift.Stats().RepairFallbacks) })
+	s.reg.CounterFunc("perfpruned_replans_total", "re-planning passes after repair",
+		func() float64 { return float64(s.drift.Stats().Replans) })
+	s.reg.CounterFunc("perfpruned_plan_versions_total", "plan versions published (initial and repair-triggered)",
+		func() float64 { return float64(s.drift.Stats().PlanVersions) })
 }
 
 // handleMetrics serves GET /metrics in Prometheus text format.
@@ -280,6 +329,11 @@ func (s *Server) CacheStats() backend.Stats { return s.cache.Stats() }
 // cache's own methods are concurrency-safe; the service stays ignorant
 // of how — or whether — it is persisted.
 func (s *Server) Cache() *backend.Cache { return s.cache }
+
+// Drift exposes the drift monitor so a daemon can persist the closed
+// loop's state (tracked keys, repaired curves, telemetry evidence,
+// plan-version history) the same way it persists the cache.
+func (s *Server) Drift() *drift.Monitor { return s.drift }
 
 // SetStoreStats installs the provider for the /v1/stats store section.
 // The daemon wires its profile-store manager here; servers without a

@@ -1,0 +1,137 @@
+package service
+
+// POST /v1/telemetry and GET /v1/plans: the closed-loop half of the
+// daemon. A plan request registers its key with the drift monitor;
+// fleet telemetry for that key lands here, where the monitor compares
+// it against the stored staircase, repairs drifted stairs
+// incrementally, re-plans, and publishes a new plan version — all
+// before the telemetry response returns, while concurrent plan-version
+// reads keep serving the previous version lock-free.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"perfprune/internal/core"
+	"perfprune/internal/drift"
+	"perfprune/internal/nets"
+)
+
+// trackPlan registers a freshly served plan with the drift monitor so
+// later fleet telemetry has a staircase to compare against and a
+// re-planning recipe to replay. Best-effort by design: a duplicate key
+// or a full monitor is bookkeeping, never a request error.
+func (s *Server) trackPlan(backendKey, deviceName string, n nets.Network, np *core.NetworkProfile,
+	groups []nets.Group, params drift.PlanParams, eval core.PlanResult) {
+	s.drift.Track(drift.Key{Backend: backendKey, Device: deviceName, Network: n.Name}, np, groups, params, eval)
+}
+
+// handleTelemetry serves POST /v1/telemetry: one batch of fleet
+// measurements for a tracked key. Malformed batches are 400s, batches
+// for a key no plan was built for are 422s ("plan it first"), and a
+// batch that pushes a stair over the drift tolerance triggers the
+// repair → re-plan → publish pipeline synchronously — the response
+// then carries the repair audit and the new plan version.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	s.reqTelemetry.Add(1)
+	var req TelemetryRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, badRequest("telemetry batch has no points"))
+		return
+	}
+	if len(req.Points) > maxTelemetryPoints {
+		writeError(w, badRequest("%d telemetry points exceed the per-batch limit of %d",
+			len(req.Points), maxTelemetryPoints))
+		return
+	}
+	_, dev, err := s.resolveTarget(req.Backend, req.Device)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	n, err := nets.ByName(req.Network)
+	if err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	samples := make([]drift.Sample, len(req.Points))
+	for i, p := range req.Points {
+		samples[i] = drift.Sample{Layer: p.Layer, Channels: p.Channels, Ms: p.Ms}
+	}
+
+	ctx, root := startRequestTrace(r.Context(), req.Trace, "/v1/telemetry")
+	res, err := s.drift.Ingest(ctx, drift.Key{Backend: req.Backend, Device: dev.Name, Network: n.Name}, samples)
+	if err != nil {
+		switch {
+		case errors.Is(err, drift.ErrUntracked):
+			writeError(w, unprocessable(err))
+		case errors.Is(err, drift.ErrBadSample):
+			writeError(w, badRequest("%v", err))
+		default:
+			writeError(w, err)
+		}
+		return
+	}
+	resp := TelemetryResponse{
+		Accepted:       res.Accepted,
+		Layers:         res.Layers,
+		RepairedLayers: res.RepairedLayers,
+		Repair:         res.Repair,
+		NewVersion:     res.NewVersion,
+	}
+	resp.Trace = finishTrace(ctx, root)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePlanKeys serves GET /v1/plans: every tracked key with its
+// version count, sorted by key.
+func (s *Server) handlePlanKeys(w http.ResponseWriter, r *http.Request) {
+	s.reqPlans.Add(1)
+	resp := PlanKeysResponse{Keys: []PlanKeyInfo{}}
+	for _, key := range s.drift.Keys() {
+		info := PlanKeyInfo{Backend: key.Backend, Device: key.Device, Network: key.Network}
+		if params, ok := s.drift.Params(key); ok {
+			info.Mode = string(params.Mode)
+		}
+		if vs, ok := s.drift.Versions(key); ok && len(vs) > 0 {
+			info.Versions = len(vs)
+			info.LatestVersion = vs[len(vs)-1].Version
+		}
+		resp.Keys = append(resp.Keys, info)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePlanVersions serves GET /v1/plans/{network}/{target} with
+// target spelled "backend@device" (URL-escaped; device names contain
+// spaces). The read is lock-free with respect to ingestion: a repair
+// in flight on the key never delays serving the current history.
+func (s *Server) handlePlanVersions(w http.ResponseWriter, r *http.Request) {
+	s.reqPlans.Add(1)
+	backendKey, deviceName, ok := strings.Cut(r.PathValue("target"), "@")
+	if !ok || backendKey == "" || deviceName == "" {
+		writeError(w, badRequest("plan target must be backend@device, e.g. acl-gemm@HiKey%%20970"))
+		return
+	}
+	key := drift.Key{Backend: backendKey, Device: deviceName, Network: r.PathValue("network")}
+	vs, tracked := s.drift.Versions(key)
+	if !tracked {
+		writeError(w, &apiError{status: http.StatusNotFound,
+			err: fmt.Errorf("no plan history for %s (plan it first)", key)})
+		return
+	}
+	params, _ := s.drift.Params(key)
+	writeJSON(w, http.StatusOK, PlanVersionsResponse{
+		Backend:  key.Backend,
+		Device:   key.Device,
+		Network:  key.Network,
+		Mode:     string(params.Mode),
+		Versions: vs,
+	})
+}

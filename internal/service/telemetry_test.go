@@ -1,0 +1,462 @@
+package service_test
+
+// End-to-end tests of the closed loop over httptest: POST /v1/plan
+// registers the key, POST /v1/telemetry feeds it, sustained drift
+// triggers an incremental repair and a new plan version served on
+// GET /v1/plans — with the version-history diff pinned by a golden
+// file (the drift pipeline carries no wall-clock fields, so the
+// history is a pure function of the telemetry stream).
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/core"
+	"perfprune/internal/device"
+	"perfprune/internal/nets"
+	"perfprune/internal/obs"
+	"perfprune/internal/service"
+	"perfprune/internal/staircase"
+)
+
+// alexProfile profiles AlexNet on acl-gemm/HiKey 970 locally — the
+// simulators are deterministic, so these curves are bit-identical to
+// what the server profiles for the same plan request.
+func alexProfile(t *testing.T) *core.NetworkProfile {
+	t.Helper()
+	lib, err := backend.Lookup("acl-gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := device.ByName("HiKey 970")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := nets.ByName("AlexNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := core.ProfileNetwork(core.Target{Device: dev, Library: lib}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return np
+}
+
+// interiorStair picks a strictly interior stair of the layer at least
+// minWidth wide, so a repair interval is a proper sub-range.
+func interiorStair(t *testing.T, np *core.NetworkProfile, label string, minWidth int) staircase.Stair {
+	t.Helper()
+	an := np.Profiles[label].Analysis
+	for i, s := range an.Stairs {
+		if i == 0 || i == len(an.Stairs)-1 || s.Width() < minWidth {
+			continue
+		}
+		return s
+	}
+	t.Fatalf("%s has no interior stair of width >= %d", label, minWidth)
+	return staircase.Stair{}
+}
+
+// telemetryBody marshals one telemetry batch for AlexNet on
+// acl-gemm/HiKey 970.
+func telemetryBody(t *testing.T, points []service.TelemetryPoint, trace bool) string {
+	t.Helper()
+	b, err := json.Marshal(service.TelemetryRequest{
+		Backend: "acl-gemm", Device: "HiKey 970", Network: "AlexNet",
+		Points: points, Trace: trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// driftPoints reports every channel of the stair at factor times the
+// stored curve, rounds times over — sustained drift, not a spike.
+func driftPoints(np *core.NetworkProfile, label string, s staircase.Stair, factor float64, rounds int) []service.TelemetryPoint {
+	curve := np.Profiles[label].Curve
+	var out []service.TelemetryPoint
+	for r := 0; r < rounds; r++ {
+		for c := s.LoC; c <= s.HiC; c++ {
+			out = append(out, service.TelemetryPoint{Layer: label, Channels: c, Ms: factor * curve[c-1].Ms})
+		}
+	}
+	return out
+}
+
+// planAlexNet issues the plan request that registers the telemetry key.
+func planAlexNet(t *testing.T, ts string) {
+	t.Helper()
+	status, raw := do(t, http.MethodPost, ts+"/v1/plan",
+		`{"backend": "acl-gemm", "device": "HiKey 970", "network": "AlexNet"}`)
+	if status != http.StatusOK {
+		t.Fatalf("plan status = %d, body: %s", status, raw)
+	}
+}
+
+const alexTarget = "acl-gemm@HiKey 970"
+
+func plansURL(ts string) string {
+	return ts + "/v1/plans/AlexNet/" + url.PathEscape(alexTarget)
+}
+
+func TestTelemetryValidation(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	point := `{"layer": "AlexNet.L6", "channels": 5, "ms": 1.0}`
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"no points", `{"backend": "acl-gemm", "device": "HiKey 970", "network": "AlexNet", "points": []}`, 400},
+		{"unknown backend", `{"backend": "nope", "device": "HiKey 970", "network": "AlexNet", "points": [` + point + `]}`, 400},
+		{"unknown device", `{"backend": "acl-gemm", "device": "nope", "network": "AlexNet", "points": [` + point + `]}`, 400},
+		{"unknown network", `{"backend": "acl-gemm", "device": "HiKey 970", "network": "nope", "points": [` + point + `]}`, 400},
+		{"unknown field", `{"backend": "acl-gemm", "device": "HiKey 970", "network": "AlexNet", "pts": [` + point + `]}`, 400},
+		{"untracked key", `{"backend": "acl-gemm", "device": "HiKey 970", "network": "AlexNet", "points": [` + point + `]}`, 422},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, raw := do(t, http.MethodPost, ts.URL+"/v1/telemetry", tc.body)
+			if status != tc.status {
+				t.Errorf("status = %d, want %d (body: %s)", status, tc.status, raw)
+			}
+		})
+	}
+
+	// Once the key is planned, malformed points are 400s and the batch
+	// is rejected atomically.
+	planAlexNet(t, ts.URL)
+	for _, bad := range []string{
+		`{"layer": "AlexNet.L99", "channels": 1, "ms": 1}`,
+		`{"layer": "AlexNet.L6", "channels": 0, "ms": 1}`,
+		`{"layer": "AlexNet.L6", "channels": 385, "ms": 1}`,
+		`{"layer": "AlexNet.L6", "channels": 5, "ms": 0}`,
+	} {
+		body := `{"backend": "acl-gemm", "device": "HiKey 970", "network": "AlexNet", "points": [` + bad + `]}`
+		if status, raw := do(t, http.MethodPost, ts.URL+"/v1/telemetry", body); status != 400 {
+			t.Errorf("point %s: status = %d, want 400 (body: %s)", bad, status, raw)
+		}
+	}
+
+	// An unknown plan history is a 404; a malformed target is a 400.
+	if status, _ := do(t, http.MethodGet, ts.URL+"/v1/plans/AlexNet/"+url.PathEscape("tvm@HiKey 970"), ""); status != 404 {
+		t.Errorf("untracked plan history status = %d, want 404", status)
+	}
+	if status, _ := do(t, http.MethodGet, ts.URL+"/v1/plans/AlexNet/no-separator", ""); status != 400 {
+		t.Errorf("malformed plan target status = %d, want 400", status)
+	}
+}
+
+// TestClosedLoopDriftRepairE2E is the issue's acceptance path over
+// HTTP: plan a key, feed healthy telemetry (no repair), feed sustained
+// drift on one stair, and assert the repair was incremental (probes ≪
+// grid, books balanced in /v1/stats), the new plan version's diff
+// names the repaired layer, and /v1/plans serves the grown history.
+func TestClosedLoopDriftRepairE2E(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	np := alexProfile(t)
+	const label = "AlexNet.L6"
+	stair := interiorStair(t, np, label, 3)
+	full := np.Profiles[label].Layer.Spec.OutC
+
+	planAlexNet(t, ts.URL)
+
+	// The key shows up on the plans listing with its initial version.
+	status, raw := do(t, http.MethodGet, ts.URL+"/v1/plans", "")
+	if status != http.StatusOK {
+		t.Fatalf("plans listing status = %d", status)
+	}
+	var keys service.PlanKeysResponse
+	if err := json.Unmarshal(raw, &keys); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys.Keys) != 1 || keys.Keys[0].LatestVersion != 1 || keys.Keys[0].Mode != "greedy" {
+		t.Fatalf("plans listing after one plan: %+v", keys.Keys)
+	}
+
+	// Healthy telemetry on another layer: stairs classify, nothing
+	// repairs. (Kept off the to-be-drifted stair so its telemetry cells
+	// see only the constant drifted sequence — the repaired curve is
+	// then exactly 1.5x the stored one, which the post-repair batch
+	// below relies on.)
+	healthyStair := interiorStair(t, np, "AlexNet.L3", 3)
+	status, raw = do(t, http.MethodPost, ts.URL+"/v1/telemetry",
+		telemetryBody(t, driftPoints(np, "AlexNet.L3", healthyStair, 1.0, 3), false))
+	if status != http.StatusOK {
+		t.Fatalf("healthy telemetry status = %d, body: %s", status, raw)
+	}
+	var healthy service.TelemetryResponse
+	if err := json.Unmarshal(raw, &healthy); err != nil {
+		t.Fatal(err)
+	}
+	if healthy.RepairedLayers != nil || healthy.NewVersion != nil {
+		t.Fatalf("healthy telemetry triggered a repair: %+v", healthy)
+	}
+
+	// Sustained drift: +50% on one stair, three rounds, traced.
+	status, raw = do(t, http.MethodPost, ts.URL+"/v1/telemetry",
+		telemetryBody(t, driftPoints(np, label, stair, 1.5, 3), true))
+	if status != http.StatusOK {
+		t.Fatalf("drift telemetry status = %d, body: %s", status, raw)
+	}
+	var drifted service.TelemetryResponse
+	if err := json.Unmarshal(raw, &drifted); err != nil {
+		t.Fatal(err)
+	}
+	if len(drifted.RepairedLayers) != 1 || drifted.RepairedLayers[0] != label {
+		t.Fatalf("repaired layers = %v, want [%s]", drifted.RepairedLayers, label)
+	}
+	if drifted.Repair == nil {
+		t.Fatal("no repair audit in the response")
+	}
+	if drifted.Repair.Probes+drifted.Repair.PointsAvoided != drifted.Repair.GridPoints {
+		t.Errorf("repair books do not balance: %+v", drifted.Repair)
+	}
+	if drifted.Repair.GridPoints != full {
+		t.Errorf("repair grid = %d, want the layer width %d", drifted.Repair.GridPoints, full)
+	}
+	if drifted.Repair.Probes >= full/2 {
+		t.Errorf("repair probed %d of %d points — not incremental", drifted.Repair.Probes, full)
+	}
+	if drifted.NewVersion == nil || drifted.NewVersion.Version != 2 || drifted.NewVersion.Trigger != "drift_repair" {
+		t.Fatalf("new version = %+v", drifted.NewVersion)
+	}
+	d := drifted.NewVersion.Diff
+	if d == nil || len(d.RepairedLayers) != 1 || d.RepairedLayers[0] != label {
+		t.Fatalf("version diff must name the repaired layer: %+v", d)
+	}
+	// The traced batch exposes the repair and replan stages as spans.
+	if drifted.Trace == nil {
+		t.Fatal("traced telemetry batch returned no trace")
+	}
+	var names []string
+	var walk func(sp obs.SpanSnapshot)
+	walk = func(sp obs.SpanSnapshot) {
+		names = append(names, sp.Name)
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	walk(drifted.Trace.Root)
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"/v1/telemetry", "repair", "repair " + label, "replan"} {
+		found := false
+		for _, name := range names {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("trace is missing span %q (have: %s)", want, joined)
+		}
+	}
+
+	// The repaired staircase is now authoritative: telemetry matching
+	// the drifted curve classifies as healthy, not as new drift.
+	status, raw = do(t, http.MethodPost, ts.URL+"/v1/telemetry",
+		telemetryBody(t, driftPoints(np, label, stair, 1.5, 3), false))
+	if status != http.StatusOK {
+		t.Fatalf("post-repair telemetry status = %d, body: %s", status, raw)
+	}
+	var after service.TelemetryResponse
+	if err := json.Unmarshal(raw, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.RepairedLayers != nil {
+		t.Fatalf("telemetry matching the repaired curve re-triggered repair: %+v", after)
+	}
+	for _, l := range after.Layers {
+		if l.Layer == label && l.Drifted != 0 {
+			t.Errorf("repaired stair still drifted: %+v", l)
+		}
+	}
+
+	// GET /v1/plans/{network}/{target} serves the grown history.
+	status, raw = do(t, http.MethodGet, plansURL(ts.URL), "")
+	if status != http.StatusOK {
+		t.Fatalf("plan history status = %d, body: %s", status, raw)
+	}
+	var hist service.PlanVersionsResponse
+	if err := json.Unmarshal(raw, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Versions) != 2 || hist.Versions[0].Version != 1 || hist.Versions[1].Version != 2 {
+		t.Fatalf("plan history = %+v", hist.Versions)
+	}
+
+	// /v1/stats carries the balanced drift books.
+	status, raw = do(t, http.MethodGet, ts.URL+"/v1/stats", "")
+	if status != http.StatusOK {
+		t.Fatalf("stats status = %d", status)
+	}
+	var stats service.StatsResponse
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	ds := stats.Drift
+	if ds.TrackedKeys != 1 || ds.Repairs != 1 || ds.Replans != 1 || ds.PlanVersions != 2 {
+		t.Errorf("drift stats = %+v", ds)
+	}
+	if ds.RepairProbes+ds.RepairPointsAvoided != ds.RepairGridPoints {
+		t.Errorf("drift books do not balance in /v1/stats: %+v", ds)
+	}
+
+	// /metrics carries the repair counters, the stair-state gauges, and
+	// the build-info idiom.
+	status, raw = do(t, http.MethodGet, ts.URL+"/metrics", "")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status = %d", status)
+	}
+	scrape := string(raw)
+	for _, want := range []string{
+		"perfpruned_repairs_total 1",
+		"perfpruned_replans_total 1",
+		"perfpruned_drift_tracked_keys 1",
+		`perfpruned_drift_stairs{state="drifted"}`,
+		`perfpruned_build_info{go_version="`,
+		"perfpruned_telemetry_points_total",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("metrics scrape is missing %q", want)
+		}
+	}
+}
+
+// TestPlanVersionDiffGolden pins the full GET /v1/plans history after
+// one deterministic drift-repair cycle. Plan versions carry no
+// timestamps, so the body is a pure function of the telemetry stream
+// and golden-comparable byte for byte.
+func TestPlanVersionDiffGolden(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	np := alexProfile(t)
+	const label = "AlexNet.L6"
+
+	// Drift the stair holding the initial plan's kept channel, so the
+	// repair moves the plan and the diff carries real unit changes.
+	pl, err := core.NewPlanner(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := pl.PerformanceAware(1.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := np.Profiles[label].Analysis
+	si := an.StairIndex(initial.Plan[label])
+	if si < 0 {
+		t.Fatalf("no stair holds the plan's keep %d", initial.Plan[label])
+	}
+	stair := an.Stairs[si]
+
+	planAlexNet(t, ts.URL)
+	status, raw := do(t, http.MethodPost, ts.URL+"/v1/telemetry",
+		telemetryBody(t, driftPoints(np, label, stair, 1.5, 3), false))
+	if status != http.StatusOK {
+		t.Fatalf("drift telemetry status = %d, body: %s", status, raw)
+	}
+
+	status, raw = do(t, http.MethodGet, plansURL(ts.URL), "")
+	if status != http.StatusOK {
+		t.Fatalf("plan history status = %d, body: %s", status, raw)
+	}
+	assertGolden(t, "plans_alexnet_drift.golden.json", raw)
+}
+
+// TestConcurrentTelemetryRepairAndPlanReads is the HTTP-level -race
+// gate: concurrent telemetry (some of it drifting, triggering repairs)
+// against plan-version reads and plan requests on the same key. Reads
+// must always see a contiguous history and never an error.
+func TestConcurrentTelemetryRepairAndPlanReads(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	np := alexProfile(t)
+	const label = "AlexNet.L6"
+	stair := interiorStair(t, np, label, 3)
+
+	planAlexNet(t, ts.URL)
+
+	const (
+		writers = 4
+		readers = 4
+		rounds  = 10
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds; r++ {
+				var body string
+				if w%2 == 0 {
+					factor := 1.3 + 0.05*float64(r%3)
+					body = telemetryBody(t, driftPoints(np, label, stair, factor, 1), false)
+				} else {
+					body = telemetryBody(t, driftPoints(np, "AlexNet.L3",
+						staircase.Stair{LoC: 1, HiC: 8}, 1.0, 1), false)
+				}
+				if status, raw := do(t, http.MethodPost, ts.URL+"/v1/telemetry", body); status != http.StatusOK {
+					t.Errorf("telemetry status = %d, body: %s", status, raw)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds*2; r++ {
+				status, raw := do(t, http.MethodGet, plansURL(ts.URL), "")
+				if status != http.StatusOK {
+					t.Errorf("plan history read status = %d", status)
+					return
+				}
+				var hist service.PlanVersionsResponse
+				if err := json.Unmarshal(raw, &hist); err != nil {
+					t.Errorf("plan history read: %v", err)
+					return
+				}
+				for j := 1; j < len(hist.Versions); j++ {
+					if hist.Versions[j].Version != hist.Versions[j-1].Version+1 {
+						t.Errorf("non-contiguous history: %d then %d",
+							hist.Versions[j-1].Version, hist.Versions[j].Version)
+						return
+					}
+				}
+				// Plan requests on the same key keep serving (Track on a
+				// known key is a no-op, never an error).
+				if r%5 == 0 {
+					planAlexNet(t, ts.URL)
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	status, raw := do(t, http.MethodGet, ts.URL+"/v1/stats", "")
+	if status != http.StatusOK {
+		t.Fatalf("stats status = %d", status)
+	}
+	var stats service.StatsResponse
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	ds := stats.Drift
+	if ds.RepairProbes+ds.RepairPointsAvoided != ds.RepairGridPoints {
+		t.Errorf("drift books do not balance after the stress run: %+v", ds)
+	}
+	if ds.TelemetryPoints == 0 {
+		t.Error("stress run recorded no telemetry")
+	}
+}

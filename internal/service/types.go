@@ -6,7 +6,10 @@ package service
 // keys under encoding/json, and slices follow network layer order — so
 // whole responses are golden-testable byte for byte.
 
-import "perfprune/internal/obs"
+import (
+	"perfprune/internal/drift"
+	"perfprune/internal/obs"
+)
 
 // BackendInfo describes one registered (and allowed) backend.
 type BackendInfo struct {
@@ -350,6 +353,8 @@ type RequestStats struct {
 	Plan      uint64 `json:"plan"`
 	Frontier  uint64 `json:"frontier"`
 	Stats     uint64 `json:"stats"`
+	Telemetry uint64 `json:"telemetry"`
+	Plans     uint64 `json:"plans"`
 }
 
 // ProbeTotals aggregates every probe-mode request the process served:
@@ -383,6 +388,13 @@ type StoreStats struct {
 	// first skip's cause.
 	SkippedRecords int    `json:"skipped_records"`
 	SkipReason     string `json:"skip_reason,omitempty"`
+	// DriftPath and friends report the closed-loop state file when the
+	// daemon persists one beside the cache: how many tracked keys the
+	// boot restored and how many it could not.
+	DriftPath        string `json:"drift_path,omitempty"`
+	DriftKeys        int    `json:"drift_keys,omitempty"`
+	DriftSkippedKeys int    `json:"drift_skipped_keys,omitempty"`
+	DriftSkipReason  string `json:"drift_skip_reason,omitempty"`
 	// Flushes and FlushErrors count snapshot writes since boot.
 	Flushes     uint64 `json:"flushes"`
 	FlushErrors uint64 `json:"flush_errors"`
@@ -410,8 +422,76 @@ type StatsResponse struct {
 	Probe    ProbeTotals  `json:"probe"`
 	Workers  int          `json:"workers"`
 	Info     InfoStats    `json:"info"`
+	// Drift is the closed-loop census: tracked keys, telemetry volume,
+	// stair states, and the repair bill. Its books always balance:
+	// repair_probes + repair_points_avoided == repair_grid_points.
+	Drift drift.Stats `json:"drift"`
 	// Store is present only when the daemon persists its cache.
 	Store *StoreStats `json:"store,omitempty"`
+}
+
+// TelemetryRequest is a POST /v1/telemetry batch: fleet latency
+// measurements for a (backend, device, network) key the daemon has
+// planned for. Validation is strict and atomic — one malformed point
+// rejects the whole batch before anything is recorded.
+type TelemetryRequest struct {
+	Backend string `json:"backend"`
+	Device  string `json:"device"`
+	Network string `json:"network"`
+	// Points are the measurements; at most maxTelemetryPoints per batch.
+	Points []TelemetryPoint `json:"points"`
+	// Trace asks for a span tree of what the batch triggered — repair
+	// and re-plan stages show up as child spans when drift fires.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// TelemetryPoint is one fleet measurement: the named layer ran at
+// Channels kept channels in Ms milliseconds.
+type TelemetryPoint struct {
+	Layer    string  `json:"layer"`
+	Channels int     `json:"channels"`
+	Ms       float64 `json:"ms"`
+}
+
+// TelemetryResponse reports what a telemetry batch did: the stair
+// census of every touched layer, and — when the batch pushed a stair
+// over the drift tolerance — the repair audit and the freshly
+// published plan version.
+type TelemetryResponse struct {
+	Accepted       int                  `json:"accepted"`
+	Layers         []drift.LayerSummary `json:"layers,omitempty"`
+	RepairedLayers []string             `json:"repaired_layers,omitempty"`
+	Repair         *drift.RepairStats   `json:"repair,omitempty"`
+	NewVersion     *drift.PlanVersion   `json:"new_version,omitempty"`
+	Trace          *TraceEcho           `json:"trace,omitempty"`
+}
+
+// PlanKeyInfo summarizes one tracked key for GET /v1/plans.
+type PlanKeyInfo struct {
+	Backend       string `json:"backend"`
+	Device        string `json:"device"`
+	Network       string `json:"network"`
+	Mode          string `json:"mode"`
+	Versions      int    `json:"versions"`
+	LatestVersion int    `json:"latest_version"`
+}
+
+// PlanKeysResponse is the GET /v1/plans payload: every key with a
+// plan-version history, sorted.
+type PlanKeysResponse struct {
+	Keys []PlanKeyInfo `json:"keys"`
+}
+
+// PlanVersionsResponse is the GET /v1/plans/{network}/{target} payload
+// (target is "backend@device", URL-escaped): the key's plan-version
+// history oldest first, each non-initial version carrying a structural
+// diff against its predecessor.
+type PlanVersionsResponse struct {
+	Backend  string              `json:"backend"`
+	Device   string              `json:"device"`
+	Network  string              `json:"network"`
+	Mode     string              `json:"mode"`
+	Versions []drift.PlanVersion `json:"versions"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

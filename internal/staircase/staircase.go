@@ -39,6 +39,26 @@ type Analysis struct {
 	Edges []backend.Point
 }
 
+// StairIndex returns the index of the stair whose [LoC, HiC] range
+// contains the channel count c, or -1 when c falls outside every stair.
+// Stairs are sorted and non-overlapping, so a binary search suffices;
+// drift detection uses this to attribute a telemetry point to a stair.
+func (a Analysis) StairIndex(c int) int {
+	lo, hi := 0, len(a.Stairs)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch s := a.Stairs[mid]; {
+		case c < s.LoC:
+			hi = mid - 1
+		case c > s.HiC:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
 // PlateauTol is the relative latency tolerance for merging points into
 // one plateau; simulator output is exact, but a hardware port needs
 // noise absorption, so the analysis is tolerance-based throughout.

@@ -294,3 +294,28 @@ func TestStairsPartitionProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStairIndex(t *testing.T) {
+	a, err := Analyze(stepCurve(1, 128, 32, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 1; c <= 128; c++ {
+		i := a.StairIndex(c)
+		if i < 0 {
+			t.Fatalf("StairIndex(%d) = -1 inside the curve", c)
+		}
+		if s := a.Stairs[i]; c < s.LoC || c > s.HiC {
+			t.Fatalf("StairIndex(%d) = %d, but stair spans [%d, %d]", c, i, s.LoC, s.HiC)
+		}
+	}
+	if i := a.StairIndex(0); i != -1 {
+		t.Errorf("StairIndex(0) = %d, want -1", i)
+	}
+	if i := a.StairIndex(129); i != -1 {
+		t.Errorf("StairIndex(129) = %d, want -1", i)
+	}
+	if i := (Analysis{}).StairIndex(5); i != -1 {
+		t.Errorf("empty analysis StairIndex = %d, want -1", i)
+	}
+}
