@@ -77,11 +77,24 @@ type scenarioResult struct {
 	GridPoints     int      `json:"grid_points,omitempty"`
 }
 
-// Report is the whole run: every scenario verdict plus the daemon's
-// final plan-version history for the driven key.
+// Report is the whole run: every scenario verdict, the long-poll
+// subscriber's verdict, plus the daemon's final plan-version history
+// for the driven key.
 type Report struct {
-	Scenarios []scenarioResult  `json:"scenarios"`
-	History   []historicVersion `json:"history,omitempty"`
+	Scenarios  []scenarioResult  `json:"scenarios"`
+	Subscriber *subscriberResult `json:"subscriber,omitempty"`
+	History    []historicVersion `json:"history,omitempty"`
+}
+
+// subscriberResult scores the long-poll subscription raced against the
+// scenario drives: a waiter parked at wait_version=N before any drift
+// is posted must be woken by the first repair-published version > N,
+// not by its timeout.
+type subscriberResult struct {
+	WaitVersion int     `json:"wait_version"`
+	WokeVersion int     `json:"woke_version"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	Pass        bool    `json:"pass"`
 }
 
 // historicVersion is the slice of a plan version the report shows.
@@ -140,6 +153,9 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if rep.Subscriber != nil && !rep.Subscriber.Pass {
+		os.Exit(1)
+	}
 }
 
 // runScenarios registers the plan, assigns each scenario its own
@@ -169,6 +185,27 @@ func runScenarios(ctx context.Context, client *http.Client, cfg config) (Report,
 			cfg.network, len(layers), len(cfg.scenarios))
 	}
 
+	// Park a long-poll subscriber at the current head version before
+	// any drift is driven: the first repair publication must wake it.
+	baseHist, err := fetchHistory(ctx, client, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	baseVersion := 0
+	for _, v := range baseHist {
+		if v.Version > baseVersion {
+			baseVersion = v.Version
+		}
+	}
+	subCh := make(chan subscriberResult, 1)
+	go func() {
+		res, err := longPollVersions(ctx, cfg, baseVersion)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleetsim: long-poll subscriber: %v\n", err)
+		}
+		subCh <- res
+	}()
+
 	var rep Report
 	for i, name := range cfg.scenarios {
 		res, err := runScenario(ctx, client, cfg, name, layers[i])
@@ -177,11 +214,64 @@ func runScenarios(ctx context.Context, client *http.Client, cfg config) (Report,
 		}
 		rep.Scenarios = append(rep.Scenarios, res)
 	}
+
+	sub := <-subCh
+	anyRepair := false
+	for _, s := range rep.Scenarios {
+		if s.Repaired {
+			anyRepair = true
+		}
+	}
+	// With a repair on the wire the subscriber must have observed a
+	// strictly newer version; with none, waking at the base (via its
+	// server-side timeout) is the correct outcome.
+	sub.Pass = sub.WokeVersion > sub.WaitVersion || !anyRepair
+	rep.Subscriber = &sub
+
 	rep.History, err = fetchHistory(ctx, client, cfg)
 	if err != nil {
 		return Report{}, err
 	}
 	return rep, nil
+}
+
+// longPollVersions blocks on GET /v1/plans/{network}/{target} with
+// wait_version until the daemon publishes a newer version or the
+// server-side timeout fires, and reports the head version it woke to.
+func longPollVersions(ctx context.Context, cfg config, after int) (subscriberResult, error) {
+	res := subscriberResult{WaitVersion: after}
+	target := url.PathEscape(cfg.backendKey + "@" + cfg.deviceName)
+	u := fmt.Sprintf("%s/v1/plans/%s/%s?wait_version=%d&timeout_s=%g",
+		cfg.base, url.PathEscape(cfg.network), target, after, cfg.timeout.Seconds())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return res, err
+	}
+	// The poll is expected to hold the connection open up to timeout_s;
+	// give the client transport room beyond that.
+	waitClient := &http.Client{Timeout: cfg.timeout + 10*time.Second}
+	start := time.Now()
+	resp, err := waitClient.Do(req)
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	res.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	if resp.StatusCode != http.StatusOK {
+		return res, fmt.Errorf("long-poll: %s", resp.Status)
+	}
+	var hist struct {
+		Versions []historicVersion `json:"versions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
+		return res, err
+	}
+	for _, v := range hist.Versions {
+		if v.Version > res.WokeVersion {
+			res.WokeVersion = v.Version
+		}
+	}
+	return res, nil
 }
 
 // runScenario fetches the layer's staircase, generates the scenario's
@@ -478,6 +568,14 @@ func printReport(w io.Writer, rep Report) {
 		}
 		fmt.Fprintf(w, "%s %-9s %s: %d batches / %d points -> %s (wanted %s)\n",
 			verdict, s.Name, s.Layer, s.Batches, s.Points, action, want)
+	}
+	if s := rep.Subscriber; s != nil {
+		verdict := "PASS"
+		if !s.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "%s subscriber: parked at v%d, woke at v%d after %.0fms\n",
+			verdict, s.WaitVersion, s.WokeVersion, s.ElapsedMs)
 	}
 	if len(rep.History) > 0 {
 		fmt.Fprintf(w, "plan history: %d versions\n", len(rep.History))

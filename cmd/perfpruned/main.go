@@ -22,8 +22,18 @@
 //	POST /v1/plan       whole-network prune plan under an accuracy budget
 //	POST /v1/frontier   latency–accuracy Pareto frontier / fleet planning
 //	POST /v1/telemetry  fleet telemetry: drift detection, staircase repair, re-plan
-//	GET  /v1/plans      plan-version histories (and /v1/plans/{network}/{target})
+//	GET  /v1/plans      plan-version histories (and /v1/plans/{network}/{target},
+//	                    which long-polls with ?wait_version=N&timeout_s=T)
+//	GET  /v1/snapshot   the live cache as profile-store JSON lines (ETag/If-None-Match)
+//	GET  /v1/peers      cluster membership (PUT replaces the peer set)
+//	POST /v1/measure    owner-side measurement RPC for forwarded cold keys
 //	GET  /metrics       Prometheus text-format metrics
+//
+// With -peers the daemon joins a fleet: it gossip-pulls peer snapshots
+// on a jittered interval (warming its cache with their measurements)
+// and, with -cluster-owner, forwards cold measurements to the replica
+// that owns them on a consistent-hash ring, falling back to local
+// measurement when the owner is unreachable.
 //
 // With -debug-addr a net/http/pprof listener is mounted on a separate
 // address; requests are access-logged as JSON lines on stderr (disable
@@ -49,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"perfprune/internal/cluster"
 	"perfprune/internal/profilestore"
 	"perfprune/internal/service"
 
@@ -67,6 +78,15 @@ type options struct {
 	snapshotInterval time.Duration
 	debugAddr        string
 	quietAccess      bool
+
+	// Multi-replica mode (see internal/cluster): peers to gossip-pull
+	// from, the URL peers reach this replica at, the anti-entropy
+	// period, and whether cold measurements forward to their
+	// consistent-hash owner.
+	peers        string
+	advertise    string
+	pullInterval time.Duration
+	clusterOwner bool
 }
 
 func main() {
@@ -82,6 +102,14 @@ func main() {
 	flag.StringVar(&opt.debugAddr, "debug-addr", "",
 		"separate listen address for net/http/pprof (empty = pprof disabled); keep it off the public interface")
 	flag.BoolVar(&opt.quietAccess, "quiet-access", false, "suppress per-request access-log lines on stderr")
+	flag.StringVar(&opt.peers, "peers", "",
+		"comma-separated peer base URLs (e.g. http://10.0.0.2:7070) to gossip-pull snapshots from; empty = standalone")
+	flag.StringVar(&opt.advertise, "advertise", "",
+		"base URL peers reach this replica at (default http://<bound addr>); anchors this replica on the ownership ring")
+	flag.DurationVar(&opt.pullInterval, "pull-interval", 5*time.Second,
+		"anti-entropy period for peer snapshot pulls (jittered +/-20%)")
+	flag.BoolVar(&opt.clusterOwner, "cluster-owner", true,
+		"forward cold measurements to their consistent-hash owner instead of sweeping locally (with local fallback)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -175,6 +203,41 @@ func run(ctx context.Context, opt options, ready func(net.Addr)) error {
 	}
 	fmt.Printf("perfpruned: serving on %s (backends: %s)\n",
 		ln.Addr(), strings.Join(backendList(cfg), ", "))
+
+	// The cluster node exists whenever the replica could join a fleet —
+	// including a zero-peer boot, so PUT /v1/peers can attach peers at
+	// runtime. Created after the bind because the default advertised
+	// URL is the real bound address.
+	advertise := opt.advertise
+	if advertise == "" {
+		advertise = "http://" + ln.Addr().String()
+	}
+	var peers []string
+	for _, u := range strings.Split(opt.peers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			peers = append(peers, u)
+		}
+	}
+	node := cluster.New(cluster.Config{
+		Self:         advertise,
+		Peers:        peers,
+		PullInterval: opt.pullInterval,
+		Cache:        srv.Cache(),
+		Ownership:    opt.clusterOwner,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "perfpruned: "+format+"\n", args...)
+		},
+	})
+	srv.SetCluster(node)
+	if opt.clusterOwner {
+		node.InstallHook()
+	}
+	go node.Run(ctx)
+	if len(peers) > 0 {
+		fmt.Printf("perfpruned: cluster %s pulling %s every %s (ownership: %v)\n",
+			advertise, strings.Join(peers, ", "), opt.pullInterval, opt.clusterOwner)
+	}
+
 	if ready != nil {
 		ready(ln.Addr())
 	}

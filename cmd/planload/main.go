@@ -95,6 +95,15 @@ type ServerStats struct {
 	CacheHits     float64 `json:"cache_hits"`
 	CacheMisses   float64 `json:"cache_misses"`
 	CacheHitRate  float64 `json:"cache_hit_rate"`
+	// PlanViewServed counts plans answered entirely from the lock-free
+	// cache view — the path a warmed replica is expected to live on.
+	PlanViewServed float64 `json:"plan_view_served"`
+	// Cluster series: present when the scraped daemon exports them
+	// (every daemon does; they stay zero outside a multi-replica run).
+	ClusterPulls        float64 `json:"cluster_pulls,omitempty"`
+	ClusterImported     float64 `json:"cluster_entries_imported,omitempty"`
+	ClusterForwards     float64 `json:"cluster_forwards,omitempty"`
+	ClusterPeersHealthy float64 `json:"cluster_peers_healthy,omitempty"`
 }
 
 // Report is what one load run measured. Latency percentiles are over
@@ -475,9 +484,14 @@ func scrapeMetrics(url string, timeout time.Duration) (*ServerStats, error) {
 		return nil, err
 	}
 	s := &ServerStats{
-		RequestsTotal: families["perfpruned_requests_total"],
-		CacheHits:     families["perfpruned_cache_hits_total"],
-		CacheMisses:   families["perfpruned_cache_misses_total"],
+		RequestsTotal:       families["perfpruned_requests_total"],
+		CacheHits:           families["perfpruned_cache_hits_total"],
+		CacheMisses:         families["perfpruned_cache_misses_total"],
+		PlanViewServed:      families["perfpruned_plan_view_served_total"],
+		ClusterPulls:        families["perfpruned_cluster_snapshot_pulls_total"],
+		ClusterImported:     families["perfpruned_cluster_entries_imported_total"],
+		ClusterForwards:     families["perfpruned_cluster_forwards_total"],
+		ClusterPeersHealthy: families["perfpruned_cluster_peers_healthy"],
 	}
 	if total := s.CacheHits + s.CacheMisses; total > 0 {
 		s.CacheHitRate = s.CacheHits / total
@@ -584,7 +598,13 @@ func printReport(w io.Writer, rep Report) {
 		fmt.Fprintf(w, "  %-14s %d requests, %d errors\n", p, es.Requests, es.Errors)
 	}
 	if rep.Server != nil {
-		fmt.Fprintf(w, "  server   %.0f requests seen, cache hit rate %.3f (%.0f hits / %.0f misses)\n",
-			rep.Server.RequestsTotal, rep.Server.CacheHitRate, rep.Server.CacheHits, rep.Server.CacheMisses)
+		fmt.Fprintf(w, "  server   %.0f requests seen, cache hit rate %.3f (%.0f hits / %.0f misses), %.0f plans view-served\n",
+			rep.Server.RequestsTotal, rep.Server.CacheHitRate, rep.Server.CacheHits, rep.Server.CacheMisses,
+			rep.Server.PlanViewServed)
+		if rep.Server.ClusterPulls > 0 || rep.Server.ClusterImported > 0 || rep.Server.ClusterPeersHealthy > 0 {
+			fmt.Fprintf(w, "  cluster  %.0f snapshot pulls, %.0f entries imported, %.0f forwards, %.0f healthy peers\n",
+				rep.Server.ClusterPulls, rep.Server.ClusterImported, rep.Server.ClusterForwards,
+				rep.Server.ClusterPeersHealthy)
+		}
 	}
 }

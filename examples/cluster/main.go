@@ -1,0 +1,141 @@
+// Multi-replica profile sharing: three in-process perfpruned replicas
+// run as one fleet. Replica A pays the measurement bill for an AlexNet
+// plan; replica B gossip-pulls A's snapshot and serves the identical
+// plan without a single measurement; replica C, with ownership hashing
+// armed, forwards a cold configuration to its ring owner — and when
+// that owner is killed, falls back to measuring locally, because the
+// ring is a de-duplication optimization, never an availability
+// dependency. The same topology runs across machines with
+// `perfpruned -peers` (see README, "Multi-replica profile sharing").
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/cluster"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+	"perfprune/internal/service"
+)
+
+const planBody = `{"backend": "acl-gemm", "device": "HiKey 970", "network": "AlexNet"}`
+
+type replica struct {
+	name string
+	ts   *httptest.Server
+	srv  *service.Server
+	node *cluster.Node
+}
+
+func main() {
+	// Boot three replicas, fully meshed. Only C arms ownership
+	// forwarding so the demo's phases stay independent.
+	reps := make([]*replica, 3)
+	for i, name := range []string{"A", "B", "C"} {
+		srv, err := service.New(service.Config{Backends: []string{"acl-gemm"}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		reps[i] = &replica{name: name, srv: srv, ts: httptest.NewServer(srv.Handler())}
+	}
+	for i, r := range reps {
+		var peers []string
+		for j, p := range reps {
+			if j != i {
+				peers = append(peers, p.ts.URL)
+			}
+		}
+		r.node = cluster.New(cluster.Config{
+			Self:      r.ts.URL,
+			Peers:     peers,
+			Cache:     r.srv.Cache(),
+			Ownership: r.name == "C",
+		})
+		r.srv.SetCluster(r.node)
+		if r.name == "C" {
+			r.node.InstallHook()
+		}
+	}
+	a, b, c := reps[0], reps[1], reps[2]
+
+	// Phase 1: A measures the full AlexNet grid.
+	fmt.Println("== A plans AlexNet (cold: pays every measurement) ==")
+	mustPlan(a)
+	fmt.Printf("A cache: %d entries\n\n", a.srv.Cache().Stats().Entries)
+
+	// Phase 2: B anti-entropy pulls and plans measurement-free. In a
+	// deployed fleet the Run loop does this on a jittered interval;
+	// the demo pulls once, explicitly.
+	fmt.Println("== B gossip-pulls A's snapshot, then plans ==")
+	b.node.PullAll(context.Background())
+	st := b.node.Stats()
+	fmt.Printf("B imported %d entries (%d pulls, %d errors)\n", st.EntriesImported, st.Pulls, st.PullErrors)
+	mustPlan(b)
+	cs := b.srv.CacheStats()
+	fmt.Printf("B plan served with %d cache misses (warmed: %d)\n\n", cs.Misses, cs.Warmed)
+
+	// Phase 3: C forwards a cold configuration to its ring owner.
+	lib, err := backend.Lookup("acl-gemm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := specOwnedBy(c.node, lib.Name(), a.ts.URL, 0)
+	fmt.Println("== C measures a cold configuration owned by A ==")
+	if _, err := c.srv.Cache().Measure(lib, device.HiKey970, spec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C forward hits: %d (the sweep ran on A)\n\n", c.node.Stats().ForwardHits)
+
+	// Phase 4: kill A; the next A-owned key falls back locally.
+	fmt.Println("== owner A dies; C falls back to local measurement ==")
+	a.ts.Close()
+	spec2 := specOwnedBy(c.node, lib.Name(), a.ts.URL, 1000)
+	if _, err := c.srv.Cache().Measure(lib, device.HiKey970, spec2); err != nil {
+		log.Fatal(err)
+	}
+	st = c.node.Stats()
+	fmt.Printf("C forward fallbacks: %d, healthy peers: %d (A dropped off the ring)\n",
+		st.ForwardFallbacks, st.PeersHealthy)
+
+	b.ts.Close()
+	c.ts.Close()
+}
+
+// mustPlan posts the AlexNet plan to r and discards the body.
+func mustPlan(r *replica) {
+	resp, err := http.Post(r.ts.URL+"/v1/plan", "application/json", strings.NewReader(planBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil || resp.StatusCode != http.StatusOK {
+		log.Fatalf("plan on %s: %s", r.name, resp.Status)
+	}
+}
+
+// specOwnedBy scans small valid configurations until one hashes to the
+// wanted owner on n's ring.
+// seed offsets the scan so successive calls find distinct specs.
+func specOwnedBy(n *cluster.Node, backendName, owner string, seed int) conv.ConvSpec {
+	for i := seed; ; i++ {
+		spec := conv.ConvSpec{
+			Name: "cluster-demo", InH: 8 + i%8, InW: 8 + i/8%8, InC: 4,
+			OutC: 1 + i%16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+		}
+		if spec.Validate() != nil {
+			continue
+		}
+		if n.Owner(backendName, device.HiKey970.Name, spec) == owner {
+			return spec
+		}
+	}
+}

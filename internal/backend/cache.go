@@ -33,6 +33,14 @@ type cacheEntry struct {
 	err  error
 }
 
+// RemoteFunc is an optional remote-measurement hook (see SetRemote): on
+// a cache miss it may answer the measurement from somewhere else — a
+// peer replica that owns the configuration — instead of executing the
+// backend locally. Returning ok == false falls back to the local
+// backend; the hook must never block indefinitely (its latency is paid
+// by every waiter piled up on the miss's single-flight entry).
+type RemoteFunc func(b Backend, dev device.Device, spec conv.ConvSpec) (Measurement, bool)
+
 // Cache memoizes Backend.Measure results. The zero value is not usable;
 // call NewCache.
 type Cache struct {
@@ -43,6 +51,20 @@ type Cache struct {
 	misses    atomic.Uint64
 	evictions atomic.Uint64
 	inflight  atomic.Int64
+
+	// warmed / warmSkipped audit Warm's dedup: entries imported vs
+	// entries skipped because a (possibly in-flight) resident won.
+	warmed      atomic.Uint64
+	warmSkipped atomic.Uint64
+
+	// generation counts completed-state changes (successful completions,
+	// warm inserts, evictions). It versions the read-mostly view below:
+	// a view whose generation matches is current.
+	generation atomic.Uint64
+	viewMu     sync.Mutex // serializes view rebuilds, not reads
+	view       atomic.Pointer[View]
+
+	remote atomic.Pointer[RemoteFunc]
 }
 
 // NewCache returns an empty, unbounded measurement cache — the right
@@ -88,6 +110,32 @@ const evictBatch = 1024
 // display name — Register enforces the uniqueness this relies on; only
 // memoize deterministic backends (see IsDeterministic).
 func (c *Cache) Measure(b Backend, dev device.Device, spec conv.ConvSpec) (Measurement, error) {
+	return c.measure(b, dev, spec, true)
+}
+
+// MeasureLocal is Measure without the remote hook: a miss always
+// executes the backend on this process. It is the entry point for
+// serving a forwarded measurement — the owner of a configuration must
+// answer from its own hardware, never bounce the request to a third
+// replica (two replicas with momentarily different peer views would
+// otherwise forward in a cycle).
+func (c *Cache) MeasureLocal(b Backend, dev device.Device, spec conv.ConvSpec) (Measurement, error) {
+	return c.measure(b, dev, spec, false)
+}
+
+// SetRemote installs (or, with nil, removes) the remote-measurement
+// hook consulted on every miss before the local backend runs. The swap
+// is atomic and safe during concurrent lookups; in-flight misses keep
+// whatever hook they already loaded.
+func (c *Cache) SetRemote(fn RemoteFunc) {
+	if fn == nil {
+		c.remote.Store(nil)
+		return
+	}
+	c.remote.Store(&fn)
+}
+
+func (c *Cache) measure(b Backend, dev device.Device, spec conv.ConvSpec, allowRemote bool) (Measurement, error) {
 	k := cacheKey{backend: b.Name(), device: dev.Name, spec: spec}
 	c.mu.Lock()
 	if e, ok := c.entries[k]; ok {
@@ -125,6 +173,9 @@ func (c *Cache) Measure(b Backend, dev device.Device, spec conv.ConvSpec) (Measu
 			}
 		}
 		c.evictions.Add(uint64(evicted))
+		if evicted > 0 {
+			c.generation.Add(1)
+		}
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[k] = e
@@ -132,8 +183,31 @@ func (c *Cache) Measure(b Backend, dev device.Device, spec conv.ConvSpec) (Measu
 	c.misses.Add(1)
 	c.inflight.Add(1)
 
-	e.m, e.err = b.Measure(dev, spec)
+	// The miss is committed: this goroutine owns the single-flight run.
+	// A remote hook (a peer replica that owns this configuration) gets
+	// first refusal; if it declines or is not installed, the local
+	// backend runs. Either way the result lands in the same entry, so
+	// waiters cannot tell where the measurement came from.
+	var answered bool
+	if allowRemote {
+		if fp := c.remote.Load(); fp != nil {
+			if m, ok := (*fp)(b, dev, spec); ok {
+				e.m, e.err = m, nil
+				answered = true
+			}
+		}
+	}
+	if !answered {
+		e.m, e.err = b.Measure(dev, spec)
+	}
 	close(e.done)
+	// The generation bump happens after close(e.done): a view rebuilt at
+	// the bumped generation is guaranteed to see this entry as completed
+	// (its non-blocking done check succeeds), so a current-generation
+	// view never misses a counted completion.
+	if e.err == nil {
+		c.generation.Add(1)
+	}
 	c.inflight.Add(-1)
 	if e.err != nil {
 		// Drop the errored entry so the configuration can be retried.
@@ -173,7 +247,22 @@ type SnapshotEntry struct {
 // skipped, never waited on, so snapshotting a busy cache cannot stall
 // behind (or block) its write path.
 func (c *Cache) Snapshot() []SnapshotEntry {
+	entries, _ := c.SnapshotGen()
+	return entries
+}
+
+// SnapshotGen is Snapshot plus the generation the entries were copied
+// at. The generation is read under the same lock hold as the entry
+// pointers, so the pair is a consistent version stamp: two calls
+// returning the same generation exported the same completed set (a
+// completion, warm import or eviction in between would have bumped
+// it). It is the basis for the snapshot endpoint's ETag — the
+// generation can only be older than entries that complete during the
+// copy, never newer, so a stale ETag costs one redundant pull, never a
+// stale-served snapshot.
+func (c *Cache) SnapshotGen() ([]SnapshotEntry, uint64) {
 	c.mu.Lock()
+	gen := c.generation.Load()
 	resident := make(map[cacheKey]*cacheEntry, len(c.entries))
 	for k, e := range c.entries {
 		resident[k] = e
@@ -193,7 +282,76 @@ func (c *Cache) Snapshot() []SnapshotEntry {
 		out = append(out, SnapshotEntry{Backend: k.backend, Device: k.device, Spec: k.spec, M: e.m})
 	}
 	sort.Slice(out, func(i, j int) bool { return snapshotLess(out[i], out[j]) })
-	return out
+	return out, gen
+}
+
+// View is an immutable point-in-time index of completed measurements.
+// Lookups are plain map reads on a map that is never mutated after
+// publication, so a View is safe for unlimited concurrent use with no
+// locking — the cache's read path for planning, where a plan against
+// fully-cached profiles must never wait on a measurement in flight
+// (or even contend on the cache mutex with one).
+type View struct {
+	gen uint64
+	m   map[cacheKey]Measurement
+}
+
+// Lookup returns the completed measurement for (backendName,
+// deviceName, spec), if the view holds one. backendName is the
+// backend's display name (Backend.Name), matching the cache's own
+// identity for it.
+func (v *View) Lookup(backendName, deviceName string, spec conv.ConvSpec) (Measurement, bool) {
+	m, ok := v.m[cacheKey{backend: backendName, device: deviceName, spec: spec}]
+	return m, ok
+}
+
+// Len returns the number of completed measurements in the view.
+func (v *View) Len() int { return len(v.m) }
+
+// View returns a read-only index of the cache's completed
+// measurements, current as of some point at or after the call began.
+// The fast path is one atomic load: if the published view's generation
+// still matches the cache's, it is current and returned as-is. Stale
+// views are rebuilt copy-on-write under viewMu — a mutex that readers
+// with a current view never touch, so a rebuild (or the measurement
+// traffic that forced it) cannot block them. The rebuild re-reads the
+// generation under c.mu before copying, so the view it publishes is
+// stamped no newer than its contents.
+func (c *Cache) View() *View {
+	gen := c.generation.Load()
+	if v := c.view.Load(); v != nil && v.gen == gen {
+		return v
+	}
+	c.viewMu.Lock()
+	defer c.viewMu.Unlock()
+	// Another rebuilder may have published while this one waited.
+	gen = c.generation.Load()
+	if v := c.view.Load(); v != nil && v.gen == gen {
+		return v
+	}
+	c.mu.Lock()
+	gen = c.generation.Load()
+	resident := make(map[cacheKey]*cacheEntry, len(c.entries))
+	for k, e := range c.entries {
+		resident[k] = e
+	}
+	c.mu.Unlock()
+
+	m := make(map[cacheKey]Measurement, len(resident))
+	for k, e := range resident {
+		select {
+		case <-e.done:
+		default:
+			continue // in-flight: not a result yet
+		}
+		if e.err != nil {
+			continue
+		}
+		m[k] = e.m
+	}
+	v := &View{gen: gen, m: m}
+	c.view.Store(v)
+	return v
 }
 
 // snapshotLess orders snapshot entries by (backend, device, spec) so
@@ -219,29 +377,55 @@ func snapshotLess(a, b SnapshotEntry) bool {
 	return false
 }
 
+// warmChunk bounds how many entries one Warm lock hold may insert: a
+// gossip pull importing a peer's whole store must not stall concurrent
+// lookups (or a view rebuild) behind one long critical section.
+const warmChunk = 512
+
 // Warm imports previously snapshotted measurements as completed
 // entries, returning how many were inserted. A configuration already
 // resident (completed or in-flight) keeps its current entry — warming
 // never clobbers live state — and a bounded cache stops warming at its
 // limit rather than importing entries the next miss would immediately
-// evict. Warm inserts do not count as hits or misses: the counters keep
-// describing this process's lookup traffic.
+// evict. Warm inserts do not count as hits or misses (the counters keep
+// describing this process's lookup traffic) but are audited separately
+// as Warmed/WarmSkipped. The lock is taken per chunk, not per batch, so
+// a large import interleaves with live traffic instead of excluding it.
 func (c *Cache) Warm(entries []SnapshotEntry) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	inserted := 0
-	for _, se := range entries {
-		if c.limit > 0 && len(c.entries) >= c.limit {
+	for len(entries) > 0 {
+		chunk := entries
+		if len(chunk) > warmChunk {
+			chunk = chunk[:warmChunk]
+		}
+		entries = entries[len(chunk):]
+
+		c.mu.Lock()
+		n, full := 0, false
+		for _, se := range chunk {
+			if c.limit > 0 && len(c.entries) >= c.limit {
+				full = true
+				break
+			}
+			k := cacheKey{backend: se.Backend, device: se.Device, spec: se.Spec}
+			if _, ok := c.entries[k]; ok {
+				c.warmSkipped.Add(1)
+				continue
+			}
+			e := &cacheEntry{done: make(chan struct{}), m: se.M}
+			close(e.done)
+			c.entries[k] = e
+			n++
+		}
+		if n > 0 {
+			c.warmed.Add(uint64(n))
+			c.generation.Add(1)
+		}
+		c.mu.Unlock()
+		inserted += n
+		if full {
 			break
 		}
-		k := cacheKey{backend: se.Backend, device: se.Device, spec: se.Spec}
-		if _, ok := c.entries[k]; ok {
-			continue
-		}
-		e := &cacheEntry{done: make(chan struct{}), m: se.M}
-		close(e.done)
-		c.entries[k] = e
-		inserted++
 	}
 	return inserted
 }
@@ -260,6 +444,11 @@ type Stats struct {
 	// InFlight is the number of backend measurements executing right
 	// now (misses whose single-flight run has not completed).
 	InFlight int64
+	// Warmed counts entries imported by Warm (warm starts and gossip
+	// pulls); WarmSkipped counts entries Warm declined because a
+	// resident (possibly in-flight) entry won.
+	Warmed      uint64
+	WarmSkipped uint64
 }
 
 // HitRate returns hits / (hits + misses), or 0 for an unused cache.
@@ -280,11 +469,13 @@ func (c *Cache) Stats() Stats {
 	n := len(c.entries)
 	c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Entries:   n,
-		Evictions: c.evictions.Load(),
-		InFlight:  c.inflight.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Entries:     n,
+		Evictions:   c.evictions.Load(),
+		InFlight:    c.inflight.Load(),
+		Warmed:      c.warmed.Load(),
+		WarmSkipped: c.warmSkipped.Load(),
 	}
 }
 

@@ -1,0 +1,118 @@
+package backend
+
+// The lock-free view contract: View() is an immutable copy-on-write
+// snapshot of completed measurements, cached until the cache's
+// generation moves, and never delayed by in-flight measurements.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"perfprune/internal/device"
+)
+
+func TestViewCopyOnWrite(t *testing.T) {
+	cb := &countingBackend{}
+	c := NewCache()
+	for _, outc := range []int{16, 32, 64} {
+		if _, err := c.Measure(cb, device.HiKey970, l16(outc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	v1 := c.View()
+	if v1.Len() != 3 {
+		t.Fatalf("view holds %d entries, want 3", v1.Len())
+	}
+	if m, ok := v1.Lookup(cb.Name(), device.HiKey970.Name, l16(32)); !ok || m.Ms != 32 {
+		t.Fatalf("view lookup = %+v, %v; want Ms=32, true", m, ok)
+	}
+	// Unchanged generation: the identical view is republished, not
+	// rebuilt.
+	if v2 := c.View(); v2 != v1 {
+		t.Error("View() rebuilt despite an unchanged cache")
+	}
+
+	// A completed measurement moves the generation; the new view sees
+	// it and the old view provably does not (immutability).
+	if _, err := c.Measure(cb, device.HiKey970, l16(128)); err != nil {
+		t.Fatal(err)
+	}
+	v3 := c.View()
+	if v3 == v1 {
+		t.Fatal("View() did not rebuild after a completion")
+	}
+	if _, ok := v3.Lookup(cb.Name(), device.HiKey970.Name, l16(128)); !ok {
+		t.Error("new view misses the new completion")
+	}
+	if _, ok := v1.Lookup(cb.Name(), device.HiKey970.Name, l16(128)); ok {
+		t.Error("old view grew a new entry — views are supposed to be immutable")
+	}
+}
+
+func TestViewSkipsInFlightWithoutBlocking(t *testing.T) {
+	cb := &countingBackend{block: make(chan struct{})}
+	c := NewCache()
+
+	// Park a measurement mid-backend-call.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Measure(cb, device.HiKey970, l16(93)) //nolint:errcheck
+	}()
+	for c.Stats().InFlight == 0 {
+		runtime.Gosched()
+	}
+
+	// View must return immediately (a deadlock here fails the test by
+	// timeout) and must not contain the in-flight entry.
+	v := c.View()
+	if v.Len() != 0 {
+		t.Errorf("view holds %d entries while the only measurement is in flight", v.Len())
+	}
+	if _, ok := v.Lookup(cb.Name(), device.HiKey970.Name, l16(93)); ok {
+		t.Error("view served an incomplete measurement")
+	}
+
+	close(cb.block)
+	wg.Wait()
+	if _, ok := c.View().Lookup(cb.Name(), device.HiKey970.Name, l16(93)); !ok {
+		t.Error("completed measurement missing from the refreshed view")
+	}
+}
+
+func TestWarmChunkedCounters(t *testing.T) {
+	// More entries than one chunk's lock hold, to cross the chunk
+	// boundary at least twice.
+	n := warmChunk*2 + 17
+	entries := make([]SnapshotEntry, n)
+	for i := range entries {
+		entries[i] = SnapshotEntry{
+			Backend: "counting", Device: device.HiKey970.Name,
+			Spec: l16(i + 1), M: Measurement{Ms: float64(i + 1), Jobs: 1},
+		}
+	}
+
+	c := NewCache()
+	if got := c.Warm(entries); got != n {
+		t.Fatalf("Warm inserted %d, want %d", got, n)
+	}
+	st := c.Stats()
+	if st.Warmed != uint64(n) || st.WarmSkipped != 0 {
+		t.Fatalf("stats after warm = %+v, want warmed=%d skipped=0", st, n)
+	}
+	if got := c.View().Len(); got != n {
+		t.Fatalf("view after warm holds %d, want %d", got, n)
+	}
+
+	// Re-warming the same snapshot is a no-op accounted as skips.
+	if got := c.Warm(entries); got != 0 {
+		t.Fatalf("second Warm inserted %d, want 0", got)
+	}
+	st = c.Stats()
+	if st.Warmed != uint64(n) || st.WarmSkipped != uint64(n) {
+		t.Fatalf("stats after re-warm = %+v, want warmed=%d skipped=%d", st, n, n)
+	}
+}

@@ -1,0 +1,495 @@
+// Package cluster turns a set of independent perfpruned replicas into
+// a fleet that shares its measurements. The paper's economics drive
+// the design: a latency staircase is expensive to measure and cheap to
+// reuse, so at fleet scale the win is making every replica's sweeps
+// visible to every other replica. Three mechanisms, each independently
+// useful:
+//
+//   - Anti-entropy gossip-pull: each replica polls its peers'
+//     /v1/snapshot endpoints on a jittered interval and Warm()s any
+//     entries it does not hold. ETag/If-None-Match makes a no-change
+//     poll one cheap 304. Convergence is eventual and monotone —
+//     measurements only accumulate.
+//
+//   - Consistent-hash ownership (optional): cache keys hash onto a
+//     ring over the live member set, and a replica missing a cold
+//     configuration forwards the measurement to its owner instead of
+//     sweeping locally. With every replica computing the same owner,
+//     the fleet gets cluster-wide single-flight without coordination.
+//
+//   - Availability over dedup: when the owner is unreachable, the
+//     forwarder retries with backoff, then measures locally. A
+//     partition costs duplicated work, never a failed plan.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+	"perfprune/internal/profilestore"
+)
+
+// Config configures a Node.
+type Config struct {
+	// Self is this replica's advertised base URL (how peers reach it).
+	// It anchors the node's own position on the ownership ring.
+	Self string
+	// Peers are the initial peer base URLs (e.g. "http://10.0.0.2:7070").
+	Peers []string
+	// PullInterval is the anti-entropy period; each cycle sleeps the
+	// interval ±20% jitter so replicas booted together don't pull in
+	// lockstep. <= 0 defaults to 5s.
+	PullInterval time.Duration
+	// Client is the HTTP client for peer traffic; nil gets a client
+	// with a 30s timeout (snapshot bodies can be large).
+	Client *http.Client
+	// Cache is the measurement cache gossip warms and the ownership
+	// hook intercepts.
+	Cache *backend.Cache
+	// Ownership enables the consistent-hash forwarding of cold
+	// measurements to their owning replica.
+	Ownership bool
+	// ForwardRetries and ForwardBackoff shape the owner-unreachable
+	// path: ForwardRetries attempts (default 2) separated by
+	// ForwardBackoff (default 100ms), then local fallback.
+	ForwardRetries int
+	ForwardBackoff time.Duration
+	// Logf, when non-nil, receives one line per notable peer event
+	// (pull failures, fallbacks).
+	Logf func(format string, args ...any)
+}
+
+// peerState tracks one peer's health and transfer counters. Guarded by
+// Node.mu.
+type peerState struct {
+	url         string
+	healthy     bool
+	etag        string // last snapshot ETag seen; sent as If-None-Match
+	lastErr     string
+	pulls       uint64
+	notModified uint64
+	errs        uint64
+	imported    uint64
+	skipped     uint64
+}
+
+// Node is one replica's membership in the cluster. All methods are
+// safe for concurrent use.
+type Node struct {
+	cfg    Config
+	client *http.Client
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+	ring  atomic.Pointer[ring]
+
+	// keyByName maps backend display names (the cache's identity) back
+	// to registry keys (the wire's identity), frozen at construction.
+	keyByName map[string]string
+
+	pulls            atomic.Uint64
+	pullErrors       atomic.Uint64
+	notModified      atomic.Uint64
+	imported         atomic.Uint64
+	skippedEntries   atomic.Uint64
+	forwards         atomic.Uint64
+	forwardHits      atomic.Uint64
+	forwardFallbacks atomic.Uint64
+}
+
+// New builds a Node from cfg. The node is passive until Run starts the
+// gossip loop and/or InstallHook attaches ownership forwarding.
+func New(cfg Config) *Node {
+	if cfg.PullInterval <= 0 {
+		cfg.PullInterval = 5 * time.Second
+	}
+	if cfg.ForwardRetries <= 0 {
+		cfg.ForwardRetries = 2
+	}
+	if cfg.ForwardBackoff <= 0 {
+		cfg.ForwardBackoff = 100 * time.Millisecond
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	n := &Node{
+		cfg:       cfg,
+		client:    client,
+		peers:     make(map[string]*peerState),
+		keyByName: make(map[string]string),
+	}
+	for _, key := range backend.Names() {
+		if b, err := backend.Lookup(key); err == nil {
+			n.keyByName[b.Name()] = key
+		}
+	}
+	for _, u := range cfg.Peers {
+		if u != "" && u != cfg.Self {
+			n.peers[u] = &peerState{url: u, healthy: true}
+		}
+	}
+	n.rebuildRing()
+	return n
+}
+
+// rebuildRing republishes the ownership ring over self + healthy
+// peers. Called under n.mu or before the node is shared.
+func (n *Node) rebuildRing() {
+	members := make([]string, 0, len(n.peers)+1)
+	if n.cfg.Self != "" {
+		members = append(members, n.cfg.Self)
+	}
+	for _, p := range n.peers {
+		if p.healthy {
+			members = append(members, p.url)
+		}
+	}
+	n.ring.Store(newRing(members))
+}
+
+// SetPeers replaces the peer set (the PUT /v1/peers admin path).
+// Known peers keep their state; new ones start healthy; removed ones
+// are forgotten. Self is never a peer of itself.
+func (n *Node) SetPeers(urls []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	next := make(map[string]*peerState, len(urls))
+	for _, u := range urls {
+		if u == "" || u == n.cfg.Self {
+			continue
+		}
+		if p, ok := n.peers[u]; ok {
+			next[u] = p
+		} else {
+			next[u] = &peerState{url: u, healthy: true}
+		}
+	}
+	n.peers = next
+	n.rebuildRing()
+}
+
+// Peers returns the current peer URLs, sorted.
+func (n *Node) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.peers))
+	for u := range n.peers {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run pulls peers until ctx is cancelled: once immediately (a booting
+// replica wants the fleet's measurements now, not one interval from
+// now), then every PullInterval ±20% jitter.
+func (n *Node) Run(ctx context.Context) {
+	n.PullAll(ctx)
+	for {
+		d := n.cfg.PullInterval
+		// Jitter by ±20% so same-boot replicas spread their pulls.
+		d += time.Duration((rand.Float64() - 0.5) * 0.4 * float64(d))
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+			n.PullAll(ctx)
+		}
+	}
+}
+
+// PullAll runs one anti-entropy cycle: every peer is pulled once,
+// sequentially (peer counts are small and sequential pulls bound the
+// warm-import burst a cycle can put on the cache).
+func (n *Node) PullAll(ctx context.Context) {
+	for _, u := range n.Peers() {
+		if ctx.Err() != nil {
+			return
+		}
+		n.pullPeer(ctx, u)
+	}
+}
+
+// pullPeer fetches one peer's snapshot and warms the local cache with
+// it. A 304 (our ETag still current) is the cheap steady state. Any
+// transport or decode failure marks the peer unhealthy — dropping it
+// from the ownership ring until a later pull succeeds.
+func (n *Node) pullPeer(ctx context.Context, url string) {
+	n.mu.Lock()
+	p, ok := n.peers[url]
+	etag := ""
+	if ok {
+		etag = p.etag
+	}
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/snapshot", nil)
+	if err != nil {
+		n.pullFailed(url, err)
+		return
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.pullFailed(url, err)
+		return
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		n.notModified.Add(1)
+		n.mu.Lock()
+		p.notModified++
+		n.markHealthyLocked(p)
+		n.mu.Unlock()
+		return
+	case http.StatusOK:
+		// fallthrough to the import below
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+		n.pullFailed(url, fmt.Errorf("snapshot returned %s", resp.Status))
+		return
+	}
+
+	res := profilestore.Read(resp.Body)
+	imported := n.cfg.Cache.Warm(res.Entries)
+	skipped := len(res.Entries) - imported + res.Skipped
+
+	n.pulls.Add(1)
+	n.imported.Add(uint64(imported))
+	n.skippedEntries.Add(uint64(skipped))
+
+	n.mu.Lock()
+	p.pulls++
+	p.imported += uint64(imported)
+	p.skipped += uint64(skipped)
+	p.etag = resp.Header.Get("ETag")
+	n.markHealthyLocked(p)
+	n.mu.Unlock()
+
+	if imported > 0 && n.cfg.Logf != nil {
+		n.cfg.Logf("cluster: pulled %d entries from %s (%d skipped)", imported, url, skipped)
+	}
+}
+
+// pullFailed records a pull failure and drops the peer from the ring.
+func (n *Node) pullFailed(url string, err error) {
+	n.pullErrors.Add(1)
+	n.mu.Lock()
+	if p, ok := n.peers[url]; ok {
+		p.errs++
+		p.lastErr = err.Error()
+		if p.healthy {
+			p.healthy = false
+			n.rebuildRing()
+		}
+	}
+	n.mu.Unlock()
+	if n.cfg.Logf != nil {
+		n.cfg.Logf("cluster: pull %s: %v", url, err)
+	}
+}
+
+// markHealthyLocked restores a peer to the ring after a successful
+// exchange. Caller holds n.mu.
+func (n *Node) markHealthyLocked(p *peerState) {
+	p.lastErr = ""
+	if !p.healthy {
+		p.healthy = true
+		n.rebuildRing()
+	}
+}
+
+// markUnreachable drops a peer from the ring after a failed forward,
+// so subsequent misses stop paying the retry bill against a dead
+// owner; the next successful gossip pull restores it.
+func (n *Node) markUnreachable(url string, err error) {
+	n.mu.Lock()
+	if p, ok := n.peers[url]; ok {
+		p.errs++
+		p.lastErr = err.Error()
+		if p.healthy {
+			p.healthy = false
+			n.rebuildRing()
+		}
+	}
+	n.mu.Unlock()
+}
+
+// InstallHook attaches the ownership-forwarding hook to the cache.
+// Call once after New; a node without the hook still gossips but
+// never forwards.
+func (n *Node) InstallHook() {
+	n.cfg.Cache.SetRemote(n.hook)
+}
+
+// ownerKey is the consistent-hash key for one measurement — the same
+// triple the cache keys on, serialized deterministically.
+func ownerKey(backendName, deviceName string, spec conv.ConvSpec) string {
+	return fmt.Sprintf("%s|%s|%+v", backendName, deviceName, spec)
+}
+
+// hook implements backend.RemoteFunc: on a local cache miss, forward
+// the measurement to its ring owner. Declining (false) runs the local
+// backend; every path out of here leaves the request answerable.
+func (n *Node) hook(b backend.Backend, dev device.Device, spec conv.ConvSpec) (backend.Measurement, bool) {
+	if !n.cfg.Ownership {
+		return backend.Measurement{}, false
+	}
+	r := n.ring.Load()
+	owner := r.Owner(ownerKey(b.Name(), dev.Name, spec))
+	if owner == "" || owner == n.cfg.Self {
+		return backend.Measurement{}, false
+	}
+	key, ok := n.keyByName[b.Name()]
+	if !ok {
+		return backend.Measurement{}, false
+	}
+
+	n.forwards.Add(1)
+	var lastErr error
+	for attempt := 0; attempt < n.cfg.ForwardRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(n.cfg.ForwardBackoff)
+		}
+		m, err := n.forwardMeasure(owner, key, dev.Name, spec)
+		if err == nil {
+			n.forwardHits.Add(1)
+			return m, true
+		}
+		lastErr = err
+	}
+	n.forwardFallbacks.Add(1)
+	n.markUnreachable(owner, lastErr)
+	if n.cfg.Logf != nil {
+		n.cfg.Logf("cluster: forward to %s failed (%v), measuring locally", owner, lastErr)
+	}
+	return backend.Measurement{}, false
+}
+
+// forwardMeasure POSTs one measurement request to the owner's
+// /v1/measure endpoint.
+func (n *Node) forwardMeasure(owner, backendKey, deviceName string, spec conv.ConvSpec) (backend.Measurement, error) {
+	body, err := json.Marshal(MeasureRequest{
+		Backend: backendKey,
+		Device:  deviceName,
+		Spec:    SpecWire(spec),
+	})
+	if err != nil {
+		return backend.Measurement{}, err
+	}
+	resp, err := n.client.Post(owner+"/v1/measure", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return backend.Measurement{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+		return backend.Measurement{}, fmt.Errorf("owner returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var mr MeasureResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return backend.Measurement{}, fmt.Errorf("decode owner response: %w", err)
+	}
+	if mr.Ms < 0 {
+		return backend.Measurement{}, fmt.Errorf("owner returned negative latency %g", mr.Ms)
+	}
+	return backend.Measurement{Ms: mr.Ms, Jobs: mr.Jobs, SplitJobs: mr.SplitJobs}, nil
+}
+
+// Owner exposes the ring decision for tests and diagnostics: the
+// member URL that owns (backendName, deviceName, spec), or "" when the
+// ring is empty.
+func (n *Node) Owner(backendName, deviceName string, spec conv.ConvSpec) string {
+	return n.ring.Load().Owner(ownerKey(backendName, deviceName, spec))
+}
+
+// Self returns the node's advertised URL.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// PeerStatus is one peer's health and transfer counters as surfaced on
+// /v1/stats.
+type PeerStatus struct {
+	URL             string `json:"url"`
+	Healthy         bool   `json:"healthy"`
+	Pulls           uint64 `json:"pulls"`
+	NotModified     uint64 `json:"not_modified"`
+	Errors          uint64 `json:"errors"`
+	EntriesImported uint64 `json:"entries_imported"`
+	EntriesSkipped  uint64 `json:"entries_skipped"`
+	LastError       string `json:"last_error,omitempty"`
+}
+
+// Stats is the cluster section of /v1/stats.
+type Stats struct {
+	Self             string       `json:"self"`
+	Ownership        bool         `json:"ownership"`
+	PeersSeen        int          `json:"peers_seen"`
+	PeersHealthy     int          `json:"peers_healthy"`
+	Pulls            uint64       `json:"pulls"`
+	PullErrors       uint64       `json:"pull_errors"`
+	NotModified      uint64       `json:"not_modified"`
+	EntriesImported  uint64       `json:"entries_imported"`
+	EntriesSkipped   uint64       `json:"entries_skipped"`
+	Forwards         uint64       `json:"forwards"`
+	ForwardHits      uint64       `json:"forward_hits"`
+	ForwardFallbacks uint64       `json:"forward_fallbacks"`
+	Peers            []PeerStatus `json:"peers"`
+}
+
+// Stats snapshots the node's counters and per-peer state.
+func (n *Node) Stats() Stats {
+	st := Stats{
+		Self:             n.cfg.Self,
+		Ownership:        n.cfg.Ownership,
+		Pulls:            n.pulls.Load(),
+		PullErrors:       n.pullErrors.Load(),
+		NotModified:      n.notModified.Load(),
+		EntriesImported:  n.imported.Load(),
+		EntriesSkipped:   n.skippedEntries.Load(),
+		Forwards:         n.forwards.Load(),
+		ForwardHits:      n.forwardHits.Load(),
+		ForwardFallbacks: n.forwardFallbacks.Load(),
+	}
+	n.mu.Lock()
+	st.PeersSeen = len(n.peers)
+	for _, p := range n.peers {
+		if p.healthy {
+			st.PeersHealthy++
+		}
+		st.Peers = append(st.Peers, PeerStatus{
+			URL:             p.url,
+			Healthy:         p.healthy,
+			Pulls:           p.pulls,
+			NotModified:     p.notModified,
+			Errors:          p.errs,
+			EntriesImported: p.imported,
+			EntriesSkipped:  p.skipped,
+			LastError:       p.lastErr,
+		})
+	}
+	n.mu.Unlock()
+	sort.Slice(st.Peers, func(i, j int) bool { return st.Peers[i].URL < st.Peers[j].URL })
+	return st
+}

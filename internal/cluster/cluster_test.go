@@ -1,0 +1,312 @@
+package cluster_test
+
+// The multi-replica contract, end to end and in-process: three real
+// service.Servers over httptest, each wrapped in a cluster.Node wired
+// to the other two. Replica A pays for a full plan's measurements,
+// replica B gossip-pulls A's snapshot and serves the same plan without
+// a single cache miss, and replica C forwards cold measurements to
+// their ring owner — falling back to local measurement when the owner
+// is killed mid-fleet.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/cluster"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+	"perfprune/internal/service"
+)
+
+// replica is one in-process perfpruned: a service server over httptest
+// plus its cluster node.
+type replica struct {
+	ts   *httptest.Server
+	srv  *service.Server
+	node *cluster.Node
+}
+
+// bootFleet starts n replicas fully meshed (every node peers with
+// every other). Ownership forwarding is only armed on replicas whose
+// index is in hooked — the others gossip but always measure locally.
+func bootFleet(t *testing.T, n int, hooked ...int) []*replica {
+	t.Helper()
+	reps := make([]*replica, n)
+	urls := make([]string, n)
+	for i := range reps {
+		srv, err := service.New(service.Config{Backends: []string{"acl-gemm"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		reps[i] = &replica{ts: ts, srv: srv}
+		urls[i] = ts.URL
+	}
+	for i, r := range reps {
+		peers := make([]string, 0, n-1)
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		withHook := false
+		for _, h := range hooked {
+			if h == i {
+				withHook = true
+			}
+		}
+		r.node = cluster.New(cluster.Config{
+			Self:           r.ts.URL,
+			Peers:          peers,
+			Cache:          r.srv.Cache(),
+			Ownership:      withHook,
+			ForwardRetries: 2,
+			ForwardBackoff: 5 * time.Millisecond,
+			Client:         &http.Client{Timeout: 10 * time.Second},
+		})
+		r.srv.SetCluster(r.node)
+		if withHook {
+			r.node.InstallHook()
+		}
+	}
+	return reps
+}
+
+func postPlan(t *testing.T, baseURL string) []byte {
+	t.Helper()
+	body := `{"backend": "acl-gemm", "device": "HiKey 970", "network": "AlexNet"}`
+	resp, err := http.Post(baseURL+"/v1/plan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan on %s: %d: %s", baseURL, resp.StatusCode, raw)
+	}
+	return raw
+}
+
+func fetchStats(t *testing.T, baseURL string) service.StatsResponse {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st service.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestThreeReplicaFleet is the acceptance scenario: A measures, B
+// reuses over gossip, C forwards by ownership and survives the owner's
+// death.
+func TestThreeReplicaFleet(t *testing.T) {
+	// Ownership hook only on C (index 2): A and B plan with purely
+	// local measurement, so the gossip half of the test is not
+	// entangled with the forwarding half.
+	reps := bootFleet(t, 3, 2)
+	a, b, c := reps[0], reps[1], reps[2]
+	ctx := context.Background()
+
+	// A pays the full measurement bill for the plan.
+	planA := postPlan(t, a.ts.URL)
+	if n := a.srv.Cache().Stats().Entries; n == 0 {
+		t.Fatal("plan on A left its cache empty")
+	}
+
+	// B anti-entropy pulls: A's full grid arrives, C contributes its
+	// (empty) snapshot.
+	b.node.PullAll(ctx)
+	bStats := b.node.Stats()
+	if bStats.EntriesImported == 0 {
+		t.Fatalf("B imported no entries after PullAll: %+v", bStats)
+	}
+	if bStats.PullErrors != 0 {
+		t.Fatalf("B hit %d pull errors against live peers: %+v", bStats.PullErrors, bStats)
+	}
+
+	// The same plan on B must be measurement-free: no cache misses, and
+	// served off the lock-free view.
+	planB := postPlan(t, b.ts.URL)
+	if string(planA) != string(planB) {
+		t.Error("B's gossip-warmed plan differs from A's measured plan")
+	}
+	httpStats := fetchStats(t, b.ts.URL)
+	if httpStats.Cache.Misses != 0 {
+		t.Errorf("B's plan took %d cache misses after gossip warm, want 0", httpStats.Cache.Misses)
+	}
+	if httpStats.PlanReads.ViewServed == 0 {
+		t.Errorf("B's warmed plan was not served from the view: %+v", httpStats.PlanReads)
+	}
+	if httpStats.Cluster == nil {
+		t.Fatal("clustered replica B has no cluster section in /v1/stats")
+	}
+	if httpStats.Cluster.EntriesImported == 0 {
+		t.Error("B's /v1/stats cluster section shows no imports")
+	}
+
+	// A second pull round is all 304s: nothing changed anywhere.
+	before := b.node.Stats().NotModified
+	b.node.PullAll(ctx)
+	after := b.node.Stats()
+	if after.NotModified <= before {
+		t.Errorf("unchanged peers re-sent bodies: not_modified %d -> %d", before, after.NotModified)
+	}
+	if after.EntriesImported != bStats.EntriesImported {
+		t.Errorf("304 round still imported entries: %d -> %d", bStats.EntriesImported, after.EntriesImported)
+	}
+
+	// C's ownership forwarding: find a configuration whose ring owner
+	// is A, measure it on C, and require the answer to have come from
+	// the wire.
+	lib, err := backend.Lookup("acl-gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.HiKey970
+	ownedByA := findOwnedSpec(t, c.node, lib.Name(), dev.Name, a.ts.URL, 0)
+	m, err := c.srv.Cache().Measure(lib, dev, ownedByA)
+	if err != nil {
+		t.Fatalf("forwarded measure: %v", err)
+	}
+	want, err := lib.Measure(dev, ownedByA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ms != want.Ms {
+		t.Errorf("forwarded measurement %.6f ms, locally deterministic %.6f ms", m.Ms, want.Ms)
+	}
+	cStats := c.node.Stats()
+	if cStats.ForwardHits != 1 {
+		t.Fatalf("forward_hits = %d, want 1 (%+v)", cStats.ForwardHits, cStats)
+	}
+	// The owner ran the sweep, so the entry lives in A's cache too —
+	// that is the cluster-wide single-flight the ring buys.
+	if _, ok := a.srv.Cache().View().Lookup(lib.Name(), dev.Name, ownedByA); !ok {
+		t.Error("forwarded measurement missing from owner A's cache")
+	}
+
+	// Kill A. The next A-owned configuration must fall back to local
+	// measurement after retries — availability over deduplication.
+	a.ts.Close()
+	ownedByA2 := findOwnedSpec(t, c.node, lib.Name(), dev.Name, a.ts.URL, 1000)
+	m2, err := c.srv.Cache().Measure(lib, dev, ownedByA2)
+	if err != nil {
+		t.Fatalf("measure with dead owner: %v", err)
+	}
+	want2, err := lib.Measure(dev, ownedByA2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Ms != want2.Ms {
+		t.Errorf("fallback measurement %.6f ms, want %.6f ms", m2.Ms, want2.Ms)
+	}
+	cStats = c.node.Stats()
+	if cStats.ForwardFallbacks == 0 {
+		t.Fatalf("dead owner produced no forward fallback: %+v", cStats)
+	}
+	// The failed forward marked A unreachable, so the rebuilt ring no
+	// longer routes anything to it.
+	if owner := c.node.Owner(lib.Name(), dev.Name, ownedByA2); owner == a.ts.URL {
+		t.Error("dead replica still owns keys after the fallback")
+	}
+}
+
+// findOwnedSpec scans distinct valid configurations until one hashes
+// to wantOwner on n's ring. seed offsets the scan so successive calls
+// find different specs.
+func findOwnedSpec(t *testing.T, n *cluster.Node, backendName, deviceName, wantOwner string, seed int) conv.ConvSpec {
+	t.Helper()
+	for i := seed; i < seed+512; i++ {
+		spec := conv.ConvSpec{
+			Name: "cluster-test", InH: 8 + i%8, InW: 8 + i/8%8, InC: 4,
+			OutC: 1 + i%16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+		}
+		if spec.Validate() != nil {
+			continue
+		}
+		if n.Owner(backendName, deviceName, spec) == wantOwner {
+			return spec
+		}
+	}
+	t.Fatalf("no spec in 512 candidates owned by %s", wantOwner)
+	return conv.ConvSpec{}
+}
+
+// TestClusterRaceStress drives concurrent measurement, gossip pulls
+// and lock-free view reads across two replicas; its value is under
+// -race, where any unsynchronized access in the pull/warm/view paths
+// trips the detector.
+func TestClusterRaceStress(t *testing.T) {
+	reps := bootFleet(t, 2)
+	a, b := reps[0], reps[1]
+	ctx := context.Background()
+	lib, err := backend.Lookup("acl-gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.HiKey970
+
+	var wg sync.WaitGroup
+	// Writer: A measures a spread of configurations.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 64; i++ {
+			spec := conv.ConvSpec{
+				Name: "stress", InH: 8, InW: 8, InC: 4, OutC: 1 + i%32,
+				KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+			}
+			if _, err := a.srv.Cache().Measure(lib, dev, spec); err != nil {
+				t.Errorf("measure: %v", err)
+				return
+			}
+		}
+	}()
+	// Gossiper: B pulls whatever A has so far, repeatedly.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 16; i++ {
+			b.node.PullAll(ctx)
+		}
+	}()
+	// Readers: both replicas' lock-free views under load.
+	for _, r := range []*replica{a, b} {
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			for i := 0; i < 256; i++ {
+				v := r.srv.Cache().View()
+				spec := conv.ConvSpec{
+					Name: "stress", InH: 8, InW: 8, InC: 4, OutC: 1 + i%32,
+					KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+				}
+				v.Lookup(lib.Name(), dev.Name, spec)
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// One final pull and the fleet agrees.
+	b.node.PullAll(ctx)
+	if got, want := b.srv.Cache().Stats().Entries, a.srv.Cache().Stats().Entries; got < want {
+		t.Errorf("after final pull B holds %d entries, A holds %d", got, want)
+	}
+}

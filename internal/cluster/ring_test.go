@@ -1,0 +1,85 @@
+package cluster
+
+// Ring properties the forwarding layer leans on: determinism across
+// replicas (same member set → same owner, regardless of input order),
+// reasonable load spread, and bounded remapping when a member joins or
+// leaves (~1/N of the key space, not a full reshuffle).
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("acl-gemm|HiKey 970|spec-%d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicAcrossMemberOrder(t *testing.T) {
+	a := newRing([]string{"http://a:7070", "http://b:7070", "http://c:7070"})
+	b := newRing([]string{"http://c:7070", "http://a:7070", "http://b:7070", "http://a:7070"})
+	for _, k := range ringKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %q differs across member orderings: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := newRing(nil).Owner("anything"); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+	solo := newRing([]string{"http://only:7070"})
+	for _, k := range ringKeys(50) {
+		if got := solo.Owner(k); got != "http://only:7070" {
+			t.Fatalf("single-member ring routed %q to %q", k, got)
+		}
+	}
+	if got := newRing([]string{"", "http://only:7070", ""}).Members(); got != 1 {
+		t.Errorf("blank members counted: Members() = %d, want 1", got)
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	members := []string{"http://a:7070", "http://b:7070", "http://c:7070", "http://d:7070"}
+	r := newRing(members)
+	counts := make(map[string]int)
+	keys := ringKeys(4000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	// With 64 vnodes/member the spread over 4 members should stay well
+	// inside a factor of two of the fair share.
+	fair := len(keys) / len(members)
+	for _, m := range members {
+		if counts[m] < fair/2 || counts[m] > fair*2 {
+			t.Errorf("member %s owns %d of %d keys (fair share %d)", m, counts[m], len(keys), fair)
+		}
+	}
+}
+
+func TestRingRemapBoundOnMembershipChange(t *testing.T) {
+	members := []string{"http://a:7070", "http://b:7070", "http://c:7070", "http://d:7070"}
+	before := newRing(members)
+	after := newRing(members[:3]) // d leaves
+	keys := ringKeys(4000)
+	moved := 0
+	for _, k := range keys {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob != oa {
+			// Keys may only move off the departed member, never between
+			// survivors — that's the consistent-hash guarantee.
+			if ob != "http://d:7070" {
+				t.Fatalf("key %q moved %q -> %q though %q is still a member", k, ob, oa, ob)
+			}
+			moved++
+		}
+	}
+	// ~1/4 of the space belonged to d; allow generous slack.
+	if moved == 0 || moved > len(keys)/2 {
+		t.Errorf("membership change remapped %d of %d keys, want roughly 1/%d", moved, len(keys), len(members))
+	}
+}

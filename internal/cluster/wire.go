@@ -1,0 +1,66 @@
+package cluster
+
+// Wire types for the forwarded-measurement RPC (POST /v1/measure).
+// They live in this package — not internal/service — because both ends
+// of the exchange need them: the service decodes MeasureRequest, the
+// forwarding hook encodes it. The spec is spelled out field by field
+// (mirroring profilestore's record shape) so the wire schema is
+// explicit rather than inherited from a struct without JSON tags.
+
+import "perfprune/internal/conv"
+
+// MeasureRequest asks the owning replica to measure one configuration.
+// Backend is a registry key (e.g. "acl-gemm"), not a display name —
+// registry keys are the public identity everywhere else in the API.
+type MeasureRequest struct {
+	Backend string   `json:"backend"`
+	Device  string   `json:"device"`
+	Spec    SpecJSON `json:"spec"`
+}
+
+// MeasureResponse is the owner's completed measurement.
+type MeasureResponse struct {
+	Ms        float64 `json:"ms"`
+	Jobs      int     `json:"jobs,omitempty"`
+	SplitJobs int     `json:"split_jobs,omitempty"`
+}
+
+// SpecJSON is conv.ConvSpec's wire shape.
+type SpecJSON struct {
+	Name    string `json:"name,omitempty"`
+	InH     int    `json:"in_h"`
+	InW     int    `json:"in_w"`
+	InC     int    `json:"in_c"`
+	OutC    int    `json:"out_c"`
+	KH      int    `json:"k_h"`
+	KW      int    `json:"k_w"`
+	StrideH int    `json:"stride_h"`
+	StrideW int    `json:"stride_w"`
+	PadH    int    `json:"pad_h,omitempty"`
+	PadW    int    `json:"pad_w,omitempty"`
+	Groups  int    `json:"groups,omitempty"`
+}
+
+// SpecWire converts a ConvSpec to its wire shape.
+func SpecWire(s conv.ConvSpec) SpecJSON {
+	return SpecJSON{
+		Name: s.Name,
+		InH:  s.InH, InW: s.InW, InC: s.InC, OutC: s.OutC,
+		KH: s.KH, KW: s.KW,
+		StrideH: s.StrideH, StrideW: s.StrideW,
+		PadH: s.PadH, PadW: s.PadW,
+		Groups: s.Groups,
+	}
+}
+
+// Spec converts the wire shape back to a ConvSpec.
+func (j SpecJSON) Spec() conv.ConvSpec {
+	return conv.ConvSpec{
+		Name: j.Name,
+		InH:  j.InH, InW: j.InW, InC: j.InC, OutC: j.OutC,
+		KH: j.KH, KW: j.KW,
+		StrideH: j.StrideH, StrideW: j.StrideW,
+		PadH: j.PadH, PadW: j.PadW,
+		Groups: j.Groups,
+	}
+}

@@ -125,6 +125,39 @@ func ProfileNetworkContext(ctx context.Context, eng *profiler.Engine, tg Target,
 	})
 }
 
+// ProfileNetworkView profiles n against a read-only cache view,
+// without any measurement machinery: every curve point is a lock-free
+// view lookup, so the call can never wait on an in-flight measurement,
+// the cache mutex, or a worker pool. It succeeds (ok == true) only if
+// the view holds every point of every layer's full sweep — one missing
+// cell returns ok == false and the caller falls back to the measuring
+// path for the whole profile. On a fully-warmed view the result is
+// byte-identical to ProfileNetworkContext's: both read the same
+// memoized measurements, in the same per-layer order, through the same
+// staircase analysis and shape sharing.
+func ProfileNetworkView(v *backend.View, tg Target, n nets.Network) (*NetworkProfile, bool) {
+	np, err := profileNetworkWith(tg, n, func(l nets.Layer) (LayerProfile, error) {
+		full := l.Spec.OutC
+		curve := make([]profiler.Point, full)
+		for c := 1; c <= full; c++ {
+			m, ok := v.Lookup(tg.Library.Name(), tg.Device.Name, l.Spec.WithOutC(c))
+			if !ok {
+				return LayerProfile{}, fmt.Errorf("core: view has no point for %s at %d channels", l.Label, c)
+			}
+			curve[c-1] = profiler.Point{Channels: c, Ms: m.Ms}
+		}
+		an, err := staircase.Analyze(curve)
+		if err != nil {
+			return LayerProfile{}, err
+		}
+		return LayerProfile{Layer: l, Curve: curve, Analysis: an}, nil
+	})
+	if err != nil {
+		return nil, false
+	}
+	return np, true
+}
+
 // profileNetworkWith is the shared whole-network profiling loop:
 // validation, one profileShape call per unique layer shape, and
 // shape-shared profiles for the rest. Both the swept and the probed

@@ -215,6 +215,27 @@ type tracked struct {
 
 	nextVersion int
 	versions    atomic.Pointer[[]PlanVersion]
+
+	// waiters is the long-poll rendezvous: the channel (when present) is
+	// closed by the next publish, waking every WaitVersions blocked on
+	// this key. Waiters install it lazily with a CAS; publishLocked
+	// swaps it out and closes it AFTER storing the new history, so a
+	// woken waiter always observes the version that woke it.
+	waiters atomic.Pointer[chan struct{}]
+}
+
+// notifyChan returns the channel the next publish will close,
+// installing one if no waiter has yet. Lock-free (CAS loop).
+func (t *tracked) notifyChan() chan struct{} {
+	for {
+		if p := t.waiters.Load(); p != nil {
+			return *p
+		}
+		ch := make(chan struct{})
+		if t.waiters.CompareAndSwap(nil, &ch) {
+			return ch
+		}
+	}
 }
 
 // Monitor is the drift state machine for every key the daemon plans
@@ -513,6 +534,37 @@ func (m *Monitor) Versions(key Key) ([]PlanVersion, bool) {
 		return nil, true
 	}
 	return append([]PlanVersion(nil), (*p)...), true
+}
+
+// WaitVersions blocks until the key's history holds a version numbered
+// greater than after, then returns the full history (like Versions).
+// When ctx expires first it returns the current history — a long-poll
+// timeout is an empty answer, not an error. Returns ok == false only
+// for untracked keys. The wait costs nothing on the publish path: the
+// publisher closes one channel; no per-waiter state is kept.
+func (m *Monitor) WaitVersions(ctx context.Context, key Key, after int) ([]PlanVersion, bool) {
+	t := m.lookup(key)
+	if t == nil {
+		return nil, false
+	}
+	for {
+		// The channel must be captured BEFORE the version check: a
+		// publish landing between the check and the select closes this
+		// very channel, so the select cannot sleep through it.
+		ch := t.notifyChan()
+		p := t.versions.Load()
+		if p != nil && len(*p) > 0 && (*p)[len(*p)-1].Version > after {
+			return append([]PlanVersion(nil), (*p)...), true
+		}
+		select {
+		case <-ctx.Done():
+			if p == nil {
+				return nil, true
+			}
+			return append([]PlanVersion(nil), (*p)...), true
+		case <-ch:
+		}
+	}
 }
 
 // Stats is the monitor-wide census /v1/stats serves.

@@ -109,6 +109,12 @@ func (t *tracked) publishLocked(v PlanVersion, maxVersions int) {
 		next = append([]PlanVersion(nil), next[len(next)-maxVersions:]...)
 	}
 	t.versions.Store(&next)
+	// Wake long-poll waiters only after the new history is visible:
+	// a waiter woken by this close re-loads versions and finds the
+	// version that woke it (or a newer one), never the old history.
+	if p := t.waiters.Swap(nil); p != nil {
+		close(*p)
+	}
 }
 
 // diffPlans computes the structural changelog from prev to next.

@@ -124,6 +124,58 @@ func specSchema() string {
 	return strings.Join(parts, ",")
 }
 
+// Write streams entries in the store format to w: the header line,
+// then one record per entry, with no intermediate whole-store buffer.
+// It is the single serializer — Save writes files through it, and the
+// daemon's /v1/snapshot endpoint streams it straight onto an HTTP
+// response, so a replica serving its cache to a peer never
+// materializes the store in memory.
+func Write(w io.Writer, entries []backend.SnapshotEntry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	h := header{Format: FormatName, Version: FormatVersion, SpecSchema: specSchema(), Entries: len(entries)}
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	for _, se := range entries {
+		rec := record{
+			Backend: se.Backend,
+			Device:  se.Device,
+			Spec:    specToJSON(se.Spec),
+			Ms:      se.M.Ms, Jobs: se.M.Jobs, SplitJobs: se.M.SplitJobs,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("profilestore: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	return nil
+}
+
+// ETag derives a strong HTTP entity tag for a snapshot taken at the
+// given cache generation with the given entry count. It folds in the
+// format version and spec-schema fingerprint, so two replicas built at
+// different spec schemas never 304 each other into skipping a pull
+// whose body they could not have parsed anyway. Deterministic across
+// processes for the same build.
+func ETag(generation uint64, entries int) string {
+	return fmt.Sprintf("\"v%d-%x-g%d-n%d\"", FormatVersion, fnv64a(specSchema()), generation, entries)
+}
+
+// fnv64a is the 64-bit FNV-1a hash, inlined to keep the store's wire
+// identity free of hash/fnv's streaming interface.
+func fnv64a(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
 // Save atomically writes entries as a store file at path: the snapshot
 // is written to a temp file in the same directory, synced, and renamed
 // over path, so a crash (or a concurrent reader) only ever sees the
@@ -141,25 +193,8 @@ func Save(path string, entries []backend.SnapshotEntry) (err error) {
 		}
 	}()
 
-	w := bufio.NewWriter(tmp)
-	enc := json.NewEncoder(w)
-	h := header{Format: FormatName, Version: FormatVersion, SpecSchema: specSchema(), Entries: len(entries)}
-	if err = enc.Encode(h); err != nil {
-		return fmt.Errorf("profilestore: %w", err)
-	}
-	for _, se := range entries {
-		rec := record{
-			Backend: se.Backend,
-			Device:  se.Device,
-			Spec:    specToJSON(se.Spec),
-			Ms:      se.M.Ms, Jobs: se.M.Jobs, SplitJobs: se.M.SplitJobs,
-		}
-		if err = enc.Encode(rec); err != nil {
-			return fmt.Errorf("profilestore: %w", err)
-		}
-	}
-	if err = w.Flush(); err != nil {
-		return fmt.Errorf("profilestore: %w", err)
+	if err = Write(tmp, entries); err != nil {
+		return err
 	}
 	if err = tmp.Sync(); err != nil {
 		return fmt.Errorf("profilestore: %w", err)
@@ -205,11 +240,18 @@ func Load(path string) (LoadResult, error) {
 		return res, err
 	}
 	defer f.Close()
-	res = load(f)
+	res = Read(f)
 	return res, nil
 }
 
-// load is the reader-level core of Load, separated for testing.
+// Read salvages a store stream from r with Load's exact semantics —
+// damage skips records, never fails — making any io.Reader (a file, an
+// HTTP response body from a peer's /v1/snapshot) a warm-start source.
+func Read(r io.Reader) LoadResult {
+	return load(r)
+}
+
+// load is the reader-level core of Load and Read.
 func load(r io.Reader) LoadResult {
 	var res LoadResult
 	sc := bufio.NewScanner(r)

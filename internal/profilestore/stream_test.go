@@ -1,0 +1,155 @@
+package profilestore
+
+// The streaming half of the store contract: Write/Read round-trip over
+// arbitrary io.Writer/io.Reader (the /v1/snapshot wire path), ETag
+// stability, and the Manager flushing a live cache concurrently with
+// measurements without ever producing a torn file.
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+)
+
+func streamSpec(outc int) conv.ConvSpec {
+	return conv.ConvSpec{
+		Name: "Stream.L1", InH: 14, InW: 14, InC: 32, OutC: outc,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	entries := make([]backend.SnapshotEntry, 40)
+	for i := range entries {
+		entries[i] = backend.SnapshotEntry{
+			Backend: "ACL-GEMM", Device: device.HiKey970.Name,
+			Spec: streamSpec(i + 1),
+			M:    backend.Measurement{Ms: float64(i) * 0.25, Jobs: i, SplitJobs: i / 2},
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	res := Read(&buf)
+	if res.Skipped != 0 {
+		t.Fatalf("clean stream skipped %d records (%s)", res.Skipped, res.Reason)
+	}
+	if len(res.Entries) != len(entries) {
+		t.Fatalf("read back %d entries, want %d", len(res.Entries), len(entries))
+	}
+	for i := range entries {
+		if res.Entries[i] != entries[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, res.Entries[i], entries[i])
+		}
+	}
+}
+
+func TestETagStability(t *testing.T) {
+	if ETag(3, 100) != ETag(3, 100) {
+		t.Error("identical (generation, entries) produced different ETags")
+	}
+	seen := map[string]string{}
+	for _, c := range []struct {
+		gen     uint64
+		entries int
+	}{{0, 0}, {1, 0}, {0, 1}, {7, 100}, {8, 100}, {7, 101}} {
+		tag := ETag(c.gen, c.entries)
+		if prev, dup := seen[tag]; dup {
+			t.Errorf("ETag collision: %s for both %s and (g%d,n%d)", tag, prev, c.gen, c.entries)
+		}
+		seen[tag] = fmt.Sprintf("(g%d,n%d)", c.gen, c.entries)
+	}
+}
+
+// steadyBackend answers instantly and deterministically.
+type steadyBackend struct{}
+
+func (steadyBackend) Name() string                { return "steady" }
+func (steadyBackend) Supports(device.Device) bool { return true }
+func (steadyBackend) Measure(_ device.Device, spec conv.ConvSpec) (backend.Measurement, error) {
+	return backend.Measurement{Ms: float64(spec.OutC), Jobs: 1}, nil
+}
+
+// TestManagerFlushConsistentUnderLoad: every flush taken while
+// measurements stream in must parse back cleanly — the snapshot is a
+// point-in-time cut, never a torn mix.
+func TestManagerFlushConsistentUnderLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.store")
+	cache := backend.NewCache()
+	mgr := NewManager(path, cache)
+
+	const writers, perWriter, flushes = 4, 32, 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				spec := streamSpec(w*perWriter + i + 1)
+				if _, err := cache.Measure(steadyBackend{}, device.HiKey970, spec); err != nil {
+					t.Errorf("measure: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	flushErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < flushes; i++ {
+			if err := mgr.Flush(); err != nil {
+				select {
+				case flushErr <- err:
+				default:
+				}
+				return
+			}
+			// Each mid-load snapshot must load back without a single
+			// skipped record.
+			res, err := Load(path)
+			if err != nil {
+				select {
+				case flushErr <- err:
+				default:
+				}
+				return
+			}
+			if res.Skipped != 0 {
+				select {
+				case flushErr <- fmt.Errorf("flush %d: %d skipped records (%s)", i, res.Skipped, res.Reason):
+				default:
+				}
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-flushErr:
+		t.Fatal(err)
+	default:
+	}
+
+	// The final flush captures the complete grid.
+	if err := mgr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := writers * perWriter; len(res.Entries) != want || res.Skipped != 0 {
+		t.Fatalf("final snapshot: %d entries / %d skipped, want %d / 0", len(res.Entries), res.Skipped, want)
+	}
+	if st := mgr.Status(); st.Flushes == 0 || st.FlushErrors != 0 {
+		t.Errorf("manager status after load test: %+v", st)
+	}
+}

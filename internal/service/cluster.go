@@ -1,0 +1,137 @@
+package service
+
+// The cluster API surface: GET /v1/snapshot (the replica's live cache
+// in the profilestore wire format, ETag-versioned), GET/PUT /v1/peers
+// (the gossip membership admin API), and POST /v1/measure (the
+// ownership-forwarding RPC). The snapshot format IS the profile-store
+// file format — one serializer (profilestore.Write) feeds both the
+// disk flush and the HTTP stream, so a peer can warm-start from a URL
+// exactly as it would from a file.
+
+import (
+	"fmt"
+	"net/http"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/cluster"
+	"perfprune/internal/profilestore"
+)
+
+// handleSnapshot serves GET /v1/snapshot: every completed measurement
+// in the cache, streamed as profile-store JSON lines. The entries and
+// the ETag are captured in ONE SnapshotGen call, so the pair is a
+// consistent version stamp even while measurements complete and the
+// store manager flushes concurrently — a puller matching the ETag it
+// saw gets exactly the set the ETag named. If-None-Match makes the
+// steady-state poll a bodyless 304.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.reqSnapshot.Add(1)
+	entries, gen := s.cache.SnapshotGen()
+	etag := profilestore.ETag(gen, len(entries))
+	w.Header().Set("ETag", etag)
+	if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// The body is a stream, not a rendered value: an encode failure
+	// mid-stream (client gone) just ends the response.
+	_ = profilestore.Write(w, entries)
+}
+
+// PeersResponse is the GET /v1/peers payload.
+type PeersResponse struct {
+	// Enabled reports whether this replica runs with a cluster node at
+	// all; a standalone daemon answers enabled=false with no peers.
+	Enabled bool `json:"enabled"`
+	// Self is this replica's advertised URL (empty when standalone).
+	Self string `json:"self,omitempty"`
+	// Peers are the configured peer base URLs, sorted.
+	Peers []string `json:"peers"`
+}
+
+// PeersRequest is the PUT /v1/peers payload: the full replacement peer
+// set (idempotent; an empty list detaches the replica from the fleet).
+type PeersRequest struct {
+	Peers []string `json:"peers"`
+}
+
+// handlePeersGet serves GET /v1/peers.
+func (s *Server) handlePeersGet(w http.ResponseWriter, r *http.Request) {
+	s.reqPeers.Add(1)
+	resp := PeersResponse{Peers: []string{}}
+	if n := s.clusterNode.Load(); n != nil {
+		resp.Enabled = true
+		resp.Self = n.Self()
+		resp.Peers = n.Peers()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePeersPut serves PUT /v1/peers: replace the peer set. On a
+// standalone daemon (no -peers, no -advertise) there is no node to
+// reconfigure — a well-formed request the server cannot satisfy, 422.
+func (s *Server) handlePeersPut(w http.ResponseWriter, r *http.Request) {
+	s.reqPeers.Add(1)
+	req, err := decodeStrict[PeersRequest](w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	for i, u := range req.Peers {
+		if u == "" {
+			writeError(w, badRequest("peers[%d] is empty", i))
+			return
+		}
+	}
+	n := s.clusterNode.Load()
+	if n == nil {
+		writeError(w, unprocessable(fmt.Errorf("clustering not enabled on this replica (start with -peers or -advertise)")))
+		return
+	}
+	n.SetPeers(req.Peers)
+	writeJSON(w, http.StatusOK, PeersResponse{Enabled: true, Self: n.Self(), Peers: n.Peers()})
+}
+
+// handleMeasure serves POST /v1/measure: the owner's side of the
+// forwarded-measurement RPC. The measurement runs through MeasureLocal
+// — never the forwarding path — so two replicas with momentarily
+// different ring views cannot bounce one request between each other.
+// Single-flight still holds: a forwarded measurement and a local sweep
+// racing on the same configuration share one backend run.
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	s.reqMeasure.Add(1)
+	req, err := decodeStrict[cluster.MeasureRequest](w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	lib, dev, err := s.resolveTarget(req.Backend, req.Device)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	spec := req.Spec.Spec()
+	if err := spec.Validate(); err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	if err := checkSweepBounds(spec, spec.OutC); err != nil {
+		writeError(w, err)
+		return
+	}
+	var m backend.Measurement
+	if backend.IsDeterministic(lib) {
+		m, err = s.cache.MeasureLocal(lib, dev, spec)
+	} else {
+		// Non-deterministic backends bypass the cache here exactly as
+		// they do in the sweep engine: memoizing wall-clock noise would
+		// freeze one sample as the configuration's truth.
+		m, err = lib.Measure(dev, spec)
+	}
+	if err != nil {
+		writeError(w, unprocessable(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.MeasureResponse{Ms: m.Ms, Jobs: m.Jobs, SplitJobs: m.SplitJobs})
+}

@@ -1,0 +1,480 @@
+package service_test
+
+// The cluster API surface over real HTTP: snapshot streaming with ETag
+// conditional requests, the peers admin API, the forwarded-measurement
+// RPC, the strict-decode 400 envelope shared by every mutating route,
+// the long-poll plan subscription, and the acceptance criterion that a
+// stuck measurement on an unrelated key can never delay a cached plan.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"perfprune/internal/backend"
+	"perfprune/internal/cluster"
+	"perfprune/internal/conv"
+	"perfprune/internal/device"
+	"perfprune/internal/profilestore"
+	"perfprune/internal/service"
+)
+
+const measureBody = `{"backend": "acl-gemm", "device": "HiKey 970",
+	"spec": {"in_h": 8, "in_w": 8, "in_c": 4, "out_c": 6, "k_h": 3, "k_w": 3,
+	         "stride_h": 1, "stride_w": 1, "pad_h": 1, "pad_w": 1}}`
+
+func TestSnapshotETagAndRoundTrip(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+
+	// Empty cache still serves a well-formed (zero-entry) snapshot.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/snapshot", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptyTag := resp.Header.Get("ETag")
+	if emptyTag == "" {
+		t.Fatal("snapshot response has no ETag")
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("snapshot content-type = %q", ct)
+	}
+	empty := profilestore.Read(resp.Body)
+	resp.Body.Close()
+	if len(empty.Entries) != 0 || empty.Skipped != 0 {
+		t.Fatalf("empty snapshot read back %d entries / %d skipped", len(empty.Entries), empty.Skipped)
+	}
+
+	// Populate one measurement; the ETag must move.
+	if status, raw := do(t, http.MethodPost, ts.URL+"/v1/measure", measureBody); status != http.StatusOK {
+		t.Fatalf("measure status = %d, body: %s", status, raw)
+	}
+	resp, err = http.Get(ts.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullTag := resp.Header.Get("ETag")
+	got := profilestore.Read(resp.Body)
+	resp.Body.Close()
+	if fullTag == emptyTag {
+		t.Error("ETag unchanged after a new measurement")
+	}
+	if len(got.Entries) != 1 || got.Skipped != 0 {
+		t.Fatalf("snapshot read back %d entries / %d skipped, want 1 / 0", len(got.Entries), got.Skipped)
+	}
+	e := got.Entries[0]
+	if e.Backend != "ACL-GEMM" || e.Device != "HiKey 970" || e.Spec.OutC != 6 {
+		t.Errorf("round-tripped entry = %+v", e)
+	}
+
+	// The conditional poll: matching If-None-Match is a bodyless 304
+	// carrying the same ETag; a stale tag still gets the body.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/v1/snapshot", nil)
+	req.Header.Set("If-None-Match", fullTag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("matching If-None-Match status = %d, want 304", resp.StatusCode)
+	}
+	req.Header.Set("If-None-Match", emptyTag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("stale If-None-Match status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestMeasureEndpointValidation(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+
+	status, raw := do(t, http.MethodPost, ts.URL+"/v1/measure", measureBody)
+	if status != http.StatusOK {
+		t.Fatalf("valid measure status = %d, body: %s", status, raw)
+	}
+	var mr cluster.MeasureResponse
+	if err := json.Unmarshal(raw, &mr); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic simulator: the RPC answer equals a direct local
+	// measurement of the same configuration.
+	lib, err := backend.Lookup("acl-gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lib.Measure(device.HiKey970, conv.ConvSpec{
+		InH: 8, InW: 8, InC: 4, OutC: 6, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Ms != want.Ms {
+		t.Errorf("RPC measurement %.6f ms, local %.6f ms", mr.Ms, want.Ms)
+	}
+
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"unknown backend": {`{"backend": "no-such", "device": "HiKey 970", "spec": {"in_h": 8, "in_w": 8, "in_c": 4, "out_c": 6, "k_h": 3, "k_w": 3, "stride_h": 1, "stride_w": 1}}`, 400},
+		"unknown device":  {`{"backend": "acl-gemm", "device": "no-board", "spec": {"in_h": 8, "in_w": 8, "in_c": 4, "out_c": 6, "k_h": 3, "k_w": 3, "stride_h": 1, "stride_w": 1}}`, 400},
+		"invalid spec":    {`{"backend": "acl-gemm", "device": "HiKey 970", "spec": {"in_h": 0, "in_w": 8, "in_c": 4, "out_c": 6, "k_h": 3, "k_w": 3, "stride_h": 1, "stride_w": 1}}`, 400},
+	} {
+		if status, raw := do(t, http.MethodPost, ts.URL+"/v1/measure", tc.body); status != tc.want {
+			t.Errorf("%s: status = %d, want %d; body: %s", name, status, tc.want, raw)
+		}
+	}
+}
+
+func TestPeersAPI(t *testing.T) {
+	// Standalone daemon: peers are visible-but-disabled, and the PUT is
+	// a well-formed request the server cannot satisfy.
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	status, raw := do(t, http.MethodGet, ts.URL+"/v1/peers", "")
+	if status != http.StatusOK {
+		t.Fatalf("peers GET status = %d", status)
+	}
+	var pr service.PeersResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Enabled || len(pr.Peers) != 0 {
+		t.Errorf("standalone peers = %+v, want disabled and empty", pr)
+	}
+	if status, raw = do(t, http.MethodPut, ts.URL+"/v1/peers", `{"peers": ["http://other:7070"]}`); status != http.StatusUnprocessableEntity {
+		t.Fatalf("standalone peers PUT status = %d, want 422; body: %s", status, raw)
+	}
+
+	// Clustered daemon: the PUT replaces the set idempotently.
+	srv, err := service.New(service.Config{Backends: simulatedOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := cluster.New(cluster.Config{Self: "http://self:7070", Cache: srv.Cache()})
+	srv.SetCluster(node)
+	ts2 := newServerFrom(t, srv)
+
+	if status, raw := do(t, http.MethodPut, ts2.URL+"/v1/peers", `{"peers": ["http://b:7070", "http://a:7070"]}`); status != http.StatusOK {
+		t.Fatalf("peers PUT status = %d, body: %s", status, raw)
+	}
+	status, raw = do(t, http.MethodGet, ts2.URL+"/v1/peers", "")
+	if status != http.StatusOK {
+		t.Fatal("peers GET after PUT failed")
+	}
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Enabled || pr.Self != "http://self:7070" {
+		t.Errorf("clustered peers = %+v", pr)
+	}
+	if want := []string{"http://a:7070", "http://b:7070"}; strings.Join(pr.Peers, ",") != strings.Join(want, ",") {
+		t.Errorf("peer set = %v, want %v", pr.Peers, want)
+	}
+	if status, raw = do(t, http.MethodPut, ts2.URL+"/v1/peers", `{"peers": [""]}`); status != http.StatusBadRequest {
+		t.Fatalf("empty peer URL status = %d, want 400; body: %s", status, raw)
+	}
+}
+
+// TestStrictDecodeEnvelopes pins the one shared validation behavior of
+// every mutating route: malformed JSON, unknown fields and trailing
+// content are all a 400 with the {"error": "..."} envelope — the same
+// generic decoder runs everywhere, so a client can rely on one error
+// shape.
+func TestStrictDecodeEnvelopes(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	routes := []struct {
+		method, path string
+	}{
+		{http.MethodPost, "/v1/sweep"},
+		{http.MethodPost, "/v1/staircase"},
+		{http.MethodPost, "/v1/plan"},
+		{http.MethodPost, "/v1/frontier"},
+		{http.MethodPost, "/v1/telemetry"},
+		{http.MethodPost, "/v1/measure"},
+		{http.MethodPut, "/v1/peers"},
+	}
+	bodies := map[string]string{
+		"syntax error":   `{"backend": `,
+		"unknown field":  `{"definitely_not_a_field": 1}`,
+		"trailing junk":  `{} {"second": "object"}`,
+		"non-object":     `[1, 2, 3]`,
+		"double encoded": `"{\"backend\": \"acl-gemm\"}"`,
+	}
+	for _, rt := range routes {
+		for name, body := range bodies {
+			status, raw := do(t, rt.method, ts.URL+rt.path, body)
+			if status != http.StatusBadRequest {
+				t.Errorf("%s %s with %s: status = %d, want 400; body: %s", rt.method, rt.path, name, status, raw)
+				continue
+			}
+			var envelope map[string]string
+			if err := json.Unmarshal(raw, &envelope); err != nil {
+				t.Errorf("%s %s with %s: non-JSON error body %s", rt.method, rt.path, name, raw)
+				continue
+			}
+			if len(envelope) != 1 || envelope["error"] == "" {
+				t.Errorf("%s %s with %s: error envelope = %s, want exactly {\"error\": ...}", rt.method, rt.path, name, raw)
+			}
+		}
+	}
+}
+
+func TestLongPollWakesOnRepair(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	planAlexNet(t, ts.URL)
+	np := alexProfile(t)
+
+	// The registered plan is version 1; park a subscriber at it.
+	type pollResult struct {
+		status   int
+		versions []int
+		elapsed  time.Duration
+	}
+	ch := make(chan pollResult, 1)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		start := time.Now()
+		status, raw := do(t, http.MethodGet, plansURL(ts.URL)+"?wait_version=1&timeout_s=30", "")
+		var out struct {
+			Versions []struct {
+				Version int `json:"version"`
+			} `json:"versions"`
+		}
+		res := pollResult{status: status, elapsed: time.Since(start)}
+		if err := json.Unmarshal(raw, &out); err == nil {
+			for _, v := range out.Versions {
+				res.versions = append(res.versions, v.Version)
+			}
+		}
+		ch <- res
+	}()
+	<-started
+	// Give the poller a moment to actually park before publishing; the
+	// contract holds either way (a publish before the poll arrives
+	// answers it immediately), so this only sharpens what's exercised.
+	time.Sleep(50 * time.Millisecond)
+
+	// Sustained drift on an interior stair publishes version 2.
+	label := "AlexNet.L3"
+	stair := interiorStair(t, np, label, 3)
+	status, raw := do(t, http.MethodPost, ts.URL+"/v1/telemetry",
+		telemetryBody(t, driftPoints(np, label, stair, 1.5, 3), false))
+	if status != http.StatusOK {
+		t.Fatalf("drift telemetry status = %d, body: %s", status, raw)
+	}
+
+	select {
+	case res := <-ch:
+		if res.status != http.StatusOK {
+			t.Fatalf("long poll status = %d", res.status)
+		}
+		max := 0
+		for _, v := range res.versions {
+			if v > max {
+				max = v
+			}
+		}
+		if max <= 1 {
+			t.Fatalf("long poll woke with versions %v, want one > 1", res.versions)
+		}
+		if res.elapsed > 10*time.Second {
+			t.Errorf("long poll took %v — woke by timeout, not by publish", res.elapsed)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("long poll never returned after the repair published")
+	}
+}
+
+func TestLongPollTimeoutAndValidation(t *testing.T) {
+	ts := newServer(t, service.Config{Backends: simulatedOnly})
+	planAlexNet(t, ts.URL)
+
+	// No newer version arrives: the poll expires with the current
+	// history, within the requested window.
+	start := time.Now()
+	status, raw := do(t, http.MethodGet, plansURL(ts.URL)+"?wait_version=1&timeout_s=0.2", "")
+	elapsed := time.Since(start)
+	if status != http.StatusOK {
+		t.Fatalf("timed-out poll status = %d, body: %s", status, raw)
+	}
+	if elapsed < 150*time.Millisecond || elapsed > 5*time.Second {
+		t.Errorf("timed-out poll returned after %v, want ~200ms", elapsed)
+	}
+	var out struct {
+		Versions []struct {
+			Version int `json:"version"`
+		} `json:"versions"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Versions) == 0 || out.Versions[len(out.Versions)-1].Version != 1 {
+		t.Errorf("timed-out poll versions = %+v, want just version 1", out.Versions)
+	}
+
+	// wait_version=0 answers immediately — version 1 already exceeds it.
+	start = time.Now()
+	if status, _ := do(t, http.MethodGet, plansURL(ts.URL)+"?wait_version=0&timeout_s=30", ""); status != http.StatusOK {
+		t.Fatalf("immediate poll status = %d", status)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("satisfied wait_version=0 still blocked for %v", elapsed)
+	}
+
+	for name, query := range map[string]string{
+		"negative wait": "?wait_version=-1",
+		"nan wait":      "?wait_version=soon",
+		"zero timeout":  "?wait_version=1&timeout_s=0",
+		"nan timeout":   "?wait_version=1&timeout_s=shortly",
+	} {
+		if status, raw := do(t, http.MethodGet, plansURL(ts.URL)+query, ""); status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400; body: %s", name, status, raw)
+		}
+	}
+
+	// Unplanned keys 404 whether or not they wait.
+	if status, _ := do(t, http.MethodGet, ts.URL+"/v1/plans/AlexNet/tvm@HiKey%20970?wait_version=0", ""); status != http.StatusNotFound {
+		t.Errorf("unplanned key poll status = %d, want 404", status)
+	}
+}
+
+// gatedACL wraps the deterministic ACL-GEMM simulator behind a gate:
+// while the gate is held closed, every new Measure call blocks. It
+// gives a test a backend that is temporarily stuck mid-measurement.
+type gatedACL struct {
+	inner backend.Backend
+	mu    sync.Mutex
+	gate  chan struct{} // nil = pass through; non-nil = block until closed
+}
+
+func (g *gatedACL) Name() string                  { return "Svc-Gated-ACL" }
+func (g *gatedACL) Supports(d device.Device) bool { return g.inner.Supports(d) }
+func (g *gatedACL) Measure(d device.Device, spec conv.ConvSpec) (backend.Measurement, error) {
+	g.mu.Lock()
+	gate := g.gate
+	g.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	return g.inner.Measure(d, spec)
+}
+
+func (g *gatedACL) setGate(ch chan struct{}) {
+	g.mu.Lock()
+	g.gate = ch
+	g.mu.Unlock()
+}
+
+var (
+	gatedOnce sync.Once
+	gated     *gatedACL
+)
+
+func gatedBackend(t *testing.T) *gatedACL {
+	t.Helper()
+	gatedOnce.Do(func() {
+		inner, err := backend.Lookup("acl-gemm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gated = &gatedACL{inner: inner}
+		backend.Register("svc-gated-acl", gated)
+	})
+	return gated
+}
+
+// TestCachedPlanNotBlockedByStuckMeasurement is the lock-free read
+// path acceptance criterion: with a measurement wedged inside the
+// backend on an unrelated configuration, a plan whose profile is fully
+// cached must still answer promptly, served from the view.
+func TestCachedPlanNotBlockedByStuckMeasurement(t *testing.T) {
+	g := gatedBackend(t)
+	ts := newServer(t, service.Config{Backends: []string{"svc-gated-acl"}})
+	plan := `{"backend": "svc-gated-acl", "device": "HiKey 970", "network": "AlexNet"}`
+
+	// Pay the measurement bill while the gate is open.
+	if status, raw := do(t, http.MethodPost, ts.URL+"/v1/plan", plan); status != http.StatusOK {
+		t.Fatalf("cold plan status = %d, body: %s", status, raw)
+	}
+
+	// Close the gate and wedge a measurement on a configuration no
+	// AlexNet layer uses.
+	gate := make(chan struct{})
+	g.setGate(gate)
+	stuckDone := make(chan struct{})
+	go func() {
+		defer close(stuckDone)
+		do(t, http.MethodPost, ts.URL+"/v1/measure",
+			`{"backend": "svc-gated-acl", "device": "HiKey 970",
+			  "spec": {"name": "unrelated", "in_h": 9, "in_w": 9, "in_c": 3, "out_c": 5,
+			           "k_h": 3, "k_w": 3, "stride_h": 1, "stride_w": 1}}`)
+	}()
+	// Wait until the stuck measurement is really inside the backend.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var stats service.StatsResponse
+		_, raw := do(t, http.MethodGet, ts.URL+"/v1/stats", "")
+		if err := json.Unmarshal(raw, &stats); err != nil {
+			t.Fatal(err)
+		}
+		if stats.Cache.InFlight > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stuck measurement never went in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The cached plan must come back while the backend is wedged; the
+	// generous bound exists only to catch an actual block, which would
+	// otherwise hang until the gate opens.
+	start := time.Now()
+	planCh := make(chan int, 1)
+	go func() {
+		status, _ := do(t, http.MethodPost, ts.URL+"/v1/plan", plan)
+		planCh <- status
+	}()
+	select {
+	case status := <-planCh:
+		if status != http.StatusOK {
+			t.Errorf("cached plan during stuck measurement: status %d", status)
+		}
+	case <-time.After(10 * time.Second):
+		close(gate)
+		t.Fatal("cached plan blocked behind a stuck measurement on an unrelated key")
+	}
+	t.Logf("cached plan served in %v with a wedged backend", time.Since(start))
+
+	var stats service.StatsResponse
+	_, raw := do(t, http.MethodGet, ts.URL+"/v1/stats", "")
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.PlanReads.ViewServed == 0 {
+		t.Errorf("plan under load was not view-served: %+v", stats.PlanReads)
+	}
+
+	close(gate)
+	<-stuckDone
+	g.setGate(nil)
+}
+
+// newServerFrom wraps an already-configured Server in httptest.
+func newServerFrom(t *testing.T, srv *service.Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}

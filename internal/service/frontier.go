@@ -21,8 +21,8 @@ import (
 
 func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	s.reqFrontier.Add(1)
-	var req FrontierRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	req, err := decodeStrict[FrontierRequest](w, r)
+	if err != nil {
 		writeError(w, err)
 		return
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"perfprune/internal/backend"
+	"perfprune/internal/cluster"
 	"perfprune/internal/conv"
 	"perfprune/internal/core"
 	"perfprune/internal/device"
@@ -123,16 +124,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	info := s.info
 	info.UptimeMs = time.Since(s.start).Milliseconds()
+	var clusterStats *cluster.Stats
+	if node := s.clusterNode.Load(); node != nil {
+		st := node.Stats()
+		clusterStats = &st
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Store: store,
 		Info:  info,
 		Cache: CacheStats{
-			Hits:      cs.Hits,
-			Misses:    cs.Misses,
-			HitRate:   cs.HitRate(),
-			Entries:   cs.Entries,
-			Evictions: cs.Evictions,
-			InFlight:  cs.InFlight,
+			Hits:        cs.Hits,
+			Misses:      cs.Misses,
+			HitRate:     cs.HitRate(),
+			Entries:     cs.Entries,
+			Evictions:   cs.Evictions,
+			InFlight:    cs.InFlight,
+			Warmed:      cs.Warmed,
+			WarmSkipped: cs.WarmSkipped,
 		},
 		Requests: RequestStats{
 			Backends:  s.reqBackends.Load(),
@@ -145,10 +153,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Stats:     s.reqStats.Load(),
 			Telemetry: s.reqTelemetry.Load(),
 			Plans:     s.reqPlans.Load(),
+			Snapshot:  s.reqSnapshot.Load(),
+			Peers:     s.reqPeers.Load(),
+			Measure:   s.reqMeasure.Load(),
 		},
 		Probe:   s.probeTotals(),
 		Workers: s.workers,
 		Drift:   s.drift.Stats(),
+		PlanReads: PlanReadStats{
+			ViewServed:   s.planViewServed.Load(),
+			EngineServed: s.planEngineServed.Load(),
+		},
+		Cluster: clusterStats,
 	})
 }
 
@@ -310,11 +326,12 @@ func specFromRequest(r SpecRequest) conv.ConvSpec {
 // handled (including the no-response case of a vanished client, whose
 // cancelled sweep stops consuming workers).
 func (s *Server) runSweep(w http.ResponseWriter, r *http.Request) (req SweepRequest, st sweepTarget, points []profiler.Point, pr *probe.Result, ok bool) {
-	if err := decodeBody(w, r, &req); err != nil {
+	req, err := decodeStrict[SweepRequest](w, r)
+	if err != nil {
 		writeError(w, err)
 		return req, st, nil, nil, false
 	}
-	st, err := s.resolveSweep(req)
+	st, err = s.resolveSweep(req)
 	if err != nil {
 		writeError(w, err)
 		return req, st, nil, nil, false
@@ -363,11 +380,23 @@ func usageStats(u core.ProbeUsage) ProbeStats {
 	}
 }
 
-// profileNetwork profiles n on tg through the shared engine, swept or
-// probed. In probe mode it folds the audit into the daemon-wide totals
-// and returns the wire stats for the response.
+// profileNetwork profiles n on tg, swept or probed. Fully-cached
+// deterministic profiles take the lock-free fast path first: a plan
+// whose every curve point is already memoized is computed from an
+// immutable cache view — no engine, no worker pool, no contact with
+// the cache mutex — so it can never wait behind an in-flight
+// measurement on some unrelated key. Any missing cell falls through to
+// the measuring path for the whole profile; on a warm cache the two
+// paths are byte-identical (see core.ProfileNetworkView).
 func (s *Server) profileNetwork(ctx context.Context, tg core.Target, n nets.Network, probed bool) (*core.NetworkProfile, *ProbeStats, error) {
+	if !probed && backend.IsDeterministic(tg.Library) {
+		if np, ok := core.ProfileNetworkView(s.cache.View(), tg, n); ok {
+			s.planViewServed.Add(1)
+			return np, nil, nil
+		}
+	}
 	if !probed {
+		s.planEngineServed.Add(1)
 		np, err := core.ProfileNetworkContext(ctx, s.engine, tg, n)
 		return np, nil, err
 	}
@@ -481,19 +510,13 @@ func (s *Server) handleStaircase(w http.ResponseWriter, r *http.Request) {
 // performance-aware planning loop under the accuracy budget.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.reqPlan.Add(1)
-	var req PlanRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	req, err := decodeStrict[PlanRequest](w, r)
+	if err != nil {
 		writeError(w, err)
 		return
 	}
-	targetSpeedup := 1.5
-	if req.TargetSpeedup != nil {
-		targetSpeedup = *req.TargetSpeedup
-	}
-	maxAccuracyDrop := 2.0
-	if req.MaxAccuracyDrop != nil {
-		maxAccuracyDrop = *req.MaxAccuracyDrop
-	}
+	targetSpeedup := orDefault(req.TargetSpeedup, 1.5)
+	maxAccuracyDrop := orDefault(req.MaxAccuracyDrop, 2.0)
 	switch {
 	case targetSpeedup < 1:
 		writeError(w, badRequest("target_speedup %v must be >= 1", targetSpeedup))

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"perfprune/internal/backend"
+	"perfprune/internal/cluster"
 	"perfprune/internal/drift"
 	"perfprune/internal/gemm"
 	"perfprune/internal/obs"
@@ -127,6 +128,19 @@ type Server struct {
 	reqStats     atomic.Uint64
 	reqTelemetry atomic.Uint64
 	reqPlans     atomic.Uint64
+	reqSnapshot  atomic.Uint64
+	reqPeers     atomic.Uint64
+	reqMeasure   atomic.Uint64
+
+	// Plan read-path split: profiles served straight from the lock-free
+	// cache view versus through the measuring engine. view_served
+	// growing while the cache is warm is the lock-free path working.
+	planViewServed   atomic.Uint64
+	planEngineServed atomic.Uint64
+
+	// clusterNode, when set, is this replica's membership in a
+	// multi-replica fleet (see SetCluster).
+	clusterNode atomic.Pointer[cluster.Node]
 
 	// drift closes the loop: plan requests register their key here,
 	// /v1/telemetry feeds it, and it repairs + re-plans on drift.
@@ -217,6 +231,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/telemetry", s.handleTelemetry)
 	s.mux.HandleFunc("GET /v1/plans", s.handlePlanKeys)
 	s.mux.HandleFunc("GET /v1/plans/{network}/{target}", s.handlePlanVersions)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/peers", s.handlePeersGet)
+	s.mux.HandleFunc("PUT /v1/peers", s.handlePeersPut)
+	s.mux.HandleFunc("POST /v1/measure", s.handleMeasure)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.handler = s.middleware(s.mux)
 	return s, nil
@@ -276,6 +294,36 @@ func (s *Server) registerMetrics() {
 	// whose labels carry the values, joinable onto any other series.
 	s.reg.Gauge("perfpruned_build_info", "build identity of the serving binary (constant 1)",
 		obs.L("go_version", s.info.GoVersion), obs.L("vcs_revision", s.info.VCSRevision)).Set(1)
+
+	// Cluster counters: registered unconditionally (a node-less server
+	// scrapes zeros) so dashboards never see series appear and vanish
+	// with SetCluster timing.
+	clusterStats := func() cluster.Stats {
+		if n := s.clusterNode.Load(); n != nil {
+			return n.Stats()
+		}
+		return cluster.Stats{}
+	}
+	s.reg.CounterFunc("perfpruned_cluster_snapshot_pulls_total", "peer snapshot pulls that imported a body",
+		func() float64 { return float64(clusterStats().Pulls) })
+	s.reg.CounterFunc("perfpruned_cluster_pull_errors_total", "peer snapshot pulls that failed",
+		func() float64 { return float64(clusterStats().PullErrors) })
+	s.reg.CounterFunc("perfpruned_cluster_not_modified_total", "peer snapshot polls answered 304",
+		func() float64 { return float64(clusterStats().NotModified) })
+	s.reg.CounterFunc("perfpruned_cluster_entries_imported_total", "measurements imported from peers",
+		func() float64 { return float64(clusterStats().EntriesImported) })
+	s.reg.CounterFunc("perfpruned_cluster_forwards_total", "cold measurements forwarded to their owner",
+		func() float64 { return float64(clusterStats().Forwards) })
+	s.reg.CounterFunc("perfpruned_cluster_forward_fallbacks_total", "forwards that fell back to local measurement",
+		func() float64 { return float64(clusterStats().ForwardFallbacks) })
+	s.reg.GaugeFunc("perfpruned_cluster_peers_healthy", "peers currently on the ownership ring",
+		func() float64 { return float64(clusterStats().PeersHealthy) })
+
+	// Plan read-path split (see planViewServed).
+	s.reg.CounterFunc("perfpruned_plan_view_served_total", "network profiles served from the lock-free cache view",
+		func() float64 { return float64(s.planViewServed.Load()) })
+	s.reg.CounterFunc("perfpruned_plan_engine_served_total", "network profiles served through the measuring engine",
+		func() float64 { return float64(s.planEngineServed.Load()) })
 
 	// Closed-loop telemetry: bridged from the drift monitor's atomic
 	// counters, so scrapes never wait on a repair in flight.
@@ -357,6 +405,14 @@ func (s *Server) SetStoreStats(fn func() StoreStats) {
 		func() float64 { return float64(fn().WarmStartEntries) })
 }
 
+// SetCluster attaches this replica's cluster node, enabling the peer
+// admin API and the cluster sections of /v1/stats and /metrics. Like
+// SetStoreStats, conventionally called once before the listener opens;
+// the swap itself is atomic.
+func (s *Server) SetCluster(n *cluster.Node) {
+	s.clusterNode.Store(n)
+}
+
 // backendKeys returns the registry keys this server serves, sorted.
 func (s *Server) backendKeys() []string {
 	if s.allowed == nil {
@@ -418,17 +474,30 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
 
-// decodeBody decodes a JSON request body into v, rejecting unknown
+// decodeStrict decodes a JSON request body into a T, rejecting unknown
 // fields and trailing content so client mistakes fail loudly instead
-// of silently profiling the wrong configuration.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+// of silently profiling the wrong configuration. Every body-carrying
+// route decodes through it, so malformed input produces the identical
+// 400 envelope everywhere.
+func decodeStrict[T any](w http.ResponseWriter, r *http.Request) (T, error) {
+	var v T
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return badRequest("invalid request body: %v", err)
+	if err := dec.Decode(&v); err != nil {
+		return v, badRequest("invalid request body: %v", err)
 	}
 	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
-		return badRequest("trailing content after the request object")
+		return v, badRequest("trailing content after the request object")
 	}
-	return nil
+	return v, nil
+}
+
+// orDefault resolves an optional (pointer) request field against its
+// default — the idiom the budget fields use so an explicit 0 stays
+// distinguishable from an omitted field.
+func orDefault(p *float64, def float64) float64 {
+	if p != nil {
+		return *p
+	}
+	return def
 }

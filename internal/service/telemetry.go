@@ -9,14 +9,26 @@ package service
 // reads keep serving the previous version lock-free.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"perfprune/internal/core"
 	"perfprune/internal/drift"
 	"perfprune/internal/nets"
+)
+
+const (
+	// defaultLongPollTimeout and maxLongPollTimeout bound how long a
+	// wait_version subscription may hold its connection: long enough
+	// that a quiet fleet polls rarely, short enough that intermediaries
+	// (and graceful drains) don't reap the connection first.
+	defaultLongPollTimeout = 30 * time.Second
+	maxLongPollTimeout     = 120 * time.Second
 )
 
 // trackPlan registers a freshly served plan with the drift monitor so
@@ -36,8 +48,8 @@ func (s *Server) trackPlan(backendKey, deviceName string, n nets.Network, np *co
 // then carries the repair audit and the new plan version.
 func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	s.reqTelemetry.Add(1)
-	var req TelemetryRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	req, err := decodeStrict[TelemetryRequest](w, r)
+	if err != nil {
 		writeError(w, err)
 		return
 	}
@@ -112,6 +124,14 @@ func (s *Server) handlePlanKeys(w http.ResponseWriter, r *http.Request) {
 // target spelled "backend@device" (URL-escaped; device names contain
 // spaces). The read is lock-free with respect to ingestion: a repair
 // in flight on the key never delays serving the current history.
+//
+// With ?wait_version=N the request long-polls: the response blocks
+// until a version numbered greater than N publishes, or until
+// ?timeout_s (default 30, capped at 120) expires — expiry answers with
+// the current history, so clients distinguish "new version" from
+// "nothing yet" by comparing the latest version number against N. A
+// deployed fleet (or a peer replica) subscribes by re-issuing the poll
+// with its latest seen version instead of hammering the endpoint.
 func (s *Server) handlePlanVersions(w http.ResponseWriter, r *http.Request) {
 	s.reqPlans.Add(1)
 	backendKey, deviceName, ok := strings.Cut(r.PathValue("target"), "@")
@@ -120,7 +140,33 @@ func (s *Server) handlePlanVersions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := drift.Key{Backend: backendKey, Device: deviceName, Network: r.PathValue("network")}
-	vs, tracked := s.drift.Versions(key)
+
+	var vs []drift.PlanVersion
+	var tracked bool
+	if wv := r.URL.Query().Get("wait_version"); wv != "" {
+		after, err := strconv.Atoi(wv)
+		if err != nil || after < 0 {
+			writeError(w, badRequest("wait_version must be a non-negative integer, got %q", wv))
+			return
+		}
+		timeout := defaultLongPollTimeout
+		if ts := r.URL.Query().Get("timeout_s"); ts != "" {
+			secs, err := strconv.ParseFloat(ts, 64)
+			if err != nil || secs <= 0 {
+				writeError(w, badRequest("timeout_s must be a positive number, got %q", ts))
+				return
+			}
+			timeout = time.Duration(secs * float64(time.Second))
+			if timeout > maxLongPollTimeout {
+				timeout = maxLongPollTimeout
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		vs, tracked = s.drift.WaitVersions(ctx, key, after)
+	} else {
+		vs, tracked = s.drift.Versions(key)
+	}
 	if !tracked {
 		writeError(w, &apiError{status: http.StatusNotFound,
 			err: fmt.Errorf("no plan history for %s (plan it first)", key)})

@@ -7,6 +7,7 @@ package service
 // whole responses are golden-testable byte for byte.
 
 import (
+	"perfprune/internal/cluster"
 	"perfprune/internal/drift"
 	"perfprune/internal/obs"
 )
@@ -341,6 +342,11 @@ type CacheStats struct {
 	// InFlight is the number of backend measurements executing at
 	// snapshot time.
 	InFlight int64 `json:"in_flight"`
+	// Warmed counts entries imported by Warm (boot warm-start and
+	// gossip pulls); WarmSkipped counts imports declined because a
+	// resident entry won the dedup.
+	Warmed      uint64 `json:"warmed"`
+	WarmSkipped uint64 `json:"warm_skipped"`
 }
 
 // RequestStats counts requests served per endpoint.
@@ -355,6 +361,18 @@ type RequestStats struct {
 	Stats     uint64 `json:"stats"`
 	Telemetry uint64 `json:"telemetry"`
 	Plans     uint64 `json:"plans"`
+	Snapshot  uint64 `json:"snapshot"`
+	Peers     uint64 `json:"peers"`
+	Measure   uint64 `json:"measure"`
+}
+
+// PlanReadStats splits network-profile reads by path: served from the
+// lock-free cache view (no contact with the measurement machinery)
+// versus through the measuring engine. On a warmed replica the view
+// count is the one moving.
+type PlanReadStats struct {
+	ViewServed   uint64 `json:"view_served"`
+	EngineServed uint64 `json:"engine_served"`
 }
 
 // ProbeTotals aggregates every probe-mode request the process served:
@@ -426,8 +444,13 @@ type StatsResponse struct {
 	// stair states, and the repair bill. Its books always balance:
 	// repair_probes + repair_points_avoided == repair_grid_points.
 	Drift drift.Stats `json:"drift"`
+	// PlanReads splits profile reads between the lock-free view path
+	// and the measuring engine.
+	PlanReads PlanReadStats `json:"plan_reads"`
 	// Store is present only when the daemon persists its cache.
 	Store *StoreStats `json:"store,omitempty"`
+	// Cluster is present only when the daemon runs as a fleet replica.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 // TelemetryRequest is a POST /v1/telemetry batch: fleet latency
